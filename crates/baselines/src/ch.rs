@@ -1,0 +1,292 @@
+//! Contraction-hierarchy distance oracle — the tree-decomposition-method
+//! stand-in (see DESIGN.md §6).
+//!
+//! The TD-based exact methods the paper compares against (\[41\], \[4\]) build
+//! on elimination orderings: peel low-degree fringe vertices, summarise
+//! their shortcuts, and answer queries through the remaining core.
+//! Contraction hierarchies are the textbook embodiment of that idea:
+//! contract vertices in min-degree order, insert shortcut edges preserving
+//! pairwise distances among the remaining vertices, and answer queries with
+//! a bidirectional *upward* Dijkstra.
+//!
+//! On complex networks the dense core makes contraction expensive — exactly
+//! the behaviour Table 3 reports for the TD method (fine on small graphs,
+//! DNF on large ones). A configurable shortcut budget turns that blow-up
+//! into an explicit [`ChError::BudgetExceeded`] ("DNF").
+
+use pll_graph::{CsrGraph, Vertex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Construction failure of the contraction hierarchy.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ChError {
+    /// The number of shortcut edges exceeded the configured budget (the
+    /// "DNF" outcome on graphs with a dense core).
+    BudgetExceeded {
+        /// The configured maximum number of shortcuts.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for ChError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChError::BudgetExceeded { budget } => {
+                write!(f, "contraction produced more than {budget} shortcuts (DNF)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChError {}
+
+/// A contraction-hierarchy distance oracle over an unweighted undirected
+/// graph (edges are treated as weight 1; shortcuts carry accumulated
+/// weights).
+#[derive(Debug)]
+pub struct ContractionHierarchy {
+    /// Contraction position of each vertex (0 = contracted first).
+    position: Vec<u32>,
+    /// Upward adjacency: for each vertex, edges to later-contracted
+    /// vertices only, as `(neighbour, weight)`.
+    up: Vec<Vec<(Vertex, u32)>>,
+    /// Number of shortcut edges added.
+    shortcuts: usize,
+}
+
+impl ContractionHierarchy {
+    /// Builds the hierarchy with a lazy min-degree elimination order and at
+    /// most `shortcut_budget` shortcut edges.
+    pub fn build(g: &CsrGraph, shortcut_budget: usize) -> Result<Self, ChError> {
+        let n = g.num_vertices();
+        // Dynamic weighted adjacency during contraction.
+        let mut adj: Vec<HashMap<Vertex, u32>> = vec![HashMap::new(); n];
+        for (u, v) in g.edges() {
+            adj[u as usize].insert(v, 1);
+            adj[v as usize].insert(u, 1);
+        }
+
+        let mut contracted = vec![false; n];
+        let mut position = vec![0u32; n];
+        let mut up: Vec<Vec<(Vertex, u32)>> = vec![Vec::new(); n];
+        let mut shortcuts = 0usize;
+
+        // Lazy min-degree priority queue: entries may be stale; re-check on
+        // pop and reinsert if the degree changed.
+        let mut pq: BinaryHeap<Reverse<(u32, Vertex)>> = (0..n as Vertex)
+            .map(|v| Reverse((adj[v as usize].len() as u32, v)))
+            .collect();
+
+        let mut pos = 0u32;
+        while let Some(Reverse((deg, v))) = pq.pop() {
+            if contracted[v as usize] {
+                continue;
+            }
+            let current = adj[v as usize].len() as u32;
+            if current != deg {
+                pq.push(Reverse((current, v)));
+                continue;
+            }
+            // Contract v: record its upward edges, then add shortcuts among
+            // its remaining neighbours.
+            position[v as usize] = pos;
+            pos += 1;
+            contracted[v as usize] = true;
+
+            let neighbours: Vec<(Vertex, u32)> = adj[v as usize]
+                .iter()
+                .map(|(&u, &w)| (u, w))
+                .collect();
+            up[v as usize] = neighbours.clone();
+
+            for i in 0..neighbours.len() {
+                let (a, wa) = neighbours[i];
+                adj[a as usize].remove(&v);
+                for &(b, wb) in &neighbours[i + 1..] {
+                    let through = wa + wb;
+                    // Witness check: the direct a–b edge (if any) is the
+                    // only sub-`through` path we test; absent or longer, the
+                    // shortcut is required for exactness. Extra shortcuts
+                    // never hurt correctness, only size.
+                    let existing = adj[a as usize].get(&b).copied();
+                    if existing.is_none_or(|w| w > through) {
+                        if existing.is_none() {
+                            shortcuts += 1;
+                            if shortcuts > shortcut_budget {
+                                return Err(ChError::BudgetExceeded {
+                                    budget: shortcut_budget,
+                                });
+                            }
+                        }
+                        adj[a as usize].insert(b, through);
+                        adj[b as usize].insert(a, through);
+                    }
+                }
+            }
+            adj[v as usize].clear();
+            adj[v as usize].shrink_to_fit();
+            // Re-key every affected neighbour now: with only pop-time
+            // re-keying, a vertex whose degree *dropped* could be shadowed
+            // by a smaller stale key of a denser vertex, breaking the
+            // min-degree order (and e.g. forcing shortcuts on trees).
+            for &(a, _) in &neighbours {
+                pq.push(Reverse((adj[a as usize].len() as u32, a)));
+            }
+        }
+
+        // Sort upward edges and keep only those pointing upward in the
+        // hierarchy (neighbour contracted later). By construction all
+        // recorded edges satisfy this — v was contracted first — but sort
+        // for deterministic iteration.
+        for list in &mut up {
+            list.sort_unstable();
+        }
+
+        Ok(ContractionHierarchy {
+            position,
+            up,
+            shortcuts,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.position.len()
+    }
+
+    /// Number of shortcut edges added during contraction.
+    pub fn num_shortcuts(&self) -> usize {
+        self.shortcuts
+    }
+
+    /// Total upward edges (original + shortcuts).
+    pub fn num_upward_edges(&self) -> usize {
+        self.up.iter().map(Vec::len).sum()
+    }
+
+    /// Approximate index bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.position.len() * 4 + self.num_upward_edges() * 8
+    }
+
+    /// Exact distance via bidirectional upward Dijkstra.
+    pub fn distance(&self, s: Vertex, t: Vertex) -> Option<u32> {
+        assert!((s as usize) < self.num_vertices(), "vertex {s} out of range");
+        assert!((t as usize) < self.num_vertices(), "vertex {t} out of range");
+        if s == t {
+            return Some(0);
+        }
+        let dist_s = self.upward_search(s);
+        let dist_t = self.upward_search(t);
+        let mut best = u64::MAX;
+        for (v, ds) in &dist_s {
+            if let Some(dt) = dist_t.get(v) {
+                let d = *ds as u64 + *dt as u64;
+                if d < best {
+                    best = d;
+                }
+            }
+        }
+        (best != u64::MAX).then_some(best as u32)
+    }
+
+    /// Dijkstra restricted to upward edges; returns the settled map.
+    fn upward_search(&self, src: Vertex) -> HashMap<Vertex, u32> {
+        let mut dist: HashMap<Vertex, u32> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(u32, Vertex)>> = BinaryHeap::new();
+        dist.insert(src, 0);
+        heap.push(Reverse((0, src)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if dist.get(&u).is_some_and(|&cur| d > cur) {
+                continue;
+            }
+            for &(w, wt) in &self.up[u as usize] {
+                // Upward means strictly later contraction position.
+                if self.position[w as usize] <= self.position[u as usize] {
+                    continue;
+                }
+                let nd = d + wt;
+                if dist.get(&w).is_none_or(|&cur| nd < cur) {
+                    dist.insert(w, nd);
+                    heap.push(Reverse((nd, w)));
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pll_graph::traversal::bfs;
+    use pll_graph::{gen, INF_U32};
+
+    fn check_exact(g: &CsrGraph) {
+        let ch = ContractionHierarchy::build(g, usize::MAX).unwrap();
+        let n = g.num_vertices() as Vertex;
+        for s in 0..n {
+            let d = bfs::distances(g, s);
+            for t in 0..n {
+                let expect = (d[t as usize] != INF_U32).then_some(d[t as usize]);
+                assert_eq!(ch.distance(s, t), expect, "pair ({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_structured_graphs() {
+        check_exact(&gen::path(20).unwrap());
+        check_exact(&gen::cycle(15).unwrap());
+        check_exact(&gen::grid(5, 6).unwrap());
+        check_exact(&gen::star(12).unwrap());
+        check_exact(&gen::balanced_tree(2, 4).unwrap());
+    }
+
+    #[test]
+    fn exact_on_random_graphs() {
+        for seed in [1, 2, 3] {
+            check_exact(&gen::erdos_renyi_gnm(60, 140, seed).unwrap());
+            check_exact(&gen::barabasi_albert(70, 2, seed).unwrap());
+        }
+    }
+
+    #[test]
+    fn exact_on_disconnected_graph() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        check_exact(&g);
+    }
+
+    #[test]
+    fn tree_needs_no_shortcuts() {
+        let g = gen::balanced_tree(3, 4).unwrap();
+        let ch = ContractionHierarchy::build(&g, usize::MAX).unwrap();
+        assert_eq!(ch.num_shortcuts(), 0, "trees are perfectly eliminable");
+    }
+
+    #[test]
+    fn budget_exceeded_is_dnf() {
+        // A dense random graph forces shortcuts beyond a tiny budget.
+        let g = gen::erdos_renyi_gnm(60, 400, 5).unwrap();
+        let err = ContractionHierarchy::build(&g, 3).unwrap_err();
+        assert!(matches!(err, ChError::BudgetExceeded { budget: 3 }));
+        assert!(err.to_string().contains("DNF"));
+    }
+
+    #[test]
+    fn grid_shortcut_count_is_moderate() {
+        let g = gen::grid(10, 10).unwrap();
+        let ch = ContractionHierarchy::build(&g, usize::MAX).unwrap();
+        // Grids have treewidth ~10; shortcuts stay near-linear, not n².
+        assert!(
+            ch.num_shortcuts() < 10 * g.num_edges(),
+            "shortcuts {}",
+            ch.num_shortcuts()
+        );
+        assert!(ch.memory_bytes() > 0);
+        assert!(ch.num_upward_edges() >= g.num_edges());
+    }
+
+    use pll_graph::CsrGraph;
+}

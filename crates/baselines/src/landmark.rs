@@ -1,0 +1,241 @@
+//! Standard landmark-based approximate distances (§2.2, §4.6.2).
+//!
+//! Select `k` landmarks, precompute BFS distances from each, and estimate
+//! `d(s, t) ≈ min_ℓ d(s, ℓ) + d(ℓ, t)`. The estimate is an upper bound,
+//! exact iff some shortest `s`–`t` path passes through a landmark. The
+//! paper leans on two properties of this method (both measurable here):
+//! central landmarks give high average precision, yet *close* pairs stay
+//! inaccurate — the motivation for exact labeling (§1, §7.3.3), and
+//! Theorem 4.3 bounds PLL's label size by landmark coverage.
+
+use pll_graph::traversal::bfs::BfsEngine;
+use pll_graph::{CsrGraph, Vertex, Xoshiro256pp, INF_U32};
+
+/// Landmark selection strategies (mirrors the ordering strategies of §4.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LandmarkSelection {
+    /// Uniformly random landmarks.
+    Random,
+    /// Highest-degree vertices.
+    Degree,
+}
+
+/// A `k`-landmark distance sketch.
+pub struct LandmarkIndex {
+    landmarks: Vec<Vertex>,
+    /// `dist[i][v]` = BFS distance from landmark `i` to `v`.
+    dist: Vec<Vec<u32>>,
+}
+
+impl LandmarkIndex {
+    /// Builds the sketch with `k` landmarks (clamped to `n`).
+    pub fn build(g: &CsrGraph, k: usize, selection: LandmarkSelection, seed: u64) -> Self {
+        let n = g.num_vertices();
+        let k = k.min(n);
+        let landmarks: Vec<Vertex> = match selection {
+            LandmarkSelection::Random => {
+                let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+                Xoshiro256pp::seed_from_u64(seed).shuffle(&mut order);
+                order.truncate(k);
+                order
+            }
+            LandmarkSelection::Degree => {
+                let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+                order.sort_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
+                order.truncate(k);
+                order
+            }
+        };
+        let mut engine = BfsEngine::new(n);
+        let dist = landmarks
+            .iter()
+            .map(|&l| engine.run(g, l).to_vec())
+            .collect();
+        LandmarkIndex { landmarks, dist }
+    }
+
+    /// The selected landmarks.
+    pub fn landmarks(&self) -> &[Vertex] {
+        &self.landmarks
+    }
+
+    /// Upper-bound estimate of `d(s, t)`; `None` if no landmark reaches
+    /// both endpoints.
+    pub fn estimate(&self, s: Vertex, t: Vertex) -> Option<u32> {
+        if s == t {
+            return Some(0);
+        }
+        let mut best = u64::MAX;
+        for d in &self.dist {
+            let (ds, dt) = (d[s as usize], d[t as usize]);
+            if ds != INF_U32 && dt != INF_U32 {
+                let sum = ds as u64 + dt as u64;
+                if sum < best {
+                    best = sum;
+                }
+            }
+        }
+        (best != u64::MAX).then_some(best as u32)
+    }
+
+    /// Index bytes (k × n 32-bit distances).
+    pub fn memory_bytes(&self) -> usize {
+        self.dist.iter().map(|d| d.len() * 4).sum::<usize>() + self.landmarks.len() * 4
+    }
+
+    /// Evaluates precision on `samples` random pairs.
+    pub fn evaluate(&self, g: &CsrGraph, samples: usize, seed: u64) -> LandmarkEvaluation {
+        let n = g.num_vertices();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut engine = BfsEngine::new(n);
+        let mut eval = LandmarkEvaluation::default();
+        if n == 0 {
+            return eval;
+        }
+        for _ in 0..samples {
+            let s = rng.next_below(n as u64) as Vertex;
+            let t = rng.next_below(n as u64) as Vertex;
+            let Some(exact) = engine.distance(g, s, t) else {
+                continue; // disconnected pairs excluded, as in the papers
+            };
+            eval.pairs += 1;
+            let bucket = exact.min(LandmarkEvaluation::MAX_DISTANCE_BUCKET as u32) as usize;
+            eval.per_distance_total[bucket] += 1;
+            match self.estimate(s, t) {
+                Some(est) if est == exact => {
+                    eval.exact += 1;
+                    eval.per_distance_exact[bucket] += 1;
+                }
+                Some(est) if exact > 0 => {
+                    eval.relative_error_sum += (est - exact) as f64 / exact as f64;
+                }
+                Some(_) => {}
+                // No landmark reaches both endpoints (all landmarks sit in
+                // other components): maximally wrong, but attribute no
+                // finite relative error.
+                None => {}
+            }
+        }
+        eval
+    }
+}
+
+/// Precision statistics of the landmark estimate over sampled pairs.
+#[derive(Clone, Debug, Default)]
+pub struct LandmarkEvaluation {
+    /// Connected sampled pairs evaluated.
+    pub pairs: usize,
+    /// Pairs answered exactly.
+    pub exact: usize,
+    /// Sum of `(est − exact) / exact` over pairs with `exact > 0`.
+    pub relative_error_sum: f64,
+    /// Per-true-distance totals (index = distance, clamped to the last
+    /// bucket).
+    pub per_distance_total: [usize; Self::MAX_DISTANCE_BUCKET + 1],
+    /// Per-true-distance exact counts.
+    pub per_distance_exact: [usize; Self::MAX_DISTANCE_BUCKET + 1],
+}
+
+impl LandmarkEvaluation {
+    /// Distances above this are clamped into the final bucket.
+    pub const MAX_DISTANCE_BUCKET: usize = 15;
+
+    /// Fraction of sampled connected pairs answered exactly — the `1 − ε`
+    /// of Theorem 4.3.
+    pub fn exact_fraction(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.exact as f64 / self.pairs as f64
+        }
+    }
+
+    /// Mean relative error over sampled pairs.
+    pub fn mean_relative_error(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.relative_error_sum / self.pairs as f64
+        }
+    }
+
+    /// Exact fraction at a given true distance (`None` if unsampled).
+    pub fn exact_fraction_at(&self, distance: usize) -> Option<f64> {
+        let d = distance.min(Self::MAX_DISTANCE_BUCKET);
+        if self.per_distance_total[d] == 0 {
+            None
+        } else {
+            Some(self.per_distance_exact[d] as f64 / self.per_distance_total[d] as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pll_graph::gen;
+
+    #[test]
+    fn estimates_are_upper_bounds_and_exact_through_landmarks() {
+        let g = gen::star(20).unwrap();
+        // The star centre as sole landmark answers every pair exactly.
+        let lm = LandmarkIndex::build(&g, 1, LandmarkSelection::Degree, 0);
+        assert_eq!(lm.landmarks(), &[0]);
+        assert_eq!(lm.estimate(1, 2), Some(2));
+        assert_eq!(lm.estimate(0, 5), Some(1));
+        let eval = lm.evaluate(&g, 500, 1);
+        assert!((eval.exact_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(eval.mean_relative_error(), 0.0);
+    }
+
+    #[test]
+    fn degree_selection_beats_random_on_scale_free_graphs() {
+        let g = gen::barabasi_albert(800, 2, 3).unwrap();
+        let by_degree = LandmarkIndex::build(&g, 8, LandmarkSelection::Degree, 0)
+            .evaluate(&g, 2_000, 7)
+            .exact_fraction();
+        let by_random = LandmarkIndex::build(&g, 8, LandmarkSelection::Random, 0)
+            .evaluate(&g, 2_000, 7)
+            .exact_fraction();
+        assert!(
+            by_degree > by_random,
+            "degree {by_degree} should beat random {by_random}"
+        );
+    }
+
+    #[test]
+    fn close_pairs_are_less_precise_than_distant_pairs() {
+        // §7.3.3: distant pairs are covered well by central landmarks,
+        // close pairs poorly.
+        let g = gen::barabasi_albert(1_500, 3, 11).unwrap();
+        let lm = LandmarkIndex::build(&g, 16, LandmarkSelection::Degree, 0);
+        let eval = lm.evaluate(&g, 4_000, 13);
+        let near = eval.exact_fraction_at(2);
+        let far = eval.exact_fraction_at(4);
+        if let (Some(near), Some(far)) = (near, far) {
+            assert!(
+                far > near,
+                "distance-4 precision {far} should exceed distance-2 precision {near}"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_estimate_is_none() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let lm = LandmarkIndex::build(&g, 2, LandmarkSelection::Degree, 0);
+        // Both landmarks may land in one component; a cross pair has no
+        // common landmark.
+        assert_eq!(lm.estimate(0, 2), None);
+    }
+
+    #[test]
+    fn k_clamped_and_memory() {
+        let g = gen::path(5).unwrap();
+        let lm = LandmarkIndex::build(&g, 100, LandmarkSelection::Random, 2);
+        assert_eq!(lm.landmarks().len(), 5);
+        assert_eq!(lm.memory_bytes(), 5 * 5 * 4 + 5 * 4);
+    }
+
+    use pll_graph::CsrGraph;
+}

@@ -1,0 +1,36 @@
+//! Baseline distance-query methods from the paper's evaluation (§7).
+//!
+//! Table 3 compares pruned landmark labeling against plain BFS,
+//! hierarchical hub labeling (the paper's reference \[2\]) and a
+//! tree-decomposition-based method (reference \[4\]);
+//! §2.2/§4.6.2 discuss the standard landmark-based *approximate* method and
+//! §4.1 the naive (unpruned) labeling. This crate implements all of them:
+//!
+//! * [`oracle`] — index-free BFS / bidirectional-BFS oracles and
+//!   the [`oracle::DistanceOracle`] trait the harness iterates over;
+//! * [`landmark`] — the standard landmark approximation with
+//!   Random/Degree selection and precision evaluation;
+//! * [`naive_labeling`] — the unpruned labeling `L_n` of §4.1 (ground truth
+//!   for the Theorem 4.1 equivalence tests);
+//! * [`canonical_hub`] — canonical hub labeling built by *full* BFS sweeps
+//!   with label filtering: the stand-in for hierarchical hub labeling (it
+//!   produces the same canonical labels as PLL for a fixed order while
+//!   paying the unpruned-search indexing cost — see DESIGN.md §6);
+//! * [`ch`] — a contraction-hierarchy oracle over a min-degree elimination
+//!   order: the stand-in for the tree-decomposition method (same
+//!   elimination-ordering family — see DESIGN.md §6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canonical_hub;
+pub mod ch;
+pub mod landmark;
+pub mod naive_labeling;
+pub mod oracle;
+
+pub use canonical_hub::CanonicalHubLabeling;
+pub use ch::{ChError, ContractionHierarchy};
+pub use landmark::{LandmarkEvaluation, LandmarkIndex, LandmarkSelection};
+pub use naive_labeling::NaiveLabeling;
+pub use oracle::{BfsOracle, BidirBfsOracle, DistanceOracle, PllOracle};

@@ -1,0 +1,163 @@
+//! Naive (unpruned) landmark labeling — §4.1 of the paper.
+//!
+//! A full BFS from every vertex in order, storing *every* reached distance:
+//! `L_k(u) = L_{k-1}(u) ∪ {(v_k, d(v_k, u))}`. Quadratic index size; usable
+//! only on small graphs. Its purpose here is Theorem 4.1: for every prefix
+//! `k`, `Query(s, t, L'_k) = Query(s, t, L_k)` — the pruned index must
+//! answer exactly what the naive index answers, which the integration tests
+//! verify.
+
+use pll_graph::traversal::bfs::BfsEngine;
+use pll_graph::{CsrGraph, Vertex, INF_U32};
+
+/// The unpruned landmark labeling `L_n` (and all its prefixes `L_k`).
+pub struct NaiveLabeling {
+    /// `order[k]` is the `k`-th BFS root.
+    order: Vec<Vertex>,
+    /// Per vertex: `(root position k, distance)` pairs, ascending in `k`.
+    labels: Vec<Vec<(u32, u32)>>,
+}
+
+impl NaiveLabeling {
+    /// Builds the full labeling with BFSs in the given `order`
+    /// (`order[k] = k-th root`). O(n·m) time, O(n²) space.
+    pub fn build(g: &CsrGraph, order: &[Vertex]) -> NaiveLabeling {
+        let n = g.num_vertices();
+        assert_eq!(order.len(), n, "order must cover every vertex");
+        let mut labels: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        let mut engine = BfsEngine::new(n);
+        for (k, &root) in order.iter().enumerate() {
+            let dist = engine.run(g, root);
+            for v in 0..n {
+                if dist[v] != INF_U32 {
+                    labels[v].push((k as u32, dist[v]));
+                }
+            }
+        }
+        NaiveLabeling {
+            order: order.to_vec(),
+            labels,
+        }
+    }
+
+    /// The root order.
+    pub fn order(&self) -> &[Vertex] {
+        &self.order
+    }
+
+    /// `Query(s, t, L_k)`: the 2-hop answer using only the labels of the
+    /// first `k` roots. `k = n` gives the exact distance.
+    pub fn query_at(&self, k: usize, s: Vertex, t: Vertex) -> Option<u32> {
+        let (ls, lt) = (&self.labels[s as usize], &self.labels[t as usize]);
+        let mut i = 0usize;
+        let mut j = 0usize;
+        let mut best = u64::MAX;
+        while i < ls.len() && j < lt.len() {
+            let (ri, rj) = (ls[i].0, lt[j].0);
+            // Labels are sorted by root position and a match needs equal
+            // positions below k, so the merge can stop as soon as either
+            // side passes k.
+            if ri as usize >= k || rj as usize >= k {
+                break;
+            }
+            if ri == rj {
+                let d = ls[i].1 as u64 + lt[j].1 as u64;
+                if d < best {
+                    best = d;
+                }
+                i += 1;
+                j += 1;
+            } else if ri < rj {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        (best != u64::MAX).then_some(best as u32)
+    }
+
+    /// Exact distance (`Query` over the full labeling).
+    pub fn query(&self, s: Vertex, t: Vertex) -> Option<u32> {
+        if s == t {
+            return Some(0);
+        }
+        self.query_at(self.order.len(), s, t)
+    }
+
+    /// Total number of label entries (the quadratic blow-up the pruning
+    /// avoids).
+    pub fn total_entries(&self) -> usize {
+        self.labels.iter().map(Vec::len).sum()
+    }
+
+    /// Average label entries per vertex.
+    pub fn avg_label_size(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.total_entries() as f64 / self.labels.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pll_graph::gen;
+    use pll_graph::traversal::bfs;
+
+    #[test]
+    fn full_query_is_exact() {
+        let g = gen::erdos_renyi_gnm(40, 90, 2).unwrap();
+        let order: Vec<Vertex> = (0..40).collect();
+        let nl = NaiveLabeling::build(&g, &order);
+        for s in 0..40u32 {
+            let d = bfs::distances(&g, s);
+            for t in 0..40u32 {
+                let expect = (d[t as usize] != INF_U32).then_some(d[t as usize]);
+                // Self-pairs: query() special-cases s == t like the index.
+                let got = nl.query(s, t);
+                assert_eq!(got, expect, "pair ({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_queries_are_monotone() {
+        let g = gen::barabasi_albert(50, 2, 3).unwrap();
+        let order: Vec<Vertex> = (0..50).collect();
+        let nl = NaiveLabeling::build(&g, &order);
+        // As k grows the 2-hop upper bound can only improve.
+        let mut last = None;
+        for k in [1, 5, 10, 25, 50] {
+            let q = nl.query_at(k, 3, 47);
+            if let (Some(prev), Some(cur)) = (last, q) {
+                assert!(cur <= prev);
+            }
+            if q.is_some() {
+                last = q;
+            }
+        }
+        assert_eq!(last, bfs::distance(&g, 3, 47));
+    }
+
+    #[test]
+    fn label_sizes_are_quadratic_on_connected_graphs() {
+        let g = gen::cycle(30).unwrap();
+        let order: Vec<Vertex> = (0..30).collect();
+        let nl = NaiveLabeling::build(&g, &order);
+        assert_eq!(nl.total_entries(), 30 * 30);
+        assert!((nl.avg_label_size() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_components_never_share_hubs() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let nl = NaiveLabeling::build(&g, &[0, 1, 2, 3]);
+        assert_eq!(nl.query(0, 2), None);
+        assert_eq!(nl.query(0, 1), Some(1));
+        assert_eq!(nl.query(2, 3), Some(1));
+    }
+
+    use pll_graph::CsrGraph;
+}

@@ -1,0 +1,128 @@
+//! Index-free oracles and the common oracle trait.
+//!
+//! The "BFS" column of Table 3 answers each query with a fresh breadth-first
+//! search; these wrappers give every method in the harness the same
+//! interface.
+
+use pll_core::PllIndex;
+use pll_graph::traversal::bfs::{BfsEngine, BidirBfsEngine};
+use pll_graph::{CsrGraph, Vertex};
+
+/// A (possibly stateful) exact distance oracle.
+pub trait DistanceOracle {
+    /// Exact distance from `s` to `t`, `None` when disconnected.
+    fn distance(&mut self, s: Vertex, t: Vertex) -> Option<u32>;
+    /// Short method name for harness tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Answers each query with a unidirectional BFS (early exit at the target).
+pub struct BfsOracle<'g> {
+    graph: &'g CsrGraph,
+    engine: BfsEngine,
+}
+
+impl<'g> BfsOracle<'g> {
+    /// Creates an oracle over `graph`.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        BfsOracle {
+            graph,
+            engine: BfsEngine::new(graph.num_vertices()),
+        }
+    }
+}
+
+impl DistanceOracle for BfsOracle<'_> {
+    fn distance(&mut self, s: Vertex, t: Vertex) -> Option<u32> {
+        self.engine.distance(self.graph, s, t)
+    }
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+}
+
+/// Answers each query with a bidirectional BFS — the strongest index-free
+/// baseline on small-world graphs.
+pub struct BidirBfsOracle<'g> {
+    graph: &'g CsrGraph,
+    engine: BidirBfsEngine,
+}
+
+impl<'g> BidirBfsOracle<'g> {
+    /// Creates an oracle over `graph`.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        BidirBfsOracle {
+            graph,
+            engine: BidirBfsEngine::new(graph.num_vertices()),
+        }
+    }
+}
+
+impl DistanceOracle for BidirBfsOracle<'_> {
+    fn distance(&mut self, s: Vertex, t: Vertex) -> Option<u32> {
+        self.engine.distance(self.graph, s, t)
+    }
+    fn name(&self) -> &'static str {
+        "BiBFS"
+    }
+}
+
+/// Adapts a [`PllIndex`] to the oracle trait.
+pub struct PllOracle<'i> {
+    index: &'i PllIndex,
+}
+
+impl<'i> PllOracle<'i> {
+    /// Wraps an existing index.
+    pub fn new(index: &'i PllIndex) -> Self {
+        PllOracle { index }
+    }
+}
+
+impl DistanceOracle for PllOracle<'_> {
+    fn distance(&mut self, s: Vertex, t: Vertex) -> Option<u32> {
+        self.index.distance(s, t)
+    }
+    fn name(&self) -> &'static str {
+        "PLL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pll_core::IndexBuilder;
+    use pll_graph::gen;
+
+    #[test]
+    fn oracles_agree_on_random_graph() {
+        let g = gen::barabasi_albert(300, 3, 7).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(4).build(&g).unwrap();
+        let mut bfs = BfsOracle::new(&g);
+        let mut bi = BidirBfsOracle::new(&g);
+        let mut pll = PllOracle::new(&idx);
+        for (s, t) in [(0u32, 299u32), (5, 5), (17, 160), (250, 3)] {
+            let d = bfs.distance(s, t);
+            assert_eq!(bi.distance(s, t), d);
+            assert_eq!(pll.distance(s, t), d);
+        }
+    }
+
+    #[test]
+    fn names() {
+        let g = gen::path(3).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+        assert_eq!(BfsOracle::new(&g).name(), "BFS");
+        assert_eq!(BidirBfsOracle::new(&g).name(), "BiBFS");
+        assert_eq!(PllOracle::new(&idx).name(), "PLL");
+    }
+
+    #[test]
+    fn disconnected_pairs() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let mut bfs = BfsOracle::new(&g);
+        let mut bi = BidirBfsOracle::new(&g);
+        assert_eq!(bfs.distance(0, 2), None);
+        assert_eq!(bi.distance(0, 2), None);
+    }
+}

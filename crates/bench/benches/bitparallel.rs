@@ -1,0 +1,58 @@
+//! Criterion micro-benchmark for the bit-parallel technique (§5): how much
+//! of the construction does a bit-parallel phase save, and what do BP
+//! labels cost at query time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pll_bench::random_pairs;
+use pll_core::IndexBuilder;
+
+fn bench_bitparallel(c: &mut Criterion) {
+    let spec = pll_datasets::by_name("Slashdot").unwrap();
+    let g = spec.generate(32).expect("dataset");
+    let n = g.num_vertices();
+
+    let mut group = c.benchmark_group("bitparallel");
+    group.sample_size(10);
+    // Construction with and without the BP phase: §5.4's claim is that a
+    // moderate t accelerates preprocessing by covering the un-prunable
+    // early roots 65 sources at a time.
+    for t in [0usize, 4, 16, 64] {
+        group.bench_function(format!("construct_t{t}"), |b| {
+            b.iter(|| {
+                let builder = IndexBuilder::new().bit_parallel_roots(t);
+                std::hint::black_box(builder.build(&g).expect("build"))
+            })
+        });
+    }
+    group.finish();
+
+    // Query cost with small vs large t.
+    let pairs = random_pairs(n, 1024, 3);
+    let idx0 = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+    let idx64 = IndexBuilder::new().bit_parallel_roots(64).build(&g).unwrap();
+    let mut group = c.benchmark_group("bitparallel_query");
+    group.bench_function("query_t0", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(idx0.distance(s, t))
+        })
+    });
+    group.bench_function("query_t64", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(idx64.distance(s, t))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_bitparallel
+}
+criterion_main!(benches);

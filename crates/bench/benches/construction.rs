@@ -1,0 +1,48 @@
+//! Criterion micro-benchmark: index construction time per ordering
+//! strategy and against the unpruned canonical construction (the "IT"
+//! column of Table 3 in micro form).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pll_baselines::CanonicalHubLabeling;
+use pll_core::{order::compute_order, IndexBuilder, OrderingStrategy};
+
+fn bench_construction(c: &mut Criterion) {
+    let spec = pll_datasets::by_name("Epinions").unwrap();
+    let g = spec.generate(32).expect("dataset");
+
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for (label, strategy) in [
+        ("degree", OrderingStrategy::Degree),
+        ("random", OrderingStrategy::Random),
+        ("closeness", OrderingStrategy::Closeness { samples: 16 }),
+    ] {
+        group.bench_function(format!("pll_{label}"), |b| {
+            b.iter(|| {
+                let builder = IndexBuilder::new()
+                    .ordering(strategy.clone())
+                    .bit_parallel_roots(0);
+                std::hint::black_box(builder.build(&g).expect("build"))
+            })
+        });
+    }
+    group.bench_function("pll_degree_bp16", |b| {
+        b.iter(|| {
+            let builder = IndexBuilder::new().bit_parallel_roots(16);
+            std::hint::black_box(builder.build(&g).expect("build"))
+        })
+    });
+    // The unpruned-search baseline pays the full O(n·m) sweep cost.
+    group.bench_function("canonical_hub_degree", |b| {
+        let order = compute_order(&g, &OrderingStrategy::Degree, 0).unwrap();
+        b.iter(|| std::hint::black_box(CanonicalHubLabeling::build(&g, &order)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmark: cost of computing the vertex orders of §4.4
+//! (the pre-phase of every construction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pll_core::{order::compute_order, OrderingStrategy};
+use pll_treedecomp::{centroid_order, min_degree_order, TreeDecomposition};
+
+fn bench_ordering(c: &mut Criterion) {
+    let spec = pll_datasets::by_name("Flickr").unwrap();
+    let g = spec.generate(256).expect("dataset");
+
+    let mut group = c.benchmark_group("ordering");
+    group.sample_size(20);
+    group.bench_function("degree", |b| {
+        b.iter(|| compute_order(&g, &OrderingStrategy::Degree, 0).unwrap())
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| compute_order(&g, &OrderingStrategy::Random, 0).unwrap())
+    });
+    group.bench_function("closeness_16", |b| {
+        b.iter(|| compute_order(&g, &OrderingStrategy::Closeness { samples: 16 }, 0).unwrap())
+    });
+    group.finish();
+
+    // Centroid ordering on a structured graph (Theorem 4.4 machinery).
+    let grid = pll_graph::gen::grid(40, 40).unwrap();
+    let mut group = c.benchmark_group("ordering_treewidth");
+    group.sample_size(10);
+    group.bench_function("min_degree_elimination_grid40", |b| {
+        b.iter(|| min_degree_order(&grid))
+    });
+    group.bench_function("centroid_order_grid40", |b| {
+        let elim = min_degree_order(&grid);
+        let td = TreeDecomposition::from_elimination(&elim);
+        b.iter(|| centroid_order(&td))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_ordering
+}
+criterion_main!(benches);

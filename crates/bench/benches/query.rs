@@ -1,0 +1,66 @@
+//! Criterion micro-benchmark: query latency of PLL against the baselines
+//! on the Epinions stand-in (the paper's Table 3 "QT" column in micro
+//! form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pll_baselines::ContractionHierarchy;
+use pll_bench::random_pairs;
+use pll_core::IndexBuilder;
+use pll_graph::traversal::bfs::{BfsEngine, BidirBfsEngine};
+
+fn bench_query(c: &mut Criterion) {
+    let spec = pll_datasets::by_name("Epinions").unwrap();
+    let g = spec.generate(32).expect("dataset"); // ~2.4k vertices: quick
+    let n = g.num_vertices();
+    let pairs = random_pairs(n, 1024, 7);
+
+    let index = IndexBuilder::new()
+        .bit_parallel_roots(16)
+        .build(&g)
+        .expect("pll");
+    let ch = ContractionHierarchy::build(&g, usize::MAX).expect("ch");
+
+    let mut group = c.benchmark_group("query");
+    group.bench_function(BenchmarkId::new("pll", n), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(index.distance(s, t))
+        })
+    });
+    group.bench_function(BenchmarkId::new("bidir_bfs", n), |b| {
+        let mut engine = BidirBfsEngine::new(n);
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(engine.distance(&g, s, t))
+        })
+    });
+    group.bench_function(BenchmarkId::new("bfs", n), |b| {
+        let mut engine = BfsEngine::new(n);
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(engine.distance(&g, s, t))
+        })
+    });
+    group.bench_function(BenchmarkId::new("contraction_hierarchy", n), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            std::hint::black_box(ch.distance(s, t))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_query
+}
+criterion_main!(benches);

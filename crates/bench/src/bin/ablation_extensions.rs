@@ -1,0 +1,70 @@
+//! §8 extensions ablation — index-size reduction techniques the paper
+//! lists as future work, measured against the plain index:
+//!
+//! * degree-1 fringe peeling (`pll_core::reduction`): label only the core;
+//! * delta-varint label compression (`pll_core::compact`).
+//!
+//! For each dataset stand-in: core fraction, index bytes for
+//! plain/reduced/compact, and query time for each representation (all
+//! three answer identically; spot-checked here).
+//!
+//! ```text
+//! cargo run --release -p pll-bench --bin ablation_extensions [-- --scale-mult k]
+//! ```
+
+use pll_bench::{
+    fmt_bytes, fmt_query_time, load_dataset, measure_avg_query_seconds, random_pairs,
+    HarnessConfig,
+};
+use pll_core::{CompactIndex, IndexBuilder, ReducedPllIndex};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    println!(
+        "{:<11} {:>7} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "Dataset", "core%", "plain IS", "reduced", "compact", "QT plain", "QT red.", "QT comp."
+    );
+    for name in ["Gnutella", "Epinions", "WikiTalk", "Indo"] {
+        let spec = pll_datasets::by_name(name).unwrap();
+        if !cfg.selected(spec) {
+            continue;
+        }
+        let g = load_dataset(spec, cfg.scale_for(spec));
+        let builder = IndexBuilder::new().bit_parallel_roots(spec.bp_roots.min(16));
+
+        let plain = builder.build(&g).expect("plain index");
+        let reduced = ReducedPllIndex::build(&g, &builder).expect("reduced index");
+        let compact = CompactIndex::from_index(&plain);
+
+        let pairs = random_pairs(g.num_vertices(), cfg.queries.min(50_000), spec.seed);
+        // All three representations must answer identically.
+        for &(s, t) in pairs.iter().take(500) {
+            let d = plain.distance(s, t);
+            assert_eq!(reduced.distance(s, t), d, "reduced mismatch ({s},{t})");
+            assert_eq!(compact.distance(s, t), d, "compact mismatch ({s},{t})");
+        }
+        let (qt_plain, _) = measure_avg_query_seconds(&pairs, |s, t| plain.distance(s, t));
+        let (qt_red, _) = measure_avg_query_seconds(&pairs, |s, t| reduced.distance(s, t));
+        let (qt_comp, _) = measure_avg_query_seconds(&pairs, |s, t| compact.distance(s, t));
+
+        let core_frac = 100.0 * reduced.peeling().core().num_vertices() as f64
+            / g.num_vertices().max(1) as f64;
+        println!(
+            "{:<11} {:>6.1}% {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
+            spec.name,
+            core_frac,
+            fmt_bytes(plain.memory_bytes()),
+            fmt_bytes(reduced.memory_bytes()),
+            fmt_bytes(compact.memory_bytes()),
+            fmt_query_time(qt_plain),
+            fmt_query_time(qt_red),
+            fmt_query_time(qt_comp),
+        );
+    }
+    println!();
+    println!(
+        "shape: fringe peeling shrinks the labeled core on fringe-heavy graphs \
+         and compression roughly halves normal-label bytes, both at a modest \
+         query-time cost (§8's index-size reduction directions)."
+    );
+}

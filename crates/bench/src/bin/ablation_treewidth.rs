@@ -1,0 +1,65 @@
+//! Theorem 4.4 ablation — pruned landmark labeling on low-treewidth
+//! graphs: average label size under the Degree order versus the
+//! centroid-decomposition order of the theorem's proof sketch, against the
+//! `O(w log n)` bound.
+//!
+//! ```text
+//! cargo run --release -p pll-bench --bin ablation_treewidth
+//! ```
+
+use pll_core::{IndexBuilder, OrderingStrategy};
+use pll_graph::{gen, CsrGraph};
+use pll_treedecomp::{centroid_order, min_degree_order, TreeDecomposition};
+
+fn label_size(g: &CsrGraph, strategy: OrderingStrategy) -> f64 {
+    IndexBuilder::new()
+        .ordering(strategy)
+        .bit_parallel_roots(0)
+        .build(g)
+        .expect("construction")
+        .avg_label_size()
+}
+
+fn main() {
+    println!(
+        "{:<22} {:>6} {:>6} {:>7} {:>12} {:>14} {:>12}",
+        "Graph", "n", "width", "w·log n", "Degree LN", "Centroid LN", "bound ratio"
+    );
+    let cases: Vec<(&str, CsrGraph)> = vec![
+        ("path(255)", gen::path(255).unwrap()),
+        ("cycle(256)", gen::cycle(256).unwrap()),
+        ("balanced_tree(2,9)", gen::balanced_tree(2, 9).unwrap()),
+        ("caterpillar(100,4)", gen::caterpillar(100, 4).unwrap()),
+        ("random_tree(800)", gen::random_tree(800, 7).unwrap()),
+        ("grid(16,16)", gen::grid(16, 16).unwrap()),
+        ("grid(8,64)", gen::grid(8, 64).unwrap()),
+    ];
+    for (name, g) in cases {
+        let n = g.num_vertices();
+        let elim = min_degree_order(&g);
+        let td = TreeDecomposition::from_elimination(&elim);
+        td.validate(&g).expect("valid decomposition");
+        let order = centroid_order(&td);
+
+        let degree_ln = label_size(&g, OrderingStrategy::Degree);
+        let centroid_ln = label_size(&g, OrderingStrategy::Custom(order));
+        let w = elim.width.max(1);
+        let bound = w as f64 * (n as f64).log2();
+        println!(
+            "{:<22} {:>6} {:>6} {:>7.0} {:>12.1} {:>14.1} {:>12.2}",
+            name,
+            n,
+            elim.width,
+            bound,
+            degree_ln,
+            centroid_ln,
+            centroid_ln / bound,
+        );
+    }
+    println!();
+    println!(
+        "theorem shape: the centroid order keeps labels within a small constant \
+         of w·log2(n) (Theorem 4.4); the Degree order has no such guarantee on \
+         structured graphs (ties, no hubs) and trails it on paths and grids."
+    );
+}

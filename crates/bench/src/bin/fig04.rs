@@ -1,0 +1,115 @@
+//! Figure 4 — pair coverage: the fraction of vertex pairs whose distance
+//! is already answered correctly by the labels after the x-th pruned BFS,
+//! (a) averaged and (b–d) split by true distance, on the Gnutella,
+//! Epinions and Slashdot stand-ins.
+//!
+//! Ground-truth distances for a fixed pair sample are computed by BFS up
+//! front; a `BuildObserver` then probes the partial index at log-spaced
+//! checkpoints (the partial 2-hop answer is an upper bound that equals the
+//! distance exactly when the pair is covered — Theorem 4.1's invariant).
+//!
+//! ```text
+//! cargo run --release -p pll-bench --bin fig04 [-- --scale-mult k --queries q]
+//! ```
+
+use pll_bench::{load_dataset, random_pairs, HarnessConfig};
+use pll_core::{BuildObserver, IndexBuilder, OrderingStrategy, PartialIndex, RootStats};
+use pll_graph::traversal::bfs::BfsEngine;
+use pll_graph::Vertex;
+
+/// Maximum distance bucket reported separately.
+const MAX_BUCKET: usize = 8;
+
+/// One checkpoint: (k-th BFS, overall covered fraction, per-distance
+/// covered fractions).
+type CoverageRow = (usize, f64, Vec<(usize, f64)>);
+
+struct CoverageProbe {
+    pairs: Vec<(Vertex, Vertex, u32)>, // s, t, true distance
+    checkpoints: Vec<usize>,
+    next: usize,
+    /// Collected rows: (k, covered fraction overall, per-distance fractions).
+    rows: Vec<CoverageRow>,
+}
+
+impl CoverageProbe {
+    fn sample(&mut self, k: usize, view: &PartialIndex<'_>) {
+        let mut covered = 0usize;
+        let mut per_total = [0usize; MAX_BUCKET + 1];
+        let mut per_covered = [0usize; MAX_BUCKET + 1];
+        for &(s, t, d) in &self.pairs {
+            let bucket = (d as usize).min(MAX_BUCKET);
+            per_total[bucket] += 1;
+            if view.distance(s, t) == Some(d) {
+                covered += 1;
+                per_covered[bucket] += 1;
+            }
+        }
+        let frac = covered as f64 / self.pairs.len().max(1) as f64;
+        let per: Vec<(usize, f64)> = (0..=MAX_BUCKET)
+            .filter(|&d| per_total[d] > 0)
+            .map(|d| (d, per_covered[d] as f64 / per_total[d] as f64))
+            .collect();
+        self.rows.push((k, frac, per));
+    }
+}
+
+impl BuildObserver for CoverageProbe {
+    fn after_root(&mut self, k: usize, _stats: &RootStats, view: &PartialIndex<'_>) {
+        if self.next < self.checkpoints.len() && k == self.checkpoints[self.next] {
+            self.sample(k, view);
+            self.next += 1;
+        }
+    }
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for name in ["Gnutella", "Epinions", "Slashdot"] {
+        let spec = pll_datasets::by_name(name).unwrap();
+        if !cfg.selected(spec) {
+            continue;
+        }
+        let g = load_dataset(spec, cfg.scale_for(spec));
+        let n = g.num_vertices();
+
+        // Fixed pair sample with BFS ground truth (connected pairs only,
+        // like the paper's random-pair methodology).
+        let raw = random_pairs(n, cfg.queries.clamp(2_000, 20_000), spec.seed ^ 0xF04);
+        let mut engine = BfsEngine::new(n);
+        let pairs: Vec<(Vertex, Vertex, u32)> = raw
+            .into_iter()
+            .filter_map(|(s, t)| engine.distance(&g, s, t).map(|d| (s, t, d)))
+            .collect();
+        eprintln!("[{name}] {} connected sample pairs", pairs.len());
+
+        let mut probe = CoverageProbe {
+            pairs,
+            checkpoints: pll_bench::log_checkpoints(n),
+            next: 0,
+            rows: Vec::new(),
+        };
+        IndexBuilder::new()
+            .ordering(OrderingStrategy::Degree)
+            .bit_parallel_roots(0)
+            .build_with_observer(&g, &mut probe)
+            .expect("construction");
+
+        println!("# Fig 4a: {name} (x-th BFS, covered fraction)");
+        for (k, frac, _) in &probe.rows {
+            println!("{name}\tcovered\t{k}\t{frac:.4}");
+        }
+        println!("# Fig 4b-d: {name} (x-th BFS, distance, covered fraction)");
+        for (k, _, per) in &probe.rows {
+            for (d, frac) in per {
+                println!("{name}\tcovered-at-d\t{k}\t{d}\t{frac:.4}");
+            }
+        }
+        println!();
+    }
+    println!(
+        "paper shape: coverage climbs steeply within the first tens of BFSs; \
+         distant pairs (d >= 4) are covered far earlier than close pairs \
+         (d = 2, 3), mirroring landmark-method precision."
+    );
+}

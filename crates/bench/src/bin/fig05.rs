@@ -1,0 +1,53 @@
+//! Figure 5 — performance against the number of bit-parallel BFSs `t`
+//! (Skitter, Indo, Flickr stand-ins): (a) preprocessing time, (b) query
+//! time, (c) average normal-label size, (d) index size.
+//!
+//! ```text
+//! cargo run --release -p pll-bench --bin fig05 [-- --scale-mult k --queries q]
+//! ```
+
+use pll_bench::{
+    fmt_bytes, fmt_query_time, fmt_secs, load_dataset, measure_avg_query_seconds,
+    random_pairs, time, HarnessConfig,
+};
+use pll_core::{IndexBuilder, OrderingStrategy};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let sweep = [0usize, 1, 4, 16, 64, 256, 1024];
+
+    println!(
+        "{:<9} {:>6} {:>12} {:>10} {:>12} {:>10}",
+        "Dataset", "t", "IT", "QT", "normal LN", "IS"
+    );
+    for name in ["Skitter", "Indo", "Flickr"] {
+        let spec = pll_datasets::by_name(name).unwrap();
+        if !cfg.selected(spec) {
+            continue;
+        }
+        let g = load_dataset(spec, cfg.scale_for(spec));
+        let pairs = random_pairs(g.num_vertices(), cfg.queries, spec.seed ^ 0xF05);
+        for &t in &sweep {
+            let builder = IndexBuilder::new()
+                .ordering(OrderingStrategy::Degree)
+                .bit_parallel_roots(t);
+            let (index, it) = time(|| builder.build(&g).expect("construction"));
+            let (qt, _s) = measure_avg_query_seconds(&pairs, |s, u| index.distance(s, u));
+            println!(
+                "{:<9} {:>6} {:>12} {:>10} {:>12.1} {:>10}",
+                name,
+                t,
+                fmt_secs(it),
+                fmt_query_time(qt),
+                index.avg_label_size(),
+                fmt_bytes(index.memory_bytes()),
+            );
+        }
+    }
+    println!();
+    println!(
+        "paper shape: moderate t cuts preprocessing time several-fold and \
+         shrinks normal labels and the index; too-large t wastes time on \
+         unpruned bit-parallel BFSs. Performance is not too sensitive to t."
+    );
+}

@@ -1,0 +1,116 @@
+//! Table 1 — summary of indexing time and query time for each method on
+//! representative networks (the paper lists the two largest networks per
+//! previous method plus PLL's headline results).
+//!
+//! Our version runs every method on one small and one mid-size stand-in
+//! and prints the same "Method / Network / |V| / |E| / Indexing / Query"
+//! rows, demonstrating the headline gap: PLL indexes orders of magnitude
+//! faster at comparable query time.
+//!
+//! ```text
+//! cargo run --release -p pll-bench --bin table01 [-- --scale-mult k --queries q]
+//! ```
+
+use pll_baselines::{CanonicalHubLabeling, ContractionHierarchy};
+use pll_bench::{
+    fmt_count, fmt_query_time, fmt_secs, load_dataset, measure_avg_query_seconds,
+    random_pairs, time, HarnessConfig,
+};
+use pll_core::{IndexBuilder, OrderingStrategy};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let mut rows: Vec<[String; 6]> = Vec::new();
+
+    // The comparison pair: a small computer network and a mid-size social
+    // network (mirrors the paper's per-method "two largest handled").
+    let specs = [
+        pll_datasets::by_name("Gnutella").unwrap(),
+        pll_datasets::by_name("Epinions").unwrap(),
+        pll_datasets::by_name("Slashdot").unwrap(),
+    ];
+
+    for spec in specs.iter().filter(|s| cfg.selected(s)) {
+        let g = load_dataset(spec, cfg.scale_for(spec));
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let pairs = random_pairs(n, cfg.queries, spec.seed);
+        let nv = fmt_count(n);
+        let ne = fmt_count(m);
+
+        // HHL stand-in.
+        let order =
+            pll_core::order::compute_order(&g, &OrderingStrategy::Degree, 0).unwrap();
+        let (chl, hhl_it) = time(|| CanonicalHubLabeling::build(&g, &order));
+        let (hhl_qt, _) = measure_avg_query_seconds(&pairs, |s, t| chl.distance(s, t));
+        rows.push([
+            "HHL*".into(),
+            format!("{} ({})", spec.name, spec.class.label()),
+            nv.clone(),
+            ne.clone(),
+            fmt_secs(hhl_it),
+            fmt_query_time(hhl_qt),
+        ]);
+
+        // TD stand-in.
+        match time(|| ContractionHierarchy::build(&g, 200 * m)) {
+            (Ok(ch), td_it) => {
+                let few = &pairs[..pairs.len().min(2_000)];
+                let (td_qt, _) = measure_avg_query_seconds(few, |s, t| ch.distance(s, t));
+                rows.push([
+                    "TD*".into(),
+                    format!("{} ({})", spec.name, spec.class.label()),
+                    nv.clone(),
+                    ne.clone(),
+                    fmt_secs(td_it),
+                    fmt_query_time(td_qt),
+                ]);
+            }
+            (Err(_), td_it) => {
+                rows.push([
+                    "TD*".into(),
+                    format!("{} ({})", spec.name, spec.class.label()),
+                    nv.clone(),
+                    ne.clone(),
+                    format!("DNF after {}", fmt_secs(td_it)),
+                    "-".into(),
+                ]);
+            }
+        }
+
+        // PLL.
+        let (index, pll_it) = time(|| {
+            IndexBuilder::new()
+                .bit_parallel_roots(spec.bp_roots)
+                .build(&g)
+                .unwrap()
+        });
+        let (pll_qt, _) = measure_avg_query_seconds(&pairs, |s, t| index.distance(s, t));
+        rows.push([
+            "PLL".into(),
+            format!("{} ({})", spec.name, spec.class.label()),
+            nv,
+            ne,
+            fmt_secs(pll_it),
+            fmt_query_time(pll_qt),
+        ]);
+    }
+
+    println!();
+    println!("Table 1: summary of indexing and query times per method");
+    println!(
+        "{:<6} {:<22} {:>8} {:>8} {:>16} {:>10}",
+        "Method", "Network", "|V|", "|E|", "Indexing", "Query"
+    );
+    for r in &rows {
+        println!(
+            "{:<6} {:<22} {:>8} {:>8} {:>16} {:>10}",
+            r[0], r[1], r[2], r[3], r[4], r[5]
+        );
+    }
+    println!();
+    println!(
+        "paper shape: PLL's indexing column is orders of magnitude below the \
+         labeling/decomposition baselines at comparable (µs) query times."
+    );
+}

@@ -1,0 +1,151 @@
+//! Table 3 — the main performance comparison: indexing time (IT), index
+//! size (IS), query time (QT) and average label size (LN) of pruned
+//! landmark labeling on all eleven datasets, against the baselines:
+//!
+//! * HHL stand-in: canonical hub labeling via full BFS sweeps
+//!   (`pll-baselines::canonical_hub`, DESIGN.md §6);
+//! * TD stand-in: contraction hierarchies over a min-degree order
+//!   (`pll-baselines::ch`, DESIGN.md §6);
+//! * BFS: per-query bidirectional BFS.
+//!
+//! Bit-parallel roots follow the paper: 16 for the smaller five datasets,
+//! 64 for the larger six. Baselines whose estimated cost explodes are
+//! reported as DNF, like the paper.
+//!
+//! ```text
+//! cargo run --release -p pll-bench --bin table03 [-- --scale-mult k --queries q --full]
+//! ```
+
+use pll_baselines::{CanonicalHubLabeling, ContractionHierarchy};
+use pll_bench::{
+    fmt_bytes, fmt_query_time, fmt_secs, load_dataset, measure_avg_query_seconds,
+    random_pairs, time, HarnessConfig,
+};
+use pll_core::{IndexBuilder, OrderingStrategy};
+use pll_datasets::DATASETS;
+
+struct Row {
+    dataset: String,
+    pll: String,
+    hhl: String,
+    td: String,
+    bfs: String,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    // Cost caps for the quadratic baselines (lifted by --full).
+    let hhl_cost_cap: u64 = 4_000_000_000; // ~n·m edge traversals
+    let ch_shortcut_cap = 200; // shortcuts per original edge
+
+    let mut rows = Vec::new();
+    for spec in DATASETS.iter().filter(|d| cfg.selected(d)) {
+        let g = load_dataset(spec, cfg.scale_for(spec));
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let pairs = random_pairs(n, cfg.queries, 0xBEEF ^ spec.seed);
+
+        // --- PLL ---
+        let builder = IndexBuilder::new()
+            .ordering(OrderingStrategy::Degree)
+            .bit_parallel_roots(spec.bp_roots);
+        let (index, it) = time(|| builder.build(&g).expect("PLL construction"));
+        let (qt, _sink) = measure_avg_query_seconds(&pairs, |s, t| index.distance(s, t));
+        let pll_cell = format!(
+            "IT {} | IS {} | QT {} | LN {:.0}+{}",
+            fmt_secs(it),
+            fmt_bytes(index.memory_bytes()),
+            fmt_query_time(qt),
+            index.avg_label_size(),
+            spec.bp_roots
+        );
+        eprintln!("[{}] PLL: {}", spec.name, pll_cell);
+
+        // --- HHL stand-in (canonical hub labeling, unpruned search) ---
+        let hhl_cost = n as u64 * m as u64;
+        let hhl_cell = if hhl_cost <= hhl_cost_cap || cfg.full {
+            let order = pll_core::order::compute_order(&g, &OrderingStrategy::Degree, 0)
+                .expect("degree order");
+            let (chl, it) = time(|| CanonicalHubLabeling::build(&g, &order));
+            let (qt, _s) = measure_avg_query_seconds(&pairs, |s, t| chl.distance(s, t));
+            format!(
+                "IT {} | IS {} | QT {} | LN {:.0}",
+                fmt_secs(it),
+                fmt_bytes(chl.memory_bytes()),
+                fmt_query_time(qt),
+                chl.avg_label_size()
+            )
+        } else {
+            format!("DNF (n·m ≈ {:.1e})", hhl_cost as f64)
+        };
+        eprintln!("[{}] HHL*: {}", spec.name, hhl_cell);
+
+        // --- TD stand-in (contraction hierarchy) ---
+        let td_cell = {
+            // Absolute cap too: on the larger stand-ins an uncapped
+            // budget would burn hours (and gigabytes) before reporting the
+            // inevitable DNF.
+            let budget = if cfg.full {
+                usize::MAX
+            } else {
+                (ch_shortcut_cap * m).min(2_000_000)
+            };
+            let (result, it) = time(|| ContractionHierarchy::build(&g, budget));
+            match result {
+                Ok(ch) => {
+                    // CH queries are slower; sample fewer pairs.
+                    let few = &pairs[..pairs.len().min(2_000)];
+                    let (qt, _s) = measure_avg_query_seconds(few, |s, t| ch.distance(s, t));
+                    format!(
+                        "IT {} | IS {} | QT {} | SC {}",
+                        fmt_secs(it),
+                        fmt_bytes(ch.memory_bytes()),
+                        fmt_query_time(qt),
+                        ch.num_shortcuts()
+                    )
+                }
+                Err(e) => {
+                    eprintln!("[{}] TD*: {e} after {}", spec.name, fmt_secs(it));
+                    "DNF (shortcut budget)".to_string()
+                }
+            }
+        };
+        eprintln!("[{}] TD*: {}", spec.name, td_cell);
+
+        // --- BFS (bidirectional, few pairs) ---
+        let bfs_cell = {
+            let few = &pairs[..pairs.len().min(200)];
+            let mut engine = pll_graph::traversal::bfs::BidirBfsEngine::new(n);
+            let (qt, _s) = measure_avg_query_seconds(few, |s, t| engine.distance(&g, s, t));
+            fmt_query_time(qt)
+        };
+        eprintln!("[{}] BFS: {}", spec.name, bfs_cell);
+
+        rows.push(Row {
+            dataset: spec.name.to_string(),
+            pll: pll_cell,
+            hhl: hhl_cell,
+            td: td_cell,
+            bfs: bfs_cell,
+        });
+    }
+
+    println!();
+    println!("Table 3: performance comparison (IT = indexing time, IS = index size,");
+    println!("QT = avg query time, LN = avg label entries/vertex normal+bit-parallel,");
+    println!("SC = shortcuts; HHL*/TD* are the stand-ins of DESIGN.md §6)");
+    println!();
+    for row in &rows {
+        println!("{}", row.dataset);
+        println!("  PLL   {}", row.pll);
+        println!("  HHL*  {}", row.hhl);
+        println!("  TD*   {}", row.td);
+        println!("  BFS   QT {}", row.bfs);
+    }
+    println!();
+    println!(
+        "paper shape: PLL indexes orders of magnitude faster than HHL/TD, both of \
+         which DNF beyond the smaller datasets; PLL query time stays in the \
+         microsecond range while BFS needs milliseconds to seconds."
+    );
+}

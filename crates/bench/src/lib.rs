@@ -1,0 +1,344 @@
+//! Shared harness utilities for the table/figure binaries.
+//!
+//! Every binary in this crate regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the full index). Common knobs:
+//!
+//! * `--scale-mult <k>` — multiply every dataset's default scale divisor by
+//!   `k` (larger ⇒ smaller graphs ⇒ faster runs);
+//! * `--queries <q>` — number of random query pairs for timing (default
+//!   100 000; the paper uses 1 000 000);
+//! * `--datasets a,b,c` — restrict to named datasets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pll_datasets::DatasetSpec;
+use pll_graph::{CsrGraph, Vertex, Xoshiro256pp};
+use std::time::Instant;
+
+/// Parsed command-line options shared by the harness binaries.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Multiplier on each dataset's default scale divisor.
+    pub scale_mult: u32,
+    /// Number of random query pairs for query-time measurement.
+    pub queries: usize,
+    /// Restrict to these dataset names (empty = all the binary covers).
+    pub datasets: Vec<String>,
+    /// Run expensive baselines even past their cost caps.
+    pub full: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            scale_mult: 1,
+            queries: 100_000,
+            datasets: Vec::new(),
+            full: false,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Parses `std::env::args()`; unknown flags abort with a usage message.
+    pub fn from_env() -> HarnessConfig {
+        let mut cfg = HarnessConfig::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let take_value = |i: &mut usize| -> String {
+                *i += 1;
+                args.get(*i)
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value after {}", args[*i - 1]);
+                        std::process::exit(2);
+                    })
+                    .clone()
+            };
+            match args[i].as_str() {
+                "--scale-mult" => {
+                    cfg.scale_mult = take_value(&mut i).parse().unwrap_or_else(|e| {
+                        eprintln!("bad --scale-mult: {e}");
+                        std::process::exit(2);
+                    });
+                }
+                "--queries" => {
+                    cfg.queries = take_value(&mut i).parse().unwrap_or_else(|e| {
+                        eprintln!("bad --queries: {e}");
+                        std::process::exit(2);
+                    });
+                }
+                "--datasets" => {
+                    cfg.datasets = take_value(&mut i)
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                }
+                "--full" => cfg.full = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: [--scale-mult k] [--queries q] [--datasets a,b,c] [--full]"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option {other}");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        cfg
+    }
+
+    /// Effective scale divisor for a dataset.
+    pub fn scale_for(&self, spec: &DatasetSpec) -> u32 {
+        spec.default_scale.saturating_mul(self.scale_mult).max(1)
+    }
+
+    /// Whether the dataset is selected by `--datasets` (empty = all).
+    pub fn selected(&self, spec: &DatasetSpec) -> bool {
+        self.datasets.is_empty()
+            || self
+                .datasets
+                .iter()
+                .any(|d| d.eq_ignore_ascii_case(spec.name))
+    }
+}
+
+/// Wall-clock timing of a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// `count` random vertex pairs over `n` vertices.
+pub fn random_pairs(n: usize, count: usize, seed: u64) -> Vec<(Vertex, Vertex)> {
+    assert!(n > 0, "graph must have vertices");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (
+                rng.next_below(n as u64) as Vertex,
+                rng.next_below(n as u64) as Vertex,
+            )
+        })
+        .collect()
+}
+
+/// Average seconds per query of `f` over the pairs. A checksum of the
+/// answers is accumulated and returned to keep the optimiser honest.
+pub fn measure_avg_query_seconds(
+    pairs: &[(Vertex, Vertex)],
+    mut f: impl FnMut(Vertex, Vertex) -> Option<u32>,
+) -> (f64, u64) {
+    let start = Instant::now();
+    let mut sink = 0u64;
+    for &(s, t) in pairs {
+        sink = sink.wrapping_add(f(s, t).map_or(u32::MAX, |d| d) as u64);
+    }
+    let total = start.elapsed().as_secs_f64();
+    (total / pairs.len().max(1) as f64, sink)
+}
+
+/// Formats a duration like the paper ("61 s", "0.5 s", "15,164 s").
+pub fn fmt_secs(secs: f64) -> String {
+    if secs >= 100.0 {
+        format!("{} s", group_thousands(secs.round() as u64))
+    } else if secs >= 1.0 {
+        format!("{secs:.1} s")
+    } else if secs >= 1e-3 {
+        format!("{:.0} ms", secs * 1e3)
+    } else {
+        format!("{:.2} ms", secs * 1e3)
+    }
+}
+
+/// Formats a per-query time like the paper ("0.6 µs", "15.6 µs", "1.2 s").
+pub fn fmt_query_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.1} s")
+    } else if secs >= 1e-3 {
+        format!("{:.1} ms", secs * 1e3)
+    } else {
+        format!("{:.1} µs", secs * 1e6)
+    }
+}
+
+/// Formats byte counts ("209 MB", "12 GB").
+pub fn fmt_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KB * KB * KB {
+        format!("{:.1} GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.0} MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.0} KB", b / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats counts like Table 4 ("63 K", "2.4 M", "194 M").
+pub fn fmt_count(x: usize) -> String {
+    if x >= 10_000_000 {
+        format!("{:.0} M", x as f64 / 1e6)
+    } else if x >= 1_000_000 {
+        format!("{:.1} M", x as f64 / 1e6)
+    } else if x >= 1_000 {
+        format!("{:.0} K", x as f64 / 1e3)
+    } else {
+        x.to_string()
+    }
+}
+
+fn group_thousands(mut x: u64) -> String {
+    let mut parts = Vec::new();
+    loop {
+        if x < 1000 {
+            parts.push(x.to_string());
+            break;
+        }
+        parts.push(format!("{:03}", x % 1000));
+        x /= 1000;
+    }
+    parts.reverse();
+    parts.join(",")
+}
+
+/// Answers a batch of distance queries on `threads` crossbeam-scoped
+/// threads (the index is `Sync`; queries are read-only). §4.5 notes that
+/// thread-level parallelism composes with the labeling — this utility
+/// demonstrates it on the query side and backs the throughput numbers in
+/// EXPERIMENTS.md.
+pub fn par_distances(
+    index: &pll_core::PllIndex,
+    pairs: &[(Vertex, Vertex)],
+    threads: usize,
+) -> Vec<Option<u32>> {
+    let threads = threads.max(1);
+    let chunk = pairs.len().div_ceil(threads);
+    if threads == 1 || pairs.len() < 2 * threads {
+        return pairs.iter().map(|&(s, t)| index.distance(s, t)).collect();
+    }
+    let mut out: Vec<Option<u32>> = vec![None; pairs.len()];
+    crossbeam::thread::scope(|scope| {
+        for (pair_chunk, out_chunk) in pairs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, &(s, t)) in out_chunk.iter_mut().zip(pair_chunk.iter()) {
+                    *slot = index.distance(s, t);
+                }
+            });
+        }
+    })
+    .expect("query worker panicked");
+    out
+}
+
+/// Generates a dataset, printing progress to stderr.
+pub fn load_dataset(spec: &DatasetSpec, scale: u32) -> CsrGraph {
+    eprintln!(
+        "[gen] {} at scale 1/{scale} ({} vertices)…",
+        spec.name,
+        fmt_count(spec.scaled_vertices(scale))
+    );
+    let (g, secs) = time(|| spec.generate(scale).expect("dataset generation"));
+    eprintln!(
+        "[gen] {}: |V| = {}, |E| = {} ({})",
+        spec.name,
+        fmt_count(g.num_vertices()),
+        fmt_count(g.num_edges()),
+        fmt_secs(secs)
+    );
+    g
+}
+
+/// Log-spaced checkpoints `1, 2, 4, …` up to `max` (inclusive), always
+/// ending with `max`.
+pub fn log_checkpoints(max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut k = 1usize;
+    while k < max {
+        out.push(k);
+        k *= 2;
+    }
+    if max > 0 {
+        out.push(max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(15164.0), "15,164 s");
+        assert_eq!(fmt_secs(61.4), "61.4 s");
+        assert_eq!(fmt_secs(0.5), "500 ms");
+        assert_eq!(fmt_query_time(15.6e-6), "15.6 µs");
+        assert_eq!(fmt_query_time(1.2), "1.2 s");
+        assert_eq!(fmt_bytes(209 * 1024 * 1024), "209 MB");
+        assert_eq!(fmt_bytes(12 * 1024 * 1024 * 1024), "12.0 GB");
+        assert_eq!(fmt_count(63_000), "63 K");
+        assert_eq!(fmt_count(2_400_000), "2.4 M");
+        assert_eq!(fmt_count(194_000_000), "194 M");
+        assert_eq!(fmt_count(512), "512");
+    }
+
+    #[test]
+    fn pairs_and_checkpoints() {
+        let pairs = random_pairs(100, 50, 3);
+        assert_eq!(pairs.len(), 50);
+        assert!(pairs.iter().all(|&(s, t)| s < 100 && t < 100));
+        assert_eq!(log_checkpoints(10), vec![1, 2, 4, 8, 10]);
+        assert_eq!(log_checkpoints(8), vec![1, 2, 4, 8]);
+        assert_eq!(log_checkpoints(1), vec![1]);
+    }
+
+    #[test]
+    fn measure_runs_all_pairs() {
+        let pairs = random_pairs(10, 100, 1);
+        let (avg, sink) = measure_avg_query_seconds(&pairs, |s, t| Some(s + t));
+        assert!(avg >= 0.0);
+        assert!(sink > 0);
+    }
+
+    #[test]
+    fn par_distances_matches_sequential() {
+        let g = pll_graph::gen::barabasi_albert(400, 3, 5).unwrap();
+        let index = pll_core::IndexBuilder::new()
+            .bit_parallel_roots(4)
+            .build(&g)
+            .unwrap();
+        let pairs = random_pairs(400, 500, 9);
+        let seq: Vec<Option<u32>> =
+            pairs.iter().map(|&(s, t)| index.distance(s, t)).collect();
+        for threads in [1, 2, 4] {
+            assert_eq!(par_distances(&index, &pairs, threads), seq);
+        }
+        // Tiny batch falls back to sequential.
+        assert_eq!(
+            par_distances(&index, &pairs[..3], 8),
+            seq[..3].to_vec()
+        );
+    }
+
+    #[test]
+    fn config_scale() {
+        let cfg = HarnessConfig::default();
+        let spec = pll_datasets::by_name("Gnutella").unwrap();
+        assert_eq!(cfg.scale_for(spec), 8);
+        let mut cfg2 = cfg.clone();
+        cfg2.scale_mult = 4;
+        assert_eq!(cfg2.scale_for(spec), 32);
+        assert!(cfg.selected(spec));
+        cfg2.datasets = vec!["epinions".into()];
+        assert!(!cfg2.selected(spec));
+    }
+}

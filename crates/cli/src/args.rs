@@ -1,0 +1,282 @@
+//! Hand-rolled argument parsing for the `pll` binary (no CLI dependency).
+
+use pll_core::OrderingStrategy;
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "\
+usage:
+  pll build <edges.txt> <out.idx> [--order degree|random|closeness]
+            [--bp-roots t] [--seed s]
+  pll query <index.idx> <s> <t> [<s> <t> ...]
+  pll stats <index.idx>
+  pll bench <index.idx> [--queries q] [--seed s]";
+
+/// Argument errors.
+#[derive(Debug)]
+pub enum ArgError {
+    /// Malformed invocation; the message explains what went wrong.
+    Usage(String),
+}
+
+/// A parsed command.
+#[derive(Debug)]
+pub enum Parsed {
+    /// `pll build`.
+    Build {
+        /// Input edge-list path.
+        edges: String,
+        /// Output index path.
+        output: String,
+        /// Ordering strategy.
+        order: OrderingStrategy,
+        /// Bit-parallel roots.
+        bp_roots: usize,
+        /// Ordering seed.
+        seed: u64,
+    },
+    /// `pll query`.
+    Query {
+        /// Index path.
+        index: String,
+        /// Query pairs.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// `pll stats`.
+    Stats {
+        /// Index path.
+        index: String,
+    },
+    /// `pll bench`.
+    Bench {
+        /// Index path.
+        index: String,
+        /// Number of random queries.
+        queries: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
+}
+
+fn usage(msg: impl Into<String>) -> ArgError {
+    ArgError::Usage(msg.into())
+}
+
+fn parse_num<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, ArgError>
+where
+    T::Err: std::fmt::Display,
+{
+    tok.parse()
+        .map_err(|e| usage(format!("bad {what} {tok:?}: {e}")))
+}
+
+impl Parsed {
+    /// Parses the argument vector (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Parsed, ArgError> {
+        let mut it = argv.iter();
+        let cmd = it.next().ok_or_else(|| usage("missing command"))?;
+        match cmd.as_str() {
+            "build" => {
+                let edges = it
+                    .next()
+                    .ok_or_else(|| usage("build: missing <edges.txt>"))?
+                    .clone();
+                let output = it
+                    .next()
+                    .ok_or_else(|| usage("build: missing <out.idx>"))?
+                    .clone();
+                let mut order = OrderingStrategy::Degree;
+                let mut bp_roots = 16usize;
+                let mut seed = 0u64;
+                let rest: Vec<&String> = it.collect();
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i].as_str() {
+                        "--order" => {
+                            i += 1;
+                            let val = rest
+                                .get(i)
+                                .ok_or_else(|| usage("--order needs a value"))?;
+                            order = match val.as_str() {
+                                "degree" => OrderingStrategy::Degree,
+                                "random" => OrderingStrategy::Random,
+                                "closeness" => OrderingStrategy::Closeness { samples: 32 },
+                                other => {
+                                    return Err(usage(format!("unknown order {other:?}")))
+                                }
+                            };
+                        }
+                        "--bp-roots" => {
+                            i += 1;
+                            let val = rest
+                                .get(i)
+                                .ok_or_else(|| usage("--bp-roots needs a value"))?;
+                            bp_roots = parse_num(val, "--bp-roots")?;
+                        }
+                        "--seed" => {
+                            i += 1;
+                            let val =
+                                rest.get(i).ok_or_else(|| usage("--seed needs a value"))?;
+                            seed = parse_num(val, "--seed")?;
+                        }
+                        other => return Err(usage(format!("unknown option {other:?}"))),
+                    }
+                    i += 1;
+                }
+                Ok(Parsed::Build {
+                    edges,
+                    output,
+                    order,
+                    bp_roots,
+                    seed,
+                })
+            }
+            "query" => {
+                let index = it
+                    .next()
+                    .ok_or_else(|| usage("query: missing <index.idx>"))?
+                    .clone();
+                let rest: Vec<&String> = it.collect();
+                if rest.is_empty() || !rest.len().is_multiple_of(2) {
+                    return Err(usage("query: need an even, positive number of vertex ids"));
+                }
+                let mut pairs = Vec::with_capacity(rest.len() / 2);
+                for chunk in rest.chunks_exact(2) {
+                    pairs.push((
+                        parse_num(chunk[0], "vertex")?,
+                        parse_num(chunk[1], "vertex")?,
+                    ));
+                }
+                Ok(Parsed::Query { index, pairs })
+            }
+            "stats" => {
+                let index = it
+                    .next()
+                    .ok_or_else(|| usage("stats: missing <index.idx>"))?
+                    .clone();
+                if it.next().is_some() {
+                    return Err(usage("stats: unexpected extra arguments"));
+                }
+                Ok(Parsed::Stats { index })
+            }
+            "bench" => {
+                let index = it
+                    .next()
+                    .ok_or_else(|| usage("bench: missing <index.idx>"))?
+                    .clone();
+                let mut queries = 100_000usize;
+                let mut seed = 0u64;
+                let rest: Vec<&String> = it.collect();
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i].as_str() {
+                        "--queries" => {
+                            i += 1;
+                            let val = rest
+                                .get(i)
+                                .ok_or_else(|| usage("--queries needs a value"))?;
+                            queries = parse_num(val, "--queries")?;
+                        }
+                        "--seed" => {
+                            i += 1;
+                            let val =
+                                rest.get(i).ok_or_else(|| usage("--seed needs a value"))?;
+                            seed = parse_num(val, "--seed")?;
+                        }
+                        other => return Err(usage(format!("unknown option {other:?}"))),
+                    }
+                    i += 1;
+                }
+                Ok(Parsed::Bench {
+                    index,
+                    queries,
+                    seed,
+                })
+            }
+            other => Err(usage(format!("unknown command {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_build_defaults() {
+        let p = Parsed::parse(&argv(&["build", "in.txt", "out.idx"])).unwrap();
+        match p {
+            Parsed::Build {
+                edges,
+                output,
+                order,
+                bp_roots,
+                seed,
+            } => {
+                assert_eq!(edges, "in.txt");
+                assert_eq!(output, "out.idx");
+                assert_eq!(order, OrderingStrategy::Degree);
+                assert_eq!(bp_roots, 16);
+                assert_eq!(seed, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_build_options() {
+        let p = Parsed::parse(&argv(&[
+            "build", "a", "b", "--order", "closeness", "--bp-roots", "64", "--seed", "9",
+        ]))
+        .unwrap();
+        match p {
+            Parsed::Build {
+                order, bp_roots, seed, ..
+            } => {
+                assert_eq!(order, OrderingStrategy::Closeness { samples: 32 });
+                assert_eq!(bp_roots, 64);
+                assert_eq!(seed, 9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_query_pairs() {
+        let p = Parsed::parse(&argv(&["query", "x.idx", "1", "2", "3", "4"])).unwrap();
+        match p {
+            Parsed::Query { index, pairs } => {
+                assert_eq!(index, "x.idx");
+                assert_eq!(pairs, vec![(1, 2), (3, 4)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Parsed::parse(&argv(&[])).is_err());
+        assert!(Parsed::parse(&argv(&["frobnicate"])).is_err());
+        assert!(Parsed::parse(&argv(&["build", "only-one"])).is_err());
+        assert!(Parsed::parse(&argv(&["query", "x.idx", "1"])).is_err());
+        assert!(Parsed::parse(&argv(&["query", "x.idx", "1", "oops"])).is_err());
+        assert!(Parsed::parse(&argv(&["stats", "x.idx", "extra"])).is_err());
+        assert!(Parsed::parse(&argv(&["bench", "x.idx", "--queries"])).is_err());
+        assert!(Parsed::parse(&argv(&["build", "a", "b", "--order", "nope"])).is_err());
+    }
+
+    #[test]
+    fn parse_stats_and_bench() {
+        assert!(matches!(
+            Parsed::parse(&argv(&["stats", "x.idx"])).unwrap(),
+            Parsed::Stats { .. }
+        ));
+        match Parsed::parse(&argv(&["bench", "x.idx", "--queries", "5"])).unwrap() {
+            Parsed::Bench { queries, .. } => assert_eq!(queries, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! `pll` — build, query and inspect pruned landmark labeling indices from
+//! the command line.
+//!
+//! ```text
+//! pll build <edges.txt> <out.idx> [--order degree|random|closeness]
+//!           [--bp-roots t] [--seed s]
+//! pll query <index.idx> <s> <t> [...more pairs]
+//! pll stats <index.idx>
+//! pll bench <index.idx> [--queries q] [--seed s]
+//! ```
+//!
+//! `build` reads a SNAP-style undirected edge list (whitespace separated,
+//! `#` comments), constructs the index and writes the versioned binary
+//! format of `pll_core::serialize`.
+
+use pll_core::{serialize, IndexBuilder, OrderingStrategy, PllIndex};
+use pll_graph::{edgelist, Xoshiro256pp};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use std::time::Instant;
+
+mod args;
+use args::{ArgError, Parsed};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let parsed = Parsed::parse(argv).map_err(|e| match e {
+        ArgError::Usage(msg) => msg,
+    })?;
+    match parsed {
+        Parsed::Build {
+            edges,
+            output,
+            order,
+            bp_roots,
+            seed,
+        } => build(&edges, &output, order, bp_roots, seed),
+        Parsed::Query { index, pairs } => query(&index, &pairs),
+        Parsed::Stats { index } => stats(&index),
+        Parsed::Bench {
+            index,
+            queries,
+            seed,
+        } => bench(&index, queries, seed),
+    }
+}
+
+fn load_index(path: &str) -> Result<PllIndex, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    serialize::load_index(BufReader::new(file)).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn build(
+    edges: &str,
+    output: &str,
+    order: OrderingStrategy,
+    bp_roots: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let file = File::open(edges).map_err(|e| format!("cannot open {edges}: {e}"))?;
+    let started = Instant::now();
+    let graph = edgelist::read_text(BufReader::new(file))
+        .map_err(|e| format!("cannot parse {edges}: {e}"))?;
+    eprintln!(
+        "graph: {} vertices, {} edges ({:.2} s)",
+        graph.num_vertices(),
+        graph.num_edges(),
+        started.elapsed().as_secs_f64()
+    );
+
+    let started = Instant::now();
+    let index = IndexBuilder::new()
+        .ordering(order)
+        .bit_parallel_roots(bp_roots)
+        .seed(seed)
+        .build(&graph)
+        .map_err(|e| format!("construction failed: {e}"))?;
+    eprintln!(
+        "index: avg label {:.1}+{} entries, {} bytes ({:.2} s)",
+        index.avg_label_size(),
+        bp_roots,
+        index.memory_bytes(),
+        started.elapsed().as_secs_f64()
+    );
+
+    let out = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    serialize::save_index(&index, BufWriter::new(out))
+        .map_err(|e| format!("cannot write {output}: {e}"))?;
+    eprintln!("wrote {output}");
+    Ok(())
+}
+
+fn query(index_path: &str, pairs: &[(u32, u32)]) -> Result<(), String> {
+    let index = load_index(index_path)?;
+    for &(s, t) in pairs {
+        match index.try_distance(s, t) {
+            Ok(Some(d)) => println!("{s}\t{t}\t{d}"),
+            Ok(None) => println!("{s}\t{t}\tunreachable"),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Ok(())
+}
+
+fn stats(index_path: &str) -> Result<(), String> {
+    let index = load_index(index_path)?;
+    let ls = index.label_size_stats();
+    println!("vertices:            {}", index.num_vertices());
+    println!("bit-parallel roots:  {}", index.bit_parallel().num_roots());
+    println!("label entries:       {}", ls.total_entries);
+    println!("avg label size:      {:.2}", ls.mean);
+    println!("label size min/max:  {} / {}", ls.min, ls.max);
+    println!(
+        "label size p50/p90/p99: {} / {} / {}",
+        ls.percentiles[3], ls.percentiles[5], ls.percentiles[6]
+    );
+    println!("index bytes:         {}", index.memory_bytes());
+    println!("parents stored:      {}", index.has_parents());
+    Ok(())
+}
+
+fn bench(index_path: &str, queries: usize, seed: u64) -> Result<(), String> {
+    let index = load_index(index_path)?;
+    let n = index.num_vertices();
+    if n == 0 {
+        return Err("index is empty".into());
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let pairs: Vec<(u32, u32)> = (0..queries)
+        .map(|_| {
+            (
+                rng.next_below(n as u64) as u32,
+                rng.next_below(n as u64) as u32,
+            )
+        })
+        .collect();
+    let started = Instant::now();
+    let mut sink = 0u64;
+    let mut connected = 0usize;
+    for &(s, t) in &pairs {
+        if let Some(d) = index.distance(s, t) {
+            sink = sink.wrapping_add(d as u64);
+            connected += 1;
+        }
+    }
+    let total = started.elapsed().as_secs_f64();
+    println!(
+        "{} queries in {:.3} s ({:.2} µs/query, {:.1}% connected, checksum {sink})",
+        queries,
+        total,
+        total / queries.max(1) as f64 * 1e6,
+        100.0 * connected as f64 / queries.max(1) as f64,
+    );
+    Ok(())
+}

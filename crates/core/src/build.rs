@@ -1,0 +1,662 @@
+//! Index construction: the pruned landmark labeling algorithm.
+//!
+//! The build pipeline follows §4.2, §4.5 and §5.4 of the paper:
+//!
+//! 1. compute the vertex order (§4.4) and relabel the graph so vertex `i`
+//!    *is* rank `i` — labels then store ranks and are implicitly sorted
+//!    (§4.5 "Sorting Labels");
+//! 2. run `t` *bit-parallel* BFSs without pruning from the highest-priority
+//!    unused vertices, each absorbing the root and up to 64 of its
+//!    highest-priority unused neighbours (§5.4);
+//! 3. run a *pruned* BFS (Algorithm 1) from every remaining vertex in rank
+//!    order. A visit of `u` at distance `d` is pruned when the distance is
+//!    already answerable: either a bit-parallel label pair certifies
+//!    `dist ≤ d`, or the temp-array query over `L(u)` does (§4.5
+//!    "Querying" — `O(|L(u)|)` per test instead of a two-sided merge).
+//!
+//! Engineering notes honoured from §4.5: the tentative-distance array and
+//! temp array are 8-bit and reset lazily (touched entries only), labels are
+//! appended in rank order, and the final arena adds sentinels (§4.5
+//! "Sentinel").
+
+use crate::bp::{BitParallelLabels, BpScratch};
+use crate::error::{PllError, Result};
+use crate::index::PllIndex;
+use crate::label::LabelSet;
+use crate::order::{compute_order, OrderingStrategy};
+use crate::stats::{ConstructionStats, RootStats};
+use crate::types::{Dist, Rank, BP_WIDTH, INF8, INF_QUERY, MAX_DIST, RANK_SENTINEL};
+use pll_graph::reorder::{apply_order, inverse_permutation};
+use pll_graph::{CsrGraph, Vertex};
+use std::time::Instant;
+
+/// Configures and runs index construction.
+///
+/// ```
+/// use pll_core::{IndexBuilder, OrderingStrategy};
+/// use pll_graph::gen;
+///
+/// let g = gen::barabasi_albert(500, 3, 7).unwrap();
+/// let index = IndexBuilder::new()
+///     .ordering(OrderingStrategy::Degree)
+///     .bit_parallel_roots(8)
+///     .build(&g)
+///     .unwrap();
+/// assert_eq!(index.distance(3, 3), Some(0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct IndexBuilder {
+    ordering: OrderingStrategy,
+    bp_roots: usize,
+    store_parents: bool,
+    seed: u64,
+    record_root_stats: bool,
+    abort_avg_label: Option<f64>,
+    abort_seconds: Option<f64>,
+}
+
+impl Default for IndexBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IndexBuilder {
+    /// Default configuration: Degree ordering (the paper's default), 16
+    /// bit-parallel roots (the paper's setting for its smaller datasets),
+    /// no parent pointers.
+    pub fn new() -> Self {
+        IndexBuilder {
+            ordering: OrderingStrategy::Degree,
+            bp_roots: 16,
+            store_parents: false,
+            seed: 0x5EED_1A5E,
+            record_root_stats: false,
+            abort_avg_label: None,
+            abort_seconds: None,
+        }
+    }
+
+    /// Sets the vertex ordering strategy (§4.4).
+    pub fn ordering(mut self, strategy: OrderingStrategy) -> Self {
+        self.ordering = strategy;
+        self
+    }
+
+    /// Sets `t`, the number of bit-parallel BFSs run before the pruned
+    /// phase (§5.4). `0` disables bit-parallel labels entirely.
+    pub fn bit_parallel_roots(mut self, t: usize) -> Self {
+        self.bp_roots = t;
+        self
+    }
+
+    /// Stores parent pointers for shortest-*path* reconstruction (§6).
+    /// Incompatible with bit-parallel roots (BP labels carry no parents);
+    /// set `bit_parallel_roots(0)` as well.
+    pub fn store_parents(mut self, yes: bool) -> Self {
+        self.store_parents = yes;
+        self
+    }
+
+    /// Seed for the Random/Closeness ordering strategies.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Records per-root visit/label/prune counts (Figures 3 and 4).
+    pub fn record_root_stats(mut self, yes: bool) -> Self {
+        self.record_root_stats = yes;
+        self
+    }
+
+    /// Aborts construction with [`PllError::LabelBudgetExceeded`] once the
+    /// average normal-label size exceeds `budget` — the Table 5 harness uses
+    /// this to report DNF for orderings that explode.
+    pub fn abort_if_avg_label_exceeds(mut self, budget: f64) -> Self {
+        self.abort_avg_label = Some(budget);
+        self
+    }
+
+    /// Aborts construction with [`PllError::TimeBudgetExceeded`] once the
+    /// wall clock passes `seconds` (checked between pruned BFSs) — the
+    /// harness's bounded version of the paper's "did not finish in one
+    /// day".
+    pub fn abort_after_seconds(mut self, seconds: f64) -> Self {
+        self.abort_seconds = Some(seconds);
+        self
+    }
+
+    /// Builds the index.
+    pub fn build(&self, g: &CsrGraph) -> Result<PllIndex> {
+        self.build_with_observer(g, &mut NoopObserver)
+    }
+
+    /// Builds the index, invoking `observer` after the bit-parallel phase
+    /// and after every pruned BFS with a queryable view of the partial
+    /// index. Figure 4 (pair coverage against the number of performed BFSs)
+    /// is measured through this hook.
+    pub fn build_with_observer(
+        &self,
+        g: &CsrGraph,
+        observer: &mut dyn BuildObserver,
+    ) -> Result<PllIndex> {
+        if self.store_parents && self.bp_roots > 0 {
+            return Err(PllError::IncompatibleOptions {
+                message: "store_parents(true) requires bit_parallel_roots(0): bit-parallel \
+                          labels carry no parent pointers"
+                    .into(),
+            });
+        }
+        let n = g.num_vertices();
+        if n > u32::MAX as usize - 1 {
+            return Err(PllError::Graph(pll_graph::GraphError::TooLarge {
+                what: "vertex count",
+            }));
+        }
+
+        // Phase 0: ordering + relabelling (§4.4, §4.5 "Sorting Labels").
+        let t0 = Instant::now();
+        let order = compute_order(g, &self.ordering, self.seed)?;
+        let inv = inverse_permutation(&order);
+        let h = apply_order(g, &order); // rank-space graph
+        let order_seconds = t0.elapsed().as_secs_f64();
+
+        let mut stats = ConstructionStats {
+            order_seconds,
+            per_root: self.record_root_stats.then(Vec::new),
+            ..Default::default()
+        };
+
+        // usd[v]: v is covered as a BP root / BP neighbour / finished pruned
+        // root and must not root another search.
+        let mut usd = vec![false; n];
+
+        // Phase 1: bit-parallel BFSs from the highest-priority unused
+        // vertices (§5.4).
+        let t1 = Instant::now();
+        let t = self.bp_roots;
+        let mut bp = BitParallelLabels::new(n, t);
+        {
+            let mut scratch = BpScratch::new(n);
+            let mut cursor = 0usize;
+            let mut sub: Vec<Rank> = Vec::with_capacity(BP_WIDTH);
+            for i in 0..t {
+                while cursor < n && usd[cursor] {
+                    cursor += 1;
+                }
+                if cursor >= n {
+                    break; // remaining slots stay exhausted
+                }
+                let root = cursor as Rank;
+                usd[cursor] = true;
+                sub.clear();
+                // Neighbours are sorted by rank, i.e. highest priority first.
+                for &v in h.neighbors(root) {
+                    if !usd[v as usize] {
+                        usd[v as usize] = true;
+                        sub.push(v);
+                        if sub.len() == BP_WIDTH {
+                            break;
+                        }
+                    }
+                }
+                bp.run_root(&h, i, root, &sub, &mut scratch)?;
+                stats.bp_roots_used += 1;
+            }
+        }
+        stats.bp_seconds = t1.elapsed().as_secs_f64();
+
+        // Phase 2: pruned BFS from every remaining vertex in rank order.
+        let t2 = Instant::now();
+        let mut label_ranks: Vec<Vec<Rank>> = vec![Vec::new(); n];
+        let mut label_dists: Vec<Vec<Dist>> = vec![Vec::new(); n];
+        let mut label_parents: Option<Vec<Vec<Rank>>> =
+            self.store_parents.then(|| vec![Vec::new(); n]);
+
+        let mut tentative: Vec<Dist> = vec![INF8; n]; // the P array
+        let mut temp: Vec<Dist> = vec![INF8; n]; // the T array (§4.5 "Querying")
+        let mut parent_of: Vec<Rank> = if self.store_parents {
+            vec![RANK_SENTINEL; n]
+        } else {
+            Vec::new()
+        };
+        let mut queue: Vec<Rank> = Vec::with_capacity(n);
+        let label_budget_entries =
+            self.abort_avg_label.map(|b| (b * n as f64).ceil() as u64);
+
+        {
+            observer.after_bp_phase(&PartialIndex {
+                label_ranks: &label_ranks,
+                label_dists: &label_dists,
+                bp: &bp,
+                inv: &inv,
+            });
+        }
+
+        for r in 0..n as Rank {
+            if usd[r as usize] {
+                continue;
+            }
+            // Prepare the temp array from L(r): T[w] = d(w, r).
+            {
+                let lr = &label_ranks[r as usize];
+                let ld = &label_dists[r as usize];
+                for (idx, &w) in lr.iter().enumerate() {
+                    temp[w as usize] = ld[idx];
+                }
+            }
+            let root_bp = bp.entries_of(r).to_vec(); // t is small; copy out
+
+            queue.clear();
+            queue.push(r);
+            tentative[r as usize] = 0;
+            if self.store_parents {
+                parent_of[r as usize] = RANK_SENTINEL;
+            }
+            let mut head = 0usize;
+            let mut visited = 0u32;
+            let mut labeled = 0u32;
+            let mut pruned = 0u32;
+
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                let d = tentative[u as usize];
+                visited += 1;
+
+                // Pruning test (Algorithm 1 line 7): first against
+                // bit-parallel labels (§5.4), then against normal labels via
+                // the temp array.
+                let mut prune = false;
+                let u_bp = bp.entries_of(u);
+                for (a, b) in root_bp.iter().zip(u_bp.iter()) {
+                    if a.dist == INF8 || b.dist == INF8 {
+                        continue;
+                    }
+                    let mut td = a.dist as u32 + b.dist as u32;
+                    if td.saturating_sub(2) <= d as u32 {
+                        if a.set_minus1 & b.set_minus1 != 0 {
+                            td -= 2;
+                        } else if (a.set_minus1 & b.set_zero) | (a.set_zero & b.set_minus1)
+                            != 0
+                        {
+                            td -= 1;
+                        }
+                        if td <= d as u32 {
+                            prune = true;
+                            break;
+                        }
+                    }
+                }
+                if !prune {
+                    let lr = &label_ranks[u as usize];
+                    let ld = &label_dists[u as usize];
+                    for (idx, &w) in lr.iter().enumerate() {
+                        let tw = temp[w as usize];
+                        if tw != INF8 && tw as u32 + ld[idx] as u32 <= d as u32 {
+                            prune = true;
+                            break;
+                        }
+                    }
+                }
+                if prune {
+                    pruned += 1;
+                    continue;
+                }
+
+                label_ranks[u as usize].push(r);
+                label_dists[u as usize].push(d);
+                if let Some(lp) = &mut label_parents {
+                    lp[u as usize].push(parent_of[u as usize]);
+                }
+                labeled += 1;
+
+                for &w in h.neighbors(u) {
+                    if tentative[w as usize] == INF8 {
+                        if d >= MAX_DIST {
+                            return Err(PllError::DiameterTooLarge { root_rank: r });
+                        }
+                        tentative[w as usize] = d + 1;
+                        if self.store_parents {
+                            parent_of[w as usize] = u;
+                        }
+                        queue.push(w);
+                    }
+                }
+            }
+
+            // Lazy reset of the touched entries (§4.5 "Initialization").
+            for &v in &queue {
+                tentative[v as usize] = INF8;
+            }
+            {
+                let lr = &label_ranks[r as usize];
+                for &w in lr.iter() {
+                    temp[w as usize] = INF8;
+                }
+            }
+            usd[r as usize] = true;
+
+            stats.pruned_roots += 1;
+            stats.total_visited += visited as u64;
+            stats.total_labeled += labeled as u64;
+            stats.total_pruned += pruned as u64;
+            let root_stats = RootStats {
+                rank: r,
+                visited,
+                labeled,
+                pruned,
+            };
+            if let Some(per_root) = &mut stats.per_root {
+                per_root.push(root_stats);
+            }
+            observer.after_root(
+                stats.pruned_roots,
+                &root_stats,
+                &PartialIndex {
+                    label_ranks: &label_ranks,
+                    label_dists: &label_dists,
+                    bp: &bp,
+                    inv: &inv,
+                },
+            );
+
+            if let Some(budget) = label_budget_entries {
+                if stats.total_labeled > budget {
+                    return Err(PllError::LabelBudgetExceeded {
+                        budget: self.abort_avg_label.unwrap_or_default(),
+                    });
+                }
+            }
+            if let Some(seconds) = self.abort_seconds {
+                // Only consult the clock every few roots; `Instant::now` per
+                // BFS would be noise but not free.
+                if stats.pruned_roots.is_multiple_of(64) && t2.elapsed().as_secs_f64() > seconds {
+                    return Err(PllError::TimeBudgetExceeded { seconds });
+                }
+            }
+        }
+        stats.pruned_seconds = t2.elapsed().as_secs_f64();
+
+        let labels = LabelSet::from_vecs(&label_ranks, &label_dists, label_parents.as_deref());
+        Ok(PllIndex::from_parts(order, inv, labels, bp, stats))
+    }
+}
+
+/// Hook into construction progress; see
+/// [`IndexBuilder::build_with_observer`].
+pub trait BuildObserver {
+    /// Called once, after the bit-parallel phase and before the first pruned
+    /// BFS.
+    fn after_bp_phase(&mut self, _view: &PartialIndex<'_>) {}
+    /// Called after the `k`-th pruned BFS (`k` counts from 1).
+    fn after_root(&mut self, _k: usize, _stats: &RootStats, _view: &PartialIndex<'_>) {}
+}
+
+/// The do-nothing observer used by [`IndexBuilder::build`].
+struct NoopObserver;
+impl BuildObserver for NoopObserver {}
+
+/// A queryable snapshot of the index mid-construction. Distances returned
+/// are upper bounds that become exact once the covering root has been
+/// processed (Theorem 4.1's invariant) — exactly the "covered pairs"
+/// semantics of Figure 4.
+pub struct PartialIndex<'a> {
+    label_ranks: &'a [Vec<Rank>],
+    label_dists: &'a [Vec<Dist>],
+    bp: &'a BitParallelLabels,
+    inv: &'a [Vertex],
+}
+
+impl PartialIndex<'_> {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.label_ranks.len()
+    }
+
+    /// Current 2-hop upper bound between *original* vertices `u` and `v`
+    /// (`None` = not yet covered / disconnected).
+    pub fn distance(&self, u: Vertex, v: Vertex) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        let (ru, rv) = (self.inv[u as usize], self.inv[v as usize]);
+        let mut best = self.bp.query(ru, rv);
+        let (ar, ad) = (&self.label_ranks[ru as usize], &self.label_dists[ru as usize]);
+        let (br, bd) = (&self.label_ranks[rv as usize], &self.label_dists[rv as usize]);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ar.len() && j < br.len() {
+            if ar[i] == br[j] {
+                let d = ad[i] as u32 + bd[j] as u32;
+                if d < best {
+                    best = d;
+                }
+                i += 1;
+                j += 1;
+            } else if ar[i] < br[j] {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        (best != INF_QUERY).then_some(best)
+    }
+
+    /// Total label entries so far.
+    pub fn total_label_entries(&self) -> usize {
+        self.label_ranks.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pll_graph::gen;
+    use pll_graph::traversal::bfs::BfsEngine;
+
+    fn check_exact(g: &CsrGraph, builder: &IndexBuilder) {
+        let idx = builder.build(g).unwrap();
+        let n = g.num_vertices();
+        let mut engine = BfsEngine::new(n);
+        for s in 0..n as Vertex {
+            let d = engine.run(g, s).to_vec();
+            for t in 0..n as Vertex {
+                let expect = (d[t as usize] != u32::MAX).then_some(d[t as usize]);
+                assert_eq!(idx.distance(s, t), expect, "pair ({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_small_graphs_no_bp() {
+        let b = IndexBuilder::new().bit_parallel_roots(0);
+        check_exact(&gen::path(12).unwrap(), &b);
+        check_exact(&gen::cycle(9).unwrap(), &b);
+        check_exact(&gen::star(15).unwrap(), &b);
+        check_exact(&gen::grid(5, 6).unwrap(), &b);
+        check_exact(&gen::complete(8).unwrap(), &b);
+        check_exact(&gen::balanced_tree(3, 3).unwrap(), &b);
+    }
+
+    #[test]
+    fn exact_on_small_graphs_with_bp() {
+        let b = IndexBuilder::new().bit_parallel_roots(4);
+        check_exact(&gen::path(12).unwrap(), &b);
+        check_exact(&gen::grid(6, 5).unwrap(), &b);
+        check_exact(&gen::erdos_renyi_gnm(80, 160, 3).unwrap(), &b);
+        check_exact(&gen::barabasi_albert(90, 2, 5).unwrap(), &b);
+    }
+
+    #[test]
+    fn exact_with_bp_saturation() {
+        // More BP roots than vertices: everything is covered by phase 1.
+        let g = gen::erdos_renyi_gnm(40, 100, 9).unwrap();
+        let b = IndexBuilder::new().bit_parallel_roots(64);
+        check_exact(&g, &b);
+    }
+
+    #[test]
+    fn exact_on_disconnected_graph() {
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]).unwrap();
+        check_exact(&g, &IndexBuilder::new().bit_parallel_roots(0));
+        check_exact(&g, &IndexBuilder::new().bit_parallel_roots(2));
+    }
+
+    #[test]
+    fn all_orderings_give_exact_indices() {
+        let g = gen::barabasi_albert(120, 3, 11).unwrap();
+        for strat in [
+            OrderingStrategy::Degree,
+            OrderingStrategy::Random,
+            OrderingStrategy::Closeness { samples: 8 },
+        ] {
+            let b = IndexBuilder::new().ordering(strat).bit_parallel_roots(2);
+            check_exact(&g, &b);
+        }
+    }
+
+    #[test]
+    fn custom_order_is_respected() {
+        let g = gen::path(6).unwrap();
+        let order: Vec<Vertex> = vec![5, 4, 3, 2, 1, 0];
+        let idx = IndexBuilder::new()
+            .ordering(OrderingStrategy::Custom(order.clone()))
+            .bit_parallel_roots(0)
+            .build(&g)
+            .unwrap();
+        assert_eq!(idx.order(), &order[..]);
+        assert_eq!(idx.distance(0, 5), Some(5));
+    }
+
+    #[test]
+    fn parents_require_no_bp() {
+        let g = gen::path(4).unwrap();
+        let err = IndexBuilder::new()
+            .store_parents(true)
+            .bit_parallel_roots(4)
+            .build(&g)
+            .unwrap_err();
+        assert!(matches!(err, PllError::IncompatibleOptions { .. }));
+        let ok = IndexBuilder::new()
+            .store_parents(true)
+            .bit_parallel_roots(0)
+            .build(&g)
+            .unwrap();
+        assert!(ok.has_parents());
+    }
+
+    #[test]
+    fn diameter_overflow_is_reported() {
+        let g = gen::path(300).unwrap();
+        let err = IndexBuilder::new()
+            .bit_parallel_roots(0)
+            .build(&g)
+            .unwrap_err();
+        assert!(matches!(err, PllError::DiameterTooLarge { .. }));
+    }
+
+    #[test]
+    fn label_budget_abort() {
+        let g = gen::erdos_renyi_gnm(200, 600, 1).unwrap();
+        let err = IndexBuilder::new()
+            .ordering(OrderingStrategy::Random)
+            .bit_parallel_roots(0)
+            .abort_if_avg_label_exceeds(0.5)
+            .build(&g)
+            .unwrap_err();
+        assert!(matches!(err, PllError::LabelBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let empty = CsrGraph::empty(0);
+        let idx = IndexBuilder::new().build(&empty).unwrap();
+        assert_eq!(idx.num_vertices(), 0);
+
+        let single = CsrGraph::empty(1);
+        let idx = IndexBuilder::new().build(&single).unwrap();
+        assert_eq!(idx.distance(0, 0), Some(0));
+    }
+
+    #[test]
+    fn observer_sees_monotone_progress() {
+        struct Probe {
+            roots_seen: usize,
+            entries_last: usize,
+            bp_called: bool,
+        }
+        impl BuildObserver for Probe {
+            fn after_bp_phase(&mut self, view: &PartialIndex<'_>) {
+                self.bp_called = true;
+                assert_eq!(view.total_label_entries(), 0);
+            }
+            fn after_root(&mut self, k: usize, stats: &RootStats, view: &PartialIndex<'_>) {
+                self.roots_seen += 1;
+                assert_eq!(k, self.roots_seen);
+                assert_eq!(stats.visited, stats.labeled + stats.pruned);
+                let entries = view.total_label_entries();
+                assert!(entries >= self.entries_last);
+                self.entries_last = entries;
+            }
+        }
+        let g = gen::barabasi_albert(80, 2, 2).unwrap();
+        let mut probe = Probe {
+            roots_seen: 0,
+            entries_last: 0,
+            bp_called: false,
+        };
+        let idx = IndexBuilder::new()
+            .bit_parallel_roots(2)
+            .build_with_observer(&g, &mut probe)
+            .unwrap();
+        assert!(probe.bp_called);
+        assert_eq!(probe.roots_seen, idx.stats().pruned_roots);
+    }
+
+    #[test]
+    fn observer_partial_distances_are_upper_bounds() {
+        let g = gen::erdos_renyi_gnm(60, 140, 4).unwrap();
+        struct Check<'g> {
+            g: &'g CsrGraph,
+        }
+        impl BuildObserver for Check<'_> {
+            fn after_root(&mut self, k: usize, _s: &RootStats, view: &PartialIndex<'_>) {
+                if !k.is_multiple_of(10) {
+                    return;
+                }
+                let mut engine = BfsEngine::new(self.g.num_vertices());
+                for (s, t) in [(0u32, 5u32), (3, 59), (10, 20)] {
+                    if let Some(ub) = view.distance(s, t) {
+                        let exact = engine.distance(self.g, s, t).unwrap();
+                        assert!(ub >= exact, "upper bound {ub} < exact {exact}");
+                    }
+                }
+            }
+        }
+        IndexBuilder::new()
+            .bit_parallel_roots(0)
+            .build_with_observer(&g, &mut Check { g: &g })
+            .unwrap();
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = gen::barabasi_albert(150, 3, 8).unwrap();
+        let idx = IndexBuilder::new()
+            .bit_parallel_roots(4)
+            .record_root_stats(true)
+            .build(&g)
+            .unwrap();
+        let s = idx.stats();
+        assert_eq!(s.bp_roots_used, 4);
+        assert!(s.pruned_roots > 0);
+        assert_eq!(
+            s.per_root.as_ref().unwrap().len(),
+            s.pruned_roots,
+            "one record per pruned root"
+        );
+        assert_eq!(s.total_visited, s.total_labeled + s.total_pruned);
+        assert!(s.total_seconds() >= 0.0);
+    }
+}

@@ -1,0 +1,455 @@
+//! Directed pruned landmark labeling (§6, "Directed Graphs").
+//!
+//! Each vertex stores two labels: `L_OUT(v)` holds pairs `(w, d(v, w))` and
+//! `L_IN(v)` holds pairs `(w, d(w, v))`. A query `s → t` merges `L_OUT(s)`
+//! with `L_IN(t)`. Construction runs *two* pruned BFSs per root — one over
+//! out-edges (filling `L_IN` of reached vertices) and one over in-edges
+//! (filling `L_OUT`) — pruning each against the labels accumulated so far.
+
+use crate::error::{PllError, Result};
+use crate::label::{merge_query, LabelSet};
+use crate::order::OrderingStrategy;
+use crate::stats::ConstructionStats;
+use crate::types::{Dist, Rank, Vertex, INF8, INF_QUERY, MAX_DIST};
+use pll_graph::reorder::inverse_permutation;
+use pll_graph::{CsrDigraph, Xoshiro256pp};
+use std::time::Instant;
+
+/// Configures construction of a [`DirectedPllIndex`].
+#[derive(Clone, Debug)]
+pub struct DirectedIndexBuilder {
+    ordering: OrderingStrategy,
+    seed: u64,
+}
+
+impl Default for DirectedIndexBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DirectedIndexBuilder {
+    /// Default configuration: Degree ordering (by total degree, in + out).
+    pub fn new() -> Self {
+        DirectedIndexBuilder {
+            ordering: OrderingStrategy::Degree,
+            seed: 0x5EED_1A5E,
+        }
+    }
+
+    /// Sets the ordering strategy. `Degree` orders by `in + out` degree;
+    /// `Closeness` is not supported for digraphs.
+    pub fn ordering(mut self, strategy: OrderingStrategy) -> Self {
+        self.ordering = strategy;
+        self
+    }
+
+    /// Seed for the Random ordering.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn compute_order(&self, g: &CsrDigraph) -> Result<Vec<Vertex>> {
+        let n = g.num_vertices();
+        match &self.ordering {
+            OrderingStrategy::Degree => {
+                let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+                order.sort_by(|&a, &b| {
+                    let da = g.out_degree(a) + g.in_degree(a);
+                    let db = g.out_degree(b) + g.in_degree(b);
+                    db.cmp(&da).then(a.cmp(&b))
+                });
+                Ok(order)
+            }
+            OrderingStrategy::Random => {
+                let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+                Xoshiro256pp::seed_from_u64(self.seed).shuffle(&mut order);
+                Ok(order)
+            }
+            OrderingStrategy::Custom(order) => {
+                if order.len() != n {
+                    return Err(PllError::InvalidOrder {
+                        message: format!(
+                            "order has {} entries for {} vertices",
+                            order.len(),
+                            n
+                        ),
+                    });
+                }
+                let mut seen = vec![false; n];
+                for &v in order {
+                    if (v as usize) >= n || seen[v as usize] {
+                        return Err(PllError::InvalidOrder {
+                            message: format!("order entry {v} repeated or out of range"),
+                        });
+                    }
+                    seen[v as usize] = true;
+                }
+                Ok(order.clone())
+            }
+            OrderingStrategy::Closeness { .. } | OrderingStrategy::Degeneracy => {
+                Err(PllError::IncompatibleOptions {
+                    message: format!(
+                        "{} ordering is not supported for directed indices",
+                        self.ordering.name()
+                    ),
+                })
+            }
+        }
+    }
+
+    /// Builds the directed index.
+    pub fn build(&self, g: &CsrDigraph) -> Result<DirectedPllIndex> {
+        let n = g.num_vertices();
+        let t0 = Instant::now();
+        let order = self.compute_order(g)?;
+        let inv = inverse_permutation(&order);
+        // Relabel arcs into rank space.
+        let rank_edges: Vec<(Vertex, Vertex)> = g
+            .arcs()
+            .map(|(u, v)| (inv[u as usize], inv[v as usize]))
+            .collect();
+        let h = CsrDigraph::from_edges(n, &rank_edges)?;
+        let order_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let mut in_ranks: Vec<Vec<Rank>> = vec![Vec::new(); n];
+        let mut in_dists: Vec<Vec<Dist>> = vec![Vec::new(); n];
+        let mut out_ranks: Vec<Vec<Rank>> = vec![Vec::new(); n];
+        let mut out_dists: Vec<Vec<Dist>> = vec![Vec::new(); n];
+
+        let mut tentative: Vec<Dist> = vec![INF8; n];
+        let mut temp: Vec<Dist> = vec![INF8; n];
+        let mut queue: Vec<Rank> = Vec::with_capacity(n);
+        let mut stats = ConstructionStats {
+            order_seconds,
+            ..Default::default()
+        };
+
+        // One pruned BFS in a fixed direction. `forward = true` explores
+        // out-edges from the root: it computes d(r, u) and labels L_IN(u);
+        // the pruning query is min over L_OUT(r) ∩ L_IN(u). `forward =
+        // false` mirrors everything.
+        #[allow(clippy::too_many_arguments)]
+        fn pruned_bfs(
+            h: &CsrDigraph,
+            r: Rank,
+            forward: bool,
+            root_side_ranks: &[Vec<Rank>],
+            root_side_dists: &[Vec<Dist>],
+            fill_ranks: &mut [Vec<Rank>],
+            fill_dists: &mut [Vec<Dist>],
+            tentative: &mut [Dist],
+            temp: &mut [Dist],
+            queue: &mut Vec<Rank>,
+            stats: &mut ConstructionStats,
+        ) -> Result<()> {
+            // temp[w] = distance between w and r on the root's side.
+            for (idx, &w) in root_side_ranks[r as usize].iter().enumerate() {
+                temp[w as usize] = root_side_dists[r as usize][idx];
+            }
+            queue.clear();
+            queue.push(r);
+            tentative[r as usize] = 0;
+            let mut head = 0usize;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                let d = tentative[u as usize];
+                stats.total_visited += 1;
+
+                let mut prune = false;
+                let lr = &fill_ranks[u as usize];
+                let ld = &fill_dists[u as usize];
+                for (idx, &w) in lr.iter().enumerate() {
+                    let tw = temp[w as usize];
+                    if tw != INF8 && tw as u32 + ld[idx] as u32 <= d as u32 {
+                        prune = true;
+                        break;
+                    }
+                }
+                if prune {
+                    stats.total_pruned += 1;
+                    continue;
+                }
+                fill_ranks[u as usize].push(r);
+                fill_dists[u as usize].push(d);
+                stats.total_labeled += 1;
+
+                let neighbors = if forward {
+                    h.out_neighbors(u)
+                } else {
+                    h.in_neighbors(u)
+                };
+                for &w in neighbors {
+                    if tentative[w as usize] == INF8 {
+                        if d >= MAX_DIST {
+                            return Err(PllError::DiameterTooLarge { root_rank: r });
+                        }
+                        tentative[w as usize] = d + 1;
+                        queue.push(w);
+                    }
+                }
+            }
+            for &v in queue.iter() {
+                tentative[v as usize] = INF8;
+            }
+            for &w in root_side_ranks[r as usize].iter() {
+                temp[w as usize] = INF8;
+            }
+            Ok(())
+        }
+
+        for r in 0..n as Rank {
+            // Forward: fills L_IN, prunes against L_OUT(r) ∩ L_IN(u).
+            pruned_bfs(
+                &h, r, true, &out_ranks, &out_dists, &mut in_ranks, &mut in_dists,
+                &mut tentative, &mut temp, &mut queue, &mut stats,
+            )?;
+            // Backward: fills L_OUT, prunes against L_IN(r) ∩ L_OUT(u).
+            pruned_bfs(
+                &h, r, false, &in_ranks, &in_dists, &mut out_ranks, &mut out_dists,
+                &mut tentative, &mut temp, &mut queue, &mut stats,
+            )?;
+            stats.pruned_roots += 1;
+        }
+        stats.pruned_seconds = t1.elapsed().as_secs_f64();
+
+        let labels_in = LabelSet::from_vecs(&in_ranks, &in_dists, None);
+        let labels_out = LabelSet::from_vecs(&out_ranks, &out_dists, None);
+        Ok(DirectedPllIndex {
+            order,
+            inv,
+            labels_in,
+            labels_out,
+            stats,
+        })
+    }
+}
+
+/// An exact distance index over a directed, unweighted graph.
+#[derive(Clone, Debug)]
+pub struct DirectedPllIndex {
+    order: Vec<Vertex>,
+    inv: Vec<Rank>,
+    labels_in: LabelSet,
+    labels_out: LabelSet,
+    stats: ConstructionStats,
+}
+
+impl DirectedPllIndex {
+    /// Number of indexed vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Exact directed distance from `s` to `t`; `None` if `t` is not
+    /// reachable from `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn distance(&self, s: Vertex, t: Vertex) -> Option<u32> {
+        assert!((s as usize) < self.num_vertices(), "vertex {s} out of range");
+        assert!((t as usize) < self.num_vertices(), "vertex {t} out of range");
+        if s == t {
+            return Some(0);
+        }
+        let rs = self.inv[s as usize];
+        let rt = self.inv[t as usize];
+        let (sr, sd) = self.labels_out.label(rs);
+        let (tr, td) = self.labels_in.label(rt);
+        let best = merge_query(sr, sd, tr, td);
+        (best != INF_QUERY).then_some(best)
+    }
+
+    /// Checked variant of [`DirectedPllIndex::distance`].
+    pub fn try_distance(&self, s: Vertex, t: Vertex) -> Result<Option<u32>> {
+        let n = self.num_vertices();
+        for x in [s, t] {
+            if x as usize >= n {
+                return Err(PllError::VertexOutOfRange {
+                    vertex: x,
+                    num_vertices: n,
+                });
+            }
+        }
+        Ok(self.distance(s, t))
+    }
+
+    /// OUT-label store (hubs reachable *from* each vertex).
+    pub fn labels_out(&self) -> &LabelSet {
+        &self.labels_out
+    }
+
+    /// IN-label store (hubs that reach each vertex).
+    pub fn labels_in(&self) -> &LabelSet {
+        &self.labels_in
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &ConstructionStats {
+        &self.stats
+    }
+
+    /// Average of (|L_IN| + |L_OUT|) per vertex.
+    pub fn avg_label_size(&self) -> f64 {
+        self.labels_in.avg_label_size() + self.labels_out.avg_label_size()
+    }
+
+    /// Total index bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.labels_in.memory_bytes()
+            + self.labels_out.memory_bytes()
+            + self.order.len() * 8
+    }
+
+    /// Raw parts for serialisation: `(order, labels_in, labels_out)`.
+    pub(crate) fn as_raw(&self) -> (&[Vertex], &LabelSet, &LabelSet) {
+        (&self.order, &self.labels_in, &self.labels_out)
+    }
+
+    /// Reassembles from raw parts (deserialisation; inputs pre-validated).
+    pub(crate) fn from_raw(
+        order: Vec<Vertex>,
+        inv: Vec<Rank>,
+        labels_in: LabelSet,
+        labels_out: LabelSet,
+    ) -> Self {
+        DirectedPllIndex {
+            order,
+            inv,
+            labels_in,
+            labels_out,
+            stats: ConstructionStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pll_graph::{CsrDigraph, Xoshiro256pp, INF_U32};
+
+    /// Plain directed BFS for ground truth.
+    fn bfs_directed(g: &CsrDigraph, s: Vertex) -> Vec<u32> {
+        let n = g.num_vertices();
+        let mut dist = vec![INF_U32; n];
+        let mut queue = vec![s];
+        dist[s as usize] = 0;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &w in g.out_neighbors(u) {
+                if dist[w as usize] == INF_U32 {
+                    dist[w as usize] = dist[u as usize] + 1;
+                    queue.push(w);
+                }
+            }
+        }
+        dist
+    }
+
+    fn check_exact(g: &CsrDigraph, builder: &DirectedIndexBuilder) {
+        let idx = builder.build(g).unwrap();
+        let n = g.num_vertices() as Vertex;
+        for s in 0..n {
+            let d = bfs_directed(g, s);
+            for t in 0..n {
+                let expect = (d[t as usize] != INF_U32).then_some(d[t as usize]);
+                assert_eq!(idx.distance(s, t), expect, "pair ({s} -> {t})");
+            }
+        }
+    }
+
+    fn random_digraph(n: usize, m: usize, seed: u64) -> CsrDigraph {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut arcs = std::collections::HashSet::new();
+        while arcs.len() < m {
+            let u = rng.next_below(n as u64) as Vertex;
+            let v = rng.next_below(n as u64) as Vertex;
+            if u != v {
+                arcs.insert((u, v));
+            }
+        }
+        let mut list: Vec<_> = arcs.into_iter().collect();
+        list.sort_unstable();
+        CsrDigraph::from_edges(n, &list).unwrap()
+    }
+
+    #[test]
+    fn exact_on_dag() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 4; nothing returns.
+        let g = CsrDigraph::from_edges(5, &[(0, 1), (1, 3), (0, 2), (2, 3), (3, 4)]).unwrap();
+        check_exact(&g, &DirectedIndexBuilder::new());
+        let idx = DirectedIndexBuilder::new().build(&g).unwrap();
+        assert_eq!(idx.distance(0, 4), Some(3));
+        assert_eq!(idx.distance(4, 0), None); // asymmetry
+    }
+
+    #[test]
+    fn exact_on_directed_cycle() {
+        let g = CsrDigraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let idx = DirectedIndexBuilder::new().build(&g).unwrap();
+        assert_eq!(idx.distance(0, 4), Some(4));
+        assert_eq!(idx.distance(4, 0), Some(1));
+        check_exact(&g, &DirectedIndexBuilder::new());
+    }
+
+    #[test]
+    fn exact_on_random_digraphs() {
+        for seed in [1, 2, 3] {
+            let g = random_digraph(60, 240, seed);
+            check_exact(&g, &DirectedIndexBuilder::new());
+            check_exact(
+                &g,
+                &DirectedIndexBuilder::new()
+                    .ordering(OrderingStrategy::Random)
+                    .seed(seed),
+            );
+        }
+    }
+
+    #[test]
+    fn antiparallel_pair() {
+        let g = CsrDigraph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]).unwrap();
+        let idx = DirectedIndexBuilder::new().build(&g).unwrap();
+        assert_eq!(idx.distance(0, 2), Some(2));
+        assert_eq!(idx.distance(2, 0), None);
+        assert_eq!(idx.distance(1, 0), Some(1));
+    }
+
+    #[test]
+    fn closeness_rejected() {
+        let g = CsrDigraph::from_edges(2, &[(0, 1)]).unwrap();
+        let err = DirectedIndexBuilder::new()
+            .ordering(OrderingStrategy::Closeness { samples: 4 })
+            .build(&g)
+            .unwrap_err();
+        assert!(matches!(err, PllError::IncompatibleOptions { .. }));
+    }
+
+    #[test]
+    fn try_distance_checks_range() {
+        let g = CsrDigraph::from_edges(2, &[(0, 1)]).unwrap();
+        let idx = DirectedIndexBuilder::new().build(&g).unwrap();
+        assert!(idx.try_distance(0, 1).unwrap().is_some());
+        assert!(matches!(
+            idx.try_distance(0, 7),
+            Err(PllError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn label_stats_accessible() {
+        let g = random_digraph(50, 150, 9);
+        let idx = DirectedIndexBuilder::new().build(&g).unwrap();
+        assert!(idx.avg_label_size() > 0.0);
+        assert!(idx.memory_bytes() > 0);
+        assert_eq!(idx.stats().pruned_roots, 50);
+        assert!(idx.labels_in().num_vertices() == 50);
+        assert!(idx.labels_out().num_vertices() == 50);
+    }
+}

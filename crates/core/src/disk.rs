@@ -1,0 +1,352 @@
+//! Disk-resident query answering (§6, "Disk-based Query Answering").
+//!
+//! "To answer a distance query, our querying algorithm only refers to two
+//! contiguous regions. Thus, if the index is disk resident, we can answer
+//! queries with two disk seek operations."
+//!
+//! [`DiskIndex`] keeps only the permutation, the bit-parallel root list and
+//! the per-vertex block offset table in memory; each query seeks to and
+//! reads the two label blocks (bit-parallel entries + normal label) and
+//! merges them exactly like the in-memory index.
+//!
+//! File layout (little-endian):
+//!
+//! ```text
+//! magic   8 bytes "PLLDISK1"
+//! n       u64
+//! t       u64
+//! order   n × u32
+//! roots   t × u32
+//! offsets (n+1) × u64      absolute file offset of each rank's block
+//! blocks  per rank: t × (u8 + u64 + u64)  bit-parallel entries
+//!                   u32 label length (excluding sentinel)
+//!                   len × u32 ranks
+//!                   len × u8  dists
+//! ```
+
+use crate::bp::BpEntry;
+use crate::error::{PllError, Result};
+use crate::index::PllIndex;
+use crate::types::{Rank, Vertex, INF8, INF_QUERY};
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PLLDISK1";
+const BP_ENTRY_BYTES: usize = 1 + 8 + 8;
+
+/// Writes `index` in the disk-query format.
+pub fn write_disk_index(index: &PllIndex, path: &Path) -> Result<()> {
+    let (order, _inv, labels, bp, _stats) = index.parts();
+    let n = order.len();
+    let t = bp.num_roots();
+    let mut w = BufWriter::new(File::create(path)?);
+
+    w.write_all(MAGIC)?;
+    w.write_all(&(n as u64).to_le_bytes())?;
+    w.write_all(&(t as u64).to_le_bytes())?;
+    for &v in order {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    let (roots, _) = bp.as_raw();
+    for &r in roots {
+        w.write_all(&r.to_le_bytes())?;
+    }
+
+    // Compute block offsets: header + order + roots + offset table itself.
+    let header = 8 + 8 + 8 + n * 4 + t * 4 + (n + 1) * 8;
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut pos = header as u64;
+    for v in 0..n as Rank {
+        offsets.push(pos);
+        let len = labels.label_len(v);
+        pos += (t * BP_ENTRY_BYTES + 4 + len * 4 + len) as u64;
+    }
+    offsets.push(pos);
+    for &o in &offsets {
+        w.write_all(&o.to_le_bytes())?;
+    }
+
+    for v in 0..n as Rank {
+        for e in bp.entries_of(v) {
+            w.write_all(&[e.dist])?;
+            w.write_all(&e.set_minus1.to_le_bytes())?;
+            w.write_all(&e.set_zero.to_le_bytes())?;
+        }
+        let (ranks, dists) = labels.label(v);
+        let len = ranks.len() - 1; // strip sentinel on disk
+        w.write_all(&(len as u32).to_le_bytes())?;
+        for &r in &ranks[..len] {
+            w.write_all(&r.to_le_bytes())?;
+        }
+        w.write_all(&dists[..len])?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// A disk-resident index: answers each query with two block reads.
+pub struct DiskIndex {
+    file: File,
+    inv: Vec<Rank>,
+    offsets: Vec<u64>,
+    num_bp_roots: usize,
+    /// Reads performed since opening (two per distance query); exposed so
+    /// tests and benches can assert the two-seek property.
+    reads: u64,
+}
+
+/// One parsed label block.
+struct Block {
+    bp: Vec<BpEntry>,
+    ranks: Vec<Rank>,
+    dists: Vec<u8>,
+}
+
+impl DiskIndex {
+    /// Opens a file written by [`write_disk_index`].
+    pub fn open(path: &Path) -> Result<DiskIndex> {
+        let mut file = File::open(path)?;
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(PllError::Format {
+                message: "bad disk-index magic".into(),
+            });
+        }
+        let mut b8 = [0u8; 8];
+        file.read_exact(&mut b8)?;
+        let n = u64::from_le_bytes(b8) as usize;
+        file.read_exact(&mut b8)?;
+        let t = u64::from_le_bytes(b8) as usize;
+        // Reject fabricated counts before any sized allocation: the header
+        // section alone needs 4 bytes per order entry, 4 per root and 8 per
+        // block offset.
+        let file_len = file.metadata()?.len();
+        let header_need = 24u64
+            .saturating_add(n as u64 * 4)
+            .saturating_add(t as u64 * 4)
+            .saturating_add((n as u64 + 1) * 8);
+        if header_need > file_len {
+            return Err(PllError::Format {
+                message: "disk-index header exceeds file size".into(),
+            });
+        }
+
+        let mut order_bytes = vec![0u8; n * 4];
+        file.read_exact(&mut order_bytes)?;
+        let order: Vec<Vertex> = order_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mut seen = vec![false; n];
+        for &v in &order {
+            if v as usize >= n || seen[v as usize] {
+                return Err(PllError::Format {
+                    message: "disk-index order is not a permutation".into(),
+                });
+            }
+            seen[v as usize] = true;
+        }
+        let mut inv = vec![0 as Rank; n];
+        for (rank, &v) in order.iter().enumerate() {
+            inv[v as usize] = rank as Rank;
+        }
+
+        let mut roots_bytes = vec![0u8; t * 4];
+        file.read_exact(&mut roots_bytes)?;
+
+        let mut offsets_bytes = vec![0u8; (n + 1) * 8];
+        file.read_exact(&mut offsets_bytes)?;
+        let offsets: Vec<u64> = offsets_bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(PllError::Format {
+                message: "non-monotone disk block offsets".into(),
+            });
+        }
+
+        Ok(DiskIndex {
+            file,
+            inv,
+            offsets,
+            num_bp_roots: t,
+            reads: 0,
+        })
+    }
+
+    /// Number of indexed vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.inv.len()
+    }
+
+    /// Block reads performed so far (two per [`DiskIndex::distance`] call).
+    pub fn reads_performed(&self) -> u64 {
+        self.reads
+    }
+
+    fn read_block(&mut self, v: Rank) -> Result<Block> {
+        let start = self.offsets[v as usize];
+        let end = self.offsets[v as usize + 1];
+        let mut buf = vec![0u8; (end - start) as usize];
+        self.file.seek(SeekFrom::Start(start))?;
+        self.file.read_exact(&mut buf)?;
+        self.reads += 1;
+
+        let t = self.num_bp_roots;
+        let mut bp = Vec::with_capacity(t);
+        for i in 0..t {
+            let base = i * BP_ENTRY_BYTES;
+            bp.push(BpEntry {
+                dist: buf[base],
+                set_minus1: u64::from_le_bytes(buf[base + 1..base + 9].try_into().unwrap()),
+                set_zero: u64::from_le_bytes(buf[base + 9..base + 17].try_into().unwrap()),
+            });
+        }
+        let mut pos = t * BP_ENTRY_BYTES;
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        let ranks: Vec<Rank> = buf[pos..pos + len * 4]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        pos += len * 4;
+        let dists = buf[pos..pos + len].to_vec();
+        Ok(Block { bp, ranks, dists })
+    }
+
+    /// Exact distance between original vertices `u` and `v` with two disk
+    /// reads; `None` when disconnected.
+    pub fn distance(&mut self, u: Vertex, v: Vertex) -> Result<Option<u32>> {
+        let n = self.num_vertices();
+        for x in [u, v] {
+            if x as usize >= n {
+                return Err(PllError::VertexOutOfRange {
+                    vertex: x,
+                    num_vertices: n,
+                });
+            }
+        }
+        if u == v {
+            return Ok(Some(0));
+        }
+        let a = self.read_block(self.inv[u as usize])?;
+        let b = self.read_block(self.inv[v as usize])?;
+
+        let mut best = INF_QUERY;
+        for (x, y) in a.bp.iter().zip(b.bp.iter()) {
+            if x.dist == INF8 || y.dist == INF8 {
+                continue;
+            }
+            let mut td = x.dist as u32 + y.dist as u32;
+            if td.saturating_sub(2) < best {
+                if x.set_minus1 & y.set_minus1 != 0 {
+                    td -= 2;
+                } else if (x.set_minus1 & y.set_zero) | (x.set_zero & y.set_minus1) != 0 {
+                    td -= 1;
+                }
+                best = best.min(td);
+            }
+        }
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.ranks.len() && j < b.ranks.len() {
+            if a.ranks[i] == b.ranks[j] {
+                let d = a.dists[i] as u32 + b.dists[j] as u32;
+                best = best.min(d);
+                i += 1;
+                j += 1;
+            } else if a.ranks[i] < b.ranks[j] {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        Ok((best != INF_QUERY).then_some(best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexBuilder;
+    use pll_graph::gen;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pll_disk_test_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn disk_queries_match_memory_queries() {
+        let g = gen::barabasi_albert(200, 3, 7).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(4).build(&g).unwrap();
+        let path = tmp_path("roundtrip");
+        write_disk_index(&idx, &path).unwrap();
+        let mut disk = DiskIndex::open(&path).unwrap();
+        assert_eq!(disk.num_vertices(), 200);
+        for s in (0..200u32).step_by(13) {
+            for t in (0..200u32).step_by(17) {
+                assert_eq!(
+                    disk.distance(s, t).unwrap(),
+                    idx.distance(s, t),
+                    "pair ({s}, {t})"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn two_reads_per_query() {
+        let g = gen::erdos_renyi_gnm(50, 120, 2).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(2).build(&g).unwrap();
+        let path = tmp_path("tworead");
+        write_disk_index(&idx, &path).unwrap();
+        let mut disk = DiskIndex::open(&path).unwrap();
+        disk.distance(0, 49).unwrap();
+        assert_eq!(disk.reads_performed(), 2);
+        disk.distance(5, 6).unwrap();
+        assert_eq!(disk.reads_performed(), 4);
+        // Trivial query costs no reads.
+        disk.distance(7, 7).unwrap();
+        assert_eq!(disk.reads_performed(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disconnected_pairs_on_disk() {
+        let g = pll_graph::CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(1).build(&g).unwrap();
+        let path = tmp_path("disconnected");
+        write_disk_index(&idx, &path).unwrap();
+        let mut disk = DiskIndex::open(&path).unwrap();
+        assert_eq!(disk.distance(0, 3).unwrap(), None);
+        assert_eq!(disk.distance(2, 3).unwrap(), Some(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = tmp_path("garbage");
+        std::fs::write(&path, b"definitely not an index").unwrap();
+        assert!(DiskIndex::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_checked() {
+        let g = gen::path(5).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+        let path = tmp_path("range");
+        write_disk_index(&idx, &path).unwrap();
+        let mut disk = DiskIndex::open(&path).unwrap();
+        assert!(matches!(
+            disk.distance(0, 9),
+            Err(PllError::VertexOutOfRange { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,158 @@
+//! Error type for index construction, queries and (de)serialisation.
+
+use std::fmt;
+
+/// Errors produced by the pruned landmark labeling crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PllError {
+    /// A finite shortest-path distance exceeded the 8-bit representation
+    /// (254). The paper stores unweighted distances in 8 bits because
+    /// complex networks are small-world (§4.5); high-diameter graphs should
+    /// use the weighted (`u32`) index instead.
+    DiameterTooLarge {
+        /// The rank-space root whose BFS overflowed.
+        root_rank: u32,
+    },
+    /// A weighted distance exceeded `u32::MAX - 1`.
+    WeightedDistanceOverflow,
+    /// A query endpoint was out of range.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: u32,
+        /// Vertex count of the indexed graph.
+        num_vertices: usize,
+    },
+    /// A user-supplied custom order was not a permutation of `0..n`.
+    InvalidOrder {
+        /// Description of the problem.
+        message: String,
+    },
+    /// Incompatible builder options (e.g. parent pointers together with
+    /// bit-parallel roots; see `IndexBuilder::store_parents`).
+    IncompatibleOptions {
+        /// Description of the conflict.
+        message: String,
+    },
+    /// Path reconstruction requested on an index built without parents.
+    ParentsNotStored,
+    /// Construction aborted because the label budget configured with
+    /// `IndexBuilder::abort_if_avg_label_exceeds` was exceeded (used by the
+    /// Table 5 harness to report DNF for the Random ordering on graphs where
+    /// it explodes).
+    LabelBudgetExceeded {
+        /// The configured average-label-size budget.
+        budget: f64,
+    },
+    /// Construction aborted because it exceeded the wall-clock budget
+    /// configured with `IndexBuilder::abort_after_seconds` (the harness's
+    /// "did not finish" outcome, mirroring the paper's DNF entries).
+    TimeBudgetExceeded {
+        /// The configured budget in seconds.
+        seconds: f64,
+    },
+    /// Underlying graph error.
+    Graph(pll_graph::GraphError),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A serialised index failed validation (bad magic, version, checksum
+    /// or structure).
+    Format {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for PllError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PllError::DiameterTooLarge { root_rank } => write!(
+                f,
+                "BFS from rank {root_rank} reached distance > 254; 8-bit distances overflowed \
+                 (use the weighted index for high-diameter graphs)"
+            ),
+            PllError::WeightedDistanceOverflow => {
+                write!(f, "weighted distance exceeded the u32 label representation")
+            }
+            PllError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for index over {num_vertices} vertices"
+            ),
+            PllError::InvalidOrder { message } => write!(f, "invalid vertex order: {message}"),
+            PllError::IncompatibleOptions { message } => {
+                write!(f, "incompatible builder options: {message}")
+            }
+            PllError::ParentsNotStored => write!(
+                f,
+                "path reconstruction requires an index built with store_parents(true)"
+            ),
+            PllError::LabelBudgetExceeded { budget } => write!(
+                f,
+                "construction aborted: average label size exceeded the budget of {budget}"
+            ),
+            PllError::TimeBudgetExceeded { seconds } => write!(
+                f,
+                "construction aborted: wall-clock budget of {seconds} s exceeded (DNF)"
+            ),
+            PllError::Graph(e) => write!(f, "graph error: {e}"),
+            PllError::Io(e) => write!(f, "I/O error: {e}"),
+            PllError::Format { message } => write!(f, "index format error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PllError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PllError::Graph(e) => Some(e),
+            PllError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pll_graph::GraphError> for PllError {
+    fn from(e: pll_graph::GraphError) -> Self {
+        PllError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for PllError {
+    fn from(e: std::io::Error) -> Self {
+        PllError::Io(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, PllError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PllError::DiameterTooLarge { root_rank: 3 }
+            .to_string()
+            .contains("254"));
+        assert!(PllError::ParentsNotStored
+            .to_string()
+            .contains("store_parents"));
+        let e = PllError::VertexOutOfRange {
+            vertex: 10,
+            num_vertices: 5,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn conversions() {
+        let ge = pll_graph::GraphError::TooLarge { what: "x" };
+        assert!(matches!(PllError::from(ge), PllError::Graph(_)));
+        let io = std::io::Error::other("x");
+        assert!(matches!(PllError::from(io), PllError::Io(_)));
+    }
+}

@@ -1,0 +1,301 @@
+//! The queryable pruned landmark labeling index.
+
+use crate::bp::BitParallelLabels;
+use crate::error::{PllError, Result};
+use crate::label::LabelSet;
+use crate::stats::{ConstructionStats, LabelSizeStats};
+use crate::types::{Rank, Vertex, INF_QUERY};
+
+/// An exact 2-hop distance index over an undirected, unweighted graph,
+/// built by [`crate::IndexBuilder`].
+///
+/// Queries run in `O(|L(s)| + |L(t)| + t)` time: a constant-time check per
+/// bit-parallel root followed by a merge-join over the two sorted labels
+/// (§3.3, §5.3).
+#[derive(Clone, Debug)]
+pub struct PllIndex {
+    /// `order[rank] = original vertex`.
+    order: Vec<Vertex>,
+    /// `inv[original vertex] = rank`.
+    inv: Vec<Rank>,
+    /// Normal labels, keyed by rank.
+    labels: LabelSet,
+    /// Bit-parallel labels, keyed by rank.
+    bp: BitParallelLabels,
+    /// Construction statistics.
+    stats: ConstructionStats,
+}
+
+impl PllIndex {
+    pub(crate) fn from_parts(
+        order: Vec<Vertex>,
+        inv: Vec<Rank>,
+        labels: LabelSet,
+        bp: BitParallelLabels,
+        stats: ConstructionStats,
+    ) -> Self {
+        PllIndex {
+            order,
+            inv,
+            labels,
+            bp,
+            stats,
+        }
+    }
+
+    /// Number of indexed vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Exact distance between original vertices `u` and `v`; `None` when
+    /// they are disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range (use [`PllIndex::try_distance`]
+    /// for a checked variant).
+    #[inline]
+    pub fn distance(&self, u: Vertex, v: Vertex) -> Option<u32> {
+        assert!(
+            (u as usize) < self.num_vertices(),
+            "vertex {u} out of range"
+        );
+        assert!(
+            (v as usize) < self.num_vertices(),
+            "vertex {v} out of range"
+        );
+        if u == v {
+            return Some(0);
+        }
+        let ru = self.inv[u as usize];
+        let rv = self.inv[v as usize];
+        let bp_best = self.bp.query(ru, rv);
+        let label_best = self.labels.query(ru, rv);
+        let best = bp_best.min(label_best);
+        (best != INF_QUERY).then_some(best)
+    }
+
+    /// Checked variant of [`PllIndex::distance`].
+    pub fn try_distance(&self, u: Vertex, v: Vertex) -> Result<Option<u32>> {
+        let n = self.num_vertices();
+        for x in [u, v] {
+            if x as usize >= n {
+                return Err(PllError::VertexOutOfRange {
+                    vertex: x,
+                    num_vertices: n,
+                });
+            }
+        }
+        Ok(self.distance(u, v))
+    }
+
+    /// Distance plus the minimising *normal-label* hub (as an original
+    /// vertex id), when the minimum is realised by a normal label rather
+    /// than a bit-parallel entry. Used by path reconstruction.
+    pub fn distance_with_hub(&self, u: Vertex, v: Vertex) -> Option<(u32, Option<Vertex>)> {
+        assert!((u as usize) < self.num_vertices());
+        assert!((v as usize) < self.num_vertices());
+        if u == v {
+            return Some((0, Some(u)));
+        }
+        let ru = self.inv[u as usize];
+        let rv = self.inv[v as usize];
+        let bp_best = self.bp.query(ru, rv);
+        match self.labels.query_with_hub(ru, rv) {
+            Some((d, hub)) if d <= bp_best => {
+                Some((d, Some(self.order[hub as usize])))
+            }
+            Some((_, _)) => Some((bp_best, None)),
+            None if bp_best != INF_QUERY => Some((bp_best, None)),
+            None => None,
+        }
+    }
+
+    /// Whether `u` and `v` are in the same connected component.
+    pub fn connected(&self, u: Vertex, v: Vertex) -> bool {
+        self.distance(u, v).is_some()
+    }
+
+    /// The vertex order used at construction: `order()[rank] = vertex`.
+    pub fn order(&self) -> &[Vertex] {
+        &self.order
+    }
+
+    /// Rank of original vertex `v`.
+    pub fn rank_of(&self, v: Vertex) -> Rank {
+        self.inv[v as usize]
+    }
+
+    /// Original vertex at `rank`.
+    pub fn vertex_at(&self, rank: Rank) -> Vertex {
+        self.order[rank as usize]
+    }
+
+    /// The normal-label store (rank-keyed).
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// The bit-parallel label store (rank-keyed).
+    pub fn bit_parallel(&self) -> &BitParallelLabels {
+        &self.bp
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &ConstructionStats {
+        &self.stats
+    }
+
+    /// Whether parent pointers are stored (path reconstruction available).
+    pub fn has_parents(&self) -> bool {
+        self.labels.has_parents()
+    }
+
+    /// Average normal-label entries per vertex — the left part of the
+    /// paper's "LN" column (e.g. "437+16": 437 normal + 16 bit-parallel).
+    pub fn avg_label_size(&self) -> f64 {
+        self.labels.avg_label_size()
+    }
+
+    /// Distribution of normal-label sizes over vertices (Figure 3c).
+    pub fn label_size_stats(&self) -> LabelSizeStats {
+        let sizes: Vec<usize> = (0..self.num_vertices() as Rank)
+            .map(|r| self.labels.label_len(r))
+            .collect();
+        LabelSizeStats::from_sizes(sizes)
+    }
+
+    /// Total index bytes: labels + bit-parallel labels + the two
+    /// permutation arrays (the paper's "IS" column).
+    pub fn memory_bytes(&self) -> usize {
+        self.labels.memory_bytes()
+            + self.bp.memory_bytes()
+            + self.order.len() * 4
+            + self.inv.len() * 4
+    }
+
+    /// Internal accessor for serialisation.
+    pub(crate) fn parts(
+        &self,
+    ) -> (&[Vertex], &[Rank], &LabelSet, &BitParallelLabels, &ConstructionStats) {
+        (&self.order, &self.inv, &self.labels, &self.bp, &self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexBuilder;
+    use crate::order::OrderingStrategy;
+    use pll_graph::gen;
+
+    fn small_index() -> PllIndex {
+        let g = gen::barabasi_albert(100, 2, 3).unwrap();
+        IndexBuilder::new()
+            .bit_parallel_roots(2)
+            .build(&g)
+            .unwrap()
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let idx = small_index();
+        for v in [0u32, 17, 99] {
+            assert_eq!(idx.distance(v, v), Some(0));
+        }
+    }
+
+    #[test]
+    fn try_distance_checks_range() {
+        let idx = small_index();
+        assert!(idx.try_distance(0, 99).is_ok());
+        assert!(matches!(
+            idx.try_distance(0, 100),
+            Err(PllError::VertexOutOfRange { vertex: 100, .. })
+        ));
+        assert!(matches!(
+            idx.try_distance(200, 0),
+            Err(PllError::VertexOutOfRange { vertex: 200, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn distance_panics_out_of_range() {
+        small_index().distance(0, 100);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let idx = small_index();
+        for (s, t) in [(0u32, 50u32), (3, 77), (12, 13)] {
+            assert_eq!(idx.distance(s, t), idx.distance(t, s));
+        }
+    }
+
+    #[test]
+    fn connected_and_disconnected() {
+        let g = pll_graph::CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+        assert!(idx.connected(0, 2));
+        assert!(!idx.connected(0, 3));
+        assert_eq!(idx.distance(0, 4), None);
+    }
+
+    #[test]
+    fn rank_mappings_are_inverse() {
+        let idx = small_index();
+        for v in 0..100u32 {
+            assert_eq!(idx.vertex_at(idx.rank_of(v)), v);
+        }
+        assert_eq!(idx.order().len(), 100);
+    }
+
+    #[test]
+    fn hub_is_on_a_shortest_path() {
+        let g = gen::erdos_renyi_gnm(80, 200, 5).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+        for (s, t) in [(0u32, 40u32), (5, 60), (11, 70)] {
+            if let Some((d, Some(hub))) = idx.distance_with_hub(s, t) {
+                let dsh = idx.distance(s, hub).unwrap();
+                let dht = idx.distance(hub, t).unwrap();
+                assert_eq!(dsh + dht, d, "hub {hub} must lie on a shortest path");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_and_label_stats_consistent() {
+        let idx = small_index();
+        assert!(idx.memory_bytes() > 0);
+        let ls = idx.label_size_stats();
+        assert_eq!(ls.num_vertices, 100);
+        assert!((ls.mean - idx.avg_label_size()).abs() < 1e-9);
+        assert!(ls.max >= ls.min);
+    }
+
+    #[test]
+    fn degree_ordering_puts_small_ranks_in_labels() {
+        // With degree ordering, hubs should be dominated by top-ranked
+        // vertices: rank 0 must appear in (almost) every label of its
+        // component.
+        let g = gen::barabasi_albert(200, 3, 1).unwrap();
+        let idx = IndexBuilder::new()
+            .ordering(OrderingStrategy::Degree)
+            .bit_parallel_roots(0)
+            .build(&g)
+            .unwrap();
+        let mut rank0_count = 0usize;
+        for r in 0..200u32 {
+            let (ranks, _) = idx.labels().label(r);
+            if ranks[0] == 0 {
+                rank0_count += 1;
+            }
+        }
+        assert!(
+            rank0_count > 150,
+            "rank 0 labels only {rank0_count}/200 vertices"
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Flat label storage and the merge-join query kernel.
+//!
+//! Labels are the index of §3.3: for each vertex `v`, a sorted sequence of
+//! `(hub rank, distance)` pairs. Following §4.5 the store is laid out as
+//! * one `offsets` array (`n + 1` entries),
+//! * one contiguous `ranks` array and one contiguous `dists` array —
+//!   vertices and distances split, because "distances are only used when
+//!   vertices match",
+//! * a sentinel entry `(RANK_SENTINEL, INF8)` terminating every label so the
+//!   merge loop needs no bounds checks,
+//! * optional parent pointers (rank space) for shortest-path reconstruction
+//!   (§6).
+
+use crate::types::{Dist, Rank, INF8, INF_QUERY, RANK_SENTINEL};
+
+/// Immutable flat label store, keyed by *rank* (not original vertex id).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LabelSet {
+    offsets: Vec<u32>,
+    ranks: Vec<Rank>,
+    dists: Vec<Dist>,
+    /// Parent (rank space) of this vertex in the hub's pruned BFS tree;
+    /// `RANK_SENTINEL` for the hub itself and for sentinel entries.
+    parents: Option<Vec<Rank>>,
+}
+
+impl LabelSet {
+    /// Flattens per-vertex label vectors into the arena, appending the
+    /// sentinel to each label.
+    ///
+    /// `per_vertex_parents` must be `Some` iff parent tracking was enabled,
+    /// and parallel in shape to the labels.
+    pub(crate) fn from_vecs(
+        ranks: &[Vec<Rank>],
+        dists: &[Vec<Dist>],
+        parents: Option<&[Vec<Rank>]>,
+    ) -> LabelSet {
+        let n = ranks.len();
+        debug_assert_eq!(dists.len(), n);
+        let total: usize = ranks.iter().map(|r| r.len() + 1).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut flat_ranks = Vec::with_capacity(total);
+        let mut flat_dists = Vec::with_capacity(total);
+        let mut flat_parents = parents.map(|_| Vec::with_capacity(total));
+        offsets.push(0u32);
+        for v in 0..n {
+            debug_assert_eq!(ranks[v].len(), dists[v].len());
+            debug_assert!(
+                ranks[v].windows(2).all(|w| w[0] < w[1]),
+                "label of vertex {v} must be strictly sorted by rank"
+            );
+            flat_ranks.extend_from_slice(&ranks[v]);
+            flat_dists.extend_from_slice(&dists[v]);
+            flat_ranks.push(RANK_SENTINEL);
+            flat_dists.push(INF8);
+            if let (Some(fp), Some(pv)) = (&mut flat_parents, parents) {
+                fp.extend_from_slice(&pv[v]);
+                fp.push(RANK_SENTINEL);
+            }
+            offsets.push(flat_ranks.len() as u32);
+        }
+        LabelSet {
+            offsets,
+            ranks: flat_ranks,
+            dists: flat_dists,
+            parents: flat_parents,
+        }
+    }
+
+    /// Reassembles a label set from raw arena arrays (deserialisation).
+    pub(crate) fn from_raw(
+        offsets: Vec<u32>,
+        ranks: Vec<Rank>,
+        dists: Vec<Dist>,
+        parents: Option<Vec<Rank>>,
+    ) -> LabelSet {
+        LabelSet {
+            offsets,
+            ranks,
+            dists,
+            parents,
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Label of rank-space vertex `v`: parallel `(ranks, dists)` slices
+    /// *including* the trailing sentinel.
+    #[inline]
+    pub fn label(&self, v: Rank) -> (&[Rank], &[Dist]) {
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        (&self.ranks[s..e], &self.dists[s..e])
+    }
+
+    /// Number of label entries of `v`, excluding the sentinel.
+    #[inline]
+    pub fn label_len(&self, v: Rank) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize - 1
+    }
+
+    /// Parent slice of `v` (including sentinel) if parents are stored.
+    pub fn parents(&self, v: Rank) -> Option<&[Rank]> {
+        self.parents.as_ref().map(|p| {
+            let s = self.offsets[v as usize] as usize;
+            let e = self.offsets[v as usize + 1] as usize;
+            &p[s..e]
+        })
+    }
+
+    /// Whether parent pointers are stored.
+    pub fn has_parents(&self) -> bool {
+        self.parents.is_some()
+    }
+
+    /// The 2-hop query of §3.3 over rank-space vertices `u` and `v`:
+    /// `min { d(w,u) + d(w,v) }` over hubs `w` common to both labels, or
+    /// [`INF_QUERY`] if the labels share no hub. `O(|L(u)| + |L(v)|)`
+    /// merge-join; the sentinel guarantees termination.
+    #[inline]
+    pub fn query(&self, u: Rank, v: Rank) -> u32 {
+        let (ur, ud) = self.label(u);
+        let (vr, vd) = self.label(v);
+        merge_query(ur, ud, vr, vd)
+    }
+
+    /// Like [`LabelSet::query`], also returning the minimising hub rank.
+    pub fn query_with_hub(&self, u: Rank, v: Rank) -> Option<(u32, Rank)> {
+        let (ur, ud) = self.label(u);
+        let (vr, vd) = self.label(v);
+        let mut i = 0usize;
+        let mut j = 0usize;
+        let mut best = INF_QUERY;
+        let mut hub = RANK_SENTINEL;
+        loop {
+            let (ru, rv) = (ur[i], vr[j]);
+            if ru == rv {
+                if ru == RANK_SENTINEL {
+                    break;
+                }
+                let d = ud[i] as u32 + vd[j] as u32;
+                if d < best {
+                    best = d;
+                    hub = ru;
+                }
+                i += 1;
+                j += 1;
+            } else if ru < rv {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        (best != INF_QUERY).then_some((best, hub))
+    }
+
+    /// Distance from `v` to hub `w` if `w` labels `v` (binary search over
+    /// the sorted label).
+    pub fn hub_distance(&self, v: Rank, w: Rank) -> Option<Dist> {
+        let (vr, vd) = self.label(v);
+        let body = &vr[..vr.len() - 1]; // exclude sentinel
+        body.binary_search(&w).ok().map(|i| vd[i])
+    }
+
+    /// Parent of `v` in the BFS tree of hub `w`, if stored and present.
+    pub fn hub_parent(&self, v: Rank, w: Rank) -> Option<Rank> {
+        let parents = self.parents.as_ref()?;
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        let body = &self.ranks[s..e - 1];
+        body.binary_search(&w).ok().map(|i| parents[s + i])
+    }
+
+    /// Total number of label entries (excluding sentinels).
+    pub fn total_entries(&self) -> usize {
+        self.ranks.len() - self.num_vertices()
+    }
+
+    /// Average label size per vertex (the paper's "LN" metric).
+    pub fn avg_label_size(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.total_entries() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Heap bytes used by the arena (the paper's "IS" contribution from
+    /// normal labels).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 4
+            + self.ranks.len() * 4
+            + self.dists.len()
+            + self.parents.as_ref().map_or(0, |p| p.len() * 4)
+    }
+
+    /// Raw arena views for serialisation:
+    /// `(offsets, ranks, dists, parents)`.
+    pub(crate) fn as_raw(&self) -> RawLabelParts<'_> {
+        (
+            &self.offsets,
+            &self.ranks,
+            &self.dists,
+            self.parents.as_deref(),
+        )
+    }
+}
+
+/// Raw arena views `(offsets, ranks, dists, parents)` used by
+/// serialisation.
+pub(crate) type RawLabelParts<'a> = (&'a [u32], &'a [Rank], &'a [Dist], Option<&'a [Rank]>);
+
+/// Merge-join over two sentinel-terminated labels.
+#[inline]
+pub(crate) fn merge_query(ur: &[Rank], ud: &[Dist], vr: &[Rank], vd: &[Dist]) -> u32 {
+    debug_assert_eq!(*ur.last().unwrap(), RANK_SENTINEL);
+    debug_assert_eq!(*vr.last().unwrap(), RANK_SENTINEL);
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut best = INF_QUERY;
+    loop {
+        let (ru, rv) = (ur[i], vr[j]);
+        if ru == rv {
+            if ru == RANK_SENTINEL {
+                break;
+            }
+            let d = ud[i] as u32 + vd[j] as u32;
+            if d < best {
+                best = d;
+            }
+            i += 1;
+            j += 1;
+        } else if ru < rv {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_set() -> LabelSet {
+        // vertex 0: hubs {0:0, 2:3}; vertex 1: hubs {0:1}; vertex 2: {}.
+        LabelSet::from_vecs(
+            &[vec![0, 2], vec![0], vec![]],
+            &[vec![0, 3], vec![1], vec![]],
+            None,
+        )
+    }
+
+    #[test]
+    fn label_slices_end_with_sentinel() {
+        let ls = small_set();
+        let (r, d) = ls.label(0);
+        assert_eq!(r, &[0, 2, RANK_SENTINEL]);
+        assert_eq!(d, &[0, 3, INF8]);
+        assert_eq!(ls.label_len(0), 2);
+        assert_eq!(ls.label_len(2), 0);
+    }
+
+    #[test]
+    fn query_merges_common_hubs() {
+        let ls = small_set();
+        assert_eq!(ls.query(0, 1), 1); // via hub 0: 0 + 1
+        assert_eq!(ls.query(1, 1), 2); // via hub 0: 1 + 1
+        assert_eq!(ls.query(0, 2), INF_QUERY); // no common hub
+        assert_eq!(ls.query(2, 2), INF_QUERY); // empty labels
+    }
+
+    #[test]
+    fn query_with_hub_reports_minimiser() {
+        let ls = LabelSet::from_vecs(
+            &[vec![0, 1], vec![0, 1]],
+            &[vec![5, 1], vec![5, 1]],
+            None,
+        );
+        assert_eq!(ls.query_with_hub(0, 1), Some((2, 1)));
+        let empty = small_set();
+        assert_eq!(empty.query_with_hub(0, 2), None);
+    }
+
+    #[test]
+    fn hub_distance_lookup() {
+        let ls = small_set();
+        assert_eq!(ls.hub_distance(0, 2), Some(3));
+        assert_eq!(ls.hub_distance(0, 1), None);
+        assert_eq!(ls.hub_distance(2, 0), None);
+    }
+
+    #[test]
+    fn parents_roundtrip() {
+        let ls = LabelSet::from_vecs(
+            &[vec![0], vec![0]],
+            &[vec![0], vec![1]],
+            Some(&[vec![RANK_SENTINEL], vec![0]]),
+        );
+        assert!(ls.has_parents());
+        assert_eq!(ls.hub_parent(1, 0), Some(0));
+        assert_eq!(ls.hub_parent(0, 0), Some(RANK_SENTINEL));
+        assert_eq!(ls.parents(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn stats() {
+        let ls = small_set();
+        assert_eq!(ls.total_entries(), 3);
+        assert!((ls.avg_label_size() - 1.0).abs() < 1e-12);
+        // offsets 4*4 + ranks 6*4 + dists 6
+        assert_eq!(ls.memory_bytes(), 16 + 24 + 6);
+    }
+
+    #[test]
+    fn merge_query_tie_handling() {
+        // Two common hubs with equal sums.
+        let ls = LabelSet::from_vecs(
+            &[vec![0, 3], vec![0, 3]],
+            &[vec![2, 1], vec![2, 1]],
+            None,
+        );
+        assert_eq!(ls.query(0, 1), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Pruned landmark labeling: fast exact shortest-path distance queries on
+//! large networks.
+//!
+//! This crate implements the indexing method of Akiba, Iwata & Yoshida,
+//! *"Fast Exact Shortest-Path Distance Queries on Large Networks by Pruned
+//! Landmark Labeling"* (SIGMOD 2013):
+//!
+//! * [`IndexBuilder`] / [`PllIndex`] — the undirected, unweighted index:
+//!   pruned BFS labeling (§4) combined with bit-parallel labels (§5);
+//! * [`OrderingStrategy`] — the Degree / Random / Closeness vertex orders of
+//!   §4.4;
+//! * [`paths`] — shortest-*path* reconstruction via parent pointers (§6);
+//! * [`directed`] — the directed variant with IN/OUT labels (§6);
+//! * [`weighted`] — the weighted variant via pruned Dijkstra (§6);
+//! * [`weighted_directed`] — the combined variant for weighted digraphs;
+//! * [`serialize`] / [`disk`] — a versioned binary index format and
+//!   disk-resident query answering with two reads per query (§6);
+//! * [`verify`] — exhaustive/sampled correctness checking against BFS.
+//!
+//! # Example
+//!
+//! ```
+//! use pll_core::{IndexBuilder, OrderingStrategy};
+//! use pll_graph::gen;
+//!
+//! let g = gen::barabasi_albert(2_000, 3, 42).unwrap();
+//! let index = IndexBuilder::new()
+//!     .ordering(OrderingStrategy::Degree)
+//!     .bit_parallel_roots(16)
+//!     .build(&g)
+//!     .unwrap();
+//!
+//! // Exact distance; `None` means disconnected.
+//! let d = index.distance(0, 1999);
+//! assert!(d.unwrap() <= 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bp;
+pub mod compact;
+pub mod build;
+pub mod directed;
+pub mod disk;
+pub mod error;
+pub mod index;
+pub mod label;
+pub mod order;
+pub mod paths;
+pub mod reduction;
+pub mod serialize;
+pub mod stats;
+pub mod types;
+pub mod verify;
+pub mod weighted;
+pub mod weighted_directed;
+
+pub use compact::CompactIndex;
+pub use build::{BuildObserver, IndexBuilder, PartialIndex};
+pub use directed::{DirectedIndexBuilder, DirectedPllIndex};
+pub use error::{PllError, Result};
+pub use index::PllIndex;
+pub use label::LabelSet;
+pub use order::OrderingStrategy;
+pub use reduction::{Peeling, ReducedPllIndex};
+pub use stats::{ConstructionStats, LabelSizeStats, RootStats};
+pub use types::{Dist, Rank, Vertex, WDist};
+pub use weighted::{WeightedIndexBuilder, WeightedPllIndex};
+pub use weighted_directed::{WeightedDirectedIndexBuilder, WeightedDirectedPllIndex};

@@ -1,0 +1,279 @@
+//! Vertex ordering strategies (§4.4).
+//!
+//! The BFS order is "crucial for the performance of this method" (§4.4.1):
+//! central vertices must come first so later BFSs prune early. The paper
+//! proposes three strategies, compared in Table 5:
+//!
+//! * [`OrderingStrategy::Degree`] — highest degree first (the default used
+//!   throughout the paper's experiments);
+//! * [`OrderingStrategy::Closeness`] — approximate closeness centrality via
+//!   sampled BFSs;
+//! * [`OrderingStrategy::Random`] — the baseline showing how much ordering
+//!   matters.
+
+use crate::error::{PllError, Result};
+use pll_graph::traversal::bfs::BfsEngine;
+use pll_graph::{CsrGraph, Vertex, Xoshiro256pp, INF_U32};
+
+/// How to order vertices for the pruned BFSs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OrderingStrategy {
+    /// Descending degree; ties broken by ascending vertex id (deterministic).
+    Degree,
+    /// Uniformly random permutation seeded by the builder seed.
+    Random,
+    /// Approximate closeness centrality: BFS from `samples` random vertices,
+    /// order by ascending total distance to the samples (most central
+    /// first). Vertices unreachable from a sample are penalised by `n` per
+    /// miss, pushing fringe components last. Ties broken by descending
+    /// degree, then id.
+    Closeness {
+        /// Number of sampled BFS sources (§4.4.2 approximates closeness by
+        /// "randomly sampling a small number of vertices").
+        samples: usize,
+    },
+    /// Reverse degeneracy order: repeatedly strip the minimum-degree
+    /// vertex; vertices removed *last* (the innermost core) come first.
+    /// Exploits the core–fringe structure directly: the order front-loads
+    /// the dense core that most shortest paths traverse, and pushes the
+    /// tree-like fringe to the tail where pruning is immediate.
+    Degeneracy,
+    /// Caller-provided order: `order[rank] = vertex`. Must be a permutation
+    /// of `0..n`.
+    Custom(Vec<Vertex>),
+}
+
+impl OrderingStrategy {
+    /// Short human-readable name (used by the Table 5 harness).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OrderingStrategy::Degree => "Degree",
+            OrderingStrategy::Random => "Random",
+            OrderingStrategy::Closeness { .. } => "Closeness",
+            OrderingStrategy::Degeneracy => "Degeneracy",
+            OrderingStrategy::Custom(_) => "Custom",
+        }
+    }
+}
+
+/// Computes the vertex order for `g`: `order[rank] = vertex`, rank 0 first.
+///
+/// # Errors
+///
+/// Returns [`PllError::InvalidOrder`] if a custom order is not a permutation
+/// of `0..n`.
+pub fn compute_order(
+    g: &CsrGraph,
+    strategy: &OrderingStrategy,
+    seed: u64,
+) -> Result<Vec<Vertex>> {
+    let n = g.num_vertices();
+    match strategy {
+        OrderingStrategy::Degree => {
+            let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+            order.sort_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
+            Ok(order)
+        }
+        OrderingStrategy::Random => {
+            let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            rng.shuffle(&mut order);
+            Ok(order)
+        }
+        OrderingStrategy::Closeness { samples } => {
+            if n == 0 {
+                return Ok(Vec::new());
+            }
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            let k = (*samples).max(1).min(n.max(1));
+            let mut total = vec![0u64; n];
+            let mut engine = BfsEngine::new(n);
+            for _ in 0..k {
+                let src = rng.next_below(n.max(1) as u64) as Vertex;
+                let dist = engine.run(g, src);
+                for v in 0..n {
+                    total[v] += if dist[v] == INF_U32 {
+                        n as u64
+                    } else {
+                        dist[v] as u64
+                    };
+                }
+            }
+            let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+            order.sort_by(|&a, &b| {
+                total[a as usize]
+                    .cmp(&total[b as usize])
+                    .then(g.degree(b).cmp(&g.degree(a)))
+                    .then(a.cmp(&b))
+            });
+            Ok(order)
+        }
+        OrderingStrategy::Degeneracy => {
+            let decomp = pll_graph::traversal::kcore::core_decomposition(g);
+            let mut order = decomp.degeneracy_order;
+            order.reverse();
+            // Within the same removal tail, prefer higher degree (mirrors
+            // the Degree strategy's treatment of the deepest core).
+            order.sort_by(|&a, &b| {
+                decomp.core[b as usize]
+                    .cmp(&decomp.core[a as usize])
+                    .then(g.degree(b).cmp(&g.degree(a)))
+                    .then(a.cmp(&b))
+            });
+            Ok(order)
+        }
+        OrderingStrategy::Custom(order) => {
+            if order.len() != n {
+                return Err(PllError::InvalidOrder {
+                    message: format!("order has {} entries for {} vertices", order.len(), n),
+                });
+            }
+            let mut seen = vec![false; n];
+            for &v in order {
+                if (v as usize) >= n {
+                    return Err(PllError::InvalidOrder {
+                        message: format!("order entry {v} out of range"),
+                    });
+                }
+                if seen[v as usize] {
+                    return Err(PllError::InvalidOrder {
+                        message: format!("order repeats vertex {v}"),
+                    });
+                }
+                seen[v as usize] = true;
+            }
+            Ok(order.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pll_graph::gen;
+
+    #[test]
+    fn degree_order_puts_hub_first() {
+        let g = gen::star(10).unwrap();
+        let order = compute_order(&g, &OrderingStrategy::Degree, 0).unwrap();
+        assert_eq!(order[0], 0);
+        // Leaves tie-break by id.
+        assert_eq!(&order[1..], &(1..10).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn degree_order_is_deterministic() {
+        let g = gen::barabasi_albert(200, 3, 1).unwrap();
+        let a = compute_order(&g, &OrderingStrategy::Degree, 0).unwrap();
+        let b = compute_order(&g, &OrderingStrategy::Degree, 99).unwrap();
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(g.degree(w[0]) >= g.degree(w[1]));
+        }
+    }
+
+    #[test]
+    fn random_order_is_seeded_permutation() {
+        let g = gen::path(50).unwrap();
+        let a = compute_order(&g, &OrderingStrategy::Random, 7).unwrap();
+        let b = compute_order(&g, &OrderingStrategy::Random, 7).unwrap();
+        let c = compute_order(&g, &OrderingStrategy::Random, 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn closeness_order_prefers_center_of_path() {
+        let g = gen::path(101).unwrap();
+        let order =
+            compute_order(&g, &OrderingStrategy::Closeness { samples: 16 }, 3).unwrap();
+        // The path centre minimises total distance; sampled closeness should
+        // put some mid-path vertex first, never an endpoint.
+        let first = order[0];
+        assert!(
+            (25..=75).contains(&first),
+            "first vertex {first} should be central"
+        );
+    }
+
+    #[test]
+    fn closeness_on_star_prefers_center() {
+        let g = gen::star(50).unwrap();
+        let order =
+            compute_order(&g, &OrderingStrategy::Closeness { samples: 8 }, 11).unwrap();
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn custom_order_validation() {
+        let g = gen::path(4).unwrap();
+        let ok = OrderingStrategy::Custom(vec![3, 2, 1, 0]);
+        assert_eq!(compute_order(&g, &ok, 0).unwrap(), vec![3, 2, 1, 0]);
+
+        let short = OrderingStrategy::Custom(vec![0, 1]);
+        assert!(compute_order(&g, &short, 0).is_err());
+        let dup = OrderingStrategy::Custom(vec![0, 0, 1, 2]);
+        assert!(compute_order(&g, &dup, 0).is_err());
+        let oob = OrderingStrategy::Custom(vec![0, 1, 2, 9]);
+        assert!(compute_order(&g, &oob, 0).is_err());
+    }
+
+    #[test]
+    fn degeneracy_order_fronts_the_core() {
+        // Triangle core with long pendant paths: core vertices first.
+        let mut edges = vec![(0u32, 1u32), (1, 2), (2, 0)];
+        let mut next = 3u32;
+        for anchor in [0u32, 1, 2] {
+            let mut prev = anchor;
+            for _ in 0..5 {
+                edges.push((prev, next));
+                prev = next;
+                next += 1;
+            }
+        }
+        let g = CsrGraph::from_edges(next as usize, &edges).unwrap();
+        let order = compute_order(&g, &OrderingStrategy::Degeneracy, 0).unwrap();
+        let first3: Vec<_> = order[..3].to_vec();
+        for v in [0u32, 1, 2] {
+            assert!(first3.contains(&v), "core vertex {v} not in front: {first3:?}");
+        }
+    }
+
+    #[test]
+    fn degeneracy_index_is_exact() {
+        let g = gen::chung_lu(150, 2.3, 7.0, 3).unwrap();
+        let idx = crate::IndexBuilder::new()
+            .ordering(OrderingStrategy::Degeneracy)
+            .bit_parallel_roots(2)
+            .build(&g)
+            .unwrap();
+        crate::verify::verify_exhaustive(&g, &idx).unwrap();
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(OrderingStrategy::Degree.name(), "Degree");
+        assert_eq!(OrderingStrategy::Random.name(), "Random");
+        assert_eq!(OrderingStrategy::Closeness { samples: 4 }.name(), "Closeness");
+        assert_eq!(OrderingStrategy::Degeneracy.name(), "Degeneracy");
+        assert_eq!(OrderingStrategy::Custom(vec![]).name(), "Custom");
+    }
+
+    #[test]
+    fn empty_graph_orders() {
+        let g = CsrGraph::empty(0);
+        for strat in [
+            OrderingStrategy::Degree,
+            OrderingStrategy::Random,
+            OrderingStrategy::Closeness { samples: 4 },
+            OrderingStrategy::Degeneracy,
+            OrderingStrategy::Custom(vec![]),
+        ] {
+            assert!(compute_order(&g, &strat, 0).unwrap().is_empty());
+        }
+    }
+}

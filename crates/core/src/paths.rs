@@ -1,0 +1,163 @@
+//! Shortest-*path* reconstruction (§6, "Shortest-Path Queries").
+//!
+//! When the index is built with `store_parents(true)`, each label entry
+//! `(u, δ_uv)` carries the parent of `v` in the pruned BFS tree rooted at
+//! `u`. A path query finds the minimising hub `w` and ascends the two trees
+//! from `s` and `t` towards `w`; concatenating the climbs yields an actual
+//! shortest path.
+
+use crate::error::{PllError, Result};
+use crate::index::PllIndex;
+use crate::types::{Rank, Vertex, RANK_SENTINEL};
+
+/// Reconstructs one shortest path from `u` to `v` (inclusive), or `None`
+/// when disconnected.
+///
+/// # Errors
+///
+/// [`PllError::ParentsNotStored`] if the index lacks parent pointers, and
+/// [`PllError::VertexOutOfRange`] for bad endpoints.
+pub fn shortest_path(index: &PllIndex, u: Vertex, v: Vertex) -> Result<Option<Vec<Vertex>>> {
+    let n = index.num_vertices();
+    for x in [u, v] {
+        if x as usize >= n {
+            return Err(PllError::VertexOutOfRange {
+                vertex: x,
+                num_vertices: n,
+            });
+        }
+    }
+    if !index.has_parents() {
+        return Err(PllError::ParentsNotStored);
+    }
+    if u == v {
+        return Ok(Some(vec![u]));
+    }
+    let Some((dist, hub)) = index.distance_with_hub(u, v) else {
+        return Ok(None); // disconnected
+    };
+    // With parents stored the builder enforces t = 0, so the minimum always
+    // comes from a normal label and the hub is present.
+    let hub = hub.expect("parent-tracking index has no bit-parallel labels");
+    let hub_rank = index.rank_of(hub);
+
+    let climb = |from: Vertex| -> Vec<Rank> {
+        let mut seq = Vec::new();
+        let mut cur = index.rank_of(from);
+        // The climb takes at most `dist` steps; guard against corruption.
+        for _ in 0..=dist {
+            seq.push(cur);
+            if cur == hub_rank {
+                return seq;
+            }
+            match index.labels().hub_parent(cur, hub_rank) {
+                Some(p) if p != RANK_SENTINEL => cur = p,
+                _ => break,
+            }
+        }
+        seq
+    };
+
+    let up = climb(u); // u … hub (rank space)
+    let down = climb(v); // v … hub
+    debug_assert_eq!(*up.last().unwrap(), hub_rank);
+    debug_assert_eq!(*down.last().unwrap(), hub_rank);
+
+    let mut path: Vec<Vertex> = up
+        .iter()
+        .map(|&r| index.vertex_at(r))
+        .collect();
+    for &r in down.iter().rev().skip(1) {
+        path.push(index.vertex_at(r));
+    }
+    debug_assert_eq!(path.len() as u32, dist + 1);
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexBuilder;
+    use pll_graph::traversal::bfs::BfsEngine;
+    use pll_graph::{gen, CsrGraph};
+
+    fn path_index(g: &CsrGraph) -> PllIndex {
+        IndexBuilder::new()
+            .store_parents(true)
+            .bit_parallel_roots(0)
+            .build(g)
+            .unwrap()
+    }
+
+    fn assert_valid_path(g: &CsrGraph, path: &[Vertex], s: Vertex, t: Vertex, dist: u32) {
+        assert_eq!(path.first(), Some(&s));
+        assert_eq!(path.last(), Some(&t));
+        assert_eq!(path.len() as u32, dist + 1, "path length != distance + 1");
+        for w in path.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "non-edge {} - {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn paths_on_structured_graphs() {
+        for g in [
+            gen::path(10).unwrap(),
+            gen::cycle(9).unwrap(),
+            gen::grid(4, 5).unwrap(),
+            gen::balanced_tree(2, 4).unwrap(),
+        ] {
+            let idx = path_index(&g);
+            let n = g.num_vertices() as Vertex;
+            let mut engine = BfsEngine::new(n as usize);
+            for s in 0..n {
+                for t in 0..n {
+                    let d = engine.distance(&g, s, t).unwrap();
+                    let p = shortest_path(&idx, s, t).unwrap().unwrap();
+                    assert_valid_path(&g, &p, s, t, d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_on_random_graphs() {
+        let g = gen::erdos_renyi_gnm(120, 300, 8).unwrap();
+        let idx = path_index(&g);
+        let mut engine = BfsEngine::new(120);
+        for (s, t) in [(0u32, 60u32), (5, 119), (40, 41), (7, 7)] {
+            match engine.distance(&g, s, t) {
+                Some(d) => {
+                    let p = shortest_path(&idx, s, t).unwrap().unwrap();
+                    assert_valid_path(&g, &p, s, t, d);
+                }
+                None => {
+                    assert_eq!(shortest_path(&idx, s, t).unwrap(), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_and_disconnected() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let idx = path_index(&g);
+        assert_eq!(shortest_path(&idx, 1, 1).unwrap(), Some(vec![1]));
+        assert_eq!(shortest_path(&idx, 0, 2).unwrap(), None);
+        assert_eq!(shortest_path(&idx, 0, 1).unwrap(), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn errors() {
+        let g = gen::path(4).unwrap();
+        let no_parents = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+        assert!(matches!(
+            shortest_path(&no_parents, 0, 3),
+            Err(PllError::ParentsNotStored)
+        ));
+        let idx = path_index(&g);
+        assert!(matches!(
+            shortest_path(&idx, 0, 9),
+            Err(PllError::VertexOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,341 @@
+//! Degree-one fringe reduction (§8, "reduce the index size by reducing
+//! graphs exploiting obvious parts").
+//!
+//! Complex networks have large tree-like fringes. Iteratively peeling
+//! degree-1 vertices leaves a *core*; every peeled vertex hangs in a tree
+//! rooted at a core vertex (its *anchor*). Only the core needs a labeling:
+//!
+//! * same-anchor pairs are answered inside the tree
+//!   (`depth(u) + depth(v) − 2·depth(lca)`);
+//! * all other pairs pass through both anchors
+//!   (`depth(u) + d_core(anchor(u), anchor(v)) + depth(v)`).
+//!
+//! On fringe-heavy graphs this shrinks the labeled vertex set — and the
+//! index — substantially at the cost of a tiny amount of per-query tree
+//! walking.
+
+use crate::build::IndexBuilder;
+use crate::error::Result;
+use crate::index::PllIndex;
+use crate::types::Vertex;
+use pll_graph::{CsrGraph, INVALID_VERTEX};
+
+/// The result of iteratively peeling degree-1 vertices.
+#[derive(Clone, Debug)]
+pub struct Peeling {
+    /// Core subgraph, relabelled to `0..core_size`.
+    core: CsrGraph,
+    /// `core_id[v]` = v's id inside the core, or `INVALID_VERTEX` if peeled.
+    core_id: Vec<Vertex>,
+    /// `old_of_core[c]` = original id of core vertex `c`.
+    old_of_core: Vec<Vertex>,
+    /// Tree parent of each peeled vertex (original ids); `INVALID_VERTEX`
+    /// for core vertices.
+    parent: Vec<Vertex>,
+    /// Distance to the anchor (0 for core vertices).
+    depth: Vec<u32>,
+    /// The core vertex at the end of each vertex's parent chain (original
+    /// id; the vertex itself for core vertices).
+    anchor: Vec<Vertex>,
+}
+
+impl Peeling {
+    /// Iteratively peels degree-1 vertices off `g`.
+    pub fn peel(g: &CsrGraph) -> Peeling {
+        let n = g.num_vertices();
+        let mut degree: Vec<u32> = (0..n as Vertex).map(|v| g.degree(v) as u32).collect();
+        let mut parent = vec![INVALID_VERTEX; n];
+        let mut peeled = vec![false; n];
+        // Queue of current degree-1 vertices.
+        let mut queue: Vec<Vertex> = (0..n as Vertex).filter(|&v| degree[v as usize] == 1).collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            if peeled[v as usize] || degree[v as usize] != 1 {
+                continue; // degree changed since enqueue
+            }
+            // The unique remaining neighbour becomes v's parent.
+            let p = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .find(|&w| !peeled[w as usize])
+                .expect("degree-1 vertex has an unpeeled neighbour");
+            peeled[v as usize] = true;
+            parent[v as usize] = p;
+            degree[v as usize] = 0;
+            degree[p as usize] -= 1;
+            if degree[p as usize] == 1 {
+                queue.push(p);
+            }
+        }
+
+        // Relabel the core.
+        let mut core_id = vec![INVALID_VERTEX; n];
+        let mut old_of_core = Vec::new();
+        for v in 0..n as Vertex {
+            if !peeled[v as usize] {
+                core_id[v as usize] = old_of_core.len() as Vertex;
+                old_of_core.push(v);
+            }
+        }
+        let mut core_edges = Vec::new();
+        for (u, v) in g.edges() {
+            if !peeled[u as usize] && !peeled[v as usize] {
+                core_edges.push((core_id[u as usize], core_id[v as usize]));
+            }
+        }
+        let core = CsrGraph::from_edges(old_of_core.len(), &core_edges)
+            .expect("core inherits validity");
+
+        // Depths and anchors by chasing parent chains (memoised).
+        let mut depth = vec![u32::MAX; n];
+        let mut anchor = vec![INVALID_VERTEX; n];
+        for v in 0..n as Vertex {
+            if !peeled[v as usize] {
+                depth[v as usize] = 0;
+                anchor[v as usize] = v;
+            }
+        }
+        let mut chain = Vec::new();
+        for v in 0..n as Vertex {
+            if depth[v as usize] != u32::MAX {
+                continue;
+            }
+            chain.clear();
+            let mut cur = v;
+            while depth[cur as usize] == u32::MAX {
+                chain.push(cur);
+                cur = parent[cur as usize];
+            }
+            let base_depth = depth[cur as usize];
+            let base_anchor = anchor[cur as usize];
+            for (i, &w) in chain.iter().rev().enumerate() {
+                depth[w as usize] = base_depth + i as u32 + 1;
+                anchor[w as usize] = base_anchor;
+            }
+        }
+
+        Peeling {
+            core,
+            core_id,
+            old_of_core,
+            parent,
+            depth,
+            anchor,
+        }
+    }
+
+    /// The peeled core graph (relabelled).
+    pub fn core(&self) -> &CsrGraph {
+        &self.core
+    }
+
+    /// Number of original vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.core_id.len()
+    }
+
+    /// Number of peeled (fringe) vertices.
+    pub fn num_peeled(&self) -> usize {
+        self.num_vertices() - self.old_of_core.len()
+    }
+
+    /// Whether `v` was peeled into a fringe tree.
+    pub fn is_peeled(&self, v: Vertex) -> bool {
+        self.core_id[v as usize] == INVALID_VERTEX
+    }
+
+    /// Depth of `v` below its anchor (0 for core vertices).
+    pub fn depth(&self, v: Vertex) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// Anchor (core vertex, original id) of `v`.
+    pub fn anchor(&self, v: Vertex) -> Vertex {
+        self.anchor[v as usize]
+    }
+
+    /// Tree distance between two vertices sharing an anchor, via the LCA of
+    /// their parent chains.
+    fn tree_distance(&self, mut u: Vertex, mut v: Vertex) -> u32 {
+        let mut du = self.depth[u as usize];
+        let mut dv = self.depth[v as usize];
+        let mut dist = 0u32;
+        while du > dv {
+            u = self.parent[u as usize];
+            du -= 1;
+            dist += 1;
+        }
+        while dv > du {
+            v = self.parent[v as usize];
+            dv -= 1;
+            dist += 1;
+        }
+        while u != v {
+            u = self.parent[u as usize];
+            v = self.parent[v as usize];
+            dist += 2;
+        }
+        dist
+    }
+}
+
+/// A pruned-landmark-labeling index over the peeled core, answering
+/// distance queries on the *original* graph.
+#[derive(Clone, Debug)]
+pub struct ReducedPllIndex {
+    peeling: Peeling,
+    core_index: PllIndex,
+}
+
+impl ReducedPllIndex {
+    /// Peels `g` and builds the core index with `builder`.
+    pub fn build(g: &CsrGraph, builder: &IndexBuilder) -> Result<ReducedPllIndex> {
+        let peeling = Peeling::peel(g);
+        let core_index = builder.build(peeling.core())?;
+        Ok(ReducedPllIndex {
+            peeling,
+            core_index,
+        })
+    }
+
+    /// The peeling (core statistics, anchors).
+    pub fn peeling(&self) -> &Peeling {
+        &self.peeling
+    }
+
+    /// The index over the core.
+    pub fn core_index(&self) -> &PllIndex {
+        &self.core_index
+    }
+
+    /// Exact distance between original vertices `u` and `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn distance(&self, u: Vertex, v: Vertex) -> Option<u32> {
+        assert!((u as usize) < self.peeling.num_vertices(), "vertex {u} out of range");
+        assert!((v as usize) < self.peeling.num_vertices(), "vertex {v} out of range");
+        if u == v {
+            return Some(0);
+        }
+        let (au, av) = (self.peeling.anchor(u), self.peeling.anchor(v));
+        if au == av {
+            // Same fringe tree (or both equal to the same core vertex):
+            // the unique tree path is shortest — any detour would re-enter
+            // through the shared anchor the tree path already uses at most
+            // once.
+            return Some(self.peeling.tree_distance(u, v));
+        }
+        let core_u = self.peeling.core_id[au as usize];
+        let core_v = self.peeling.core_id[av as usize];
+        let dcore = self.core_index.distance(core_u, core_v)?;
+        Some(self.peeling.depth(u) + dcore + self.peeling.depth(v))
+    }
+
+    /// Index bytes (core labels only; the peeling costs 16 bytes/vertex).
+    pub fn memory_bytes(&self) -> usize {
+        self.core_index.memory_bytes() + self.peeling.num_vertices() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pll_graph::gen;
+    use pll_graph::traversal::bfs::BfsEngine;
+
+    fn check_reduced(g: &CsrGraph) -> ReducedPllIndex {
+        let reduced =
+            ReducedPllIndex::build(g, &IndexBuilder::new().bit_parallel_roots(2)).unwrap();
+        let n = g.num_vertices();
+        let mut engine = BfsEngine::new(n);
+        for s in 0..n as Vertex {
+            let d = engine.run(g, s).to_vec();
+            for t in 0..n as Vertex {
+                let expect = (d[t as usize] != u32::MAX).then_some(d[t as usize]);
+                assert_eq!(reduced.distance(s, t), expect, "pair ({s}, {t})");
+            }
+        }
+        reduced
+    }
+
+    #[test]
+    fn trees_peel_to_a_point() {
+        let g = gen::balanced_tree(3, 4).unwrap();
+        let reduced = check_reduced(&g);
+        assert_eq!(reduced.peeling().core().num_vertices(), 1);
+        assert_eq!(reduced.peeling().num_peeled(), g.num_vertices() - 1);
+    }
+
+    #[test]
+    fn caterpillar_core_is_empty_ish() {
+        let g = gen::caterpillar(30, 3).unwrap();
+        let reduced = check_reduced(&g);
+        assert!(reduced.peeling().core().num_vertices() <= 2);
+    }
+
+    #[test]
+    fn cycle_is_all_core() {
+        let g = gen::cycle(12).unwrap();
+        let reduced = check_reduced(&g);
+        assert_eq!(reduced.peeling().num_peeled(), 0);
+        assert_eq!(reduced.peeling().core().num_edges(), 12);
+    }
+
+    #[test]
+    fn fringe_heavy_random_graphs() {
+        for seed in [1, 2, 3] {
+            // BA with m = 1 beyond a small clique: tree-like with a core.
+            let g = gen::barabasi_albert(120, 1, seed).unwrap();
+            check_reduced(&g);
+            let g = gen::chung_lu(120, 2.5, 3.0, seed).unwrap();
+            check_reduced(&g);
+        }
+    }
+
+    #[test]
+    fn structured_graphs() {
+        check_reduced(&gen::path(30).unwrap());
+        check_reduced(&gen::star(20).unwrap());
+        check_reduced(&gen::grid(5, 5).unwrap());
+        check_reduced(&gen::erdos_renyi_gnm(80, 120, 7).unwrap());
+    }
+
+    #[test]
+    fn disconnected_graph_with_tree_components() {
+        let g = CsrGraph::from_edges(
+            9,
+            &[(0, 1), (1, 2), (3, 4), (4, 5), (5, 3), (5, 6), (6, 7)],
+        )
+        .unwrap();
+        let reduced = check_reduced(&g);
+        // Component {0,1,2} is a path: peels to one vertex. Component
+        // {3,4,5} is a triangle with a pendant path 5-6-7.
+        assert!(reduced.peeling().num_peeled() >= 4);
+        assert_eq!(reduced.distance(0, 3), None);
+        assert_eq!(reduced.distance(8, 8), Some(0));
+    }
+
+    #[test]
+    fn core_shrinks_on_scale_free_graphs() {
+        let g = gen::chung_lu(3000, 2.2, 4.0, 9).unwrap();
+        let reduced =
+            ReducedPllIndex::build(&g, &IndexBuilder::new().bit_parallel_roots(4)).unwrap();
+        let full = IndexBuilder::new().bit_parallel_roots(4).build(&g).unwrap();
+        let core_frac =
+            reduced.peeling().core().num_vertices() as f64 / g.num_vertices() as f64;
+        assert!(core_frac < 0.9, "core fraction {core_frac}");
+        // Sampled agreement with the full index.
+        for s in (0..3000u32).step_by(67) {
+            for t in (0..3000u32).step_by(71) {
+                assert_eq!(reduced.distance(s, t), full.distance(s, t));
+            }
+        }
+    }
+
+    use pll_graph::CsrGraph;
+}

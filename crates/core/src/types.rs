@@ -1,0 +1,55 @@
+//! Core scalar types and constants.
+//!
+//! Following §4.5 and §7 of the paper: distances in unweighted indices are
+//! 8-bit ("we used 8-bit integers to represent distances"), vertices and
+//! ranks are 32-bit, and bit-parallel sets are 64-bit words.
+
+/// Original vertex identifier (as in the input graph).
+pub type Vertex = u32;
+
+/// Rank of a vertex in the BFS priority order; rank 0 is processed first.
+/// Labels store ranks, which keeps them implicitly sorted (§4.5, "Sorting
+/// Labels").
+pub type Rank = u32;
+
+/// 8-bit distance in unweighted indices.
+pub type Dist = u8;
+
+/// Weighted distance (pruned Dijkstra variant, §6).
+pub type WDist = u32;
+
+/// "Infinite"/unreached marker for 8-bit distances. The largest storable
+/// finite distance is therefore [`MAX_DIST`].
+pub const INF8: Dist = u8::MAX;
+
+/// Largest representable finite 8-bit distance (254).
+pub const MAX_DIST: Dist = u8::MAX - 1;
+
+/// Sentinel rank terminating every label (§4.5, "Sentinel"): scanning two
+/// labels always meets at the sentinel, removing end-of-slice tests from the
+/// merge loop.
+pub const RANK_SENTINEL: Rank = u32::MAX;
+
+/// "Infinite" result of a query in `u32` space (no common hub).
+pub const INF_QUERY: u32 = u32::MAX;
+
+/// "Infinite" weighted distance marker.
+pub const INF_WDIST: WDist = u32::MAX;
+
+/// Number of bits in a bit-parallel set (§5: "64-bit integers to conduct
+/// bit-parallel BFSs").
+pub const BP_WIDTH: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(INF8, 255);
+        assert_eq!(MAX_DIST, 254);
+        assert!(u32::from(INF8) + u32::from(INF8) < INF_QUERY);
+        assert_eq!(RANK_SENTINEL, u32::MAX);
+        assert_eq!(BP_WIDTH, 64);
+    }
+}

@@ -1,0 +1,112 @@
+//! Correctness verification against BFS ground truth (test/bench support).
+
+use crate::index::PllIndex;
+use crate::types::Vertex;
+use pll_graph::traversal::bfs::BfsEngine;
+use pll_graph::{CsrGraph, Xoshiro256pp, INF_U32};
+
+/// A query whose indexed answer disagreed with BFS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Source vertex.
+    pub s: Vertex,
+    /// Target vertex.
+    pub t: Vertex,
+    /// BFS ground truth (`None` = disconnected).
+    pub expected: Option<u32>,
+    /// Index answer.
+    pub got: Option<u32>,
+}
+
+/// Checks every pair `(s, t)` — O(n·m + n²) — and returns the first
+/// mismatch, if any. Small graphs only.
+pub fn verify_exhaustive(g: &CsrGraph, index: &PllIndex) -> Result<(), Mismatch> {
+    let n = g.num_vertices();
+    let mut engine = BfsEngine::new(n);
+    for s in 0..n as Vertex {
+        let dist = engine.run(g, s).to_vec();
+        for t in 0..n as Vertex {
+            let expected = (dist[t as usize] != INF_U32).then_some(dist[t as usize]);
+            let got = index.distance(s, t);
+            if got != expected {
+                return Err(Mismatch {
+                    s,
+                    t,
+                    expected,
+                    got,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks `samples` random pairs (each verified by a single-pair BFS) and
+/// returns the first mismatch, if any.
+pub fn verify_sampled(
+    g: &CsrGraph,
+    index: &PllIndex,
+    samples: usize,
+    seed: u64,
+) -> Result<(), Mismatch> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Ok(());
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut engine = BfsEngine::new(n);
+    for _ in 0..samples {
+        let s = rng.next_below(n as u64) as Vertex;
+        let t = rng.next_below(n as u64) as Vertex;
+        let expected = engine.distance(g, s, t);
+        let got = index.distance(s, t);
+        if got != expected {
+            return Err(Mismatch {
+                s,
+                t,
+                expected,
+                got,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexBuilder;
+    use pll_graph::gen;
+
+    #[test]
+    fn exhaustive_passes_on_correct_index() {
+        let g = gen::erdos_renyi_gnm(60, 150, 4).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(2).build(&g).unwrap();
+        assert_eq!(verify_exhaustive(&g, &idx), Ok(()));
+    }
+
+    #[test]
+    fn sampled_passes_on_correct_index() {
+        let g = gen::barabasi_albert(400, 3, 9).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(8).build(&g).unwrap();
+        assert_eq!(verify_sampled(&g, &idx, 500, 11), Ok(()));
+    }
+
+    #[test]
+    fn detects_wrong_index() {
+        // Index built for a DIFFERENT graph must produce mismatches.
+        let g1 = gen::path(30).unwrap();
+        let g2 = gen::cycle(30).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g1).unwrap();
+        let err = verify_exhaustive(&g2, &idx).unwrap_err();
+        assert_ne!(err.expected, err.got);
+    }
+
+    #[test]
+    fn empty_graph_verifies() {
+        let g = pll_graph::CsrGraph::empty(0);
+        let idx = IndexBuilder::new().build(&g).unwrap();
+        assert_eq!(verify_exhaustive(&g, &idx), Ok(()));
+        assert_eq!(verify_sampled(&g, &idx, 10, 1), Ok(()));
+    }
+}

@@ -1,0 +1,464 @@
+//! Weighted pruned landmark labeling via pruned Dijkstra (§6, "Weighted
+//! Graphs").
+//!
+//! "The only necessary change is to perform pruned Dijkstra's algorithm
+//! instead of pruned BFSs. Bit-parallel labeling cannot be used for weighted
+//! graphs." Distances are 32-bit in labels (accumulated in 64-bit during
+//! search); the pruning test runs at *settle* time, when a vertex's distance
+//! from the root is final.
+
+use crate::error::{PllError, Result};
+use crate::order::OrderingStrategy;
+use crate::stats::ConstructionStats;
+use crate::types::{Rank, Vertex, RANK_SENTINEL, WDist};
+use pll_graph::reorder::inverse_permutation;
+use pll_graph::wgraph::WeightedGraph;
+use pll_graph::{Xoshiro256pp, INF_U64};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Configures construction of a [`WeightedPllIndex`].
+#[derive(Clone, Debug)]
+pub struct WeightedIndexBuilder {
+    ordering: OrderingStrategy,
+    seed: u64,
+}
+
+impl Default for WeightedIndexBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WeightedIndexBuilder {
+    /// Default configuration: Degree ordering.
+    pub fn new() -> Self {
+        WeightedIndexBuilder {
+            ordering: OrderingStrategy::Degree,
+            seed: 0x5EED_1A5E,
+        }
+    }
+
+    /// Sets the ordering strategy (`Degree`, `Random` or `Custom`;
+    /// `Closeness` is unsupported for weighted graphs).
+    pub fn ordering(mut self, strategy: OrderingStrategy) -> Self {
+        self.ordering = strategy;
+        self
+    }
+
+    /// Seed for the Random ordering.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn compute_order(&self, g: &WeightedGraph) -> Result<Vec<Vertex>> {
+        let n = g.num_vertices();
+        match &self.ordering {
+            OrderingStrategy::Degree => {
+                let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+                order.sort_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
+                Ok(order)
+            }
+            OrderingStrategy::Random => {
+                let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+                Xoshiro256pp::seed_from_u64(self.seed).shuffle(&mut order);
+                Ok(order)
+            }
+            OrderingStrategy::Custom(order) => {
+                if order.len() != n {
+                    return Err(PllError::InvalidOrder {
+                        message: format!(
+                            "order has {} entries for {} vertices",
+                            order.len(),
+                            n
+                        ),
+                    });
+                }
+                let mut seen = vec![false; n];
+                for &v in order {
+                    if (v as usize) >= n || seen[v as usize] {
+                        return Err(PllError::InvalidOrder {
+                            message: format!("order entry {v} repeated or out of range"),
+                        });
+                    }
+                    seen[v as usize] = true;
+                }
+                Ok(order.clone())
+            }
+            OrderingStrategy::Closeness { .. } | OrderingStrategy::Degeneracy => {
+                Err(PllError::IncompatibleOptions {
+                    message: format!(
+                        "{} ordering is not supported for weighted indices",
+                        self.ordering.name()
+                    ),
+                })
+            }
+        }
+    }
+
+    /// Builds the weighted index with pruned Dijkstra searches.
+    pub fn build(&self, g: &WeightedGraph) -> Result<WeightedPllIndex> {
+        let n = g.num_vertices();
+        let t0 = Instant::now();
+        let order = self.compute_order(g)?;
+        let inv = inverse_permutation(&order);
+        // Relabel into rank space.
+        let rank_edges: Vec<(Vertex, Vertex, u32)> = g
+            .edges()
+            .map(|(u, v, w)| (inv[u as usize], inv[v as usize], w))
+            .collect();
+        let h = WeightedGraph::from_edges(n, &rank_edges)?;
+        let order_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let mut label_ranks: Vec<Vec<Rank>> = vec![Vec::new(); n];
+        let mut label_dists: Vec<Vec<WDist>> = vec![Vec::new(); n];
+
+        let mut tentative: Vec<u64> = vec![INF_U64; n];
+        let mut temp: Vec<u64> = vec![INF_U64; n];
+        let mut touched: Vec<Rank> = Vec::new();
+        let mut heap: BinaryHeap<Reverse<(u64, Rank)>> = BinaryHeap::new();
+        let mut stats = ConstructionStats {
+            order_seconds,
+            ..Default::default()
+        };
+
+        for r in 0..n as Rank {
+            for (idx, &w) in label_ranks[r as usize].iter().enumerate() {
+                temp[w as usize] = label_dists[r as usize][idx] as u64;
+            }
+            heap.clear();
+            touched.clear();
+            tentative[r as usize] = 0;
+            touched.push(r);
+            heap.push(Reverse((0, r)));
+
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > tentative[u as usize] {
+                    continue; // stale heap entry
+                }
+                stats.total_visited += 1;
+
+                // Pruning test at settle time (distance d is final).
+                let mut prune = false;
+                let lr = &label_ranks[u as usize];
+                let ld = &label_dists[u as usize];
+                for (idx, &w) in lr.iter().enumerate() {
+                    let tw = temp[w as usize];
+                    if tw != INF_U64 && tw + ld[idx] as u64 <= d {
+                        prune = true;
+                        break;
+                    }
+                }
+                if prune {
+                    stats.total_pruned += 1;
+                    continue;
+                }
+                if d > WDist::MAX as u64 - 1 {
+                    return Err(PllError::WeightedDistanceOverflow);
+                }
+                label_ranks[u as usize].push(r);
+                label_dists[u as usize].push(d as WDist);
+                stats.total_labeled += 1;
+
+                for (w, wt) in h.neighbors(u) {
+                    let nd = d + wt as u64;
+                    if nd < tentative[w as usize] {
+                        if tentative[w as usize] == INF_U64 {
+                            touched.push(w);
+                        }
+                        tentative[w as usize] = nd;
+                        heap.push(Reverse((nd, w)));
+                    }
+                }
+            }
+            for &v in &touched {
+                tentative[v as usize] = INF_U64;
+            }
+            for &w in label_ranks[r as usize].iter() {
+                temp[w as usize] = INF_U64;
+            }
+            stats.pruned_roots += 1;
+        }
+        stats.pruned_seconds = t1.elapsed().as_secs_f64();
+
+        // Flatten with sentinels.
+        let total: usize = label_ranks.iter().map(|l| l.len() + 1).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut ranks = Vec::with_capacity(total);
+        let mut dists = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for v in 0..n {
+            ranks.extend_from_slice(&label_ranks[v]);
+            dists.extend_from_slice(&label_dists[v]);
+            ranks.push(RANK_SENTINEL);
+            dists.push(WDist::MAX);
+            offsets.push(ranks.len() as u32);
+        }
+
+        Ok(WeightedPllIndex {
+            order,
+            inv,
+            offsets,
+            ranks,
+            dists,
+            stats,
+        })
+    }
+}
+
+/// An exact distance index over a positively-weighted undirected graph.
+#[derive(Clone, Debug)]
+pub struct WeightedPllIndex {
+    order: Vec<Vertex>,
+    inv: Vec<Rank>,
+    offsets: Vec<u32>,
+    ranks: Vec<Rank>,
+    dists: Vec<WDist>,
+    stats: ConstructionStats,
+}
+
+impl WeightedPllIndex {
+    /// Number of indexed vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.order.len()
+    }
+
+    #[inline]
+    fn label(&self, v: Rank) -> (&[Rank], &[WDist]) {
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        (&self.ranks[s..e], &self.dists[s..e])
+    }
+
+    /// Exact weighted distance between `u` and `v`; `None` when
+    /// disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn distance(&self, u: Vertex, v: Vertex) -> Option<u64> {
+        assert!((u as usize) < self.num_vertices(), "vertex {u} out of range");
+        assert!((v as usize) < self.num_vertices(), "vertex {v} out of range");
+        if u == v {
+            return Some(0);
+        }
+        let (ar, ad) = self.label(self.inv[u as usize]);
+        let (br, bd) = self.label(self.inv[v as usize]);
+        let mut i = 0usize;
+        let mut j = 0usize;
+        let mut best = u64::MAX;
+        loop {
+            let (ru, rv) = (ar[i], br[j]);
+            if ru == rv {
+                if ru == RANK_SENTINEL {
+                    break;
+                }
+                let d = ad[i] as u64 + bd[j] as u64;
+                if d < best {
+                    best = d;
+                }
+                i += 1;
+                j += 1;
+            } else if ru < rv {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        (best != u64::MAX).then_some(best)
+    }
+
+    /// Checked variant of [`WeightedPllIndex::distance`].
+    pub fn try_distance(&self, u: Vertex, v: Vertex) -> Result<Option<u64>> {
+        let n = self.num_vertices();
+        for x in [u, v] {
+            if x as usize >= n {
+                return Err(PllError::VertexOutOfRange {
+                    vertex: x,
+                    num_vertices: n,
+                });
+            }
+        }
+        Ok(self.distance(u, v))
+    }
+
+    /// Average label entries per vertex.
+    pub fn avg_label_size(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            (self.ranks.len() - self.num_vertices()) as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &ConstructionStats {
+        &self.stats
+    }
+
+    /// Total index bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 4 + self.ranks.len() * 4 + self.dists.len() * 4 + self.order.len() * 8
+    }
+
+    /// Raw parts for serialisation: `(order, offsets, ranks, dists)`.
+    pub(crate) fn as_raw(&self) -> (&[Vertex], &[u32], &[Rank], &[WDist]) {
+        (&self.order, &self.offsets, &self.ranks, &self.dists)
+    }
+
+    /// Reassembles from raw parts (deserialisation; inputs pre-validated).
+    pub(crate) fn from_raw(
+        order: Vec<Vertex>,
+        inv: Vec<Rank>,
+        offsets: Vec<u32>,
+        ranks: Vec<Rank>,
+        dists: Vec<WDist>,
+    ) -> Self {
+        WeightedPllIndex {
+            order,
+            inv,
+            offsets,
+            ranks,
+            dists,
+            stats: ConstructionStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pll_graph::traversal::dijkstra;
+    use pll_graph::{gen, CsrGraph};
+
+    fn random_weighted(n: usize, m: usize, max_w: u32, seed: u64) -> WeightedGraph {
+        let g = gen::erdos_renyi_gnm(n, m, seed).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xABCD);
+        let edges: Vec<(Vertex, Vertex, u32)> = g
+            .edges()
+            .map(|(u, v)| (u, v, rng.next_below(max_w as u64) as u32 + 1))
+            .collect();
+        WeightedGraph::from_edges(n, &edges).unwrap()
+    }
+
+    fn check_exact(g: &WeightedGraph, builder: &WeightedIndexBuilder) {
+        let idx = builder.build(g).unwrap();
+        let n = g.num_vertices() as Vertex;
+        for s in 0..n {
+            let d = dijkstra::distances(g, s);
+            for t in 0..n {
+                let expect = (d[t as usize] != INF_U64).then_some(d[t as usize]);
+                assert_eq!(idx.distance(s, t), expect, "pair ({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_weighted_triangle() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 5)]).unwrap();
+        let idx = WeightedIndexBuilder::new().build(&g).unwrap();
+        assert_eq!(idx.distance(0, 2), Some(2)); // via vertex 1, not the direct edge
+        check_exact(&g, &WeightedIndexBuilder::new());
+    }
+
+    #[test]
+    fn exact_on_random_weighted_graphs() {
+        for seed in [1, 5, 9] {
+            let g = random_weighted(50, 150, 20, seed);
+            check_exact(&g, &WeightedIndexBuilder::new());
+            check_exact(
+                &g,
+                &WeightedIndexBuilder::new()
+                    .ordering(OrderingStrategy::Random)
+                    .seed(seed),
+            );
+        }
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_semantics() {
+        let base = gen::barabasi_albert(80, 2, 4).unwrap();
+        let g = WeightedGraph::from_unweighted(&base);
+        check_exact(&g, &WeightedIndexBuilder::new());
+    }
+
+    #[test]
+    fn disconnected_weighted() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 3), (2, 3, 4)]).unwrap();
+        let idx = WeightedIndexBuilder::new().build(&g).unwrap();
+        assert_eq!(idx.distance(0, 3), None);
+        assert_eq!(idx.distance(2, 3), Some(4));
+    }
+
+    #[test]
+    fn large_weights_handled_via_u64_accumulation() {
+        let g = WeightedGraph::from_edges(
+            3,
+            &[(0, 1, u32::MAX - 1), (1, 2, u32::MAX - 1)],
+        )
+        .unwrap();
+        // Degree order roots the middle vertex first, so every label stays
+        // within u32 and the (u64) query sums correctly.
+        let idx = WeightedIndexBuilder::new().build(&g).unwrap();
+        assert_eq!(idx.distance(0, 2), Some(2 * (u32::MAX as u64 - 1)));
+
+        // A custom order rooted at an endpoint must *label* vertex 2 at a
+        // distance exceeding the u32 representation: that is an error, not a
+        // silent wrap.
+        let err = WeightedIndexBuilder::new()
+            .ordering(OrderingStrategy::Custom(vec![0, 1, 2]))
+            .build(&g)
+            .unwrap_err();
+        assert!(matches!(err, PllError::WeightedDistanceOverflow));
+    }
+
+    #[test]
+    fn closeness_rejected_and_custom_validated() {
+        let g = random_weighted(10, 20, 5, 2);
+        assert!(matches!(
+            WeightedIndexBuilder::new()
+                .ordering(OrderingStrategy::Closeness { samples: 2 })
+                .build(&g),
+            Err(PllError::IncompatibleOptions { .. })
+        ));
+        assert!(matches!(
+            WeightedIndexBuilder::new()
+                .ordering(OrderingStrategy::Custom(vec![0, 0, 1]))
+                .build(&g),
+            Err(PllError::InvalidOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn try_distance_and_stats() {
+        let g = random_weighted(30, 60, 10, 7);
+        let idx = WeightedIndexBuilder::new().build(&g).unwrap();
+        assert!(idx.try_distance(0, 29).is_ok());
+        assert!(matches!(
+            idx.try_distance(0, 31),
+            Err(PllError::VertexOutOfRange { .. })
+        ));
+        assert!(idx.avg_label_size() > 0.0);
+        assert!(idx.memory_bytes() > 0);
+        assert_eq!(idx.stats().pruned_roots, 30);
+    }
+
+    #[test]
+    fn high_diameter_graph_is_fine_weighted() {
+        // The u8 limit of the unweighted index does not apply here.
+        let base = gen::path(1000).unwrap();
+        let g = WeightedGraph::from_unweighted(&base);
+        let idx = WeightedIndexBuilder::new().build(&g).unwrap();
+        assert_eq!(idx.distance(0, 999), Some(999));
+    }
+
+    #[test]
+    fn empty_weighted_graph() {
+        let g = WeightedGraph::from_unweighted(&CsrGraph::empty(0));
+        let idx = WeightedIndexBuilder::new().build(&g).unwrap();
+        assert_eq!(idx.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,497 @@
+//! Weighted *and* directed pruned landmark labeling — the combined §6
+//! variant ("directed and/or weighted graphs").
+//!
+//! Combines the two mechanics: IN/OUT label sides like the directed
+//! variant, and pruned *Dijkstra* searches with 32-bit label distances
+//! like the weighted variant. Per root, a forward pruned Dijkstra over
+//! out-arcs computes `d(r, u)` and fills `L_IN(u)`; a backward pruned
+//! Dijkstra over in-arcs computes `d(u, r)` and fills `L_OUT(u)`.
+
+use crate::error::{PllError, Result};
+use crate::order::OrderingStrategy;
+use crate::stats::ConstructionStats;
+use crate::types::{Rank, Vertex, RANK_SENTINEL, WDist};
+use pll_graph::reorder::inverse_permutation;
+use pll_graph::wdigraph::WeightedDigraph;
+use pll_graph::{Xoshiro256pp, INF_U64};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Configures construction of a [`WeightedDirectedPllIndex`].
+#[derive(Clone, Debug)]
+pub struct WeightedDirectedIndexBuilder {
+    ordering: OrderingStrategy,
+    seed: u64,
+}
+
+impl Default for WeightedDirectedIndexBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WeightedDirectedIndexBuilder {
+    /// Default configuration: Degree ordering (total degree, in + out).
+    pub fn new() -> Self {
+        WeightedDirectedIndexBuilder {
+            ordering: OrderingStrategy::Degree,
+            seed: 0x5EED_1A5E,
+        }
+    }
+
+    /// Sets the ordering strategy (`Degree`, `Random` or `Custom`).
+    pub fn ordering(mut self, strategy: OrderingStrategy) -> Self {
+        self.ordering = strategy;
+        self
+    }
+
+    /// Seed for the Random ordering.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn compute_order(&self, g: &WeightedDigraph) -> Result<Vec<Vertex>> {
+        let n = g.num_vertices();
+        match &self.ordering {
+            OrderingStrategy::Degree => {
+                let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+                order.sort_by(|&a, &b| {
+                    let da = g.out_degree(a) + g.in_degree(a);
+                    let db = g.out_degree(b) + g.in_degree(b);
+                    db.cmp(&da).then(a.cmp(&b))
+                });
+                Ok(order)
+            }
+            OrderingStrategy::Random => {
+                let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+                Xoshiro256pp::seed_from_u64(self.seed).shuffle(&mut order);
+                Ok(order)
+            }
+            OrderingStrategy::Custom(order) => {
+                if order.len() != n {
+                    return Err(PllError::InvalidOrder {
+                        message: format!(
+                            "order has {} entries for {} vertices",
+                            order.len(),
+                            n
+                        ),
+                    });
+                }
+                let mut seen = vec![false; n];
+                for &v in order {
+                    if (v as usize) >= n || seen[v as usize] {
+                        return Err(PllError::InvalidOrder {
+                            message: format!("order entry {v} repeated or out of range"),
+                        });
+                    }
+                    seen[v as usize] = true;
+                }
+                Ok(order.clone())
+            }
+            other => Err(PllError::IncompatibleOptions {
+                message: format!(
+                    "{} ordering is not supported for weighted directed indices",
+                    other.name()
+                ),
+            }),
+        }
+    }
+
+    /// Builds the index with two pruned Dijkstra searches per root.
+    pub fn build(&self, g: &WeightedDigraph) -> Result<WeightedDirectedPllIndex> {
+        let n = g.num_vertices();
+        let t0 = Instant::now();
+        let order = self.compute_order(g)?;
+        let inv = inverse_permutation(&order);
+        let rank_arcs: Vec<(Vertex, Vertex, u32)> = g
+            .arcs()
+            .map(|(u, v, w)| (inv[u as usize], inv[v as usize], w))
+            .collect();
+        let h = WeightedDigraph::from_edges(n, &rank_arcs)?;
+        let order_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let mut in_ranks: Vec<Vec<Rank>> = vec![Vec::new(); n];
+        let mut in_dists: Vec<Vec<WDist>> = vec![Vec::new(); n];
+        let mut out_ranks: Vec<Vec<Rank>> = vec![Vec::new(); n];
+        let mut out_dists: Vec<Vec<WDist>> = vec![Vec::new(); n];
+
+        let mut tentative: Vec<u64> = vec![INF_U64; n];
+        let mut temp: Vec<u64> = vec![INF_U64; n];
+        let mut touched: Vec<Rank> = Vec::new();
+        let mut heap: BinaryHeap<Reverse<(u64, Rank)>> = BinaryHeap::new();
+        let mut stats = ConstructionStats {
+            order_seconds,
+            ..Default::default()
+        };
+
+        // One pruned Dijkstra in a fixed direction; `forward = true` fills
+        // L_IN from d(r, ·), pruning against L_OUT(r) ∩ L_IN(u).
+        #[allow(clippy::too_many_arguments)]
+        fn pruned_dijkstra(
+            h: &WeightedDigraph,
+            r: Rank,
+            forward: bool,
+            root_side_ranks: &[Vec<Rank>],
+            root_side_dists: &[Vec<WDist>],
+            fill_ranks: &mut [Vec<Rank>],
+            fill_dists: &mut [Vec<WDist>],
+            tentative: &mut [u64],
+            temp: &mut [u64],
+            touched: &mut Vec<Rank>,
+            heap: &mut BinaryHeap<Reverse<(u64, Rank)>>,
+            stats: &mut ConstructionStats,
+        ) -> Result<()> {
+            for (idx, &w) in root_side_ranks[r as usize].iter().enumerate() {
+                temp[w as usize] = root_side_dists[r as usize][idx] as u64;
+            }
+            heap.clear();
+            touched.clear();
+            tentative[r as usize] = 0;
+            touched.push(r);
+            heap.push(Reverse((0, r)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > tentative[u as usize] {
+                    continue; // stale entry
+                }
+                stats.total_visited += 1;
+                let mut prune = false;
+                let lr = &fill_ranks[u as usize];
+                let ld = &fill_dists[u as usize];
+                for (idx, &w) in lr.iter().enumerate() {
+                    let tw = temp[w as usize];
+                    if tw != INF_U64 && tw + ld[idx] as u64 <= d {
+                        prune = true;
+                        break;
+                    }
+                }
+                if prune {
+                    stats.total_pruned += 1;
+                    continue;
+                }
+                if d > WDist::MAX as u64 - 1 {
+                    return Err(PllError::WeightedDistanceOverflow);
+                }
+                fill_ranks[u as usize].push(r);
+                fill_dists[u as usize].push(d as WDist);
+                stats.total_labeled += 1;
+
+                let relax = |heap: &mut BinaryHeap<Reverse<(u64, Rank)>>,
+                             tentative: &mut [u64],
+                             touched: &mut Vec<Rank>,
+                             w: Rank,
+                             wt: u32| {
+                    let nd = d + wt as u64;
+                    if nd < tentative[w as usize] {
+                        if tentative[w as usize] == INF_U64 {
+                            touched.push(w);
+                        }
+                        tentative[w as usize] = nd;
+                        heap.push(Reverse((nd, w)));
+                    }
+                };
+                if forward {
+                    for (w, wt) in h.out_neighbors(u) {
+                        relax(heap, tentative, touched, w, wt);
+                    }
+                } else {
+                    for (w, wt) in h.in_neighbors(u) {
+                        relax(heap, tentative, touched, w, wt);
+                    }
+                }
+            }
+            for &v in touched.iter() {
+                tentative[v as usize] = INF_U64;
+            }
+            for &w in root_side_ranks[r as usize].iter() {
+                temp[w as usize] = INF_U64;
+            }
+            Ok(())
+        }
+
+        for r in 0..n as Rank {
+            pruned_dijkstra(
+                &h, r, true, &out_ranks, &out_dists, &mut in_ranks, &mut in_dists,
+                &mut tentative, &mut temp, &mut touched, &mut heap, &mut stats,
+            )?;
+            pruned_dijkstra(
+                &h, r, false, &in_ranks, &in_dists, &mut out_ranks, &mut out_dists,
+                &mut tentative, &mut temp, &mut touched, &mut heap, &mut stats,
+            )?;
+            stats.pruned_roots += 1;
+        }
+        stats.pruned_seconds = t1.elapsed().as_secs_f64();
+
+        let flatten = |ranks: &[Vec<Rank>], dists: &[Vec<WDist>]| {
+            let total: usize = ranks.iter().map(|l| l.len() + 1).sum();
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut flat_r = Vec::with_capacity(total);
+            let mut flat_d = Vec::with_capacity(total);
+            offsets.push(0u32);
+            for v in 0..n {
+                flat_r.extend_from_slice(&ranks[v]);
+                flat_d.extend_from_slice(&dists[v]);
+                flat_r.push(RANK_SENTINEL);
+                flat_d.push(WDist::MAX);
+                offsets.push(flat_r.len() as u32);
+            }
+            (offsets, flat_r, flat_d)
+        };
+        let (in_offsets, in_flat_ranks, in_flat_dists) = flatten(&in_ranks, &in_dists);
+        let (out_offsets, out_flat_ranks, out_flat_dists) = flatten(&out_ranks, &out_dists);
+
+        Ok(WeightedDirectedPllIndex {
+            order,
+            inv,
+            in_offsets,
+            in_ranks: in_flat_ranks,
+            in_dists: in_flat_dists,
+            out_offsets,
+            out_ranks: out_flat_ranks,
+            out_dists: out_flat_dists,
+            stats,
+        })
+    }
+}
+
+/// Exact distance index over a positively-weighted digraph.
+#[derive(Clone, Debug)]
+pub struct WeightedDirectedPllIndex {
+    order: Vec<Vertex>,
+    inv: Vec<Rank>,
+    in_offsets: Vec<u32>,
+    in_ranks: Vec<Rank>,
+    in_dists: Vec<WDist>,
+    out_offsets: Vec<u32>,
+    out_ranks: Vec<Rank>,
+    out_dists: Vec<WDist>,
+    stats: ConstructionStats,
+}
+
+impl WeightedDirectedPllIndex {
+    /// Number of indexed vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Exact weighted distance from `s` to `t`; `None` if unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn distance(&self, s: Vertex, t: Vertex) -> Option<u64> {
+        assert!((s as usize) < self.num_vertices(), "vertex {s} out of range");
+        assert!((t as usize) < self.num_vertices(), "vertex {t} out of range");
+        if s == t {
+            return Some(0);
+        }
+        let rs = self.inv[s as usize] as usize;
+        let rt = self.inv[t as usize] as usize;
+        let (ar, ad) = (
+            &self.out_ranks[self.out_offsets[rs] as usize..self.out_offsets[rs + 1] as usize],
+            &self.out_dists[self.out_offsets[rs] as usize..self.out_offsets[rs + 1] as usize],
+        );
+        let (br, bd) = (
+            &self.in_ranks[self.in_offsets[rt] as usize..self.in_offsets[rt + 1] as usize],
+            &self.in_dists[self.in_offsets[rt] as usize..self.in_offsets[rt + 1] as usize],
+        );
+        let mut i = 0usize;
+        let mut j = 0usize;
+        let mut best = u64::MAX;
+        loop {
+            let (ru, rv) = (ar[i], br[j]);
+            if ru == rv {
+                if ru == RANK_SENTINEL {
+                    break;
+                }
+                let d = ad[i] as u64 + bd[j] as u64;
+                if d < best {
+                    best = d;
+                }
+                i += 1;
+                j += 1;
+            } else if ru < rv {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        (best != u64::MAX).then_some(best)
+    }
+
+    /// Checked variant of [`WeightedDirectedPllIndex::distance`].
+    pub fn try_distance(&self, s: Vertex, t: Vertex) -> Result<Option<u64>> {
+        let n = self.num_vertices();
+        for x in [s, t] {
+            if x as usize >= n {
+                return Err(PllError::VertexOutOfRange {
+                    vertex: x,
+                    num_vertices: n,
+                });
+            }
+        }
+        Ok(self.distance(s, t))
+    }
+
+    /// Average of (|L_IN| + |L_OUT|) per vertex.
+    pub fn avg_label_size(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            return 0.0;
+        }
+        ((self.in_ranks.len() + self.out_ranks.len()) as f64
+            - 2.0 * self.num_vertices() as f64)
+            / self.num_vertices() as f64
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &ConstructionStats {
+        &self.stats
+    }
+
+    /// Total index bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.in_offsets.len() + self.out_offsets.len()) * 4
+            + (self.in_ranks.len() + self.out_ranks.len()) * 4
+            + (self.in_dists.len() + self.out_dists.len()) * 4
+            + self.order.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Directed Dijkstra over out-arcs for ground truth.
+    fn dijkstra_directed(g: &WeightedDigraph, s: Vertex) -> Vec<u64> {
+        let n = g.num_vertices();
+        let mut dist = vec![INF_U64; n];
+        let mut heap = BinaryHeap::new();
+        dist[s as usize] = 0;
+        heap.push(Reverse((0u64, s)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for (w, wt) in g.out_neighbors(u) {
+                let nd = d + wt as u64;
+                if nd < dist[w as usize] {
+                    dist[w as usize] = nd;
+                    heap.push(Reverse((nd, w)));
+                }
+            }
+        }
+        dist
+    }
+
+    fn check_exact(g: &WeightedDigraph, builder: &WeightedDirectedIndexBuilder) {
+        let idx = builder.build(g).unwrap();
+        let n = g.num_vertices() as Vertex;
+        for s in 0..n {
+            let d = dijkstra_directed(g, s);
+            for t in 0..n {
+                let expect = (d[t as usize] != INF_U64).then_some(d[t as usize]);
+                assert_eq!(idx.distance(s, t), expect, "pair ({s} -> {t})");
+            }
+        }
+    }
+
+    fn random_weighted_digraph(n: usize, m: usize, max_w: u32, seed: u64) -> WeightedDigraph {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut arcs = std::collections::HashMap::new();
+        while arcs.len() < m {
+            let u = rng.next_below(n as u64) as Vertex;
+            let v = rng.next_below(n as u64) as Vertex;
+            if u != v {
+                arcs.entry((u, v))
+                    .or_insert_with(|| rng.next_below(max_w as u64) as u32 + 1);
+            }
+        }
+        let mut list: Vec<(Vertex, Vertex, u32)> =
+            arcs.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+        list.sort_unstable();
+        WeightedDigraph::from_edges(n, &list).unwrap()
+    }
+
+    #[test]
+    fn exact_on_weighted_dag() {
+        // Heavy direct arc loses to the light two-hop path, directionally.
+        let g = WeightedDigraph::from_edges(
+            4,
+            &[(0, 1, 1), (1, 3, 1), (0, 3, 5), (3, 2, 2)],
+        )
+        .unwrap();
+        let idx = WeightedDirectedIndexBuilder::new().build(&g).unwrap();
+        assert_eq!(idx.distance(0, 3), Some(2));
+        assert_eq!(idx.distance(3, 0), None);
+        assert_eq!(idx.distance(0, 2), Some(4));
+        check_exact(&g, &WeightedDirectedIndexBuilder::new());
+    }
+
+    #[test]
+    fn exact_on_random_weighted_digraphs() {
+        for seed in [1, 2, 3] {
+            let g = random_weighted_digraph(50, 200, 12, seed);
+            check_exact(&g, &WeightedDirectedIndexBuilder::new());
+            check_exact(
+                &g,
+                &WeightedDirectedIndexBuilder::new()
+                    .ordering(OrderingStrategy::Random)
+                    .seed(seed),
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_weights_respected() {
+        let g = WeightedDigraph::from_edges(2, &[(0, 1, 3), (1, 0, 9)]).unwrap();
+        let idx = WeightedDirectedIndexBuilder::new().build(&g).unwrap();
+        assert_eq!(idx.distance(0, 1), Some(3));
+        assert_eq!(idx.distance(1, 0), Some(9));
+    }
+
+    #[test]
+    fn unsupported_orderings_rejected() {
+        let g = WeightedDigraph::from_edges(2, &[(0, 1, 1)]).unwrap();
+        for strategy in [
+            OrderingStrategy::Closeness { samples: 4 },
+            OrderingStrategy::Degeneracy,
+        ] {
+            assert!(matches!(
+                WeightedDirectedIndexBuilder::new()
+                    .ordering(strategy)
+                    .build(&g),
+                Err(PllError::IncompatibleOptions { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn try_distance_and_stats() {
+        let g = random_weighted_digraph(30, 100, 8, 9);
+        let idx = WeightedDirectedIndexBuilder::new().build(&g).unwrap();
+        assert!(idx.try_distance(0, 29).is_ok());
+        assert!(matches!(
+            idx.try_distance(0, 30),
+            Err(PllError::VertexOutOfRange { .. })
+        ));
+        assert!(idx.avg_label_size() > 0.0);
+        assert!(idx.memory_bytes() > 0);
+        assert_eq!(idx.stats().pruned_roots, 30);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let g = WeightedDigraph::from_edges(
+            3,
+            &[(0, 1, u32::MAX - 1), (1, 2, u32::MAX - 1)],
+        )
+        .unwrap();
+        let err = WeightedDirectedIndexBuilder::new()
+            .ordering(OrderingStrategy::Custom(vec![0, 1, 2]))
+            .build(&g)
+            .unwrap_err();
+        assert!(matches!(err, PllError::WeightedDistanceOverflow));
+    }
+}

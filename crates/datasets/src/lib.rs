@@ -1,0 +1,357 @@
+//! Synthetic stand-ins for the eleven evaluation datasets (Table 4).
+//!
+//! The paper evaluates on real SNAP/WebGraph dumps that are not bundled
+//! here; per DESIGN.md §6 each dataset is substituted by a synthetic model
+//! matched to its network class and density:
+//!
+//! * social networks → Chung–Lu power-law graphs with the dataset's average
+//!   degree and a class-typical exponent;
+//! * web graphs → the copying model (power-law + link-copying locality);
+//! * computer networks (P2P, topology, traffic) → Chung–Lu with milder or
+//!   heavier skew matching the class.
+//!
+//! Every spec records the paper's |V| and |E| so the harness can print
+//! Table 4 with both the paper-scale and the generated-scale numbers. A
+//! `scale` divisor shrinks |V| while preserving average degree; the paper's
+//! behaviours (power-law CCDF, small distances, pruning efficiency) are
+//! scale-robust, which Figure 2's stand-in plots confirm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pll_graph::error::Result;
+use pll_graph::{gen, CsrGraph};
+
+/// Network class of a dataset (the "Network" column of Table 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetworkClass {
+    /// On-line social networks (Epinions, Slashdot, WikiTalk, Flickr,
+    /// Hollywood).
+    Social,
+    /// Web crawls (NotreDame, Indo, Indochina).
+    Web,
+    /// Computer networks (Gnutella, Skitter, MetroSec).
+    Computer,
+}
+
+impl NetworkClass {
+    /// Display name matching Table 4.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetworkClass::Social => "Social",
+            NetworkClass::Web => "Web",
+            NetworkClass::Computer => "Computer",
+        }
+    }
+}
+
+/// The generative model standing in for a dataset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Model {
+    /// Chung–Lu power-law graph with exponent `gamma` and target average
+    /// degree.
+    ChungLu {
+        /// Power-law exponent (> 2).
+        gamma: f64,
+        /// Target average degree.
+        avg_deg: f64,
+    },
+    /// Copying-model web graph.
+    Copying {
+        /// Out-links per page.
+        out_deg: usize,
+        /// Probability of copying a prototype link.
+        copy_prob: f64,
+    },
+    /// Barabási–Albert preferential attachment with `m` links per vertex.
+    BarabasiAlbert {
+        /// Edges added per new vertex.
+        m: usize,
+    },
+}
+
+/// One dataset of Table 4 with its synthetic substitution.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetSpec {
+    /// Dataset name as in the paper.
+    pub name: &'static str,
+    /// Network class.
+    pub class: NetworkClass,
+    /// |V| reported in Table 4.
+    pub paper_vertices: usize,
+    /// |E| reported in Table 4.
+    pub paper_edges: usize,
+    /// Scale divisor the harness uses by default (1 = paper scale).
+    pub default_scale: u32,
+    /// Bit-parallel roots used in Table 3 for this dataset (16 for the
+    /// smaller five, 64 for the larger six).
+    pub bp_roots: usize,
+    /// The stand-in model.
+    pub model: Model,
+    /// Generation seed (fixed for reproducibility).
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Number of vertices at the given scale divisor (at least 1024, at
+    /// most the paper size).
+    pub fn scaled_vertices(&self, scale: u32) -> usize {
+        (self.paper_vertices / scale.max(1) as usize)
+            .max(1024)
+            .min(self.paper_vertices)
+    }
+
+    /// Generates the stand-in graph at the given scale divisor.
+    pub fn generate(&self, scale: u32) -> Result<CsrGraph> {
+        let n = self.scaled_vertices(scale);
+        match self.model {
+            Model::ChungLu { gamma, avg_deg } => gen::chung_lu(n, gamma, avg_deg, self.seed),
+            Model::Copying { out_deg, copy_prob } => {
+                gen::copying_model(n, out_deg, copy_prob, self.seed)
+            }
+            Model::BarabasiAlbert { m } => gen::barabasi_albert(n, m, self.seed),
+        }
+    }
+
+    /// Generates at the default scale.
+    pub fn generate_default(&self) -> Result<CsrGraph> {
+        self.generate(self.default_scale)
+    }
+
+    /// Whether this dataset belongs to the paper's "smaller five" group
+    /// (used with 16 bit-parallel roots and full baseline comparison).
+    pub fn is_small_group(&self) -> bool {
+        self.bp_roots == 16
+    }
+}
+
+/// The eleven datasets of Table 4, in the paper's order.
+pub const DATASETS: [DatasetSpec; 11] = [
+    DatasetSpec {
+        name: "Gnutella",
+        class: NetworkClass::Computer,
+        paper_vertices: 63_000,
+        paper_edges: 148_000,
+        default_scale: 8,
+        bp_roots: 16,
+        // P2P overlay: mildly skewed degrees.
+        model: Model::ChungLu {
+            gamma: 3.0,
+            avg_deg: 4.7,
+        },
+        seed: 0xD5_0001,
+    },
+    DatasetSpec {
+        name: "Epinions",
+        class: NetworkClass::Social,
+        paper_vertices: 76_000,
+        paper_edges: 509_000,
+        default_scale: 8,
+        bp_roots: 16,
+        model: Model::ChungLu {
+            gamma: 2.3,
+            avg_deg: 13.4,
+        },
+        seed: 0xD5_0002,
+    },
+    DatasetSpec {
+        name: "Slashdot",
+        class: NetworkClass::Social,
+        paper_vertices: 82_000,
+        paper_edges: 948_000,
+        default_scale: 8,
+        bp_roots: 16,
+        model: Model::ChungLu {
+            gamma: 2.4,
+            avg_deg: 23.1,
+        },
+        seed: 0xD5_0003,
+    },
+    DatasetSpec {
+        name: "NotreDame",
+        class: NetworkClass::Web,
+        paper_vertices: 326_000,
+        paper_edges: 1_500_000,
+        default_scale: 16,
+        bp_roots: 16,
+        model: Model::Copying {
+            out_deg: 5,
+            copy_prob: 0.85,
+        },
+        seed: 0xD5_0004,
+    },
+    DatasetSpec {
+        name: "WikiTalk",
+        class: NetworkClass::Social,
+        paper_vertices: 2_400_000,
+        paper_edges: 4_700_000,
+        default_scale: 64,
+        bp_roots: 16,
+        // Extremely hub-concentrated communication graph.
+        model: Model::ChungLu {
+            gamma: 2.1,
+            avg_deg: 3.9,
+        },
+        seed: 0xD5_0005,
+    },
+    DatasetSpec {
+        name: "Skitter",
+        class: NetworkClass::Computer,
+        paper_vertices: 1_700_000,
+        paper_edges: 11_000_000,
+        default_scale: 64,
+        bp_roots: 64,
+        model: Model::ChungLu {
+            gamma: 2.25,
+            avg_deg: 12.9,
+        },
+        seed: 0xD5_0006,
+    },
+    DatasetSpec {
+        name: "Indo",
+        class: NetworkClass::Web,
+        paper_vertices: 1_400_000,
+        paper_edges: 17_000_000,
+        default_scale: 64,
+        bp_roots: 64,
+        model: Model::Copying {
+            out_deg: 13,
+            copy_prob: 0.9,
+        },
+        seed: 0xD5_0007,
+    },
+    DatasetSpec {
+        name: "MetroSec",
+        class: NetworkClass::Computer,
+        paper_vertices: 2_300_000,
+        paper_edges: 22_000_000,
+        default_scale: 64,
+        bp_roots: 64,
+        model: Model::ChungLu {
+            gamma: 2.1,
+            avg_deg: 19.1,
+        },
+        seed: 0xD5_0008,
+    },
+    DatasetSpec {
+        name: "Flickr",
+        class: NetworkClass::Social,
+        paper_vertices: 1_800_000,
+        paper_edges: 23_000_000,
+        default_scale: 64,
+        bp_roots: 64,
+        model: Model::ChungLu {
+            gamma: 2.2,
+            avg_deg: 25.6,
+        },
+        seed: 0xD5_0009,
+    },
+    DatasetSpec {
+        name: "Hollywood",
+        class: NetworkClass::Social,
+        paper_vertices: 1_100_000,
+        paper_edges: 114_000_000,
+        default_scale: 128,
+        bp_roots: 64,
+        // Collaboration graph: very dense social network.
+        model: Model::ChungLu {
+            gamma: 2.3,
+            avg_deg: 207.0,
+        },
+        seed: 0xD5_000A,
+    },
+    DatasetSpec {
+        name: "Indochina",
+        class: NetworkClass::Web,
+        paper_vertices: 7_400_000,
+        paper_edges: 194_000_000,
+        default_scale: 128,
+        bp_roots: 64,
+        model: Model::Copying {
+            out_deg: 27,
+            copy_prob: 0.92,
+        },
+        seed: 0xD5_000B,
+    },
+];
+
+/// Looks a dataset up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<&'static DatasetSpec> {
+    DATASETS
+        .iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+/// The smaller five datasets (full baseline comparison in Table 3).
+pub fn small_five() -> impl Iterator<Item = &'static DatasetSpec> {
+    DATASETS.iter().filter(|d| d.is_small_group())
+}
+
+/// The larger six datasets (scalability demonstration in Table 3).
+pub fn large_six() -> impl Iterator<Item = &'static DatasetSpec> {
+    DATASETS.iter().filter(|d| !d.is_small_group())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_paper_table4() {
+        assert_eq!(DATASETS.len(), 11);
+        assert_eq!(small_five().count(), 5);
+        assert_eq!(large_six().count(), 6);
+        // Paper order and grouping.
+        assert_eq!(DATASETS[0].name, "Gnutella");
+        assert_eq!(DATASETS[4].name, "WikiTalk");
+        assert!(DATASETS[4].is_small_group());
+        assert_eq!(DATASETS[10].name, "Indochina");
+        assert_eq!(DATASETS[10].bp_roots, 64);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(by_name("gnutella").is_some());
+        assert!(by_name("HOLLYWOOD").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scaled_vertices_clamped() {
+        let d = by_name("Gnutella").unwrap();
+        assert_eq!(d.scaled_vertices(1), 63_000);
+        assert_eq!(d.scaled_vertices(8), 63_000 / 8);
+        assert_eq!(d.scaled_vertices(1_000_000), 1024);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_plausible() {
+        // Generate the small five at an aggressive scale and check density.
+        for d in small_five() {
+            let g = d.generate(64).unwrap();
+            let g2 = d.generate(64).unwrap();
+            assert_eq!(g, g2, "{} must be deterministic", d.name);
+            let paper_avg = 2.0 * d.paper_edges as f64 / d.paper_vertices as f64;
+            let got_avg = g.avg_degree();
+            assert!(
+                got_avg > paper_avg * 0.4 && got_avg < paper_avg * 2.0,
+                "{}: paper avg degree {paper_avg:.1}, generated {got_avg:.1}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn web_stand_ins_use_copying_model() {
+        for d in DATASETS.iter().filter(|d| d.class == NetworkClass::Web) {
+            assert!(matches!(d.model, Model::Copying { .. }), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(NetworkClass::Social.label(), "Social");
+        assert_eq!(NetworkClass::Web.label(), "Web");
+        assert_eq!(NetworkClass::Computer.label(), "Computer");
+    }
+}

@@ -1,0 +1,163 @@
+//! Normalising builder for raw edge lists.
+//!
+//! Real-world edge dumps (and some generators, e.g. R-MAT) contain
+//! duplicates, self-loops and both orientations of the same edge. §7.1 of the
+//! paper treats all datasets as undirected simple graphs; [`GraphBuilder`]
+//! performs that normalisation.
+
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::Vertex;
+
+/// Accumulates raw undirected edges and produces a simple [`CsrGraph`].
+///
+/// ```
+/// use pll_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate orientation: dropped
+/// b.add_edge(2, 2); // self-loop: dropped
+/// b.add_edge(1, 2);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(Vertex, Vertex)>,
+    dropped_self_loops: usize,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            dropped_self_loops: 0,
+        }
+    }
+
+    /// Creates a builder with pre-reserved edge capacity.
+    pub fn with_capacity(n: usize, edges: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(edges),
+            dropped_self_loops: 0,
+        }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of raw (pre-deduplication) edges added so far.
+    pub fn num_raw_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge; self-loops are counted and dropped.
+    pub fn add_edge(&mut self, u: Vertex, v: Vertex) {
+        if u == v {
+            self.dropped_self_loops += 1;
+            return;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b));
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = (Vertex, Vertex)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Grows the vertex count to at least `n`.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        self.n = self.n.max(n);
+    }
+
+    /// Number of self-loops dropped so far.
+    pub fn dropped_self_loops(&self) -> usize {
+        self.dropped_self_loops
+    }
+
+    /// Deduplicates and produces the simple graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range/overflow errors from [`CsrGraph::from_edges`].
+    pub fn build(mut self) -> Result<CsrGraph> {
+        for &(u, v) in &self.edges {
+            if u as usize >= self.n || v as usize >= self.n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u.max(v) as u64,
+                    num_vertices: self.n as u64,
+                });
+            }
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        CsrGraph::from_edges(self.n, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn drops_and_counts_self_loops() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 2);
+        b.add_edge(0, 1);
+        assert_eq!(b.dropped_self_loops(), 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn extend_edges_and_capacity() {
+        let mut b = GraphBuilder::with_capacity(4, 3);
+        b.extend_edges([(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(b.num_raw_edges(), 3);
+        assert_eq!(b.build().unwrap().num_edges(), 3);
+    }
+
+    #[test]
+    fn ensure_vertices_grows_only() {
+        let mut b = GraphBuilder::new(2);
+        b.ensure_vertices(5);
+        b.ensure_vertices(1);
+        assert_eq!(b.num_vertices(), 5);
+    }
+
+    #[test]
+    fn out_of_range_detected_at_build() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::VertexOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

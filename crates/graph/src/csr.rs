@@ -1,0 +1,286 @@
+//! Compact undirected graph in CSR (compressed sparse row) form.
+//!
+//! The paper's index construction performs breadth-first searches whose inner
+//! loop is "for all w ∈ N(v)" (Algorithm 1, line 10); a CSR layout makes that
+//! loop a contiguous slice scan, which is the memory-locality property §4.5
+//! relies on. Neighbour lists are stored sorted, so membership tests are
+//! `O(log deg)` and the bit-parallel root selection of §5.4 (take the
+//! highest-priority neighbours) is deterministic.
+
+use crate::error::{GraphError, Result};
+use crate::Vertex;
+
+/// An immutable, undirected, unweighted graph in CSR form.
+///
+/// Every undirected edge `{u, v}` is stored twice (as `u -> v` and `v -> u`);
+/// [`CsrGraph::num_edges`] reports the number of *undirected* edges. Parallel
+/// edges and self-loops are rejected at construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets` for vertex `v`.
+    offsets: Vec<u32>,
+    /// Concatenated, per-vertex-sorted adjacency lists.
+    targets: Vec<Vertex>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from an undirected edge list.
+    ///
+    /// Edges may appear in any order and orientation but must not contain
+    /// duplicates (in either orientation) or self-loops; use
+    /// [`crate::GraphBuilder`] to normalise raw lists first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] for endpoints `>= n`,
+    /// [`GraphError::TooLarge`] if `2 * edges.len()` overflows `u32`, and
+    /// [`GraphError::InvalidParameter`] for self-loops or duplicates.
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Result<Self> {
+        if n > u32::MAX as usize - 1 {
+            return Err(GraphError::TooLarge {
+                what: "vertex count",
+            });
+        }
+        let half_edges = edges.len().checked_mul(2).ok_or(GraphError::TooLarge {
+            what: "edge count",
+        })?;
+        if half_edges > u32::MAX as usize {
+            return Err(GraphError::TooLarge {
+                what: "edge count",
+            });
+        }
+
+        let mut degree = vec![0u32; n];
+        for &(u, v) in edges {
+            if u as usize >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u as u64,
+                    num_vertices: n as u64,
+                });
+            }
+            if v as usize >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v as u64,
+                    num_vertices: n as u64,
+                });
+            }
+            if u == v {
+                return Err(GraphError::InvalidParameter {
+                    message: format!("self-loop at vertex {u}"),
+                });
+            }
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut targets = vec![0 as Vertex; half_edges];
+        // `cursor` tracks the next free slot per vertex while scattering.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(u, v) in edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+
+        for v in 0..n {
+            let s = offsets[v] as usize;
+            let e = offsets[v + 1] as usize;
+            let list = &mut targets[s..e];
+            list.sort_unstable();
+            if list.windows(2).any(|w| w[0] == w[1]) {
+                return Err(GraphError::InvalidParameter {
+                    message: format!("duplicate edge incident to vertex {v}"),
+                });
+            }
+        }
+
+        Ok(CsrGraph { offsets, targets })
+    }
+
+    /// Builds a graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+        }
+    }
+
+    /// Assembles a graph directly from CSR arrays.
+    ///
+    /// Intended for [`crate::reorder`] and deserialisation, which already
+    /// hold validated CSR data. Debug builds assert the invariants.
+    pub(crate) fn from_parts(offsets: Vec<u32>, targets: Vec<Vertex>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        CsrGraph { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Sorted neighbour slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists (binary search).
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as Vertex)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average degree `2m / n` (0.0 for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.targets.len() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Iterates each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        (0..self.num_vertices() as Vertex).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterates all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> {
+        0..self.num_vertices() as Vertex
+    }
+
+    /// Raw CSR views `(offsets, targets)`, used by serialisation.
+    pub fn as_parts(&self) -> (&[u32], &[Vertex]) {
+        (&self.offsets, &self.targets)
+    }
+
+    /// Heap bytes used by the CSR arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.targets.len() * std::mem::size_of::<Vertex>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> CsrGraph {
+        // 0-1, 1-2, 2-0 triangle with pendant 3 attached to 0.
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.neighbors(3), &[0]);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = CsrGraph::from_edges(5, &[(4, 0), (2, 0), (0, 3), (1, 0)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn has_edge_both_orientations() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle_plus_pendant();
+        let mut e: Vec<_> = g.edges().collect();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (0, 2), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = CsrGraph::from_edges(3, &[(1, 1)]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_edges() {
+        let err = CsrGraph::from_edges(3, &[(0, 1), (1, 0)]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = CsrGraph::from_edges(3, &[(0, 3)]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(7);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(6), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = CsrGraph::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_counts_both_arrays() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.memory_bytes(), 5 * 4 + 8 * 4);
+    }
+}

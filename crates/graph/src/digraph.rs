@@ -1,0 +1,235 @@
+//! Directed CSR graph with both adjacency directions materialised.
+//!
+//! The directed variant of the paper (§6) performs two pruned BFSs per root:
+//! one over out-edges and one over in-edges, so the representation stores
+//! both directions up front.
+
+use crate::error::{GraphError, Result};
+use crate::Vertex;
+
+/// An immutable directed graph in CSR form with forward and reverse
+/// adjacency. Parallel edges and self-loops are rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrDigraph {
+    out_offsets: Vec<u32>,
+    out_targets: Vec<Vertex>,
+    in_offsets: Vec<u32>,
+    in_targets: Vec<Vertex>,
+}
+
+impl CsrDigraph {
+    /// Builds a digraph from a directed edge list `(u, v)` meaning `u -> v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`], [`GraphError::TooLarge`] or
+    /// [`GraphError::InvalidParameter`] (self-loop / duplicate arc) like the
+    /// undirected builder.
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Result<Self> {
+        if n > u32::MAX as usize - 1 {
+            return Err(GraphError::TooLarge {
+                what: "vertex count",
+            });
+        }
+        if edges.len() > u32::MAX as usize {
+            return Err(GraphError::TooLarge {
+                what: "edge count",
+            });
+        }
+
+        let mut out_degree = vec![0u32; n];
+        let mut in_degree = vec![0u32; n];
+        for &(u, v) in edges {
+            if u as usize >= n || v as usize >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u.max(v) as u64,
+                    num_vertices: n as u64,
+                });
+            }
+            if u == v {
+                return Err(GraphError::InvalidParameter {
+                    message: format!("self-loop at vertex {u}"),
+                });
+            }
+            out_degree[u as usize] += 1;
+            in_degree[v as usize] += 1;
+        }
+
+        let prefix = |deg: &[u32]| {
+            let mut offs = Vec::with_capacity(n + 1);
+            let mut acc = 0u32;
+            offs.push(0);
+            for &d in deg {
+                acc += d;
+                offs.push(acc);
+            }
+            offs
+        };
+        let out_offsets = prefix(&out_degree);
+        let in_offsets = prefix(&in_degree);
+
+        let mut out_targets = vec![0 as Vertex; edges.len()];
+        let mut in_targets = vec![0 as Vertex; edges.len()];
+        let mut out_cursor: Vec<u32> = out_offsets[..n].to_vec();
+        let mut in_cursor: Vec<u32> = in_offsets[..n].to_vec();
+        for &(u, v) in edges {
+            out_targets[out_cursor[u as usize] as usize] = v;
+            out_cursor[u as usize] += 1;
+            in_targets[in_cursor[v as usize] as usize] = u;
+            in_cursor[v as usize] += 1;
+        }
+
+        for v in 0..n {
+            let list = &mut out_targets
+                [out_offsets[v] as usize..out_offsets[v + 1] as usize];
+            list.sort_unstable();
+            if list.windows(2).any(|w| w[0] == w[1]) {
+                return Err(GraphError::InvalidParameter {
+                    message: format!("duplicate arc out of vertex {v}"),
+                });
+            }
+            in_targets[in_offsets[v] as usize..in_offsets[v + 1] as usize].sort_unstable();
+        }
+
+        Ok(CsrDigraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed arcs.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: Vertex) -> usize {
+        (self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: Vertex) -> usize {
+        (self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]) as usize
+    }
+
+    /// Sorted successors of `v`.
+    #[inline]
+    pub fn out_neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.out_targets
+            [self.out_offsets[v as usize] as usize..self.out_offsets[v as usize + 1] as usize]
+    }
+
+    /// Sorted predecessors of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.in_targets
+            [self.in_offsets[v as usize] as usize..self.in_offsets[v as usize + 1] as usize]
+    }
+
+    /// Whether the arc `u -> v` exists.
+    pub fn has_arc(&self, u: Vertex, v: Vertex) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates all arcs `(u, v)` meaning `u -> v`.
+    pub fn arcs(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        (0..self.num_vertices() as Vertex)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Iterates all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> {
+        0..self.num_vertices() as Vertex
+    }
+
+    /// The digraph with every arc reversed (shares no storage).
+    pub fn reversed(&self) -> CsrDigraph {
+        CsrDigraph {
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_targets.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_targets: self.out_targets.clone(),
+        }
+    }
+
+    /// Heap bytes used by the four CSR arrays.
+    pub fn memory_bytes(&self) -> usize {
+        4 * std::mem::size_of::<u32>()
+            * (self.out_offsets.len() + self.out_targets.len()) / 2
+            + (self.in_offsets.len() + self.in_targets.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrDigraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        CsrDigraph::from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn shape_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+    }
+
+    #[test]
+    fn has_arc_is_directional() {
+        let g = diamond();
+        assert!(g.has_arc(0, 1));
+        assert!(!g.has_arc(1, 0));
+    }
+
+    #[test]
+    fn reversed_swaps_directions() {
+        let g = diamond().reversed();
+        assert!(g.has_arc(1, 0));
+        assert!(!g.has_arc(0, 1));
+        assert_eq!(g.out_degree(3), 2);
+    }
+
+    #[test]
+    fn antiparallel_arcs_are_allowed() {
+        let g = CsrDigraph::from_edges(2, &[(0, 1), (1, 0)]).unwrap();
+        assert!(g.has_arc(0, 1));
+        assert!(g.has_arc(1, 0));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_arc() {
+        assert!(CsrDigraph::from_edges(2, &[(0, 1), (0, 1)]).is_err());
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert!(CsrDigraph::from_edges(2, &[(0, 0)]).is_err());
+    }
+
+    #[test]
+    fn arcs_iterator() {
+        let g = diamond();
+        let mut a: Vec<_> = g.arcs().collect();
+        a.sort_unstable();
+        assert_eq!(a, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Edge-list I/O in the SNAP text format and a compact binary format.
+//!
+//! The paper's datasets ship as whitespace-separated edge lists with `#`
+//! comment lines (SNAP convention). [`read_text`] accepts exactly that, so a
+//! user with the original dumps can reproduce the experiments on real data.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
+use crate::wgraph::WeightedGraph;
+use crate::Vertex;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Magic bytes of the binary graph format.
+const BINARY_MAGIC: &[u8; 8] = b"PLLGRAPH";
+/// Binary format version.
+const BINARY_VERSION: u32 = 1;
+
+/// Reads an undirected graph from SNAP-style text: one `u v` pair per line,
+/// `#`-prefixed comments, arbitrary whitespace. Vertex ids need not be
+/// contiguous; the graph is sized by the maximum id. Self-loops and
+/// duplicates are dropped.
+pub fn read_text<R: Read>(reader: R) -> Result<CsrGraph> {
+    let mut edges: Vec<(Vertex, Vertex)> = Vec::new();
+    let mut max_vertex: u64 = 0;
+    let buf = BufReader::new(reader);
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, lineno: usize| -> Result<u64> {
+            let tok = tok.ok_or(GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two vertex ids".into(),
+            })?;
+            tok.parse::<u64>().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad vertex id {tok:?}: {e}"),
+            })
+        };
+        let u = parse(it.next(), lineno)?;
+        let v = parse(it.next(), lineno)?;
+        if u >= u32::MAX as u64 || v >= u32::MAX as u64 {
+            return Err(GraphError::TooLarge {
+                what: "vertex id in edge list",
+            });
+        }
+        max_vertex = max_vertex.max(u).max(v);
+        edges.push((u as Vertex, v as Vertex));
+    }
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_vertex as usize + 1
+    };
+    let mut builder = GraphBuilder::with_capacity(n, edges.len());
+    builder.extend_edges(edges);
+    builder.build()
+}
+
+/// Writes a graph as SNAP-style text (one `u v` line per undirected edge).
+pub fn write_text<W: Write>(g: &CsrGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# undirected graph: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a weighted graph from text lines `u v w`.
+pub fn read_weighted_text<R: Read>(reader: R) -> Result<WeightedGraph> {
+    let mut edges: Vec<(Vertex, Vertex, u32)> = Vec::new();
+    let mut max_vertex: u64 = 0;
+    let buf = BufReader::new(reader);
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 3 {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: format!("expected `u v w`, got {} tokens", toks.len()),
+            });
+        }
+        let parse = |tok: &str| -> Result<u64> {
+            tok.parse::<u64>().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad number {tok:?}: {e}"),
+            })
+        };
+        let (u, v, wt) = (parse(toks[0])?, parse(toks[1])?, parse(toks[2])?);
+        if u >= u32::MAX as u64 || v >= u32::MAX as u64 || wt > u32::MAX as u64 {
+            return Err(GraphError::TooLarge {
+                what: "vertex id or weight in edge list",
+            });
+        }
+        max_vertex = max_vertex.max(u).max(v);
+        edges.push((u as Vertex, v as Vertex, wt as u32));
+    }
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_vertex as usize + 1
+    };
+    WeightedGraph::from_edges(n, &edges)
+}
+
+/// Writes a graph in the compact binary format (`PLLGRAPH` magic, version,
+/// vertex count, CSR arrays, little-endian).
+pub fn write_binary<W: Write>(g: &CsrGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&BINARY_VERSION.to_le_bytes())?;
+    let (offsets, targets) = g.as_parts();
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(targets.len() as u64).to_le_bytes())?;
+    for &o in offsets {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &t in targets {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph written by [`write_binary`].
+pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(GraphError::Format {
+            message: "bad magic bytes".into(),
+        });
+    }
+    let mut buf4 = [0u8; 4];
+    r.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != BINARY_VERSION {
+        return Err(GraphError::Format {
+            message: format!("unsupported version {version}"),
+        });
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let half_edges = u64::from_le_bytes(buf8) as usize;
+    if n > u32::MAX as usize || half_edges > u32::MAX as usize {
+        return Err(GraphError::Format {
+            message: "vertex or edge count exceeds 32-bit layout".into(),
+        });
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        r.read_exact(&mut buf4)?;
+        offsets.push(u32::from_le_bytes(buf4));
+    }
+    let mut targets = Vec::with_capacity(half_edges);
+    for _ in 0..half_edges {
+        r.read_exact(&mut buf4)?;
+        targets.push(u32::from_le_bytes(buf4));
+    }
+    if offsets.last().copied().unwrap_or(0) as usize != targets.len()
+        || offsets.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(GraphError::Format {
+            message: "inconsistent CSR offsets".into(),
+        });
+    }
+    // Re-validate through the public constructor path invariants.
+    for v in 0..n {
+        let s = offsets[v] as usize;
+        let e = offsets[v + 1] as usize;
+        let list = &targets[s..e];
+        if list.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(GraphError::Format {
+                message: format!("adjacency of vertex {v} not strictly sorted"),
+            });
+        }
+        if list.iter().any(|&t| t as usize >= n) {
+            return Err(GraphError::Format {
+                message: format!("adjacency of vertex {v} out of range"),
+            });
+        }
+    }
+    Ok(CsrGraph::from_parts(offsets, targets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use std::io::Cursor;
+
+    #[test]
+    fn text_roundtrip() {
+        let g = gen::erdos_renyi_gnm(50, 120, 3).unwrap();
+        let mut buf = Vec::new();
+        write_text(&g, &mut buf).unwrap();
+        let g2 = read_text(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn text_parses_comments_and_blank_lines() {
+        let text = "# comment\n\n0 1\n  1   2  \n# trailing\n";
+        let g = read_text(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_drops_self_loops_and_duplicates() {
+        let text = "0 0\n0 1\n1 0\n";
+        let g = read_text(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn text_reports_parse_errors_with_line() {
+        let err = read_text(Cursor::new("0 1\nx y\n")).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = read_text(Cursor::new("0\n")).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_text_is_empty_graph() {
+        let g = read_text(Cursor::new("# nothing\n")).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn weighted_text_roundtrip_via_parse() {
+        let text = "0 1 5\n1 2 7\n";
+        let g = read_weighted_text(Cursor::new(text)).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(5));
+        assert_eq!(g.edge_weight(2, 1), Some(7));
+        assert!(read_weighted_text(Cursor::new("0 1\n")).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = gen::barabasi_albert(200, 3, 9).unwrap();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(read_binary(Cursor::new(b"NOTMAGIC".to_vec())).is_err());
+        let mut buf = Vec::new();
+        write_binary(&gen::path(4).unwrap(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_binary(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_wrong_version() {
+        let mut buf = Vec::new();
+        write_binary(&gen::path(3).unwrap(), &mut buf).unwrap();
+        buf[8] = 99; // clobber version
+        assert!(matches!(
+            read_binary(Cursor::new(buf)).unwrap_err(),
+            GraphError::Format { .. }
+        ));
+    }
+}

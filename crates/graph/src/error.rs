@@ -1,0 +1,119 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, parsing or transforming graphs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint was `>= num_vertices`.
+    VertexOutOfRange {
+        /// The offending endpoint.
+        vertex: u64,
+        /// Number of vertices in the graph being built.
+        num_vertices: u64,
+    },
+    /// The number of vertices or edges exceeds the 32-bit representation
+    /// used by the CSR layout.
+    TooLarge {
+        /// Human-readable description of the exceeded quantity.
+        what: &'static str,
+    },
+    /// A text edge list failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure while reading or writing a graph.
+    Io(std::io::Error),
+    /// A binary graph file had an invalid header or was truncated.
+    Format {
+        /// Description of the problem.
+        message: String,
+    },
+    /// An operation received a parameter outside its documented domain
+    /// (e.g. a generator asked for more edges than the vertex count allows).
+    InvalidParameter {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::TooLarge { what } => {
+                write!(f, "{what} exceeds the 32-bit CSR representation")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "edge list parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::Format { message } => write!(f, "graph format error: {message}"),
+            GraphError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Convenience result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_vertex_out_of_range() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "vertex 9 out of range for graph with 4 vertices"
+        );
+    }
+
+    #[test]
+    fn display_parse() {
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_roundtrip() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

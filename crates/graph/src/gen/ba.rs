@@ -1,0 +1,101 @@
+//! Barabási–Albert preferential attachment.
+
+use crate::error::{GraphError, Result};
+use crate::gen::rng::Xoshiro256pp;
+use crate::{CsrGraph, GraphBuilder, Vertex};
+
+/// Generates a Barabási–Albert preferential-attachment graph.
+///
+/// Starts from a clique on `m + 1` vertices; every later vertex attaches to
+/// `m` distinct existing vertices chosen proportionally to degree (via the
+/// classic repeated-endpoint list). Produces connected graphs with power-law
+/// degree distributions — the social-network stand-in of the harness.
+///
+/// # Errors
+///
+/// `m` must satisfy `1 <= m < n`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<CsrGraph> {
+    if m == 0 || m >= n {
+        return Err(GraphError::InvalidParameter {
+            message: format!("barabasi_albert requires 1 <= m < n (n={n}, m={m})"),
+        });
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, n * m);
+    // Every edge endpoint is appended here; sampling an element is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<Vertex> = Vec::with_capacity(2 * n * m);
+
+    let seed_size = m + 1;
+    for u in 0..seed_size as Vertex {
+        for v in (u + 1)..seed_size as Vertex {
+            builder.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    let mut picked: Vec<Vertex> = Vec::with_capacity(m);
+    for v in seed_size as Vertex..n as Vertex {
+        picked.clear();
+        // Rejection-sample m distinct targets; m is tiny (≤ ~32) so the
+        // quadratic distinctness check is cheaper than a hash set.
+        while picked.len() < m {
+            let t = endpoints[rng.next_index(endpoints.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            builder.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::components::is_connected;
+
+    #[test]
+    fn produces_expected_edge_count() {
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, 1).unwrap();
+        assert_eq!(g.num_vertices(), n);
+        // clique(m+1) + m per additional vertex
+        assert_eq!(g.num_edges(), m * (m + 1) / 2 + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn is_connected_and_deterministic() {
+        let a = barabasi_albert(300, 2, 7).unwrap();
+        let b = barabasi_albert(300, 2, 7).unwrap();
+        assert_eq!(a, b);
+        assert!(is_connected(&a));
+    }
+
+    #[test]
+    fn has_skewed_degrees() {
+        let g = barabasi_albert(2000, 2, 3).unwrap();
+        // Preferential attachment must create hubs well above the mean.
+        assert!(g.max_degree() > 10 * g.avg_degree() as usize);
+    }
+
+    #[test]
+    fn rejects_bad_m() {
+        assert!(barabasi_albert(10, 0, 1).is_err());
+        assert!(barabasi_albert(10, 10, 1).is_err());
+    }
+
+    #[test]
+    fn minimal_case_m1() {
+        let g = barabasi_albert(50, 1, 9).unwrap();
+        // m = 1 yields a tree on the non-seed part plus the 1-edge seed clique.
+        assert_eq!(g.num_edges(), 1 + 48);
+        assert!(is_connected(&g));
+    }
+}

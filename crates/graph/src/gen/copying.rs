@@ -1,0 +1,94 @@
+//! Linear-growth copying model for web-graph stand-ins.
+
+use crate::error::{GraphError, Result};
+use crate::gen::rng::Xoshiro256pp;
+use crate::{CsrGraph, GraphBuilder, Vertex};
+
+/// Generates a graph with the Kleinberg et al. copying model.
+///
+/// Each new vertex picks a uniformly random *prototype* among existing
+/// vertices and creates `out_deg` links; each link copies the corresponding
+/// prototype link with probability `copy_prob` and otherwise points to a
+/// uniform random existing vertex. Copying concentrates links on popular
+/// pages, giving the power-law + locality structure of web crawls (the web
+/// stand-in for NotreDame / Indo / Indochina).
+///
+/// # Errors
+///
+/// Requires `1 <= out_deg < n` and `copy_prob` in `[0, 1]`.
+pub fn copying_model(n: usize, out_deg: usize, copy_prob: f64, seed: u64) -> Result<CsrGraph> {
+    if out_deg == 0 || out_deg >= n {
+        return Err(GraphError::InvalidParameter {
+            message: format!("copying_model requires 1 <= out_deg < n (n={n}, out_deg={out_deg})"),
+        });
+    }
+    if !(0.0..=1.0).contains(&copy_prob) {
+        return Err(GraphError::InvalidParameter {
+            message: format!("copying_model requires copy_prob in [0,1], got {copy_prob}"),
+        });
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, n * out_deg);
+    // links[v] holds v's out-links for later copying.
+    let mut links: Vec<Vec<Vertex>> = Vec::with_capacity(n);
+
+    let seed_size = out_deg + 1;
+    for u in 0..seed_size {
+        // Seed clique-ish: vertex u links to all earlier seeds (ring for u=0).
+        let mut mine = Vec::with_capacity(out_deg);
+        for v in 0..u {
+            builder.add_edge(u as Vertex, v as Vertex);
+            mine.push(v as Vertex);
+        }
+        links.push(mine);
+    }
+
+    for u in seed_size..n {
+        let prototype = rng.next_index(u);
+        let proto_links = links[prototype].clone();
+        let mut mine = Vec::with_capacity(out_deg);
+        for slot in 0..out_deg {
+            let target = if slot < proto_links.len() && rng.next_bool(copy_prob) {
+                proto_links[slot]
+            } else {
+                rng.next_below(u as u64) as Vertex
+            };
+            if target as usize != u && !mine.contains(&target) {
+                builder.add_edge(u as Vertex, target);
+                mine.push(target);
+            }
+        }
+        links.push(mine);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = copying_model(1000, 5, 0.6, 4).unwrap();
+        let b = copying_model(1000, 5, 0.6, 4).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.num_vertices(), 1000);
+        // Each non-seed vertex adds at most out_deg edges.
+        assert!(a.num_edges() <= 1000 * 5);
+        assert!(a.num_edges() > 1000);
+    }
+
+    #[test]
+    fn copying_creates_heavier_hubs_than_uniform() {
+        let copied = copying_model(3000, 4, 0.9, 8).unwrap();
+        let uniform = copying_model(3000, 4, 0.0, 8).unwrap();
+        assert!(copied.max_degree() > 2 * uniform.max_degree());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(copying_model(10, 0, 0.5, 1).is_err());
+        assert!(copying_model(10, 10, 0.5, 1).is_err());
+        assert!(copying_model(10, 2, 1.5, 1).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Erdős–Rényi random graphs, G(n, m) and G(n, p).
+
+use crate::error::{GraphError, Result};
+use crate::gen::rng::Xoshiro256pp;
+use crate::{CsrGraph, GraphBuilder, Vertex};
+use std::collections::HashSet;
+
+/// Generates a uniform random graph with exactly `m` distinct edges.
+///
+/// # Errors
+///
+/// `m` must not exceed `n * (n - 1) / 2`.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Result<CsrGraph> {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    if m > max_edges {
+        return Err(GraphError::InvalidParameter {
+            message: format!("G(n,m) with n={n} admits at most {max_edges} edges, got {m}"),
+        });
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut chosen: HashSet<(Vertex, Vertex)> = HashSet::with_capacity(m * 2);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    // Dense case guard: if m is a large fraction of all pairs, enumerate and
+    // shuffle instead of rejection sampling.
+    if max_edges > 0 && m * 3 >= max_edges * 2 {
+        let mut all: Vec<(Vertex, Vertex)> = Vec::with_capacity(max_edges);
+        for u in 0..n as Vertex {
+            for v in (u + 1)..n as Vertex {
+                all.push((u, v));
+            }
+        }
+        rng.shuffle(&mut all);
+        builder.extend_edges(all.into_iter().take(m));
+        return builder.build();
+    }
+    while chosen.len() < m {
+        let u = rng.next_below(n as u64) as Vertex;
+        let v = rng.next_below(n as u64) as Vertex;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            builder.add_edge(key.0, key.1);
+        }
+    }
+    builder.build()
+}
+
+/// Generates G(n, p) using geometric edge skipping (O(n + m) expected time).
+///
+/// # Errors
+///
+/// `p` must lie in `[0, 1]`.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> Result<CsrGraph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            message: format!("G(n,p) requires p in [0,1], got {p}"),
+        });
+    }
+    let mut builder = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return builder.build();
+    }
+    if p == 1.0 {
+        for u in 0..n as Vertex {
+            for v in (u + 1)..n as Vertex {
+                builder.add_edge(u, v);
+            }
+        }
+        return builder.build();
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    // Batagelj–Brandes skipping over the lower-triangular pair sequence.
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n_i = n as i64;
+    while v < n_i {
+        let r = 1.0 - rng.next_f64(); // (0, 1]
+        let skip = (r.ln() / log_q).floor() as i64;
+        w += 1 + skip;
+        while w >= v && v < n_i {
+            w -= v;
+            v += 1;
+        }
+        if v < n_i {
+            builder.add_edge(w as Vertex, v as Vertex);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi_gnm(100, 250, 5).unwrap();
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 250);
+    }
+
+    #[test]
+    fn gnm_dense_path() {
+        // 10 choose 2 = 45; ask for 40 to trigger the enumerate+shuffle path.
+        let g = erdos_renyi_gnm(10, 40, 5).unwrap();
+        assert_eq!(g.num_edges(), 40);
+    }
+
+    #[test]
+    fn gnm_full_clique() {
+        let g = erdos_renyi_gnm(8, 28, 1).unwrap();
+        assert_eq!(g.num_edges(), 28);
+        assert_eq!(g.max_degree(), 7);
+    }
+
+    #[test]
+    fn gnm_rejects_impossible() {
+        assert!(erdos_renyi_gnm(4, 7, 0).is_err());
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        assert_eq!(
+            erdos_renyi_gnm(60, 120, 9).unwrap(),
+            erdos_renyi_gnm(60, 120, 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi_gnp(20, 0.0, 1).unwrap().num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(7, 1.0, 1).unwrap().num_edges(), 21);
+        assert!(erdos_renyi_gnp(5, 1.5, 1).is_err());
+        assert!(erdos_renyi_gnp(5, -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi_gnp(n, p, 13).unwrap();
+        let expect = (n * (n - 1) / 2) as f64 * p;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expect).abs() < 0.15 * expect,
+            "expected ~{expect}, got {got}"
+        );
+    }
+
+    #[test]
+    fn gnp_deterministic() {
+        assert_eq!(
+            erdos_renyi_gnp(100, 0.1, 21).unwrap(),
+            erdos_renyi_gnp(100, 0.1, 21).unwrap()
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Forest-fire model (Leskovec, Kleinberg, Faloutsos).
+
+use crate::error::{GraphError, Result};
+use crate::gen::rng::Xoshiro256pp;
+use crate::{CsrGraph, GraphBuilder, Vertex};
+use std::collections::HashSet;
+
+/// Generates a forest-fire graph.
+///
+/// Each new vertex links to a random *ambassador* and then "burns" through
+/// the ambassador's neighbourhood: from every burned vertex it links to a
+/// geometrically-distributed number (mean `p / (1 − p)`) of that vertex's
+/// not-yet-burned neighbours and recurses. Produces heavy-tailed degrees,
+/// densification and small diameters — a good stand-in for citation-like
+/// and social growth processes.
+///
+/// # Errors
+///
+/// Requires `n >= 1` and `burn_prob` in `[0, 1)`.
+pub fn forest_fire(n: usize, burn_prob: f64, seed: u64) -> Result<CsrGraph> {
+    if n == 0 {
+        return CsrGraph::from_edges(0, &[]);
+    }
+    if !(0.0..1.0).contains(&burn_prob) {
+        return Err(GraphError::InvalidParameter {
+            message: format!("forest_fire requires burn_prob in [0,1), got {burn_prob}"),
+        });
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    // Adjacency of the growing graph (links from earlier steps).
+    let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+    let link = |adj: &mut Vec<Vec<Vertex>>, builder: &mut GraphBuilder, a: Vertex, b: Vertex| {
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+        builder.add_edge(a, b);
+    };
+
+    let mut burned: HashSet<Vertex> = HashSet::new();
+    let mut frontier: Vec<Vertex> = Vec::new();
+    for v in 1..n as Vertex {
+        let ambassador = rng.next_below(v as u64) as Vertex;
+        burned.clear();
+        burned.insert(v);
+        burned.insert(ambassador);
+        link(&mut adj, &mut builder, v, ambassador);
+
+        frontier.clear();
+        frontier.push(ambassador);
+        // Cap total burn to keep generation near-linear, as is customary.
+        let burn_cap = 32usize;
+        let mut burned_count = 1usize;
+        while let Some(w) = frontier.pop() {
+            if burned_count >= burn_cap {
+                break;
+            }
+            // Geometric number of spreads: keep drawing successes.
+            let mut spread = 0usize;
+            while rng.next_bool(burn_prob) {
+                spread += 1;
+            }
+            if spread == 0 {
+                continue;
+            }
+            // Sample unburned neighbours of w.
+            let candidates: Vec<Vertex> = adj[w as usize]
+                .iter()
+                .copied()
+                .filter(|x| !burned.contains(x))
+                .collect();
+            for &x in candidates.iter().take(spread) {
+                if burned_count >= burn_cap {
+                    break;
+                }
+                burned.insert(x);
+                burned_count += 1;
+                link(&mut adj, &mut builder, v, x);
+                frontier.push(x);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::components::is_connected;
+
+    #[test]
+    fn connected_and_deterministic() {
+        let a = forest_fire(500, 0.35, 7).unwrap();
+        let b = forest_fire(500, 0.35, 7).unwrap();
+        assert_eq!(a, b);
+        assert!(is_connected(&a));
+        assert!(a.num_edges() >= 499, "at least a spanning tree");
+    }
+
+    #[test]
+    fn higher_burn_probability_densifies() {
+        let sparse = forest_fire(800, 0.1, 3).unwrap();
+        let dense = forest_fire(800, 0.5, 3).unwrap();
+        assert!(
+            dense.num_edges() > sparse.num_edges() * 2,
+            "dense {} vs sparse {}",
+            dense.num_edges(),
+            sparse.num_edges()
+        );
+    }
+
+    #[test]
+    fn heavy_tailed_degrees() {
+        let g = forest_fire(2000, 0.45, 11).unwrap();
+        assert!(g.max_degree() > 8 * g.avg_degree() as usize);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(forest_fire(0, 0.3, 1).unwrap().num_vertices(), 0);
+        assert_eq!(forest_fire(1, 0.3, 1).unwrap().num_edges(), 0);
+        assert_eq!(forest_fire(2, 0.0, 1).unwrap().num_edges(), 1);
+        assert!(forest_fire(10, 1.0, 1).is_err());
+        assert!(forest_fire(10, -0.1, 1).is_err());
+    }
+}

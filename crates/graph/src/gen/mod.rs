@@ -1,0 +1,37 @@
+//! Synthetic network generators.
+//!
+//! The paper evaluates on eleven real-world networks (Table 4). Those dumps
+//! are not redistributable here, so the experiment harness substitutes
+//! synthetic models matched by network class (see DESIGN.md §6):
+//!
+//! * social networks → [`barabasi_albert`] / [`chung_lu`] (power-law degree
+//!   distributions, small diameters);
+//! * web graphs → [`copying_model`] (power-law plus link-copying locality);
+//! * computer/P2P networks → sparse [`barabasi_albert`] / [`rmat`];
+//! * structured families (paths, grids, trees, …) → [`path`]/[`grid`]/[`balanced_tree`] and friends, used by the
+//!   tree-width experiments around Theorem 4.4.
+//!
+//! All generators take an explicit `seed` and are deterministic across
+//! platforms (see [`rng`]).
+
+pub mod rng;
+
+mod ba;
+mod chung_lu;
+mod copying;
+mod er;
+mod forest_fire;
+mod regular;
+mod rmat;
+mod ws;
+
+pub use ba::barabasi_albert;
+pub use chung_lu::chung_lu;
+pub use copying::copying_model;
+pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use forest_fire::forest_fire;
+pub use regular::{
+    balanced_tree, caterpillar, complete, cycle, grid, path, random_tree, star, torus,
+};
+pub use rmat::{rmat, RmatParams};
+pub use ws::watts_strogatz;

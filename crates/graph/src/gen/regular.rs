@@ -1,0 +1,234 @@
+//! Deterministic structured families: paths, cycles, grids, stars, trees.
+//!
+//! These exercise edge cases (high diameter, low tree-width) and the
+//! Theorem 4.4 experiments: grids and trees have tree-width `O(√n)` and 1
+//! respectively, where the centroid-decomposition ordering provably yields
+//! `O(w log n)` labels.
+
+use crate::error::{GraphError, Result};
+use crate::gen::rng::Xoshiro256pp;
+use crate::{CsrGraph, Vertex};
+
+/// Path graph `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Result<CsrGraph> {
+    let edges: Vec<_> = (1..n as Vertex).map(|v| (v - 1, v)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Cycle graph on `n >= 3` vertices.
+pub fn cycle(n: usize) -> Result<CsrGraph> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter {
+            message: format!("cycle requires n >= 3, got {n}"),
+        });
+    }
+    let mut edges: Vec<_> = (1..n as Vertex).map(|v| (v - 1, v)).collect();
+    edges.push((n as Vertex - 1, 0));
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// `rows x cols` grid; vertex `(r, c)` has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Result<CsrGraph> {
+    let n = rows * cols;
+    let mut edges = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as Vertex;
+            if c + 1 < cols {
+                edges.push((v, v + 1));
+            }
+            if r + 1 < rows {
+                edges.push((v, v + cols as Vertex));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// `rows x cols` torus (grid with wraparound); requires `rows, cols >= 3`.
+pub fn torus(rows: usize, cols: usize) -> Result<CsrGraph> {
+    if rows < 3 || cols < 3 {
+        return Err(GraphError::InvalidParameter {
+            message: format!("torus requires rows, cols >= 3, got {rows}x{cols}"),
+        });
+    }
+    let n = rows * cols;
+    let mut edges = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as Vertex;
+            let right = (r * cols + (c + 1) % cols) as Vertex;
+            let down = (((r + 1) % rows) * cols + c) as Vertex;
+            edges.push((v, right));
+            edges.push((v, down));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Star with centre 0 and `n - 1` leaves.
+pub fn star(n: usize) -> Result<CsrGraph> {
+    let edges: Vec<_> = (1..n as Vertex).map(|v| (0, v)).collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Complete graph on `n` vertices.
+pub fn complete(n: usize) -> Result<CsrGraph> {
+    let mut edges = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for u in 0..n as Vertex {
+        for v in (u + 1)..n as Vertex {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Complete `branching`-ary tree of the given `depth` (depth 0 = single
+/// root). Vertices are numbered in BFS order.
+pub fn balanced_tree(branching: usize, depth: usize) -> Result<CsrGraph> {
+    if branching == 0 {
+        return Err(GraphError::InvalidParameter {
+            message: "balanced_tree requires branching >= 1".into(),
+        });
+    }
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level = level.saturating_mul(branching);
+        n = n.checked_add(level).ok_or(GraphError::TooLarge {
+            what: "tree vertex count",
+        })?;
+    }
+    if n > u32::MAX as usize - 1 {
+        return Err(GraphError::TooLarge {
+            what: "tree vertex count",
+        });
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for v in 1..n {
+        let parent = (v - 1) / branching;
+        edges.push((parent as Vertex, v as Vertex));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Caterpillar: a spine path of `spine` vertices, each with `legs` pendant
+/// leaves. Tree-width 1, useful for fringe-structure tests.
+pub fn caterpillar(spine: usize, legs: usize) -> Result<CsrGraph> {
+    if spine == 0 {
+        return Err(GraphError::InvalidParameter {
+            message: "caterpillar requires spine >= 1".into(),
+        });
+    }
+    let n = spine + spine * legs;
+    let mut edges = Vec::with_capacity(n - 1);
+    for s in 1..spine {
+        edges.push(((s - 1) as Vertex, s as Vertex));
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            edges.push((s as Vertex, next as Vertex));
+            next += 1;
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Uniform random recursive tree: vertex `v` attaches to a uniformly random
+/// earlier vertex.
+pub fn random_tree(n: usize, seed: u64) -> Result<CsrGraph> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for v in 1..n {
+        let parent = rng.next_index(v) as Vertex;
+        edges.push((parent, v as Vertex));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{bfs, components::is_connected};
+
+    #[test]
+    fn path_shape() {
+        let g = path(5).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(bfs::distances(&g, 0)[4], 4);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6).unwrap();
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(bfs::distances(&g, 0)[3], 3);
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn grid_shape_and_distances() {
+        let g = grid(4, 5).unwrap();
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 4 * 4 + 3 * 5);
+        // Manhattan distance from (0,0) to (3,4).
+        assert_eq!(bfs::distances(&g, 0)[19], 7);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 4).unwrap();
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert!(torus(2, 4).is_err());
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10).unwrap();
+        assert_eq!(g.degree(0), 9);
+        assert_eq!(bfs::distances(&g, 1)[2], 2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn balanced_tree_counts() {
+        let g = balanced_tree(2, 3).unwrap();
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert!(is_connected(&g));
+        assert!(balanced_tree(0, 2).is_err());
+    }
+
+    #[test]
+    fn caterpillar_counts() {
+        let g = caterpillar(5, 3).unwrap();
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 19);
+        assert!(is_connected(&g));
+        assert!(caterpillar(0, 3).is_err());
+    }
+
+    #[test]
+    fn random_tree_is_spanning_tree() {
+        let g = random_tree(200, 3).unwrap();
+        assert_eq!(g.num_edges(), 199);
+        assert!(is_connected(&g));
+        assert_eq!(random_tree(200, 3).unwrap(), g);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(path(0).unwrap().num_vertices(), 0);
+        assert_eq!(path(1).unwrap().num_edges(), 0);
+        assert_eq!(star(1).unwrap().num_edges(), 0);
+        assert_eq!(complete(1).unwrap().num_edges(), 0);
+        assert_eq!(random_tree(1, 0).unwrap().num_edges(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! R-MAT (recursive matrix) generator.
+
+use crate::error::{GraphError, Result};
+use crate::gen::rng::Xoshiro256pp;
+use crate::{CsrGraph, GraphBuilder, Vertex};
+
+/// Quadrant probabilities for the recursive matrix model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Probability of the bottom-right quadrant (`1 - a - b - c`).
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The classic Graph500-style skewed parameters.
+    pub const GRAPH500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
+
+    fn validate(&self) -> Result<()> {
+        let sum = self.a + self.b + self.c + self.d;
+        if self.a < 0.0 || self.b < 0.0 || self.c < 0.0 || self.d < 0.0 {
+            return Err(GraphError::InvalidParameter {
+                message: "R-MAT probabilities must be non-negative".into(),
+            });
+        }
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(GraphError::InvalidParameter {
+                message: format!("R-MAT probabilities must sum to 1, got {sum}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Generates an undirected R-MAT graph with `2^scale` vertices and about
+/// `edge_factor * 2^scale` distinct edges (duplicates and self-loops are
+/// dropped, as is conventional).
+///
+/// # Errors
+///
+/// `scale` must be `1..=30` and parameters must form a distribution.
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> Result<CsrGraph> {
+    if scale == 0 || scale > 30 {
+        return Err(GraphError::InvalidParameter {
+            message: format!("rmat scale must be in 1..=30, got {scale}"),
+        });
+    }
+    params.validate()?;
+    let n = 1usize << scale;
+    let target = n * edge_factor;
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, target);
+    for _ in 0..target {
+        let mut u = 0usize;
+        let mut v = 0usize;
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r = rng.next_f64();
+            if r < params.a {
+                // top-left: no bits set
+            } else if r < params.a + params.b {
+                v |= 1;
+            } else if r < params.a + params.b + params.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        builder.add_edge(u as Vertex, v as Vertex);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let g = rmat(8, 4, RmatParams::GRAPH500, 1).unwrap();
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.num_edges() > 0);
+        assert!(g.num_edges() <= 256 * 4);
+    }
+
+    #[test]
+    fn skewed_parameters_make_hubs() {
+        let g = rmat(10, 8, RmatParams::GRAPH500, 3).unwrap();
+        assert!(g.max_degree() > 4 * g.avg_degree().ceil() as usize);
+    }
+
+    #[test]
+    fn uniform_parameters_are_roughly_regular() {
+        let uniform = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+        };
+        let g = rmat(9, 8, uniform, 3).unwrap();
+        // With no skew, the max degree stays within a small factor of mean.
+        assert!(g.max_degree() < 6 * g.avg_degree().ceil() as usize);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            rmat(7, 4, RmatParams::GRAPH500, 5).unwrap(),
+            rmat(7, 4, RmatParams::GRAPH500, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(rmat(0, 4, RmatParams::GRAPH500, 1).is_err());
+        assert!(rmat(31, 4, RmatParams::GRAPH500, 1).is_err());
+        let bad = RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: -0.5,
+        };
+        assert!(rmat(5, 2, bad, 1).is_err());
+        let not_normalised = RmatParams {
+            a: 0.3,
+            b: 0.3,
+            c: 0.3,
+            d: 0.3,
+        };
+        assert!(rmat(5, 2, not_normalised, 1).is_err());
+    }
+}

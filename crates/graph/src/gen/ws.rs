@@ -1,0 +1,110 @@
+//! Watts–Strogatz small-world graphs.
+
+use crate::error::{GraphError, Result};
+use crate::gen::rng::Xoshiro256pp;
+use crate::{CsrGraph, Vertex};
+use std::collections::HashSet;
+
+/// Generates a Watts–Strogatz small-world graph.
+///
+/// Starts from a ring lattice where every vertex connects to its `k` nearest
+/// neighbours (`k` even), then rewires each edge's far endpoint with
+/// probability `beta`, avoiding self-loops and duplicates.
+///
+/// # Errors
+///
+/// Requires `k` even, `0 < k < n`, and `beta` in `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<CsrGraph> {
+    if k == 0 || !k.is_multiple_of(2) || k >= n {
+        return Err(GraphError::InvalidParameter {
+            message: format!("watts_strogatz requires even 0 < k < n (n={n}, k={k})"),
+        });
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameter {
+            message: format!("watts_strogatz requires beta in [0,1], got {beta}"),
+        });
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut edges: HashSet<(Vertex, Vertex)> = HashSet::with_capacity(n * k / 2);
+    let norm = |u: Vertex, v: Vertex| if u < v { (u, v) } else { (v, u) };
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let v = (u + j) % n;
+            edges.insert(norm(u as Vertex, v as Vertex));
+        }
+    }
+    // Rewire: iterate the deterministic lattice edges so output is stable.
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let v = (u + j) % n;
+            let key = norm(u as Vertex, v as Vertex);
+            if !rng.next_bool(beta) || !edges.contains(&key) {
+                continue;
+            }
+            // Try a handful of replacement endpoints; keep original if the
+            // vertex is saturated.
+            for _ in 0..32 {
+                let w = rng.next_below(n as u64) as Vertex;
+                if w as usize == u || w as usize == v {
+                    continue;
+                }
+                let new_key = norm(u as Vertex, w);
+                if !edges.contains(&new_key) {
+                    edges.remove(&key);
+                    edges.insert(new_key);
+                    break;
+                }
+            }
+        }
+    }
+    let mut list: Vec<(Vertex, Vertex)> = edges.into_iter().collect();
+    list.sort_unstable();
+    CsrGraph::from_edges(n, &list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_beta_is_ring_lattice() {
+        let g = watts_strogatz(10, 4, 0.0, 1).unwrap();
+        assert_eq!(g.num_edges(), 10 * 4 / 2);
+        for v in 0..10u32 {
+            assert_eq!(g.degree(v), 4);
+            assert!(g.has_edge(v, (v + 1) % 10));
+            assert!(g.has_edge(v, (v + 2) % 10));
+        }
+    }
+
+    #[test]
+    fn rewiring_preserves_edge_count() {
+        let g = watts_strogatz(200, 6, 0.3, 5).unwrap();
+        assert_eq!(g.num_edges(), 200 * 6 / 2);
+    }
+
+    #[test]
+    fn full_rewire_changes_structure() {
+        let lattice = watts_strogatz(100, 4, 0.0, 2).unwrap();
+        let rewired = watts_strogatz(100, 4, 1.0, 2).unwrap();
+        assert_ne!(lattice, rewired);
+        assert_eq!(lattice.num_edges(), rewired.num_edges());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            watts_strogatz(80, 4, 0.2, 11).unwrap(),
+            watts_strogatz(80, 4, 0.2, 11).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(watts_strogatz(10, 3, 0.1, 1).is_err()); // odd k
+        assert!(watts_strogatz(10, 0, 0.1, 1).is_err());
+        assert!(watts_strogatz(4, 4, 0.1, 1).is_err()); // k >= n
+        assert!(watts_strogatz(10, 4, 1.5, 1).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Graph substrate for the pruned landmark labeling reproduction.
+//!
+//! This crate provides everything the indexing layer ([`pll-core`]) and the
+//! experiment harness need from a graph library:
+//!
+//! * compact CSR representations for undirected ([`CsrGraph`]), directed
+//!   ([`CsrDigraph`]) and weighted ([`WeightedGraph`]) graphs;
+//! * a [`GraphBuilder`] that normalises raw edge lists (deduplication,
+//!   self-loop removal, validation);
+//! * text and binary edge-list I/O compatible with the SNAP datasets the
+//!   paper evaluates on ([`edgelist`]);
+//! * reusable-buffer traversal engines (BFS, bidirectional BFS, Dijkstra,
+//!   connected components) in [`traversal`];
+//! * the synthetic network generators used as stand-ins for the paper's
+//!   eleven real-world datasets ([`gen`]);
+//! * degree/distance statistics used by Figure 2 ([`stats`]);
+//! * vertex relabelling used by the rank-ordering optimisation of §4.5
+//!   ([`reorder`]).
+//!
+//! [`pll-core`]: https://example.invalid/pll-core
+//!
+//! # Example
+//!
+//! ```
+//! use pll_graph::{CsrGraph, traversal::bfs};
+//!
+//! // A 4-cycle: 0 - 1 - 2 - 3 - 0.
+//! let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.num_edges(), 4);
+//! let d = bfs::distances(&g, 0);
+//! assert_eq!(d[2], 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod digraph;
+pub mod edgelist;
+pub mod error;
+pub mod gen;
+pub mod reorder;
+pub mod stats;
+pub mod traversal;
+pub mod wdigraph;
+pub mod wgraph;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use digraph::CsrDigraph;
+pub use error::GraphError;
+pub use gen::rng::Xoshiro256pp;
+pub use wdigraph::WeightedDigraph;
+pub use wgraph::WeightedGraph;
+
+/// Vertex identifier. The paper uses 32-bit vertex ids (§7: "32-bit integers
+/// to represent vertices"); all graphs in this workspace do the same.
+pub type Vertex = u32;
+
+/// Marker for "no vertex" / unreachable in `u32`-valued arrays.
+pub const INVALID_VERTEX: Vertex = u32::MAX;
+
+/// Unreachable distance marker for `u32`-valued distance arrays.
+pub const INF_U32: u32 = u32::MAX;
+
+/// Unreachable distance marker for `u64`-valued (weighted) distance arrays.
+pub const INF_U64: u64 = u64::MAX;

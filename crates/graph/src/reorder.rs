@@ -1,0 +1,126 @@
+//! Vertex relabelling.
+//!
+//! §4.5 ("Sorting Labels") relabels the graph so that vertex `i` is the
+//! `i`-th vertex in the BFS priority order; labels then store ranks and are
+//! implicitly sorted. [`apply_order`] performs that relabelling.
+
+use crate::csr::CsrGraph;
+use crate::Vertex;
+
+/// Relabels `g` so that new vertex `r` is `order[r]` (i.e. `order` maps
+/// rank → old id). Returns the relabelled graph.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..n` (checked in debug and
+/// release: the inverse construction detects duplicates).
+pub fn apply_order(g: &CsrGraph, order: &[Vertex]) -> CsrGraph {
+    let n = g.num_vertices();
+    assert_eq!(order.len(), n, "order length must equal vertex count");
+    let inv = inverse_permutation(order);
+
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u32);
+    let mut acc = 0u32;
+    for &old in order {
+        acc += g.degree(old) as u32;
+        offsets.push(acc);
+    }
+    let mut targets = vec![0 as Vertex; acc as usize];
+    for (rank, &old) in order.iter().enumerate() {
+        let s = offsets[rank] as usize;
+        let slot = &mut targets[s..s + g.degree(old)];
+        for (i, &w) in g.neighbors(old).iter().enumerate() {
+            slot[i] = inv[w as usize];
+        }
+        slot.sort_unstable();
+    }
+    CsrGraph::from_parts(offsets, targets)
+}
+
+/// Computes the inverse of a permutation: `inv[order[r]] = r`.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..order.len()`.
+pub fn inverse_permutation(order: &[Vertex]) -> Vec<Vertex> {
+    let n = order.len();
+    let mut inv = vec![u32::MAX; n];
+    for (rank, &old) in order.iter().enumerate() {
+        assert!(
+            (old as usize) < n,
+            "order entry {old} out of range for n={n}"
+        );
+        assert_eq!(
+            inv[old as usize],
+            u32::MAX,
+            "order contains duplicate vertex {old}"
+        );
+        inv[old as usize] = rank as Vertex;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::traversal::bfs;
+
+    #[test]
+    fn identity_order_is_identity() {
+        let g = gen::erdos_renyi_gnm(40, 80, 1).unwrap();
+        let order: Vec<Vertex> = (0..40).collect();
+        assert_eq!(apply_order(&g, &order), g);
+    }
+
+    #[test]
+    fn relabelling_preserves_distances() {
+        let g = gen::barabasi_albert(100, 2, 4).unwrap();
+        let mut order: Vec<Vertex> = (0..100).collect();
+        order.reverse();
+        let h = apply_order(&g, &order);
+        let inv = inverse_permutation(&order);
+        let dg = bfs::distances(&g, 17);
+        let dh = bfs::distances(&h, inv[17]);
+        for old in 0..100u32 {
+            assert_eq!(dg[old as usize], dh[inv[old as usize] as usize]);
+        }
+    }
+
+    #[test]
+    fn inverse_permutation_roundtrip() {
+        let order = vec![2, 0, 3, 1];
+        let inv = inverse_permutation(&order);
+        assert_eq!(inv, vec![1, 3, 0, 2]);
+        for (rank, &old) in order.iter().enumerate() {
+            assert_eq!(inv[old as usize] as usize, rank);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_order_panics() {
+        inverse_permutation(&[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_order_panics() {
+        inverse_permutation(&[0, 5, 1]);
+    }
+
+    #[test]
+    fn degree_multiset_preserved() {
+        let g = gen::chung_lu(300, 2.4, 5.0, 6).unwrap();
+        let mut order: Vec<Vertex> = (0..300).collect();
+        // Arbitrary deterministic shuffle.
+        order.sort_by_key(|&v| (v as u64 * 2_654_435_761) % 300);
+        let h = apply_order(&g, &order);
+        let mut dg: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        let mut dh: Vec<usize> = h.vertices().map(|v| h.degree(v)).collect();
+        dg.sort_unstable();
+        dh.sort_unstable();
+        assert_eq!(dg, dh);
+    }
+}

@@ -1,0 +1,209 @@
+//! Degree and distance statistics (Figure 2 of the paper).
+
+use crate::gen::rng::Xoshiro256pp;
+use crate::traversal::bfs::BfsEngine;
+use crate::{CsrGraph, Vertex, INF_U32};
+
+/// Summary statistics of a graph, printed by the Table 4 harness.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphSummary {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Average degree `2m/n`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+}
+
+/// Computes the summary statistics of `g`.
+pub fn summary(g: &CsrGraph) -> GraphSummary {
+    GraphSummary {
+        num_vertices: g.num_vertices(),
+        num_edges: g.num_edges(),
+        avg_degree: g.avg_degree(),
+        max_degree: g.max_degree(),
+    }
+}
+
+/// Degree complementary cumulative distribution: for each distinct degree
+/// `d` (ascending), the number of vertices with degree `>= d`. This is the
+/// quantity Figures 2a/2b plot on log-log axes.
+pub fn degree_ccdf(g: &CsrGraph) -> Vec<(usize, usize)> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let d = degrees[i];
+        // vertices with degree >= d are those from index i onward.
+        out.push((d, n - i));
+        while i < n && degrees[i] == d {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Distance distribution over `samples` random pairs (Figures 2c/2d):
+/// `result[d]` is the fraction of sampled *connected* pairs at distance `d`.
+/// Returns an empty vector if no sampled pair was connected.
+pub fn distance_distribution(g: &CsrGraph, samples: usize, seed: u64) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n < 2 || samples == 0 {
+        return Vec::new();
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut engine = BfsEngine::new(n);
+    let mut counts: Vec<usize> = Vec::new();
+    let mut connected = 0usize;
+    for _ in 0..samples {
+        let s = rng.next_below(n as u64) as Vertex;
+        let t = rng.next_below(n as u64) as Vertex;
+        if let Some(d) = engine.distance(g, s, t) {
+            let d = d as usize;
+            if counts.len() <= d {
+                counts.resize(d + 1, 0);
+            }
+            counts[d] += 1;
+            connected += 1;
+        }
+    }
+    if connected == 0 {
+        return Vec::new();
+    }
+    counts
+        .into_iter()
+        .map(|c| c as f64 / connected as f64)
+        .collect()
+}
+
+/// Mean distance over `samples` random connected pairs; `None` if no sampled
+/// pair was connected.
+pub fn mean_distance(g: &CsrGraph, samples: usize, seed: u64) -> Option<f64> {
+    let dist = distance_distribution(g, samples, seed);
+    if dist.is_empty() {
+        return None;
+    }
+    Some(dist.iter().enumerate().map(|(d, f)| d as f64 * f).sum())
+}
+
+/// Approximate effective diameter: smallest `d` such that at least
+/// `quantile` of sampled connected pairs are within distance `d`.
+pub fn effective_diameter(g: &CsrGraph, samples: usize, quantile: f64, seed: u64) -> Option<u32> {
+    let dist = distance_distribution(g, samples, seed);
+    if dist.is_empty() {
+        return None;
+    }
+    let mut acc = 0.0;
+    for (d, f) in dist.iter().enumerate() {
+        acc += f;
+        if acc >= quantile {
+            return Some(d as u32);
+        }
+    }
+    Some(dist.len() as u32 - 1)
+}
+
+/// Exact diameter via BFS from every vertex — O(nm), tests/small graphs only.
+/// Returns `None` for graphs with no finite-distance pair of distinct
+/// vertices.
+pub fn exact_diameter(g: &CsrGraph) -> Option<u32> {
+    let n = g.num_vertices();
+    let mut engine = BfsEngine::new(n);
+    let mut best: Option<u32> = None;
+    for v in 0..n as Vertex {
+        let d = engine.run(g, v);
+        for &dv in d.iter().filter(|&&dv| dv != INF_U32 && dv > 0) {
+            best = Some(best.map_or(dv, |b| b.max(dv)));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn summary_of_path() {
+        let g = gen::path(5).unwrap();
+        let s = summary(&g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.avg_degree - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_and_starts_at_n() {
+        let g = gen::barabasi_albert(500, 3, 1).unwrap();
+        let ccdf = degree_ccdf(&g);
+        assert_eq!(ccdf.first().unwrap().1, 500);
+        for w in ccdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 > w[1].1);
+        }
+        assert!(ccdf.last().unwrap().1 >= 1);
+    }
+
+    #[test]
+    fn ccdf_star() {
+        let g = gen::star(10).unwrap();
+        // degrees: one 9, nine 1s.
+        assert_eq!(degree_ccdf(&g), vec![(1, 10), (9, 1)]);
+    }
+
+    #[test]
+    fn distance_distribution_sums_to_one() {
+        let g = gen::barabasi_albert(300, 2, 2).unwrap();
+        let dist = distance_distribution(&g, 2000, 7);
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // BA(300,2) is small-world: most pairs within distance 8.
+        assert!(dist.len() < 12, "distances {dist:?}");
+    }
+
+    #[test]
+    fn distance_distribution_edgeless() {
+        // Only self-pairs are connected in an edgeless graph, so the whole
+        // distribution mass sits at distance 0.
+        let g = CsrGraph::empty(10);
+        assert_eq!(distance_distribution(&g, 100, 1), vec![1.0]);
+        assert_eq!(mean_distance(&g, 100, 1), Some(0.0));
+    }
+
+    #[test]
+    fn mean_distance_of_edge() {
+        let g = gen::path(2).unwrap();
+        // pairs: (0,0),(0,1),(1,0),(1,1) -> mean 0.5 over many samples.
+        let m = mean_distance(&g, 4000, 3).unwrap();
+        assert!((m - 0.5).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn effective_diameter_path() {
+        let g = gen::path(50).unwrap();
+        let d90 = effective_diameter(&g, 4000, 0.9, 5).unwrap();
+        assert!((30..=49).contains(&d90), "d90 {d90}");
+        // Edgeless graph: only self-pairs connect, all at distance 0.
+        assert_eq!(effective_diameter(&CsrGraph::empty(3), 10, 0.9, 1), Some(0));
+    }
+
+    #[test]
+    fn exact_diameter_cases() {
+        assert_eq!(exact_diameter(&gen::path(10).unwrap()), Some(9));
+        assert_eq!(exact_diameter(&gen::cycle(8).unwrap()), Some(4));
+        assert_eq!(exact_diameter(&gen::complete(5).unwrap()), Some(1));
+        assert_eq!(exact_diameter(&CsrGraph::empty(3)), None);
+        // diameter ignores cross-component infinities
+        let g = CsrGraph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(exact_diameter(&g), Some(1));
+    }
+}

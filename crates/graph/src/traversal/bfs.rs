@@ -1,0 +1,337 @@
+//! Breadth-first search engines.
+//!
+//! [`BfsEngine`] keeps its distance array and queue between runs and resets
+//! only the vertices it actually touched — the same trick §4.5
+//! ("Initialization") uses to keep pruned BFSs sub-linear.
+
+use crate::{CsrGraph, Vertex, INF_U32, INVALID_VERTEX};
+
+/// One-shot BFS distances from `src` (`INF_U32` marks unreachable vertices).
+pub fn distances(g: &CsrGraph, src: Vertex) -> Vec<u32> {
+    let mut engine = BfsEngine::new(g.num_vertices());
+    engine.run(g, src);
+    engine.dist.clone()
+}
+
+/// One-shot BFS returning `(distances, parents)`; the parent of the source
+/// (and of unreachable vertices) is [`INVALID_VERTEX`].
+pub fn distances_and_parents(g: &CsrGraph, src: Vertex) -> (Vec<u32>, Vec<Vertex>) {
+    let n = g.num_vertices();
+    let mut dist = vec![INF_U32; n];
+    let mut parent = vec![INVALID_VERTEX; n];
+    let mut queue = Vec::with_capacity(n);
+    dist[src as usize] = 0;
+    queue.push(src);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let du = dist[u as usize];
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == INF_U32 {
+                dist[w as usize] = du + 1;
+                parent[w as usize] = u;
+                queue.push(w);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Single-pair BFS distance with early exit once `t` is settled.
+pub fn distance(g: &CsrGraph, s: Vertex, t: Vertex) -> Option<u32> {
+    let mut engine = BfsEngine::new(g.num_vertices());
+    engine.distance(g, s, t)
+}
+
+/// Single-pair bidirectional BFS; asymptotically explores far fewer vertices
+/// than one-sided BFS on small-world networks (used as the strongest
+/// index-free baseline in Table 3's "BFS" column).
+pub fn bidirectional_distance(g: &CsrGraph, s: Vertex, t: Vertex) -> Option<u32> {
+    let mut engine = BidirBfsEngine::new(g.num_vertices());
+    engine.distance(g, s, t)
+}
+
+/// Reusable BFS engine: `run` fills a distance array, `distance` answers a
+/// single pair with early exit. Buffers are reset lazily (touched vertices
+/// only).
+#[derive(Clone, Debug)]
+pub struct BfsEngine {
+    dist: Vec<u32>,
+    queue: Vec<Vertex>,
+}
+
+impl BfsEngine {
+    /// Creates an engine for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BfsEngine {
+            dist: vec![INF_U32; n],
+            queue: Vec::with_capacity(n),
+        }
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.queue {
+            self.dist[v as usize] = INF_U32;
+        }
+        self.queue.clear();
+    }
+
+    /// Runs a full BFS from `src` and returns the distance array
+    /// (`INF_U32` = unreachable). Valid until the next call.
+    pub fn run(&mut self, g: &CsrGraph, src: Vertex) -> &[u32] {
+        assert!(
+            (src as usize) < g.num_vertices(),
+            "source {src} out of range"
+        );
+        self.reset();
+        self.dist[src as usize] = 0;
+        self.queue.push(src);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            for &w in g.neighbors(u) {
+                if self.dist[w as usize] == INF_U32 {
+                    self.dist[w as usize] = du + 1;
+                    self.queue.push(w);
+                }
+            }
+        }
+        &self.dist
+    }
+
+    /// BFS distance from `s` to `t` with early exit.
+    pub fn distance(&mut self, g: &CsrGraph, s: Vertex, t: Vertex) -> Option<u32> {
+        assert!((s as usize) < g.num_vertices(), "source {s} out of range");
+        assert!((t as usize) < g.num_vertices(), "target {t} out of range");
+        if s == t {
+            return Some(0);
+        }
+        self.reset();
+        self.dist[s as usize] = 0;
+        self.queue.push(s);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            for &w in g.neighbors(u) {
+                if self.dist[w as usize] == INF_U32 {
+                    if w == t {
+                        let d = du + 1;
+                        // Record before reset bookkeeping: w is in no queue,
+                        // so push it to make `reset` clear it next time.
+                        self.dist[w as usize] = d;
+                        self.queue.push(w);
+                        return Some(d);
+                    }
+                    self.dist[w as usize] = du + 1;
+                    self.queue.push(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// Eccentricity of `src`: the largest finite BFS distance.
+    pub fn eccentricity(&mut self, g: &CsrGraph, src: Vertex) -> u32 {
+        self.run(g, src);
+        self.queue
+            .iter()
+            .map(|&v| self.dist[v as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of vertices reachable from `src` (including `src`).
+    pub fn reachable_count(&mut self, g: &CsrGraph, src: Vertex) -> usize {
+        self.run(g, src);
+        self.queue.len()
+    }
+}
+
+/// Reusable bidirectional BFS engine for single-pair distance queries.
+#[derive(Clone, Debug)]
+pub struct BidirBfsEngine {
+    dist_f: Vec<u32>,
+    dist_b: Vec<u32>,
+    touched_f: Vec<Vertex>,
+    touched_b: Vec<Vertex>,
+}
+
+impl BidirBfsEngine {
+    /// Creates an engine for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BidirBfsEngine {
+            dist_f: vec![INF_U32; n],
+            dist_b: vec![INF_U32; n],
+            touched_f: Vec::new(),
+            touched_b: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched_f {
+            self.dist_f[v as usize] = INF_U32;
+        }
+        for &v in &self.touched_b {
+            self.dist_b[v as usize] = INF_U32;
+        }
+        self.touched_f.clear();
+        self.touched_b.clear();
+    }
+
+    /// Distance from `s` to `t`, expanding the smaller frontier first.
+    pub fn distance(&mut self, g: &CsrGraph, s: Vertex, t: Vertex) -> Option<u32> {
+        assert!((s as usize) < g.num_vertices(), "source {s} out of range");
+        assert!((t as usize) < g.num_vertices(), "target {t} out of range");
+        if s == t {
+            return Some(0);
+        }
+        self.reset();
+
+        self.dist_f[s as usize] = 0;
+        self.dist_b[t as usize] = 0;
+        self.touched_f.push(s);
+        self.touched_b.push(t);
+        let mut frontier_f = vec![s];
+        let mut frontier_b = vec![t];
+        let mut df = 0u32; // depth reached by forward search
+        let mut db = 0u32; // depth reached by backward search
+        let mut best = INF_U32;
+
+        while !frontier_f.is_empty() && !frontier_b.is_empty() {
+            // Stop once even the cheapest possible meeting beats `best`.
+            if df + db + 1 >= best {
+                break;
+            }
+            // Expand the side with the smaller frontier (classic heuristic).
+            let forward = frontier_f.len() <= frontier_b.len();
+            let (frontier, dist_own, dist_other, touched, depth) = if forward {
+                (
+                    &mut frontier_f,
+                    &mut self.dist_f,
+                    &self.dist_b,
+                    &mut self.touched_f,
+                    &mut df,
+                )
+            } else {
+                (
+                    &mut frontier_b,
+                    &mut self.dist_b,
+                    &self.dist_f,
+                    &mut self.touched_b,
+                    &mut db,
+                )
+            };
+            let mut next = Vec::new();
+            for &u in frontier.iter() {
+                let du = dist_own[u as usize];
+                for &w in g.neighbors(u) {
+                    if dist_own[w as usize] == INF_U32 {
+                        dist_own[w as usize] = du + 1;
+                        touched.push(w);
+                        next.push(w);
+                        if dist_other[w as usize] != INF_U32 {
+                            best = best.min(du + 1 + dist_other[w as usize]);
+                        }
+                    }
+                }
+            }
+            *frontier = next;
+            *depth += 1;
+        }
+
+        (best != INF_U32).then_some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn path5() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path5();
+        let d = distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn distances_unreachable() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let d = distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], INF_U32);
+        assert_eq!(d[3], INF_U32);
+    }
+
+    #[test]
+    fn parents_form_shortest_path_tree() {
+        let g = path5();
+        let (d, p) = distances_and_parents(&g, 0);
+        assert_eq!(p[0], INVALID_VERTEX);
+        for v in 1..5u32 {
+            assert_eq!(d[v as usize], d[p[v as usize] as usize] + 1);
+        }
+    }
+
+    #[test]
+    fn single_pair_early_exit_matches_full_bfs() {
+        let g = path5();
+        assert_eq!(distance(&g, 0, 4), Some(4));
+        assert_eq!(distance(&g, 4, 0), Some(4));
+        assert_eq!(distance(&g, 2, 2), Some(0));
+    }
+
+    #[test]
+    fn single_pair_unreachable() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(distance(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn engine_reuse_does_not_leak_state() {
+        let g = path5();
+        let mut e = BfsEngine::new(5);
+        assert_eq!(e.distance(&g, 0, 4), Some(4));
+        assert_eq!(e.distance(&g, 1, 3), Some(2));
+        let d = e.run(&g, 4).to_vec();
+        assert_eq!(d, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn eccentricity_and_reach() {
+        let g = path5();
+        let mut e = BfsEngine::new(5);
+        assert_eq!(e.eccentricity(&g, 2), 2);
+        assert_eq!(e.eccentricity(&g, 0), 4);
+        assert_eq!(e.reachable_count(&g, 0), 5);
+    }
+
+    #[test]
+    fn bidirectional_matches_bfs_on_random_graphs() {
+        let g = gen::erdos_renyi_gnm(200, 500, 42).unwrap();
+        let mut uni = BfsEngine::new(200);
+        let mut bi = BidirBfsEngine::new(200);
+        for (s, t) in [(0, 1), (5, 199), (17, 3), (100, 100), (42, 7)] {
+            assert_eq!(uni.distance(&g, s, t), bi.distance(&g, s, t), "{s}->{t}");
+        }
+    }
+
+    #[test]
+    fn bidirectional_unreachable_and_trivial() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let mut bi = BidirBfsEngine::new(4);
+        assert_eq!(bi.distance(&g, 0, 2), None);
+        assert_eq!(bi.distance(&g, 3, 3), Some(0));
+        assert_eq!(bi.distance(&g, 0, 1), Some(1));
+    }
+}

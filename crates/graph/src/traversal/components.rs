@@ -1,0 +1,158 @@
+//! Connected components and largest-component extraction.
+//!
+//! Distance labelings answer ∞ for cross-component pairs, but the paper's
+//! experiments (and sensible benchmarks) run on the largest connected
+//! component of each dataset; [`largest_component`] provides that.
+
+use crate::{CsrGraph, Vertex, INVALID_VERTEX};
+
+/// Component labelling: `labels[v]` is the 0-based component id of `v`,
+/// numbered in order of first discovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// Component id per vertex.
+    pub labels: Vec<u32>,
+    /// Number of vertices per component, indexed by component id.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Id of a largest component (ties broken by lowest id).
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i as u32)
+    }
+}
+
+/// Computes connected components via repeated BFS.
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.num_vertices();
+    let mut labels = vec![INVALID_VERTEX; n];
+    let mut sizes = Vec::new();
+    let mut queue = Vec::new();
+    for start in 0..n as Vertex {
+        if labels[start as usize] != INVALID_VERTEX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0usize;
+        labels[start as usize] = id;
+        queue.clear();
+        queue.push(start);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            size += 1;
+            for &w in g.neighbors(u) {
+                if labels[w as usize] == INVALID_VERTEX {
+                    labels[w as usize] = id;
+                    queue.push(w);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { labels, sizes }
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    connected_components(g).count() <= 1
+}
+
+/// Extracts the largest connected component as a standalone graph.
+///
+/// Returns `(subgraph, old_of_new)` where `old_of_new[new_id] = old_id`.
+/// Vertices keep their relative order. An empty graph maps to itself.
+pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<Vertex>) {
+    let comps = connected_components(g);
+    let Some(keep) = comps.largest() else {
+        return (CsrGraph::empty(0), Vec::new());
+    };
+    let mut old_of_new = Vec::with_capacity(comps.sizes[keep as usize]);
+    let mut new_of_old = vec![INVALID_VERTEX; g.num_vertices()];
+    for v in 0..g.num_vertices() as Vertex {
+        if comps.labels[v as usize] == keep {
+            new_of_old[v as usize] = old_of_new.len() as Vertex;
+            old_of_new.push(v);
+        }
+    }
+    let mut edges = Vec::new();
+    for (u, v) in g.edges() {
+        if comps.labels[u as usize] == keep {
+            edges.push((new_of_old[u as usize], new_of_old[v as usize]));
+        }
+    }
+    let sub = CsrGraph::from_edges(old_of_new.len(), &edges)
+        .expect("component subgraph inherits validity from parent");
+    (sub, old_of_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_components() -> CsrGraph {
+        // Component A: 0-1-2 path. Component B: 3-4 edge. Isolated: 5.
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn counts_components_and_sizes() {
+        let c = connected_components(&two_components());
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.sizes, vec![3, 2, 1]);
+        assert_eq!(c.labels[0], c.labels[2]);
+        assert_ne!(c.labels[0], c.labels[3]);
+        assert_eq!(c.largest(), Some(0));
+    }
+
+    #[test]
+    fn is_connected_checks() {
+        assert!(is_connected(
+            &CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap()
+        ));
+        assert!(!is_connected(&two_components()));
+        assert!(is_connected(&CsrGraph::empty(0)));
+        assert!(is_connected(&CsrGraph::empty(1)));
+        assert!(!is_connected(&CsrGraph::empty(2)));
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let (sub, map) = largest_component(&two_components());
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(map, vec![0, 1, 2]);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn largest_component_of_empty_graph() {
+        let (sub, map) = largest_component(&CsrGraph::empty(0));
+        assert_eq!(sub.num_vertices(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn tie_break_prefers_first_component() {
+        // Two components of equal size; discovery order decides.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.largest(), Some(0));
+        let (sub, map) = largest_component(&g);
+        assert_eq!(sub.num_vertices(), 2);
+        assert_eq!(map, vec![0, 1]);
+    }
+}

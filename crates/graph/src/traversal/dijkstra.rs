@@ -1,0 +1,197 @@
+//! Dijkstra's algorithm for the weighted variant (§6) and its baselines.
+
+use crate::wgraph::WeightedGraph;
+use crate::{Vertex, INF_U64, INVALID_VERTEX};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One-shot Dijkstra distances from `src` (`INF_U64` marks unreachable).
+pub fn distances(g: &WeightedGraph, src: Vertex) -> Vec<u64> {
+    let mut engine = DijkstraEngine::new(g.num_vertices());
+    engine.run(g, src).to_vec()
+}
+
+/// Single-pair Dijkstra distance with early exit once `t` is settled.
+pub fn distance(g: &WeightedGraph, s: Vertex, t: Vertex) -> Option<u64> {
+    let mut engine = DijkstraEngine::new(g.num_vertices());
+    engine.distance(g, s, t)
+}
+
+/// One-shot Dijkstra returning `(distances, parents)`.
+pub fn distances_and_parents(g: &WeightedGraph, src: Vertex) -> (Vec<u64>, Vec<Vertex>) {
+    let n = g.num_vertices();
+    let mut dist = vec![INF_U64; n];
+    let mut parent = vec![INVALID_VERTEX; n];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0;
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for (w, wt) in g.neighbors(u) {
+            let nd = d + wt as u64;
+            if nd < dist[w as usize] {
+                dist[w as usize] = nd;
+                parent[w as usize] = u;
+                heap.push(Reverse((nd, w)));
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Reusable Dijkstra engine with lazily-reset buffers.
+#[derive(Clone, Debug)]
+pub struct DijkstraEngine {
+    dist: Vec<u64>,
+    touched: Vec<Vertex>,
+    heap: BinaryHeap<Reverse<(u64, Vertex)>>,
+}
+
+impl DijkstraEngine {
+    /// Creates an engine for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DijkstraEngine {
+            dist: vec![INF_U64; n],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INF_U64;
+        }
+        self.touched.clear();
+        self.heap.clear();
+    }
+
+    /// Runs a full Dijkstra from `src`; the returned slice is valid until the
+    /// next call.
+    pub fn run(&mut self, g: &WeightedGraph, src: Vertex) -> &[u64] {
+        assert!(
+            (src as usize) < g.num_vertices(),
+            "source {src} out of range"
+        );
+        self.reset();
+        self.dist[src as usize] = 0;
+        self.touched.push(src);
+        self.heap.push(Reverse((0, src)));
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if d > self.dist[u as usize] {
+                continue;
+            }
+            for (w, wt) in g.neighbors(u) {
+                let nd = d + wt as u64;
+                if nd < self.dist[w as usize] {
+                    if self.dist[w as usize] == INF_U64 {
+                        self.touched.push(w);
+                    }
+                    self.dist[w as usize] = nd;
+                    self.heap.push(Reverse((nd, w)));
+                }
+            }
+        }
+        &self.dist
+    }
+
+    /// Distance from `s` to `t` with early exit when `t` is settled.
+    pub fn distance(&mut self, g: &WeightedGraph, s: Vertex, t: Vertex) -> Option<u64> {
+        assert!((s as usize) < g.num_vertices(), "source {s} out of range");
+        assert!((t as usize) < g.num_vertices(), "target {t} out of range");
+        if s == t {
+            return Some(0);
+        }
+        self.reset();
+        self.dist[s as usize] = 0;
+        self.touched.push(s);
+        self.heap.push(Reverse((0, s)));
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if d > self.dist[u as usize] {
+                continue;
+            }
+            if u == t {
+                return Some(d);
+            }
+            for (w, wt) in g.neighbors(u) {
+                let nd = d + wt as u64;
+                if nd < self.dist[w as usize] {
+                    if self.dist[w as usize] == INF_U64 {
+                        self.touched.push(w);
+                    }
+                    self.dist[w as usize] = nd;
+                    self.heap.push(Reverse((nd, w)));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::bfs;
+    use crate::{gen, CsrGraph};
+
+    fn wgraph() -> WeightedGraph {
+        // 0 --1-- 1 --1-- 2 and a heavy direct edge 0 --5-- 2.
+        WeightedGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 5)]).unwrap()
+    }
+
+    #[test]
+    fn prefers_lighter_two_hop_path() {
+        let g = wgraph();
+        assert_eq!(distances(&g, 0), vec![0, 1, 2]);
+        assert_eq!(distance(&g, 0, 2), Some(2));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 3), (2, 3, 4)]).unwrap();
+        assert_eq!(distance(&g, 0, 3), None);
+        assert_eq!(distances(&g, 0)[2], INF_U64);
+    }
+
+    #[test]
+    fn parents_reconstruct_weighted_path() {
+        let g = wgraph();
+        let (d, p) = distances_and_parents(&g, 0);
+        assert_eq!(d[2], 2);
+        assert_eq!(p[2], 1);
+        assert_eq!(p[1], 0);
+        assert_eq!(p[0], INVALID_VERTEX);
+    }
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let g = gen::erdos_renyi_gnm(150, 400, 7).unwrap();
+        let w = WeightedGraph::from_unweighted(&g);
+        let bfs_d = bfs::distances(&g, 3);
+        let dij_d = distances(&w, 3);
+        for v in 0..150 {
+            let expect = if bfs_d[v] == u32::MAX {
+                INF_U64
+            } else {
+                bfs_d[v] as u64
+            };
+            assert_eq!(dij_d[v], expect, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn engine_reuse_is_clean() {
+        let g = wgraph();
+        let mut e = DijkstraEngine::new(3);
+        assert_eq!(e.distance(&g, 0, 2), Some(2));
+        assert_eq!(e.distance(&g, 2, 0), Some(2));
+        assert_eq!(e.run(&g, 1).to_vec(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = WeightedGraph::from_unweighted(&CsrGraph::empty(1));
+        assert_eq!(distance(&g, 0, 0), Some(0));
+    }
+}

@@ -1,0 +1,214 @@
+//! k-core decomposition.
+//!
+//! The paper repeatedly leans on the *core–fringe* structure of complex
+//! networks (§1, §4.6.3): a dense core surrounded by tree-like fringes.
+//! Core numbers make that structure measurable — the fringe is the 1-core
+//! minus the 2-core, and the "core" the paper's tree-decomposition
+//! discussion refers to is the high-core region. The decomposition also
+//! yields the *degeneracy ordering* used as an alternative PLL vertex
+//! order.
+
+use crate::{CsrGraph, Vertex};
+
+/// Result of the k-core decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    /// `core[v]` = core number of `v` (largest k with v in the k-core).
+    pub core: Vec<u32>,
+    /// Vertices in degeneracy order: each vertex has the minimum remaining
+    /// degree at its removal time. The *reverse* of this order (most
+    /// deeply-cored vertices first) is a useful PLL priority order.
+    pub degeneracy_order: Vec<Vertex>,
+    /// The graph's degeneracy (maximum core number; 0 for edgeless).
+    pub degeneracy: u32,
+}
+
+/// Computes core numbers with the linear-time bucket algorithm
+/// (Batagelj–Zaveršnik).
+pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
+    let n = g.num_vertices();
+    let mut degree: Vec<u32> = (0..n as Vertex).map(|v| g.degree(v) as u32).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket sort vertices by current degree.
+    let mut bin_start = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bin_start[d as usize + 1] += 1;
+    }
+    for i in 1..bin_start.len() {
+        bin_start[i] += bin_start[i - 1];
+    }
+    let mut pos = vec![0usize; n]; // position of v in `order`
+    let mut order = vec![0 as Vertex; n]; // vertices sorted by degree
+    {
+        let mut cursor = bin_start.clone();
+        for v in 0..n as Vertex {
+            let d = degree[v as usize] as usize;
+            pos[v as usize] = cursor[d];
+            order[cursor[d]] = v;
+            cursor[d] += 1;
+        }
+    }
+
+    let mut core = vec![0u32; n];
+    let mut degeneracy = 0u32;
+    for i in 0..n {
+        let v = order[i];
+        let dv = degree[v as usize];
+        degeneracy = degeneracy.max(dv);
+        core[v as usize] = degeneracy;
+        // "Remove" v: decrement the degree of later neighbours, moving each
+        // one bucket down by swapping it to the front of its current bucket.
+        for &w in g.neighbors(v) {
+            if pos[w as usize] > i {
+                let dw = degree[w as usize] as usize;
+                // First vertex of w's bucket (skipping already-removed
+                // prefix positions).
+                let bucket_front = bin_start[dw].max(i + 1);
+                let front_vertex = order[bucket_front];
+                let pw = pos[w as usize];
+                order.swap(bucket_front, pw);
+                pos[w as usize] = bucket_front;
+                pos[front_vertex as usize] = pw;
+                bin_start[dw] = bucket_front + 1;
+                degree[w as usize] -= 1;
+            }
+        }
+    }
+
+    CoreDecomposition {
+        core,
+        degeneracy_order: order,
+        degeneracy,
+    }
+}
+
+/// Extracts the subgraph induced by vertices with core number `>= k`,
+/// returning `(subgraph, old_of_new)`.
+pub fn k_core(g: &CsrGraph, k: u32) -> (CsrGraph, Vec<Vertex>) {
+    let decomp = core_decomposition(g);
+    let mut old_of_new = Vec::new();
+    let mut new_of_old = vec![u32::MAX; g.num_vertices()];
+    for v in 0..g.num_vertices() as Vertex {
+        if decomp.core[v as usize] >= k {
+            new_of_old[v as usize] = old_of_new.len() as Vertex;
+            old_of_new.push(v);
+        }
+    }
+    let edges: Vec<(Vertex, Vertex)> = g
+        .edges()
+        .filter(|&(u, v)| {
+            decomp.core[u as usize] >= k && decomp.core[v as usize] >= k
+        })
+        .map(|(u, v)| (new_of_old[u as usize], new_of_old[v as usize]))
+        .collect();
+    let sub = CsrGraph::from_edges(old_of_new.len(), &edges)
+        .expect("induced subgraph inherits validity");
+    (sub, old_of_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    /// Reference quadratic implementation: repeatedly strip min-degree.
+    fn core_numbers_reference(g: &CsrGraph) -> Vec<u32> {
+        let n = g.num_vertices();
+        let mut alive = vec![true; n];
+        let mut degree: Vec<u32> = (0..n as Vertex).map(|v| g.degree(v) as u32).collect();
+        let mut core = vec![0u32; n];
+        let mut k = 0u32;
+        for _ in 0..n {
+            let v = (0..n as Vertex)
+                .filter(|&v| alive[v as usize])
+                .min_by_key(|&v| degree[v as usize])
+                .unwrap();
+            k = k.max(degree[v as usize]);
+            core[v as usize] = k;
+            alive[v as usize] = false;
+            for &w in g.neighbors(v) {
+                if alive[w as usize] {
+                    degree[w as usize] -= 1;
+                }
+            }
+        }
+        core
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        for seed in [1, 2, 3, 4] {
+            let g = gen::erdos_renyi_gnm(60, 150, seed).unwrap();
+            assert_eq!(
+                core_decomposition(&g).core,
+                core_numbers_reference(&g),
+                "seed {seed}"
+            );
+        }
+        let g = gen::barabasi_albert(80, 3, 5).unwrap();
+        assert_eq!(core_decomposition(&g).core, core_numbers_reference(&g));
+    }
+
+    #[test]
+    fn known_structures() {
+        // Trees are 1-degenerate.
+        let t = gen::balanced_tree(3, 4).unwrap();
+        let d = core_decomposition(&t);
+        assert_eq!(d.degeneracy, 1);
+        assert!(d.core.iter().all(|&c| c <= 1));
+
+        // Cycles are 2-degenerate everywhere.
+        let c = gen::cycle(10).unwrap();
+        let d = core_decomposition(&c);
+        assert_eq!(d.degeneracy, 2);
+        assert!(d.core.iter().all(|&c| c == 2));
+
+        // Complete graph: core number n-1 everywhere.
+        let k = gen::complete(6).unwrap();
+        let d = core_decomposition(&k);
+        assert!(d.core.iter().all(|&c| c == 5));
+
+        // BA(m): every vertex has core number >= m... the seed clique has
+        // m+1; final degeneracy is exactly m.
+        let g = gen::barabasi_albert(200, 3, 7).unwrap();
+        assert_eq!(core_decomposition(&g).degeneracy, 3);
+    }
+
+    #[test]
+    fn degeneracy_order_is_permutation() {
+        let g = gen::chung_lu(150, 2.3, 6.0, 9).unwrap();
+        let d = core_decomposition(&g);
+        let mut sorted = d.degeneracy_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..150).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn k_core_extraction() {
+        // Triangle with two pendants: 2-core = the triangle.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 4)]).unwrap();
+        let (core2, map) = k_core(&g, 2);
+        assert_eq!(core2.num_vertices(), 3);
+        assert_eq!(core2.num_edges(), 3);
+        assert_eq!(map, vec![0, 1, 2]);
+        // 3-core is empty.
+        let (core3, map3) = k_core(&g, 3);
+        assert_eq!(core3.num_vertices(), 0);
+        assert!(map3.is_empty());
+        // 0-core is everything.
+        let (core0, _) = k_core(&g, 0);
+        assert_eq!(core0.num_vertices(), 5);
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = CsrGraph::empty(4);
+        let d = core_decomposition(&g);
+        assert_eq!(d.degeneracy, 0);
+        assert_eq!(d.core, vec![0; 4]);
+        assert_eq!(d.degeneracy_order.len(), 4);
+    }
+
+    use crate::CsrGraph;
+}

@@ -1,0 +1,7 @@
+//! Traversal engines: BFS, bidirectional BFS, Dijkstra and connected
+//! components, with reusable buffers so repeated runs avoid O(n) allocation.
+
+pub mod bfs;
+pub mod components;
+pub mod kcore;
+pub mod dijkstra;

@@ -1,0 +1,218 @@
+//! Weighted directed CSR graph for the combined "directed and weighted"
+//! variant of §6.
+
+use crate::error::{GraphError, Result};
+use crate::wgraph::Weight;
+use crate::Vertex;
+
+/// An immutable directed graph with positive arc weights, storing both
+/// adjacency directions. Parallel arcs and self-loops are rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedDigraph {
+    out_offsets: Vec<u32>,
+    out_targets: Vec<Vertex>,
+    out_weights: Vec<Weight>,
+    in_offsets: Vec<u32>,
+    in_targets: Vec<Vertex>,
+    in_weights: Vec<Weight>,
+}
+
+impl WeightedDigraph {
+    /// Builds from `(u, v, w)` triples meaning an arc `u -> v` of weight
+    /// `w > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero weights, self-loops, duplicate arcs and out-of-range
+    /// endpoints.
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex, Weight)]) -> Result<Self> {
+        if n > u32::MAX as usize - 1 {
+            return Err(GraphError::TooLarge {
+                what: "vertex count",
+            });
+        }
+        if edges.len() > u32::MAX as usize {
+            return Err(GraphError::TooLarge {
+                what: "edge count",
+            });
+        }
+        for &(u, v, w) in edges {
+            if u as usize >= n || v as usize >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u.max(v) as u64,
+                    num_vertices: n as u64,
+                });
+            }
+            if u == v {
+                return Err(GraphError::InvalidParameter {
+                    message: format!("self-loop at vertex {u}"),
+                });
+            }
+            if w == 0 {
+                return Err(GraphError::InvalidParameter {
+                    message: format!("zero weight on arc ({u}, {v})"),
+                });
+            }
+        }
+
+        let build_side = |key: fn(&(Vertex, Vertex, Weight)) -> (Vertex, Vertex)| {
+            let mut lists: Vec<Vec<(Vertex, Weight)>> = vec![Vec::new(); n];
+            for e in edges {
+                let (from, to) = key(e);
+                lists[from as usize].push((to, e.2));
+            }
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut targets = Vec::with_capacity(edges.len());
+            let mut weights = Vec::with_capacity(edges.len());
+            offsets.push(0u32);
+            for list in &mut lists {
+                list.sort_unstable();
+                for &(t, w) in list.iter() {
+                    targets.push(t);
+                    weights.push(w);
+                }
+                offsets.push(targets.len() as u32);
+            }
+            (offsets, targets, weights)
+        };
+
+        let (out_offsets, out_targets, out_weights) = build_side(|&(u, v, _)| (u, v));
+        for v in 0..n {
+            let s = out_offsets[v] as usize;
+            let e = out_offsets[v + 1] as usize;
+            if out_targets[s..e].windows(2).any(|w| w[0] == w[1]) {
+                return Err(GraphError::InvalidParameter {
+                    message: format!("duplicate arc out of vertex {v}"),
+                });
+            }
+        }
+        let (in_offsets, in_targets, in_weights) = build_side(|&(u, v, _)| (v, u));
+
+        Ok(WeightedDigraph {
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_targets,
+            in_weights,
+        })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed arcs.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: Vertex) -> usize {
+        (self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]) as usize
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: Vertex) -> usize {
+        (self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]) as usize
+    }
+
+    /// Weighted successors of `v`, sorted by target.
+    #[inline]
+    pub fn out_neighbors(&self, v: Vertex) -> impl Iterator<Item = (Vertex, Weight)> + '_ {
+        let s = self.out_offsets[v as usize] as usize;
+        let e = self.out_offsets[v as usize + 1] as usize;
+        self.out_targets[s..e]
+            .iter()
+            .copied()
+            .zip(self.out_weights[s..e].iter().copied())
+    }
+
+    /// Weighted predecessors of `v`, sorted by source.
+    #[inline]
+    pub fn in_neighbors(&self, v: Vertex) -> impl Iterator<Item = (Vertex, Weight)> + '_ {
+        let s = self.in_offsets[v as usize] as usize;
+        let e = self.in_offsets[v as usize + 1] as usize;
+        self.in_targets[s..e]
+            .iter()
+            .copied()
+            .zip(self.in_weights[s..e].iter().copied())
+    }
+
+    /// Weight of arc `u -> v` if present.
+    pub fn arc_weight(&self, u: Vertex, v: Vertex) -> Option<Weight> {
+        let s = self.out_offsets[u as usize] as usize;
+        let e = self.out_offsets[u as usize + 1] as usize;
+        self.out_targets[s..e]
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.out_weights[s + i])
+    }
+
+    /// Iterates all arcs `(u, v, w)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (Vertex, Vertex, Weight)> + '_ {
+        (0..self.num_vertices() as Vertex)
+            .flat_map(move |u| self.out_neighbors(u).map(move |(v, w)| (u, v, w)))
+    }
+
+    /// Heap bytes used by the six CSR arrays.
+    pub fn memory_bytes(&self) -> usize {
+        (self.out_offsets.len() + self.in_offsets.len()) * 4
+            + (self.out_targets.len() + self.in_targets.len()) * 4
+            + (self.out_weights.len() + self.in_weights.len()) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> WeightedDigraph {
+        // 0 ->(1) 1 ->(1) 3, 0 ->(5) 2 ->(1) 3
+        WeightedDigraph::from_edges(4, &[(0, 1, 1), (1, 3, 1), (0, 2, 5), (2, 3, 1)]).unwrap()
+    }
+
+    #[test]
+    fn shape_and_weights() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.arc_weight(0, 2), Some(5));
+        assert_eq!(g.arc_weight(2, 0), None);
+        let outs: Vec<_> = g.out_neighbors(0).collect();
+        assert_eq!(outs, vec![(1, 1), (2, 5)]);
+        let ins: Vec<_> = g.in_neighbors(3).collect();
+        assert_eq!(ins, vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn antiparallel_with_different_weights() {
+        let g = WeightedDigraph::from_edges(2, &[(0, 1, 3), (1, 0, 7)]).unwrap();
+        assert_eq!(g.arc_weight(0, 1), Some(3));
+        assert_eq!(g.arc_weight(1, 0), Some(7));
+    }
+
+    #[test]
+    fn rejections() {
+        assert!(WeightedDigraph::from_edges(2, &[(0, 0, 1)]).is_err());
+        assert!(WeightedDigraph::from_edges(2, &[(0, 1, 0)]).is_err());
+        assert!(WeightedDigraph::from_edges(2, &[(0, 1, 1), (0, 1, 2)]).is_err());
+        assert!(WeightedDigraph::from_edges(2, &[(0, 5, 1)]).is_err());
+    }
+
+    #[test]
+    fn arcs_iterator_and_memory() {
+        let g = diamond();
+        let mut a: Vec<_> = g.arcs().collect();
+        a.sort_unstable();
+        assert_eq!(a, vec![(0, 1, 1), (0, 2, 5), (1, 3, 1), (2, 3, 1)]);
+        assert!(g.memory_bytes() > 0);
+    }
+}

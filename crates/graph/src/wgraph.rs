@@ -1,0 +1,220 @@
+//! Weighted undirected CSR graph for the pruned-Dijkstra variant (§6).
+
+use crate::error::{GraphError, Result};
+use crate::Vertex;
+
+/// Edge weight type. Weights must be strictly positive so Dijkstra's
+/// algorithm (and the pruned variant) applies.
+pub type Weight = u32;
+
+/// An immutable, undirected, positively-weighted graph in CSR form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedGraph {
+    offsets: Vec<u32>,
+    targets: Vec<Vertex>,
+    weights: Vec<Weight>,
+}
+
+impl WeightedGraph {
+    /// Builds a weighted graph from `(u, v, w)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero weights, self-loops, duplicate edges and out-of-range
+    /// endpoints.
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex, Weight)]) -> Result<Self> {
+        if n > u32::MAX as usize - 1 {
+            return Err(GraphError::TooLarge {
+                what: "vertex count",
+            });
+        }
+        let half_edges = edges.len().checked_mul(2).ok_or(GraphError::TooLarge {
+            what: "edge count",
+        })?;
+        if half_edges > u32::MAX as usize {
+            return Err(GraphError::TooLarge {
+                what: "edge count",
+            });
+        }
+
+        let mut degree = vec![0u32; n];
+        for &(u, v, w) in edges {
+            if u as usize >= n || v as usize >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u.max(v) as u64,
+                    num_vertices: n as u64,
+                });
+            }
+            if u == v {
+                return Err(GraphError::InvalidParameter {
+                    message: format!("self-loop at vertex {u}"),
+                });
+            }
+            if w == 0 {
+                return Err(GraphError::InvalidParameter {
+                    message: format!("zero weight on edge ({u}, {v})"),
+                });
+            }
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut pairs: Vec<Vec<(Vertex, Weight)>> = vec![Vec::new(); n];
+        for &(u, v, w) in edges {
+            pairs[u as usize].push((v, w));
+            pairs[v as usize].push((u, w));
+        }
+        let mut targets = Vec::with_capacity(half_edges);
+        let mut weights = Vec::with_capacity(half_edges);
+        for (v, mut list) in pairs.into_iter().enumerate() {
+            list.sort_unstable();
+            if list.windows(2).any(|w| w[0].0 == w[1].0) {
+                return Err(GraphError::InvalidParameter {
+                    message: format!("duplicate edge incident to vertex {v}"),
+                });
+            }
+            for (t, w) in list {
+                targets.push(t);
+                weights.push(w);
+            }
+        }
+
+        Ok(WeightedGraph {
+            offsets,
+            targets,
+            weights,
+        })
+    }
+
+    /// Lifts an unweighted graph to a weighted one with unit weights.
+    pub fn from_unweighted(g: &crate::CsrGraph) -> Self {
+        let (offsets, targets) = g.as_parts();
+        WeightedGraph {
+            offsets: offsets.to_vec(),
+            targets: targets.to_vec(),
+            weights: vec![1; targets.len()],
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Neighbours of `v` with weights, sorted by neighbour id.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> impl Iterator<Item = (Vertex, Weight)> + '_ {
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        self.targets[s..e]
+            .iter()
+            .copied()
+            .zip(self.weights[s..e].iter().copied())
+    }
+
+    /// Weight of edge `{u, v}` if present.
+    pub fn edge_weight(&self, u: Vertex, v: Vertex) -> Option<Weight> {
+        let s = self.offsets[u as usize] as usize;
+        let e = self.offsets[u as usize + 1] as usize;
+        self.targets[s..e]
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.weights[s + i])
+    }
+
+    /// Iterates each undirected edge once as `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex, Weight)> + '_ {
+        (0..self.num_vertices() as Vertex).flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    /// Iterates all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> {
+        0..self.num_vertices() as Vertex
+    }
+
+    /// Heap bytes used by the CSR arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 4 + self.targets.len() * 4 + self.weights.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrGraph;
+
+    fn weighted_triangle() -> WeightedGraph {
+        WeightedGraph::from_edges(3, &[(0, 1, 5), (1, 2, 7), (2, 0, 100)]).unwrap()
+    }
+
+    #[test]
+    fn shape_and_weights() {
+        let g = weighted_triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_weight(0, 1), Some(5));
+        assert_eq!(g.edge_weight(1, 0), Some(5));
+        assert_eq!(g.edge_weight(0, 2), Some(100));
+        assert_eq!(g.edge_weight(1, 1), None);
+    }
+
+    #[test]
+    fn neighbors_sorted_with_weights() {
+        let g = weighted_triangle();
+        let n: Vec<_> = g.neighbors(2).collect();
+        assert_eq!(n, vec![(0, 100), (1, 7)]);
+    }
+
+    #[test]
+    fn rejects_zero_weight() {
+        assert!(WeightedGraph::from_edges(2, &[(0, 1, 0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_and_loop() {
+        assert!(WeightedGraph::from_edges(2, &[(0, 1, 1), (1, 0, 2)]).is_err());
+        assert!(WeightedGraph::from_edges(2, &[(1, 1, 1)]).is_err());
+    }
+
+    #[test]
+    fn from_unweighted_unit_weights() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let w = WeightedGraph::from_unweighted(&g);
+        assert_eq!(w.num_edges(), 2);
+        assert_eq!(w.edge_weight(0, 1), Some(1));
+        assert_eq!(w.edge_weight(1, 2), Some(1));
+    }
+
+    #[test]
+    fn edges_iterator_once_per_edge() {
+        let g = weighted_triangle();
+        let mut e: Vec<_> = g.edges().collect();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1, 5), (0, 2, 100), (1, 2, 7)]);
+    }
+}

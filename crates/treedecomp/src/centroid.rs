@@ -1,0 +1,210 @@
+//! Centroid-decomposition vertex order (Theorem 4.4).
+//!
+//! The proof sketch of Theorem 4.4: "First we conduct pruned BFSs from all
+//! the vertices in a centroid bag. Then, later pruned BFSs never go beyond
+//! the bag. Therefore, we can consider as we divided the tree decomposition
+//! into disjoint components, each having at most half of the bags. We
+//! recursively repeat this procedure." This module computes exactly that
+//! vertex order: centroid bag first, then recursively the centroids of the
+//! split components, emitting each vertex at its first appearance.
+
+use crate::decomposition::TreeDecomposition;
+use pll_graph::Vertex;
+
+/// Computes the recursive centroid-bag order of `td`. The result is a
+/// permutation of `0..n` suitable for
+/// `OrderingStrategy::Custom`. Vertices in earlier (larger, more central)
+/// centroid bags come first.
+pub fn centroid_order(td: &TreeDecomposition) -> Vec<Vertex> {
+    let nb = td.num_bags();
+    let adj = td.tree_adjacency();
+    let mut removed = vec![false; nb];
+    let mut emitted = vec![false; td.own_bag.len()];
+    let mut order: Vec<Vertex> = Vec::with_capacity(td.own_bag.len());
+
+    // Iterative recursion over components (stack of representative bags).
+    let mut stack: Vec<usize> = Vec::new();
+    let mut seen_component = vec![false; nb];
+    for b in 0..nb {
+        if !seen_component[b] {
+            // Mark the whole component now so each enters the stack once.
+            let comp = collect_component(&adj, &removed, b);
+            for &c in &comp {
+                seen_component[c] = true;
+            }
+            stack.push(b);
+        }
+    }
+
+    while let Some(rep) = stack.pop() {
+        if removed[rep] {
+            continue;
+        }
+        let comp = collect_component(&adj, &removed, rep);
+        let centroid = tree_centroid(&adj, &removed, &comp);
+        for &v in &td.bags[centroid] {
+            if !emitted[v as usize] {
+                emitted[v as usize] = true;
+                order.push(v);
+            }
+        }
+        removed[centroid] = true;
+        for &nb_bag in &adj[centroid] {
+            if !removed[nb_bag] {
+                stack.push(nb_bag);
+            }
+        }
+    }
+
+    // Safety net: vertices of bags never reached (cannot happen for valid
+    // decompositions, but keep the permutation total).
+    for v in 0..emitted.len() as Vertex {
+        if !emitted[v as usize] {
+            order.push(v);
+        }
+    }
+    order
+}
+
+/// Collects the bag component containing `start`, ignoring removed bags.
+fn collect_component(adj: &[Vec<usize>], removed: &[bool], start: usize) -> Vec<usize> {
+    let mut seen = std::collections::HashSet::new();
+    let mut queue = vec![start];
+    seen.insert(start);
+    let mut head = 0;
+    while head < queue.len() {
+        let b = queue[head];
+        head += 1;
+        for &nb in &adj[b] {
+            if !removed[nb] && seen.insert(nb) {
+                queue.push(nb);
+            }
+        }
+    }
+    queue
+}
+
+/// Finds a centroid of the component: a bag whose removal leaves components
+/// of at most half the size.
+fn tree_centroid(adj: &[Vec<usize>], removed: &[bool], comp: &[usize]) -> usize {
+    let total = comp.len();
+    if total == 1 {
+        return comp[0];
+    }
+    let in_comp: std::collections::HashSet<usize> = comp.iter().copied().collect();
+    // Subtree sizes via DFS from comp[0] (the component is a tree).
+    let root = comp[0];
+    let mut parent: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    let mut dfs_order = Vec::with_capacity(total);
+    let mut stack = vec![root];
+    parent.insert(root, usize::MAX);
+    while let Some(b) = stack.pop() {
+        dfs_order.push(b);
+        for &nb in &adj[b] {
+            if !removed[nb] && in_comp.contains(&nb) && !parent.contains_key(&nb) {
+                parent.insert(nb, b);
+                stack.push(nb);
+            }
+        }
+    }
+    let mut size: std::collections::HashMap<usize, usize> =
+        comp.iter().map(|&b| (b, 1usize)).collect();
+    for &b in dfs_order.iter().rev() {
+        let p = parent[&b];
+        if p != usize::MAX {
+            *size.get_mut(&p).unwrap() += size[&b];
+        }
+    }
+    // The centroid minimises the largest piece after removal.
+    let mut best = (usize::MAX, root);
+    for &b in comp {
+        let mut largest = total - size[&b]; // the piece towards the root
+        for &nb in &adj[b] {
+            if !removed[nb] && in_comp.contains(&nb) && parent.get(&nb) == Some(&b) {
+                largest = largest.max(size[&nb]);
+            }
+        }
+        if largest < best.0 || (largest == best.0 && b < best.1) {
+            best = (largest, b);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::min_degree_order;
+    use pll_graph::gen;
+
+    fn order_for(g: &pll_graph::CsrGraph) -> Vec<Vertex> {
+        let td = TreeDecomposition::from_elimination(&min_degree_order(g));
+        td.validate(g).unwrap();
+        centroid_order(&td)
+    }
+
+    fn assert_permutation(order: &[Vertex], n: usize) {
+        assert_eq!(order.len(), n);
+        let mut sorted = order.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n as Vertex).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn produces_permutations() {
+        for g in [
+            gen::path(30).unwrap(),
+            gen::cycle(17).unwrap(),
+            gen::grid(5, 7).unwrap(),
+            gen::balanced_tree(2, 5).unwrap(),
+            gen::erdos_renyi_gnm(50, 110, 3).unwrap(),
+        ] {
+            let n = g.num_vertices();
+            assert_permutation(&order_for(&g), n);
+        }
+    }
+
+    #[test]
+    fn path_centroid_order_starts_near_middle() {
+        let g = gen::path(63).unwrap();
+        let order = order_for(&g);
+        let first = order[0];
+        assert!(
+            (16..=47).contains(&first),
+            "first centroid vertex {first} should be central"
+        );
+    }
+
+    #[test]
+    fn centroid_order_beats_degree_order_on_paths() {
+        // Theorem 4.4: on a path (w = 1), centroid ordering gives
+        // O(log n) labels; degree ordering on a path is poor because all
+        // degrees tie.
+        use pll_core::{IndexBuilder, OrderingStrategy};
+        let g = gen::path(255).unwrap();
+        let td = TreeDecomposition::from_elimination(&min_degree_order(&g));
+        let centroid = centroid_order(&td);
+        let idx = IndexBuilder::new()
+            .ordering(OrderingStrategy::Custom(centroid))
+            .bit_parallel_roots(0)
+            .build(&g)
+            .unwrap();
+        let avg = idx.avg_label_size();
+        // log2(255) = 8; allow some slack.
+        assert!(avg <= 10.0, "centroid order avg label size {avg}");
+        pll_core::verify::verify_exhaustive(&g, &idx).unwrap();
+    }
+
+    #[test]
+    fn disconnected_graph_is_covered() {
+        let g = pll_graph::CsrGraph::from_edges(7, &[(0, 1), (2, 3), (3, 4)]).unwrap();
+        assert_permutation(&order_for(&g), 7);
+    }
+
+    #[test]
+    fn single_vertex_and_empty() {
+        assert_permutation(&order_for(&pll_graph::CsrGraph::empty(1)), 1);
+        assert_permutation(&order_for(&pll_graph::CsrGraph::empty(0)), 0);
+    }
+}

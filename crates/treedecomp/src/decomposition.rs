@@ -1,0 +1,206 @@
+//! Tree decompositions from elimination orderings.
+//!
+//! Standard construction: the bag of eliminated vertex `v` is `{v}` plus
+//! its neighbours at elimination time; the parent of `v`'s bag is the bag
+//! of the *earliest-eliminated* vertex among those neighbours. The result
+//! satisfies the three tree-decomposition axioms (checked by
+//! [`TreeDecomposition::validate`]): vertex coverage, edge coverage, and
+//! the running-intersection (connected-subtree) property.
+
+use crate::elimination::EliminationOrder;
+use pll_graph::{CsrGraph, Vertex};
+
+/// A rooted tree decomposition with one bag per vertex.
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    /// `bags[i]`: sorted vertex set of bag `i` (bag `i` belongs to the
+    /// `i`-th eliminated vertex).
+    pub bags: Vec<Vec<Vertex>>,
+    /// `parent[i]`: parent bag index, `None` for roots (the decomposition
+    /// is a forest when the graph is disconnected).
+    pub parent: Vec<Option<usize>>,
+    /// `own_bag[v]`: index of the bag introduced when `v` was eliminated.
+    pub own_bag: Vec<usize>,
+    /// Witnessed width: `max |bag| − 1`.
+    pub width: usize,
+}
+
+impl TreeDecomposition {
+    /// Builds the decomposition from an elimination order.
+    pub fn from_elimination(elim: &EliminationOrder) -> TreeDecomposition {
+        let n = elim.order.len();
+        // position[v] = elimination step of v.
+        let mut position = vec![0usize; n];
+        for (i, &v) in elim.order.iter().enumerate() {
+            position[v as usize] = i;
+        }
+        let mut own_bag = vec![0usize; n];
+        for (i, &v) in elim.order.iter().enumerate() {
+            own_bag[v as usize] = i;
+        }
+        let mut parent = vec![None; n];
+        for (i, bag) in elim.bags.iter().enumerate() {
+            let me = elim.order[i];
+            // Earliest-eliminated *other* member, which by construction is
+            // eliminated after `me`.
+            let next = bag
+                .iter()
+                .filter(|&&u| u != me)
+                .min_by_key(|&&u| position[u as usize]);
+            if let Some(&u) = next {
+                parent[i] = Some(own_bag[u as usize]);
+            }
+        }
+        TreeDecomposition {
+            bags: elim.bags.clone(),
+            parent,
+            own_bag,
+            width: elim.width,
+        }
+    }
+
+    /// Number of bags.
+    pub fn num_bags(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Adjacency of the decomposition forest (undirected).
+    pub fn tree_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.num_bags()];
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some(p) = *p {
+                adj[i].push(p);
+                adj[p].push(i);
+            }
+        }
+        adj
+    }
+
+    /// Checks the three tree-decomposition axioms against `g`; returns a
+    /// description of the first violation, if any.
+    pub fn validate(&self, g: &CsrGraph) -> Result<(), String> {
+        let n = g.num_vertices();
+        if self.own_bag.len() != n {
+            return Err(format!(
+                "decomposition covers {} vertices, graph has {n}",
+                self.own_bag.len()
+            ));
+        }
+        // (1) Vertex coverage.
+        for v in 0..n as Vertex {
+            if !self.bags[self.own_bag[v as usize]].contains(&v) {
+                return Err(format!("vertex {v} missing from its own bag"));
+            }
+        }
+        // (2) Edge coverage.
+        for (u, v) in g.edges() {
+            let covered = self
+                .bags
+                .iter()
+                .any(|bag| bag.binary_search(&u).is_ok() && bag.binary_search(&v).is_ok());
+            if !covered {
+                return Err(format!("edge ({u}, {v}) not covered by any bag"));
+            }
+        }
+        // (3) Running intersection: bags containing v form a connected
+        // subtree of the forest.
+        let adj = self.tree_adjacency();
+        for v in 0..n as Vertex {
+            let holders: Vec<usize> = (0..self.num_bags())
+                .filter(|&i| self.bags[i].binary_search(&v).is_ok())
+                .collect();
+            if holders.is_empty() {
+                return Err(format!("vertex {v} appears in no bag"));
+            }
+            // BFS over holder bags only.
+            let mut seen = vec![false; self.num_bags()];
+            let mut queue = vec![holders[0]];
+            seen[holders[0]] = true;
+            let mut head = 0;
+            while head < queue.len() {
+                let b = queue[head];
+                head += 1;
+                for &nb in &adj[b] {
+                    if !seen[nb] && self.bags[nb].binary_search(&v).is_ok() {
+                        seen[nb] = true;
+                        queue.push(nb);
+                    }
+                }
+            }
+            if queue.len() != holders.len() {
+                return Err(format!(
+                    "bags containing vertex {v} are not connected ({} of {})",
+                    queue.len(),
+                    holders.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::{min_degree_order, min_fill_order};
+    use pll_graph::gen;
+
+    fn build_and_validate(g: &CsrGraph) -> TreeDecomposition {
+        let td = TreeDecomposition::from_elimination(&min_degree_order(g));
+        td.validate(g).expect("decomposition must be valid");
+        td
+    }
+
+    #[test]
+    fn valid_on_structured_graphs() {
+        build_and_validate(&gen::path(15).unwrap());
+        build_and_validate(&gen::cycle(10).unwrap());
+        build_and_validate(&gen::grid(4, 5).unwrap());
+        build_and_validate(&gen::star(9).unwrap());
+        build_and_validate(&gen::balanced_tree(2, 4).unwrap());
+        build_and_validate(&gen::complete(6).unwrap());
+    }
+
+    #[test]
+    fn valid_on_random_graphs() {
+        for seed in [1, 2, 3] {
+            build_and_validate(&gen::erdos_renyi_gnm(40, 90, seed).unwrap());
+            build_and_validate(&gen::barabasi_albert(50, 2, seed).unwrap());
+        }
+    }
+
+    #[test]
+    fn valid_with_min_fill_too() {
+        let g = gen::grid(4, 4).unwrap();
+        let td = TreeDecomposition::from_elimination(&min_fill_order(&g));
+        td.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let td = build_and_validate(&g);
+        let roots = td.parent.iter().filter(|p| p.is_none()).count();
+        assert_eq!(roots, 3, "three components, three roots");
+    }
+
+    #[test]
+    fn detects_broken_decomposition() {
+        let g = gen::cycle(6).unwrap();
+        let mut td = build_and_validate(&g);
+        // Remove a vertex from a bag: some axiom must now fail.
+        let bag0_vertex = td.bags[0][0];
+        td.bags[0].retain(|&v| v != bag0_vertex);
+        assert!(td.validate(&g).is_err());
+    }
+
+    #[test]
+    fn tree_bags_have_size_at_most_two() {
+        let g = gen::balanced_tree(3, 3).unwrap();
+        let td = build_and_validate(&g);
+        assert!(td.bags.iter().all(|b| b.len() <= 2));
+        assert_eq!(td.width, 1);
+    }
+
+    use pll_graph::CsrGraph;
+}

@@ -1,0 +1,208 @@
+//! Elimination orderings (min-degree and min-fill heuristics).
+//!
+//! Eliminating a vertex connects its remaining neighbours into a clique
+//! (fill edges); the maximum clique size over the process bounds the
+//! tree-width witnessed by the ordering. Min-degree picks the vertex of
+//! smallest current degree; min-fill picks the vertex whose elimination
+//! adds the fewest fill edges (slower, usually smaller width).
+
+use pll_graph::{CsrGraph, Vertex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// The result of running an elimination heuristic.
+#[derive(Clone, Debug)]
+pub struct EliminationOrder {
+    /// `order[i]` = the `i`-th eliminated vertex.
+    pub order: Vec<Vertex>,
+    /// `bags[i]` = the eliminated vertex plus its neighbours at elimination
+    /// time (sorted). This is the bag the tree decomposition uses.
+    pub bags: Vec<Vec<Vertex>>,
+    /// Witnessed tree-width: `max |bag| − 1` (0 for edgeless graphs).
+    pub width: usize,
+}
+
+fn eliminate(
+    g: &CsrGraph,
+    mut pick: impl FnMut(&[HashSet<Vertex>], &[bool]) -> Option<Vertex>,
+) -> EliminationOrder {
+    let n = g.num_vertices();
+    let mut adj: Vec<HashSet<Vertex>> = vec![HashSet::new(); n];
+    for (u, v) in g.edges() {
+        adj[u as usize].insert(v);
+        adj[v as usize].insert(u);
+    }
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut bags = Vec::with_capacity(n);
+    let mut width = 0usize;
+
+    for _ in 0..n {
+        let v = pick(&adj, &eliminated).expect("pick must return an uneliminated vertex");
+        debug_assert!(!eliminated[v as usize]);
+        eliminated[v as usize] = true;
+        let mut bag: Vec<Vertex> = adj[v as usize].iter().copied().collect();
+        bag.push(v);
+        bag.sort_unstable();
+        width = width.max(bag.len().saturating_sub(1));
+
+        let neighbours: Vec<Vertex> = adj[v as usize].iter().copied().collect();
+        for &a in &neighbours {
+            adj[a as usize].remove(&v);
+        }
+        for i in 0..neighbours.len() {
+            for j in i + 1..neighbours.len() {
+                let (a, b) = (neighbours[i], neighbours[j]);
+                adj[a as usize].insert(b);
+                adj[b as usize].insert(a);
+            }
+        }
+        adj[v as usize].clear();
+        order.push(v);
+        bags.push(bag);
+    }
+    EliminationOrder { order, bags, width }
+}
+
+/// Min-degree elimination with a priority queue that is re-keyed whenever a
+/// neighbour's degree changes (pop-time-only re-keying would let a vertex
+/// whose degree *dropped* hide behind its stale larger key and break the
+/// min-degree order).
+pub fn min_degree_order(g: &CsrGraph) -> EliminationOrder {
+    let n = g.num_vertices();
+    let mut adj: Vec<HashSet<Vertex>> = vec![HashSet::new(); n];
+    for (u, v) in g.edges() {
+        adj[u as usize].insert(v);
+        adj[v as usize].insert(u);
+    }
+    let mut pq: BinaryHeap<Reverse<(usize, Vertex)>> = BinaryHeap::with_capacity(n);
+    for v in 0..n as Vertex {
+        pq.push(Reverse((adj[v as usize].len(), v)));
+    }
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut bags = Vec::with_capacity(n);
+    let mut width = 0usize;
+
+    while let Some(Reverse((deg, v))) = pq.pop() {
+        if eliminated[v as usize] {
+            continue;
+        }
+        let current = adj[v as usize].len();
+        if current != deg {
+            pq.push(Reverse((current, v)));
+            continue;
+        }
+        eliminated[v as usize] = true;
+        let mut bag: Vec<Vertex> = adj[v as usize].iter().copied().collect();
+        bag.push(v);
+        bag.sort_unstable();
+        width = width.max(bag.len().saturating_sub(1));
+
+        let neighbours: Vec<Vertex> = adj[v as usize].iter().copied().collect();
+        for &a in &neighbours {
+            adj[a as usize].remove(&v);
+        }
+        for i in 0..neighbours.len() {
+            for j in i + 1..neighbours.len() {
+                let (a, b) = (neighbours[i], neighbours[j]);
+                adj[a as usize].insert(b);
+                adj[b as usize].insert(a);
+            }
+        }
+        adj[v as usize].clear();
+        for &a in &neighbours {
+            pq.push(Reverse((adj[a as usize].len(), a)));
+        }
+        order.push(v);
+        bags.push(bag);
+    }
+    EliminationOrder { order, bags, width }
+}
+
+/// Min-fill elimination (quadratic per step; small graphs only).
+pub fn min_fill_order(g: &CsrGraph) -> EliminationOrder {
+    eliminate(g, move |adj, eliminated| {
+        let mut best: Option<(usize, Vertex)> = None;
+        for v in 0..adj.len() as Vertex {
+            if eliminated[v as usize] {
+                continue;
+            }
+            let neigh: Vec<Vertex> = adj[v as usize].iter().copied().collect();
+            let mut fill = 0usize;
+            for i in 0..neigh.len() {
+                for j in i + 1..neigh.len() {
+                    if !adj[neigh[i] as usize].contains(&neigh[j]) {
+                        fill += 1;
+                    }
+                }
+            }
+            if best.is_none_or(|(bf, bv)| fill < bf || (fill == bf && v < bv)) {
+                best = Some((fill, v));
+            }
+        }
+        best.map(|(_, v)| v)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pll_graph::gen;
+
+    #[test]
+    fn path_has_width_one() {
+        let g = gen::path(20).unwrap();
+        assert_eq!(min_degree_order(&g).width, 1);
+        assert_eq!(min_fill_order(&g).width, 1);
+    }
+
+    #[test]
+    fn tree_has_width_one() {
+        let g = gen::balanced_tree(3, 4).unwrap();
+        assert_eq!(min_degree_order(&g).width, 1);
+    }
+
+    #[test]
+    fn cycle_has_width_two() {
+        let g = gen::cycle(12).unwrap();
+        assert_eq!(min_degree_order(&g).width, 2);
+        assert_eq!(min_fill_order(&g).width, 2);
+    }
+
+    #[test]
+    fn complete_graph_width_is_n_minus_one() {
+        let g = gen::complete(6).unwrap();
+        assert_eq!(min_degree_order(&g).width, 5);
+    }
+
+    #[test]
+    fn grid_width_is_near_min_dimension() {
+        let g = gen::grid(4, 8).unwrap();
+        let w = min_degree_order(&g).width;
+        assert!((4..=8).contains(&w), "grid width {w}");
+        let wf = min_fill_order(&g).width;
+        assert!(wf <= w, "min-fill {wf} should not exceed min-degree {w}");
+    }
+
+    #[test]
+    fn order_is_a_permutation_with_bags() {
+        let g = gen::erdos_renyi_gnm(40, 80, 3).unwrap();
+        let e = min_degree_order(&g);
+        let mut sorted = e.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..40).collect::<Vec<_>>());
+        assert_eq!(e.bags.len(), 40);
+        for (i, bag) in e.bags.iter().enumerate() {
+            assert!(bag.contains(&e.order[i]), "bag {i} must contain its vertex");
+        }
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = pll_graph::CsrGraph::empty(5);
+        let e = min_degree_order(&g);
+        assert_eq!(e.width, 0);
+        assert!(e.bags.iter().all(|b| b.len() == 1));
+    }
+}

@@ -1,0 +1,25 @@
+//! Tree-decomposition substrate for the Theorem 4.4 experiments.
+//!
+//! §4.6.3 of the paper proves that pruned landmark labeling, given the
+//! right vertex order, exploits small tree-width: conducting pruned BFSs
+//! from the vertices of a *centroid bag* first splits the decomposition
+//! into halves that later BFSs never cross, giving `O(w log n)` labels.
+//! This crate provides the machinery to test that claim empirically:
+//!
+//! * [`elimination`] — min-degree / min-fill elimination orderings;
+//! * [`decomposition`] — tree decompositions from elimination orders, with
+//!   width reporting and validity checking;
+//! * [`centroid`] — the recursive centroid-bag vertex order used by the
+//!   theorem's proof sketch, ready to feed into
+//!   `IndexBuilder::ordering(OrderingStrategy::Custom(..))`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centroid;
+pub mod decomposition;
+pub mod elimination;
+
+pub use centroid::centroid_order;
+pub use decomposition::TreeDecomposition;
+pub use elimination::{min_degree_order, min_fill_order, EliminationOrder};

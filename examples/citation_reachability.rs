@@ -1,0 +1,59 @@
+//! Directed distances in a citation-style DAG (§6, "Directed Graphs"):
+//! `L_OUT`/`L_IN` labels answer "how many citation hops from paper A to
+//! paper B", which is inherently asymmetric.
+//!
+//! ```text
+//! cargo run --release --example citation_reachability
+//! ```
+
+use pruned_landmark_labeling::graph::{CsrDigraph, Xoshiro256pp};
+use pruned_landmark_labeling::pll::DirectedIndexBuilder;
+
+/// Synthesises a citation DAG: papers are ordered by publication time and
+/// cite a handful of earlier papers, preferentially recent ones.
+fn citation_graph(n: usize, refs_per_paper: usize, seed: u64) -> CsrDigraph {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut arcs = std::collections::HashSet::new();
+    for paper in 1..n as u32 {
+        for _ in 0..refs_per_paper {
+            // Sample an earlier paper, biased towards recent ones.
+            let window = (paper as u64).min(200);
+            let offset = rng.next_below(window) + 1;
+            let cited = paper - offset as u32;
+            arcs.insert((paper, cited));
+        }
+    }
+    let mut list: Vec<_> = arcs.into_iter().collect();
+    list.sort_unstable();
+    CsrDigraph::from_edges(n, &list).expect("digraph")
+}
+
+fn main() {
+    let graph = citation_graph(20_000, 5, 3);
+    println!(
+        "citation graph: {} papers, {} citations",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let index = DirectedIndexBuilder::new().build(&graph).expect("construction");
+    println!(
+        "directed index: avg |L_IN| + |L_OUT| = {:.1} per paper",
+        index.avg_label_size()
+    );
+
+    // Newer papers can reach older ones through citations, never the
+    // reverse (the graph is a DAG pointing backwards in time).
+    let pairs = [(19_999u32, 5u32), (10_000, 123), (500, 499), (42, 19_999)];
+    for (from, to) in pairs {
+        let forward = index.distance(from, to);
+        let backward = index.distance(to, from);
+        println!("paper {from} -> {to}: {forward:?};  {to} -> {from}: {backward:?}");
+        if from > to {
+            assert!(
+                backward.is_none(),
+                "older papers cannot cite newer ones in a citation DAG"
+            );
+        }
+    }
+}

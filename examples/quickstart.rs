@@ -1,0 +1,55 @@
+//! Quickstart: build a pruned landmark labeling index over a synthetic
+//! social network and answer exact distance queries in microseconds.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pruned_landmark_labeling::graph::gen;
+use pruned_landmark_labeling::pll::{serialize, IndexBuilder, OrderingStrategy};
+use std::time::Instant;
+
+fn main() {
+    // 1. A scale-free network: 50k users, ~3 links each.
+    let graph = gen::barabasi_albert(50_000, 3, 42).expect("generation");
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // 2. Build the index: Degree ordering and 16 bit-parallel roots are the
+    //    paper's defaults for graphs of this size.
+    let start = Instant::now();
+    let index = IndexBuilder::new()
+        .ordering(OrderingStrategy::Degree)
+        .bit_parallel_roots(16)
+        .build(&graph)
+        .expect("construction");
+    println!(
+        "index built in {:.2} s (avg label size {:.1} + {} bit-parallel, {} KiB)",
+        start.elapsed().as_secs_f64(),
+        index.avg_label_size(),
+        index.bit_parallel().num_roots(),
+        index.memory_bytes() / 1024
+    );
+
+    // 3. Exact distance queries.
+    let queries = [(0u32, 49_999u32), (123, 456), (7, 7), (1000, 2000)];
+    for (s, t) in queries {
+        let start = Instant::now();
+        let d = index.distance(s, t);
+        println!(
+            "d({s}, {t}) = {:?}  ({:.1} µs)",
+            d,
+            start.elapsed().as_secs_f64() * 1e6
+        );
+    }
+
+    // 4. The index round-trips through the versioned binary format.
+    let mut buf = Vec::new();
+    serialize::save_index(&index, &mut buf).expect("save");
+    let loaded = serialize::load_index(buf.as_slice()).expect("load");
+    assert_eq!(loaded.distance(123, 456), index.distance(123, 456));
+    println!("serialised index: {} KiB, round-trip OK", buf.len() / 1024);
+}

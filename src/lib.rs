@@ -1,0 +1,40 @@
+//! Facade crate for the pruned landmark labeling workspace.
+//!
+//! This crate re-exports the public API of every workspace member so that
+//! downstream users (and the repository's examples and integration tests)
+//! depend on a single crate:
+//!
+//! * [`graph`] — CSR graphs, generators, traversal, statistics;
+//! * [`pll`] — the pruned landmark labeling index (the paper's
+//!   contribution): undirected/directed/weighted construction, bit-parallel
+//!   labels, queries, path reconstruction, serialisation;
+//! * [`baselines`] — the comparison methods of the paper's evaluation;
+//! * [`treedecomp`] — tree-decomposition substrate (Theorem 4.4);
+//! * [`datasets`] — synthetic stand-ins for the paper's eleven datasets.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pruned_landmark_labeling::graph::gen;
+//! use pruned_landmark_labeling::pll::{IndexBuilder, OrderingStrategy};
+//!
+//! // A small social-network-like graph.
+//! let g = gen::barabasi_albert(1_000, 3, 42).unwrap();
+//!
+//! // Build the 2-hop index: degree ordering, 4 bit-parallel roots.
+//! let index = IndexBuilder::new()
+//!     .ordering(OrderingStrategy::Degree)
+//!     .bit_parallel_roots(4)
+//!     .build(&g)
+//!     .unwrap();
+//!
+//! // Exact distances in microseconds.
+//! let d = index.distance(17, 923);
+//! assert!(d.is_some());
+//! ```
+
+pub use pll_baselines as baselines;
+pub use pll_core as pll;
+pub use pll_datasets as datasets;
+pub use pll_graph as graph;
+pub use pll_treedecomp as treedecomp;

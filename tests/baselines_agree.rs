@@ -1,0 +1,88 @@
+//! All exact methods must agree pairwise on sampled queries — PLL, the
+//! canonical-hub HHL stand-in, the contraction-hierarchy TD stand-in, the
+//! naive labeling, and both BFS oracles.
+
+use pruned_landmark_labeling::baselines::{
+    BfsOracle, BidirBfsOracle, CanonicalHubLabeling, ContractionHierarchy, DistanceOracle,
+    NaiveLabeling, PllOracle,
+};
+use pruned_landmark_labeling::graph::{gen, Xoshiro256pp};
+use pruned_landmark_labeling::pll::{order::compute_order, IndexBuilder, OrderingStrategy};
+
+#[test]
+fn every_exact_method_agrees() {
+    for (name, g) in [
+        ("chung_lu", gen::chung_lu(200, 2.3, 7.0, 1).unwrap()),
+        ("copying", gen::copying_model(200, 4, 0.8, 2).unwrap()),
+        ("grid", gen::grid(14, 14).unwrap()),
+        ("ws", gen::watts_strogatz(200, 4, 0.3, 3).unwrap()),
+    ] {
+        let n = g.num_vertices();
+        let order = compute_order(&g, &OrderingStrategy::Degree, 0).unwrap();
+        let index = IndexBuilder::new().bit_parallel_roots(4).build(&g).unwrap();
+        let canonical = CanonicalHubLabeling::build(&g, &order);
+        let ch = ContractionHierarchy::build(&g, usize::MAX).unwrap();
+        let naive = NaiveLabeling::build(&g, &order);
+
+        let mut pll = PllOracle::new(&index);
+        let mut bfs = BfsOracle::new(&g);
+        let mut bidir = BidirBfsOracle::new(&g);
+
+        let mut rng = Xoshiro256pp::seed_from_u64(0xA6);
+        for _ in 0..400 {
+            let s = rng.next_below(n as u64) as u32;
+            let t = rng.next_below(n as u64) as u32;
+            let expect = bfs.distance(s, t);
+            assert_eq!(pll.distance(s, t), expect, "{name} PLL ({s}, {t})");
+            assert_eq!(bidir.distance(s, t), expect, "{name} BiBFS ({s}, {t})");
+            assert_eq!(canonical.distance(s, t), expect, "{name} HHL* ({s}, {t})");
+            assert_eq!(ch.distance(s, t), expect, "{name} TD* ({s}, {t})");
+            assert_eq!(naive.query(s, t), expect, "{name} naive ({s}, {t})");
+        }
+    }
+}
+
+#[test]
+fn pruned_labels_never_exceed_naive_labels() {
+    // The whole point of pruning: strictly smaller label sets than the
+    // naive quadratic labeling, on every network class.
+    for g in [
+        gen::chung_lu(300, 2.3, 8.0, 4).unwrap(),
+        gen::barabasi_albert(300, 3, 5).unwrap(),
+        gen::copying_model(300, 4, 0.85, 6).unwrap(),
+    ] {
+        let order = compute_order(&g, &OrderingStrategy::Degree, 0).unwrap();
+        let naive = NaiveLabeling::build(&g, &order);
+        let index = IndexBuilder::new()
+            .ordering(OrderingStrategy::Custom(order))
+            .bit_parallel_roots(0)
+            .build(&g)
+            .unwrap();
+        let pruned_total = index.labels().total_entries();
+        assert!(
+            (pruned_total as f64) < 0.5 * naive.total_entries() as f64,
+            "pruning saved too little: {pruned_total} vs naive {}",
+            naive.total_entries()
+        );
+    }
+}
+
+#[test]
+fn landmark_estimates_upper_bound_pll() {
+    use pruned_landmark_labeling::baselines::{LandmarkIndex, LandmarkSelection};
+    let g = gen::barabasi_albert(500, 3, 9).unwrap();
+    let index = IndexBuilder::new().bit_parallel_roots(4).build(&g).unwrap();
+    let lm = LandmarkIndex::build(&g, 16, LandmarkSelection::Degree, 0);
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
+    for _ in 0..500 {
+        let s = rng.next_below(500) as u32;
+        let t = rng.next_below(500) as u32;
+        let exact = index.distance(s, t);
+        let est = lm.estimate(s, t);
+        match (exact, est) {
+            (Some(d), Some(e)) => assert!(e >= d, "estimate {e} below exact {d}"),
+            (None, e) => assert_eq!(e, None, "estimate for disconnected pair"),
+            (Some(_), None) => panic!("landmarks missed a connected pair in one component"),
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Cross-crate exactness: the PLL index must agree with BFS ground truth
+//! on every generator family the workspace ships.
+
+use pruned_landmark_labeling::graph::traversal::bfs::BfsEngine;
+use pruned_landmark_labeling::graph::{gen, CsrGraph};
+use pruned_landmark_labeling::pll::{verify, IndexBuilder, OrderingStrategy};
+
+fn check(g: &CsrGraph, t: usize) {
+    let idx = IndexBuilder::new()
+        .bit_parallel_roots(t)
+        .build(g)
+        .expect("construction");
+    verify::verify_exhaustive(g, &idx).unwrap_or_else(|m| {
+        panic!(
+            "mismatch on pair ({}, {}): expected {:?}, got {:?}",
+            m.s, m.t, m.expected, m.got
+        )
+    });
+}
+
+#[test]
+fn exact_on_every_generator_family() {
+    check(&gen::path(40).unwrap(), 0);
+    check(&gen::cycle(31).unwrap(), 2);
+    check(&gen::grid(7, 8).unwrap(), 4);
+    check(&gen::torus(5, 6).unwrap(), 4);
+    check(&gen::star(33).unwrap(), 1);
+    check(&gen::complete(12).unwrap(), 2);
+    check(&gen::balanced_tree(3, 3).unwrap(), 2);
+    check(&gen::caterpillar(12, 3).unwrap(), 0);
+    check(&gen::random_tree(80, 3).unwrap(), 4);
+    check(&gen::erdos_renyi_gnm(90, 250, 5).unwrap(), 8);
+    check(&gen::erdos_renyi_gnp(80, 0.06, 6).unwrap(), 8);
+    check(&gen::barabasi_albert(100, 3, 7).unwrap(), 8);
+    check(&gen::watts_strogatz(80, 4, 0.2, 8).unwrap(), 4);
+    check(&gen::chung_lu(100, 2.4, 6.0, 9).unwrap(), 8);
+    check(&gen::copying_model(100, 4, 0.8, 10).unwrap(), 8);
+    check(&gen::forest_fire(100, 0.4, 12).unwrap(), 8);
+    check(
+        &gen::rmat(7, 4, gen::RmatParams::GRAPH500, 11).unwrap(),
+        8,
+    );
+}
+
+#[test]
+fn exact_on_dataset_standins_sampled() {
+    for spec in pll_datasets::DATASETS.iter() {
+        // Aggressive scale: every dataset at ~1-2k vertices.
+        let g = spec.generate(4096).expect("generation");
+        let idx = IndexBuilder::new()
+            .bit_parallel_roots(spec.bp_roots.min(8))
+            .build(&g)
+            .expect("construction");
+        verify::verify_sampled(&g, &idx, 300, spec.seed)
+            .unwrap_or_else(|m| panic!("{}: mismatch {m:?}", spec.name));
+    }
+}
+
+#[test]
+fn all_strategies_and_bp_settings_agree() {
+    let g = gen::chung_lu(150, 2.3, 8.0, 1).unwrap();
+    let mut engine = BfsEngine::new(150);
+    let truth: Vec<Vec<u32>> = (0..150u32).map(|s| engine.run(&g, s).to_vec()).collect();
+    for strategy in [
+        OrderingStrategy::Degree,
+        OrderingStrategy::Random,
+        OrderingStrategy::Closeness { samples: 8 },
+    ] {
+        for t in [0usize, 1, 16, 64] {
+            let idx = IndexBuilder::new()
+                .ordering(strategy.clone())
+                .bit_parallel_roots(t)
+                .seed(99)
+                .build(&g)
+                .expect("construction");
+            for s in (0..150u32).step_by(7) {
+                for u in (0..150u32).step_by(5) {
+                    let expect =
+                        (truth[s as usize][u as usize] != u32::MAX).then_some(truth[s as usize][u as usize]);
+                    assert_eq!(
+                        idx.distance(s, u),
+                        expect,
+                        "strategy {:?}, t={t}, pair ({s}, {u})",
+                        strategy.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn isolated_vertices_and_multiple_components() {
+    let g = CsrGraph::from_edges(
+        12,
+        &[(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (8, 9)],
+    )
+    .unwrap();
+    let idx = IndexBuilder::new().bit_parallel_roots(3).build(&g).unwrap();
+    // Within components.
+    assert_eq!(idx.distance(0, 2), Some(1));
+    assert_eq!(idx.distance(4, 6), Some(2));
+    assert_eq!(idx.distance(8, 9), Some(1));
+    // Across components and isolated vertices.
+    assert_eq!(idx.distance(0, 4), None);
+    assert_eq!(idx.distance(3, 0), None);
+    assert_eq!(idx.distance(3, 3), Some(0));
+    assert_eq!(idx.distance(10, 11), None);
+}

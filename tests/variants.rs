@@ -1,0 +1,145 @@
+//! Cross-crate tests of the §6 variants: paths, directed, weighted, disk
+//! and serialisation, driven through the facade crate.
+
+use pruned_landmark_labeling::graph::traversal::{bfs, dijkstra};
+use pruned_landmark_labeling::graph::wgraph::WeightedGraph;
+use pruned_landmark_labeling::graph::{gen, CsrDigraph, Xoshiro256pp};
+use pruned_landmark_labeling::pll::{
+    disk, paths, serialize, DirectedIndexBuilder, IndexBuilder, WeightedIndexBuilder,
+};
+
+#[test]
+fn paths_are_valid_shortest_paths_end_to_end() {
+    let g = gen::chung_lu(300, 2.4, 6.0, 9).unwrap();
+    let idx = IndexBuilder::new()
+        .bit_parallel_roots(0)
+        .store_parents(true)
+        .build(&g)
+        .unwrap();
+    let mut checked = 0;
+    for s in (0..300u32).step_by(17) {
+        for t in (0..300u32).step_by(13) {
+            let expect = bfs::distance(&g, s, t);
+            match paths::shortest_path(&idx, s, t).unwrap() {
+                Some(path) => {
+                    let d = expect.expect("path implies connected");
+                    assert_eq!(path.len() as u32, d + 1);
+                    assert_eq!(path[0], s);
+                    assert_eq!(*path.last().unwrap(), t);
+                    for w in path.windows(2) {
+                        assert!(g.has_edge(w[0], w[1]));
+                    }
+                    checked += 1;
+                }
+                None => assert_eq!(expect, None),
+            }
+        }
+    }
+    assert!(checked > 50, "only {checked} connected pairs checked");
+}
+
+#[test]
+fn directed_index_matches_directed_bfs() {
+    // A sparse random digraph plus a directed cycle for reachability.
+    let n = 120usize;
+    let mut rng = Xoshiro256pp::seed_from_u64(31);
+    let mut arcs = std::collections::HashSet::new();
+    for v in 0..n as u32 {
+        arcs.insert((v, (v + 1) % n as u32));
+    }
+    while arcs.len() < 500 {
+        let u = rng.next_below(n as u64) as u32;
+        let v = rng.next_below(n as u64) as u32;
+        if u != v {
+            arcs.insert((u, v));
+        }
+    }
+    let mut list: Vec<_> = arcs.into_iter().collect();
+    list.sort_unstable();
+    let g = CsrDigraph::from_edges(n, &list).unwrap();
+    let idx = DirectedIndexBuilder::new().build(&g).unwrap();
+
+    // Directed BFS ground truth from a few sources.
+    for s in [0u32, 17, 63, 119] {
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = vec![s];
+        dist[s as usize] = 0;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &w in g.out_neighbors(u) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dist[u as usize] + 1;
+                    queue.push(w);
+                }
+            }
+        }
+        for t in 0..n as u32 {
+            let expect = (dist[t as usize] != u32::MAX).then_some(dist[t as usize]);
+            assert_eq!(idx.distance(s, t), expect, "pair ({s} -> {t})");
+        }
+    }
+}
+
+#[test]
+fn weighted_index_matches_dijkstra() {
+    let skeleton = gen::barabasi_albert(200, 3, 21).unwrap();
+    let mut rng = Xoshiro256pp::seed_from_u64(77);
+    let edges: Vec<(u32, u32, u32)> = skeleton
+        .edges()
+        .map(|(u, v)| (u, v, rng.next_below(50) as u32 + 1))
+        .collect();
+    let g = WeightedGraph::from_edges(200, &edges).unwrap();
+    let idx = WeightedIndexBuilder::new().build(&g).unwrap();
+    let mut engine = dijkstra::DijkstraEngine::new(200);
+    for s in (0..200u32).step_by(11) {
+        for t in (0..200u32).step_by(7) {
+            assert_eq!(idx.distance(s, t), engine.distance(&g, s, t), "({s}, {t})");
+        }
+    }
+}
+
+#[test]
+fn serialization_and_disk_agree_with_memory() {
+    let g = gen::copying_model(400, 5, 0.8, 13).unwrap();
+    let idx = IndexBuilder::new().bit_parallel_roots(8).build(&g).unwrap();
+
+    // Binary round-trip.
+    let mut buf = Vec::new();
+    serialize::save_index(&idx, &mut buf).unwrap();
+    let loaded = serialize::load_index(buf.as_slice()).unwrap();
+
+    // Disk index.
+    let mut path = std::env::temp_dir();
+    path.push(format!("pll_integration_{}.idx", std::process::id()));
+    disk::write_disk_index(&idx, &path).unwrap();
+    let mut on_disk = disk::DiskIndex::open(&path).unwrap();
+
+    for s in (0..400u32).step_by(31) {
+        for t in (0..400u32).step_by(29) {
+            let expect = idx.distance(s, t);
+            assert_eq!(loaded.distance(s, t), expect);
+            assert_eq!(on_disk.distance(s, t).unwrap(), expect);
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn weighted_unit_graph_agrees_with_unweighted_index() {
+    let g = gen::erdos_renyi_gnm(150, 400, 3).unwrap();
+    let unweighted = IndexBuilder::new().bit_parallel_roots(4).build(&g).unwrap();
+    let weighted = WeightedIndexBuilder::new()
+        .build(&WeightedGraph::from_unweighted(&g))
+        .unwrap();
+    for s in (0..150u32).step_by(13) {
+        for t in (0..150u32).step_by(11) {
+            assert_eq!(
+                unweighted.distance(s, t).map(u64::from),
+                weighted.distance(s, t),
+                "({s}, {t})"
+            );
+        }
+    }
+}
