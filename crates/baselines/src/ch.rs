@@ -94,10 +94,8 @@ impl ContractionHierarchy {
             pos += 1;
             contracted[v as usize] = true;
 
-            let neighbours: Vec<(Vertex, u32)> = adj[v as usize]
-                .iter()
-                .map(|(&u, &w)| (u, w))
-                .collect();
+            let neighbours: Vec<(Vertex, u32)> =
+                adj[v as usize].iter().map(|(&u, &w)| (u, w)).collect();
             up[v as usize] = neighbours.clone();
 
             for i in 0..neighbours.len() {
@@ -172,8 +170,14 @@ impl ContractionHierarchy {
 
     /// Exact distance via bidirectional upward Dijkstra.
     pub fn distance(&self, s: Vertex, t: Vertex) -> Option<u32> {
-        assert!((s as usize) < self.num_vertices(), "vertex {s} out of range");
-        assert!((t as usize) < self.num_vertices(), "vertex {t} out of range");
+        assert!(
+            (s as usize) < self.num_vertices(),
+            "vertex {s} out of range"
+        );
+        assert!(
+            (t as usize) < self.num_vertices(),
+            "vertex {t} out of range"
+        );
         if s == t {
             return Some(0);
         }

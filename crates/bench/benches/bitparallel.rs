@@ -29,7 +29,10 @@ fn bench_bitparallel(c: &mut Criterion) {
     // Query cost with small vs large t.
     let pairs = random_pairs(n, 1024, 3);
     let idx0 = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
-    let idx64 = IndexBuilder::new().bit_parallel_roots(64).build(&g).unwrap();
+    let idx64 = IndexBuilder::new()
+        .bit_parallel_roots(64)
+        .build(&g)
+        .unwrap();
     let mut group = c.benchmark_group("bitparallel_query");
     group.bench_function("query_t0", |b| {
         let mut i = 0usize;

@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark: batch-parallel index construction
+//! (`IndexBuilder::threads`) against the sequential path, sweeping the
+//! thread count on the two synthetic families the acceptance criteria
+//! name — Barabási–Albert (scale-free, the paper's social-network shape)
+//! and R-MAT (skewed Graph500 shape).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pll_core::IndexBuilder;
+use pll_graph::gen::{self, RmatParams};
+
+fn bench_par_construction(c: &mut Criterion) {
+    let ba = gen::barabasi_albert(50_000, 3, 42).expect("BA generator");
+    let rmat = gen::rmat(15, 8, RmatParams::GRAPH500, 42).expect("R-MAT generator");
+
+    for (family, g) in [("ba_50k", &ba), ("rmat_s15", &rmat)] {
+        let mut group = c.benchmark_group(format!("par_construction/{family}"));
+        group.sample_size(10);
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_function(BenchmarkId::new("threads", threads), |b| {
+                b.iter(|| {
+                    let builder = IndexBuilder::new().bit_parallel_roots(16).threads(threads);
+                    std::hint::black_box(builder.build(g).expect("build"))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_par_construction
+}
+criterion_main!(benches);

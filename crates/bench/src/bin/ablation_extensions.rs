@@ -13,8 +13,7 @@
 //! ```
 
 use pll_bench::{
-    fmt_bytes, fmt_query_time, load_dataset, measure_avg_query_seconds, random_pairs,
-    HarnessConfig,
+    fmt_bytes, fmt_query_time, load_dataset, measure_avg_query_seconds, random_pairs, HarnessConfig,
 };
 use pll_core::{CompactIndex, IndexBuilder, ReducedPllIndex};
 
@@ -47,8 +46,8 @@ fn main() {
         let (qt_red, _) = measure_avg_query_seconds(&pairs, |s, t| reduced.distance(s, t));
         let (qt_comp, _) = measure_avg_query_seconds(&pairs, |s, t| compact.distance(s, t));
 
-        let core_frac = 100.0 * reduced.peeling().core().num_vertices() as f64
-            / g.num_vertices().max(1) as f64;
+        let core_frac =
+            100.0 * reduced.peeling().core().num_vertices() as f64 / g.num_vertices().max(1) as f64;
         println!(
             "{:<11} {:>6.1}% {:>10} {:>10} {:>10} {:>9} {:>9} {:>9}",
             spec.name,

@@ -1,0 +1,123 @@
+//! Construction-throughput harness: builds the index on synthetic BA and
+//! R-MAT graphs over a sweep of thread counts and emits one JSON record
+//! per (graph, threads) pair, so successive PRs have a comparable perf
+//! trajectory (see `scripts/bench_construction.sh`).
+//!
+//! ```text
+//! bench_construction [--n N] [--threads 1,2,4,8] [--out FILE] [--bp-roots t]
+//! ```
+//!
+//! Output: a JSON array of
+//! `{graph, n, m, threads, seconds, labels_per_vertex, speedup_vs_1}`.
+
+use pll_bench::time;
+use pll_core::IndexBuilder;
+use pll_graph::gen::{self, RmatParams};
+use pll_graph::CsrGraph;
+use std::io::Write;
+
+struct Options {
+    n: usize,
+    threads: Vec<usize>,
+    out: String,
+    bp_roots: usize,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        n: 100_000,
+        threads: vec![1, 2, 4, 8],
+        out: "BENCH_construction.json".to_string(),
+        bp_roots: 16,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value after {}", args[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--n" => opts.n = value(&mut i).parse().expect("--n"),
+            "--threads" => {
+                opts.threads = value(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--threads"))
+                    .collect();
+            }
+            "--out" => opts.out = value(&mut i),
+            "--bp-roots" => opts.bp_roots = value(&mut i).parse().expect("--bp-roots"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "bench_construction [--n N] [--threads 1,2,4,8] [--out FILE] [--bp-roots t]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+
+    // R-MAT scale: nearest power of two at or above --n.
+    let rmat_scale = (opts.n.max(2) as f64).log2().ceil() as u32;
+    let graphs: Vec<(&str, CsrGraph)> = vec![
+        (
+            "barabasi_albert",
+            gen::barabasi_albert(opts.n, 3, 42).expect("BA generator"),
+        ),
+        (
+            "rmat",
+            gen::rmat(rmat_scale, 8, RmatParams::GRAPH500, 42).expect("R-MAT generator"),
+        ),
+    ];
+
+    let mut records: Vec<String> = Vec::new();
+    for (name, g) in &graphs {
+        // Measure the whole sweep first; speedups are computed afterwards
+        // against the threads=1 entry wherever it appears in the sweep
+        // (JSON null when the sweep has no 1-thread baseline).
+        let mut runs: Vec<(usize, f64, f64)> = Vec::new();
+        for &threads in &opts.threads {
+            let builder = IndexBuilder::new()
+                .bit_parallel_roots(opts.bp_roots)
+                .threads(threads);
+            let (index, seconds) = time(|| builder.build(g).expect("construction"));
+            eprintln!(
+                "{name}: n={} m={} threads={threads} {seconds:.3}s ({:.2} labels/vertex)",
+                g.num_vertices(),
+                g.num_edges(),
+                index.avg_label_size(),
+            );
+            runs.push((threads, seconds, index.avg_label_size()));
+        }
+        let baseline = runs.iter().find(|&&(t, _, _)| t == 1).map(|&(_, s, _)| s);
+        for (threads, seconds, labels_per_vertex) in runs {
+            let speedup = baseline.map_or("null".to_string(), |b| format!("{:.4}", b / seconds));
+            records.push(format!(
+                "  {{\"graph\": \"{name}\", \"n\": {}, \"m\": {}, \"threads\": {threads}, \
+                 \"seconds\": {seconds:.6}, \"labels_per_vertex\": {labels_per_vertex:.4}, \
+                 \"speedup_vs_1\": {speedup}}}",
+                g.num_vertices(),
+                g.num_edges(),
+            ));
+        }
+    }
+
+    let json = format!("[\n{}\n]\n", records.join(",\n"));
+    let mut f = std::fs::File::create(&opts.out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output file");
+    eprintln!("wrote {}", opts.out);
+}

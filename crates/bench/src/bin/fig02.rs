@@ -45,7 +45,11 @@ fn run_group(title: &str, specs: &[&DatasetSpec], cfg: &HarnessConfig) {
                 .build(&g)
                 .expect("construction")
         });
-        eprintln!("[{}] index for sampling built in {}", spec.name, fmt_secs(secs));
+        eprintln!(
+            "[{}] index for sampling built in {}",
+            spec.name,
+            fmt_secs(secs)
+        );
         let samples = cfg.queries.clamp(10_000, 1_000_000);
         let pairs = random_pairs(g.num_vertices(), samples, spec.seed ^ 0xF16);
         let mut counts: Vec<usize> = Vec::new();

@@ -7,8 +7,8 @@
 //! ```
 
 use pll_bench::{
-    fmt_bytes, fmt_query_time, fmt_secs, load_dataset, measure_avg_query_seconds,
-    random_pairs, time, HarnessConfig,
+    fmt_bytes, fmt_query_time, fmt_secs, load_dataset, measure_avg_query_seconds, random_pairs,
+    time, HarnessConfig,
 };
 use pll_core::{IndexBuilder, OrderingStrategy};
 

@@ -13,8 +13,8 @@
 
 use pll_baselines::{CanonicalHubLabeling, ContractionHierarchy};
 use pll_bench::{
-    fmt_count, fmt_query_time, fmt_secs, load_dataset, measure_avg_query_seconds,
-    random_pairs, time, HarnessConfig,
+    fmt_count, fmt_query_time, fmt_secs, load_dataset, measure_avg_query_seconds, random_pairs,
+    time, HarnessConfig,
 };
 use pll_core::{IndexBuilder, OrderingStrategy};
 
@@ -39,8 +39,7 @@ fn main() {
         let ne = fmt_count(m);
 
         // HHL stand-in.
-        let order =
-            pll_core::order::compute_order(&g, &OrderingStrategy::Degree, 0).unwrap();
+        let order = pll_core::order::compute_order(&g, &OrderingStrategy::Degree, 0).unwrap();
         let (chl, hhl_it) = time(|| CanonicalHubLabeling::build(&g, &order));
         let (hhl_qt, _) = measure_avg_query_seconds(&pairs, |s, t| chl.distance(s, t));
         rows.push([

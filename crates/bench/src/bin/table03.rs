@@ -18,8 +18,8 @@
 
 use pll_baselines::{CanonicalHubLabeling, ContractionHierarchy};
 use pll_bench::{
-    fmt_bytes, fmt_query_time, fmt_secs, load_dataset, measure_avg_query_seconds,
-    random_pairs, time, HarnessConfig,
+    fmt_bytes, fmt_query_time, fmt_secs, load_dataset, measure_avg_query_seconds, random_pairs,
+    time, HarnessConfig,
 };
 use pll_core::{IndexBuilder, OrderingStrategy};
 use pll_datasets::DATASETS;

@@ -52,9 +52,7 @@ fn main() {
                     );
                     cells.push(format!("{:.0}", index.avg_label_size()));
                 }
-                Err(
-                    PllError::LabelBudgetExceeded { .. } | PllError::TimeBudgetExceeded { .. },
-                ) => {
+                Err(PllError::LabelBudgetExceeded { .. } | PllError::TimeBudgetExceeded { .. }) => {
                     eprintln!(
                         "[{}] {}: DNF (budget exceeded after {})",
                         spec.name,

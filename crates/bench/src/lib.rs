@@ -210,11 +210,10 @@ fn group_thousands(mut x: u64) -> String {
     parts.join(",")
 }
 
-/// Answers a batch of distance queries on `threads` crossbeam-scoped
-/// threads (the index is `Sync`; queries are read-only). §4.5 notes that
-/// thread-level parallelism composes with the labeling — this utility
-/// demonstrates it on the query side and backs the throughput numbers in
-/// EXPERIMENTS.md.
+/// Answers a batch of distance queries on `threads` scoped threads (the
+/// index is `Sync`; queries are read-only). §4.5 notes that thread-level
+/// parallelism composes with the labeling — this utility demonstrates it on
+/// the query side and backs the throughput numbers in EXPERIMENTS.md.
 pub fn par_distances(
     index: &pll_core::PllIndex,
     pairs: &[(Vertex, Vertex)],
@@ -226,16 +225,15 @@ pub fn par_distances(
         return pairs.iter().map(|&(s, t)| index.distance(s, t)).collect();
     }
     let mut out: Vec<Option<u32>> = vec![None; pairs.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (pair_chunk, out_chunk) in pairs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, &(s, t)) in out_chunk.iter_mut().zip(pair_chunk.iter()) {
                     *slot = index.distance(s, t);
                 }
             });
         }
-    })
-    .expect("query worker panicked");
+    });
     out
 }
 
@@ -317,16 +315,12 @@ mod tests {
             .build(&g)
             .unwrap();
         let pairs = random_pairs(400, 500, 9);
-        let seq: Vec<Option<u32>> =
-            pairs.iter().map(|&(s, t)| index.distance(s, t)).collect();
+        let seq: Vec<Option<u32>> = pairs.iter().map(|&(s, t)| index.distance(s, t)).collect();
         for threads in [1, 2, 4] {
             assert_eq!(par_distances(&index, &pairs, threads), seq);
         }
         // Tiny batch falls back to sequential.
-        assert_eq!(
-            par_distances(&index, &pairs[..3], 8),
-            seq[..3].to_vec()
-        );
+        assert_eq!(par_distances(&index, &pairs[..3], 8), seq[..3].to_vec());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use pll_core::OrderingStrategy;
 pub const USAGE: &str = "\
 usage:
   pll build <edges.txt> <out.idx> [--order degree|random|closeness]
-            [--bp-roots t] [--seed s]
+            [--bp-roots t] [--seed s] [--threads k]   (k=0: all CPUs)
   pll query <index.idx> <s> <t> [<s> <t> ...]
   pll stats <index.idx>
   pll bench <index.idx> [--queries q] [--seed s]";
@@ -33,6 +33,8 @@ pub enum Parsed {
         bp_roots: usize,
         /// Ordering seed.
         seed: u64,
+        /// Construction worker threads (1 = sequential, 0 = all CPUs).
+        threads: usize,
     },
     /// `pll query`.
     Query {
@@ -87,22 +89,19 @@ impl Parsed {
                 let mut order = OrderingStrategy::Degree;
                 let mut bp_roots = 16usize;
                 let mut seed = 0u64;
+                let mut threads = 1usize;
                 let rest: Vec<&String> = it.collect();
                 let mut i = 0;
                 while i < rest.len() {
                     match rest[i].as_str() {
                         "--order" => {
                             i += 1;
-                            let val = rest
-                                .get(i)
-                                .ok_or_else(|| usage("--order needs a value"))?;
+                            let val = rest.get(i).ok_or_else(|| usage("--order needs a value"))?;
                             order = match val.as_str() {
                                 "degree" => OrderingStrategy::Degree,
                                 "random" => OrderingStrategy::Random,
                                 "closeness" => OrderingStrategy::Closeness { samples: 32 },
-                                other => {
-                                    return Err(usage(format!("unknown order {other:?}")))
-                                }
+                                other => return Err(usage(format!("unknown order {other:?}"))),
                             };
                         }
                         "--bp-roots" => {
@@ -114,9 +113,15 @@ impl Parsed {
                         }
                         "--seed" => {
                             i += 1;
-                            let val =
-                                rest.get(i).ok_or_else(|| usage("--seed needs a value"))?;
+                            let val = rest.get(i).ok_or_else(|| usage("--seed needs a value"))?;
                             seed = parse_num(val, "--seed")?;
+                        }
+                        "--threads" => {
+                            i += 1;
+                            let val = rest
+                                .get(i)
+                                .ok_or_else(|| usage("--threads needs a value"))?;
+                            threads = parse_num(val, "--threads")?;
                         }
                         other => return Err(usage(format!("unknown option {other:?}"))),
                     }
@@ -128,6 +133,7 @@ impl Parsed {
                     order,
                     bp_roots,
                     seed,
+                    threads,
                 })
             }
             "query" => {
@@ -178,8 +184,7 @@ impl Parsed {
                         }
                         "--seed" => {
                             i += 1;
-                            let val =
-                                rest.get(i).ok_or_else(|| usage("--seed needs a value"))?;
+                            let val = rest.get(i).ok_or_else(|| usage("--seed needs a value"))?;
                             seed = parse_num(val, "--seed")?;
                         }
                         other => return Err(usage(format!("unknown option {other:?}"))),
@@ -215,12 +220,14 @@ mod tests {
                 order,
                 bp_roots,
                 seed,
+                threads,
             } => {
                 assert_eq!(edges, "in.txt");
                 assert_eq!(output, "out.idx");
                 assert_eq!(order, OrderingStrategy::Degree);
                 assert_eq!(bp_roots, 16);
                 assert_eq!(seed, 0);
+                assert_eq!(threads, 1);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -229,16 +236,31 @@ mod tests {
     #[test]
     fn parse_build_options() {
         let p = Parsed::parse(&argv(&[
-            "build", "a", "b", "--order", "closeness", "--bp-roots", "64", "--seed", "9",
+            "build",
+            "a",
+            "b",
+            "--order",
+            "closeness",
+            "--bp-roots",
+            "64",
+            "--seed",
+            "9",
+            "--threads",
+            "8",
         ]))
         .unwrap();
         match p {
             Parsed::Build {
-                order, bp_roots, seed, ..
+                order,
+                bp_roots,
+                seed,
+                threads,
+                ..
             } => {
                 assert_eq!(order, OrderingStrategy::Closeness { samples: 32 });
                 assert_eq!(bp_roots, 64);
                 assert_eq!(seed, 9);
+                assert_eq!(threads, 8);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -266,6 +288,8 @@ mod tests {
         assert!(Parsed::parse(&argv(&["stats", "x.idx", "extra"])).is_err());
         assert!(Parsed::parse(&argv(&["bench", "x.idx", "--queries"])).is_err());
         assert!(Parsed::parse(&argv(&["build", "a", "b", "--order", "nope"])).is_err());
+        assert!(Parsed::parse(&argv(&["build", "a", "b", "--threads"])).is_err());
+        assert!(Parsed::parse(&argv(&["build", "a", "b", "--threads", "x"])).is_err());
     }
 
     #[test]

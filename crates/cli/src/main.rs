@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! pll build <edges.txt> <out.idx> [--order degree|random|closeness]
-//!           [--bp-roots t] [--seed s]
+//!           [--bp-roots t] [--seed s] [--threads k]
 //! pll query <index.idx> <s> <t> [...more pairs]
 //! pll stats <index.idx>
 //! pll bench <index.idx> [--queries q] [--seed s]
@@ -47,7 +47,8 @@ fn run(argv: &[String]) -> Result<(), String> {
             order,
             bp_roots,
             seed,
-        } => build(&edges, &output, order, bp_roots, seed),
+            threads,
+        } => build(&edges, &output, order, bp_roots, seed, threads),
         Parsed::Query { index, pairs } => query(&index, &pairs),
         Parsed::Stats { index } => stats(&index),
         Parsed::Bench {
@@ -69,6 +70,7 @@ fn build(
     order: OrderingStrategy,
     bp_roots: usize,
     seed: u64,
+    threads: usize,
 ) -> Result<(), String> {
     let file = File::open(edges).map_err(|e| format!("cannot open {edges}: {e}"))?;
     let started = Instant::now();
@@ -86,14 +88,17 @@ fn build(
         .ordering(order)
         .bit_parallel_roots(bp_roots)
         .seed(seed)
+        .threads(threads)
         .build(&graph)
         .map_err(|e| format!("construction failed: {e}"))?;
     eprintln!(
-        "index: avg label {:.1}+{} entries, {} bytes ({:.2} s)",
+        "index: avg label {:.1}+{} entries, {} bytes ({:.2} s, {} thread{})",
         index.avg_label_size(),
         bp_roots,
         index.memory_bytes(),
-        started.elapsed().as_secs_f64()
+        started.elapsed().as_secs_f64(),
+        index.stats().threads,
+        if index.stats().threads == 1 { "" } else { "s" },
     );
 
     let out = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;

@@ -66,11 +66,7 @@ impl BitParallelLabels {
     }
 
     /// Reassembles from raw parts (deserialisation).
-    pub(crate) fn from_raw(
-        num_vertices: usize,
-        roots: Vec<Rank>,
-        entries: Vec<BpEntry>,
-    ) -> Self {
+    pub(crate) fn from_raw(num_vertices: usize, roots: Vec<Rank>, entries: Vec<BpEntry>) -> Self {
         BitParallelLabels {
             num_roots: roots.len(),
             num_vertices,
@@ -116,79 +112,28 @@ impl BitParallelLabels {
         sub: &[Rank],
         scratch: &mut BpScratch,
     ) -> Result<()> {
-        debug_assert!(sub.len() <= BP_WIDTH);
         let t = self.num_roots;
+        level_sync_bfs(g, root, sub, scratch)?;
         self.roots[i] = root;
-
-        scratch.reset();
-        let BpScratch {
-            dist,
-            set_minus1,
-            set_zero,
-            visited,
-            sibling_edges,
-            child_edges,
-        } = scratch;
-
-        // Level 0: the root. Level 1 (pre-seeded): the selected neighbours,
-        // each owning one bit of the masks.
-        dist[root as usize] = 0;
-        visited.push(root);
-        let mut current: Vec<Rank> = vec![root];
-        let mut next: Vec<Rank> = Vec::new();
-        for (k, &v) in sub.iter().enumerate() {
-            debug_assert!(g.has_edge(root, v), "S_r must be neighbours of the root");
-            dist[v as usize] = 1;
-            set_minus1[v as usize] = 1u64 << k;
-            visited.push(v);
-            next.push(v);
-        }
-
-        let mut level: u32 = 0;
-        while !current.is_empty() {
-            sibling_edges.clear();
-            child_edges.clear();
-            for &v in current.iter() {
-                for &u in g.neighbors(v) {
-                    let du = dist[u as usize];
-                    if du == INF8 {
-                        if level as u8 >= MAX_DIST {
-                            return Err(PllError::DiameterTooLarge { root_rank: root });
-                        }
-                        dist[u as usize] = level as u8 + 1;
-                        visited.push(u);
-                        next.push(u);
-                        child_edges.push((v, u));
-                    } else if du as u32 == level + 1 {
-                        child_edges.push((v, u));
-                    } else if du as u32 == level {
-                        sibling_edges.push((v, u));
-                    }
-                }
-            }
-            // Propagate masks: siblings first (S⁰ ← S⁻¹ of same level), then
-            // children (S⁻¹ ← S⁻¹, S⁰ ← S⁰ of previous level). Matches the
-            // E0/E1 passes of Algorithm 3.
-            for &(v, u) in sibling_edges.iter() {
-                set_zero[u as usize] |= set_minus1[v as usize];
-            }
-            for &(v, u) in child_edges.iter() {
-                set_minus1[u as usize] |= set_minus1[v as usize];
-                set_zero[u as usize] |= set_zero[v as usize];
-            }
-            std::mem::swap(&mut current, &mut next);
-            next.clear();
-            level += 1;
-        }
-
-        for &v in visited.iter() {
+        for &v in scratch.visited.iter() {
             self.entries[v as usize * t + i] = BpEntry {
-                dist: dist[v as usize],
-                set_minus1: set_minus1[v as usize],
-                set_zero: set_zero[v as usize],
+                dist: scratch.dist[v as usize],
+                set_minus1: scratch.set_minus1[v as usize],
+                set_zero: scratch.set_zero[v as usize],
             };
         }
         Ok(())
+    }
+
+    /// Writes one root's sparse column (produced by [`bp_bfs_column`] on a
+    /// worker thread) into arena slot `i`. Untouched vertices keep their
+    /// `UNREACHED` entries.
+    pub(crate) fn set_root_column(&mut self, i: usize, root: Rank, column: &[(Rank, BpEntry)]) {
+        let t = self.num_roots;
+        self.roots[i] = root;
+        for &(v, e) in column {
+            self.entries[v as usize * t + i] = e;
+        }
     }
 
     /// Upper bound on `d(s, t)` via every BP root: for each root `r`,
@@ -244,6 +189,137 @@ impl BitParallelLabels {
     }
 }
 
+/// The level-synchronous BFS of Algorithm 3, leaving per-vertex distances,
+/// masks and the touched-vertex list in `scratch`. Shared by the in-place
+/// sequential path ([`BitParallelLabels::run_root`]) and the column-wise
+/// parallel path ([`bp_bfs_column`]).
+fn level_sync_bfs(g: &CsrGraph, root: Rank, sub: &[Rank], scratch: &mut BpScratch) -> Result<()> {
+    debug_assert!(sub.len() <= BP_WIDTH);
+    scratch.reset();
+    let BpScratch {
+        dist,
+        set_minus1,
+        set_zero,
+        visited,
+        sibling_edges,
+        child_edges,
+    } = scratch;
+
+    // Level 0: the root. Level 1 (pre-seeded): the selected neighbours,
+    // each owning one bit of the masks.
+    dist[root as usize] = 0;
+    visited.push(root);
+    let mut current: Vec<Rank> = vec![root];
+    let mut next: Vec<Rank> = Vec::new();
+    for (k, &v) in sub.iter().enumerate() {
+        debug_assert!(g.has_edge(root, v), "S_r must be neighbours of the root");
+        dist[v as usize] = 1;
+        set_minus1[v as usize] = 1u64 << k;
+        visited.push(v);
+        next.push(v);
+    }
+
+    let mut level: u32 = 0;
+    while !current.is_empty() {
+        sibling_edges.clear();
+        child_edges.clear();
+        for &v in current.iter() {
+            for &u in g.neighbors(v) {
+                let du = dist[u as usize];
+                if du == INF8 {
+                    if level as u8 >= MAX_DIST {
+                        return Err(PllError::DiameterTooLarge { root_rank: root });
+                    }
+                    dist[u as usize] = level as u8 + 1;
+                    visited.push(u);
+                    next.push(u);
+                    child_edges.push((v, u));
+                } else if du as u32 == level + 1 {
+                    child_edges.push((v, u));
+                } else if du as u32 == level {
+                    sibling_edges.push((v, u));
+                }
+            }
+        }
+        // Propagate masks: siblings first (S⁰ ← S⁻¹ of same level), then
+        // children (S⁻¹ ← S⁻¹, S⁰ ← S⁰ of previous level). Matches the
+        // E0/E1 passes of Algorithm 3.
+        for &(v, u) in sibling_edges.iter() {
+            set_zero[u as usize] |= set_minus1[v as usize];
+        }
+        for &(v, u) in child_edges.iter() {
+            set_minus1[u as usize] |= set_minus1[v as usize];
+            set_zero[u as usize] |= set_zero[v as usize];
+        }
+        std::mem::swap(&mut current, &mut next);
+        next.clear();
+        level += 1;
+    }
+    Ok(())
+}
+
+/// Runs one bit-parallel BFS into a sparse `(vertex, entry)` column. This
+/// is the thread-friendly entry point: it only touches `scratch`, so each
+/// worker owns a [`BpScratch`] and the main thread commits the columns into
+/// the arena with [`BitParallelLabels::set_root_column`].
+pub(crate) fn bp_bfs_column(
+    g: &CsrGraph,
+    root: Rank,
+    sub: &[Rank],
+    scratch: &mut BpScratch,
+) -> Result<Vec<(Rank, BpEntry)>> {
+    level_sync_bfs(g, root, sub, scratch)?;
+    Ok(scratch
+        .visited
+        .iter()
+        .map(|&v| {
+            (
+                v,
+                BpEntry {
+                    dist: scratch.dist[v as usize],
+                    set_minus1: scratch.set_minus1[v as usize],
+                    set_zero: scratch.set_zero[v as usize],
+                },
+            )
+        })
+        .collect())
+}
+
+/// Selects the `t` bit-parallel roots and their neighbour sets exactly as
+/// §5.4 prescribes — highest-priority unused vertex plus up to 64 of its
+/// highest-priority unused neighbours — marking every chosen vertex in
+/// `usd`. Selection only reads and writes `usd` (never the BFS results), so
+/// the sequential and batch-parallel builds share it and pick identical
+/// roots.
+pub(crate) fn select_bp_roots(g: &CsrGraph, usd: &mut [bool], t: usize) -> Vec<(Rank, Vec<Rank>)> {
+    let n = g.num_vertices();
+    let mut specs = Vec::with_capacity(t);
+    let mut cursor = 0usize;
+    for _ in 0..t {
+        while cursor < n && usd[cursor] {
+            cursor += 1;
+        }
+        if cursor >= n {
+            break; // remaining slots stay exhausted
+        }
+        let root = cursor as Rank;
+        usd[cursor] = true;
+        let mut sub: Vec<Rank> = Vec::new();
+        // Neighbours are sorted by rank, i.e. highest priority first.
+        for &v in g.neighbors(root) {
+            if !usd[v as usize] {
+                usd[v as usize] = true;
+                sub.push(v);
+                if sub.len() == BP_WIDTH {
+                    break;
+                }
+            }
+        }
+        specs.push((root, sub));
+    }
+    specs
+}
+
 /// Reusable scratch buffers for bit-parallel BFSs.
 #[derive(Clone, Debug)]
 pub(crate) struct BpScratch {
@@ -280,8 +356,8 @@ impl BpScratch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pll_graph::traversal::bfs;
     use pll_graph::gen;
+    use pll_graph::traversal::bfs;
 
     /// Builds BP labels with a single root (rank space == vertex space).
     fn bp_single_root(g: &CsrGraph, root: Rank, sub: &[Rank]) -> BitParallelLabels {
@@ -324,10 +400,7 @@ mod tests {
 
         let mut sources = vec![root];
         sources.extend_from_slice(&sub);
-        let dists: Vec<Vec<u32>> = sources
-            .iter()
-            .map(|&u| bfs::distances(&g, u))
-            .collect();
+        let dists: Vec<Vec<u32>> = sources.iter().map(|&u| bfs::distances(&g, u)).collect();
         for s in 0..60u32 {
             for t in 0..60u32 {
                 let expected = dists
@@ -335,7 +408,11 @@ mod tests {
                     .map(|d| d[s as usize].saturating_add(d[t as usize]))
                     .min()
                     .unwrap();
-                let expected = if expected == INF_QUERY { INF_QUERY } else { expected };
+                let expected = if expected == INF_QUERY {
+                    INF_QUERY
+                } else {
+                    expected
+                };
                 assert_eq!(bp.query(s, t), expected, "pair ({s}, {t})");
             }
         }

@@ -18,14 +18,28 @@
 //! temp array are 8-bit and reset lazily (touched entries only), labels are
 //! appended in rank order, and the final arena adds sentinels (§4.5
 //! "Sentinel").
+//!
+//! # Batch-parallel construction
+//!
+//! [`IndexBuilder::threads`] selects the batch-parallel path implemented in
+//! [`crate::par`]: roots are processed in rank-ordered *batches*, each
+//! batch's pruned BFSs run concurrently on worker threads with thread-local
+//! 8-bit tentative/temp scratch (reset lazily, exactly as the sequential
+//! path does), and each BFS buffers its would-be label entries instead of
+//! writing them. At the batch barrier the buffers are committed in rank
+//! order; because an in-batch BFS could not see labels produced by
+//! lower-ranked roots of the *same* batch, a cheap re-prune pass removes
+//! every buffered entry that a same-batch hub certifies, which restores the
+//! canonical labeling. The result is **byte-identical to the sequential
+//! build** — see the determinism argument in [`crate::par`]'s module docs.
 
-use crate::bp::{BitParallelLabels, BpScratch};
+use crate::bp::{select_bp_roots, BitParallelLabels, BpEntry, BpScratch};
 use crate::error::{PllError, Result};
 use crate::index::PllIndex;
 use crate::label::LabelSet;
 use crate::order::{compute_order, OrderingStrategy};
 use crate::stats::{ConstructionStats, RootStats};
-use crate::types::{Dist, Rank, BP_WIDTH, INF8, INF_QUERY, MAX_DIST, RANK_SENTINEL};
+use crate::types::{Dist, Rank, INF8, INF_QUERY, MAX_DIST, RANK_SENTINEL};
 use pll_graph::reorder::{apply_order, inverse_permutation};
 use pll_graph::{CsrGraph, Vertex};
 use std::time::Instant;
@@ -46,13 +60,14 @@ use std::time::Instant;
 /// ```
 #[derive(Clone, Debug)]
 pub struct IndexBuilder {
-    ordering: OrderingStrategy,
-    bp_roots: usize,
-    store_parents: bool,
-    seed: u64,
-    record_root_stats: bool,
-    abort_avg_label: Option<f64>,
-    abort_seconds: Option<f64>,
+    pub(crate) ordering: OrderingStrategy,
+    pub(crate) bp_roots: usize,
+    pub(crate) store_parents: bool,
+    pub(crate) seed: u64,
+    pub(crate) record_root_stats: bool,
+    pub(crate) abort_avg_label: Option<f64>,
+    pub(crate) abort_seconds: Option<f64>,
+    pub(crate) threads: usize,
 }
 
 impl Default for IndexBuilder {
@@ -74,7 +89,35 @@ impl IndexBuilder {
             record_root_stats: false,
             abort_avg_label: None,
             abort_seconds: None,
+            threads: 1,
         }
+    }
+
+    /// Sets the number of worker threads for the batch-parallel
+    /// construction path (see the module docs and [`crate::par`]).
+    ///
+    /// * `1` (the default) — the sequential Algorithm 1 path;
+    /// * `k > 1` — batch-parallel construction on `k` threads (clamped to
+    ///   [`crate::par::max_threads`]), producing a [`LabelSet`]
+    ///   byte-identical to the sequential build — successful builds return
+    ///   identical indices at every thread count;
+    /// * `0` — auto-detect: one thread per available CPU.
+    ///
+    /// Incompatible with [`IndexBuilder::store_parents`]: parent pointers
+    /// depend on BFS queue order, which the parallel path does not
+    /// reproduce. (Checked against the requested value, so
+    /// `threads(0)` + `store_parents(true)` fails on every host.)
+    ///
+    /// Two error-path behaviours differ from `threads(1)`, by design:
+    /// a multi-threaded build can return [`PllError::DiameterTooLarge`]
+    /// on a graph whose sequential build prunes every search short of the
+    /// 8-bit ceiling (its relaxed in-batch BFSs explore further; such
+    /// graphs need the weighted index either way), and
+    /// [`IndexBuilder::abort_after_seconds`] is checked at batch rather
+    /// than per-root granularity.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Sets the vertex ordering strategy (§4.4).
@@ -148,6 +191,22 @@ impl IndexBuilder {
                     .into(),
             });
         }
+        // Validate the *requested* combination, not the resolved thread
+        // count: `threads(0)` (auto) may resolve to 1 on a single-core
+        // host, and `store_parents` must not succeed or fail depending on
+        // the machine it runs on.
+        if self.store_parents && self.threads != 1 {
+            return Err(PllError::IncompatibleOptions {
+                message: "store_parents(true) requires threads(1): parent pointers \
+                          depend on BFS queue order, which the parallel path does not \
+                          reproduce"
+                    .into(),
+            });
+        }
+        let threads = crate::par::resolve_threads(self.threads);
+        if threads > 1 {
+            return crate::par::build_parallel(self, g, observer, threads);
+        }
         let n = g.num_vertices();
         if n > u32::MAX as usize - 1 {
             return Err(PllError::Graph(pll_graph::GraphError::TooLarge {
@@ -164,6 +223,7 @@ impl IndexBuilder {
 
         let mut stats = ConstructionStats {
             order_seconds,
+            threads: 1,
             per_root: self.record_root_stats.then(Vec::new),
             ..Default::default()
         };
@@ -179,28 +239,7 @@ impl IndexBuilder {
         let mut bp = BitParallelLabels::new(n, t);
         {
             let mut scratch = BpScratch::new(n);
-            let mut cursor = 0usize;
-            let mut sub: Vec<Rank> = Vec::with_capacity(BP_WIDTH);
-            for i in 0..t {
-                while cursor < n && usd[cursor] {
-                    cursor += 1;
-                }
-                if cursor >= n {
-                    break; // remaining slots stay exhausted
-                }
-                let root = cursor as Rank;
-                usd[cursor] = true;
-                sub.clear();
-                // Neighbours are sorted by rank, i.e. highest priority first.
-                for &v in h.neighbors(root) {
-                    if !usd[v as usize] {
-                        usd[v as usize] = true;
-                        sub.push(v);
-                        if sub.len() == BP_WIDTH {
-                            break;
-                        }
-                    }
-                }
+            for (i, (root, sub)) in select_bp_roots(&h, &mut usd, t).into_iter().enumerate() {
                 bp.run_root(&h, i, root, &sub, &mut scratch)?;
                 stats.bp_roots_used += 1;
             }
@@ -222,8 +261,7 @@ impl IndexBuilder {
             Vec::new()
         };
         let mut queue: Vec<Rank> = Vec::with_capacity(n);
-        let label_budget_entries =
-            self.abort_avg_label.map(|b| (b * n as f64).ceil() as u64);
+        let label_budget_entries = self.abort_avg_label.map(|b| (b * n as f64).ceil() as u64);
 
         {
             observer.after_bp_phase(&PartialIndex {
@@ -265,41 +303,14 @@ impl IndexBuilder {
                 let d = tentative[u as usize];
                 visited += 1;
 
-                // Pruning test (Algorithm 1 line 7): first against
-                // bit-parallel labels (§5.4), then against normal labels via
-                // the temp array.
-                let mut prune = false;
-                let u_bp = bp.entries_of(u);
-                for (a, b) in root_bp.iter().zip(u_bp.iter()) {
-                    if a.dist == INF8 || b.dist == INF8 {
-                        continue;
-                    }
-                    let mut td = a.dist as u32 + b.dist as u32;
-                    if td.saturating_sub(2) <= d as u32 {
-                        if a.set_minus1 & b.set_minus1 != 0 {
-                            td -= 2;
-                        } else if (a.set_minus1 & b.set_zero) | (a.set_zero & b.set_minus1)
-                            != 0
-                        {
-                            td -= 1;
-                        }
-                        if td <= d as u32 {
-                            prune = true;
-                            break;
-                        }
-                    }
-                }
-                if !prune {
-                    let lr = &label_ranks[u as usize];
-                    let ld = &label_dists[u as usize];
-                    for (idx, &w) in lr.iter().enumerate() {
-                        let tw = temp[w as usize];
-                        if tw != INF8 && tw as u32 + ld[idx] as u32 <= d as u32 {
-                            prune = true;
-                            break;
-                        }
-                    }
-                }
+                let prune = prune_test(
+                    &root_bp,
+                    bp.entries_of(u),
+                    &label_ranks[u as usize],
+                    &label_dists[u as usize],
+                    &temp,
+                    d,
+                );
                 if prune {
                     pruned += 1;
                     continue;
@@ -384,6 +395,49 @@ impl IndexBuilder {
     }
 }
 
+/// The pruning test of Algorithm 1 line 7 for a visit of `u` at distance
+/// `d` from the current root: first against bit-parallel labels (§5.4) —
+/// `root_bp`/`u_bp` are the root's and `u`'s BP entries, with the
+/// δ̃−2 / δ̃−1 / δ̃ case analysis of §5.3 — then against normal labels via
+/// the temp array (`temp[w] = d(w, root)`, §4.5 "Querying").
+///
+/// Shared verbatim by the sequential loop and the batch-parallel path in
+/// [`crate::par`]: the parallel build's byte-identical-output contract
+/// depends on both paths pruning with exactly this predicate.
+#[inline]
+pub(crate) fn prune_test(
+    root_bp: &[BpEntry],
+    u_bp: &[BpEntry],
+    u_label_ranks: &[Rank],
+    u_label_dists: &[Dist],
+    temp: &[Dist],
+    d: Dist,
+) -> bool {
+    for (a, b) in root_bp.iter().zip(u_bp.iter()) {
+        if a.dist == INF8 || b.dist == INF8 {
+            continue;
+        }
+        let mut td = a.dist as u32 + b.dist as u32;
+        if td.saturating_sub(2) <= d as u32 {
+            if a.set_minus1 & b.set_minus1 != 0 {
+                td -= 2;
+            } else if (a.set_minus1 & b.set_zero) | (a.set_zero & b.set_minus1) != 0 {
+                td -= 1;
+            }
+            if td <= d as u32 {
+                return true;
+            }
+        }
+    }
+    for (idx, &w) in u_label_ranks.iter().enumerate() {
+        let tw = temp[w as usize];
+        if tw != INF8 && tw as u32 + u_label_dists[idx] as u32 <= d as u32 {
+            return true;
+        }
+    }
+    false
+}
+
 /// Hook into construction progress; see
 /// [`IndexBuilder::build_with_observer`].
 pub trait BuildObserver {
@@ -403,10 +457,10 @@ impl BuildObserver for NoopObserver {}
 /// processed (Theorem 4.1's invariant) — exactly the "covered pairs"
 /// semantics of Figure 4.
 pub struct PartialIndex<'a> {
-    label_ranks: &'a [Vec<Rank>],
-    label_dists: &'a [Vec<Dist>],
-    bp: &'a BitParallelLabels,
-    inv: &'a [Vertex],
+    pub(crate) label_ranks: &'a [Vec<Rank>],
+    pub(crate) label_dists: &'a [Vec<Dist>],
+    pub(crate) bp: &'a BitParallelLabels,
+    pub(crate) inv: &'a [Vertex],
 }
 
 impl PartialIndex<'_> {
@@ -423,8 +477,14 @@ impl PartialIndex<'_> {
         }
         let (ru, rv) = (self.inv[u as usize], self.inv[v as usize]);
         let mut best = self.bp.query(ru, rv);
-        let (ar, ad) = (&self.label_ranks[ru as usize], &self.label_dists[ru as usize]);
-        let (br, bd) = (&self.label_ranks[rv as usize], &self.label_dists[rv as usize]);
+        let (ar, ad) = (
+            &self.label_ranks[ru as usize],
+            &self.label_dists[ru as usize],
+        );
+        let (br, bd) = (
+            &self.label_ranks[rv as usize],
+            &self.label_dists[rv as usize],
+        );
         let (mut i, mut j) = (0usize, 0usize);
         while i < ar.len() && j < br.len() {
             if ar[i] == br[j] {

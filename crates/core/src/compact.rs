@@ -144,8 +144,14 @@ impl CompactIndex {
     ///
     /// Panics if an endpoint is out of range.
     pub fn distance(&self, u: Vertex, v: Vertex) -> Option<u32> {
-        assert!((u as usize) < self.num_vertices(), "vertex {u} out of range");
-        assert!((v as usize) < self.num_vertices(), "vertex {v} out of range");
+        assert!(
+            (u as usize) < self.num_vertices(),
+            "vertex {u} out of range"
+        );
+        assert!(
+            (v as usize) < self.num_vertices(),
+            "vertex {v} out of range"
+        );
         if u == v {
             return Some(0);
         }
@@ -191,8 +197,7 @@ impl CompactIndex {
         if flat == 0 {
             return 1.0;
         }
-        (self.stream.len() + self.offsets.len() * 4 + self.counts.len() * 4) as f64
-            / flat as f64
+        (self.stream.len() + self.offsets.len() * 4 + self.counts.len() * 4) as f64 / flat as f64
     }
 }
 

@@ -70,11 +70,7 @@ impl DirectedIndexBuilder {
             OrderingStrategy::Custom(order) => {
                 if order.len() != n {
                     return Err(PllError::InvalidOrder {
-                        message: format!(
-                            "order has {} entries for {} vertices",
-                            order.len(),
-                            n
-                        ),
+                        message: format!("order has {} entries for {} vertices", order.len(), n),
                     });
                 }
                 let mut seen = vec![false; n];
@@ -124,6 +120,7 @@ impl DirectedIndexBuilder {
         let mut queue: Vec<Rank> = Vec::with_capacity(n);
         let mut stats = ConstructionStats {
             order_seconds,
+            threads: 1,
             ..Default::default()
         };
 
@@ -204,13 +201,31 @@ impl DirectedIndexBuilder {
         for r in 0..n as Rank {
             // Forward: fills L_IN, prunes against L_OUT(r) ∩ L_IN(u).
             pruned_bfs(
-                &h, r, true, &out_ranks, &out_dists, &mut in_ranks, &mut in_dists,
-                &mut tentative, &mut temp, &mut queue, &mut stats,
+                &h,
+                r,
+                true,
+                &out_ranks,
+                &out_dists,
+                &mut in_ranks,
+                &mut in_dists,
+                &mut tentative,
+                &mut temp,
+                &mut queue,
+                &mut stats,
             )?;
             // Backward: fills L_OUT, prunes against L_IN(r) ∩ L_OUT(u).
             pruned_bfs(
-                &h, r, false, &in_ranks, &in_dists, &mut out_ranks, &mut out_dists,
-                &mut tentative, &mut temp, &mut queue, &mut stats,
+                &h,
+                r,
+                false,
+                &in_ranks,
+                &in_dists,
+                &mut out_ranks,
+                &mut out_dists,
+                &mut tentative,
+                &mut temp,
+                &mut queue,
+                &mut stats,
             )?;
             stats.pruned_roots += 1;
         }
@@ -251,8 +266,14 @@ impl DirectedPllIndex {
     ///
     /// Panics if an endpoint is out of range.
     pub fn distance(&self, s: Vertex, t: Vertex) -> Option<u32> {
-        assert!((s as usize) < self.num_vertices(), "vertex {s} out of range");
-        assert!((t as usize) < self.num_vertices(), "vertex {t} out of range");
+        assert!(
+            (s as usize) < self.num_vertices(),
+            "vertex {s} out of range"
+        );
+        assert!(
+            (t as usize) < self.num_vertices(),
+            "vertex {t} out of range"
+        );
         if s == t {
             return Some(0);
         }
@@ -300,9 +321,7 @@ impl DirectedPllIndex {
 
     /// Total index bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.labels_in.memory_bytes()
-            + self.labels_out.memory_bytes()
-            + self.order.len() * 8
+        self.labels_in.memory_bytes() + self.labels_out.memory_bytes() + self.order.len() * 8
     }
 
     /// Raw parts for serialisation: `(order, labels_in, labels_out)`.

@@ -103,9 +103,7 @@ impl PllIndex {
         let rv = self.inv[v as usize];
         let bp_best = self.bp.query(ru, rv);
         match self.labels.query_with_hub(ru, rv) {
-            Some((d, hub)) if d <= bp_best => {
-                Some((d, Some(self.order[hub as usize])))
-            }
+            Some((d, hub)) if d <= bp_best => Some((d, Some(self.order[hub as usize]))),
             Some((_, _)) => Some((bp_best, None)),
             None if bp_best != INF_QUERY => Some((bp_best, None)),
             None => None,
@@ -178,7 +176,13 @@ impl PllIndex {
     /// Internal accessor for serialisation.
     pub(crate) fn parts(
         &self,
-    ) -> (&[Vertex], &[Rank], &LabelSet, &BitParallelLabels, &ConstructionStats) {
+    ) -> (
+        &[Vertex],
+        &[Rank],
+        &LabelSet,
+        &BitParallelLabels,
+        &ConstructionStats,
+    ) {
         (&self.order, &self.inv, &self.labels, &self.bp, &self.stats)
     }
 }
@@ -192,10 +196,7 @@ mod tests {
 
     fn small_index() -> PllIndex {
         let g = gen::barabasi_albert(100, 2, 3).unwrap();
-        IndexBuilder::new()
-            .bit_parallel_roots(2)
-            .build(&g)
-            .unwrap()
+        IndexBuilder::new().bit_parallel_roots(2).build(&g).unwrap()
     }
 
     #[test]

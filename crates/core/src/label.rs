@@ -276,11 +276,7 @@ mod tests {
 
     #[test]
     fn query_with_hub_reports_minimiser() {
-        let ls = LabelSet::from_vecs(
-            &[vec![0, 1], vec![0, 1]],
-            &[vec![5, 1], vec![5, 1]],
-            None,
-        );
+        let ls = LabelSet::from_vecs(&[vec![0, 1], vec![0, 1]], &[vec![5, 1], vec![5, 1]], None);
         assert_eq!(ls.query_with_hub(0, 1), Some((2, 1)));
         let empty = small_set();
         assert_eq!(empty.query_with_hub(0, 2), None);
@@ -319,11 +315,7 @@ mod tests {
     #[test]
     fn merge_query_tie_handling() {
         // Two common hubs with equal sums.
-        let ls = LabelSet::from_vecs(
-            &[vec![0, 3], vec![0, 3]],
-            &[vec![2, 1], vec![2, 1]],
-            None,
-        );
+        let ls = LabelSet::from_vecs(&[vec![0, 3], vec![0, 3]], &[vec![2, 1], vec![2, 1]], None);
         assert_eq!(ls.query(0, 1), 2);
     }
 }

@@ -39,14 +39,15 @@
 #![warn(missing_docs)]
 
 pub mod bp;
-pub mod compact;
 pub mod build;
+pub mod compact;
 pub mod directed;
 pub mod disk;
 pub mod error;
 pub mod index;
 pub mod label;
 pub mod order;
+pub mod par;
 pub mod paths;
 pub mod reduction;
 pub mod serialize;
@@ -56,8 +57,8 @@ pub mod verify;
 pub mod weighted;
 pub mod weighted_directed;
 
-pub use compact::CompactIndex;
 pub use build::{BuildObserver, IndexBuilder, PartialIndex};
+pub use compact::CompactIndex;
 pub use directed::{DirectedIndexBuilder, DirectedPllIndex};
 pub use error::{PllError, Result};
 pub use index::PllIndex;

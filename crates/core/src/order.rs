@@ -63,11 +63,7 @@ impl OrderingStrategy {
 ///
 /// Returns [`PllError::InvalidOrder`] if a custom order is not a permutation
 /// of `0..n`.
-pub fn compute_order(
-    g: &CsrGraph,
-    strategy: &OrderingStrategy,
-    seed: u64,
-) -> Result<Vec<Vertex>> {
+pub fn compute_order(g: &CsrGraph, strategy: &OrderingStrategy, seed: u64) -> Result<Vec<Vertex>> {
     let n = g.num_vertices();
     match strategy {
         OrderingStrategy::Degree => {
@@ -189,8 +185,7 @@ mod tests {
     #[test]
     fn closeness_order_prefers_center_of_path() {
         let g = gen::path(101).unwrap();
-        let order =
-            compute_order(&g, &OrderingStrategy::Closeness { samples: 16 }, 3).unwrap();
+        let order = compute_order(&g, &OrderingStrategy::Closeness { samples: 16 }, 3).unwrap();
         // The path centre minimises total distance; sampled closeness should
         // put some mid-path vertex first, never an endpoint.
         let first = order[0];
@@ -203,8 +198,7 @@ mod tests {
     #[test]
     fn closeness_on_star_prefers_center() {
         let g = gen::star(50).unwrap();
-        let order =
-            compute_order(&g, &OrderingStrategy::Closeness { samples: 8 }, 11).unwrap();
+        let order = compute_order(&g, &OrderingStrategy::Closeness { samples: 8 }, 11).unwrap();
         assert_eq!(order[0], 0);
     }
 
@@ -239,7 +233,10 @@ mod tests {
         let order = compute_order(&g, &OrderingStrategy::Degeneracy, 0).unwrap();
         let first3: Vec<_> = order[..3].to_vec();
         for v in [0u32, 1, 2] {
-            assert!(first3.contains(&v), "core vertex {v} not in front: {first3:?}");
+            assert!(
+                first3.contains(&v),
+                "core vertex {v} not in front: {first3:?}"
+            );
         }
     }
 
@@ -258,7 +255,10 @@ mod tests {
     fn names() {
         assert_eq!(OrderingStrategy::Degree.name(), "Degree");
         assert_eq!(OrderingStrategy::Random.name(), "Random");
-        assert_eq!(OrderingStrategy::Closeness { samples: 4 }.name(), "Closeness");
+        assert_eq!(
+            OrderingStrategy::Closeness { samples: 4 }.name(),
+            "Closeness"
+        );
         assert_eq!(OrderingStrategy::Degeneracy.name(), "Degeneracy");
         assert_eq!(OrderingStrategy::Custom(vec![]).name(), "Custom");
     }

@@ -1,0 +1,673 @@
+//! Batch-parallel index construction with deterministic, sequential-equal
+//! output.
+//!
+//! The paper's Algorithm 1 is inherently sequential: one pruned BFS per
+//! vertex, in rank order, each relying on the labels of every earlier
+//! root. Follow-up work (notably the PSL labelling of Li et al., *"A
+//! Highly Scalable Labelling Approach for Exact Distance Queries in
+//! Complex Networks"*) observed that the rank-order dependency can be
+//! relaxed: BFSs whose roots are *adjacent in rank* barely prune each
+//! other, so they can run concurrently as long as the result is fixed up
+//! to match the canonical labeling. This module implements that idea as a
+//! batched root-parallel scheme:
+//!
+//! 1. **Batching.** Remaining roots are processed in rank-ordered batches.
+//!    The first few roots run in singleton batches (they are the
+//!    high-degree hubs whose labels do nearly all later pruning, and their
+//!    BFSs would pollute each other); batch capacity then grows
+//!    geometrically up to a multiple of the thread count.
+//! 2. **Concurrent relaxed BFSs.** Each batch's pruned BFSs run on worker
+//!    threads (std scoped threads; roots are pulled from a shared atomic
+//!    cursor so slow roots don't straggle a static partition). A worker
+//!    owns thread-local 8-bit tentative/temp scratch arrays, reset lazily
+//!    exactly as §4.5 prescribes. The BFS prunes against the *committed*
+//!    labels (all batches before this one) and the fixed bit-parallel
+//!    labels, and **buffers** its would-be label entries instead of
+//!    publishing them.
+//! 3. **Rank-order commit + re-prune.** At the batch barrier the buffered
+//!    entries are committed strictly in rank order. An in-batch BFS from
+//!    root `r` could not see labels produced by same-batch roots `x < r`,
+//!    so it may have buffered entries the sequential build would have
+//!    pruned. Before appending an entry `(r, u, d)`, a merge-join over the
+//!    *fresh* (same-batch, already-committed) suffixes of `L(u)` and
+//!    `L(r)` checks for a hub `x` with `d(x,u) + d(x,r) ≤ d`; certified
+//!    entries are dropped. Per-thread visit counters are merged into
+//!    [`ConstructionStats`] at the same barrier.
+//!
+//! # Why the output is byte-identical to the sequential build
+//!
+//! The pruned labeling is *canonical*: whether `(r, u, d(r,u))` is in the
+//! label set depends only on the vertex order, through the recursive (in
+//! rank) characterisation — `(r, u)` is labeled iff the bit-parallel bound
+//! does not certify `d(r,u)` and no hub `x < r` with `(x,r)` and `(x,u)`
+//! both labeled has `d(x,u) + d(x,r) ≤ d(r,u)`. Relative to the
+//! sequential run, an in-batch BFS only *weakens* pruning (it misses
+//! same-batch certificates), so it buffers a superset of the sequential
+//! entries with identical distances. The commit-time re-prune applies
+//! exactly the missing same-batch certificates, in rank order, against
+//! already-canonical earlier labels — restoring the characterisation
+//! batch by batch, by induction. Two standard lemmas close the argument
+//! for vertices the sequential BFS never visited: certificates propagate
+//! down shortest paths (if `x` certifies a cut ancestor of `u'`, it
+//! certifies `u'`), and for the minimal-rank true-distance certificate
+//! `x`, either `x` labels both endpoints or a bit-parallel root already
+//! certifies the pair — so every extra visit is caught by the BFS's own
+//! BP/committed-label tests or by the re-prune join.
+//!
+//! Two deliberate deviations from bit-exactness, both documented on
+//! [`IndexBuilder::threads`]: graphs whose pruned searches would exceed
+//! the 8-bit distance ceiling can surface [`PllError::DiameterTooLarge`]
+//! on a root the sequential build would have pruned short of the ceiling
+//! (the error is still correct — such graphs need the weighted index),
+//! and `abort_after_seconds` triggers at batch rather than root
+//! granularity. `abort_if_avg_label_exceeds` fires at exactly the same
+//! root as the sequential build, because committed totals match after
+//! every root.
+
+use crate::bp::{bp_bfs_column, select_bp_roots, BitParallelLabels, BpEntry, BpScratch};
+use crate::build::{prune_test, BuildObserver, IndexBuilder, PartialIndex};
+use crate::error::{PllError, Result};
+use crate::index::PllIndex;
+use crate::label::LabelSet;
+use crate::order::compute_order;
+use crate::stats::{ConstructionStats, RootStats};
+use crate::types::{Dist, Rank, INF8, MAX_DIST};
+use pll_graph::reorder::{apply_order, inverse_permutation};
+use pll_graph::CsrGraph;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Number of leading pruned-BFS roots processed in singleton batches. The
+/// head of the order is the set of hubs whose labels do nearly all later
+/// pruning; running them concurrently would buffer (and then re-prune)
+/// label entries for a large fraction of the graph per root.
+const SEQUENTIAL_HEAD_ROOTS: usize = 32;
+
+/// Batch capacity cap, as a multiple of the thread count. Large batches
+/// amortise the barrier; too-large batches weaken in-batch pruning and
+/// inflate the re-prune pass.
+const MAX_BATCH_PER_THREAD: usize = 32;
+
+/// Resolves the user-facing thread knob: `0` means one thread per
+/// available CPU; other values are clamped to [`max_threads`]. The output
+/// is identical at any thread count, so clamping never changes results —
+/// it only bounds the per-thread scratch allocation (O(n) bytes each) and
+/// spawn count that an absurd request would otherwise attempt.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        requested.min(max_threads())
+    }
+}
+
+/// Upper bound on worker threads: four per available CPU (oversubscription
+/// beyond that only adds scheduler churn), and never below 16 so
+/// determinism tests can exercise multi-worker schedules on small hosts.
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism().map_or(16, |p| p.get().saturating_mul(4).max(16))
+}
+
+/// Per-worker scratch for relaxed pruned BFSs: the 8-bit tentative (`P`)
+/// and temp (`T`) arrays of §4.5, reset lazily between roots, plus the
+/// reusable queue.
+struct WorkerScratch {
+    tentative: Vec<Dist>,
+    temp: Vec<Dist>,
+    queue: Vec<Rank>,
+}
+
+impl WorkerScratch {
+    fn new(n: usize) -> Self {
+        WorkerScratch {
+            tentative: vec![INF8; n],
+            temp: vec![INF8; n],
+            queue: Vec::new(),
+        }
+    }
+}
+
+/// One root's sparse bit-parallel column, as produced by
+/// [`bp_bfs_column`] on a worker thread.
+type BpColumn = Vec<(Rank, BpEntry)>;
+
+/// Output of one relaxed pruned BFS: buffered `(vertex, distance)` label
+/// candidates in visit order, plus the visit/prune counters.
+struct RootRun {
+    entries: Vec<(Rank, Dist)>,
+    visited: u32,
+    pruned: u32,
+}
+
+/// The batch-parallel construction path behind
+/// [`IndexBuilder::threads`]`(k)` for `k > 1`. `threads` is already
+/// resolved (> 1) and `store_parents` has been rejected by the caller.
+pub(crate) fn build_parallel(
+    builder: &IndexBuilder,
+    g: &CsrGraph,
+    observer: &mut dyn BuildObserver,
+    threads: usize,
+) -> Result<PllIndex> {
+    let n = g.num_vertices();
+    if n > u32::MAX as usize - 1 {
+        return Err(PllError::Graph(pll_graph::GraphError::TooLarge {
+            what: "vertex count",
+        }));
+    }
+
+    // Phase 0: ordering + relabelling, identical to the sequential path.
+    let t0 = Instant::now();
+    let order = compute_order(g, &builder.ordering, builder.seed)?;
+    let inv = inverse_permutation(&order);
+    let h = apply_order(g, &order); // rank-space graph
+    let order_seconds = t0.elapsed().as_secs_f64();
+
+    let mut stats = ConstructionStats {
+        order_seconds,
+        threads,
+        per_root: builder.record_root_stats.then(Vec::new),
+        ..Default::default()
+    };
+
+    let mut usd = vec![false; n];
+
+    // Phase 1: bit-parallel BFSs. Root/neighbour selection is sequential
+    // (it only manipulates `usd`), the BFSs themselves fan out over the
+    // workers, each with its own BpScratch, and the sparse columns are
+    // committed in slot order so errors surface deterministically.
+    let t1 = Instant::now();
+    let t = builder.bp_roots;
+    let specs = select_bp_roots(&h, &mut usd, t);
+    let mut bp = BitParallelLabels::new(n, t);
+    if !specs.is_empty() {
+        let mut columns: Vec<Option<Result<BpColumn>>> = (0..specs.len()).map(|_| None).collect();
+        let workers = threads.min(specs.len());
+        let cursor = AtomicUsize::new(0);
+        let worker_outputs: Vec<Vec<(usize, Result<BpColumn>)>> = std::thread::scope(|scope| {
+            let cursor = &cursor;
+            let specs = &specs;
+            let h = &h;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut scratch = BpScratch::new(n);
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= specs.len() {
+                                break;
+                            }
+                            let (root, sub) = &specs[i];
+                            out.push((i, bp_bfs_column(h, *root, sub, &mut scratch)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("bit-parallel worker panicked"))
+                .collect()
+        });
+        for (i, result) in worker_outputs.into_iter().flatten() {
+            columns[i] = Some(result);
+        }
+        for (i, column) in columns.into_iter().enumerate() {
+            let column = column.expect("every BP slot is claimed by exactly one worker")?;
+            bp.set_root_column(i, specs[i].0, &column);
+            stats.bp_roots_used += 1;
+        }
+    }
+    stats.bp_seconds = t1.elapsed().as_secs_f64();
+
+    // Phase 2: batch-parallel pruned BFSs.
+    let t2 = Instant::now();
+    let mut label_ranks: Vec<Vec<Rank>> = vec![Vec::new(); n];
+    let mut label_dists: Vec<Vec<Dist>> = vec![Vec::new(); n];
+    let label_budget_entries = builder
+        .abort_avg_label
+        .map(|b| (b * n as f64).ceil() as u64);
+
+    observer.after_bp_phase(&PartialIndex {
+        label_ranks: &label_ranks,
+        label_dists: &label_dists,
+        bp: &bp,
+        inv: &inv,
+    });
+
+    let roots: Vec<Rank> = (0..n as Rank).filter(|&r| !usd[r as usize]).collect();
+    let mut scratches: Vec<WorkerScratch> = (0..threads).map(|_| WorkerScratch::new(n)).collect();
+
+    let mut pos = 0usize;
+    let mut batch_cap = threads;
+    while pos < roots.len() {
+        let cap = if pos < SEQUENTIAL_HEAD_ROOTS {
+            1
+        } else {
+            batch_cap
+        };
+        let batch = &roots[pos..(pos + cap).min(roots.len())];
+        let batch_first = batch[0];
+
+        // Fan out: workers pull roots from the shared cursor and buffer
+        // their label candidates against the committed (pre-batch) state.
+        let workers = threads.min(batch.len());
+        let cursor = AtomicUsize::new(0);
+        let worker_outputs: Vec<Vec<(usize, Result<RootRun>)>> = std::thread::scope(|scope| {
+            let cursor = &cursor;
+            let h = &h;
+            let bp = &bp;
+            let label_ranks = &label_ranks;
+            let label_dists = &label_dists;
+            let handles: Vec<_> = scratches
+                .iter_mut()
+                .take(workers)
+                .map(|ws| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= batch.len() {
+                                break;
+                            }
+                            out.push((
+                                i,
+                                relaxed_pruned_bfs(h, bp, label_ranks, label_dists, batch[i], ws),
+                            ));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("pruned-BFS worker panicked"))
+                .collect()
+        });
+        let mut runs: Vec<Option<Result<RootRun>>> = (0..batch.len()).map(|_| None).collect();
+        for (i, run) in worker_outputs.into_iter().flatten() {
+            runs[i] = Some(run);
+        }
+
+        // Barrier: commit in rank order, re-pruning each entry against the
+        // same-batch hubs its BFS could not see. Errors are surfaced for
+        // the lowest-ranked failing root, like the sequential build.
+        for (k, run) in runs.into_iter().enumerate() {
+            let r = batch[k];
+            let run = run.expect("every batch slot is claimed by exactly one worker")?;
+            let mut labeled = 0u32;
+            let mut repruned = 0u32;
+            for &(u, d) in &run.entries {
+                if same_batch_certificate(&label_ranks, &label_dists, batch_first, r, u, d) {
+                    repruned += 1;
+                    continue;
+                }
+                label_ranks[u as usize].push(r);
+                label_dists[u as usize].push(d);
+                labeled += 1;
+            }
+            usd[r as usize] = true;
+
+            stats.pruned_roots += 1;
+            stats.total_visited += run.visited as u64;
+            stats.total_labeled += labeled as u64;
+            stats.total_pruned += (run.pruned + repruned) as u64;
+            stats.repruned += repruned as u64;
+            let root_stats = RootStats {
+                rank: r,
+                visited: run.visited,
+                labeled,
+                pruned: run.pruned + repruned,
+            };
+            if let Some(per_root) = &mut stats.per_root {
+                per_root.push(root_stats);
+            }
+            observer.after_root(
+                stats.pruned_roots,
+                &root_stats,
+                &PartialIndex {
+                    label_ranks: &label_ranks,
+                    label_dists: &label_dists,
+                    bp: &bp,
+                    inv: &inv,
+                },
+            );
+
+            if let Some(budget) = label_budget_entries {
+                if stats.total_labeled > budget {
+                    return Err(PllError::LabelBudgetExceeded {
+                        budget: builder.abort_avg_label.unwrap_or_default(),
+                    });
+                }
+            }
+        }
+        stats.parallel_batches += 1;
+
+        if let Some(seconds) = builder.abort_seconds {
+            if t2.elapsed().as_secs_f64() > seconds {
+                return Err(PllError::TimeBudgetExceeded { seconds });
+            }
+        }
+
+        pos += batch.len();
+        if pos >= SEQUENTIAL_HEAD_ROOTS {
+            batch_cap = (batch_cap * 2).min(threads * MAX_BATCH_PER_THREAD);
+        }
+    }
+    stats.pruned_seconds = t2.elapsed().as_secs_f64();
+
+    let labels = LabelSet::from_vecs(&label_ranks, &label_dists, None);
+    Ok(PllIndex::from_parts(order, inv, labels, bp, stats))
+}
+
+/// One pruned BFS from `r` against the committed label state, buffering
+/// label candidates instead of publishing them. Identical to the
+/// sequential inner loop of Algorithm 1 except that label writes go to the
+/// returned buffer — the pruning predicate is literally shared
+/// ([`prune_test`]) and the lazy scratch resets match §4.5 exactly.
+fn relaxed_pruned_bfs(
+    h: &CsrGraph,
+    bp: &BitParallelLabels,
+    label_ranks: &[Vec<Rank>],
+    label_dists: &[Vec<Dist>],
+    r: Rank,
+    ws: &mut WorkerScratch,
+) -> Result<RootRun> {
+    // Prepare the temp array from the committed L(r): T[w] = d(w, r).
+    {
+        let lr = &label_ranks[r as usize];
+        let ld = &label_dists[r as usize];
+        for (idx, &w) in lr.iter().enumerate() {
+            ws.temp[w as usize] = ld[idx];
+        }
+    }
+    let root_bp = bp.entries_of(r).to_vec(); // t is small; copy out
+
+    ws.queue.clear();
+    ws.queue.push(r);
+    ws.tentative[r as usize] = 0;
+    let mut head = 0usize;
+    let mut visited = 0u32;
+    let mut pruned = 0u32;
+    let mut entries: Vec<(Rank, Dist)> = Vec::new();
+    let mut error = None;
+
+    'bfs: while head < ws.queue.len() {
+        let u = ws.queue[head];
+        head += 1;
+        let d = ws.tentative[u as usize];
+        visited += 1;
+
+        let prune = prune_test(
+            &root_bp,
+            bp.entries_of(u),
+            &label_ranks[u as usize],
+            &label_dists[u as usize],
+            &ws.temp,
+            d,
+        );
+        if prune {
+            pruned += 1;
+            continue;
+        }
+
+        entries.push((u, d));
+
+        for &w in h.neighbors(u) {
+            if ws.tentative[w as usize] == INF8 {
+                if d >= MAX_DIST {
+                    error = Some(PllError::DiameterTooLarge { root_rank: r });
+                    break 'bfs;
+                }
+                ws.tentative[w as usize] = d + 1;
+                ws.queue.push(w);
+            }
+        }
+    }
+
+    // Lazy reset of the touched entries (§4.5 "Initialization") — also on
+    // the error path, since the scratch is reused for the next root.
+    for &v in &ws.queue {
+        ws.tentative[v as usize] = INF8;
+    }
+    for &w in label_ranks[r as usize].iter() {
+        ws.temp[w as usize] = INF8;
+    }
+
+    match error {
+        Some(e) => Err(e),
+        None => Ok(RootRun {
+            entries,
+            visited,
+            pruned,
+        }),
+    }
+}
+
+/// The commit-time re-prune test for a buffered entry `(r, u, d)`: is
+/// there a hub `x` from this batch (`batch_first ≤ x < r`) labeling both
+/// `u` and `r` with `d(x,u) + d(x,r) ≤ d`? Labels are sorted by rank, so
+/// the fresh suffixes start at `partition_point` and a short merge-join
+/// decides it. Hubs `< batch_first` were already applied by the BFS's own
+/// prune test against the committed labels.
+fn same_batch_certificate(
+    label_ranks: &[Vec<Rank>],
+    label_dists: &[Vec<Dist>],
+    batch_first: Rank,
+    r: Rank,
+    u: Rank,
+    d: Dist,
+) -> bool {
+    let lu = &label_ranks[u as usize];
+    let du = &label_dists[u as usize];
+    let lr = &label_ranks[r as usize];
+    let dr = &label_dists[r as usize];
+    let mut i = lu.partition_point(|&x| x < batch_first);
+    let mut j = lr.partition_point(|&x| x < batch_first);
+    while i < lu.len() && j < lr.len() {
+        let (a, b) = (lu[i], lr[j]);
+        if a >= r || b >= r {
+            break;
+        }
+        if a == b {
+            if du[i] as u32 + dr[j] as u32 <= d as u32 {
+                return true;
+            }
+            i += 1;
+            j += 1;
+        } else if a < b {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::OrderingStrategy;
+    use pll_graph::gen;
+
+    fn assert_equal_builds(g: &CsrGraph, base: IndexBuilder) {
+        let seq = base.clone().threads(1).build(g).unwrap();
+        for k in [2usize, 3, 4, 8] {
+            let par = base.clone().threads(k).build(g).unwrap();
+            assert_eq!(
+                seq.labels(),
+                par.labels(),
+                "LabelSet diverged at threads={k}"
+            );
+            assert_eq!(
+                seq.bit_parallel(),
+                par.bit_parallel(),
+                "BP labels diverged at threads={k}"
+            );
+            assert_eq!(seq.order(), par.order(), "order diverged at threads={k}");
+            assert_eq!(par.stats().threads, k);
+            assert!(par.stats().parallel_batches > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_models() {
+        for seed in [1u64, 7, 23] {
+            assert_equal_builds(
+                &gen::barabasi_albert(600, 3, seed).unwrap(),
+                IndexBuilder::new().bit_parallel_roots(4),
+            );
+            assert_equal_builds(
+                &gen::erdos_renyi_gnm(400, 1200, seed).unwrap(),
+                IndexBuilder::new().bit_parallel_roots(2),
+            );
+            assert_equal_builds(
+                &gen::forest_fire(300, 0.3, seed).unwrap(),
+                IndexBuilder::new().bit_parallel_roots(0),
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_across_orderings() {
+        let g = gen::barabasi_albert(400, 2, 11).unwrap();
+        for strat in [
+            OrderingStrategy::Degree,
+            OrderingStrategy::Random,
+            OrderingStrategy::Closeness { samples: 8 },
+        ] {
+            assert_equal_builds(
+                &g,
+                IndexBuilder::new().ordering(strat).bit_parallel_roots(2),
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_on_disconnected_and_tiny_graphs() {
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]).unwrap();
+        assert_equal_builds(&g, IndexBuilder::new().bit_parallel_roots(0));
+        assert_equal_builds(&g, IndexBuilder::new().bit_parallel_roots(2));
+
+        let empty = CsrGraph::empty(0);
+        let idx = IndexBuilder::new().threads(4).build(&empty).unwrap();
+        assert_eq!(idx.num_vertices(), 0);
+
+        let single = CsrGraph::empty(1);
+        let idx = IndexBuilder::new().threads(4).build(&single).unwrap();
+        assert_eq!(idx.distance(0, 0), Some(0));
+    }
+
+    #[test]
+    fn parallel_is_exact() {
+        use pll_graph::traversal::bfs::BfsEngine;
+        let g = gen::erdos_renyi_gnm(150, 400, 5).unwrap();
+        let idx = IndexBuilder::new()
+            .bit_parallel_roots(2)
+            .threads(4)
+            .build(&g)
+            .unwrap();
+        let n = g.num_vertices();
+        let mut engine = BfsEngine::new(n);
+        for s in 0..n as Rank {
+            let d = engine.run(&g, s).to_vec();
+            for t in 0..n as Rank {
+                let expect = (d[t as usize] != u32::MAX).then_some(d[t as usize]);
+                assert_eq!(idx.distance(s, t), expect, "pair ({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stats_are_consistent() {
+        let g = gen::barabasi_albert(500, 3, 9).unwrap();
+        let par = IndexBuilder::new()
+            .bit_parallel_roots(4)
+            .threads(4)
+            .record_root_stats(true)
+            .build(&g)
+            .unwrap();
+        let s = par.stats();
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.bp_roots_used, 4);
+        assert!(s.parallel_batches > 0);
+        assert_eq!(s.total_visited, s.total_labeled + s.total_pruned);
+        assert_eq!(s.per_root.as_ref().unwrap().len(), s.pruned_roots);
+        for rs in s.per_root.as_ref().unwrap() {
+            assert_eq!(rs.visited, rs.labeled + rs.pruned);
+        }
+        // The committed label volume matches the sequential build exactly.
+        let seq = IndexBuilder::new().bit_parallel_roots(4).build(&g).unwrap();
+        assert_eq!(s.total_labeled, seq.stats().total_labeled);
+    }
+
+    #[test]
+    fn parallel_rejects_parent_tracking() {
+        let g = gen::path(6).unwrap();
+        for threads in [2usize, 0] {
+            // threads(0) must fail on every host, even one whose single
+            // CPU would resolve "auto" to the sequential path.
+            let err = IndexBuilder::new()
+                .bit_parallel_roots(0)
+                .store_parents(true)
+                .threads(threads)
+                .build(&g)
+                .unwrap_err();
+            assert!(
+                matches!(err, PllError::IncompatibleOptions { .. }),
+                "threads({threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_label_budget_aborts_like_sequential() {
+        let g = gen::erdos_renyi_gnm(200, 600, 1).unwrap();
+        let err = IndexBuilder::new()
+            .ordering(OrderingStrategy::Random)
+            .bit_parallel_roots(0)
+            .abort_if_avg_label_exceeds(0.5)
+            .threads(4)
+            .build(&g)
+            .unwrap_err();
+        assert!(matches!(err, PllError::LabelBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn parallel_observer_sees_rank_ordered_commits() {
+        struct Probe {
+            last_rank: Option<Rank>,
+            roots_seen: usize,
+        }
+        impl BuildObserver for Probe {
+            fn after_root(&mut self, k: usize, stats: &RootStats, _view: &PartialIndex<'_>) {
+                self.roots_seen += 1;
+                assert_eq!(k, self.roots_seen);
+                if let Some(last) = self.last_rank {
+                    assert!(stats.rank > last, "commits must be rank-ordered");
+                }
+                self.last_rank = Some(stats.rank);
+            }
+        }
+        let g = gen::barabasi_albert(300, 2, 4).unwrap();
+        let mut probe = Probe {
+            last_rank: None,
+            roots_seen: 0,
+        };
+        let idx = IndexBuilder::new()
+            .bit_parallel_roots(2)
+            .threads(4)
+            .build_with_observer(&g, &mut probe)
+            .unwrap();
+        assert_eq!(probe.roots_seen, idx.stats().pruned_roots);
+    }
+
+    #[test]
+    fn resolve_threads_auto_detects_and_clamps() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(0) >= 1);
+        assert!(resolve_threads(usize::MAX) <= max_threads());
+        assert!(max_threads() >= 16);
+    }
+}

@@ -63,10 +63,7 @@ pub fn shortest_path(index: &PllIndex, u: Vertex, v: Vertex) -> Result<Option<Ve
     debug_assert_eq!(*up.last().unwrap(), hub_rank);
     debug_assert_eq!(*down.last().unwrap(), hub_rank);
 
-    let mut path: Vec<Vertex> = up
-        .iter()
-        .map(|&r| index.vertex_at(r))
-        .collect();
+    let mut path: Vec<Vertex> = up.iter().map(|&r| index.vertex_at(r)).collect();
     for &r in down.iter().rev().skip(1) {
         path.push(index.vertex_at(r));
     }

@@ -47,7 +47,9 @@ impl Peeling {
         let mut parent = vec![INVALID_VERTEX; n];
         let mut peeled = vec![false; n];
         // Queue of current degree-1 vertices.
-        let mut queue: Vec<Vertex> = (0..n as Vertex).filter(|&v| degree[v as usize] == 1).collect();
+        let mut queue: Vec<Vertex> = (0..n as Vertex)
+            .filter(|&v| degree[v as usize] == 1)
+            .collect();
         let mut head = 0;
         while head < queue.len() {
             let v = queue[head];
@@ -86,8 +88,8 @@ impl Peeling {
                 core_edges.push((core_id[u as usize], core_id[v as usize]));
             }
         }
-        let core = CsrGraph::from_edges(old_of_core.len(), &core_edges)
-            .expect("core inherits validity");
+        let core =
+            CsrGraph::from_edges(old_of_core.len(), &core_edges).expect("core inherits validity");
 
         // Depths and anchors by chasing parent chains (memoised).
         let mut depth = vec![u32::MAX; n];
@@ -217,8 +219,14 @@ impl ReducedPllIndex {
     ///
     /// Panics if an endpoint is out of range.
     pub fn distance(&self, u: Vertex, v: Vertex) -> Option<u32> {
-        assert!((u as usize) < self.peeling.num_vertices(), "vertex {u} out of range");
-        assert!((v as usize) < self.peeling.num_vertices(), "vertex {v} out of range");
+        assert!(
+            (u as usize) < self.peeling.num_vertices(),
+            "vertex {u} out of range"
+        );
+        assert!(
+            (v as usize) < self.peeling.num_vertices(),
+            "vertex {v} out of range"
+        );
         if u == v {
             return Some(0);
         }
@@ -307,11 +315,8 @@ mod tests {
 
     #[test]
     fn disconnected_graph_with_tree_components() {
-        let g = CsrGraph::from_edges(
-            9,
-            &[(0, 1), (1, 2), (3, 4), (4, 5), (5, 3), (5, 6), (6, 7)],
-        )
-        .unwrap();
+        let g = CsrGraph::from_edges(9, &[(0, 1), (1, 2), (3, 4), (4, 5), (5, 3), (5, 6), (6, 7)])
+            .unwrap();
         let reduced = check_reduced(&g);
         // Component {0,1,2} is a path: peels to one vertex. Component
         // {3,4,5} is a triangle with a pendant path 5-6-7.
@@ -326,8 +331,7 @@ mod tests {
         let reduced =
             ReducedPllIndex::build(&g, &IndexBuilder::new().bit_parallel_roots(4)).unwrap();
         let full = IndexBuilder::new().bit_parallel_roots(4).build(&g).unwrap();
-        let core_frac =
-            reduced.peeling().core().num_vertices() as f64 / g.num_vertices() as f64;
+        let core_frac = reduced.peeling().core().num_vertices() as f64 / g.num_vertices() as f64;
         assert!(core_frac < 0.9, "core fraction {core_frac}");
         // Sampled agreement with the full index.
         for s in (0..3000u32).step_by(67) {

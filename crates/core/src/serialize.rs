@@ -484,13 +484,17 @@ mod tests {
             .unwrap();
         let loaded = roundtrip(&idx);
         assert!(loaded.has_parents());
-        let p = crate::paths::shortest_path(&loaded, 0, 24).unwrap().unwrap();
+        let p = crate::paths::shortest_path(&loaded, 0, 24)
+            .unwrap()
+            .unwrap();
         assert_eq!(p.len() as u32, loaded.distance(0, 24).unwrap() + 1);
     }
 
     #[test]
     fn roundtrip_empty_index() {
-        let idx = IndexBuilder::new().build(&pll_graph::CsrGraph::empty(0)).unwrap();
+        let idx = IndexBuilder::new()
+            .build(&pll_graph::CsrGraph::empty(0))
+            .unwrap();
         let loaded = roundtrip(&idx);
         assert_eq!(loaded.num_vertices(), 0);
     }
@@ -553,12 +557,7 @@ mod tests {
     fn directed_roundtrip() {
         use crate::directed::DirectedIndexBuilder;
         let arcs: Vec<(u32, u32)> = (0..60u32)
-            .flat_map(|v| {
-                [
-                    (v, (v + 1) % 60),
-                    (v, (v * 7 + 3) % 60),
-                ]
-            })
+            .flat_map(|v| [(v, (v + 1) % 60), (v, (v * 7 + 3) % 60)])
             .filter(|&(a, b)| a != b)
             .collect();
         let mut arcs = arcs;

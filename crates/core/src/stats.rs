@@ -36,6 +36,17 @@ pub struct ConstructionStats {
     pub total_labeled: u64,
     /// Total visits pruned.
     pub total_pruned: u64,
+    /// Worker threads used for construction (1 = the sequential path; the
+    /// per-thread visit/label/prune counters are merged into the totals
+    /// above at each batch barrier).
+    pub threads: usize,
+    /// Number of root batches the parallel path processed (0 for the
+    /// sequential path).
+    pub parallel_batches: usize,
+    /// Label entries buffered by in-batch BFSs and then removed by the
+    /// commit-time re-prune pass (0 for the sequential path; counted inside
+    /// `total_pruned` as well, so `visited = labeled + pruned` still holds).
+    pub repruned: u64,
     /// Per-root breakdown, present iff `record_root_stats(true)`.
     pub per_root: Option<Vec<RootStats>>,
 }
@@ -90,7 +101,9 @@ impl LabelSizeStats {
         sizes.sort_unstable();
         let total: usize = sizes.iter().sum();
         let pct = |p: f64| -> usize {
-            let idx = ((n as f64 * p).ceil() as usize).saturating_sub(1).min(n - 1);
+            let idx = ((n as f64 * p).ceil() as usize)
+                .saturating_sub(1)
+                .min(n - 1);
             sizes[idx]
         };
         LabelSizeStats {

@@ -97,7 +97,10 @@ mod tests {
         // Index built for a DIFFERENT graph must produce mismatches.
         let g1 = gen::path(30).unwrap();
         let g2 = gen::cycle(30).unwrap();
-        let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g1).unwrap();
+        let idx = IndexBuilder::new()
+            .bit_parallel_roots(0)
+            .build(&g1)
+            .unwrap();
         let err = verify_exhaustive(&g2, &idx).unwrap_err();
         assert_ne!(err.expected, err.got);
     }

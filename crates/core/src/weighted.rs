@@ -10,7 +10,7 @@
 use crate::error::{PllError, Result};
 use crate::order::OrderingStrategy;
 use crate::stats::ConstructionStats;
-use crate::types::{Rank, Vertex, RANK_SENTINEL, WDist};
+use crate::types::{Rank, Vertex, WDist, RANK_SENTINEL};
 use pll_graph::reorder::inverse_permutation;
 use pll_graph::wgraph::WeightedGraph;
 use pll_graph::{Xoshiro256pp, INF_U64};
@@ -69,11 +69,7 @@ impl WeightedIndexBuilder {
             OrderingStrategy::Custom(order) => {
                 if order.len() != n {
                     return Err(PllError::InvalidOrder {
-                        message: format!(
-                            "order has {} entries for {} vertices",
-                            order.len(),
-                            n
-                        ),
+                        message: format!("order has {} entries for {} vertices", order.len(), n),
                     });
                 }
                 let mut seen = vec![false; n];
@@ -122,6 +118,7 @@ impl WeightedIndexBuilder {
         let mut heap: BinaryHeap<Reverse<(u64, Rank)>> = BinaryHeap::new();
         let mut stats = ConstructionStats {
             order_seconds,
+            threads: 1,
             ..Default::default()
         };
 
@@ -240,8 +237,14 @@ impl WeightedPllIndex {
     ///
     /// Panics if an endpoint is out of range.
     pub fn distance(&self, u: Vertex, v: Vertex) -> Option<u64> {
-        assert!((u as usize) < self.num_vertices(), "vertex {u} out of range");
-        assert!((v as usize) < self.num_vertices(), "vertex {v} out of range");
+        assert!(
+            (u as usize) < self.num_vertices(),
+            "vertex {u} out of range"
+        );
+        assert!(
+            (v as usize) < self.num_vertices(),
+            "vertex {v} out of range"
+        );
         if u == v {
             return Some(0);
         }
@@ -395,11 +398,8 @@ mod tests {
 
     #[test]
     fn large_weights_handled_via_u64_accumulation() {
-        let g = WeightedGraph::from_edges(
-            3,
-            &[(0, 1, u32::MAX - 1), (1, 2, u32::MAX - 1)],
-        )
-        .unwrap();
+        let g =
+            WeightedGraph::from_edges(3, &[(0, 1, u32::MAX - 1), (1, 2, u32::MAX - 1)]).unwrap();
         // Degree order roots the middle vertex first, so every label stays
         // within u32 and the (u64) query sums correctly.
         let idx = WeightedIndexBuilder::new().build(&g).unwrap();

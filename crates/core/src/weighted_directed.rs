@@ -10,7 +10,7 @@
 use crate::error::{PllError, Result};
 use crate::order::OrderingStrategy;
 use crate::stats::ConstructionStats;
-use crate::types::{Rank, Vertex, RANK_SENTINEL, WDist};
+use crate::types::{Rank, Vertex, WDist, RANK_SENTINEL};
 use pll_graph::reorder::inverse_permutation;
 use pll_graph::wdigraph::WeightedDigraph;
 use pll_graph::{Xoshiro256pp, INF_U64};
@@ -72,11 +72,7 @@ impl WeightedDirectedIndexBuilder {
             OrderingStrategy::Custom(order) => {
                 if order.len() != n {
                     return Err(PllError::InvalidOrder {
-                        message: format!(
-                            "order has {} entries for {} vertices",
-                            order.len(),
-                            n
-                        ),
+                        message: format!("order has {} entries for {} vertices", order.len(), n),
                     });
                 }
                 let mut seen = vec![false; n];
@@ -124,6 +120,7 @@ impl WeightedDirectedIndexBuilder {
         let mut heap: BinaryHeap<Reverse<(u64, Rank)>> = BinaryHeap::new();
         let mut stats = ConstructionStats {
             order_seconds,
+            threads: 1,
             ..Default::default()
         };
 
@@ -213,12 +210,32 @@ impl WeightedDirectedIndexBuilder {
 
         for r in 0..n as Rank {
             pruned_dijkstra(
-                &h, r, true, &out_ranks, &out_dists, &mut in_ranks, &mut in_dists,
-                &mut tentative, &mut temp, &mut touched, &mut heap, &mut stats,
+                &h,
+                r,
+                true,
+                &out_ranks,
+                &out_dists,
+                &mut in_ranks,
+                &mut in_dists,
+                &mut tentative,
+                &mut temp,
+                &mut touched,
+                &mut heap,
+                &mut stats,
             )?;
             pruned_dijkstra(
-                &h, r, false, &in_ranks, &in_dists, &mut out_ranks, &mut out_dists,
-                &mut tentative, &mut temp, &mut touched, &mut heap, &mut stats,
+                &h,
+                r,
+                false,
+                &in_ranks,
+                &in_dists,
+                &mut out_ranks,
+                &mut out_dists,
+                &mut tentative,
+                &mut temp,
+                &mut touched,
+                &mut heap,
+                &mut stats,
             )?;
             stats.pruned_roots += 1;
         }
@@ -282,8 +299,14 @@ impl WeightedDirectedPllIndex {
     ///
     /// Panics if an endpoint is out of range.
     pub fn distance(&self, s: Vertex, t: Vertex) -> Option<u64> {
-        assert!((s as usize) < self.num_vertices(), "vertex {s} out of range");
-        assert!((t as usize) < self.num_vertices(), "vertex {t} out of range");
+        assert!(
+            (s as usize) < self.num_vertices(),
+            "vertex {s} out of range"
+        );
+        assert!(
+            (t as usize) < self.num_vertices(),
+            "vertex {t} out of range"
+        );
         if s == t {
             return Some(0);
         }
@@ -340,8 +363,7 @@ impl WeightedDirectedPllIndex {
         if self.num_vertices() == 0 {
             return 0.0;
         }
-        ((self.in_ranks.len() + self.out_ranks.len()) as f64
-            - 2.0 * self.num_vertices() as f64)
+        ((self.in_ranks.len() + self.out_ranks.len()) as f64 - 2.0 * self.num_vertices() as f64)
             / self.num_vertices() as f64
     }
 
@@ -417,11 +439,8 @@ mod tests {
     #[test]
     fn exact_on_weighted_dag() {
         // Heavy direct arc loses to the light two-hop path, directionally.
-        let g = WeightedDigraph::from_edges(
-            4,
-            &[(0, 1, 1), (1, 3, 1), (0, 3, 5), (3, 2, 2)],
-        )
-        .unwrap();
+        let g =
+            WeightedDigraph::from_edges(4, &[(0, 1, 1), (1, 3, 1), (0, 3, 5), (3, 2, 2)]).unwrap();
         let idx = WeightedDirectedIndexBuilder::new().build(&g).unwrap();
         assert_eq!(idx.distance(0, 3), Some(2));
         assert_eq!(idx.distance(3, 0), None);
@@ -483,11 +502,8 @@ mod tests {
 
     #[test]
     fn overflow_detected() {
-        let g = WeightedDigraph::from_edges(
-            3,
-            &[(0, 1, u32::MAX - 1), (1, 2, u32::MAX - 1)],
-        )
-        .unwrap();
+        let g =
+            WeightedDigraph::from_edges(3, &[(0, 1, u32::MAX - 1), (1, 2, u32::MAX - 1)]).unwrap();
         let err = WeightedDirectedIndexBuilder::new()
             .ordering(OrderingStrategy::Custom(vec![0, 1, 2]))
             .build(&g)

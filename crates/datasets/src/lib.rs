@@ -277,9 +277,7 @@ pub const DATASETS: [DatasetSpec; 11] = [
 
 /// Looks a dataset up by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<&'static DatasetSpec> {
-    DATASETS
-        .iter()
-        .find(|d| d.name.eq_ignore_ascii_case(name))
+    DATASETS.iter().find(|d| d.name.eq_ignore_ascii_case(name))
 }
 
 /// The smaller five datasets (full baseline comparison in Table 3).

@@ -32,9 +32,7 @@ impl CsrDigraph {
             });
         }
         if edges.len() > u32::MAX as usize {
-            return Err(GraphError::TooLarge {
-                what: "edge count",
-            });
+            return Err(GraphError::TooLarge { what: "edge count" });
         }
 
         let mut out_degree = vec![0u32; n];
@@ -80,8 +78,7 @@ impl CsrDigraph {
         }
 
         for v in 0..n {
-            let list = &mut out_targets
-                [out_offsets[v] as usize..out_offsets[v + 1] as usize];
+            let list = &mut out_targets[out_offsets[v] as usize..out_offsets[v + 1] as usize];
             list.sort_unstable();
             if list.windows(2).any(|w| w[0] == w[1]) {
                 return Err(GraphError::InvalidParameter {
@@ -165,8 +162,7 @@ impl CsrDigraph {
 
     /// Heap bytes used by the four CSR arrays.
     pub fn memory_bytes(&self) -> usize {
-        4 * std::mem::size_of::<u32>()
-            * (self.out_offsets.len() + self.out_targets.len()) / 2
+        4 * std::mem::size_of::<u32>() * (self.out_offsets.len() + self.out_targets.len()) / 2
             + (self.in_offsets.len() + self.in_targets.len()) * std::mem::size_of::<u32>()
     }
 }

@@ -64,7 +64,12 @@ pub fn read_text<R: Read>(reader: R) -> Result<CsrGraph> {
 /// Writes a graph as SNAP-style text (one `u v` line per undirected edge).
 pub fn write_text<W: Write>(g: &CsrGraph, writer: W) -> Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# undirected graph: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# undirected graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }

@@ -97,13 +97,11 @@ pub fn k_core(g: &CsrGraph, k: u32) -> (CsrGraph, Vec<Vertex>) {
     }
     let edges: Vec<(Vertex, Vertex)> = g
         .edges()
-        .filter(|&(u, v)| {
-            decomp.core[u as usize] >= k && decomp.core[v as usize] >= k
-        })
+        .filter(|&(u, v)| decomp.core[u as usize] >= k && decomp.core[v as usize] >= k)
         .map(|(u, v)| (new_of_old[u as usize], new_of_old[v as usize]))
         .collect();
-    let sub = CsrGraph::from_edges(old_of_new.len(), &edges)
-        .expect("induced subgraph inherits validity");
+    let sub =
+        CsrGraph::from_edges(old_of_new.len(), &edges).expect("induced subgraph inherits validity");
     (sub, old_of_new)
 }
 

@@ -3,5 +3,5 @@
 
 pub mod bfs;
 pub mod components;
-pub mod kcore;
 pub mod dijkstra;
+pub mod kcore;

@@ -32,9 +32,7 @@ impl WeightedDigraph {
             });
         }
         if edges.len() > u32::MAX as usize {
-            return Err(GraphError::TooLarge {
-                what: "edge count",
-            });
+            return Err(GraphError::TooLarge { what: "edge count" });
         }
         for &(u, v, w) in edges {
             if u as usize >= n || v as usize >= n {

@@ -28,13 +28,12 @@ impl WeightedGraph {
                 what: "vertex count",
             });
         }
-        let half_edges = edges.len().checked_mul(2).ok_or(GraphError::TooLarge {
-            what: "edge count",
-        })?;
+        let half_edges = edges
+            .len()
+            .checked_mul(2)
+            .ok_or(GraphError::TooLarge { what: "edge count" })?;
         if half_edges > u32::MAX as usize {
-            return Err(GraphError::TooLarge {
-                what: "edge count",
-            });
+            return Err(GraphError::TooLarge { what: "edge count" });
         }
 
         let mut degree = vec![0u32; n];

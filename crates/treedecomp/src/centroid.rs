@@ -94,8 +94,7 @@ fn tree_centroid(adj: &[Vec<usize>], removed: &[bool], comp: &[usize]) -> usize 
     let in_comp: std::collections::HashSet<usize> = comp.iter().copied().collect();
     // Subtree sizes via DFS from comp[0] (the component is a tree).
     let root = comp[0];
-    let mut parent: std::collections::HashMap<usize, usize> =
-        std::collections::HashMap::new();
+    let mut parent: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
     let mut dfs_order = Vec::with_capacity(total);
     let mut stack = vec![root];
     parent.insert(root, usize::MAX);

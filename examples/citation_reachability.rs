@@ -36,7 +36,9 @@ fn main() {
         graph.num_edges()
     );
 
-    let index = DirectedIndexBuilder::new().build(&graph).expect("construction");
+    let index = DirectedIndexBuilder::new()
+        .build(&graph)
+        .expect("construction");
     println!(
         "directed index: avg |L_IN| + |L_OUT| = {:.1} per paper",
         index.avg_label_size()

@@ -30,7 +30,9 @@ fn main() {
     );
 
     let start = Instant::now();
-    let index = WeightedIndexBuilder::new().build(&network).expect("construction");
+    let index = WeightedIndexBuilder::new()
+        .build(&network)
+        .expect("construction");
     println!(
         "weighted index built in {:.2} s (avg label size {:.1})",
         start.elapsed().as_secs_f64(),

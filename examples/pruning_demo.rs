@@ -11,9 +11,7 @@
 //! ```
 
 use pruned_landmark_labeling::graph::gen;
-use pruned_landmark_labeling::pll::{
-    BuildObserver, IndexBuilder, PartialIndex, RootStats,
-};
+use pruned_landmark_labeling::pll::{BuildObserver, IndexBuilder, PartialIndex, RootStats};
 
 struct Narrator {
     shown: usize,

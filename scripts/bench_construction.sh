@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Construction-throughput benchmark: builds the index on synthetic BA and
+# R-MAT graphs over a thread sweep and writes BENCH_construction.json at
+# the repository root, so successive PRs have a perf trajectory to compare
+# against.
+#
+# Usage:
+#   scripts/bench_construction.sh [N] [THREADS] [OUT]
+#     N        vertex count for the BA graph / R-MAT target (default 100000)
+#     THREADS  comma-separated sweep (default 1,2,4,8)
+#     OUT      output JSON path (default BENCH_construction.json)
+#
+# Note: speedups only manifest with real CPU cores; on a single-core
+# machine the sweep measures the parallel path's overhead instead.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+N="${1:-100000}"
+THREADS="${2:-1,2,4,8}"
+OUT="${3:-BENCH_construction.json}"
+
+cargo build --release -p pll-bench --bin bench_construction
+./target/release/bench_construction --n "$N" --threads "$THREADS" --out "$OUT"
+echo "benchmark written to $OUT"

@@ -1,0 +1,518 @@
+//! Minimal offline stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) property-testing
+//! framework.
+//!
+//! This container has no network access to a cargo registry, so the real
+//! proptest crate cannot be fetched. This shim implements the subset of the
+//! API the workspace's test suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`;
+//! * strategies for integer ranges, tuples, [`collection::vec`],
+//!   [`any`] and [`prop_oneof!`] unions;
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`) and the
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test RNG (seeded by the test name, overridable with
+//! `PROPTEST_RNG_SEED`), and failing cases are **not shrunk** — the failing
+//! case number and message are reported as-is. Swap the workspace
+//! dependency back to crates.io proptest when a registry is available; no
+//! test source changes are needed.
+
+pub mod test_runner {
+    //! Config, RNG and error types for the [`crate::proptest!`] runner.
+
+    use std::fmt;
+
+    /// Subset of proptest's `Config` honoured by the shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// SplitMix64: small, fast, deterministic; good enough for case
+    /// generation (the real crate uses ChaCha).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test name (stable across runs) xor an optional
+        /// `PROPTEST_RNG_SEED` environment override.
+        pub fn deterministic(test_name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+            for b in test_name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            if let Ok(s) = std::env::var("PROPTEST_RNG_SEED") {
+                if let Ok(v) = s.parse::<u64>() {
+                    seed ^= v;
+                }
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; 0 when `bound` is 0.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                return 0;
+            }
+            // Multiply-shift rejection-free mapping (bias negligible for
+            // test-case generation).
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of one type.
+    ///
+    /// Unlike the real crate there is no value *tree* (no shrinking): a
+    /// strategy simply produces a value from an RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` returns
+        /// for it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        branches: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; `branches` must be non-empty.
+        pub fn new(branches: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(
+                !branches.is_empty(),
+                "prop_oneof! needs at least one branch"
+            );
+            Union { branches }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.branches.len() as u64) as usize;
+            self.branches[i].new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, usize);
+
+    impl Strategy for Range<u64> {
+        type Value = u64;
+        fn new_value(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($n,)+) = self;
+                    ($($n.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E)
+    }
+
+    /// Strategy producing uniformly random values of a primitive type; see
+    /// [`any`].
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    /// Types [`any`] can generate.
+    pub trait Arbitrary: Sized {
+        /// Generates one uniformly random value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Uniformly random values of `T` (`any::<u64>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a random length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `vec(element, 0..100)`: a vector of 0–99 generated elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($branch:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($branch) ),+
+        ])
+    };
+}
+
+/// Fails the current case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?} == {:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case unless the two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that runs `config.cases` random cases. Failures are
+/// reported with their case number; there is no shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                $(
+                    let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut rng);
+                )+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert!(TestRng::deterministic("y").next_u64() != TestRng::deterministic("z").next_u64());
+    }
+
+    #[test]
+    fn range_and_vec_strategies_respect_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        let r = 5u32..17;
+        for _ in 0..200 {
+            let v = r.new_value(&mut rng);
+            assert!((5..17).contains(&v));
+        }
+        let vs = crate::collection::vec(0u8..10, 3..6);
+        for _ in 0..100 {
+            let v = vs.new_value(&mut rng);
+            assert!((3..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let s = (1usize..4).prop_flat_map(|n| {
+            crate::collection::vec(0u32..n as u32 * 10, n..n + 1).prop_map(move |v| (n, v))
+        });
+        for _ in 0..100 {
+            let (n, v) = s.new_value(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+        let u = prop_oneof![(0u32..1).prop_map(|_| 7u32), (0u32..1).prop_map(|_| 9u32)];
+        for _ in 0..50 {
+            let x = u.new_value(&mut rng);
+            assert!(x == 7 || x == 9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_runs_cases(x in 0u32..100, mut ys in crate::collection::vec(any::<u8>(), 0..8)) {
+            ys.push(0);
+            prop_assert!(x < 100);
+            prop_assert_eq!(*ys.last().unwrap(), 0u8);
+            prop_assert_ne!(ys.len(), 0usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn macro_reports_failures() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 1000, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -36,10 +36,7 @@ fn exact_on_every_generator_family() {
     check(&gen::chung_lu(100, 2.4, 6.0, 9).unwrap(), 8);
     check(&gen::copying_model(100, 4, 0.8, 10).unwrap(), 8);
     check(&gen::forest_fire(100, 0.4, 12).unwrap(), 8);
-    check(
-        &gen::rmat(7, 4, gen::RmatParams::GRAPH500, 11).unwrap(),
-        8,
-    );
+    check(&gen::rmat(7, 4, gen::RmatParams::GRAPH500, 11).unwrap(), 8);
 }
 
 #[test]
@@ -75,8 +72,8 @@ fn all_strategies_and_bp_settings_agree() {
                 .expect("construction");
             for s in (0..150u32).step_by(7) {
                 for u in (0..150u32).step_by(5) {
-                    let expect =
-                        (truth[s as usize][u as usize] != u32::MAX).then_some(truth[s as usize][u as usize]);
+                    let expect = (truth[s as usize][u as usize] != u32::MAX)
+                        .then_some(truth[s as usize][u as usize]);
                     assert_eq!(
                         idx.distance(s, u),
                         expect,
@@ -91,11 +88,7 @@ fn all_strategies_and_bp_settings_agree() {
 
 #[test]
 fn isolated_vertices_and_multiple_components() {
-    let g = CsrGraph::from_edges(
-        12,
-        &[(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (8, 9)],
-    )
-    .unwrap();
+    let g = CsrGraph::from_edges(12, &[(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (8, 9)]).unwrap();
     let idx = IndexBuilder::new().bit_parallel_roots(3).build(&g).unwrap();
     // Within components.
     assert_eq!(idx.distance(0, 2), Some(1));

@@ -1,0 +1,121 @@
+//! Integration tests for the batch-parallel construction path: the
+//! parallel build must be *byte-identical* to the sequential build — same
+//! `LabelSet` (`PartialEq` covers offsets, ranks, dists and sentinels),
+//! same bit-parallel labels, same vertex order — across graph families,
+//! seeds and thread counts.
+
+use pruned_landmark_labeling::graph::{gen, CsrGraph};
+use pruned_landmark_labeling::pll::{IndexBuilder, OrderingStrategy};
+
+fn assert_threads_agree(g: &CsrGraph, base: &IndexBuilder, label: &str) {
+    let seq = base.clone().threads(1).build(g).unwrap();
+    for k in [2usize, 4, 8] {
+        let par = base.clone().threads(k).build(g).unwrap();
+        assert_eq!(
+            seq.labels(),
+            par.labels(),
+            "{label}: LabelSet diverged at threads={k}"
+        );
+        assert_eq!(
+            seq.bit_parallel(),
+            par.bit_parallel(),
+            "{label}: bit-parallel labels diverged at threads={k}"
+        );
+        assert_eq!(
+            seq.order(),
+            par.order(),
+            "{label}: vertex order diverged at threads={k}"
+        );
+    }
+}
+
+#[test]
+fn parallel_build_matches_sequential_on_ba() {
+    for seed in [3u64, 17, 91] {
+        let g = gen::barabasi_albert(800, 3, seed).unwrap();
+        assert_threads_agree(
+            &g,
+            &IndexBuilder::new().bit_parallel_roots(8),
+            &format!("BA seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn parallel_build_matches_sequential_on_er() {
+    for seed in [5u64, 29, 77] {
+        let g = gen::erdos_renyi_gnm(500, 1500, seed).unwrap();
+        assert_threads_agree(
+            &g,
+            &IndexBuilder::new().bit_parallel_roots(4),
+            &format!("ER seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn parallel_build_matches_sequential_on_forest_fire() {
+    for seed in [2u64, 13, 55] {
+        let g = gen::forest_fire(400, 0.35, seed).unwrap();
+        assert_threads_agree(
+            &g,
+            &IndexBuilder::new().bit_parallel_roots(0),
+            &format!("forest-fire seed {seed}"),
+        );
+    }
+}
+
+#[test]
+fn parallel_build_matches_sequential_without_degree_order() {
+    let g = gen::barabasi_albert(400, 2, 8).unwrap();
+    for (name, strat) in [
+        ("random", OrderingStrategy::Random),
+        ("closeness", OrderingStrategy::Closeness { samples: 8 }),
+    ] {
+        assert_threads_agree(
+            &g,
+            &IndexBuilder::new().ordering(strat).bit_parallel_roots(2),
+            name,
+        );
+    }
+}
+
+#[test]
+fn parallel_queries_are_exact() {
+    use pruned_landmark_labeling::graph::traversal::bfs::BfsEngine;
+    let g = gen::erdos_renyi_gnm(250, 700, 41).unwrap();
+    let idx = IndexBuilder::new()
+        .bit_parallel_roots(4)
+        .threads(4)
+        .build(&g)
+        .unwrap();
+    let n = g.num_vertices();
+    let mut engine = BfsEngine::new(n);
+    for s in (0..n as u32).step_by(3) {
+        let d = engine.run(&g, s).to_vec();
+        for t in 0..n as u32 {
+            let expect = (d[t as usize] != u32::MAX).then_some(d[t as usize]);
+            assert_eq!(idx.distance(s, t), expect, "pair ({s}, {t})");
+        }
+    }
+}
+
+#[test]
+fn parallel_serialization_roundtrip_matches_sequential_bytes() {
+    use pruned_landmark_labeling::pll::serialize;
+    let g = gen::barabasi_albert(300, 3, 6).unwrap();
+    let seq = IndexBuilder::new().bit_parallel_roots(4).build(&g).unwrap();
+    let par = IndexBuilder::new()
+        .bit_parallel_roots(4)
+        .threads(4)
+        .build(&g)
+        .unwrap();
+    let mut seq_bytes = Vec::new();
+    let mut par_bytes = Vec::new();
+    serialize::save_index(&seq, &mut seq_bytes).unwrap();
+    serialize::save_index(&par, &mut par_bytes).unwrap();
+    assert_eq!(
+        seq_bytes, par_bytes,
+        "serialised indices must be byte-identical"
+    );
+}

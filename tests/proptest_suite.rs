@@ -12,13 +12,11 @@ use pruned_landmark_labeling::pll::{
 /// Strategy: an arbitrary simple graph from a raw edge list.
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(
-            move |edges| {
-                let mut b = GraphBuilder::new(n);
-                b.extend_edges(edges);
-                b.build().expect("builder normalises raw edges")
-            },
-        )
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            b.extend_edges(edges);
+            b.build().expect("builder normalises raw edges")
+        })
     })
 }
 
@@ -27,10 +25,13 @@ fn arb_model_graph() -> impl Strategy<Value = CsrGraph> {
     prop_oneof![
         (20usize..120, 1usize..4, any::<u64>())
             .prop_map(|(n, m, s)| gen::barabasi_albert(n, m, s).unwrap()),
-        (20usize..120, 40usize..200, any::<u64>())
-            .prop_map(|(n, m, s)| gen::erdos_renyi_gnm(n, m.min(n * (n - 1) / 2), s).unwrap()),
-        (20usize..120, any::<u64>())
-            .prop_map(|(n, s)| gen::copying_model(n, 3, 0.8, s).unwrap()),
+        (20usize..120, 40usize..200, any::<u64>()).prop_map(|(n, m, s)| gen::erdos_renyi_gnm(
+            n,
+            m.min(n * (n - 1) / 2),
+            s
+        )
+        .unwrap()),
+        (20usize..120, any::<u64>()).prop_map(|(n, s)| gen::copying_model(n, 3, 0.8, s).unwrap()),
         (3usize..12, 3usize..12).prop_map(|(r, c)| gen::grid(r, c).unwrap()),
         (20usize..200, any::<u64>()).prop_map(|(n, s)| gen::random_tree(n, s).unwrap()),
     ]
@@ -227,6 +228,38 @@ proptest! {
                 prop_assert_eq!(loaded.distance(0, 1), idx.distance(0, 1));
             }
             Err(_) => prop_assert!(cut > 0),
+        }
+    }
+
+    /// The batch-parallel build answers exactly like BFS on arbitrary
+    /// simple graphs, and its labels equal the sequential build's.
+    #[test]
+    fn parallel_index_matches_bfs(
+        g in arb_graph(60, 150),
+        t in 0usize..6,
+        threads in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let par = IndexBuilder::new()
+            .bit_parallel_roots(t)
+            .seed(seed)
+            .threads(threads)
+            .build(&g)
+            .unwrap();
+        let seq = IndexBuilder::new()
+            .bit_parallel_roots(t)
+            .seed(seed)
+            .build(&g)
+            .unwrap();
+        prop_assert_eq!(seq.labels(), par.labels());
+        let n = g.num_vertices();
+        let mut engine = bfs::BfsEngine::new(n);
+        for s in 0..n as u32 {
+            let d = engine.run(&g, s).to_vec();
+            for u in 0..n as u32 {
+                let expect = (d[u as usize] != u32::MAX).then_some(d[u as usize]);
+                prop_assert_eq!(par.distance(s, u), expect);
+            }
         }
     }
 

@@ -5,12 +5,9 @@ use pruned_landmark_labeling::baselines::{
 };
 use pruned_landmark_labeling::graph::{gen, CsrGraph, Vertex};
 use pruned_landmark_labeling::pll::{
-    order::compute_order, BuildObserver, IndexBuilder, OrderingStrategy, PartialIndex,
-    RootStats,
+    order::compute_order, BuildObserver, IndexBuilder, OrderingStrategy, PartialIndex, RootStats,
 };
-use pruned_landmark_labeling::treedecomp::{
-    centroid_order, min_degree_order, TreeDecomposition,
-};
+use pruned_landmark_labeling::treedecomp::{centroid_order, min_degree_order, TreeDecomposition};
 
 /// Theorem 4.1: for every prefix `k`, `Query(s, t, L'_k) = Query(s, t, L_k)`
 /// — the pruned labels answer exactly what the naive (unpruned) labels
@@ -59,10 +56,7 @@ fn theorem_4_1_prefix_equivalence() {
 #[test]
 fn theorem_4_2_minimality() {
     let g = gen::erdos_renyi_gnm(40, 90, 11).unwrap();
-    let idx = IndexBuilder::new()
-        .bit_parallel_roots(0)
-        .build(&g)
-        .unwrap();
+    let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
     let labels = idx.labels();
     for v_rank in 0..40u32 {
         let (ranks, dists) = labels.label(v_rank);
@@ -97,10 +91,7 @@ fn theorem_4_2_minimality() {
 #[test]
 fn theorem_4_3_label_size_vs_landmark_coverage() {
     let g = gen::chung_lu(2_000, 2.3, 10.0, 5).unwrap();
-    let idx = IndexBuilder::new()
-        .bit_parallel_roots(0)
-        .build(&g)
-        .unwrap();
+    let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
     let ln = idx.avg_label_size();
     let k = 64usize;
     let lm = LandmarkIndex::build(&g, k, LandmarkSelection::Degree, 0);
@@ -156,10 +147,7 @@ fn canonical_equivalence_across_network_classes() {
         gen::barabasi_albert(150, 3, 3).unwrap(),
         gen::grid(12, 12).unwrap(),
     ] {
-        let idx = IndexBuilder::new()
-            .bit_parallel_roots(0)
-            .build(&g)
-            .unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
         let canonical = CanonicalHubLabeling::build(&g, idx.order());
         let n = g.num_vertices() as u32;
         let mut total_pll = 0usize;
