@@ -1,18 +1,24 @@
 //! Construction-throughput harness: builds the index on synthetic BA and
-//! R-MAT graphs over a sweep of thread counts and emits one JSON record
-//! per (graph, threads) pair, so successive PRs have a comparable perf
-//! trajectory (see `scripts/bench_construction.sh`).
+//! R-MAT graphs over a sweep of thread counts — for any of the four index
+//! variants — and emits one JSON record per (variant, graph, threads)
+//! triple, so successive PRs have a comparable perf trajectory (see
+//! `scripts/bench_construction.sh`).
 //!
 //! ```text
 //! bench_construction [--n N] [--threads 1,2,4,8] [--out FILE] [--bp-roots t]
+//!                    [--variants undirected,directed,weighted,weighted-directed]
 //! ```
 //!
 //! Output: a JSON array of
-//! `{graph, n, m, threads, seconds, labels_per_vertex, speedup_vs_1}`.
+//! `{variant, graph, n, m, threads, seconds, labels_per_vertex, speedup_vs_1}`.
+//! The directed/weighted variant graphs are derived deterministically from
+//! the same BA/R-MAT bases (seeded arc orientation and weights), so their
+//! trajectories are comparable across PRs too.
 
-use pll_bench::time;
-use pll_core::IndexBuilder;
-use pll_graph::gen::{self, RmatParams};
+use pll_bench::{derive_digraph, derive_weighted, derive_weighted_digraph, reference_graphs, time};
+use pll_core::{
+    DirectedIndexBuilder, IndexBuilder, WeightedDirectedIndexBuilder, WeightedIndexBuilder,
+};
 use pll_graph::CsrGraph;
 use std::io::Write;
 
@@ -21,6 +27,7 @@ struct Options {
     threads: Vec<usize>,
     out: String,
     bp_roots: usize,
+    variants: Vec<String>,
 }
 
 fn parse_args() -> Options {
@@ -29,6 +36,7 @@ fn parse_args() -> Options {
         threads: vec![1, 2, 4, 8],
         out: "BENCH_construction.json".to_string(),
         bp_roots: 16,
+        variants: vec!["undirected".to_string()],
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -52,9 +60,16 @@ fn parse_args() -> Options {
             }
             "--out" => opts.out = value(&mut i),
             "--bp-roots" => opts.bp_roots = value(&mut i).parse().expect("--bp-roots"),
+            "--variants" => {
+                opts.variants = value(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "bench_construction [--n N] [--threads 1,2,4,8] [--out FILE] [--bp-roots t]"
+                    "bench_construction [--n N] [--threads 1,2,4,8] [--out FILE] [--bp-roots t] \
+                     [--variants undirected,directed,weighted,weighted-directed]"
                 );
                 std::process::exit(0);
             }
@@ -68,51 +83,138 @@ fn parse_args() -> Options {
     opts
 }
 
+/// A variant graph derived once per (variant, base graph) pair, so the
+/// thread sweep re-measures only the builds.
+enum VariantGraph<'g> {
+    Undirected(&'g CsrGraph),
+    Directed(pll_graph::CsrDigraph),
+    Weighted(pll_graph::wgraph::WeightedGraph),
+    WeightedDirected(pll_graph::wdigraph::WeightedDigraph),
+}
+
+impl VariantGraph<'_> {
+    fn num_vertices(&self) -> usize {
+        match self {
+            VariantGraph::Undirected(g) => g.num_vertices(),
+            VariantGraph::Directed(g) => g.num_vertices(),
+            VariantGraph::Weighted(g) => g.num_vertices(),
+            VariantGraph::WeightedDirected(g) => g.num_vertices(),
+        }
+    }
+
+    /// Edge count of the graph actually built (arcs for the directed
+    /// variants), so throughput computed from the JSON records uses the
+    /// right denominator.
+    fn num_edges(&self) -> usize {
+        match self {
+            VariantGraph::Undirected(g) => g.num_edges(),
+            VariantGraph::Directed(g) => g.num_edges(),
+            VariantGraph::Weighted(g) => g.num_edges(),
+            VariantGraph::WeightedDirected(g) => g.num_edges(),
+        }
+    }
+}
+
+fn prepare(variant: &str, g: &CsrGraph) -> VariantGraph<'static> {
+    match variant {
+        "directed" => VariantGraph::Directed(derive_digraph(g, 7)),
+        "weighted" => VariantGraph::Weighted(derive_weighted(g, 7, 16)),
+        "weighted-directed" => VariantGraph::WeightedDirected(derive_weighted_digraph(g, 7, 16)),
+        "undirected" => unreachable!("undirected borrows the base graph"),
+        other => {
+            eprintln!("unknown variant {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One `(seconds, labels_per_vertex)` measurement of a variant build.
+fn build_once(vg: &VariantGraph<'_>, threads: usize, bp_roots: usize) -> (f64, f64) {
+    match vg {
+        VariantGraph::Undirected(g) => {
+            let builder = IndexBuilder::new()
+                .bit_parallel_roots(bp_roots)
+                .threads(threads);
+            let (index, seconds) = time(|| builder.build(g).expect("construction"));
+            (seconds, index.avg_label_size())
+        }
+        VariantGraph::Directed(dg) => {
+            let builder = DirectedIndexBuilder::new().threads(threads);
+            let (index, seconds) = time(|| builder.build(dg).expect("construction"));
+            (seconds, index.avg_label_size())
+        }
+        VariantGraph::Weighted(wg) => {
+            let builder = WeightedIndexBuilder::new().threads(threads);
+            let (index, seconds) = time(|| builder.build(wg).expect("construction"));
+            (seconds, index.avg_label_size())
+        }
+        VariantGraph::WeightedDirected(wd) => {
+            let builder = WeightedDirectedIndexBuilder::new().threads(threads);
+            let (index, seconds) = time(|| builder.build(wd).expect("construction"));
+            (seconds, index.avg_label_size())
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args();
 
-    // R-MAT scale: nearest power of two at or above --n.
-    let rmat_scale = (opts.n.max(2) as f64).log2().ceil() as u32;
-    let graphs: Vec<(&str, CsrGraph)> = vec![
-        (
-            "barabasi_albert",
-            gen::barabasi_albert(opts.n, 3, 42).expect("BA generator"),
-        ),
-        (
-            "rmat",
-            gen::rmat(rmat_scale, 8, RmatParams::GRAPH500, 42).expect("R-MAT generator"),
-        ),
-    ];
+    // The shared reference graphs (BA + R-MAT; see
+    // `pll_bench::reference_graphs`). The variant graphs are derived from
+    // the same undirected bases with fixed seeds, so every variant's
+    // trajectory keys off the same topology, and the CI determinism
+    // matrix proves determinism on exactly these graphs. Short names keep
+    // the JSON records stable across PRs.
+    let graphs: Vec<(&str, CsrGraph)> = reference_graphs(opts.n)
+        .into_iter()
+        .map(|(name, g)| {
+            (
+                if name.starts_with("barabasi_albert") {
+                    "barabasi_albert"
+                } else {
+                    "rmat"
+                },
+                g,
+            )
+        })
+        .collect();
 
     let mut records: Vec<String> = Vec::new();
-    for (name, g) in &graphs {
-        // Measure the whole sweep first; speedups are computed afterwards
-        // against the threads=1 entry wherever it appears in the sweep
-        // (JSON null when the sweep has no 1-thread baseline).
-        let mut runs: Vec<(usize, f64, f64)> = Vec::new();
-        for &threads in &opts.threads {
-            let builder = IndexBuilder::new()
-                .bit_parallel_roots(opts.bp_roots)
-                .threads(threads);
-            let (index, seconds) = time(|| builder.build(g).expect("construction"));
-            eprintln!(
-                "{name}: n={} m={} threads={threads} {seconds:.3}s ({:.2} labels/vertex)",
-                g.num_vertices(),
-                g.num_edges(),
-                index.avg_label_size(),
-            );
-            runs.push((threads, seconds, index.avg_label_size()));
-        }
-        let baseline = runs.iter().find(|&&(t, _, _)| t == 1).map(|&(_, s, _)| s);
-        for (threads, seconds, labels_per_vertex) in runs {
-            let speedup = baseline.map_or("null".to_string(), |b| format!("{:.4}", b / seconds));
-            records.push(format!(
-                "  {{\"graph\": \"{name}\", \"n\": {}, \"m\": {}, \"threads\": {threads}, \
-                 \"seconds\": {seconds:.6}, \"labels_per_vertex\": {labels_per_vertex:.4}, \
-                 \"speedup_vs_1\": {speedup}}}",
-                g.num_vertices(),
-                g.num_edges(),
-            ));
+    for variant in &opts.variants {
+        for (name, g) in &graphs {
+            // Measure the whole sweep first; speedups are computed
+            // afterwards against the threads=1 entry wherever it appears
+            // in the sweep (JSON null when the sweep has no 1-thread
+            // baseline).
+            let vg = if variant == "undirected" {
+                VariantGraph::Undirected(g)
+            } else {
+                prepare(variant, g)
+            };
+            let mut runs: Vec<(usize, f64, f64)> = Vec::new();
+            for &threads in &opts.threads {
+                let (seconds, labels_per_vertex) = build_once(&vg, threads, opts.bp_roots);
+                eprintln!(
+                    "{variant}/{name}: n={} m={} threads={threads} {seconds:.3}s \
+                     ({labels_per_vertex:.2} labels/vertex)",
+                    vg.num_vertices(),
+                    vg.num_edges(),
+                );
+                runs.push((threads, seconds, labels_per_vertex));
+            }
+            let baseline = runs.iter().find(|&&(t, _, _)| t == 1).map(|&(_, s, _)| s);
+            for (threads, seconds, labels_per_vertex) in runs {
+                let speedup =
+                    baseline.map_or("null".to_string(), |b| format!("{:.4}", b / seconds));
+                records.push(format!(
+                    "  {{\"variant\": \"{variant}\", \"graph\": \"{name}\", \"n\": {}, \
+                     \"m\": {}, \"threads\": {threads}, \"seconds\": {seconds:.6}, \
+                     \"labels_per_vertex\": {labels_per_vertex:.4}, \
+                     \"speedup_vs_1\": {speedup}}}",
+                    vg.num_vertices(),
+                    vg.num_edges(),
+                ));
+            }
         }
     }
 

@@ -255,6 +255,77 @@ pub fn load_dataset(spec: &DatasetSpec, scale: u32) -> CsrGraph {
     g
 }
 
+/// The construction-benchmark reference graphs: one scale-free
+/// (Barabási–Albert, n vertices, degree 3, seed 42) and one
+/// heavy-tailed-but-diffuse (R-MAT at the nearest power-of-two scale at
+/// or above `n`, GRAPH500 parameters, seed 42), so both pruning regimes
+/// (hub-dominated and diffuse) are exercised. Shared by the perf
+/// harness and the CI determinism matrix so the matrix always proves
+/// determinism on the graphs the bench measures.
+pub fn reference_graphs(n: usize) -> Vec<(String, CsrGraph)> {
+    let rmat_scale = (n.max(2) as f64).log2().ceil() as u32;
+    vec![
+        (
+            format!("barabasi_albert(n={n})"),
+            pll_graph::gen::barabasi_albert(n, 3, 42).expect("BA generator"),
+        ),
+        (
+            format!("rmat(scale={rmat_scale})"),
+            pll_graph::gen::rmat(rmat_scale, 8, pll_graph::gen::RmatParams::GRAPH500, 42)
+                .expect("R-MAT generator"),
+        ),
+    ]
+}
+
+/// Derives a simple digraph from an undirected graph by keeping every
+/// edge as a forward arc `u -> v` (with `u < v` as the generator emits
+/// them) and adding the reverse arc for roughly one edge in four, seeded
+/// — the asymmetry makes reachability genuinely directional, which is
+/// what the directed index variants must get right. Deterministic in
+/// `(g, seed)`.
+pub fn derive_digraph(g: &CsrGraph, seed: u64) -> pll_graph::CsrDigraph {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut arcs: Vec<(Vertex, Vertex)> = Vec::new();
+    for (u, v) in g.edges() {
+        arcs.push((u, v));
+        if rng.next_below(4) == 0 {
+            arcs.push((v, u));
+        }
+    }
+    arcs.sort_unstable();
+    pll_graph::CsrDigraph::from_edges(g.num_vertices(), &arcs).expect("derived digraph")
+}
+
+/// Attaches seeded integer weights in `1..=max_w` to an undirected
+/// graph's edges. Deterministic in `(g, seed, max_w)`.
+pub fn derive_weighted(g: &CsrGraph, seed: u64, max_w: u32) -> pll_graph::wgraph::WeightedGraph {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let edges: Vec<(Vertex, Vertex, u32)> = g
+        .edges()
+        .map(|(u, v)| (u, v, rng.next_below(max_w as u64) as u32 + 1))
+        .collect();
+    pll_graph::wgraph::WeightedGraph::from_edges(g.num_vertices(), &edges)
+        .expect("derived weighted graph")
+}
+
+/// Combines [`derive_digraph`] and [`derive_weighted`]: directional arcs
+/// with seeded weights in `1..=max_w`. Deterministic in
+/// `(g, seed, max_w)`.
+pub fn derive_weighted_digraph(
+    g: &CsrGraph,
+    seed: u64,
+    max_w: u32,
+) -> pll_graph::wdigraph::WeightedDigraph {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let d = derive_digraph(g, seed);
+    let arcs: Vec<(Vertex, Vertex, u32)> = d
+        .arcs()
+        .map(|(u, v)| (u, v, rng.next_below(max_w as u64) as u32 + 1))
+        .collect();
+    pll_graph::wdigraph::WeightedDigraph::from_edges(g.num_vertices(), &arcs)
+        .expect("derived weighted digraph")
+}
+
 /// Log-spaced checkpoints `1, 2, 4, …` up to `max` (inclusive), always
 /// ending with `max`.
 pub fn log_checkpoints(max: usize) -> Vec<usize> {
@@ -321,6 +392,23 @@ mod tests {
         }
         // Tiny batch falls back to sequential.
         assert_eq!(par_distances(&index, &pairs[..3], 8), seq[..3].to_vec());
+    }
+
+    #[test]
+    fn derived_variant_graphs_are_deterministic() {
+        let g = pll_graph::gen::barabasi_albert(120, 2, 3).unwrap();
+        let d1 = derive_digraph(&g, 7);
+        let d2 = derive_digraph(&g, 7);
+        assert_eq!(d1.num_edges(), d2.num_edges());
+        assert!(d1.num_edges() >= g.num_edges()); // forward arcs all kept
+        let w1 = derive_weighted(&g, 7, 16);
+        let w2 = derive_weighted(&g, 7, 16);
+        for (u, v, w) in w1.edges() {
+            assert_eq!(w2.edge_weight(u, v), Some(w));
+            assert!((1..=16).contains(&w));
+        }
+        let wd = derive_weighted_digraph(&g, 7, 16);
+        assert_eq!(wd.num_edges(), d1.num_edges());
     }
 
     #[test]

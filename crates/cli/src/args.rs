@@ -1,15 +1,21 @@
 //! Hand-rolled argument parsing for the `pll` binary (no CLI dependency).
 
-use pll_core::OrderingStrategy;
+use pll_core::{IndexFormat, OrderingStrategy};
 
 /// Usage text shown on errors.
 pub const USAGE: &str = "\
 usage:
-  pll build <edges.txt> <out.idx> [--order degree|random|closeness]
-            [--bp-roots t] [--seed s] [--threads k]   (k=0: all CPUs)
-  pll query <index.idx> <s> <t> [<s> <t> ...]
-  pll stats <index.idx>
-  pll bench <index.idx> [--queries q] [--seed s]";
+  pll build <edges.txt> <out.idx>
+            [--format undirected|directed|weighted|weighted-directed]
+            [--order degree|random|closeness] [--bp-roots t] [--seed s]
+            [--threads k]   (k=0: all CPUs; every format honors --threads)
+  pll query <index.idx> <s> <t> [<s> <t> ...]   (any format)
+  pll stats <index.idx>                         (any format)
+  pll bench <index.idx> [--queries q] [--seed s]  (any format)
+
+build input per format: `u v` per line (undirected/directed, directed
+reads u -> v), `u v w` per line (weighted/weighted-directed);
+--bp-roots and --order closeness apply to --format undirected only.";
 
 /// Argument errors.
 #[derive(Debug)]
@@ -27,13 +33,16 @@ pub enum Parsed {
         edges: String,
         /// Output index path.
         output: String,
+        /// Index family to build.
+        format: IndexFormat,
         /// Ordering strategy.
         order: OrderingStrategy,
-        /// Bit-parallel roots.
+        /// Bit-parallel roots (undirected format only).
         bp_roots: usize,
         /// Ordering seed.
         seed: u64,
-        /// Construction worker threads (1 = sequential, 0 = all CPUs).
+        /// Construction worker threads (1 = sequential, 0 = all CPUs);
+        /// honored by every format.
         threads: usize,
     },
     /// `pll query`.
@@ -86,14 +95,26 @@ impl Parsed {
                     .next()
                     .ok_or_else(|| usage("build: missing <out.idx>"))?
                     .clone();
+                let mut format = IndexFormat::Undirected;
                 let mut order = OrderingStrategy::Degree;
-                let mut bp_roots = 16usize;
+                let mut bp_roots: Option<usize> = None;
                 let mut seed = 0u64;
                 let mut threads = 1usize;
                 let rest: Vec<&String> = it.collect();
                 let mut i = 0;
                 while i < rest.len() {
                     match rest[i].as_str() {
+                        "--format" => {
+                            i += 1;
+                            let val = rest.get(i).ok_or_else(|| usage("--format needs a value"))?;
+                            format = match val.as_str() {
+                                "undirected" => IndexFormat::Undirected,
+                                "directed" => IndexFormat::Directed,
+                                "weighted" => IndexFormat::Weighted,
+                                "weighted-directed" => IndexFormat::WeightedDirected,
+                                other => return Err(usage(format!("unknown format {other:?}"))),
+                            };
+                        }
                         "--order" => {
                             i += 1;
                             let val = rest.get(i).ok_or_else(|| usage("--order needs a value"))?;
@@ -109,7 +130,7 @@ impl Parsed {
                             let val = rest
                                 .get(i)
                                 .ok_or_else(|| usage("--bp-roots needs a value"))?;
-                            bp_roots = parse_num(val, "--bp-roots")?;
+                            bp_roots = Some(parse_num(val, "--bp-roots")?);
                         }
                         "--seed" => {
                             i += 1;
@@ -127,11 +148,32 @@ impl Parsed {
                     }
                     i += 1;
                 }
+                // Cross-flag validation (flags may precede or follow
+                // --format): bit-parallel labels exist only for the
+                // undirected unweighted index (§5 / §6 of the paper), and
+                // the closeness ordering is implemented only there.
+                if format != IndexFormat::Undirected {
+                    if bp_roots.is_some() {
+                        return Err(usage(format!(
+                            "--bp-roots applies to --format undirected only (bit-parallel \
+                             labels cannot be used for the {} index)",
+                            format.name()
+                        )));
+                    }
+                    if matches!(order, OrderingStrategy::Closeness { .. }) {
+                        return Err(usage(format!(
+                            "--order closeness applies to --format undirected only \
+                             (unsupported for the {} index)",
+                            format.name()
+                        )));
+                    }
+                }
                 Ok(Parsed::Build {
                     edges,
                     output,
+                    format,
                     order,
-                    bp_roots,
+                    bp_roots: bp_roots.unwrap_or(16),
                     seed,
                     threads,
                 })
@@ -217,6 +259,7 @@ mod tests {
             Parsed::Build {
                 edges,
                 output,
+                format,
                 order,
                 bp_roots,
                 seed,
@@ -224,6 +267,7 @@ mod tests {
             } => {
                 assert_eq!(edges, "in.txt");
                 assert_eq!(output, "out.idx");
+                assert_eq!(format, IndexFormat::Undirected);
                 assert_eq!(order, OrderingStrategy::Degree);
                 assert_eq!(bp_roots, 16);
                 assert_eq!(seed, 0);
@@ -264,6 +308,82 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_build_formats_all_honor_threads() {
+        for (name, expect) in [
+            ("undirected", IndexFormat::Undirected),
+            ("directed", IndexFormat::Directed),
+            ("weighted", IndexFormat::Weighted),
+            ("weighted-directed", IndexFormat::WeightedDirected),
+        ] {
+            let p = Parsed::parse(&argv(&[
+                "build",
+                "a",
+                "b",
+                "--format",
+                name,
+                "--threads",
+                "4",
+            ]))
+            .unwrap();
+            match p {
+                Parsed::Build {
+                    format, threads, ..
+                } => {
+                    assert_eq!(format, expect, "--format {name}");
+                    assert_eq!(threads, 4, "--format {name} must honor --threads");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_build_rejects_undirected_only_flags_for_variants() {
+        for name in ["directed", "weighted", "weighted-directed"] {
+            // --bp-roots is undirected-only, wherever it appears relative
+            // to --format.
+            assert!(Parsed::parse(&argv(&[
+                "build",
+                "a",
+                "b",
+                "--format",
+                name,
+                "--bp-roots",
+                "4"
+            ]))
+            .is_err());
+            assert!(Parsed::parse(&argv(&[
+                "build",
+                "a",
+                "b",
+                "--bp-roots",
+                "4",
+                "--format",
+                name
+            ]))
+            .is_err());
+            // --order closeness is undirected-only.
+            assert!(Parsed::parse(&argv(&[
+                "build",
+                "a",
+                "b",
+                "--format",
+                name,
+                "--order",
+                "closeness"
+            ]))
+            .is_err());
+            // degree/random remain fine.
+            assert!(Parsed::parse(&argv(&[
+                "build", "a", "b", "--format", name, "--order", "random"
+            ]))
+            .is_ok());
+        }
+        assert!(Parsed::parse(&argv(&["build", "a", "b", "--format", "bogus"])).is_err());
+        assert!(Parsed::parse(&argv(&["build", "a", "b", "--format"])).is_err());
     }
 
     #[test]

@@ -2,21 +2,29 @@
 //! the command line.
 //!
 //! ```text
-//! pll build <edges.txt> <out.idx> [--order degree|random|closeness]
-//!           [--bp-roots t] [--seed s] [--threads k]
+//! pll build <edges.txt> <out.idx> [--format undirected|directed|weighted|weighted-directed]
+//!           [--order degree|random|closeness] [--bp-roots t] [--seed s] [--threads k]
 //! pll query <index.idx> <s> <t> [...more pairs]
 //! pll stats <index.idx>
 //! pll bench <index.idx> [--queries q] [--seed s]
 //! ```
 //!
-//! `build` reads a SNAP-style undirected edge list (whitespace separated,
-//! `#` comments), constructs the index and writes the versioned binary
-//! format of `pll_core::serialize`.
+//! `build` reads a SNAP-style edge list (whitespace separated, `#`
+//! comments; `u v` per line for the unweighted formats, `u v w` for the
+//! weighted ones), constructs the requested index variant — `--threads`
+//! selects batch-parallel construction for **every** format, with output
+//! byte-identical to the sequential build — and writes the versioned
+//! binary format of `pll_core::serialize`. `query`, `stats` and `bench`
+//! detect the index family from the file's magic bytes, so they work on
+//! any format.
 
-use pll_core::{serialize, IndexBuilder, OrderingStrategy, PllIndex};
+use pll_core::{
+    serialize, DirectedIndexBuilder, IndexBuilder, IndexFormat, OrderingStrategy,
+    WeightedDirectedIndexBuilder, WeightedIndexBuilder,
+};
 use pll_graph::{edgelist, Xoshiro256pp};
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Read};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -44,11 +52,12 @@ fn run(argv: &[String]) -> Result<(), String> {
         Parsed::Build {
             edges,
             output,
+            format,
             order,
             bp_roots,
             seed,
             threads,
-        } => build(&edges, &output, order, bp_roots, seed, threads),
+        } => build(&edges, &output, format, order, bp_roots, seed, threads),
         Parsed::Query { index, pairs } => query(&index, &pairs),
         Parsed::Stats { index } => stats(&index),
         Parsed::Bench {
@@ -59,115 +68,230 @@ fn run(argv: &[String]) -> Result<(), String> {
     }
 }
 
-fn load_index(path: &str) -> Result<PllIndex, String> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    serialize::load_index(BufReader::new(file)).map_err(|e| format!("cannot load {path}: {e}"))
+/// Reads the 8-byte magic prefix and identifies the index family.
+fn detect(path: &str) -> Result<IndexFormat, String> {
+    let mut file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    serialize::detect_format(&magic).map_err(|e| format!("cannot identify {path}: {e}"))
+}
+
+fn open(path: &str) -> Result<BufReader<File>, String> {
+    File::open(path)
+        .map(BufReader::new)
+        .map_err(|e| format!("cannot open {path}: {e}"))
 }
 
 fn build(
     edges: &str,
     output: &str,
+    format: IndexFormat,
     order: OrderingStrategy,
     bp_roots: usize,
     seed: u64,
     threads: usize,
 ) -> Result<(), String> {
     let file = File::open(edges).map_err(|e| format!("cannot open {edges}: {e}"))?;
-    let started = Instant::now();
-    let graph = edgelist::read_text(BufReader::new(file))
-        .map_err(|e| format!("cannot parse {edges}: {e}"))?;
-    eprintln!(
-        "graph: {} vertices, {} edges ({:.2} s)",
-        graph.num_vertices(),
-        graph.num_edges(),
-        started.elapsed().as_secs_f64()
-    );
+    let reader = BufReader::new(file);
+    let parse_started = Instant::now();
 
-    let started = Instant::now();
-    let index = IndexBuilder::new()
-        .ordering(order)
-        .bit_parallel_roots(bp_roots)
-        .seed(seed)
-        .threads(threads)
-        .build(&graph)
-        .map_err(|e| format!("construction failed: {e}"))?;
-    eprintln!(
-        "index: avg label {:.1}+{} entries, {} bytes ({:.2} s, {} thread{})",
-        index.avg_label_size(),
-        bp_roots,
-        index.memory_bytes(),
-        started.elapsed().as_secs_f64(),
-        index.stats().threads,
-        if index.stats().threads == 1 { "" } else { "s" },
-    );
-
-    let out = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
-    serialize::save_index(&index, BufWriter::new(out))
-        .map_err(|e| format!("cannot write {output}: {e}"))?;
-    eprintln!("wrote {output}");
+    // One arm per format; everything but the reader, builder and save
+    // function is shared. The output file is created only after a
+    // successful build, so a parse or construction failure never
+    // clobbers a pre-existing index at that path.
+    macro_rules! build_arm {
+        ($read:path, $builder:expr, $save:path, $bp_extra:expr) => {{
+            let graph = $read(reader).map_err(|e| format!("cannot parse {edges}: {e}"))?;
+            eprintln!(
+                "graph: {} vertices, {} edges ({:.2} s)",
+                graph.num_vertices(),
+                graph.num_edges(),
+                parse_started.elapsed().as_secs_f64()
+            );
+            let started = Instant::now();
+            let index = $builder
+                .build(&graph)
+                .map_err(|e| format!("construction failed: {e}"))?;
+            let threads_used = index.stats().threads;
+            eprintln!(
+                "index: avg label {:.1} entries, {} bytes ({:.2} s, {} thread{})",
+                index.avg_label_size() + $bp_extra,
+                index.memory_bytes(),
+                started.elapsed().as_secs_f64(),
+                threads_used,
+                if threads_used == 1 { "" } else { "s" },
+            );
+            let out = File::create(output)
+                .map(BufWriter::new)
+                .map_err(|e| format!("cannot create {output}: {e}"))?;
+            $save(&index, out).map_err(|e| format!("cannot write {output}: {e}"))?;
+        }};
+    }
+    match format {
+        IndexFormat::Undirected => build_arm!(
+            edgelist::read_text,
+            IndexBuilder::new()
+                .ordering(order)
+                .bit_parallel_roots(bp_roots)
+                .seed(seed)
+                .threads(threads),
+            serialize::save_index,
+            bp_roots as f64
+        ),
+        IndexFormat::Directed => build_arm!(
+            edgelist::read_directed_text,
+            DirectedIndexBuilder::new()
+                .ordering(order)
+                .seed(seed)
+                .threads(threads),
+            serialize::save_directed_index,
+            0.0
+        ),
+        IndexFormat::Weighted => build_arm!(
+            edgelist::read_weighted_text,
+            WeightedIndexBuilder::new()
+                .ordering(order)
+                .seed(seed)
+                .threads(threads),
+            serialize::save_weighted_index,
+            0.0
+        ),
+        IndexFormat::WeightedDirected => build_arm!(
+            edgelist::read_weighted_directed_text,
+            WeightedDirectedIndexBuilder::new()
+                .ordering(order)
+                .seed(seed)
+                .threads(threads),
+            serialize::save_weighted_directed_index,
+            0.0
+        ),
+    }
+    eprintln!("wrote {output} ({} format)", format.name());
     Ok(())
 }
 
 fn query(index_path: &str, pairs: &[(u32, u32)]) -> Result<(), String> {
-    let index = load_index(index_path)?;
-    for &(s, t) in pairs {
-        match index.try_distance(s, t) {
-            Ok(Some(d)) => println!("{s}\t{t}\t{d}"),
-            Ok(None) => println!("{s}\t{t}\tunreachable"),
-            Err(e) => return Err(e.to_string()),
-        }
+    let print = |s: u32, t: u32, d: Option<u64>| match d {
+        Some(d) => println!("{s}\t{t}\t{d}"),
+        None => println!("{s}\t{t}\tunreachable"),
+    };
+    // One arm per format; `u64::from` widens the unweighted `u32`
+    // distances so every arm prints through the same closure.
+    macro_rules! query_arm {
+        ($load:path) => {{
+            let index =
+                $load(open(index_path)?).map_err(|e| format!("cannot load {index_path}: {e}"))?;
+            for &(s, t) in pairs {
+                let d = index.try_distance(s, t).map_err(|e| e.to_string())?;
+                print(s, t, d.map(u64::from));
+            }
+        }};
+    }
+    match detect(index_path)? {
+        IndexFormat::Undirected => query_arm!(serialize::load_index),
+        IndexFormat::Directed => query_arm!(serialize::load_directed_index),
+        IndexFormat::Weighted => query_arm!(serialize::load_weighted_index),
+        IndexFormat::WeightedDirected => query_arm!(serialize::load_weighted_directed_index),
     }
     Ok(())
 }
 
 fn stats(index_path: &str) -> Result<(), String> {
-    let index = load_index(index_path)?;
-    let ls = index.label_size_stats();
-    println!("vertices:            {}", index.num_vertices());
-    println!("bit-parallel roots:  {}", index.bit_parallel().num_roots());
-    println!("label entries:       {}", ls.total_entries);
-    println!("avg label size:      {:.2}", ls.mean);
-    println!("label size min/max:  {} / {}", ls.min, ls.max);
-    println!(
-        "label size p50/p90/p99: {} / {} / {}",
-        ls.percentiles[3], ls.percentiles[5], ls.percentiles[6]
-    );
-    println!("index bytes:         {}", index.memory_bytes());
-    println!("parents stored:      {}", index.has_parents());
+    let format = detect(index_path)?;
+    println!("format:              {}", format.name());
+    match format {
+        IndexFormat::Undirected => {
+            let index = serialize::load_index(open(index_path)?)
+                .map_err(|e| format!("cannot load {index_path}: {e}"))?;
+            let ls = index.label_size_stats();
+            println!("vertices:            {}", index.num_vertices());
+            println!("bit-parallel roots:  {}", index.bit_parallel().num_roots());
+            println!("label entries:       {}", ls.total_entries);
+            println!("avg label size:      {:.2}", ls.mean);
+            println!("label size min/max:  {} / {}", ls.min, ls.max);
+            println!(
+                "label size p50/p90/p99: {} / {} / {}",
+                ls.percentiles[3], ls.percentiles[5], ls.percentiles[6]
+            );
+            println!("index bytes:         {}", index.memory_bytes());
+            println!("parents stored:      {}", index.has_parents());
+        }
+        IndexFormat::Directed => {
+            let index = serialize::load_directed_index(open(index_path)?)
+                .map_err(|e| format!("cannot load {index_path}: {e}"))?;
+            println!("vertices:            {}", index.num_vertices());
+            println!(
+                "label entries:       {} IN + {} OUT",
+                index.labels_in().total_entries(),
+                index.labels_out().total_entries()
+            );
+            println!("avg label size:      {:.2}", index.avg_label_size());
+            println!("index bytes:         {}", index.memory_bytes());
+        }
+        IndexFormat::Weighted => {
+            let index = serialize::load_weighted_index(open(index_path)?)
+                .map_err(|e| format!("cannot load {index_path}: {e}"))?;
+            println!("vertices:            {}", index.num_vertices());
+            println!("avg label size:      {:.2}", index.avg_label_size());
+            println!("index bytes:         {}", index.memory_bytes());
+        }
+        IndexFormat::WeightedDirected => {
+            let index = serialize::load_weighted_directed_index(open(index_path)?)
+                .map_err(|e| format!("cannot load {index_path}: {e}"))?;
+            println!("vertices:            {}", index.num_vertices());
+            println!("avg label size:      {:.2}", index.avg_label_size());
+            println!("index bytes:         {}", index.memory_bytes());
+        }
+    }
     Ok(())
 }
 
 fn bench(index_path: &str, queries: usize, seed: u64) -> Result<(), String> {
-    let index = load_index(index_path)?;
-    let n = index.num_vertices();
-    if n == 0 {
-        return Err("index is empty".into());
+    // One arm per format: every index type exposes num_vertices() and
+    // distance(s, t) -> Option<u32 | u64>, which is all the timing loop
+    // needs.
+    macro_rules! bench_arm {
+        ($load:path) => {{
+            let index =
+                $load(open(index_path)?).map_err(|e| format!("cannot load {index_path}: {e}"))?;
+            let n = index.num_vertices();
+            if n == 0 {
+                return Err("index is empty".into());
+            }
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            let pairs: Vec<(u32, u32)> = (0..queries)
+                .map(|_| {
+                    (
+                        rng.next_below(n as u64) as u32,
+                        rng.next_below(n as u64) as u32,
+                    )
+                })
+                .collect();
+            let started = Instant::now();
+            let mut sink = 0u64;
+            let mut connected = 0usize;
+            for &(s, t) in &pairs {
+                if let Some(d) = index.distance(s, t) {
+                    sink = sink.wrapping_add(d as u64);
+                    connected += 1;
+                }
+            }
+            let total = started.elapsed().as_secs_f64();
+            println!(
+                "{} queries in {:.3} s ({:.2} µs/query, {:.1}% connected, checksum {sink})",
+                queries,
+                total,
+                total / queries.max(1) as f64 * 1e6,
+                100.0 * connected as f64 / queries.max(1) as f64,
+            );
+        }};
     }
-    let mut rng = Xoshiro256pp::seed_from_u64(seed);
-    let pairs: Vec<(u32, u32)> = (0..queries)
-        .map(|_| {
-            (
-                rng.next_below(n as u64) as u32,
-                rng.next_below(n as u64) as u32,
-            )
-        })
-        .collect();
-    let started = Instant::now();
-    let mut sink = 0u64;
-    let mut connected = 0usize;
-    for &(s, t) in &pairs {
-        if let Some(d) = index.distance(s, t) {
-            sink = sink.wrapping_add(d as u64);
-            connected += 1;
-        }
+    match detect(index_path)? {
+        IndexFormat::Undirected => bench_arm!(serialize::load_index),
+        IndexFormat::Directed => bench_arm!(serialize::load_directed_index),
+        IndexFormat::Weighted => bench_arm!(serialize::load_weighted_index),
+        IndexFormat::WeightedDirected => bench_arm!(serialize::load_weighted_directed_index),
     }
-    let total = started.elapsed().as_secs_f64();
-    println!(
-        "{} queries in {:.3} s ({:.2} µs/query, {:.1}% connected, checksum {sink})",
-        queries,
-        total,
-        total / queries.max(1) as f64 * 1e6,
-        100.0 * connected as f64 / queries.max(1) as f64,
-    );
     Ok(())
 }

@@ -32,6 +32,9 @@
 //! every buffered entry that a same-batch hub certifies, which restores the
 //! canonical labeling. The result is **byte-identical to the sequential
 //! build** — see the determinism argument in [`crate::par`]'s module docs.
+//! The same substrate (via the [`crate::par::PrunedSearch`] trait) powers
+//! the `threads` knob of the directed, weighted and weighted-directed
+//! builders.
 
 use crate::bp::{select_bp_roots, BitParallelLabels, BpEntry, BpScratch};
 use crate::error::{PllError, Result};

@@ -5,11 +5,22 @@
 //! with `L_IN(t)`. Construction runs *two* pruned BFSs per root — one over
 //! out-edges (filling `L_IN` of reached vertices) and one over in-edges
 //! (filling `L_OUT`) — pruning each against the labels accumulated so far.
+//!
+//! [`DirectedIndexBuilder::threads`] selects the batch-parallel path: each
+//! worker runs a root's forward/backward relaxed BFS *pair* against the
+//! committed two-sided label state, and the batch barrier commits both
+//! sides in rank order (IN entries before OUT entries, matching the
+//! sequential forward-then-backward order), re-pruning each entry against
+//! the same-batch hubs its search could not see. The result is
+//! byte-identical to the sequential build; see [`crate::par`].
 
 use crate::error::{PllError, Result};
 use crate::label::{merge_query, LabelSet};
 use crate::order::OrderingStrategy;
-use crate::stats::ConstructionStats;
+use crate::par::{
+    commit_entries, resolve_threads, run_batched, BfsScratch, PrunedSearch, RootCommit,
+};
+use crate::stats::{ConstructionStats, RootStats};
 use crate::types::{Dist, Rank, Vertex, INF8, INF_QUERY, MAX_DIST};
 use pll_graph::reorder::inverse_permutation;
 use pll_graph::{CsrDigraph, Xoshiro256pp};
@@ -20,6 +31,7 @@ use std::time::Instant;
 pub struct DirectedIndexBuilder {
     ordering: OrderingStrategy,
     seed: u64,
+    threads: usize,
 }
 
 impl Default for DirectedIndexBuilder {
@@ -34,7 +46,21 @@ impl DirectedIndexBuilder {
         DirectedIndexBuilder {
             ordering: OrderingStrategy::Degree,
             seed: 0x5EED_1A5E,
+            threads: 1,
         }
+    }
+
+    /// Sets the number of worker threads for batch-parallel construction
+    /// (see [`crate::par`]): `1` (default) is the sequential §6 path,
+    /// `k > 1` runs the forward/backward pruned BFS pairs batch-parallel
+    /// on `k` threads with a `LabelSet` pair byte-identical to the
+    /// sequential build, and `0` auto-detects one thread per CPU. As with
+    /// the undirected path, a multi-threaded build may surface
+    /// [`PllError::DiameterTooLarge`] on a graph whose sequential build
+    /// prunes every search short of the 8-bit ceiling.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Sets the ordering strategy. `Degree` orders by `in + out` degree;
@@ -108,8 +134,44 @@ impl DirectedIndexBuilder {
             .collect();
         let h = CsrDigraph::from_edges(n, &rank_edges)?;
         let order_seconds = t0.elapsed().as_secs_f64();
+        let threads = resolve_threads(self.threads);
 
         let t1 = Instant::now();
+        let mut stats = ConstructionStats {
+            order_seconds,
+            threads,
+            ..Default::default()
+        };
+        if threads > 1 {
+            let mut state = DirectedState {
+                in_ranks: vec![Vec::new(); n],
+                in_dists: vec![Vec::new(); n],
+                out_ranks: vec![Vec::new(); n],
+                out_dists: vec![Vec::new(); n],
+            };
+            let roots: Vec<Rank> = (0..n as Rank).collect();
+            let search = DirectedSearch { h: &h };
+            run_batched(
+                &search,
+                &mut state,
+                &roots,
+                threads,
+                &mut stats,
+                None,
+                |_, _, _| Ok(()),
+            )?;
+            stats.pruned_seconds = t1.elapsed().as_secs_f64();
+            let labels_in = LabelSet::from_vecs(&state.in_ranks, &state.in_dists, None);
+            let labels_out = LabelSet::from_vecs(&state.out_ranks, &state.out_dists, None);
+            return Ok(DirectedPllIndex {
+                order,
+                inv,
+                labels_in,
+                labels_out,
+                stats,
+            });
+        }
+
         let mut in_ranks: Vec<Vec<Rank>> = vec![Vec::new(); n];
         let mut in_dists: Vec<Vec<Dist>> = vec![Vec::new(); n];
         let mut out_ranks: Vec<Vec<Rank>> = vec![Vec::new(); n];
@@ -118,11 +180,6 @@ impl DirectedIndexBuilder {
         let mut tentative: Vec<Dist> = vec![INF8; n];
         let mut temp: Vec<Dist> = vec![INF8; n];
         let mut queue: Vec<Rank> = Vec::with_capacity(n);
-        let mut stats = ConstructionStats {
-            order_seconds,
-            threads: 1,
-            ..Default::default()
-        };
 
         // One pruned BFS in a fixed direction. `forward = true` explores
         // out-edges from the root: it computes d(r, u) and labels L_IN(u);
@@ -240,6 +297,203 @@ impl DirectedIndexBuilder {
             labels_out,
             stats,
         })
+    }
+}
+
+/// Committed two-sided label state of the batch-parallel directed build.
+struct DirectedState {
+    in_ranks: Vec<Vec<Rank>>,
+    in_dists: Vec<Vec<Dist>>,
+    out_ranks: Vec<Vec<Rank>>,
+    out_dists: Vec<Vec<Dist>>,
+}
+
+/// Buffered output of one root's forward/backward relaxed BFS pair.
+struct DirectedRun {
+    /// Forward entries `(u, d(r → u))` destined for `L_IN(u)`.
+    in_entries: Vec<(Rank, Dist)>,
+    /// Backward entries `(u, d(u → r))` destined for `L_OUT(u)`.
+    out_entries: Vec<(Rank, Dist)>,
+    visited: u32,
+    pruned: u32,
+}
+
+/// The directed [`PrunedSearch`]: per root, a forward relaxed pruned BFS
+/// over out-arcs (buffering `L_IN` candidates, pruning against
+/// `L_OUT(r) ∩ L_IN(u)`) followed by the mirrored backward BFS.
+struct DirectedSearch<'g> {
+    h: &'g CsrDigraph,
+}
+
+impl PrunedSearch for DirectedSearch<'_> {
+    type State = DirectedState;
+    type Scratch = BfsScratch;
+    type Run = DirectedRun;
+
+    fn new_scratch(&self) -> BfsScratch {
+        BfsScratch::new(self.h.num_vertices())
+    }
+
+    fn search(&self, state: &DirectedState, r: Rank, ws: &mut BfsScratch) -> Result<DirectedRun> {
+        let mut run = DirectedRun {
+            in_entries: Vec::new(),
+            out_entries: Vec::new(),
+            visited: 0,
+            pruned: 0,
+        };
+        relaxed_directed_bfs(
+            self.h,
+            r,
+            true,
+            &state.out_ranks,
+            &state.out_dists,
+            &state.in_ranks,
+            &state.in_dists,
+            ws,
+            &mut run.in_entries,
+            &mut run.visited,
+            &mut run.pruned,
+        )?;
+        relaxed_directed_bfs(
+            self.h,
+            r,
+            false,
+            &state.in_ranks,
+            &state.in_dists,
+            &state.out_ranks,
+            &state.out_dists,
+            ws,
+            &mut run.out_entries,
+            &mut run.visited,
+            &mut run.pruned,
+        )?;
+        Ok(run)
+    }
+
+    fn commit(
+        &self,
+        state: &mut DirectedState,
+        batch_first: Rank,
+        r: Rank,
+        run: DirectedRun,
+    ) -> Result<RootCommit> {
+        let mut labeled = 0u32;
+        let mut repruned = 0u32;
+        // IN entries first, then OUT — the sequential forward BFS fully
+        // commits before the backward BFS starts. A forward entry
+        // `(r, u, d(r→u))` is certified by a same-batch hub
+        // `x ∈ L_OUT(r) ∩ L_IN(u)` with `d(r→x) + d(x→u) ≤ d`; the
+        // backward side mirrors it.
+        commit_entries(
+            &run.in_entries,
+            &mut state.in_ranks,
+            &mut state.in_dists,
+            Some((&state.out_ranks, &state.out_dists)),
+            batch_first,
+            r,
+            |d| Ok(d as Dist),
+            &mut labeled,
+            &mut repruned,
+        )?;
+        commit_entries(
+            &run.out_entries,
+            &mut state.out_ranks,
+            &mut state.out_dists,
+            Some((&state.in_ranks, &state.in_dists)),
+            batch_first,
+            r,
+            |d| Ok(d as Dist),
+            &mut labeled,
+            &mut repruned,
+        )?;
+        Ok(RootCommit {
+            stats: RootStats {
+                rank: r,
+                visited: run.visited,
+                labeled,
+                pruned: run.pruned + repruned,
+            },
+            repruned,
+        })
+    }
+}
+
+/// One relaxed pruned BFS in a fixed direction, buffering label
+/// candidates instead of publishing them. Mirrors the sequential
+/// `pruned_bfs` exactly (same temp preparation, prune test and lazy
+/// resets); `forward = true` explores out-arcs and buffers `L_IN`
+/// candidates.
+#[allow(clippy::too_many_arguments)]
+fn relaxed_directed_bfs(
+    h: &CsrDigraph,
+    r: Rank,
+    forward: bool,
+    root_side_ranks: &[Vec<Rank>],
+    root_side_dists: &[Vec<Dist>],
+    fill_ranks: &[Vec<Rank>],
+    fill_dists: &[Vec<Dist>],
+    ws: &mut BfsScratch,
+    entries: &mut Vec<(Rank, Dist)>,
+    visited: &mut u32,
+    pruned: &mut u32,
+) -> Result<()> {
+    for (idx, &w) in root_side_ranks[r as usize].iter().enumerate() {
+        ws.temp[w as usize] = root_side_dists[r as usize][idx];
+    }
+    ws.queue.clear();
+    ws.queue.push(r);
+    ws.tentative[r as usize] = 0;
+    let mut head = 0usize;
+    let mut error = None;
+
+    'bfs: while head < ws.queue.len() {
+        let u = ws.queue[head];
+        head += 1;
+        let d = ws.tentative[u as usize];
+        *visited += 1;
+
+        let mut prune = false;
+        let lr = &fill_ranks[u as usize];
+        let ld = &fill_dists[u as usize];
+        for (idx, &w) in lr.iter().enumerate() {
+            let tw = ws.temp[w as usize];
+            if tw != INF8 && tw as u32 + ld[idx] as u32 <= d as u32 {
+                prune = true;
+                break;
+            }
+        }
+        if prune {
+            *pruned += 1;
+            continue;
+        }
+        entries.push((u, d));
+
+        let neighbors = if forward {
+            h.out_neighbors(u)
+        } else {
+            h.in_neighbors(u)
+        };
+        for &w in neighbors {
+            if ws.tentative[w as usize] == INF8 {
+                if d >= MAX_DIST {
+                    error = Some(PllError::DiameterTooLarge { root_rank: r });
+                    break 'bfs;
+                }
+                ws.tentative[w as usize] = d + 1;
+                ws.queue.push(w);
+            }
+        }
+    }
+
+    for &v in ws.queue.iter() {
+        ws.tentative[v as usize] = INF8;
+    }
+    for &w in root_side_ranks[r as usize].iter() {
+        ws.temp[w as usize] = INF8;
+    }
+    match error {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 
@@ -438,6 +692,55 @@ mod tests {
         assert_eq!(idx.distance(0, 2), Some(2));
         assert_eq!(idx.distance(2, 0), None);
         assert_eq!(idx.distance(1, 0), Some(1));
+    }
+
+    #[test]
+    fn parallel_equals_sequential_directed() {
+        for seed in [1u64, 4, 11] {
+            let g = random_digraph(120, 480, seed);
+            for builder in [
+                DirectedIndexBuilder::new(),
+                DirectedIndexBuilder::new()
+                    .ordering(OrderingStrategy::Random)
+                    .seed(seed),
+            ] {
+                let seq = builder.clone().threads(1).build(&g).unwrap();
+                for k in [2usize, 3, 4, 8] {
+                    let par = builder.clone().threads(k).build(&g).unwrap();
+                    assert_eq!(
+                        seq.labels_in(),
+                        par.labels_in(),
+                        "L_IN diverged at threads={k}, seed={seed}"
+                    );
+                    assert_eq!(
+                        seq.labels_out(),
+                        par.labels_out(),
+                        "L_OUT diverged at threads={k}, seed={seed}"
+                    );
+                    assert_eq!(par.stats().threads, k);
+                    assert!(par.stats().parallel_batches > 0);
+                    assert_eq!(
+                        par.stats().total_labeled,
+                        seq.stats().total_labeled,
+                        "label volume diverged at threads={k}, seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_directed_is_exact() {
+        let g = random_digraph(80, 320, 7);
+        let idx = DirectedIndexBuilder::new().threads(4).build(&g).unwrap();
+        let n = g.num_vertices() as Vertex;
+        for s in 0..n {
+            let d = bfs_directed(&g, s);
+            for t in 0..n {
+                let expect = (d[t as usize] != INF_U32).then_some(d[t as usize]);
+                assert_eq!(idx.distance(s, t), expect, "pair ({s} -> {t})");
+            }
+        }
     }
 
     #[test]

@@ -64,7 +64,9 @@ pub use error::{PllError, Result};
 pub use index::PllIndex;
 pub use label::LabelSet;
 pub use order::OrderingStrategy;
+pub use par::{run_batched, PrunedSearch, RootCommit};
 pub use reduction::{Peeling, ReducedPllIndex};
+pub use serialize::IndexFormat;
 pub use stats::{ConstructionStats, LabelSizeStats, RootStats};
 pub use types::{Dist, Rank, Vertex, WDist};
 pub use weighted::{WeightedIndexBuilder, WeightedPllIndex};

@@ -1,38 +1,51 @@
 //! Batch-parallel index construction with deterministic, sequential-equal
-//! output.
+//! output — for **all four** graph variants.
 //!
-//! The paper's Algorithm 1 is inherently sequential: one pruned BFS per
+//! The paper's Algorithm 1 is inherently sequential: one pruned search per
 //! vertex, in rank order, each relying on the labels of every earlier
 //! root. Follow-up work (notably the PSL labelling of Li et al., *"A
 //! Highly Scalable Labelling Approach for Exact Distance Queries in
 //! Complex Networks"*) observed that the rank-order dependency can be
-//! relaxed: BFSs whose roots are *adjacent in rank* barely prune each
+//! relaxed: searches whose roots are *adjacent in rank* barely prune each
 //! other, so they can run concurrently as long as the result is fixed up
 //! to match the canonical labeling. This module implements that idea as a
-//! batched root-parallel scheme:
+//! variant-generic batched root-parallel substrate:
 //!
 //! 1. **Batching.** Remaining roots are processed in rank-ordered batches.
 //!    The first few roots run in singleton batches (they are the
 //!    high-degree hubs whose labels do nearly all later pruning, and their
-//!    BFSs would pollute each other); batch capacity then grows
+//!    searches would pollute each other); batch capacity then grows
 //!    geometrically up to a multiple of the thread count.
-//! 2. **Concurrent relaxed BFSs.** Each batch's pruned BFSs run on worker
-//!    threads (std scoped threads; roots are pulled from a shared atomic
-//!    cursor so slow roots don't straggle a static partition). A worker
-//!    owns thread-local 8-bit tentative/temp scratch arrays, reset lazily
-//!    exactly as §4.5 prescribes. The BFS prunes against the *committed*
-//!    labels (all batches before this one) and the fixed bit-parallel
-//!    labels, and **buffers** its would-be label entries instead of
-//!    publishing them.
+//! 2. **Concurrent relaxed searches.** Each batch's pruned searches run on
+//!    worker threads (std scoped threads; roots are pulled from a shared
+//!    atomic cursor so slow roots don't straggle a static partition). A
+//!    worker owns thread-local lazily-reset scratch (§4.5) and runs the
+//!    variant's per-root search — one pruned BFS for the undirected
+//!    unweighted index, a forward/backward pruned BFS *pair* for the
+//!    directed index, a pruned Dijkstra with a thread-local binary heap
+//!    for the weighted index, and a forward/backward pruned Dijkstra pair
+//!    for the weighted directed index. The search prunes against the
+//!    *committed* labels (all batches before this one) and **buffers** its
+//!    would-be label entries instead of publishing them.
 //! 3. **Rank-order commit + re-prune.** At the batch barrier the buffered
-//!    entries are committed strictly in rank order. An in-batch BFS from
-//!    root `r` could not see labels produced by same-batch roots `x < r`,
-//!    so it may have buffered entries the sequential build would have
-//!    pruned. Before appending an entry `(r, u, d)`, a merge-join over the
-//!    *fresh* (same-batch, already-committed) suffixes of `L(u)` and
-//!    `L(r)` checks for a hub `x` with `d(x,u) + d(x,r) ≤ d`; certified
-//!    entries are dropped. Per-thread visit counters are merged into
-//!    [`ConstructionStats`] at the same barrier.
+//!    entries are committed strictly in rank order. An in-batch search
+//!    from root `r` could not see labels produced by same-batch roots
+//!    `x < r`, so it may have buffered entries the sequential build would
+//!    have pruned. Before appending an entry `(r, u, d)`, a merge-join
+//!    over the *fresh* (same-batch, already-committed) suffixes of the two
+//!    relevant labels checks for a hub `x` with `d(x→u) + d(r→x) ≤ d`
+//!    (sides oriented per variant); certified entries are dropped.
+//!    Per-thread visit counters are merged into [`ConstructionStats`] at
+//!    the same barrier.
+//!
+//! The mechanics above — batching, fan-out, commit discipline — are shared
+//! across variants through the [`PrunedSearch`] trait and the
+//! [`run_batched`] driver; each variant contributes only its relaxed
+//! per-root search and its commit-time re-prune. The undirected
+//! implementation lives here; the directed, weighted and weighted-directed
+//! implementations live with their sequential builders in
+//! [`crate::directed`], [`crate::weighted`] and
+//! [`crate::weighted_directed`].
 //!
 //! # Why the output is byte-identical to the sequential build
 //!
@@ -41,18 +54,22 @@
 //! rank) characterisation — `(r, u)` is labeled iff the bit-parallel bound
 //! does not certify `d(r,u)` and no hub `x < r` with `(x,r)` and `(x,u)`
 //! both labeled has `d(x,u) + d(x,r) ≤ d(r,u)`. Relative to the
-//! sequential run, an in-batch BFS only *weakens* pruning (it misses
+//! sequential run, an in-batch search only *weakens* pruning (it misses
 //! same-batch certificates), so it buffers a superset of the sequential
 //! entries with identical distances. The commit-time re-prune applies
 //! exactly the missing same-batch certificates, in rank order, against
 //! already-canonical earlier labels — restoring the characterisation
 //! batch by batch, by induction. Two standard lemmas close the argument
-//! for vertices the sequential BFS never visited: certificates propagate
-//! down shortest paths (if `x` certifies a cut ancestor of `u'`, it
-//! certifies `u'`), and for the minimal-rank true-distance certificate
+//! for vertices the sequential search never visited: certificates
+//! propagate down shortest paths (if `x` certifies a cut ancestor of `u'`,
+//! it certifies `u'`), and for the minimal-rank true-distance certificate
 //! `x`, either `x` labels both endpoints or a bit-parallel root already
-//! certifies the pair — so every extra visit is caught by the BFS's own
-//! BP/committed-label tests or by the re-prune join.
+//! certifies the pair — so every extra visit is caught by the search's own
+//! BP/committed-label tests or by the re-prune join. Both lemmas use only
+//! the (directed) triangle inequality and the 2-hop cover invariant, so
+//! the argument carries verbatim to the directed variants (with the two
+//! label sides oriented along the search direction) and to the weighted
+//! variants (with additive edge weights and settle-time pruning).
 //!
 //! Two deliberate deviations from bit-exactness, both documented on
 //! [`IndexBuilder::threads`]: graphs whose pruned searches would exceed
@@ -62,7 +79,12 @@
 //! and `abort_after_seconds` triggers at batch rather than root
 //! granularity. `abort_if_avg_label_exceeds` fires at exactly the same
 //! root as the sequential build, because committed totals match after
-//! every root.
+//! every root. The weighted variants have no such caveat: their searches
+//! accumulate distances in 64-bit scratch and the `u32` label-overflow
+//! check runs at *commit* time on entries that survive the re-prune —
+//! exactly the entries the sequential build labels — so
+//! [`PllError::WeightedDistanceOverflow`] fires iff the sequential build
+//! fires it.
 
 use crate::bp::{bp_bfs_column, select_bp_roots, BitParallelLabels, BpEntry, BpScratch};
 use crate::build::{prune_test, BuildObserver, IndexBuilder, PartialIndex};
@@ -77,10 +99,10 @@ use pll_graph::CsrGraph;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Number of leading pruned-BFS roots processed in singleton batches. The
-/// head of the order is the set of hubs whose labels do nearly all later
-/// pruning; running them concurrently would buffer (and then re-prune)
-/// label entries for a large fraction of the graph per root.
+/// Number of leading pruned-search roots processed in singleton batches.
+/// The head of the order is the set of hubs whose labels do nearly all
+/// later pruning; running them concurrently would buffer (and then
+/// re-prune) label entries for a large fraction of the graph per root.
 const SEQUENTIAL_HEAD_ROOTS: usize = 32;
 
 /// Batch capacity cap, as a multiple of the thread count. Large batches
@@ -108,21 +130,322 @@ pub fn max_threads() -> usize {
     std::thread::available_parallelism().map_or(16, |p| p.get().saturating_mul(4).max(16))
 }
 
-/// Per-worker scratch for relaxed pruned BFSs: the 8-bit tentative (`P`)
-/// and temp (`T`) arrays of §4.5, reset lazily between roots, plus the
-/// reusable queue.
-struct WorkerScratch {
-    tentative: Vec<Dist>,
-    temp: Vec<Dist>,
-    queue: Vec<Rank>,
+/// One graph variant's contribution to the batch-parallel substrate: a
+/// relaxed per-root pruned search plus its commit-time re-prune.
+///
+/// The [`run_batched`] driver owns everything else — rank-ordered
+/// batching with a sequential head, the worker fan-out over scoped
+/// threads, the thread-local scratch pool, and the strict rank-order
+/// commit at each batch barrier. An implementation must uphold two
+/// contracts for the driver's sequential-identical guarantee to hold:
+///
+/// * [`search`](PrunedSearch::search) reads **only** committed label
+///   state (plus immutable per-variant context such as the rank-space
+///   graph) and buffers its label candidates into the returned
+///   [`Run`](PrunedSearch::Run) instead of publishing them. It must visit
+///   a superset of the sequential search's labeled vertices, at identical
+///   distances — which relaxing the prune tests (by missing same-batch
+///   hubs) guarantees for the pruned BFS/Dijkstra family.
+/// * [`commit`](PrunedSearch::commit) appends the run's surviving entries
+///   to the label state exactly as the sequential build would, dropping
+///   every entry certified by a same-batch hub `x` with
+///   `batch_first ≤ x < r` (see [`fresh_certificate`]), and returns the
+///   root's counters; the driver folds them into [`ConstructionStats`]
+///   (`pruned_roots`, `total_visited`, `total_labeled`, `total_pruned`,
+///   `repruned`), so no implementation touches the totals itself.
+///
+/// Invoked in rank order, the two methods therefore reproduce the
+/// sequential recursion batch by batch; see the module docs for the full
+/// determinism argument.
+pub trait PrunedSearch: Sync {
+    /// Committed label state: read (shared) by in-flight searches, written
+    /// only at the batch barrier by [`commit`](PrunedSearch::commit).
+    type State: Sync;
+    /// Thread-local scratch (tentative/temp arrays, queue or heap),
+    /// allocated once per worker and lazily reset between roots (§4.5).
+    type Scratch: Send;
+    /// Buffered output of one root's search(es): label candidates in
+    /// visit order plus visit/prune counters.
+    type Run: Send;
+
+    /// Allocates one worker's scratch.
+    fn new_scratch(&self) -> Self::Scratch;
+
+    /// Runs the relaxed pruned search(es) from `r` against the committed
+    /// state, buffering label candidates into the returned run.
+    fn search(
+        &self,
+        state: &Self::State,
+        r: Rank,
+        scratch: &mut Self::Scratch,
+    ) -> Result<Self::Run>;
+
+    /// Commits `run` at the batch barrier: re-prunes each buffered entry
+    /// against the same-batch hubs in `batch_first..r` and appends the
+    /// survivors in the sequential build's order. Returns the root's
+    /// counters; the driver folds them into [`ConstructionStats`].
+    fn commit(
+        &self,
+        state: &mut Self::State,
+        batch_first: Rank,
+        r: Rank,
+        run: Self::Run,
+    ) -> Result<RootCommit>;
 }
 
-impl WorkerScratch {
-    fn new(n: usize) -> Self {
-        WorkerScratch {
+/// Per-root outcome of a [`PrunedSearch::commit`], folded into
+/// [`ConstructionStats`] by the [`run_batched`] driver.
+pub struct RootCommit {
+    /// The root's visit/label/prune counters (`pruned` already includes
+    /// the commit-time `repruned` entries, preserving
+    /// `visited = labeled + pruned`).
+    pub stats: RootStats,
+    /// Entries buffered by the relaxed search but removed by the
+    /// commit-time re-prune (also counted inside `stats.pruned`).
+    pub repruned: u32,
+}
+
+/// The variant-generic batch-parallel driver: processes `roots` (already
+/// in rank order) in growing batches, fanning each batch's searches out
+/// over `threads` workers and committing results in rank order at the
+/// batch barrier.
+///
+/// `after_commit` runs after every root's commit with the committed state
+/// and that root's stats — the undirected path uses it for build
+/// observers and the label-budget abort; an `Err` aborts construction.
+/// `abort_seconds` is checked at batch granularity against the driver's
+/// own start time.
+pub fn run_batched<S: PrunedSearch>(
+    search: &S,
+    state: &mut S::State,
+    roots: &[Rank],
+    threads: usize,
+    stats: &mut ConstructionStats,
+    abort_seconds: Option<f64>,
+    mut after_commit: impl FnMut(&S::State, &RootStats, &mut ConstructionStats) -> Result<()>,
+) -> Result<()> {
+    let started = Instant::now();
+    let mut scratches: Vec<S::Scratch> = (0..threads).map(|_| search.new_scratch()).collect();
+
+    let mut pos = 0usize;
+    let mut batch_cap = threads;
+    while pos < roots.len() {
+        let cap = if pos < SEQUENTIAL_HEAD_ROOTS {
+            1
+        } else {
+            batch_cap
+        };
+        let batch = &roots[pos..(pos + cap).min(roots.len())];
+        let batch_first = batch[0];
+
+        // Fan out: workers pull roots from the shared cursor and buffer
+        // their label candidates against the committed (pre-batch) state.
+        let workers = threads.min(batch.len());
+        let cursor = AtomicUsize::new(0);
+        let worker_outputs: Vec<Vec<(usize, Result<S::Run>)>> = std::thread::scope(|scope| {
+            let cursor = &cursor;
+            let state: &S::State = state;
+            let handles: Vec<_> = scratches
+                .iter_mut()
+                .take(workers)
+                .map(|ws| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= batch.len() {
+                                break;
+                            }
+                            out.push((i, search.search(state, batch[i], ws)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("pruned-search worker panicked"))
+                .collect()
+        });
+        let mut runs: Vec<Option<Result<S::Run>>> = (0..batch.len()).map(|_| None).collect();
+        for (i, run) in worker_outputs.into_iter().flatten() {
+            runs[i] = Some(run);
+        }
+
+        // Barrier: commit in rank order, re-pruning each entry against the
+        // same-batch hubs its search could not see. Errors are surfaced
+        // for the lowest-ranked failing root, like the sequential build.
+        for (k, run) in runs.into_iter().enumerate() {
+            let r = batch[k];
+            let run = run.expect("every batch slot is claimed by exactly one worker")?;
+            let committed = search.commit(state, batch_first, r, run)?;
+            stats.pruned_roots += 1;
+            stats.total_visited += committed.stats.visited as u64;
+            stats.total_labeled += committed.stats.labeled as u64;
+            stats.total_pruned += committed.stats.pruned as u64;
+            stats.repruned += committed.repruned as u64;
+            after_commit(state, &committed.stats, stats)?;
+        }
+        stats.parallel_batches += 1;
+
+        if let Some(seconds) = abort_seconds {
+            if started.elapsed().as_secs_f64() > seconds {
+                return Err(PllError::TimeBudgetExceeded { seconds });
+            }
+        }
+
+        pos += batch.len();
+        if pos >= SEQUENTIAL_HEAD_ROOTS {
+            batch_cap = (batch_cap * 2).min(threads * MAX_BATCH_PER_THREAD);
+        }
+    }
+    Ok(())
+}
+
+/// The commit-time re-prune test for a buffered entry `(r, u, d)`: is
+/// there a hub `x` from this batch (`batch_first ≤ x < r`) present in
+/// both labels with `dist_u(x) + dist_r(x) ≤ d`? `(lu, du)` is the label
+/// that receives the entry (the one of `u`, on the side being filled) and
+/// `(lr, dr)` the root-side label of `r`; for undirected variants the two
+/// sides coincide. Labels are sorted by rank, so the fresh suffixes start
+/// at `partition_point` and a short merge-join decides it. Hubs
+/// `< batch_first` were already applied by the search's own prune test
+/// against the committed labels. Distances are compared in `u64`, which
+/// both the 8-bit unweighted and 32-bit weighted label distances embed
+/// into losslessly.
+pub fn fresh_certificate<D: Copy + Into<u64>>(
+    lu: &[Rank],
+    du: &[D],
+    lr: &[Rank],
+    dr: &[D],
+    batch_first: Rank,
+    r: Rank,
+    d: u64,
+) -> bool {
+    let mut i = lu.partition_point(|&x| x < batch_first);
+    let mut j = lr.partition_point(|&x| x < batch_first);
+    while i < lu.len() && j < lr.len() {
+        let (a, b) = (lu[i], lr[j]);
+        if a >= r || b >= r {
+            break;
+        }
+        if a == b {
+            if du[i].into() + dr[j].into() <= d {
+                return true;
+            }
+            i += 1;
+            j += 1;
+        } else if a < b {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    false
+}
+
+/// A borrowed label side: per-vertex rank and distance vectors.
+pub(crate) type LabelSideRef<'a, D> = (&'a [Vec<Rank>], &'a [Vec<D>]);
+
+/// Commits one label side's buffered entries for root `r`: each `(u, d)`
+/// is dropped if a same-batch hub certifies it ([`fresh_certificate`]
+/// over the fill-side label of `u` and the root-side label of `r`),
+/// otherwise converted by `convert` (identity for 8-bit BFS distances;
+/// the `u32` overflow check for the weighted variants) and appended to
+/// `u`'s fill-side label. `root_side` is `None` when the root-side label
+/// lives in the same (mutably borrowed) arrays as the fill side — the
+/// single-label undirected/weighted variants — and `Some` for the
+/// two-sided directed variants. Increments `labeled`/`repruned` so the
+/// caller can fold both sides of a root into one [`RootCommit`].
+///
+/// Shared by every [`PrunedSearch::commit`] implementation so the
+/// re-prune/append discipline cannot drift between variants.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn commit_entries<D, E>(
+    entries: &[(Rank, E)],
+    fill_ranks: &mut [Vec<Rank>],
+    fill_dists: &mut [Vec<D>],
+    root_side: Option<LabelSideRef<'_, D>>,
+    batch_first: Rank,
+    r: Rank,
+    convert: impl Fn(u64) -> Result<D>,
+    labeled: &mut u32,
+    repruned: &mut u32,
+) -> Result<()>
+where
+    D: Copy + Into<u64>,
+    E: Copy + Into<u64>,
+{
+    for &(u, d) in entries {
+        let d: u64 = d.into();
+        let certified = {
+            let (rr, rd) = match root_side {
+                Some((rr, rd)) => (&rr[r as usize], &rd[r as usize]),
+                // Entries this loop already appended to the root's own
+                // label all carry rank `r` itself, which the merge-join's
+                // `x < r` window excludes — reading the live label is
+                // equivalent to a pre-loop snapshot.
+                None => (&fill_ranks[r as usize], &fill_dists[r as usize]),
+            };
+            fresh_certificate(
+                &fill_ranks[u as usize],
+                &fill_dists[u as usize],
+                rr,
+                rd,
+                batch_first,
+                r,
+                d,
+            )
+        };
+        if certified {
+            *repruned += 1;
+            continue;
+        }
+        fill_ranks[u as usize].push(r);
+        fill_dists[u as usize].push(convert(d)?);
+        *labeled += 1;
+    }
+    Ok(())
+}
+
+/// Per-worker scratch for relaxed pruned BFSs: the 8-bit tentative (`P`)
+/// and temp (`T`) arrays of §4.5, reset lazily between roots, plus the
+/// reusable queue. Shared by the undirected and directed BFS variants.
+pub(crate) struct BfsScratch {
+    pub(crate) tentative: Vec<Dist>,
+    pub(crate) temp: Vec<Dist>,
+    pub(crate) queue: Vec<Rank>,
+}
+
+impl BfsScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        BfsScratch {
             tentative: vec![INF8; n],
             temp: vec![INF8; n],
             queue: Vec::new(),
+        }
+    }
+}
+
+/// Per-worker scratch for relaxed pruned Dijkstra searches: 64-bit
+/// tentative/temp arrays (weighted distances accumulate in `u64` before
+/// the `u32` label check), the touched-vertex list driving the lazy
+/// reset, and a reusable binary heap. Shared by the weighted and
+/// weighted-directed Dijkstra variants.
+pub(crate) struct DijkstraScratch {
+    pub(crate) tentative: Vec<u64>,
+    pub(crate) temp: Vec<u64>,
+    pub(crate) touched: Vec<Rank>,
+    pub(crate) heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, Rank)>>,
+}
+
+impl DijkstraScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        DijkstraScratch {
+            tentative: vec![pll_graph::INF_U64; n],
+            temp: vec![pll_graph::INF_U64; n],
+            touched: Vec::new(),
+            heap: std::collections::BinaryHeap::new(),
         }
     }
 }
@@ -137,6 +460,72 @@ struct RootRun {
     entries: Vec<(Rank, Dist)>,
     visited: u32,
     pruned: u32,
+}
+
+/// Committed label state of the undirected build (one label side).
+struct UndirectedState {
+    label_ranks: Vec<Vec<Rank>>,
+    label_dists: Vec<Vec<Dist>>,
+}
+
+/// The undirected unweighted [`PrunedSearch`]: one relaxed pruned BFS per
+/// root, pruning against committed labels and the fixed bit-parallel
+/// labels.
+struct UndirectedSearch<'g> {
+    h: &'g CsrGraph,
+    bp: &'g BitParallelLabels,
+}
+
+impl PrunedSearch for UndirectedSearch<'_> {
+    type State = UndirectedState;
+    type Scratch = BfsScratch;
+    type Run = RootRun;
+
+    fn new_scratch(&self) -> BfsScratch {
+        BfsScratch::new(self.h.num_vertices())
+    }
+
+    fn search(&self, state: &UndirectedState, r: Rank, ws: &mut BfsScratch) -> Result<RootRun> {
+        relaxed_pruned_bfs(
+            self.h,
+            self.bp,
+            &state.label_ranks,
+            &state.label_dists,
+            r,
+            ws,
+        )
+    }
+
+    fn commit(
+        &self,
+        state: &mut UndirectedState,
+        batch_first: Rank,
+        r: Rank,
+        run: RootRun,
+    ) -> Result<RootCommit> {
+        let mut labeled = 0u32;
+        let mut repruned = 0u32;
+        commit_entries(
+            &run.entries,
+            &mut state.label_ranks,
+            &mut state.label_dists,
+            None,
+            batch_first,
+            r,
+            |d| Ok(d as Dist),
+            &mut labeled,
+            &mut repruned,
+        )?;
+        Ok(RootCommit {
+            stats: RootStats {
+                rank: r,
+                visited: run.visited,
+                labeled,
+                pruned: run.pruned + repruned,
+            },
+            repruned,
+        })
+    }
 }
 
 /// The batch-parallel construction path behind
@@ -220,119 +609,46 @@ pub(crate) fn build_parallel(
     }
     stats.bp_seconds = t1.elapsed().as_secs_f64();
 
-    // Phase 2: batch-parallel pruned BFSs.
+    // Phase 2: batch-parallel pruned BFSs over the generic driver.
     let t2 = Instant::now();
-    let mut label_ranks: Vec<Vec<Rank>> = vec![Vec::new(); n];
-    let mut label_dists: Vec<Vec<Dist>> = vec![Vec::new(); n];
     let label_budget_entries = builder
         .abort_avg_label
         .map(|b| (b * n as f64).ceil() as u64);
 
+    let mut state = UndirectedState {
+        label_ranks: vec![Vec::new(); n],
+        label_dists: vec![Vec::new(); n],
+    };
     observer.after_bp_phase(&PartialIndex {
-        label_ranks: &label_ranks,
-        label_dists: &label_dists,
+        label_ranks: &state.label_ranks,
+        label_dists: &state.label_dists,
         bp: &bp,
         inv: &inv,
     });
 
     let roots: Vec<Rank> = (0..n as Rank).filter(|&r| !usd[r as usize]).collect();
-    let mut scratches: Vec<WorkerScratch> = (0..threads).map(|_| WorkerScratch::new(n)).collect();
-
-    let mut pos = 0usize;
-    let mut batch_cap = threads;
-    while pos < roots.len() {
-        let cap = if pos < SEQUENTIAL_HEAD_ROOTS {
-            1
-        } else {
-            batch_cap
-        };
-        let batch = &roots[pos..(pos + cap).min(roots.len())];
-        let batch_first = batch[0];
-
-        // Fan out: workers pull roots from the shared cursor and buffer
-        // their label candidates against the committed (pre-batch) state.
-        let workers = threads.min(batch.len());
-        let cursor = AtomicUsize::new(0);
-        let worker_outputs: Vec<Vec<(usize, Result<RootRun>)>> = std::thread::scope(|scope| {
-            let cursor = &cursor;
-            let h = &h;
-            let bp = &bp;
-            let label_ranks = &label_ranks;
-            let label_dists = &label_dists;
-            let handles: Vec<_> = scratches
-                .iter_mut()
-                .take(workers)
-                .map(|ws| {
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= batch.len() {
-                                break;
-                            }
-                            out.push((
-                                i,
-                                relaxed_pruned_bfs(h, bp, label_ranks, label_dists, batch[i], ws),
-                            ));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("pruned-BFS worker panicked"))
-                .collect()
-        });
-        let mut runs: Vec<Option<Result<RootRun>>> = (0..batch.len()).map(|_| None).collect();
-        for (i, run) in worker_outputs.into_iter().flatten() {
-            runs[i] = Some(run);
-        }
-
-        // Barrier: commit in rank order, re-pruning each entry against the
-        // same-batch hubs its BFS could not see. Errors are surfaced for
-        // the lowest-ranked failing root, like the sequential build.
-        for (k, run) in runs.into_iter().enumerate() {
-            let r = batch[k];
-            let run = run.expect("every batch slot is claimed by exactly one worker")?;
-            let mut labeled = 0u32;
-            let mut repruned = 0u32;
-            for &(u, d) in &run.entries {
-                if same_batch_certificate(&label_ranks, &label_dists, batch_first, r, u, d) {
-                    repruned += 1;
-                    continue;
-                }
-                label_ranks[u as usize].push(r);
-                label_dists[u as usize].push(d);
-                labeled += 1;
-            }
-            usd[r as usize] = true;
-
-            stats.pruned_roots += 1;
-            stats.total_visited += run.visited as u64;
-            stats.total_labeled += labeled as u64;
-            stats.total_pruned += (run.pruned + repruned) as u64;
-            stats.repruned += repruned as u64;
-            let root_stats = RootStats {
-                rank: r,
-                visited: run.visited,
-                labeled,
-                pruned: run.pruned + repruned,
-            };
+    let search = UndirectedSearch { h: &h, bp: &bp };
+    run_batched(
+        &search,
+        &mut state,
+        &roots,
+        threads,
+        &mut stats,
+        builder.abort_seconds,
+        |st, root_stats, stats| {
             if let Some(per_root) = &mut stats.per_root {
-                per_root.push(root_stats);
+                per_root.push(*root_stats);
             }
             observer.after_root(
                 stats.pruned_roots,
-                &root_stats,
+                root_stats,
                 &PartialIndex {
-                    label_ranks: &label_ranks,
-                    label_dists: &label_dists,
+                    label_ranks: &st.label_ranks,
+                    label_dists: &st.label_dists,
                     bp: &bp,
                     inv: &inv,
                 },
             );
-
             if let Some(budget) = label_budget_entries {
                 if stats.total_labeled > budget {
                     return Err(PllError::LabelBudgetExceeded {
@@ -340,23 +656,12 @@ pub(crate) fn build_parallel(
                     });
                 }
             }
-        }
-        stats.parallel_batches += 1;
-
-        if let Some(seconds) = builder.abort_seconds {
-            if t2.elapsed().as_secs_f64() > seconds {
-                return Err(PllError::TimeBudgetExceeded { seconds });
-            }
-        }
-
-        pos += batch.len();
-        if pos >= SEQUENTIAL_HEAD_ROOTS {
-            batch_cap = (batch_cap * 2).min(threads * MAX_BATCH_PER_THREAD);
-        }
-    }
+            Ok(())
+        },
+    )?;
     stats.pruned_seconds = t2.elapsed().as_secs_f64();
 
-    let labels = LabelSet::from_vecs(&label_ranks, &label_dists, None);
+    let labels = LabelSet::from_vecs(&state.label_ranks, &state.label_dists, None);
     Ok(PllIndex::from_parts(order, inv, labels, bp, stats))
 }
 
@@ -371,7 +676,7 @@ fn relaxed_pruned_bfs(
     label_ranks: &[Vec<Rank>],
     label_dists: &[Vec<Dist>],
     r: Rank,
-    ws: &mut WorkerScratch,
+    ws: &mut BfsScratch,
 ) -> Result<RootRun> {
     // Prepare the temp array from the committed L(r): T[w] = d(w, r).
     {
@@ -442,46 +747,6 @@ fn relaxed_pruned_bfs(
             pruned,
         }),
     }
-}
-
-/// The commit-time re-prune test for a buffered entry `(r, u, d)`: is
-/// there a hub `x` from this batch (`batch_first ≤ x < r`) labeling both
-/// `u` and `r` with `d(x,u) + d(x,r) ≤ d`? Labels are sorted by rank, so
-/// the fresh suffixes start at `partition_point` and a short merge-join
-/// decides it. Hubs `< batch_first` were already applied by the BFS's own
-/// prune test against the committed labels.
-fn same_batch_certificate(
-    label_ranks: &[Vec<Rank>],
-    label_dists: &[Vec<Dist>],
-    batch_first: Rank,
-    r: Rank,
-    u: Rank,
-    d: Dist,
-) -> bool {
-    let lu = &label_ranks[u as usize];
-    let du = &label_dists[u as usize];
-    let lr = &label_ranks[r as usize];
-    let dr = &label_dists[r as usize];
-    let mut i = lu.partition_point(|&x| x < batch_first);
-    let mut j = lr.partition_point(|&x| x < batch_first);
-    while i < lu.len() && j < lr.len() {
-        let (a, b) = (lu[i], lr[j]);
-        if a >= r || b >= r {
-            break;
-        }
-        if a == b {
-            if du[i] as u32 + dr[j] as u32 <= d as u32 {
-                return true;
-            }
-            i += 1;
-            j += 1;
-        } else if a < b {
-            i += 1;
-        } else {
-            j += 1;
-        }
-    }
-    false
 }
 
 #[cfg(test)]
@@ -669,5 +934,21 @@ mod tests {
         assert!(resolve_threads(0) >= 1);
         assert!(resolve_threads(usize::MAX) <= max_threads());
         assert!(max_threads() >= 16);
+    }
+
+    #[test]
+    fn fresh_certificate_respects_batch_window() {
+        // u's label: hubs 2 (d=1), 5 (d=1); r's label: hubs 2 (d=1), 5 (d=2).
+        let lu = vec![2u32, 5];
+        let du = vec![1u8, 1];
+        let lr = vec![2u32, 5];
+        let dr = vec![1u8, 2];
+        // Hub 2 certifies d=2 when the batch window includes it...
+        assert!(fresh_certificate(&lu, &du, &lr, &dr, 0, 10, 2));
+        // ...but not when the window starts after it (hub 5 needs d ≥ 3).
+        assert!(!fresh_certificate(&lu, &du, &lr, &dr, 3, 10, 2));
+        assert!(fresh_certificate(&lu, &du, &lr, &dr, 3, 10, 3));
+        // Hubs at or above the committing root never certify.
+        assert!(!fresh_certificate(&lu, &du, &lr, &dr, 0, 2, 9));
     }
 }

@@ -449,6 +449,130 @@ pub fn load_directed_index<R: Read>(reader: R) -> Result<crate::directed::Direct
     ))
 }
 
+const WEIGHTED_DIRECTED_MAGIC: &[u8; 8] = b"PLLWDID1";
+
+/// Writes a weighted directed index (`PLLWDID1` frame; IN then OUT label
+/// sides, 32-bit label distances).
+pub fn save_weighted_directed_index<W: Write>(
+    index: &crate::weighted_directed::WeightedDirectedPllIndex,
+    writer: W,
+) -> Result<()> {
+    let (order, side_in, side_out) = index.as_raw();
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(order.len() as u64).to_le_bytes());
+    for &v in order {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    for (offsets, ranks, dists) in [side_in, side_out] {
+        for &o in offsets {
+            payload.extend_from_slice(&o.to_le_bytes());
+        }
+        payload.extend_from_slice(&(ranks.len() as u64).to_le_bytes());
+        for &r in ranks {
+            payload.extend_from_slice(&r.to_le_bytes());
+        }
+        for &d in dists {
+            payload.extend_from_slice(&d.to_le_bytes());
+        }
+    }
+    write_framed(writer, WEIGHTED_DIRECTED_MAGIC, &payload)
+}
+
+/// Reads a weighted directed index written by
+/// [`save_weighted_directed_index`].
+pub fn load_weighted_directed_index<R: Read>(
+    reader: R,
+) -> Result<crate::weighted_directed::WeightedDirectedPllIndex> {
+    let payload = read_framed(reader, WEIGHTED_DIRECTED_MAGIC)?;
+    let mut c = Cursor {
+        buf: &payload,
+        pos: 0,
+    };
+    let n = c.u64()? as usize;
+    if n.saturating_mul(12) > payload.len() {
+        return Err(PllError::Format {
+            message: "vertex count exceeds payload size".into(),
+        });
+    }
+    let order = c.u32_vec(n)?;
+    validate_order(&order, n)?;
+    let mut sides = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let offsets = c.u32_vec(n + 1)?;
+        let total = c.u64()? as usize;
+        if total != *offsets.last().unwrap_or(&0) as usize {
+            return Err(PllError::Format {
+                message: "label length disagrees with offsets".into(),
+            });
+        }
+        let ranks = c.u32_vec(total)?;
+        let dists = c.u32_vec(total)?;
+        validate_sentinel_labels(&offsets, &ranks)?;
+        sides.push((offsets, ranks, dists));
+    }
+    if c.pos != payload.len() {
+        return Err(PllError::Format {
+            message: "trailing payload bytes".into(),
+        });
+    }
+    let (out_offsets, out_ranks, out_dists) = sides.pop().expect("two sides pushed");
+    let (in_offsets, in_ranks, in_dists) = sides.pop().expect("two sides pushed");
+    let inv = inverse_permutation(&order);
+    Ok(
+        crate::weighted_directed::WeightedDirectedPllIndex::from_raw(
+            order,
+            inv,
+            in_offsets,
+            in_ranks,
+            in_dists,
+            out_offsets,
+            out_ranks,
+            out_dists,
+        ),
+    )
+}
+
+/// The four index families the versioned on-disk format distinguishes,
+/// detected from the 8-byte magic prefix (see [`detect_format`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexFormat {
+    /// `PLLIDX01` — undirected unweighted ([`load_index`]).
+    Undirected,
+    /// `PLLDIDX1` — directed unweighted ([`load_directed_index`]).
+    Directed,
+    /// `PLLWIDX1` — weighted undirected ([`load_weighted_index`]).
+    Weighted,
+    /// `PLLWDID1` — weighted directed
+    /// ([`load_weighted_directed_index`]).
+    WeightedDirected,
+}
+
+impl IndexFormat {
+    /// The CLI-facing name (`pll build --format <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexFormat::Undirected => "undirected",
+            IndexFormat::Directed => "directed",
+            IndexFormat::Weighted => "weighted",
+            IndexFormat::WeightedDirected => "weighted-directed",
+        }
+    }
+}
+
+/// Identifies which index family a serialised file holds from its 8-byte
+/// magic prefix, or [`PllError::Format`] for an unknown prefix.
+pub fn detect_format(magic: &[u8; 8]) -> Result<IndexFormat> {
+    match magic {
+        m if m == MAGIC => Ok(IndexFormat::Undirected),
+        m if m == DIRECTED_MAGIC => Ok(IndexFormat::Directed),
+        m if m == WEIGHTED_MAGIC => Ok(IndexFormat::Weighted),
+        m if m == WEIGHTED_DIRECTED_MAGIC => Ok(IndexFormat::WeightedDirected),
+        _ => Err(PllError::Format {
+            message: "bad magic bytes".into(),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -584,6 +708,65 @@ mod tests {
         // Truncation is rejected.
         buf.truncate(buf.len() - 3);
         assert!(load_directed_index(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn weighted_directed_roundtrip() {
+        use crate::weighted_directed::WeightedDirectedIndexBuilder;
+        use pll_graph::wdigraph::WeightedDigraph;
+        let mut rng = pll_graph::Xoshiro256pp::seed_from_u64(11);
+        let mut arcs = std::collections::HashMap::new();
+        while arcs.len() < 200 {
+            let u = rng.next_below(50) as u32;
+            let v = rng.next_below(50) as u32;
+            if u != v {
+                arcs.entry((u, v))
+                    .or_insert_with(|| rng.next_below(9) as u32 + 1);
+            }
+        }
+        let mut list: Vec<(u32, u32, u32)> =
+            arcs.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+        list.sort_unstable();
+        let g = WeightedDigraph::from_edges(50, &list).unwrap();
+        let idx = WeightedDirectedIndexBuilder::new().build(&g).unwrap();
+        let mut buf = Vec::new();
+        save_weighted_directed_index(&idx, &mut buf).unwrap();
+        let loaded = load_weighted_directed_index(buf.as_slice()).unwrap();
+        for s in 0..50u32 {
+            for t in (0..50u32).step_by(3) {
+                assert_eq!(loaded.distance(s, t), idx.distance(s, t), "({s}->{t})");
+            }
+        }
+        // Corruption and wrong-family magic are rejected.
+        let mut corrupt = buf.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x55;
+        assert!(load_weighted_directed_index(corrupt.as_slice()).is_err());
+        assert!(load_weighted_directed_index(&b"garbage"[..]).is_err());
+        let mut weighted = Vec::new();
+        let base = gen::path(4).unwrap();
+        let wg = pll_graph::wgraph::WeightedGraph::from_unweighted(&base);
+        let widx = crate::weighted::WeightedIndexBuilder::new()
+            .build(&wg)
+            .unwrap();
+        save_weighted_index(&widx, &mut weighted).unwrap();
+        assert!(load_weighted_directed_index(weighted.as_slice()).is_err());
+        // Truncation is rejected.
+        buf.truncate(buf.len() - 3);
+        assert!(load_weighted_directed_index(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn detect_format_recognises_all_magics() {
+        assert_eq!(detect_format(b"PLLIDX01").unwrap(), IndexFormat::Undirected);
+        assert_eq!(detect_format(b"PLLDIDX1").unwrap(), IndexFormat::Directed);
+        assert_eq!(detect_format(b"PLLWIDX1").unwrap(), IndexFormat::Weighted);
+        assert_eq!(
+            detect_format(b"PLLWDID1").unwrap(),
+            IndexFormat::WeightedDirected
+        );
+        assert!(detect_format(b"NOTMAGIC").is_err());
+        assert_eq!(IndexFormat::WeightedDirected.name(), "weighted-directed");
     }
 
     #[test]

@@ -6,10 +6,21 @@
 //! graphs." Distances are 32-bit in labels (accumulated in 64-bit during
 //! search); the pruning test runs at *settle* time, when a vertex's distance
 //! from the root is final.
+//!
+//! [`WeightedIndexBuilder::threads`] selects the batch-parallel path:
+//! each worker runs a relaxed pruned Dijkstra with a thread-local binary
+//! heap and lazily-reset 64-bit `dist` scratch, and the batch barrier
+//! commits entries in rank order with the same-batch re-prune. The `u32`
+//! label-overflow check moves to commit time, where it fires on exactly
+//! the entries the sequential build labels — so the parallel path is
+//! byte-identical *including* its error behaviour; see [`crate::par`].
 
 use crate::error::{PllError, Result};
 use crate::order::OrderingStrategy;
-use crate::stats::ConstructionStats;
+use crate::par::{
+    commit_entries, resolve_threads, run_batched, DijkstraScratch, PrunedSearch, RootCommit,
+};
+use crate::stats::{ConstructionStats, RootStats};
 use crate::types::{Rank, Vertex, WDist, RANK_SENTINEL};
 use pll_graph::reorder::inverse_permutation;
 use pll_graph::wgraph::WeightedGraph;
@@ -23,6 +34,7 @@ use std::time::Instant;
 pub struct WeightedIndexBuilder {
     ordering: OrderingStrategy,
     seed: u64,
+    threads: usize,
 }
 
 impl Default for WeightedIndexBuilder {
@@ -37,7 +49,20 @@ impl WeightedIndexBuilder {
         WeightedIndexBuilder {
             ordering: OrderingStrategy::Degree,
             seed: 0x5EED_1A5E,
+            threads: 1,
         }
+    }
+
+    /// Sets the number of worker threads for batch-parallel construction
+    /// (see [`crate::par`]): `1` (default) is the sequential pruned
+    /// Dijkstra path, `k > 1` runs batch-parallel pruned Dijkstras on `k`
+    /// threads with a byte-identical index (including
+    /// [`PllError::WeightedDistanceOverflow`] behaviour, checked at
+    /// commit time on exactly the sequential build's entries), and `0`
+    /// auto-detects one thread per CPU.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Sets the ordering strategy (`Degree`, `Random` or `Custom`;
@@ -107,8 +132,42 @@ impl WeightedIndexBuilder {
             .collect();
         let h = WeightedGraph::from_edges(n, &rank_edges)?;
         let order_seconds = t0.elapsed().as_secs_f64();
+        let threads = resolve_threads(self.threads);
 
         let t1 = Instant::now();
+        let mut stats = ConstructionStats {
+            order_seconds,
+            threads,
+            ..Default::default()
+        };
+        if threads > 1 {
+            let mut state = WeightedState {
+                label_ranks: vec![Vec::new(); n],
+                label_dists: vec![Vec::new(); n],
+            };
+            let roots: Vec<Rank> = (0..n as Rank).collect();
+            let search = WeightedSearch { h: &h };
+            run_batched(
+                &search,
+                &mut state,
+                &roots,
+                threads,
+                &mut stats,
+                None,
+                |_, _, _| Ok(()),
+            )?;
+            stats.pruned_seconds = t1.elapsed().as_secs_f64();
+            let (offsets, ranks, dists) = flatten_weighted(&state.label_ranks, &state.label_dists);
+            return Ok(WeightedPllIndex {
+                order,
+                inv,
+                offsets,
+                ranks,
+                dists,
+                stats,
+            });
+        }
+
         let mut label_ranks: Vec<Vec<Rank>> = vec![Vec::new(); n];
         let mut label_dists: Vec<Vec<WDist>> = vec![Vec::new(); n];
 
@@ -116,11 +175,6 @@ impl WeightedIndexBuilder {
         let mut temp: Vec<u64> = vec![INF_U64; n];
         let mut touched: Vec<Rank> = Vec::new();
         let mut heap: BinaryHeap<Reverse<(u64, Rank)>> = BinaryHeap::new();
-        let mut stats = ConstructionStats {
-            order_seconds,
-            threads: 1,
-            ..Default::default()
-        };
 
         for r in 0..n as Rank {
             for (idx, &w) in label_ranks[r as usize].iter().enumerate() {
@@ -181,19 +235,7 @@ impl WeightedIndexBuilder {
         }
         stats.pruned_seconds = t1.elapsed().as_secs_f64();
 
-        // Flatten with sentinels.
-        let total: usize = label_ranks.iter().map(|l| l.len() + 1).sum();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut ranks = Vec::with_capacity(total);
-        let mut dists = Vec::with_capacity(total);
-        offsets.push(0u32);
-        for v in 0..n {
-            ranks.extend_from_slice(&label_ranks[v]);
-            dists.extend_from_slice(&label_dists[v]);
-            ranks.push(RANK_SENTINEL);
-            dists.push(WDist::MAX);
-            offsets.push(ranks.len() as u32);
-        }
+        let (offsets, ranks, dists) = flatten_weighted(&label_ranks, &label_dists);
 
         Ok(WeightedPllIndex {
             order,
@@ -203,6 +245,189 @@ impl WeightedIndexBuilder {
             dists,
             stats,
         })
+    }
+}
+
+/// Flattens per-vertex weighted labels into the sentinel-terminated arena
+/// layout (§4.5 "Sentinel"), shared by the sequential and batch-parallel
+/// paths so their serialised forms agree byte for byte.
+pub(crate) fn flatten_weighted(
+    label_ranks: &[Vec<Rank>],
+    label_dists: &[Vec<WDist>],
+) -> (Vec<u32>, Vec<Rank>, Vec<WDist>) {
+    let n = label_ranks.len();
+    let total: usize = label_ranks.iter().map(|l| l.len() + 1).sum();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut ranks = Vec::with_capacity(total);
+    let mut dists = Vec::with_capacity(total);
+    offsets.push(0u32);
+    for v in 0..n {
+        ranks.extend_from_slice(&label_ranks[v]);
+        dists.extend_from_slice(&label_dists[v]);
+        ranks.push(RANK_SENTINEL);
+        dists.push(WDist::MAX);
+        offsets.push(ranks.len() as u32);
+    }
+    (offsets, ranks, dists)
+}
+
+/// The commit-time `u32` label check of the weighted variants: the
+/// sequential build checks this at settle time; surviving entries at
+/// commit are exactly its labeled entries, so
+/// [`PllError::WeightedDistanceOverflow`] fires on the same root either
+/// way.
+pub(crate) fn check_label_overflow(d: u64) -> Result<WDist> {
+    if d > WDist::MAX as u64 - 1 {
+        return Err(PllError::WeightedDistanceOverflow);
+    }
+    Ok(d as WDist)
+}
+
+/// Committed label state of the batch-parallel weighted build.
+struct WeightedState {
+    label_ranks: Vec<Vec<Rank>>,
+    label_dists: Vec<Vec<WDist>>,
+}
+
+/// Buffered output of one relaxed pruned Dijkstra: `(vertex, distance)`
+/// candidates in settle order (distances still in 64-bit scratch space;
+/// the `u32` check happens at commit, on entries that survive the
+/// re-prune).
+struct WeightedRun {
+    entries: Vec<(Rank, u64)>,
+    visited: u32,
+    pruned: u32,
+}
+
+/// The weighted [`PrunedSearch`]: one relaxed pruned Dijkstra per root
+/// with a thread-local binary heap, pruning at settle time against the
+/// committed labels.
+struct WeightedSearch<'g> {
+    h: &'g WeightedGraph,
+}
+
+impl PrunedSearch for WeightedSearch<'_> {
+    type State = WeightedState;
+    type Scratch = DijkstraScratch;
+    type Run = WeightedRun;
+
+    fn new_scratch(&self) -> DijkstraScratch {
+        DijkstraScratch::new(self.h.num_vertices())
+    }
+
+    fn search(
+        &self,
+        state: &WeightedState,
+        r: Rank,
+        ws: &mut DijkstraScratch,
+    ) -> Result<WeightedRun> {
+        let mut run = WeightedRun {
+            entries: Vec::new(),
+            visited: 0,
+            pruned: 0,
+        };
+        relaxed_pruned_dijkstra(
+            self.h,
+            r,
+            &state.label_ranks,
+            &state.label_dists,
+            ws,
+            &mut run,
+        );
+        Ok(run)
+    }
+
+    fn commit(
+        &self,
+        state: &mut WeightedState,
+        batch_first: Rank,
+        r: Rank,
+        run: WeightedRun,
+    ) -> Result<RootCommit> {
+        let mut labeled = 0u32;
+        let mut repruned = 0u32;
+        commit_entries(
+            &run.entries,
+            &mut state.label_ranks,
+            &mut state.label_dists,
+            None,
+            batch_first,
+            r,
+            check_label_overflow,
+            &mut labeled,
+            &mut repruned,
+        )?;
+        Ok(RootCommit {
+            stats: RootStats {
+                rank: r,
+                visited: run.visited,
+                labeled,
+                pruned: run.pruned + repruned,
+            },
+            repruned,
+        })
+    }
+}
+
+/// One relaxed pruned Dijkstra from `r` against the committed labels,
+/// buffering label candidates in settle order. Mirrors the sequential
+/// loop (same temp preparation, settle-time prune test and lazy resets),
+/// except that the `u32` overflow check is deferred to commit.
+fn relaxed_pruned_dijkstra(
+    h: &WeightedGraph,
+    r: Rank,
+    label_ranks: &[Vec<Rank>],
+    label_dists: &[Vec<WDist>],
+    ws: &mut DijkstraScratch,
+    run: &mut WeightedRun,
+) {
+    for (idx, &w) in label_ranks[r as usize].iter().enumerate() {
+        ws.temp[w as usize] = label_dists[r as usize][idx] as u64;
+    }
+    ws.heap.clear();
+    ws.touched.clear();
+    ws.tentative[r as usize] = 0;
+    ws.touched.push(r);
+    ws.heap.push(Reverse((0, r)));
+
+    while let Some(Reverse((d, u))) = ws.heap.pop() {
+        if d > ws.tentative[u as usize] {
+            continue; // stale heap entry
+        }
+        run.visited += 1;
+
+        let mut prune = false;
+        let lr = &label_ranks[u as usize];
+        let ld = &label_dists[u as usize];
+        for (idx, &w) in lr.iter().enumerate() {
+            let tw = ws.temp[w as usize];
+            if tw != INF_U64 && tw + ld[idx] as u64 <= d {
+                prune = true;
+                break;
+            }
+        }
+        if prune {
+            run.pruned += 1;
+            continue;
+        }
+        run.entries.push((u, d));
+
+        for (w, wt) in h.neighbors(u) {
+            let nd = d + wt as u64;
+            if nd < ws.tentative[w as usize] {
+                if ws.tentative[w as usize] == INF_U64 {
+                    ws.touched.push(w);
+                }
+                ws.tentative[w as usize] = nd;
+                ws.heap.push(Reverse((nd, w)));
+            }
+        }
+    }
+    for &v in &ws.touched {
+        ws.tentative[v as usize] = INF_U64;
+    }
+    for &w in label_ranks[r as usize].iter() {
+        ws.temp[w as usize] = INF_U64;
     }
 }
 
@@ -379,6 +604,50 @@ mod tests {
                     .seed(seed),
             );
         }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_weighted() {
+        for seed in [2u64, 6, 13] {
+            let g = random_weighted(120, 360, 16, seed);
+            for builder in [
+                WeightedIndexBuilder::new(),
+                WeightedIndexBuilder::new()
+                    .ordering(OrderingStrategy::Random)
+                    .seed(seed),
+            ] {
+                let seq = builder.clone().threads(1).build(&g).unwrap();
+                for k in [2usize, 3, 4, 8] {
+                    let par = builder.clone().threads(k).build(&g).unwrap();
+                    assert_eq!(
+                        seq.as_raw(),
+                        par.as_raw(),
+                        "weighted label arena diverged at threads={k}, seed={seed}"
+                    );
+                    assert_eq!(par.stats().threads, k);
+                    assert!(par.stats().parallel_batches > 0);
+                    assert_eq!(par.stats().total_labeled, seq.stats().total_labeled);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_weighted_is_exact() {
+        let g = random_weighted(60, 180, 12, 3);
+        check_exact(&g, &WeightedIndexBuilder::new().threads(4));
+    }
+
+    #[test]
+    fn parallel_overflow_detected_like_sequential() {
+        let g =
+            WeightedGraph::from_edges(3, &[(0, 1, u32::MAX - 1), (1, 2, u32::MAX - 1)]).unwrap();
+        let err = WeightedIndexBuilder::new()
+            .ordering(OrderingStrategy::Custom(vec![0, 1, 2]))
+            .threads(4)
+            .build(&g)
+            .unwrap_err();
+        assert!(matches!(err, PllError::WeightedDistanceOverflow));
     }
 
     #[test]

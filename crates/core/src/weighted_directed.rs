@@ -6,11 +6,23 @@
 //! like the weighted variant. Per root, a forward pruned Dijkstra over
 //! out-arcs computes `d(r, u)` and fills `L_IN(u)`; a backward pruned
 //! Dijkstra over in-arcs computes `d(u, r)` and fills `L_OUT(u)`.
+//!
+//! [`WeightedDirectedIndexBuilder::threads`] selects the batch-parallel
+//! path, combining the directed scheme (each worker runs a root's
+//! forward/backward relaxed Dijkstra pair; IN entries commit before OUT
+//! entries) with the weighted scheme (thread-local binary heap, 64-bit
+//! lazily-reset `dist` scratch, commit-time `u32` overflow check). The
+//! result is byte-identical to the sequential build; see [`crate::par`].
 
 use crate::error::{PllError, Result};
 use crate::order::OrderingStrategy;
-use crate::stats::ConstructionStats;
+use crate::par::{
+    commit_entries, resolve_threads, run_batched, DijkstraScratch, PrunedSearch, RootCommit,
+};
+use crate::stats::{ConstructionStats, RootStats};
 use crate::types::{Rank, Vertex, WDist, RANK_SENTINEL};
+use crate::weighted::check_label_overflow;
+use crate::weighted::flatten_weighted;
 use pll_graph::reorder::inverse_permutation;
 use pll_graph::wdigraph::WeightedDigraph;
 use pll_graph::{Xoshiro256pp, INF_U64};
@@ -23,6 +35,7 @@ use std::time::Instant;
 pub struct WeightedDirectedIndexBuilder {
     ordering: OrderingStrategy,
     seed: u64,
+    threads: usize,
 }
 
 impl Default for WeightedDirectedIndexBuilder {
@@ -37,7 +50,19 @@ impl WeightedDirectedIndexBuilder {
         WeightedDirectedIndexBuilder {
             ordering: OrderingStrategy::Degree,
             seed: 0x5EED_1A5E,
+            threads: 1,
         }
+    }
+
+    /// Sets the number of worker threads for batch-parallel construction
+    /// (see [`crate::par`]): `1` (default) is the sequential path, `k > 1`
+    /// runs the forward/backward pruned Dijkstra pairs batch-parallel on
+    /// `k` threads with byte-identical output (including
+    /// [`PllError::WeightedDistanceOverflow`] behaviour), and `0`
+    /// auto-detects one thread per CPU.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Sets the ordering strategy (`Degree`, `Random` or `Custom`).
@@ -107,8 +132,50 @@ impl WeightedDirectedIndexBuilder {
             .collect();
         let h = WeightedDigraph::from_edges(n, &rank_arcs)?;
         let order_seconds = t0.elapsed().as_secs_f64();
+        let threads = resolve_threads(self.threads);
 
         let t1 = Instant::now();
+        let mut stats = ConstructionStats {
+            order_seconds,
+            threads,
+            ..Default::default()
+        };
+        if threads > 1 {
+            let mut state = WeightedDirectedState {
+                in_ranks: vec![Vec::new(); n],
+                in_dists: vec![Vec::new(); n],
+                out_ranks: vec![Vec::new(); n],
+                out_dists: vec![Vec::new(); n],
+            };
+            let roots: Vec<Rank> = (0..n as Rank).collect();
+            let search = WeightedDirectedSearch { h: &h };
+            run_batched(
+                &search,
+                &mut state,
+                &roots,
+                threads,
+                &mut stats,
+                None,
+                |_, _, _| Ok(()),
+            )?;
+            stats.pruned_seconds = t1.elapsed().as_secs_f64();
+            let (in_offsets, in_flat_ranks, in_flat_dists) =
+                flatten_weighted(&state.in_ranks, &state.in_dists);
+            let (out_offsets, out_flat_ranks, out_flat_dists) =
+                flatten_weighted(&state.out_ranks, &state.out_dists);
+            return Ok(WeightedDirectedPllIndex {
+                order,
+                inv,
+                in_offsets,
+                in_ranks: in_flat_ranks,
+                in_dists: in_flat_dists,
+                out_offsets,
+                out_ranks: out_flat_ranks,
+                out_dists: out_flat_dists,
+                stats,
+            });
+        }
+
         let mut in_ranks: Vec<Vec<Rank>> = vec![Vec::new(); n];
         let mut in_dists: Vec<Vec<WDist>> = vec![Vec::new(); n];
         let mut out_ranks: Vec<Vec<Rank>> = vec![Vec::new(); n];
@@ -118,11 +185,6 @@ impl WeightedDirectedIndexBuilder {
         let mut temp: Vec<u64> = vec![INF_U64; n];
         let mut touched: Vec<Rank> = Vec::new();
         let mut heap: BinaryHeap<Reverse<(u64, Rank)>> = BinaryHeap::new();
-        let mut stats = ConstructionStats {
-            order_seconds,
-            threads: 1,
-            ..Default::default()
-        };
 
         // One pruned Dijkstra in a fixed direction; `forward = true` fills
         // L_IN from d(r, ·), pruning against L_OUT(r) ∩ L_IN(u).
@@ -241,23 +303,9 @@ impl WeightedDirectedIndexBuilder {
         }
         stats.pruned_seconds = t1.elapsed().as_secs_f64();
 
-        let flatten = |ranks: &[Vec<Rank>], dists: &[Vec<WDist>]| {
-            let total: usize = ranks.iter().map(|l| l.len() + 1).sum();
-            let mut offsets = Vec::with_capacity(n + 1);
-            let mut flat_r = Vec::with_capacity(total);
-            let mut flat_d = Vec::with_capacity(total);
-            offsets.push(0u32);
-            for v in 0..n {
-                flat_r.extend_from_slice(&ranks[v]);
-                flat_d.extend_from_slice(&dists[v]);
-                flat_r.push(RANK_SENTINEL);
-                flat_d.push(WDist::MAX);
-                offsets.push(flat_r.len() as u32);
-            }
-            (offsets, flat_r, flat_d)
-        };
-        let (in_offsets, in_flat_ranks, in_flat_dists) = flatten(&in_ranks, &in_dists);
-        let (out_offsets, out_flat_ranks, out_flat_dists) = flatten(&out_ranks, &out_dists);
+        let (in_offsets, in_flat_ranks, in_flat_dists) = flatten_weighted(&in_ranks, &in_dists);
+        let (out_offsets, out_flat_ranks, out_flat_dists) =
+            flatten_weighted(&out_ranks, &out_dists);
 
         Ok(WeightedDirectedPllIndex {
             order,
@@ -270,6 +318,207 @@ impl WeightedDirectedIndexBuilder {
             out_dists: out_flat_dists,
             stats,
         })
+    }
+}
+
+/// Committed two-sided label state of the batch-parallel weighted
+/// directed build.
+struct WeightedDirectedState {
+    in_ranks: Vec<Vec<Rank>>,
+    in_dists: Vec<Vec<WDist>>,
+    out_ranks: Vec<Vec<Rank>>,
+    out_dists: Vec<Vec<WDist>>,
+}
+
+/// Buffered output of one root's forward/backward relaxed Dijkstra pair
+/// (distances still in 64-bit scratch space until the commit-time `u32`
+/// check).
+struct WeightedDirectedRun {
+    /// Forward entries `(u, d(r → u))` destined for `L_IN(u)`.
+    in_entries: Vec<(Rank, u64)>,
+    /// Backward entries `(u, d(u → r))` destined for `L_OUT(u)`.
+    out_entries: Vec<(Rank, u64)>,
+    visited: u32,
+    pruned: u32,
+}
+
+/// The weighted directed [`PrunedSearch`]: per root, a forward relaxed
+/// pruned Dijkstra over out-arcs followed by the mirrored backward
+/// Dijkstra, each with settle-time pruning against committed labels.
+struct WeightedDirectedSearch<'g> {
+    h: &'g WeightedDigraph,
+}
+
+impl PrunedSearch for WeightedDirectedSearch<'_> {
+    type State = WeightedDirectedState;
+    type Scratch = DijkstraScratch;
+    type Run = WeightedDirectedRun;
+
+    fn new_scratch(&self) -> DijkstraScratch {
+        DijkstraScratch::new(self.h.num_vertices())
+    }
+
+    fn search(
+        &self,
+        state: &WeightedDirectedState,
+        r: Rank,
+        ws: &mut DijkstraScratch,
+    ) -> Result<WeightedDirectedRun> {
+        let mut run = WeightedDirectedRun {
+            in_entries: Vec::new(),
+            out_entries: Vec::new(),
+            visited: 0,
+            pruned: 0,
+        };
+        relaxed_directed_dijkstra(
+            self.h,
+            r,
+            true,
+            &state.out_ranks,
+            &state.out_dists,
+            &state.in_ranks,
+            &state.in_dists,
+            ws,
+            &mut run.in_entries,
+            &mut run.visited,
+            &mut run.pruned,
+        );
+        relaxed_directed_dijkstra(
+            self.h,
+            r,
+            false,
+            &state.in_ranks,
+            &state.in_dists,
+            &state.out_ranks,
+            &state.out_dists,
+            ws,
+            &mut run.out_entries,
+            &mut run.visited,
+            &mut run.pruned,
+        );
+        Ok(run)
+    }
+
+    fn commit(
+        &self,
+        state: &mut WeightedDirectedState,
+        batch_first: Rank,
+        r: Rank,
+        run: WeightedDirectedRun,
+    ) -> Result<RootCommit> {
+        let mut labeled = 0u32;
+        let mut repruned = 0u32;
+        // IN entries first, then OUT, matching the sequential
+        // forward-then-backward order; overflow is checked on survivors
+        // only, which are exactly the sequential build's labeled entries.
+        commit_entries(
+            &run.in_entries,
+            &mut state.in_ranks,
+            &mut state.in_dists,
+            Some((&state.out_ranks, &state.out_dists)),
+            batch_first,
+            r,
+            check_label_overflow,
+            &mut labeled,
+            &mut repruned,
+        )?;
+        commit_entries(
+            &run.out_entries,
+            &mut state.out_ranks,
+            &mut state.out_dists,
+            Some((&state.in_ranks, &state.in_dists)),
+            batch_first,
+            r,
+            check_label_overflow,
+            &mut labeled,
+            &mut repruned,
+        )?;
+        Ok(RootCommit {
+            stats: RootStats {
+                rank: r,
+                visited: run.visited,
+                labeled,
+                pruned: run.pruned + repruned,
+            },
+            repruned,
+        })
+    }
+}
+
+/// One relaxed pruned Dijkstra in a fixed direction, buffering label
+/// candidates instead of publishing them. Mirrors the sequential
+/// `pruned_dijkstra` (same temp preparation, settle-time prune test and
+/// lazy resets), with the `u32` overflow check deferred to commit;
+/// `forward = true` explores out-arcs and buffers `L_IN` candidates.
+#[allow(clippy::too_many_arguments)]
+fn relaxed_directed_dijkstra(
+    h: &WeightedDigraph,
+    r: Rank,
+    forward: bool,
+    root_side_ranks: &[Vec<Rank>],
+    root_side_dists: &[Vec<WDist>],
+    fill_ranks: &[Vec<Rank>],
+    fill_dists: &[Vec<WDist>],
+    ws: &mut DijkstraScratch,
+    entries: &mut Vec<(Rank, u64)>,
+    visited: &mut u32,
+    pruned: &mut u32,
+) {
+    for (idx, &w) in root_side_ranks[r as usize].iter().enumerate() {
+        ws.temp[w as usize] = root_side_dists[r as usize][idx] as u64;
+    }
+    ws.heap.clear();
+    ws.touched.clear();
+    ws.tentative[r as usize] = 0;
+    ws.touched.push(r);
+    ws.heap.push(Reverse((0, r)));
+
+    while let Some(Reverse((d, u))) = ws.heap.pop() {
+        if d > ws.tentative[u as usize] {
+            continue; // stale entry
+        }
+        *visited += 1;
+        let mut prune = false;
+        let lr = &fill_ranks[u as usize];
+        let ld = &fill_dists[u as usize];
+        for (idx, &w) in lr.iter().enumerate() {
+            let tw = ws.temp[w as usize];
+            if tw != INF_U64 && tw + ld[idx] as u64 <= d {
+                prune = true;
+                break;
+            }
+        }
+        if prune {
+            *pruned += 1;
+            continue;
+        }
+        entries.push((u, d));
+
+        let mut relax = |w: Rank, wt: u32| {
+            let nd = d + wt as u64;
+            if nd < ws.tentative[w as usize] {
+                if ws.tentative[w as usize] == INF_U64 {
+                    ws.touched.push(w);
+                }
+                ws.tentative[w as usize] = nd;
+                ws.heap.push(Reverse((nd, w)));
+            }
+        };
+        if forward {
+            for (w, wt) in h.out_neighbors(u) {
+                relax(w, wt);
+            }
+        } else {
+            for (w, wt) in h.in_neighbors(u) {
+                relax(w, wt);
+            }
+        }
+    }
+    for &v in ws.touched.iter() {
+        ws.tentative[v as usize] = INF_U64;
+    }
+    for &w in root_side_ranks[r as usize].iter() {
+        ws.temp[w as usize] = INF_U64;
     }
 }
 
@@ -379,6 +628,48 @@ impl WeightedDirectedPllIndex {
             + (self.in_dists.len() + self.out_dists.len()) * 4
             + self.order.len() * 8
     }
+
+    /// Raw parts for serialisation: `(order, IN side, OUT side)` where
+    /// each side is `(offsets, ranks, dists)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn as_raw(
+        &self,
+    ) -> (
+        &[Vertex],
+        (&[u32], &[Rank], &[WDist]),
+        (&[u32], &[Rank], &[WDist]),
+    ) {
+        (
+            &self.order,
+            (&self.in_offsets, &self.in_ranks, &self.in_dists),
+            (&self.out_offsets, &self.out_ranks, &self.out_dists),
+        )
+    }
+
+    /// Reassembles from raw parts (deserialisation; inputs pre-validated).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_raw(
+        order: Vec<Vertex>,
+        inv: Vec<Rank>,
+        in_offsets: Vec<u32>,
+        in_ranks: Vec<Rank>,
+        in_dists: Vec<WDist>,
+        out_offsets: Vec<u32>,
+        out_ranks: Vec<Rank>,
+        out_dists: Vec<WDist>,
+    ) -> Self {
+        WeightedDirectedPllIndex {
+            order,
+            inv,
+            in_offsets,
+            in_ranks,
+            in_dists,
+            out_offsets,
+            out_ranks,
+            out_dists,
+            stats: ConstructionStats::default(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -460,6 +751,50 @@ mod tests {
                     .seed(seed),
             );
         }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_weighted_directed() {
+        for seed in [1u64, 5, 12] {
+            let g = random_weighted_digraph(100, 420, 14, seed);
+            for builder in [
+                WeightedDirectedIndexBuilder::new(),
+                WeightedDirectedIndexBuilder::new()
+                    .ordering(OrderingStrategy::Random)
+                    .seed(seed),
+            ] {
+                let seq = builder.clone().threads(1).build(&g).unwrap();
+                for k in [2usize, 3, 4, 8] {
+                    let par = builder.clone().threads(k).build(&g).unwrap();
+                    assert_eq!(
+                        seq.as_raw(),
+                        par.as_raw(),
+                        "label arenas diverged at threads={k}, seed={seed}"
+                    );
+                    assert_eq!(par.stats().threads, k);
+                    assert!(par.stats().parallel_batches > 0);
+                    assert_eq!(par.stats().total_labeled, seq.stats().total_labeled);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_weighted_directed_is_exact() {
+        let g = random_weighted_digraph(60, 240, 9, 4);
+        check_exact(&g, &WeightedDirectedIndexBuilder::new().threads(4));
+    }
+
+    #[test]
+    fn parallel_overflow_detected() {
+        let g =
+            WeightedDigraph::from_edges(3, &[(0, 1, u32::MAX - 1), (1, 2, u32::MAX - 1)]).unwrap();
+        let err = WeightedDirectedIndexBuilder::new()
+            .ordering(OrderingStrategy::Custom(vec![0, 1, 2]))
+            .threads(4)
+            .build(&g)
+            .unwrap_err();
+        assert!(matches!(err, PllError::WeightedDistanceOverflow));
     }
 
     #[test]

@@ -6,7 +6,9 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
+use crate::digraph::CsrDigraph;
 use crate::error::{GraphError, Result};
+use crate::wdigraph::WeightedDigraph;
 use crate::wgraph::WeightedGraph;
 use crate::Vertex;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -77,10 +79,13 @@ pub fn write_text<W: Write>(g: &CsrGraph, writer: W) -> Result<()> {
     Ok(())
 }
 
-/// Reads a weighted graph from text lines `u v w`.
+/// Reads a weighted graph from text lines `u v w`. Self-loops are
+/// dropped and duplicate edges (either orientation) are collapsed to the
+/// smallest weight, matching [`read_text`]'s leniency.
 pub fn read_weighted_text<R: Read>(reader: R) -> Result<WeightedGraph> {
     let mut edges: Vec<(Vertex, Vertex, u32)> = Vec::new();
     let mut max_vertex: u64 = 0;
+    let mut saw_edge = false;
     let buf = BufReader::new(reader);
     for (lineno, line) in buf.lines().enumerate() {
         let line = line?;
@@ -108,14 +113,110 @@ pub fn read_weighted_text<R: Read>(reader: R) -> Result<WeightedGraph> {
             });
         }
         max_vertex = max_vertex.max(u).max(v);
-        edges.push((u as Vertex, v as Vertex, wt as u32));
+        saw_edge = true;
+        if u == v {
+            continue;
+        }
+        // Normalise the undirected edge so (u, v) and (v, u) dedup
+        // together.
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        edges.push((a as Vertex, b as Vertex, wt as u32));
     }
-    let n = if edges.is_empty() {
-        0
-    } else {
-        max_vertex as usize + 1
-    };
+    let n = if saw_edge { max_vertex as usize + 1 } else { 0 };
+    edges.sort_unstable();
+    edges.dedup_by_key(|&mut (u, v, _)| (u, v));
     WeightedGraph::from_edges(n, &edges)
+}
+
+/// Reads a *directed* graph from SNAP-style text: one `u v` arc per line
+/// (meaning `u -> v`), `#`-prefixed comments, arbitrary whitespace.
+/// Self-loops and duplicate arcs are dropped, like [`read_text`].
+pub fn read_directed_text<R: Read>(reader: R) -> Result<CsrDigraph> {
+    let mut arcs: Vec<(Vertex, Vertex)> = Vec::new();
+    let mut max_vertex: u64 = 0;
+    let mut saw_arc = false;
+    let buf = BufReader::new(reader);
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<u64> {
+            let tok = tok.ok_or(GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two vertex ids".into(),
+            })?;
+            tok.parse::<u64>().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad vertex id {tok:?}: {e}"),
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        if u >= u32::MAX as u64 || v >= u32::MAX as u64 {
+            return Err(GraphError::TooLarge {
+                what: "vertex id in edge list",
+            });
+        }
+        max_vertex = max_vertex.max(u).max(v);
+        saw_arc = true;
+        if u == v {
+            continue;
+        }
+        arcs.push((u as Vertex, v as Vertex));
+    }
+    let n = if saw_arc { max_vertex as usize + 1 } else { 0 };
+    arcs.sort_unstable();
+    arcs.dedup();
+    CsrDigraph::from_edges(n, &arcs)
+}
+
+/// Reads a *weighted directed* graph from text lines `u v w` (meaning an
+/// arc `u -> v` of weight `w > 0`). Self-loops are dropped; for duplicate
+/// arcs the smallest weight wins.
+pub fn read_weighted_directed_text<R: Read>(reader: R) -> Result<WeightedDigraph> {
+    let mut arcs: Vec<(Vertex, Vertex, u32)> = Vec::new();
+    let mut max_vertex: u64 = 0;
+    let mut saw_arc = false;
+    let buf = BufReader::new(reader);
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 3 {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: format!("expected `u v w`, got {} tokens", toks.len()),
+            });
+        }
+        let parse = |tok: &str| -> Result<u64> {
+            tok.parse::<u64>().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad number {tok:?}: {e}"),
+            })
+        };
+        let (u, v, wt) = (parse(toks[0])?, parse(toks[1])?, parse(toks[2])?);
+        if u >= u32::MAX as u64 || v >= u32::MAX as u64 || wt > u32::MAX as u64 {
+            return Err(GraphError::TooLarge {
+                what: "vertex id or weight in edge list",
+            });
+        }
+        max_vertex = max_vertex.max(u).max(v);
+        saw_arc = true;
+        if u == v {
+            continue;
+        }
+        arcs.push((u as Vertex, v as Vertex, wt as u32));
+    }
+    let n = if saw_arc { max_vertex as usize + 1 } else { 0 };
+    arcs.sort_unstable();
+    arcs.dedup_by_key(|&mut (u, v, _)| (u, v));
+    WeightedDigraph::from_edges(n, &arcs)
 }
 
 /// Writes a graph in the compact binary format (`PLLGRAPH` magic, version,
@@ -255,6 +356,45 @@ mod tests {
         assert_eq!(g.edge_weight(0, 1), Some(5));
         assert_eq!(g.edge_weight(2, 1), Some(7));
         assert!(read_weighted_text(Cursor::new("0 1\n")).is_err());
+    }
+
+    #[test]
+    fn weighted_text_drops_self_loops_and_dedups_both_orientations() {
+        let text = "0 1 5\n1 0 3\n0 1 8\n2 2 4\n";
+        let g = read_weighted_text(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 3); // self-loop vertex still counted
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3)); // smallest duplicate wins
+    }
+
+    #[test]
+    fn directed_text_parses_arcs() {
+        let text = "# arcs\n0 1\n1 0\n1 2\n2 2\n1 2\n";
+        let g = read_directed_text(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3); // self-loop and duplicate dropped
+        assert!(g.has_arc(0, 1));
+        assert!(g.has_arc(1, 0));
+        assert!(g.has_arc(1, 2));
+        assert!(!g.has_arc(2, 1));
+        assert!(read_directed_text(Cursor::new("0\n")).is_err());
+        assert_eq!(
+            read_directed_text(Cursor::new("# nothing\n"))
+                .unwrap()
+                .num_vertices(),
+            0
+        );
+    }
+
+    #[test]
+    fn weighted_directed_text_parses_arcs() {
+        let text = "0 1 5\n1 0 9\n0 1 3\n2 2 4\n";
+        let g = read_weighted_directed_text(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.arc_weight(0, 1), Some(3)); // smallest duplicate wins
+        assert_eq!(g.arc_weight(1, 0), Some(9));
+        assert_eq!(g.arc_weight(1, 2), None);
+        assert!(read_weighted_directed_text(Cursor::new("0 1\n")).is_err());
     }
 
     #[test]

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Construction-throughput benchmark: builds the index on synthetic BA and
-# R-MAT graphs over a thread sweep and writes BENCH_construction.json at
-# the repository root, so successive PRs have a perf trajectory to compare
-# against.
+# R-MAT graphs over a thread sweep — for each requested index variant —
+# and writes BENCH_construction.json at the repository root, so successive
+# PRs have a perf trajectory to compare against.
 #
 # Usage:
-#   scripts/bench_construction.sh [N] [THREADS] [OUT]
+#   scripts/bench_construction.sh [N] [THREADS] [OUT] [VARIANTS]
 #     N        vertex count for the BA graph / R-MAT target (default 100000)
 #     THREADS  comma-separated sweep (default 1,2,4,8)
 #     OUT      output JSON path (default BENCH_construction.json)
+#     VARIANTS comma-separated index variants (default undirected;
+#              all = undirected,directed,weighted,weighted-directed)
 #
 # Note: speedups only manifest with real CPU cores; on a single-core
 # machine the sweep measures the parallel path's overhead instead.
@@ -19,7 +21,12 @@ cd "$(dirname "$0")/.."
 N="${1:-100000}"
 THREADS="${2:-1,2,4,8}"
 OUT="${3:-BENCH_construction.json}"
+VARIANTS="${4:-undirected}"
+if [ "$VARIANTS" = "all" ]; then
+  VARIANTS="undirected,directed,weighted,weighted-directed"
+fi
 
 cargo build --release -p pll-bench --bin bench_construction
-./target/release/bench_construction --n "$N" --threads "$THREADS" --out "$OUT"
+./target/release/bench_construction --n "$N" --threads "$THREADS" --out "$OUT" \
+  --variants "$VARIANTS"
 echo "benchmark written to $OUT"

@@ -6,9 +6,9 @@
 //! proptest crate cannot be fetched. This shim implements the subset of the
 //! API the workspace's test suites use:
 //!
-//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`;
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_flat_map`;
 //! * strategies for integer ranges, tuples, [`collection::vec`],
-//!   [`any`] and [`prop_oneof!`] unions;
+//!   [`any`](strategy::any) and [`prop_oneof!`] unions;
 //! * the [`proptest!`] macro (with `#![proptest_config(..)]`) and the
 //!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
 //!

@@ -2,10 +2,17 @@
 //! parallel build must be *byte-identical* to the sequential build — same
 //! `LabelSet` (`PartialEq` covers offsets, ranks, dists and sentinels),
 //! same bit-parallel labels, same vertex order — across graph families,
-//! seeds and thread counts.
+//! seeds and thread counts, for **all four** index variants (the
+//! directed/weighted cases compare the full serialized byte streams,
+//! which is exactly what the CI determinism matrix asserts on a
+//! multi-core runner).
 
+use pll_bench::{derive_digraph, derive_weighted, derive_weighted_digraph};
 use pruned_landmark_labeling::graph::{gen, CsrGraph};
-use pruned_landmark_labeling::pll::{IndexBuilder, OrderingStrategy};
+use pruned_landmark_labeling::pll::{
+    serialize, DirectedIndexBuilder, IndexBuilder, OrderingStrategy, WeightedDirectedIndexBuilder,
+    WeightedIndexBuilder,
+};
 
 fn assert_threads_agree(g: &CsrGraph, base: &IndexBuilder, label: &str) {
     let seq = base.clone().threads(1).build(g).unwrap();
@@ -101,8 +108,148 @@ fn parallel_queries_are_exact() {
 }
 
 #[test]
+fn parallel_build_matches_sequential_directed() {
+    for seed in [3u64, 21, 64] {
+        let base = gen::barabasi_albert(500, 3, seed).unwrap();
+        let g = derive_digraph(&base, seed);
+        for (oname, ordering) in [
+            ("degree", OrderingStrategy::Degree),
+            ("random", OrderingStrategy::Random),
+        ] {
+            let builder = DirectedIndexBuilder::new().ordering(ordering).seed(seed);
+            let seq = builder.clone().threads(1).build(&g).unwrap();
+            let mut seq_bytes = Vec::new();
+            serialize::save_directed_index(&seq, &mut seq_bytes).unwrap();
+            for k in [2usize, 4, 8] {
+                let par = builder.clone().threads(k).build(&g).unwrap();
+                assert_eq!(
+                    seq.labels_in(),
+                    par.labels_in(),
+                    "directed/{oname} seed {seed}: L_IN diverged at threads={k}"
+                );
+                assert_eq!(
+                    seq.labels_out(),
+                    par.labels_out(),
+                    "directed/{oname} seed {seed}: L_OUT diverged at threads={k}"
+                );
+                let mut par_bytes = Vec::new();
+                serialize::save_directed_index(&par, &mut par_bytes).unwrap();
+                assert_eq!(
+                    seq_bytes, par_bytes,
+                    "directed/{oname} seed {seed}: serialized bytes diverged at threads={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_build_matches_sequential_weighted() {
+    for (family, seed) in [("ba", 5u64), ("ba", 31), ("er", 9)] {
+        let base = match family {
+            "ba" => gen::barabasi_albert(400, 3, seed).unwrap(),
+            _ => gen::erdos_renyi_gnm(350, 1100, seed).unwrap(),
+        };
+        let g = derive_weighted(&base, seed, 24);
+        for (oname, ordering) in [
+            ("degree", OrderingStrategy::Degree),
+            ("random", OrderingStrategy::Random),
+        ] {
+            let builder = WeightedIndexBuilder::new().ordering(ordering).seed(seed);
+            let seq = builder.clone().threads(1).build(&g).unwrap();
+            let mut seq_bytes = Vec::new();
+            serialize::save_weighted_index(&seq, &mut seq_bytes).unwrap();
+            for k in [2usize, 4, 8] {
+                let par = builder.clone().threads(k).build(&g).unwrap();
+                let mut par_bytes = Vec::new();
+                serialize::save_weighted_index(&par, &mut par_bytes).unwrap();
+                assert_eq!(
+                    seq_bytes, par_bytes,
+                    "weighted/{family}/{oname} seed {seed}: serialized bytes diverged at \
+                     threads={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_build_matches_sequential_weighted_directed() {
+    for seed in [2u64, 18, 47] {
+        let base = gen::barabasi_albert(350, 3, seed).unwrap();
+        let g = derive_weighted_digraph(&base, seed, 20);
+        for (oname, ordering) in [
+            ("degree", OrderingStrategy::Degree),
+            ("random", OrderingStrategy::Random),
+        ] {
+            let builder = WeightedDirectedIndexBuilder::new()
+                .ordering(ordering)
+                .seed(seed);
+            let seq = builder.clone().threads(1).build(&g).unwrap();
+            let mut seq_bytes = Vec::new();
+            serialize::save_weighted_directed_index(&seq, &mut seq_bytes).unwrap();
+            for k in [2usize, 4, 8] {
+                let par = builder.clone().threads(k).build(&g).unwrap();
+                let mut par_bytes = Vec::new();
+                serialize::save_weighted_directed_index(&par, &mut par_bytes).unwrap();
+                assert_eq!(
+                    seq_bytes, par_bytes,
+                    "weighted-directed/{oname} seed {seed}: serialized bytes diverged at \
+                     threads={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_variant_queries_are_exact() {
+    // Spot-check exactness of the parallel variant builds against plain
+    // BFS/Dijkstra ground truth through the public query API.
+    use pruned_landmark_labeling::graph::traversal::dijkstra;
+    let base = gen::erdos_renyi_gnm(150, 450, 8).unwrap();
+
+    let dg = derive_digraph(&base, 8);
+    let didx = DirectedIndexBuilder::new().threads(4).build(&dg).unwrap();
+    // Directed ground truth: BFS over out-arcs.
+    let n = dg.num_vertices();
+    for s in (0..n as u32).step_by(7) {
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = vec![s];
+        dist[s as usize] = 0;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &w in dg.out_neighbors(u) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dist[u as usize] + 1;
+                    queue.push(w);
+                }
+            }
+        }
+        for t in 0..n as u32 {
+            let expect = (dist[t as usize] != u32::MAX).then_some(dist[t as usize]);
+            assert_eq!(didx.distance(s, t), expect, "directed pair ({s} -> {t})");
+        }
+    }
+
+    let wg = derive_weighted(&base, 8, 12);
+    let widx = WeightedIndexBuilder::new().threads(4).build(&wg).unwrap();
+    let mut engine = dijkstra::DijkstraEngine::new(wg.num_vertices());
+    for s in (0..n as u32).step_by(11) {
+        for t in (0..n as u32).step_by(5) {
+            assert_eq!(
+                widx.distance(s, t),
+                engine.distance(&wg, s, t),
+                "weighted pair ({s}, {t})"
+            );
+        }
+    }
+}
+
+#[test]
 fn parallel_serialization_roundtrip_matches_sequential_bytes() {
-    use pruned_landmark_labeling::pll::serialize;
     let g = gen::barabasi_albert(300, 3, 6).unwrap();
     let seq = IndexBuilder::new().bit_parallel_roots(4).build(&g).unwrap();
     let par = IndexBuilder::new()

@@ -263,6 +263,72 @@ proptest! {
         }
     }
 
+    /// The batch-parallel directed build serializes byte-identically to
+    /// the sequential build on arbitrary digraphs (derived from arbitrary
+    /// simple graphs by seeded arc orientation).
+    #[test]
+    fn parallel_directed_matches_sequential(
+        g in arb_graph(60, 150),
+        orient_seed in any::<u64>(),
+        threads in 2usize..6,
+    ) {
+        use pruned_landmark_labeling::pll::DirectedIndexBuilder;
+        let dg = pll_bench::derive_digraph(&g, orient_seed);
+        let seq = DirectedIndexBuilder::new().build(&dg).unwrap();
+        let par = DirectedIndexBuilder::new().threads(threads).build(&dg).unwrap();
+        prop_assert_eq!(seq.labels_in(), par.labels_in());
+        prop_assert_eq!(seq.labels_out(), par.labels_out());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        serialize::save_directed_index(&seq, &mut a).unwrap();
+        serialize::save_directed_index(&par, &mut b).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The batch-parallel weighted build serializes byte-identically to
+    /// the sequential build, and answers exactly like Dijkstra.
+    #[test]
+    fn parallel_weighted_matches_sequential(
+        g in arb_graph(50, 120),
+        weights_seed in any::<u64>(),
+        threads in 2usize..6,
+    ) {
+        use pruned_landmark_labeling::pll::WeightedIndexBuilder;
+        let w = pll_bench::derive_weighted(&g, weights_seed, 30);
+        let seq = WeightedIndexBuilder::new().build(&w).unwrap();
+        let par = WeightedIndexBuilder::new().threads(threads).build(&w).unwrap();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        serialize::save_weighted_index(&seq, &mut a).unwrap();
+        serialize::save_weighted_index(&par, &mut b).unwrap();
+        prop_assert_eq!(a, b);
+        let mut engine = dijkstra::DijkstraEngine::new(w.num_vertices());
+        for s in (0..w.num_vertices() as u32).step_by(4) {
+            for u in (0..w.num_vertices() as u32).step_by(6) {
+                prop_assert_eq!(par.distance(s, u), engine.distance(&w, s, u));
+            }
+        }
+    }
+
+    /// The batch-parallel weighted directed build serializes
+    /// byte-identically to the sequential build.
+    #[test]
+    fn parallel_weighted_directed_matches_sequential(
+        g in arb_graph(50, 120),
+        seed in any::<u64>(),
+        threads in 2usize..6,
+    ) {
+        use pruned_landmark_labeling::pll::WeightedDirectedIndexBuilder;
+        let wd = pll_bench::derive_weighted_digraph(&g, seed, 30);
+        let seq = WeightedDirectedIndexBuilder::new().build(&wd).unwrap();
+        let par = WeightedDirectedIndexBuilder::new().threads(threads).build(&wd).unwrap();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        serialize::save_weighted_directed_index(&seq, &mut a).unwrap();
+        serialize::save_weighted_directed_index(&par, &mut b).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
     /// The merge-join query is symmetric.
     #[test]
     fn query_symmetry(g in arb_model_graph()) {
