@@ -34,7 +34,7 @@ impl CanonicalHubLabeling {
         let n = g.num_vertices();
         assert_eq!(order.len(), n, "order must cover every vertex");
         let inv = inverse_permutation(order);
-        let h = apply_order(g, order);
+        let h = apply_order(g, order).expect("CSR graphs fit the u32 adjacency bound");
 
         let mut labels: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
         // temp[w] = d(w, r) for hubs w of the current root's label.

@@ -10,14 +10,19 @@
 //! ```
 //!
 //! Output: a JSON array of
-//! `{variant, graph, n, m, threads, seconds, labels_per_vertex, speedup_vs_1}`.
-//! The directed/weighted variant graphs are derived deterministically from
-//! the same BA/R-MAT bases (seeded arc orientation and weights), so their
-//! trajectories are comparable across PRs too.
+//! `{variant, graph, n, m, threads, seconds, order_secs, relabel_secs,
+//! search_secs, flatten_secs, labels_per_vertex, speedup_vs_1}` — the four
+//! `*_secs` fields are the builder's per-phase breakdown
+//! (`ConstructionStats`), so the Amdahl accounting of the parallel path is
+//! visible in the trajectory. The directed/weighted variant graphs are
+//! derived deterministically from the same BA/R-MAT bases (seeded arc
+//! orientation and weights), so their trajectories are comparable across
+//! PRs too.
 
 use pll_bench::{derive_digraph, derive_weighted, derive_weighted_digraph, reference_graphs, time};
 use pll_core::{
-    DirectedIndexBuilder, IndexBuilder, WeightedDirectedIndexBuilder, WeightedIndexBuilder,
+    ConstructionStats, DirectedIndexBuilder, IndexBuilder, WeightedDirectedIndexBuilder,
+    WeightedIndexBuilder,
 };
 use pll_graph::CsrGraph;
 use std::io::Write;
@@ -128,30 +133,35 @@ fn prepare(variant: &str, g: &CsrGraph) -> VariantGraph<'static> {
     }
 }
 
-/// One `(seconds, labels_per_vertex)` measurement of a variant build.
-fn build_once(vg: &VariantGraph<'_>, threads: usize, bp_roots: usize) -> (f64, f64) {
+/// One measurement of a variant build: wall-clock seconds, the average
+/// label size, and the builder's per-phase timing breakdown.
+fn build_once(
+    vg: &VariantGraph<'_>,
+    threads: usize,
+    bp_roots: usize,
+) -> (f64, f64, ConstructionStats) {
     match vg {
         VariantGraph::Undirected(g) => {
             let builder = IndexBuilder::new()
                 .bit_parallel_roots(bp_roots)
                 .threads(threads);
             let (index, seconds) = time(|| builder.build(g).expect("construction"));
-            (seconds, index.avg_label_size())
+            (seconds, index.avg_label_size(), index.stats().clone())
         }
         VariantGraph::Directed(dg) => {
             let builder = DirectedIndexBuilder::new().threads(threads);
             let (index, seconds) = time(|| builder.build(dg).expect("construction"));
-            (seconds, index.avg_label_size())
+            (seconds, index.avg_label_size(), index.stats().clone())
         }
         VariantGraph::Weighted(wg) => {
             let builder = WeightedIndexBuilder::new().threads(threads);
             let (index, seconds) = time(|| builder.build(wg).expect("construction"));
-            (seconds, index.avg_label_size())
+            (seconds, index.avg_label_size(), index.stats().clone())
         }
         VariantGraph::WeightedDirected(wd) => {
             let builder = WeightedDirectedIndexBuilder::new().threads(threads);
             let (index, seconds) = time(|| builder.build(wd).expect("construction"));
-            (seconds, index.avg_label_size())
+            (seconds, index.avg_label_size(), index.stats().clone())
         }
     }
 }
@@ -191,28 +201,42 @@ fn main() {
             } else {
                 prepare(variant, g)
             };
-            let mut runs: Vec<(usize, f64, f64)> = Vec::new();
+            let mut runs: Vec<(usize, f64, f64, ConstructionStats)> = Vec::new();
             for &threads in &opts.threads {
-                let (seconds, labels_per_vertex) = build_once(&vg, threads, opts.bp_roots);
+                let (seconds, labels_per_vertex, stats) = build_once(&vg, threads, opts.bp_roots);
                 eprintln!(
                     "{variant}/{name}: n={} m={} threads={threads} {seconds:.3}s \
-                     ({labels_per_vertex:.2} labels/vertex)",
+                     (order {:.3}s, relabel {:.3}s, search {:.3}s, flatten {:.3}s; \
+                     {labels_per_vertex:.2} labels/vertex)",
                     vg.num_vertices(),
                     vg.num_edges(),
+                    stats.order_seconds,
+                    stats.relabel_seconds,
+                    stats.search_seconds(),
+                    stats.flatten_seconds,
                 );
-                runs.push((threads, seconds, labels_per_vertex));
+                runs.push((threads, seconds, labels_per_vertex, stats));
             }
-            let baseline = runs.iter().find(|&&(t, _, _)| t == 1).map(|&(_, s, _)| s);
-            for (threads, seconds, labels_per_vertex) in runs {
+            let baseline = runs
+                .iter()
+                .find(|&&(t, _, _, _)| t == 1)
+                .map(|&(_, s, _, _)| s);
+            for (threads, seconds, labels_per_vertex, stats) in runs {
                 let speedup =
                     baseline.map_or("null".to_string(), |b| format!("{:.4}", b / seconds));
                 records.push(format!(
                     "  {{\"variant\": \"{variant}\", \"graph\": \"{name}\", \"n\": {}, \
                      \"m\": {}, \"threads\": {threads}, \"seconds\": {seconds:.6}, \
+                     \"order_secs\": {:.6}, \"relabel_secs\": {:.6}, \
+                     \"search_secs\": {:.6}, \"flatten_secs\": {:.6}, \
                      \"labels_per_vertex\": {labels_per_vertex:.4}, \
                      \"speedup_vs_1\": {speedup}}}",
                     vg.num_vertices(),
                     vg.num_edges(),
+                    stats.order_seconds,
+                    stats.relabel_seconds,
+                    stats.search_seconds(),
+                    stats.flatten_seconds,
                 ));
             }
         }

@@ -12,12 +12,19 @@
 //!
 //! Exit status 0 means every graph family × seed produced byte-identical
 //! serialized labels; any divergence aborts with a diff summary on
-//! stderr and exit status 1.
+//! stderr and exit status 1. Each cell also asserts that the parallel
+//! build really ran on the requested thread count with every
+//! construction phase reporting elapsed time — `threads > 1` drives the
+//! parallel ordering and label flatten on every variant (and the
+//! parallel chunked relabelling on the undirected builder; the variant
+//! builders translate arcs sequentially) through the same knob as the
+//! pruned searches, so a green cell proves byte-equality *with the
+//! parallel Phase 0 and flatten active*.
 
 use pll_bench::{derive_digraph, derive_weighted, derive_weighted_digraph, reference_graphs, time};
 use pll_core::{
-    serialize, DirectedIndexBuilder, IndexBuilder, OrderingStrategy, WeightedDirectedIndexBuilder,
-    WeightedIndexBuilder,
+    serialize, ConstructionStats, DirectedIndexBuilder, IndexBuilder, OrderingStrategy,
+    WeightedDirectedIndexBuilder, WeightedIndexBuilder,
 };
 
 struct Options {
@@ -91,17 +98,47 @@ fn check(name: &str, threads: usize, seq_bytes: &[u8], par_bytes: &[u8], seq_s: 
     );
 }
 
+/// Asserts the build actually exercised what the matrix cell claims to
+/// prove: the requested thread count was used (threads > 1 drives the
+/// parallel ordering and flatten — plus the undirected builder's
+/// parallel relabelling — through the same knob as the pruned searches),
+/// and the per-phase breakdown is populated — a zero phase timing would
+/// mean a phase silently skipped its work.
+fn check_phases(name: &str, threads: usize, stats: &ConstructionStats) {
+    assert_eq!(
+        stats.threads, threads,
+        "{name}: build did not use the requested {threads} threads"
+    );
+    for (phase, secs) in [
+        ("order", stats.order_seconds),
+        ("relabel", stats.relabel_seconds),
+        ("search", stats.search_seconds()),
+        ("flatten", stats.flatten_seconds),
+    ] {
+        assert!(
+            secs > 0.0,
+            "{name}: phase '{phase}' reported no elapsed time — per-phase stats not populated"
+        );
+    }
+}
+
 /// One matrix cell for one graph: build at threads=1 and threads=k via
-/// `build`, serialize both via `save`, byte-compare. Shared by every
-/// variant arm so the check protocol cannot drift between them.
+/// `build`, serialize both via `save`, byte-compare, and assert the
+/// parallel build's per-phase stats show the parallel Phase 0 / flatten
+/// path was active (`stats` projects each index to its
+/// `ConstructionStats`). Shared by every variant arm so the check
+/// protocol cannot drift between them.
 fn cell<I>(
     name: &str,
     threads: usize,
     build: impl Fn(usize) -> I,
     save: impl Fn(&I, &mut Vec<u8>),
+    stats: impl Fn(&I) -> &ConstructionStats,
 ) {
     let (seq, seq_s) = time(|| build(1));
     let (par, par_s) = time(|| build(threads));
+    check_phases(name, 1, stats(&seq));
+    check_phases(name, threads, stats(&par));
     let mut seq_bytes = Vec::new();
     let mut par_bytes = Vec::new();
     save(&seq, &mut seq_bytes);
@@ -130,6 +167,7 @@ fn main() {
                         threads,
                         |k| builder.clone().threads(k).build(&g).expect("build"),
                         |i, buf| serialize::save_index(i, buf).expect("serialize"),
+                        |i| i.stats(),
                     );
                 }
                 "directed" => {
@@ -140,6 +178,7 @@ fn main() {
                         threads,
                         |k| builder.clone().threads(k).build(&dg).expect("build"),
                         |i, buf| serialize::save_directed_index(i, buf).expect("serialize"),
+                        |i| i.stats(),
                     );
                 }
                 "weighted" => {
@@ -150,6 +189,7 @@ fn main() {
                         threads,
                         |k| builder.clone().threads(k).build(&wg).expect("build"),
                         |i, buf| serialize::save_weighted_index(i, buf).expect("serialize"),
+                        |i| i.stats(),
                     );
                 }
                 "weighted-directed" => {
@@ -162,6 +202,7 @@ fn main() {
                         |i, buf| {
                             serialize::save_weighted_directed_index(i, buf).expect("serialize")
                         },
+                        |i| i.stats(),
                     );
                 }
                 other => {

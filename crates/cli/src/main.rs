@@ -19,8 +19,8 @@
 //! any format.
 
 use pll_core::{
-    serialize, DirectedIndexBuilder, IndexBuilder, IndexFormat, OrderingStrategy,
-    WeightedDirectedIndexBuilder, WeightedIndexBuilder,
+    serialize, ConstructionStats, DirectedIndexBuilder, IndexBuilder, IndexFormat,
+    OrderingStrategy, WeightedDirectedIndexBuilder, WeightedIndexBuilder,
 };
 use pll_graph::{edgelist, Xoshiro256pp};
 use std::fs::File;
@@ -122,6 +122,7 @@ fn build(
                 threads_used,
                 if threads_used == 1 { "" } else { "s" },
             );
+            eprintln!("{}", phase_breakdown(index.stats()));
             let out = File::create(output)
                 .map(BufWriter::new)
                 .map_err(|e| format!("cannot create {output}: {e}"))?;
@@ -171,6 +172,30 @@ fn build(
     Ok(())
 }
 
+/// The per-phase timing line shared by `pll build` and `pll stats`: the
+/// Amdahl accounting of construction (ordering → relabelling → searches →
+/// label flatten).
+fn phase_breakdown(stats: &ConstructionStats) -> String {
+    format!(
+        "phases: order {:.3} s, relabel {:.3} s, search {:.3} s, flatten {:.3} s",
+        stats.order_seconds,
+        stats.relabel_seconds,
+        stats.search_seconds(),
+        stats.flatten_seconds,
+    )
+}
+
+/// `pll stats` variant of the phase line: indices loaded from disk carry
+/// no construction timings (the binary format stores labels, not build
+/// telemetry), which is reported instead of a misleading row of zeros.
+fn print_phase_stats(stats: &ConstructionStats) {
+    if stats.total_seconds() > 0.0 {
+        println!("construction {}", phase_breakdown(stats));
+    } else {
+        println!("construction phases: not recorded (reported by `pll build` at build time)");
+    }
+}
+
 fn query(index_path: &str, pairs: &[(u32, u32)]) -> Result<(), String> {
     let print = |s: u32, t: u32, d: Option<u64>| match d {
         Some(d) => println!("{s}\t{t}\t{d}"),
@@ -216,6 +241,7 @@ fn stats(index_path: &str) -> Result<(), String> {
             );
             println!("index bytes:         {}", index.memory_bytes());
             println!("parents stored:      {}", index.has_parents());
+            print_phase_stats(index.stats());
         }
         IndexFormat::Directed => {
             let index = serialize::load_directed_index(open(index_path)?)
@@ -228,6 +254,7 @@ fn stats(index_path: &str) -> Result<(), String> {
             );
             println!("avg label size:      {:.2}", index.avg_label_size());
             println!("index bytes:         {}", index.memory_bytes());
+            print_phase_stats(index.stats());
         }
         IndexFormat::Weighted => {
             let index = serialize::load_weighted_index(open(index_path)?)
@@ -235,6 +262,7 @@ fn stats(index_path: &str) -> Result<(), String> {
             println!("vertices:            {}", index.num_vertices());
             println!("avg label size:      {:.2}", index.avg_label_size());
             println!("index bytes:         {}", index.memory_bytes());
+            print_phase_stats(index.stats());
         }
         IndexFormat::WeightedDirected => {
             let index = serialize::load_weighted_directed_index(open(index_path)?)
@@ -242,6 +270,7 @@ fn stats(index_path: &str) -> Result<(), String> {
             println!("vertices:            {}", index.num_vertices());
             println!("avg label size:      {:.2}", index.avg_label_size());
             println!("index bytes:         {}", index.memory_bytes());
+            print_phase_stats(index.stats());
         }
     }
     Ok(())

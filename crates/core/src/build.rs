@@ -1,18 +1,24 @@
 //! Index construction: the pruned landmark labeling algorithm.
 //!
-//! The build pipeline follows §4.2, §4.5 and §5.4 of the paper:
+//! The build pipeline follows §4.2, §4.5 and §5.4 of the paper, in four
+//! phases that [`ConstructionStats`] times individually
+//! (`order_seconds` / `relabel_seconds` / `bp_seconds` +
+//! `pruned_seconds` / `flatten_seconds`):
 //!
-//! 1. compute the vertex order (§4.4) and relabel the graph so vertex `i`
-//!    *is* rank `i` — labels then store ranks and are implicitly sorted
-//!    (§4.5 "Sorting Labels");
-//! 2. run `t` *bit-parallel* BFSs without pruning from the highest-priority
-//!    unused vertices, each absorbing the root and up to 64 of its
-//!    highest-priority unused neighbours (§5.4);
-//! 3. run a *pruned* BFS (Algorithm 1) from every remaining vertex in rank
-//!    order. A visit of `u` at distance `d` is pruned when the distance is
-//!    already answerable: either a bit-parallel label pair certifies
+//! 1. **Phase 0a — ordering**: compute the vertex order (§4.4);
+//! 2. **Phase 0b — relabelling**: relabel the graph so vertex `i` *is*
+//!    rank `i` — labels then store ranks and are implicitly sorted (§4.5
+//!    "Sorting Labels");
+//! 3. **searches**: run `t` *bit-parallel* BFSs without pruning from the
+//!    highest-priority unused vertices, each absorbing the root and up to
+//!    64 of its highest-priority unused neighbours (§5.4), then a
+//!    *pruned* BFS (Algorithm 1) from every remaining vertex in rank
+//!    order. A visit of `u` at distance `d` is pruned when the distance
+//!    is already answerable: either a bit-parallel label pair certifies
 //!    `dist ≤ d`, or the temp-array query over `L(u)` does (§4.5
-//!    "Querying" — `O(|L(u)|)` per test instead of a two-sided merge).
+//!    "Querying" — `O(|L(u)|)` per test instead of a two-sided merge);
+//! 4. **flatten**: copy the per-vertex label vectors into the flat
+//!    sentinel-terminated arena of [`LabelSet`].
 //!
 //! Engineering notes honoured from §4.5: the tentative-distance array and
 //! temp array are 8-bit and reset lazily (touched entries only), labels are
@@ -35,6 +41,15 @@
 //! The same substrate (via the [`crate::par::PrunedSearch`] trait) powers
 //! the `threads` knob of the directed, weighted and weighted-directed
 //! builders.
+//!
+//! The non-search phases honour the same `threads` knob with the same
+//! byte-identical guarantee: the ordering fans out over the workers
+//! ([`crate::order::compute_order_threaded`]), the relabelling translates
+//! disjoint rank chunks in parallel
+//! ([`pll_graph::reorder::apply_order_threaded`]), and the flatten copies
+//! label chunks into the arena from the workers
+//! ([`LabelSet`]`::from_vecs`) — removing the serial prefix/suffix that
+//! would otherwise floor the parallel build's speedup (Amdahl).
 
 use crate::bp::{select_bp_roots, BitParallelLabels, BpEntry, BpScratch};
 use crate::error::{PllError, Result};
@@ -220,12 +235,15 @@ impl IndexBuilder {
         // Phase 0: ordering + relabelling (§4.4, §4.5 "Sorting Labels").
         let t0 = Instant::now();
         let order = compute_order(g, &self.ordering, self.seed)?;
-        let inv = inverse_permutation(&order);
-        let h = apply_order(g, &order); // rank-space graph
         let order_seconds = t0.elapsed().as_secs_f64();
+        let tr = Instant::now();
+        let inv = inverse_permutation(&order);
+        let h = apply_order(g, &order)?; // rank-space graph
+        let relabel_seconds = tr.elapsed().as_secs_f64();
 
         let mut stats = ConstructionStats {
             order_seconds,
+            relabel_seconds,
             threads: 1,
             per_root: self.record_root_stats.then(Vec::new),
             ..Default::default()
@@ -393,7 +411,9 @@ impl IndexBuilder {
         }
         stats.pruned_seconds = t2.elapsed().as_secs_f64();
 
-        let labels = LabelSet::from_vecs(&label_ranks, &label_dists, label_parents.as_deref());
+        let tf = Instant::now();
+        let labels = LabelSet::from_vecs(&label_ranks, &label_dists, label_parents.as_deref(), 1)?;
+        stats.flatten_seconds = tf.elapsed().as_secs_f64();
         Ok(PllIndex::from_parts(order, inv, labels, bp, stats))
     }
 }

@@ -54,7 +54,9 @@ impl DirectedIndexBuilder {
     /// (see [`crate::par`]): `1` (default) is the sequential §6 path,
     /// `k > 1` runs the forward/backward pruned BFS pairs batch-parallel
     /// on `k` threads with a `LabelSet` pair byte-identical to the
-    /// sequential build, and `0` auto-detects one thread per CPU. As with
+    /// sequential build, and `0` auto-detects one thread per CPU. The
+    /// Degree ordering and the label flatten ride the same knob,
+    /// output-identically at any thread count. As with
     /// the undirected path, a multi-threaded build may surface
     /// [`PllError::DiameterTooLarge`] on a graph whose sequential build
     /// prunes every search short of the 8-bit ceiling.
@@ -76,18 +78,12 @@ impl DirectedIndexBuilder {
         self
     }
 
-    fn compute_order(&self, g: &CsrDigraph) -> Result<Vec<Vertex>> {
+    fn compute_order(&self, g: &CsrDigraph, threads: usize) -> Result<Vec<Vertex>> {
         let n = g.num_vertices();
         match &self.ordering {
-            OrderingStrategy::Degree => {
-                let mut order: Vec<Vertex> = (0..n as Vertex).collect();
-                order.sort_by(|&a, &b| {
-                    let da = g.out_degree(a) + g.in_degree(a);
-                    let db = g.out_degree(b) + g.in_degree(b);
-                    db.cmp(&da).then(a.cmp(&b))
-                });
-                Ok(order)
-            }
+            OrderingStrategy::Degree => Ok(crate::order::order_by_key_desc(n, threads, |v| {
+                (g.out_degree(v) + g.in_degree(v)) as u64
+            })),
             OrderingStrategy::Random => {
                 let mut order: Vec<Vertex> = (0..n as Vertex).collect();
                 Xoshiro256pp::seed_from_u64(self.seed).shuffle(&mut order);
@@ -124,21 +120,25 @@ impl DirectedIndexBuilder {
     /// Builds the directed index.
     pub fn build(&self, g: &CsrDigraph) -> Result<DirectedPllIndex> {
         let n = g.num_vertices();
+        let threads = resolve_threads(self.threads);
         let t0 = Instant::now();
-        let order = self.compute_order(g)?;
+        let order = self.compute_order(g, threads)?;
+        let order_seconds = t0.elapsed().as_secs_f64();
+        let tr = Instant::now();
         let inv = inverse_permutation(&order);
-        // Relabel arcs into rank space.
+        // Relabel arcs into rank space (sequential: the arc translation
+        // streams through `from_edges`, which owns the CSR scatter).
         let rank_edges: Vec<(Vertex, Vertex)> = g
             .arcs()
             .map(|(u, v)| (inv[u as usize], inv[v as usize]))
             .collect();
         let h = CsrDigraph::from_edges(n, &rank_edges)?;
-        let order_seconds = t0.elapsed().as_secs_f64();
-        let threads = resolve_threads(self.threads);
+        let relabel_seconds = tr.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
         let mut stats = ConstructionStats {
             order_seconds,
+            relabel_seconds,
             threads,
             ..Default::default()
         };
@@ -161,8 +161,11 @@ impl DirectedIndexBuilder {
                 |_, _, _| Ok(()),
             )?;
             stats.pruned_seconds = t1.elapsed().as_secs_f64();
-            let labels_in = LabelSet::from_vecs(&state.in_ranks, &state.in_dists, None);
-            let labels_out = LabelSet::from_vecs(&state.out_ranks, &state.out_dists, None);
+            let tf = Instant::now();
+            let labels_in = LabelSet::from_vecs(&state.in_ranks, &state.in_dists, None, threads)?;
+            let labels_out =
+                LabelSet::from_vecs(&state.out_ranks, &state.out_dists, None, threads)?;
+            stats.flatten_seconds = tf.elapsed().as_secs_f64();
             return Ok(DirectedPllIndex {
                 order,
                 inv,
@@ -288,8 +291,10 @@ impl DirectedIndexBuilder {
         }
         stats.pruned_seconds = t1.elapsed().as_secs_f64();
 
-        let labels_in = LabelSet::from_vecs(&in_ranks, &in_dists, None);
-        let labels_out = LabelSet::from_vecs(&out_ranks, &out_dists, None);
+        let tf = Instant::now();
+        let labels_in = LabelSet::from_vecs(&in_ranks, &in_dists, None, 1)?;
+        let labels_out = LabelSet::from_vecs(&out_ranks, &out_dists, None, 1)?;
+        stats.flatten_seconds = tf.elapsed().as_secs_f64();
         Ok(DirectedPllIndex {
             order,
             inv,

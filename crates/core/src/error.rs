@@ -16,6 +16,14 @@ pub enum PllError {
     },
     /// A weighted distance exceeded `u32::MAX - 1`.
     WeightedDistanceOverflow,
+    /// An index structure outgrew its 32-bit arena representation (e.g.
+    /// more than `u32::MAX` label-arena entries, sentinels included).
+    /// Previously these accumulations wrapped silently and corrupted the
+    /// offsets; now they surface as a typed error.
+    TooLarge {
+        /// Human-readable description of the exceeded quantity.
+        what: &'static str,
+    },
     /// A query endpoint was out of range.
     VertexOutOfRange {
         /// The offending vertex.
@@ -73,6 +81,9 @@ impl fmt::Display for PllError {
             ),
             PllError::WeightedDistanceOverflow => {
                 write!(f, "weighted distance exceeded the u32 label representation")
+            }
+            PllError::TooLarge { what } => {
+                write!(f, "{what} exceeds the 32-bit arena representation")
             }
             PllError::VertexOutOfRange {
                 vertex,
@@ -141,6 +152,11 @@ mod tests {
         assert!(PllError::ParentsNotStored
             .to_string()
             .contains("store_parents"));
+        assert!(PllError::TooLarge {
+            what: "label arena entries"
+        }
+        .to_string()
+        .contains("label arena entries"));
         let e = PllError::VertexOutOfRange {
             vertex: 10,
             num_vertices: 5,

@@ -11,7 +11,78 @@
 //! * optional parent pointers (rank space) for shortest-path reconstruction
 //!   (§6).
 
+use crate::error::{PllError, Result};
 use crate::types::{Dist, Rank, INF8, INF_QUERY, RANK_SENTINEL};
+
+/// Computes the sentinel-terminated arena offsets for per-vertex label
+/// lengths: entry `v` is the arena start of vertex `v`'s label, each label
+/// contributing `len + 1` entries (the `+1` is the sentinel). The prefix
+/// sum runs in `u64` and every offset is checked against the 32-bit arena
+/// representation — a label set past 2^32 entries used to wrap silently
+/// and corrupt the offsets; now it surfaces as [`PllError::TooLarge`].
+pub(crate) fn checked_offsets(lens: impl Iterator<Item = usize>) -> Result<Vec<u32>> {
+    let mut offsets = Vec::with_capacity(lens.size_hint().0 + 1);
+    offsets.push(0u32);
+    let mut acc = 0u64;
+    for len in lens {
+        acc = (len as u64)
+            .checked_add(1)
+            .and_then(|entries| acc.checked_add(entries))
+            .filter(|&total| total <= u32::MAX as u64)
+            .ok_or(PllError::TooLarge {
+                what: "label arena entries (including sentinels)",
+            })?;
+        offsets.push(acc as u32);
+    }
+    Ok(offsets)
+}
+
+/// Minimum arena entries for the parallel scatter; below this the
+/// spawn/join overhead exceeds the copy itself. Purely a performance
+/// knob — both paths produce identical output.
+const PARALLEL_FLATTEN_MIN_ENTRIES: usize = 4096;
+
+/// Copies per-vertex label vectors into their arena slots (`offsets`
+/// delimits them) and writes `sentinel` after each, fanning contiguous
+/// vertex chunks out over `threads` scoped workers. The chunks' arena
+/// spans are disjoint by construction, so the output is identical at any
+/// thread count.
+pub(crate) fn scatter_with_sentinel<T: Copy + Send + Sync>(
+    per_vertex: &[Vec<T>],
+    sentinel: T,
+    offsets: &[u32],
+    out: &mut [T],
+    threads: usize,
+) {
+    let n = per_vertex.len();
+    let copy_range = |range: std::ops::Range<usize>, chunk_out: &mut [T]| {
+        let base = offsets[range.start] as usize;
+        for v in range {
+            let s = offsets[v] as usize - base;
+            let len = per_vertex[v].len();
+            chunk_out[s..s + len].copy_from_slice(&per_vertex[v]);
+            chunk_out[s + len] = sentinel;
+        }
+    };
+    if threads <= 1 || out.len() < PARALLEL_FLATTEN_MIN_ENTRIES {
+        copy_range(0..n, out);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let len = (offsets[end] - offsets[start]) as usize;
+            let (head, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let copy_range = &copy_range;
+            scope.spawn(move || copy_range(start..end, head));
+            start = end;
+        }
+    });
+}
 
 /// Immutable flat label store, keyed by *rank* (not original vertex id).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -26,45 +97,52 @@ pub struct LabelSet {
 
 impl LabelSet {
     /// Flattens per-vertex label vectors into the arena, appending the
-    /// sentinel to each label.
+    /// sentinel to each label. Offsets are a checked `u64` prefix sum
+    /// ([`checked_offsets`]); the label chunks are then copied into the
+    /// arena from `threads` scoped workers over disjoint slices
+    /// ([`scatter_with_sentinel`]), so the result is byte-identical at any
+    /// thread count.
     ///
-    /// `per_vertex_parents` must be `Some` iff parent tracking was enabled,
-    /// and parallel in shape to the labels.
+    /// `parents` must be `Some` iff parent tracking was enabled, and
+    /// parallel in shape to the labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PllError::TooLarge`] when the arena (sentinels included)
+    /// would exceed `u32::MAX` entries.
     pub(crate) fn from_vecs(
         ranks: &[Vec<Rank>],
         dists: &[Vec<Dist>],
         parents: Option<&[Vec<Rank>]>,
-    ) -> LabelSet {
+        threads: usize,
+    ) -> Result<LabelSet> {
         let n = ranks.len();
         debug_assert_eq!(dists.len(), n);
-        let total: usize = ranks.iter().map(|r| r.len() + 1).sum();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut flat_ranks = Vec::with_capacity(total);
-        let mut flat_dists = Vec::with_capacity(total);
-        let mut flat_parents = parents.map(|_| Vec::with_capacity(total));
-        offsets.push(0u32);
+        #[cfg(debug_assertions)]
         for v in 0..n {
             debug_assert_eq!(ranks[v].len(), dists[v].len());
             debug_assert!(
                 ranks[v].windows(2).all(|w| w[0] < w[1]),
                 "label of vertex {v} must be strictly sorted by rank"
             );
-            flat_ranks.extend_from_slice(&ranks[v]);
-            flat_dists.extend_from_slice(&dists[v]);
-            flat_ranks.push(RANK_SENTINEL);
-            flat_dists.push(INF8);
-            if let (Some(fp), Some(pv)) = (&mut flat_parents, parents) {
-                fp.extend_from_slice(&pv[v]);
-                fp.push(RANK_SENTINEL);
-            }
-            offsets.push(flat_ranks.len() as u32);
         }
-        LabelSet {
+        let offsets = checked_offsets(ranks.iter().map(Vec::len))?;
+        let total = *offsets.last().unwrap() as usize;
+        let mut flat_ranks = vec![0 as Rank; total];
+        let mut flat_dists = vec![0 as Dist; total];
+        scatter_with_sentinel(ranks, RANK_SENTINEL, &offsets, &mut flat_ranks, threads);
+        scatter_with_sentinel(dists, INF8, &offsets, &mut flat_dists, threads);
+        let flat_parents = parents.map(|pv| {
+            let mut fp = vec![0 as Rank; total];
+            scatter_with_sentinel(pv, RANK_SENTINEL, &offsets, &mut fp, threads);
+            fp
+        });
+        Ok(LabelSet {
             offsets,
             ranks: flat_ranks,
             dists: flat_dists,
             parents: flat_parents,
-        }
+        })
     }
 
     /// Reassembles a label set from raw arena arrays (deserialisation).
@@ -252,7 +330,9 @@ mod tests {
             &[vec![0, 2], vec![0], vec![]],
             &[vec![0, 3], vec![1], vec![]],
             None,
+            1,
         )
+        .unwrap()
     }
 
     #[test]
@@ -276,7 +356,13 @@ mod tests {
 
     #[test]
     fn query_with_hub_reports_minimiser() {
-        let ls = LabelSet::from_vecs(&[vec![0, 1], vec![0, 1]], &[vec![5, 1], vec![5, 1]], None);
+        let ls = LabelSet::from_vecs(
+            &[vec![0, 1], vec![0, 1]],
+            &[vec![5, 1], vec![5, 1]],
+            None,
+            1,
+        )
+        .unwrap();
         assert_eq!(ls.query_with_hub(0, 1), Some((2, 1)));
         let empty = small_set();
         assert_eq!(empty.query_with_hub(0, 2), None);
@@ -296,7 +382,9 @@ mod tests {
             &[vec![0], vec![0]],
             &[vec![0], vec![1]],
             Some(&[vec![RANK_SENTINEL], vec![0]]),
-        );
+            1,
+        )
+        .unwrap();
         assert!(ls.has_parents());
         assert_eq!(ls.hub_parent(1, 0), Some(0));
         assert_eq!(ls.hub_parent(0, 0), Some(RANK_SENTINEL));
@@ -315,7 +403,68 @@ mod tests {
     #[test]
     fn merge_query_tie_handling() {
         // Two common hubs with equal sums.
-        let ls = LabelSet::from_vecs(&[vec![0, 3], vec![0, 3]], &[vec![2, 1], vec![2, 1]], None);
+        let ls = LabelSet::from_vecs(
+            &[vec![0, 3], vec![0, 3]],
+            &[vec![2, 1], vec![2, 1]],
+            None,
+            1,
+        )
+        .unwrap();
         assert_eq!(ls.query(0, 1), 2);
+    }
+
+    #[test]
+    fn from_vecs_parallel_flatten_is_identical() {
+        // Deterministic, irregular label shapes: the parallel scatter must
+        // reproduce the sequential arena byte for byte at every thread
+        // count. n is large enough that the arena passes
+        // PARALLEL_FLATTEN_MIN_ENTRIES and the chunked path engages.
+        let n = 2048usize;
+        let mut ranks: Vec<Vec<Rank>> = Vec::with_capacity(n);
+        let mut dists: Vec<Vec<Dist>> = Vec::with_capacity(n);
+        let mut parents: Vec<Vec<Rank>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let len = (v * 7) % 13;
+            ranks.push((0..len as Rank).map(|i| i * 3 + 1).collect());
+            dists.push((0..len).map(|i| (i % 200) as Dist).collect());
+            parents.push((0..len as Rank).collect());
+        }
+        let seq = LabelSet::from_vecs(&ranks, &dists, Some(&parents), 1).unwrap();
+        for threads in [2usize, 3, 8, 64] {
+            let par = LabelSet::from_vecs(&ranks, &dists, Some(&parents), threads).unwrap();
+            assert_eq!(seq, par, "flatten diverged at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn from_vecs_offset_overflow_errors() {
+        // `from_vecs` computes its offsets through `checked_offsets`; the
+        // error path is exercised with synthetic lengths (actually
+        // materialising > 2^32 label entries would need 16 GiB+).
+        let just_fits = [(u32::MAX - 1) as usize];
+        assert_eq!(
+            *checked_offsets(just_fits.iter().copied())
+                .unwrap()
+                .last()
+                .unwrap(),
+            u32::MAX
+        );
+        let overflows = [u32::MAX as usize];
+        assert!(matches!(
+            checked_offsets(overflows.iter().copied()),
+            Err(PllError::TooLarge { .. })
+        ));
+        // Accumulated overflow across vertices, not just a single huge one.
+        let accumulated = [u32::MAX as usize / 2; 3];
+        assert!(matches!(
+            checked_offsets(accumulated.iter().copied()),
+            Err(PllError::TooLarge { .. })
+        ));
+        // u64-level overflow must not wrap either.
+        let huge = [usize::MAX];
+        assert!(matches!(
+            checked_offsets(huge.iter().copied()),
+            Err(PllError::TooLarge { .. })
+        ));
     }
 }

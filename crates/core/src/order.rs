@@ -14,6 +14,8 @@
 use crate::error::{PllError, Result};
 use pll_graph::traversal::bfs::BfsEngine;
 use pll_graph::{CsrGraph, Vertex, Xoshiro256pp, INF_U32};
+use std::cmp::Ordering;
+use std::sync::atomic::AtomicUsize;
 
 /// How to order vertices for the pruned BFSs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,19 +60,46 @@ impl OrderingStrategy {
 }
 
 /// Computes the vertex order for `g`: `order[rank] = vertex`, rank 0 first.
+/// Sequential shorthand for [`compute_order_threaded`] with one thread.
 ///
 /// # Errors
 ///
 /// Returns [`PllError::InvalidOrder`] if a custom order is not a permutation
 /// of `0..n`.
 pub fn compute_order(g: &CsrGraph, strategy: &OrderingStrategy, seed: u64) -> Result<Vec<Vertex>> {
+    compute_order_threaded(g, strategy, seed, 1)
+}
+
+/// Computes the vertex order on up to `threads` worker threads. The result
+/// is **identical at any thread count** — the parallel paths only change
+/// how the same total order is computed:
+///
+/// * `Degree` — the degree keys are extracted in parallel chunks, the
+///   rank array is chunk-sorted on the workers and k-way merged; the
+///   comparator is total (ties fall to the vertex id), so the merged
+///   output is unique.
+/// * `Closeness` — the sampled BFS sources are drawn up front (distinct,
+///   by partial Fisher–Yates, deterministic in `seed`), the BFSs fan out
+///   one-per-worker, and each worker reduces into a private `total[]`
+///   that is summed at the join; `u64` addition is associative and
+///   commutative, so the totals do not depend on the schedule.
+/// * `Random`, `Degeneracy`, `Custom` — inherently sequential (a seeded
+///   shuffle, the bucket peel, validation) and cheap; they run on the
+///   calling thread.
+///
+/// # Errors
+///
+/// Returns [`PllError::InvalidOrder`] if a custom order is not a permutation
+/// of `0..n`.
+pub fn compute_order_threaded(
+    g: &CsrGraph,
+    strategy: &OrderingStrategy,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<Vertex>> {
     let n = g.num_vertices();
     match strategy {
-        OrderingStrategy::Degree => {
-            let mut order: Vec<Vertex> = (0..n as Vertex).collect();
-            order.sort_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
-            Ok(order)
-        }
+        OrderingStrategy::Degree => Ok(order_by_key_desc(n, threads, |v| g.degree(v) as u64)),
         OrderingStrategy::Random => {
             let mut order: Vec<Vertex> = (0..n as Vertex).collect();
             let mut rng = Xoshiro256pp::seed_from_u64(seed);
@@ -82,22 +111,11 @@ pub fn compute_order(g: &CsrGraph, strategy: &OrderingStrategy, seed: u64) -> Re
                 return Ok(Vec::new());
             }
             let mut rng = Xoshiro256pp::seed_from_u64(seed);
-            let k = (*samples).max(1).min(n.max(1));
-            let mut total = vec![0u64; n];
-            let mut engine = BfsEngine::new(n);
-            for _ in 0..k {
-                let src = rng.next_below(n.max(1) as u64) as Vertex;
-                let dist = engine.run(g, src);
-                for v in 0..n {
-                    total[v] += if dist[v] == INF_U32 {
-                        n as u64
-                    } else {
-                        dist[v] as u64
-                    };
-                }
-            }
+            let k = (*samples).max(1).min(n);
+            let sources = sample_distinct(n, k, &mut rng);
+            let total = closeness_totals(g, &sources, threads);
             let mut order: Vec<Vertex> = (0..n as Vertex).collect();
-            order.sort_by(|&a, &b| {
+            sort_by_total_order(&mut order, threads, &|a, b| {
                 total[a as usize]
                     .cmp(&total[b as usize])
                     .then(g.degree(b).cmp(&g.degree(a)))
@@ -109,13 +127,21 @@ pub fn compute_order(g: &CsrGraph, strategy: &OrderingStrategy, seed: u64) -> Re
             let decomp = pll_graph::traversal::kcore::core_decomposition(g);
             let mut order = decomp.degeneracy_order;
             order.reverse();
-            // Within the same removal tail, prefer higher degree (mirrors
-            // the Degree strategy's treatment of the deepest core).
+            // Tier by coreness then degree, breaking ties by position in
+            // the reversed removal order — vertices peeled *later* (the
+            // deeper core) lead their tier. (An earlier revision
+            // tie-broke by vertex id, which made the `reverse()` above
+            // dead code and silently degraded the strategy to a plain
+            // coreness/degree sort.)
+            let mut pos = vec![0u32; n];
+            for (i, &v) in order.iter().enumerate() {
+                pos[v as usize] = i as u32;
+            }
             order.sort_by(|&a, &b| {
                 decomp.core[b as usize]
                     .cmp(&decomp.core[a as usize])
                     .then(g.degree(b).cmp(&g.degree(a)))
-                    .then(a.cmp(&b))
+                    .then(pos[a as usize].cmp(&pos[b as usize]))
             });
             Ok(order)
         }
@@ -142,6 +168,170 @@ pub fn compute_order(g: &CsrGraph, strategy: &OrderingStrategy, seed: u64) -> Re
             Ok(order.clone())
         }
     }
+}
+
+/// Minimum vertex count for the chunk-sort + merge and parallel key
+/// extraction paths; below this one thread wins. Purely a performance
+/// knob — both paths produce identical output.
+const PARALLEL_ORDER_MIN: usize = 1024;
+
+/// Extracts `key(v)` for every vertex, in parallel chunks when
+/// `threads > 1` (the chunks write disjoint slices of the key array).
+fn extract_keys(n: usize, threads: usize, key: &(impl Fn(Vertex) -> u64 + Sync)) -> Vec<u64> {
+    let mut keys = vec![0u64; n];
+    if threads <= 1 || n < PARALLEL_ORDER_MIN {
+        for (v, slot) in keys.iter_mut().enumerate() {
+            *slot = key(v as Vertex);
+        }
+        return keys;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ci, part) in keys.chunks_mut(chunk).enumerate() {
+            let start = ci * chunk;
+            scope.spawn(move || {
+                for (i, slot) in part.iter_mut().enumerate() {
+                    *slot = key((start + i) as Vertex);
+                }
+            });
+        }
+    });
+    keys
+}
+
+/// The descending-key vertex order (ties broken by ascending id) shared
+/// by every variant's `Degree` strategy: parallel-chunk key extraction,
+/// then the chunk-sort + k-way merge of [`sort_by_total_order`]. The
+/// undirected builder keys on degree; the directed builders key on
+/// `in + out` degree through their own `key` closure.
+pub(crate) fn order_by_key_desc(
+    n: usize,
+    threads: usize,
+    key: impl Fn(Vertex) -> u64 + Sync,
+) -> Vec<Vertex> {
+    let keys = extract_keys(n, threads, &key);
+    let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+    sort_by_total_order(&mut order, threads, &|a, b| {
+        keys[b as usize].cmp(&keys[a as usize]).then(a.cmp(&b))
+    });
+    order
+}
+
+/// Sorts `order` by the **total** comparator `cmp` (never `Equal` for
+/// distinct vertices): chunk-sorts on `threads` scoped workers, then
+/// k-way merges on the calling thread. Totality makes the merged output
+/// unique, hence identical to a plain sequential `sort_by` at any thread
+/// count.
+fn sort_by_total_order(
+    order: &mut Vec<Vertex>,
+    threads: usize,
+    cmp: &(impl Fn(Vertex, Vertex) -> Ordering + Sync),
+) {
+    let n = order.len();
+    if threads <= 1 || n < PARALLEL_ORDER_MIN {
+        order.sort_by(|&a, &b| cmp(a, b));
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for part in order.chunks_mut(chunk) {
+            scope.spawn(move || part.sort_by(|&a, &b| cmp(a, b)));
+        }
+    });
+    let mut cursors: Vec<usize> = (0..n).step_by(chunk).collect();
+    let ends: Vec<usize> = cursors.iter().map(|&s| (s + chunk).min(n)).collect();
+    let mut merged = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        for run in 0..cursors.len() {
+            if cursors[run] < ends[run] {
+                best = match best {
+                    Some(b) if cmp(order[cursors[run]], order[cursors[b]]) != Ordering::Less => {
+                        Some(b)
+                    }
+                    _ => Some(run),
+                };
+            }
+        }
+        let b = best.expect("merge consumes exactly n elements");
+        merged.push(order[cursors[b]]);
+        cursors[b] += 1;
+    }
+    *order = merged;
+}
+
+/// The first `k` entries of a seeded Fisher–Yates shuffle of `0..n`:
+/// `k` **distinct** vertices, deterministic in `rng`. (An earlier
+/// revision sampled the closeness BFS sources with replacement, so a
+/// repeated source silently halved the effective sample size.)
+fn sample_distinct(n: usize, k: usize, rng: &mut Xoshiro256pp) -> Vec<Vertex> {
+    debug_assert!(k <= n);
+    let mut pool: Vec<Vertex> = (0..n as Vertex).collect();
+    for i in 0..k {
+        let j = i + rng.next_below((n - i) as u64) as usize;
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+/// Sums every vertex's BFS distance to the sampled `sources`
+/// (unreachable pairs are penalised by `n`), fanning the BFSs out
+/// one-per-worker. Each worker reduces into a private `total[]`; the
+/// partials are summed at the join, and `u64` addition makes the result
+/// schedule-independent.
+fn closeness_totals(g: &CsrGraph, sources: &[Vertex], threads: usize) -> Vec<u64> {
+    let n = g.num_vertices();
+    let accumulate = |total: &mut [u64], dist: &[u32]| {
+        for v in 0..n {
+            total[v] += if dist[v] == INF_U32 {
+                n as u64
+            } else {
+                dist[v] as u64
+            };
+        }
+    };
+    let workers = threads.min(sources.len()).max(1);
+    if workers <= 1 {
+        let mut engine = BfsEngine::new(n);
+        let mut total = vec![0u64; n];
+        for &src in sources {
+            accumulate(&mut total, engine.run(g, src));
+        }
+        return total;
+    }
+    let cursor = AtomicUsize::new(0);
+    let partials: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let accumulate = &accumulate;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut engine = BfsEngine::new(n);
+                    let mut local = vec![0u64; n];
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= sources.len() {
+                            break;
+                        }
+                        accumulate(&mut local, engine.run(g, sources[i]));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("closeness BFS worker panicked"))
+            .collect()
+    });
+    let mut total = vec![0u64; n];
+    for partial in partials {
+        for (t, p) in total.iter_mut().zip(partial) {
+            *t += p;
+        }
+    }
+    total
 }
 
 #[cfg(test)]
@@ -249,6 +439,107 @@ mod tests {
             .build(&g)
             .unwrap();
         crate::verify::verify_exhaustive(&g, &idx).unwrap();
+    }
+
+    #[test]
+    fn degeneracy_tiebreak_respects_removal_order() {
+        // Asymmetric core–fringe graph: a K4 core {0,1,2,3} with the
+        // pendant path 0–6–5–4. Vertices 5 and 6 tie on coreness (1) and
+        // degree (2), but the peel removes 4, then 5, then 6 — so the
+        // reverse degeneracy order puts 6 (removed later, nearer the
+        // core) before 5. A coreness/degree sort with an id tiebreak
+        // (the old, buggy comparator) would order 5 first.
+        let edges = [
+            (0u32, 1u32),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (0, 6),
+            (6, 5),
+            (5, 4),
+        ];
+        let g = CsrGraph::from_edges(7, &edges).unwrap();
+        let order = compute_order(&g, &OrderingStrategy::Degeneracy, 0).unwrap();
+        let rank_of = |v: Vertex| order.iter().position(|&x| x == v).unwrap();
+        // Core first.
+        for v in [0u32, 1, 2, 3] {
+            assert!(rank_of(v) < 4, "core vertex {v} not in front: {order:?}");
+        }
+        // Equal (core, degree) tier {5, 6}: later-removed 6 leads.
+        assert!(
+            rank_of(6) < rank_of(5),
+            "removal-order tiebreak ignored: {order:?}"
+        );
+        // Degree still dominates within the core-1 tier: 4 (degree 1) last.
+        assert_eq!(*order.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn closeness_samples_are_distinct_and_seeded() {
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
+        let s = sample_distinct(50, 20, &mut rng);
+        assert_eq!(s.len(), 20);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20, "sources must be distinct: {s:?}");
+        // Same seed, same sample; k = n is a full permutation.
+        let mut rng2 = Xoshiro256pp::seed_from_u64(42);
+        assert_eq!(s, sample_distinct(50, 20, &mut rng2));
+        let mut rng3 = Xoshiro256pp::seed_from_u64(7);
+        let mut perm = sample_distinct(10, 10, &mut rng3);
+        perm.sort_unstable();
+        assert_eq!(perm, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_by_key_desc_parallel_matches_sequential() {
+        // 97 distinct keys over 5000 vertices: heavy ties stress the
+        // k-way merge's id tiebreak. This is the helper the variant
+        // builders (directed/weighted/weighted-directed) key their
+        // Degree sort through.
+        let n = 5000usize;
+        let key = |v: Vertex| (v as u64).wrapping_mul(2_654_435_761) % 97;
+        let seq = order_by_key_desc(n, 1, key);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                seq,
+                order_by_key_desc(n, threads, key),
+                "key order diverged at threads={threads}"
+            );
+        }
+        for w in seq.windows(2) {
+            let (ka, kb) = (key(w[0]), key(w[1]));
+            assert!(
+                ka > kb || (ka == kb && w[0] < w[1]),
+                "not a descending key order with id tiebreak: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_order_matches_sequential() {
+        // n is above PARALLEL_ORDER_MIN so the chunk-sort + merge and the
+        // BFS fan-out actually engage.
+        let g = gen::barabasi_albert(3000, 3, 5).unwrap();
+        for strat in [
+            OrderingStrategy::Degree,
+            OrderingStrategy::Closeness { samples: 8 },
+            OrderingStrategy::Random,
+            OrderingStrategy::Degeneracy,
+        ] {
+            let seq = compute_order(&g, &strat, 9).unwrap();
+            for threads in [2usize, 3, 4, 8] {
+                assert_eq!(
+                    seq,
+                    compute_order_threaded(&g, &strat, 9, threads).unwrap(),
+                    "{} order diverged at threads={threads}",
+                    strat.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,19 @@
 //!    Per-thread visit counters are merged into [`ConstructionStats`] at
 //!    the same barrier.
 //!
+//! The pruned searches are not the only parallel piece: Phase 0 and the
+//! final flatten ride the same thread count, so the parallel build has no
+//! sequential Amdahl floor beyond the per-root commits. The ordering fans
+//! out over the workers ([`crate::order::compute_order_threaded`]: chunked
+//! degree-key extraction + chunk sort + k-way merge, or the sampled
+//! closeness BFSs one-per-worker), the relabelling translates disjoint
+//! rank chunks after a checked sequential prefix sum
+//! ([`pll_graph::reorder::apply_order_threaded`]), and the flatten copies
+//! label chunks into disjoint arena slices ([`LabelSet`]`::from_vecs`).
+//! Each of those is *output-identical* at any thread count (total
+//! comparators, associative `u64` reductions, disjoint writes), so the
+//! byte-identical guarantee below is preserved end to end.
+//!
 //! The mechanics above — batching, fan-out, commit discipline — are shared
 //! across variants through the [`PrunedSearch`] trait and the
 //! [`run_batched`] driver; each variant contributes only its relaxed
@@ -91,10 +104,10 @@ use crate::build::{prune_test, BuildObserver, IndexBuilder, PartialIndex};
 use crate::error::{PllError, Result};
 use crate::index::PllIndex;
 use crate::label::LabelSet;
-use crate::order::compute_order;
+use crate::order::compute_order_threaded;
 use crate::stats::{ConstructionStats, RootStats};
 use crate::types::{Dist, Rank, INF8, MAX_DIST};
-use pll_graph::reorder::{apply_order, inverse_permutation};
+use pll_graph::reorder::{apply_order_threaded, inverse_permutation};
 use pll_graph::CsrGraph;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -544,15 +557,21 @@ pub(crate) fn build_parallel(
         }));
     }
 
-    // Phase 0: ordering + relabelling, identical to the sequential path.
+    // Phase 0: ordering + relabelling, output-identical to the
+    // sequential path but fanned out over the workers (parallel degree
+    // key extraction / chunk sort / closeness BFS sampling, then the
+    // two-pass chunked relabelling).
     let t0 = Instant::now();
-    let order = compute_order(g, &builder.ordering, builder.seed)?;
-    let inv = inverse_permutation(&order);
-    let h = apply_order(g, &order); // rank-space graph
+    let order = compute_order_threaded(g, &builder.ordering, builder.seed, threads)?;
     let order_seconds = t0.elapsed().as_secs_f64();
+    let tr = Instant::now();
+    let inv = inverse_permutation(&order);
+    let h = apply_order_threaded(g, &order, threads)?; // rank-space graph
+    let relabel_seconds = tr.elapsed().as_secs_f64();
 
     let mut stats = ConstructionStats {
         order_seconds,
+        relabel_seconds,
         threads,
         per_root: builder.record_root_stats.then(Vec::new),
         ..Default::default()
@@ -661,7 +680,9 @@ pub(crate) fn build_parallel(
     )?;
     stats.pruned_seconds = t2.elapsed().as_secs_f64();
 
-    let labels = LabelSet::from_vecs(&state.label_ranks, &state.label_dists, None);
+    let tf = Instant::now();
+    let labels = LabelSet::from_vecs(&state.label_ranks, &state.label_dists, None, threads)?;
+    stats.flatten_seconds = tf.elapsed().as_secs_f64();
     Ok(PllIndex::from_parts(order, inv, labels, bp, stats))
 }
 

@@ -16,14 +16,27 @@ pub struct RootStats {
 }
 
 /// Timing and volume statistics of one index construction.
+///
+/// The construction pipeline is timed phase by phase so the Amdahl
+/// accounting of the parallel path is visible end to end (builder → CLI →
+/// `BENCH_construction.json`): ordering (§4.4), relabelling into rank
+/// space (§4.5 "Sorting Labels"), the searches (bit-parallel §5.4 +
+/// pruned §4.2), and the final label flatten into the sentinel-terminated
+/// arena (§4.5 "Sentinel").
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ConstructionStats {
-    /// Seconds spent computing the vertex order and relabelling the graph.
+    /// Seconds spent computing the vertex order (§4.4).
     pub order_seconds: f64,
+    /// Seconds spent relabelling the graph into rank space (§4.5 "Sorting
+    /// Labels").
+    pub relabel_seconds: f64,
     /// Seconds spent in the bit-parallel phase (§5.4).
     pub bp_seconds: f64,
     /// Seconds spent in the pruned BFS phase.
     pub pruned_seconds: f64,
+    /// Seconds spent flattening per-vertex labels into the arena (§4.5
+    /// "Sentinel").
+    pub flatten_seconds: f64,
     /// Bit-parallel roots actually used (≤ the configured `t`; fewer when
     /// the graph runs out of unused vertices).
     pub bp_roots_used: usize,
@@ -52,9 +65,20 @@ pub struct ConstructionStats {
 }
 
 impl ConstructionStats {
-    /// Total construction seconds (ordering + BP + pruned phases).
+    /// Total construction seconds (ordering + relabelling + BP + pruned +
+    /// flatten phases).
     pub fn total_seconds(&self) -> f64 {
-        self.order_seconds + self.bp_seconds + self.pruned_seconds
+        self.order_seconds
+            + self.relabel_seconds
+            + self.bp_seconds
+            + self.pruned_seconds
+            + self.flatten_seconds
+    }
+
+    /// Seconds spent in the search phases (bit-parallel + pruned) — the
+    /// `search_secs` column of the bench records.
+    pub fn search_seconds(&self) -> f64 {
+        self.bp_seconds + self.pruned_seconds
     }
 
     /// Fraction of visits that were pruned (0 if nothing was visited).
@@ -133,13 +157,16 @@ mod tests {
     fn construction_stats_totals() {
         let s = ConstructionStats {
             order_seconds: 1.0,
+            relabel_seconds: 0.5,
             bp_seconds: 2.0,
             pruned_seconds: 3.0,
+            flatten_seconds: 0.25,
             total_visited: 10,
             total_pruned: 4,
             ..Default::default()
         };
-        assert!((s.total_seconds() - 6.0).abs() < 1e-12);
+        assert!((s.total_seconds() - 6.75).abs() < 1e-12);
+        assert!((s.search_seconds() - 5.0).abs() < 1e-12);
         assert!((s.prune_rate() - 0.4).abs() < 1e-12);
         assert_eq!(ConstructionStats::default().prune_rate(), 0.0);
     }

@@ -59,7 +59,9 @@ impl WeightedIndexBuilder {
     /// threads with a byte-identical index (including
     /// [`PllError::WeightedDistanceOverflow`] behaviour, checked at
     /// commit time on exactly the sequential build's entries), and `0`
-    /// auto-detects one thread per CPU.
+    /// auto-detects one thread per CPU. The Degree ordering and the
+    /// label flatten ride the same knob, output-identically at any
+    /// thread count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -78,14 +80,12 @@ impl WeightedIndexBuilder {
         self
     }
 
-    fn compute_order(&self, g: &WeightedGraph) -> Result<Vec<Vertex>> {
+    fn compute_order(&self, g: &WeightedGraph, threads: usize) -> Result<Vec<Vertex>> {
         let n = g.num_vertices();
         match &self.ordering {
-            OrderingStrategy::Degree => {
-                let mut order: Vec<Vertex> = (0..n as Vertex).collect();
-                order.sort_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
-                Ok(order)
-            }
+            OrderingStrategy::Degree => Ok(crate::order::order_by_key_desc(n, threads, |v| {
+                g.degree(v) as u64
+            })),
             OrderingStrategy::Random => {
                 let mut order: Vec<Vertex> = (0..n as Vertex).collect();
                 Xoshiro256pp::seed_from_u64(self.seed).shuffle(&mut order);
@@ -122,21 +122,25 @@ impl WeightedIndexBuilder {
     /// Builds the weighted index with pruned Dijkstra searches.
     pub fn build(&self, g: &WeightedGraph) -> Result<WeightedPllIndex> {
         let n = g.num_vertices();
+        let threads = resolve_threads(self.threads);
         let t0 = Instant::now();
-        let order = self.compute_order(g)?;
+        let order = self.compute_order(g, threads)?;
+        let order_seconds = t0.elapsed().as_secs_f64();
+        let tr = Instant::now();
         let inv = inverse_permutation(&order);
-        // Relabel into rank space.
+        // Relabel into rank space (sequential: the edge translation
+        // streams through `from_edges`, which owns the CSR scatter).
         let rank_edges: Vec<(Vertex, Vertex, u32)> = g
             .edges()
             .map(|(u, v, w)| (inv[u as usize], inv[v as usize], w))
             .collect();
         let h = WeightedGraph::from_edges(n, &rank_edges)?;
-        let order_seconds = t0.elapsed().as_secs_f64();
-        let threads = resolve_threads(self.threads);
+        let relabel_seconds = tr.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
         let mut stats = ConstructionStats {
             order_seconds,
+            relabel_seconds,
             threads,
             ..Default::default()
         };
@@ -157,7 +161,10 @@ impl WeightedIndexBuilder {
                 |_, _, _| Ok(()),
             )?;
             stats.pruned_seconds = t1.elapsed().as_secs_f64();
-            let (offsets, ranks, dists) = flatten_weighted(&state.label_ranks, &state.label_dists);
+            let tf = Instant::now();
+            let (offsets, ranks, dists) =
+                flatten_weighted(&state.label_ranks, &state.label_dists, threads)?;
+            stats.flatten_seconds = tf.elapsed().as_secs_f64();
             return Ok(WeightedPllIndex {
                 order,
                 inv,
@@ -235,7 +242,9 @@ impl WeightedIndexBuilder {
         }
         stats.pruned_seconds = t1.elapsed().as_secs_f64();
 
-        let (offsets, ranks, dists) = flatten_weighted(&label_ranks, &label_dists);
+        let tf = Instant::now();
+        let (offsets, ranks, dists) = flatten_weighted(&label_ranks, &label_dists, 1)?;
+        stats.flatten_seconds = tf.elapsed().as_secs_f64();
 
         Ok(WeightedPllIndex {
             order,
@@ -250,25 +259,27 @@ impl WeightedIndexBuilder {
 
 /// Flattens per-vertex weighted labels into the sentinel-terminated arena
 /// layout (§4.5 "Sentinel"), shared by the sequential and batch-parallel
-/// paths so their serialised forms agree byte for byte.
+/// paths so their serialised forms agree byte for byte. Offsets are a
+/// checked `u64` prefix sum and the label chunks are copied from `threads`
+/// scoped workers over disjoint arena slices, so the result is identical
+/// at any thread count.
+///
+/// # Errors
+///
+/// Returns [`PllError::TooLarge`] when the arena (sentinels included)
+/// would exceed `u32::MAX` entries.
 pub(crate) fn flatten_weighted(
     label_ranks: &[Vec<Rank>],
     label_dists: &[Vec<WDist>],
-) -> (Vec<u32>, Vec<Rank>, Vec<WDist>) {
-    let n = label_ranks.len();
-    let total: usize = label_ranks.iter().map(|l| l.len() + 1).sum();
-    let mut offsets = Vec::with_capacity(n + 1);
-    let mut ranks = Vec::with_capacity(total);
-    let mut dists = Vec::with_capacity(total);
-    offsets.push(0u32);
-    for v in 0..n {
-        ranks.extend_from_slice(&label_ranks[v]);
-        dists.extend_from_slice(&label_dists[v]);
-        ranks.push(RANK_SENTINEL);
-        dists.push(WDist::MAX);
-        offsets.push(ranks.len() as u32);
-    }
-    (offsets, ranks, dists)
+    threads: usize,
+) -> Result<(Vec<u32>, Vec<Rank>, Vec<WDist>)> {
+    let offsets = crate::label::checked_offsets(label_ranks.iter().map(Vec::len))?;
+    let total = *offsets.last().unwrap() as usize;
+    let mut ranks = vec![0 as Rank; total];
+    let mut dists = vec![0 as WDist; total];
+    crate::label::scatter_with_sentinel(label_ranks, RANK_SENTINEL, &offsets, &mut ranks, threads);
+    crate::label::scatter_with_sentinel(label_dists, WDist::MAX, &offsets, &mut dists, threads);
+    Ok((offsets, ranks, dists))
 }
 
 /// The commit-time `u32` label check of the weighted variants: the

@@ -59,7 +59,9 @@ impl WeightedDirectedIndexBuilder {
     /// runs the forward/backward pruned Dijkstra pairs batch-parallel on
     /// `k` threads with byte-identical output (including
     /// [`PllError::WeightedDistanceOverflow`] behaviour), and `0`
-    /// auto-detects one thread per CPU.
+    /// auto-detects one thread per CPU. The Degree ordering and the
+    /// label flatten ride the same knob, output-identically at any
+    /// thread count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -77,18 +79,12 @@ impl WeightedDirectedIndexBuilder {
         self
     }
 
-    fn compute_order(&self, g: &WeightedDigraph) -> Result<Vec<Vertex>> {
+    fn compute_order(&self, g: &WeightedDigraph, threads: usize) -> Result<Vec<Vertex>> {
         let n = g.num_vertices();
         match &self.ordering {
-            OrderingStrategy::Degree => {
-                let mut order: Vec<Vertex> = (0..n as Vertex).collect();
-                order.sort_by(|&a, &b| {
-                    let da = g.out_degree(a) + g.in_degree(a);
-                    let db = g.out_degree(b) + g.in_degree(b);
-                    db.cmp(&da).then(a.cmp(&b))
-                });
-                Ok(order)
-            }
+            OrderingStrategy::Degree => Ok(crate::order::order_by_key_desc(n, threads, |v| {
+                (g.out_degree(v) + g.in_degree(v)) as u64
+            })),
             OrderingStrategy::Random => {
                 let mut order: Vec<Vertex> = (0..n as Vertex).collect();
                 Xoshiro256pp::seed_from_u64(self.seed).shuffle(&mut order);
@@ -123,20 +119,25 @@ impl WeightedDirectedIndexBuilder {
     /// Builds the index with two pruned Dijkstra searches per root.
     pub fn build(&self, g: &WeightedDigraph) -> Result<WeightedDirectedPllIndex> {
         let n = g.num_vertices();
+        let threads = resolve_threads(self.threads);
         let t0 = Instant::now();
-        let order = self.compute_order(g)?;
+        let order = self.compute_order(g, threads)?;
+        let order_seconds = t0.elapsed().as_secs_f64();
+        let tr = Instant::now();
         let inv = inverse_permutation(&order);
+        // Relabel arcs into rank space (sequential: the arc translation
+        // streams through `from_edges`, which owns the CSR scatter).
         let rank_arcs: Vec<(Vertex, Vertex, u32)> = g
             .arcs()
             .map(|(u, v, w)| (inv[u as usize], inv[v as usize], w))
             .collect();
         let h = WeightedDigraph::from_edges(n, &rank_arcs)?;
-        let order_seconds = t0.elapsed().as_secs_f64();
-        let threads = resolve_threads(self.threads);
+        let relabel_seconds = tr.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
         let mut stats = ConstructionStats {
             order_seconds,
+            relabel_seconds,
             threads,
             ..Default::default()
         };
@@ -159,10 +160,12 @@ impl WeightedDirectedIndexBuilder {
                 |_, _, _| Ok(()),
             )?;
             stats.pruned_seconds = t1.elapsed().as_secs_f64();
+            let tf = Instant::now();
             let (in_offsets, in_flat_ranks, in_flat_dists) =
-                flatten_weighted(&state.in_ranks, &state.in_dists);
+                flatten_weighted(&state.in_ranks, &state.in_dists, threads)?;
             let (out_offsets, out_flat_ranks, out_flat_dists) =
-                flatten_weighted(&state.out_ranks, &state.out_dists);
+                flatten_weighted(&state.out_ranks, &state.out_dists, threads)?;
+            stats.flatten_seconds = tf.elapsed().as_secs_f64();
             return Ok(WeightedDirectedPllIndex {
                 order,
                 inv,
@@ -303,9 +306,11 @@ impl WeightedDirectedIndexBuilder {
         }
         stats.pruned_seconds = t1.elapsed().as_secs_f64();
 
-        let (in_offsets, in_flat_ranks, in_flat_dists) = flatten_weighted(&in_ranks, &in_dists);
+        let tf = Instant::now();
+        let (in_offsets, in_flat_ranks, in_flat_dists) = flatten_weighted(&in_ranks, &in_dists, 1)?;
         let (out_offsets, out_flat_ranks, out_flat_dists) =
-            flatten_weighted(&out_ranks, &out_dists);
+            flatten_weighted(&out_ranks, &out_dists, 1)?;
+        stats.flatten_seconds = tf.elapsed().as_secs_f64();
 
         Ok(WeightedDirectedPllIndex {
             order,

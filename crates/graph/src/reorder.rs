@@ -5,37 +5,102 @@
 //! implicitly sorted. [`apply_order`] performs that relabelling.
 
 use crate::csr::CsrGraph;
+use crate::error::{GraphError, Result};
 use crate::Vertex;
 
+/// Minimum adjacency entries for the parallel translation pass; below
+/// this the spawn/join overhead exceeds the work. Purely a performance
+/// knob — both paths produce identical output.
+const PARALLEL_RELABEL_MIN_TARGETS: usize = 4096;
+
 /// Relabels `g` so that new vertex `r` is `order[r]` (i.e. `order` maps
-/// rank → old id). Returns the relabelled graph.
+/// rank → old id). Returns the relabelled graph. Sequential shorthand for
+/// [`apply_order_threaded`] with one thread.
+///
+/// # Errors
+///
+/// Returns [`GraphError::TooLarge`] if the relabelled adjacency array
+/// would exceed the 32-bit CSR representation (the accumulation used to
+/// wrap silently; any graph built through [`CsrGraph::from_edges`]
+/// already fits, so this guards future raw constructors).
 ///
 /// # Panics
 ///
 /// Panics if `order` is not a permutation of `0..n` (checked in debug and
 /// release: the inverse construction detects duplicates).
-pub fn apply_order(g: &CsrGraph, order: &[Vertex]) -> CsrGraph {
+pub fn apply_order(g: &CsrGraph, order: &[Vertex]) -> Result<CsrGraph> {
+    apply_order_threaded(g, order, 1)
+}
+
+/// Relabels `g` on up to `threads` worker threads, in two passes:
+///
+/// 1. a sequential `u64` prefix sum over the permuted degrees builds the
+///    rank-space offsets, each checked against the `u32` CSR bound;
+/// 2. the ranks are split into contiguous chunks whose adjacency spans
+///    are **disjoint** slices of the target array; each worker translates
+///    its chunk's neighbour lists through the inverse permutation and
+///    sorts every list.
+///
+/// The chunks write disjoint memory and each sorted list is unique, so
+/// the output equals the sequential relabelling at any thread count.
+///
+/// # Errors / Panics
+///
+/// As for [`apply_order`].
+pub fn apply_order_threaded(g: &CsrGraph, order: &[Vertex], threads: usize) -> Result<CsrGraph> {
     let n = g.num_vertices();
     assert_eq!(order.len(), n, "order length must equal vertex count");
     let inv = inverse_permutation(order);
 
+    // Pass 1: offsets by checked u64 prefix sum of the permuted degrees.
     let mut offsets = Vec::with_capacity(n + 1);
     offsets.push(0u32);
-    let mut acc = 0u32;
+    let mut acc = 0u64;
     for &old in order {
-        acc += g.degree(old) as u32;
-        offsets.push(acc);
+        acc += g.degree(old) as u64;
+        if acc > u32::MAX as u64 {
+            return Err(GraphError::TooLarge {
+                what: "relabelled adjacency length",
+            });
+        }
+        offsets.push(acc as u32);
     }
     let mut targets = vec![0 as Vertex; acc as usize];
-    for (rank, &old) in order.iter().enumerate() {
-        let s = offsets[rank] as usize;
-        let slot = &mut targets[s..s + g.degree(old)];
-        for (i, &w) in g.neighbors(old).iter().enumerate() {
-            slot[i] = inv[w as usize];
+
+    // Pass 2: translate + sort each rank's neighbour list into its slot.
+    let inv = &inv;
+    let offsets_ref = &offsets;
+    let translate = |ranks: std::ops::Range<usize>, out: &mut [Vertex]| {
+        let base = offsets_ref[ranks.start] as usize;
+        for rank in ranks {
+            let old = order[rank];
+            let s = offsets_ref[rank] as usize - base;
+            let slot = &mut out[s..s + g.degree(old)];
+            for (i, &w) in g.neighbors(old).iter().enumerate() {
+                slot[i] = inv[w as usize];
+            }
+            slot.sort_unstable();
         }
-        slot.sort_unstable();
+    };
+    if threads <= 1 || targets.len() < PARALLEL_RELABEL_MIN_TARGETS {
+        translate(0..n, &mut targets);
+    } else {
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [Vertex] = &mut targets;
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + chunk).min(n);
+                let len = (offsets_ref[end] - offsets_ref[start]) as usize;
+                let (head, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let translate = &translate;
+                scope.spawn(move || translate(start..end, head));
+                start = end;
+            }
+        });
     }
-    CsrGraph::from_parts(offsets, targets)
+    Ok(CsrGraph::from_parts(offsets, targets))
 }
 
 /// Computes the inverse of a permutation: `inv[order[r]] = r`.
@@ -71,7 +136,7 @@ mod tests {
     fn identity_order_is_identity() {
         let g = gen::erdos_renyi_gnm(40, 80, 1).unwrap();
         let order: Vec<Vertex> = (0..40).collect();
-        assert_eq!(apply_order(&g, &order), g);
+        assert_eq!(apply_order(&g, &order).unwrap(), g);
     }
 
     #[test]
@@ -79,7 +144,7 @@ mod tests {
         let g = gen::barabasi_albert(100, 2, 4).unwrap();
         let mut order: Vec<Vertex> = (0..100).collect();
         order.reverse();
-        let h = apply_order(&g, &order);
+        let h = apply_order(&g, &order).unwrap();
         let inv = inverse_permutation(&order);
         let dg = bfs::distances(&g, 17);
         let dh = bfs::distances(&h, inv[17]);
@@ -116,11 +181,36 @@ mod tests {
         let mut order: Vec<Vertex> = (0..300).collect();
         // Arbitrary deterministic shuffle.
         order.sort_by_key(|&v| (v as u64 * 2_654_435_761) % 300);
-        let h = apply_order(&g, &order);
+        let h = apply_order(&g, &order).unwrap();
         let mut dg: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
         let mut dh: Vec<usize> = h.vertices().map(|v| h.degree(v)).collect();
         dg.sort_unstable();
         dh.sort_unstable();
         assert_eq!(dg, dh);
+    }
+
+    #[test]
+    fn threaded_relabel_matches_sequential() {
+        let g = gen::barabasi_albert(2000, 3, 4).unwrap();
+        let mut order: Vec<Vertex> = (0..2000).collect();
+        // Arbitrary deterministic shuffle.
+        order.sort_by_key(|&v| (v as u64 * 2_654_435_761) % 2000);
+        let seq = apply_order(&g, &order).unwrap();
+        for threads in [2usize, 3, 7, 16] {
+            assert_eq!(
+                seq,
+                apply_order_threaded(&g, &order, threads).unwrap(),
+                "relabelled graph diverged at threads={threads}"
+            );
+        }
+        // Degenerate shapes: empty graph, threads > n.
+        let empty = CsrGraph::empty(0);
+        assert_eq!(
+            apply_order_threaded(&empty, &[], 8).unwrap().num_vertices(),
+            0
+        );
+        let tiny = gen::path(3).unwrap();
+        let seq = apply_order(&tiny, &[2, 0, 1]).unwrap();
+        assert_eq!(seq, apply_order_threaded(&tiny, &[2, 0, 1], 8).unwrap());
     }
 }

@@ -2,7 +2,10 @@
 # Construction-throughput benchmark: builds the index on synthetic BA and
 # R-MAT graphs over a thread sweep — for each requested index variant —
 # and writes BENCH_construction.json at the repository root, so successive
-# PRs have a perf trajectory to compare against.
+# PRs have a perf trajectory to compare against. Each record carries the
+# builder's per-phase breakdown (order_secs / relabel_secs / search_secs /
+# flatten_secs), making the Amdahl accounting of the parallel path visible
+# in the trajectory.
 #
 # Usage:
 #   scripts/bench_construction.sh [N] [THREADS] [OUT] [VARIANTS]

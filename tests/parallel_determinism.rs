@@ -8,8 +8,10 @@
 //! multi-core runner).
 
 use pll_bench::{derive_digraph, derive_weighted, derive_weighted_digraph};
+use pruned_landmark_labeling::graph::reorder::{apply_order, apply_order_threaded};
 use pruned_landmark_labeling::graph::{gen, CsrGraph};
 use pruned_landmark_labeling::pll::{
+    order::{compute_order, compute_order_threaded},
     serialize, DirectedIndexBuilder, IndexBuilder, OrderingStrategy, WeightedDirectedIndexBuilder,
     WeightedIndexBuilder,
 };
@@ -245,6 +247,96 @@ fn parallel_variant_queries_are_exact() {
                 "weighted pair ({s}, {t})"
             );
         }
+    }
+}
+
+#[test]
+fn phase0_parallelism_alone_is_output_invariant() {
+    // Phase 0 in isolation: with the searches out of the picture, the
+    // parallel ordering (chunk sort + merge, closeness BFS fan-out) and
+    // the parallel relabelling (chunked translation into disjoint CSR
+    // slices) must reproduce their sequential outputs exactly. n is
+    // large enough that the chunked paths actually engage.
+    for (label, g) in [
+        ("ba", gen::barabasi_albert(2500, 3, 13).unwrap()),
+        ("er", gen::erdos_renyi_gnm(2000, 6000, 29).unwrap()),
+    ] {
+        for strat in [
+            OrderingStrategy::Degree,
+            OrderingStrategy::Closeness { samples: 12 },
+            OrderingStrategy::Random,
+            OrderingStrategy::Degeneracy,
+        ] {
+            let seq = compute_order(&g, &strat, 7).unwrap();
+            for threads in [2usize, 4, 8] {
+                assert_eq!(
+                    seq,
+                    compute_order_threaded(&g, &strat, 7, threads).unwrap(),
+                    "{label}: {} order diverged at threads={threads}",
+                    strat.name()
+                );
+            }
+        }
+        let order = compute_order(&g, &OrderingStrategy::Degree, 7).unwrap();
+        let seq = apply_order(&g, &order).unwrap();
+        for threads in [2usize, 4, 8] {
+            assert_eq!(
+                seq,
+                apply_order_threaded(&g, &order, threads).unwrap(),
+                "{label}: relabelled graph diverged at threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pinned_order_isolates_relabel_and_flatten_parallelism() {
+    // With a Custom order the Phase-0a output is fixed by construction,
+    // so a threads sweep over the full build exercises the parallel
+    // relabelling, searches and flatten against the same rank space —
+    // byte-equality of the serialized index pins all three.
+    let g = gen::barabasi_albert(1500, 3, 99).unwrap();
+    let mut order: Vec<u32> = (0..1500).collect();
+    order.sort_by_key(|&v| (v as u64 * 2_654_435_761) % 1500);
+    let base = IndexBuilder::new()
+        .ordering(OrderingStrategy::Custom(order))
+        .bit_parallel_roots(4);
+    let seq = base.clone().threads(1).build(&g).unwrap();
+    let mut seq_bytes = Vec::new();
+    serialize::save_index(&seq, &mut seq_bytes).unwrap();
+    for threads in [2usize, 4, 8] {
+        let par = base.clone().threads(threads).build(&g).unwrap();
+        let mut par_bytes = Vec::new();
+        serialize::save_index(&par, &mut par_bytes).unwrap();
+        assert_eq!(
+            seq_bytes, par_bytes,
+            "custom-order build diverged at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn per_phase_stats_are_populated_on_both_paths() {
+    let g = gen::barabasi_albert(1200, 3, 3).unwrap();
+    for threads in [1usize, 4] {
+        let idx = IndexBuilder::new()
+            .bit_parallel_roots(4)
+            .threads(threads)
+            .build(&g)
+            .unwrap();
+        let s = idx.stats();
+        for (phase, secs) in [
+            ("order", s.order_seconds),
+            ("relabel", s.relabel_seconds),
+            ("search", s.search_seconds()),
+            ("flatten", s.flatten_seconds),
+        ] {
+            assert!(
+                secs > 0.0,
+                "threads={threads}: phase '{phase}' reported no elapsed time"
+            );
+        }
+        assert!(s.total_seconds() >= s.order_seconds + s.flatten_seconds);
     }
 }
 

@@ -329,6 +329,31 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// Phase 0 in isolation: the parallel ordering and relabelling
+    /// reproduce the sequential outputs on arbitrary model graphs, at
+    /// arbitrary thread counts — independent of the search phase.
+    #[test]
+    fn phase0_parallelism_is_deterministic(
+        g in arb_model_graph(),
+        seed in any::<u64>(),
+        threads in 2usize..9,
+    ) {
+        use pruned_landmark_labeling::graph::reorder::{apply_order, apply_order_threaded};
+        use pruned_landmark_labeling::pll::order::{compute_order, compute_order_threaded};
+        for strat in [
+            OrderingStrategy::Degree,
+            OrderingStrategy::Closeness { samples: 6 },
+            OrderingStrategy::Degeneracy,
+        ] {
+            let seq = compute_order(&g, &strat, seed).unwrap();
+            let par = compute_order_threaded(&g, &strat, seed, threads).unwrap();
+            prop_assert_eq!(&seq, &par, "{} order diverged", strat.name());
+            let hs = apply_order(&g, &seq).unwrap();
+            let hp = apply_order_threaded(&g, &seq, threads).unwrap();
+            prop_assert_eq!(hs, hp, "relabelled graph diverged");
+        }
+    }
+
     /// The merge-join query is symmetric.
     #[test]
     fn query_symmetry(g in arb_model_graph()) {
