@@ -1,0 +1,336 @@
+//! Load generator for the `pll serve` query service: fans batched
+//! distance queries out over several client connections, measures
+//! client-side request latency and throughput, and records the results in
+//! `BENCH_serve.json` so successive PRs have a serving-performance
+//! trajectory.
+//!
+//! ```text
+//! serve_load --addr host:port
+//!            [--queries N]        random pairs (default 20000)
+//!            [--pairs FILE]       read `s t` pairs instead (one per line)
+//!            [--batch B]          pairs per request (default 64; 1 = single-query ops)
+//!            [--connections C]    concurrent client connections (default 4)
+//!            [--seed S]           pair-sampling seed (default 0)
+//!            [--answers-out FILE] write answers as `s<TAB>t<TAB>d` lines —
+//!                                 byte-identical to `pll query <idx> -`
+//!            [--out FILE]         JSON report (default: no report)
+//!            [--wait-secs W]      retry the first connect for W seconds (default 10)
+//!            [--shutdown]         send the SHUTDOWN opcode when done
+//! ```
+//!
+//! The smoke test drives the full loop: build an index, start `pll
+//! serve`, fire this binary with `--pairs`/`--answers-out`, byte-diff the
+//! online answers against `pll query <idx> -` on the same pairs, and shut
+//! the server down.
+
+use pll_server::protocol::Client;
+use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
+
+struct Options {
+    addr: String,
+    queries: usize,
+    pairs_file: Option<String>,
+    batch: usize,
+    connections: usize,
+    seed: u64,
+    answers_out: Option<String>,
+    out: Option<String>,
+    wait_secs: u64,
+    shutdown: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        addr: String::new(),
+        queries: 20_000,
+        pairs_file: None,
+        batch: 64,
+        connections: 4,
+        seed: 0,
+        answers_out: None,
+        out: None,
+        wait_secs: 10,
+        shutdown: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value after {}", args[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--addr" => opts.addr = value(&mut i),
+            "--queries" => opts.queries = value(&mut i).parse().expect("--queries"),
+            "--pairs" => opts.pairs_file = Some(value(&mut i)),
+            "--batch" => opts.batch = value(&mut i).parse().expect("--batch"),
+            "--connections" => opts.connections = value(&mut i).parse().expect("--connections"),
+            "--seed" => opts.seed = value(&mut i).parse().expect("--seed"),
+            "--answers-out" => opts.answers_out = Some(value(&mut i)),
+            "--out" => opts.out = Some(value(&mut i)),
+            "--wait-secs" => opts.wait_secs = value(&mut i).parse().expect("--wait-secs"),
+            "--shutdown" => opts.shutdown = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "serve_load --addr host:port [--queries N | --pairs FILE] [--batch B] \
+                     [--connections C] [--seed S] [--answers-out FILE] [--out FILE] \
+                     [--wait-secs W] [--shutdown]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if opts.addr.is_empty() {
+        eprintln!("--addr is required");
+        std::process::exit(2);
+    }
+    if opts.batch == 0 || opts.connections == 0 {
+        eprintln!("--batch and --connections must be positive");
+        std::process::exit(2);
+    }
+    opts
+}
+
+/// Retries the first connection while the server is still starting.
+fn connect_with_retry(addr: &str, wait: Duration) -> Client {
+    let deadline = Instant::now() + wait;
+    loop {
+        match Client::connect(addr) {
+            Ok(c) => return c,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    eprintln!("cannot connect to {addr} after {wait:?}: {e}");
+                    std::process::exit(1);
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+fn load_pairs(path: &str) -> Vec<(u32, u32)> {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut pairs = Vec::new();
+    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line.expect("read pairs file");
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut it = body.split_whitespace();
+        match (it.next(), it.next(), it.next()) {
+            (Some(s), Some(t), None) => pairs.push((
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("{path}:{}: bad vertex {s:?}", lineno + 1);
+                    std::process::exit(1);
+                }),
+                t.parse().unwrap_or_else(|_| {
+                    eprintln!("{path}:{}: bad vertex {t:?}", lineno + 1);
+                    std::process::exit(1);
+                }),
+            )),
+            _ => {
+                eprintln!("{path}:{}: expected `s t`", lineno + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    pairs
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[idx]
+}
+
+fn main() {
+    let opts = parse_args();
+
+    // One probe connection: waits for the server, fetches metadata.
+    let mut probe = connect_with_retry(&opts.addr, Duration::from_secs(opts.wait_secs));
+    let info = probe.info().unwrap_or_else(|e| {
+        eprintln!("INFO failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "server at {}: {} vertices, format code {}, file format v{}",
+        opts.addr, info.num_vertices, info.format, info.format_version
+    );
+    // The server parks one worker per open connection, so an idle probe
+    // held across the load phase would pin a worker (and deadlock a
+    // --threads 1 server outright). Drop it; --shutdown reconnects.
+    drop(probe);
+
+    let pairs: Vec<(u32, u32)> = match &opts.pairs_file {
+        Some(path) => load_pairs(path),
+        None => {
+            let n = info.num_vertices;
+            if n == 0 {
+                eprintln!("served index is empty; nothing to query");
+                std::process::exit(1);
+            }
+            let mut rng = pll_graph::Xoshiro256pp::seed_from_u64(opts.seed);
+            (0..opts.queries)
+                .map(|_| (rng.next_below(n) as u32, rng.next_below(n) as u32))
+                .collect()
+        }
+    };
+    if pairs.is_empty() {
+        eprintln!("no pairs to send");
+        std::process::exit(1);
+    }
+
+    // Contiguous chunk per connection so answers reassemble in pair
+    // order for --answers-out.
+    let connections = opts.connections.min(pairs.len());
+    let chunk_len = pairs.len().div_ceil(connections);
+    let started = Instant::now();
+    let results: Vec<(Vec<u64>, Vec<Option<u64>>)> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for chunk in pairs.chunks(chunk_len) {
+            let addr = &opts.addr;
+            let batch = opts.batch;
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap_or_else(|e| {
+                    eprintln!("worker connect failed: {e}");
+                    std::process::exit(1);
+                });
+                let mut latencies_ns = Vec::with_capacity(chunk.len() / batch + 1);
+                let mut answers = Vec::with_capacity(chunk.len());
+                for request in chunk.chunks(batch) {
+                    let t0 = Instant::now();
+                    if batch == 1 {
+                        let (s, t) = request[0];
+                        match client.query(s, t) {
+                            Ok(d) => answers.push(d),
+                            Err(e) => {
+                                eprintln!("query failed: {e}");
+                                std::process::exit(1);
+                            }
+                        }
+                    } else {
+                        match client.batch(request) {
+                            Ok(ds) => answers.extend(ds),
+                            Err(e) => {
+                                eprintln!("batch failed: {e}");
+                                std::process::exit(1);
+                            }
+                        }
+                    }
+                    latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                }
+                (latencies_ns, answers)
+            }));
+        }
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("worker"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut answers: Vec<Option<u64>> = Vec::with_capacity(pairs.len());
+    for (lat, ans) in results {
+        latencies.extend(lat);
+        answers.extend(ans);
+    }
+    latencies.sort_unstable();
+    let unreachable = answers.iter().filter(|a| a.is_none()).count();
+    let qps = pairs.len() as f64 / elapsed.max(1e-12);
+    let (p50, p90, p99, max) = (
+        percentile(&latencies, 0.50) as f64 / 1_000.0,
+        percentile(&latencies, 0.90) as f64 / 1_000.0,
+        percentile(&latencies, 0.99) as f64 / 1_000.0,
+        latencies.last().copied().unwrap_or(0) as f64 / 1_000.0,
+    );
+    eprintln!(
+        "{} queries ({} requests, batch {}) over {} connection(s) in {:.3} s: \
+         {:.0} qps, request p50 {:.1} µs / p90 {:.1} µs / p99 {:.1} µs / max {:.1} µs, \
+         {} unreachable",
+        pairs.len(),
+        latencies.len(),
+        opts.batch,
+        connections,
+        elapsed,
+        qps,
+        p50,
+        p90,
+        p99,
+        max,
+        unreachable,
+    );
+
+    if let Some(path) = &opts.answers_out {
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(1);
+        }));
+        for (&(s, t), d) in pairs.iter().zip(&answers) {
+            match d {
+                Some(d) => writeln!(out, "{s}\t{t}\t{d}").expect("write answers"),
+                None => writeln!(out, "{s}\t{t}\tunreachable").expect("write answers"),
+            }
+        }
+        out.flush().expect("flush answers");
+        eprintln!("answers written to {path}");
+    }
+
+    if let Some(path) = &opts.out {
+        let timestamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let json = format!(
+            "{{\n  \"timestamp_unix\": {timestamp},\n  \"addr\": \"{}\",\n  \
+             \"num_vertices\": {},\n  \"format_code\": {},\n  \"format_version\": {},\n  \
+             \"queries\": {},\n  \"requests\": {},\n  \"batch\": {},\n  \
+             \"connections\": {connections},\n  \"elapsed_seconds\": {elapsed:.6},\n  \
+             \"qps\": {qps:.1},\n  \"request_latency_us\": {{\n    \"p50\": {p50:.2},\n    \
+             \"p90\": {p90:.2},\n    \"p99\": {p99:.2},\n    \"max\": {max:.2}\n  }},\n  \
+             \"unreachable\": {unreachable}\n}}\n",
+            opts.addr,
+            info.num_vertices,
+            info.format,
+            info.format_version,
+            pairs.len(),
+            latencies.len(),
+            opts.batch,
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("report written to {path}");
+    }
+
+    if opts.shutdown {
+        let mut control = connect_with_retry(&opts.addr, Duration::from_secs(opts.wait_secs));
+        match control.shutdown_server() {
+            Ok(()) => eprintln!("server shutdown requested"),
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

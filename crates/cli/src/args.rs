@@ -9,13 +9,19 @@ usage:
             [--format undirected|directed|weighted|weighted-directed]
             [--order degree|random|closeness] [--bp-roots t] [--seed s]
             [--threads k]   (k=0: all CPUs; every format honors --threads)
-  pll query <index.idx> <s> <t> [<s> <t> ...]   (any format)
-  pll stats <index.idx>                         (any format)
-  pll bench <index.idx> [--queries q] [--seed s]  (any format)
+  pll query <index.idx> <s> <t> [<s> <t> ...]   (any format, v1 or v2)
+  pll query <index.idx> -                       (pairs from stdin, `s t` per line)
+  pll stats <index.idx>                         (any format, v1 or v2)
+  pll bench <index.idx> [--queries q] [--seed s]  (any format, v1 or v2)
+  pll serve --index <index.idx> [--addr host:port] [--threads k]
+            (TCP query service; shut down with the SHUTDOWN opcode,
+             e.g. serve_load --shutdown)
 
 build input per format: `u v` per line (undirected/directed, directed
 reads u -> v), `u v w` per line (weighted/weighted-directed);
---bp-roots and --order closeness apply to --format undirected only.";
+--bp-roots and --order closeness apply to --format undirected only.
+build writes the zero-copy v2 format; query/stats/bench/serve also read
+v1 files.";
 
 /// Argument errors.
 #[derive(Debug)]
@@ -49,8 +55,8 @@ pub enum Parsed {
     Query {
         /// Index path.
         index: String,
-        /// Query pairs.
-        pairs: Vec<(u32, u32)>,
+        /// Where the query pairs come from.
+        pairs: PairSource,
     },
     /// `pll stats`.
     Stats {
@@ -66,6 +72,25 @@ pub enum Parsed {
         /// Sampling seed.
         seed: u64,
     },
+    /// `pll serve`.
+    Serve {
+        /// Index path.
+        index: String,
+        /// Listen address (`host:port`; port 0 picks a free port).
+        addr: String,
+        /// Worker threads (0 = one per CPU).
+        threads: usize,
+    },
+}
+
+/// Where `pll query` reads its pairs from.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PairSource {
+    /// Pairs given on the command line.
+    Args(Vec<(u32, u32)>),
+    /// Stream whitespace-separated `s t` lines from stdin (`pll query
+    /// <idx> -`).
+    Stdin,
 }
 
 fn usage(msg: impl Into<String>) -> ArgError {
@@ -184,8 +209,16 @@ impl Parsed {
                     .ok_or_else(|| usage("query: missing <index.idx>"))?
                     .clone();
                 let rest: Vec<&String> = it.collect();
+                if rest.len() == 1 && rest[0] == "-" {
+                    return Ok(Parsed::Query {
+                        index,
+                        pairs: PairSource::Stdin,
+                    });
+                }
                 if rest.is_empty() || !rest.len().is_multiple_of(2) {
-                    return Err(usage("query: need an even, positive number of vertex ids"));
+                    return Err(usage(
+                        "query: need an even, positive number of vertex ids (or `-` for stdin)",
+                    ));
                 }
                 let mut pairs = Vec::with_capacity(rest.len() / 2);
                 for chunk in rest.chunks_exact(2) {
@@ -194,7 +227,10 @@ impl Parsed {
                         parse_num(chunk[1], "vertex")?,
                     ));
                 }
-                Ok(Parsed::Query { index, pairs })
+                Ok(Parsed::Query {
+                    index,
+                    pairs: PairSource::Args(pairs),
+                })
             }
             "stats" => {
                 let index = it
@@ -237,6 +273,42 @@ impl Parsed {
                     index,
                     queries,
                     seed,
+                })
+            }
+            "serve" => {
+                let mut index: Option<String> = None;
+                let mut addr = "127.0.0.1:4717".to_string();
+                let mut threads = 0usize;
+                let rest: Vec<&String> = it.collect();
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i].as_str() {
+                        "--index" => {
+                            i += 1;
+                            let val = rest.get(i).ok_or_else(|| usage("--index needs a value"))?;
+                            index = Some(val.to_string());
+                        }
+                        "--addr" => {
+                            i += 1;
+                            let val = rest.get(i).ok_or_else(|| usage("--addr needs a value"))?;
+                            addr = val.to_string();
+                        }
+                        "--threads" => {
+                            i += 1;
+                            let val = rest
+                                .get(i)
+                                .ok_or_else(|| usage("--threads needs a value"))?;
+                            threads = parse_num(val, "--threads")?;
+                        }
+                        other => return Err(usage(format!("unknown option {other:?}"))),
+                    }
+                    i += 1;
+                }
+                let index = index.ok_or_else(|| usage("serve: --index is required"))?;
+                Ok(Parsed::Serve {
+                    index,
+                    addr,
+                    threads,
                 })
             }
             other => Err(usage(format!("unknown command {other:?}"))),
@@ -392,10 +464,58 @@ mod tests {
         match p {
             Parsed::Query { index, pairs } => {
                 assert_eq!(index, "x.idx");
-                assert_eq!(pairs, vec![(1, 2), (3, 4)]);
+                assert_eq!(pairs, PairSource::Args(vec![(1, 2), (3, 4)]));
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_query_stdin_dash() {
+        let p = Parsed::parse(&argv(&["query", "x.idx", "-"])).unwrap();
+        match p {
+            Parsed::Query { pairs, .. } => assert_eq!(pairs, PairSource::Stdin),
+            other => panic!("unexpected {other:?}"),
+        }
+        // `-` mixed with ids is still a parse error.
+        assert!(Parsed::parse(&argv(&["query", "x.idx", "-", "2"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve() {
+        let p = Parsed::parse(&argv(&[
+            "serve",
+            "--index",
+            "x.idx",
+            "--addr",
+            "0.0.0.0:9999",
+            "--threads",
+            "8",
+        ]))
+        .unwrap();
+        match p {
+            Parsed::Serve {
+                index,
+                addr,
+                threads,
+            } => {
+                assert_eq!(index, "x.idx");
+                assert_eq!(addr, "0.0.0.0:9999");
+                assert_eq!(threads, 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: addr + threads optional, --index required.
+        match Parsed::parse(&argv(&["serve", "--index", "y.idx"])).unwrap() {
+            Parsed::Serve { addr, threads, .. } => {
+                assert_eq!(addr, "127.0.0.1:4717");
+                assert_eq!(threads, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Parsed::parse(&argv(&["serve"])).is_err());
+        assert!(Parsed::parse(&argv(&["serve", "--index"])).is_err());
+        assert!(Parsed::parse(&argv(&["serve", "--index", "x", "--bogus"])).is_err());
     }
 
     #[test]

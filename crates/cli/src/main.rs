@@ -1,35 +1,45 @@
-//! `pll` — build, query and inspect pruned landmark labeling indices from
-//! the command line.
+//! `pll` — build, query, inspect and *serve* pruned landmark labeling
+//! indices from the command line.
 //!
 //! ```text
 //! pll build <edges.txt> <out.idx> [--format undirected|directed|weighted|weighted-directed]
 //!           [--order degree|random|closeness] [--bp-roots t] [--seed s] [--threads k]
 //! pll query <index.idx> <s> <t> [...more pairs]
+//! pll query <index.idx> -              # stream `s t` pairs from stdin
 //! pll stats <index.idx>
 //! pll bench <index.idx> [--queries q] [--seed s]
+//! pll serve --index <index.idx> [--addr host:port] [--threads k]
 //! ```
 //!
 //! `build` reads a SNAP-style edge list (whitespace separated, `#`
 //! comments; `u v` per line for the unweighted formats, `u v w` for the
 //! weighted ones), constructs the requested index variant — `--threads`
 //! selects batch-parallel construction for **every** format, with output
-//! byte-identical to the sequential build — and writes the versioned
-//! binary format of `pll_core::serialize`. `query`, `stats` and `bench`
-//! detect the index family from the file's magic bytes, so they work on
-//! any format.
+//! byte-identical to the sequential build — and writes the zero-copy v2
+//! format of `pll_core::v2` (construction statistics included). `query`,
+//! `stats`, `bench` and `serve` open any index via
+//! [`pll_core::AnyIndex`]: v1 files parse into owned indices as before,
+//! v2 files open with a single read plus pointer casts and are queried in
+//! place.
+//!
+//! `serve` starts the `pll-server` TCP query service over the shared
+//! read-only index and blocks until a client sends the SHUTDOWN opcode
+//! (e.g. `serve_load --shutdown`), then prints the per-worker
+//! QPS/latency summary.
 
 use pll_core::{
-    serialize, ConstructionStats, DirectedIndexBuilder, IndexBuilder, IndexFormat,
+    v2, AnyIndex, ConstructionStats, DirectedIndexBuilder, IndexBuilder, IndexFormat,
     OrderingStrategy, WeightedDirectedIndexBuilder, WeightedIndexBuilder,
 };
 use pll_graph::{edgelist, Xoshiro256pp};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read};
+use std::io::{BufRead, BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 mod args;
-use args::{ArgError, Parsed};
+use args::{ArgError, PairSource, Parsed};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -65,22 +75,16 @@ fn run(argv: &[String]) -> Result<(), String> {
             queries,
             seed,
         } => bench(&index, queries, seed),
+        Parsed::Serve {
+            index,
+            addr,
+            threads,
+        } => serve(&index, &addr, threads),
     }
 }
 
-/// Reads the 8-byte magic prefix and identifies the index family.
-fn detect(path: &str) -> Result<IndexFormat, String> {
-    let mut file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let mut magic = [0u8; 8];
-    file.read_exact(&mut magic)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
-    serialize::detect_format(&magic).map_err(|e| format!("cannot identify {path}: {e}"))
-}
-
-fn open(path: &str) -> Result<BufReader<File>, String> {
-    File::open(path)
-        .map(BufReader::new)
-        .map_err(|e| format!("cannot open {path}: {e}"))
+fn open_any(path: &str) -> Result<AnyIndex, String> {
+    AnyIndex::open(std::path::Path::new(path)).map_err(|e| format!("cannot load {path}: {e}"))
 }
 
 fn build(
@@ -137,7 +141,7 @@ fn build(
                 .bit_parallel_roots(bp_roots)
                 .seed(seed)
                 .threads(threads),
-            serialize::save_index,
+            v2::save_v2_index,
             bp_roots as f64
         ),
         IndexFormat::Directed => build_arm!(
@@ -146,7 +150,7 @@ fn build(
                 .ordering(order)
                 .seed(seed)
                 .threads(threads),
-            serialize::save_directed_index,
+            v2::save_v2_directed_index,
             0.0
         ),
         IndexFormat::Weighted => build_arm!(
@@ -155,7 +159,7 @@ fn build(
                 .ordering(order)
                 .seed(seed)
                 .threads(threads),
-            serialize::save_weighted_index,
+            v2::save_v2_weighted_index,
             0.0
         ),
         IndexFormat::WeightedDirected => build_arm!(
@@ -164,11 +168,11 @@ fn build(
                 .ordering(order)
                 .seed(seed)
                 .threads(threads),
-            serialize::save_weighted_directed_index,
+            v2::save_v2_weighted_directed_index,
             0.0
         ),
     }
-    eprintln!("wrote {output} ({} format)", format.name());
+    eprintln!("wrote {output} ({} format, v2)", format.name());
     Ok(())
 }
 
@@ -185,53 +189,93 @@ fn phase_breakdown(stats: &ConstructionStats) -> String {
     )
 }
 
-/// `pll stats` variant of the phase line: indices loaded from disk carry
-/// no construction timings (the binary format stores labels, not build
-/// telemetry), which is reported instead of a misleading row of zeros.
+/// `pll stats` variant of the phase line. v2 indices persist their
+/// construction statistics, so loaded indices report the real phase
+/// timings; v1 files never stored them.
 fn print_phase_stats(stats: &ConstructionStats) {
     if stats.total_seconds() > 0.0 {
         println!("construction {}", phase_breakdown(stats));
+        println!(
+            "built with:          {} thread(s), {} batches, {} repruned",
+            stats.threads, stats.parallel_batches, stats.repruned
+        );
     } else {
-        println!("construction phases: not recorded (reported by `pll build` at build time)");
+        println!("construction phases: not recorded (v1 file; rebuild to persist them)");
     }
 }
 
-fn query(index_path: &str, pairs: &[(u32, u32)]) -> Result<(), String> {
-    let print = |s: u32, t: u32, d: Option<u64>| match d {
+fn print_answer(s: u32, t: u32, d: Option<u64>) {
+    match d {
         Some(d) => println!("{s}\t{t}\t{d}"),
         None => println!("{s}\t{t}\tunreachable"),
-    };
-    // One arm per format; `u64::from` widens the unweighted `u32`
-    // distances so every arm prints through the same closure.
-    macro_rules! query_arm {
-        ($load:path) => {{
-            let index =
-                $load(open(index_path)?).map_err(|e| format!("cannot load {index_path}: {e}"))?;
+    }
+}
+
+fn query(index_path: &str, pairs: &PairSource) -> Result<(), String> {
+    let index = open_any(index_path)?;
+    match pairs {
+        PairSource::Args(pairs) => {
             for &(s, t) in pairs {
                 let d = index.try_distance(s, t).map_err(|e| e.to_string())?;
-                print(s, t, d.map(u64::from));
+                print_answer(s, t, d);
             }
-        }};
-    }
-    match detect(index_path)? {
-        IndexFormat::Undirected => query_arm!(serialize::load_index),
-        IndexFormat::Directed => query_arm!(serialize::load_directed_index),
-        IndexFormat::Weighted => query_arm!(serialize::load_weighted_index),
-        IndexFormat::WeightedDirected => query_arm!(serialize::load_weighted_directed_index),
+        }
+        PairSource::Stdin => {
+            // Stream `s t` lines (whitespace separated, `#` comments) so
+            // arbitrarily long pair files never materialise in memory —
+            // this is what the serve smoke test byte-diffs the online
+            // answers against.
+            let stdin = std::io::stdin();
+            for (lineno, line) in stdin.lock().lines().enumerate() {
+                let line = line.map_err(|e| format!("stdin: {e}"))?;
+                let body = line.split('#').next().unwrap_or("").trim();
+                if body.is_empty() {
+                    continue;
+                }
+                let mut it = body.split_whitespace();
+                let (s, t) = match (it.next(), it.next(), it.next()) {
+                    (Some(s), Some(t), None) => (s, t),
+                    _ => {
+                        return Err(format!(
+                            "stdin line {}: expected `s t`, got {body:?}",
+                            lineno + 1
+                        ))
+                    }
+                };
+                let s: u32 = s
+                    .parse()
+                    .map_err(|e| format!("stdin line {}: bad vertex {s:?}: {e}", lineno + 1))?;
+                let t: u32 = t
+                    .parse()
+                    .map_err(|e| format!("stdin line {}: bad vertex {t:?}: {e}", lineno + 1))?;
+                let d = index.try_distance(s, t).map_err(|e| e.to_string())?;
+                print_answer(s, t, d);
+            }
+        }
     }
     Ok(())
 }
 
 fn stats(index_path: &str) -> Result<(), String> {
-    let format = detect(index_path)?;
-    println!("format:              {}", format.name());
-    match format {
-        IndexFormat::Undirected => {
-            let index = serialize::load_index(open(index_path)?)
-                .map_err(|e| format!("cannot load {index_path}: {e}"))?;
-            let ls = index.label_size_stats();
-            println!("vertices:            {}", index.num_vertices());
-            println!("bit-parallel roots:  {}", index.bit_parallel().num_roots());
+    let index = open_any(index_path)?;
+    println!("format:              {}", index.format().name());
+    println!(
+        "file format:         v{}{}",
+        index.format_version(),
+        if index.is_zero_copy() {
+            " (zero-copy)"
+        } else {
+            " (parsed)"
+        }
+    );
+    println!("vertices:            {}", index.num_vertices());
+    // Family-specific detail: the undirected index additionally reports
+    // its bit-parallel roots and label-size distribution; the two-sided
+    // variants report IN/OUT entry counts.
+    macro_rules! undirected_detail {
+        ($idx:expr) => {{
+            let ls = $idx.label_size_stats();
+            println!("bit-parallel roots:  {}", $idx.bit_parallel().num_roots());
             println!("label entries:       {}", ls.total_entries);
             println!("avg label size:      {:.2}", ls.mean);
             println!("label size min/max:  {} / {}", ls.min, ls.max);
@@ -239,88 +283,110 @@ fn stats(index_path: &str) -> Result<(), String> {
                 "label size p50/p90/p99: {} / {} / {}",
                 ls.percentiles[3], ls.percentiles[5], ls.percentiles[6]
             );
-            println!("index bytes:         {}", index.memory_bytes());
-            println!("parents stored:      {}", index.has_parents());
-            print_phase_stats(index.stats());
-        }
-        IndexFormat::Directed => {
-            let index = serialize::load_directed_index(open(index_path)?)
-                .map_err(|e| format!("cannot load {index_path}: {e}"))?;
-            println!("vertices:            {}", index.num_vertices());
+            println!("parents stored:      {}", $idx.has_parents());
+        }};
+    }
+    macro_rules! directed_detail {
+        ($idx:expr) => {{
             println!(
                 "label entries:       {} IN + {} OUT",
-                index.labels_in().total_entries(),
-                index.labels_out().total_entries()
+                $idx.labels_in().total_entries(),
+                $idx.labels_out().total_entries()
             );
-            println!("avg label size:      {:.2}", index.avg_label_size());
-            println!("index bytes:         {}", index.memory_bytes());
-            print_phase_stats(index.stats());
-        }
-        IndexFormat::Weighted => {
-            let index = serialize::load_weighted_index(open(index_path)?)
-                .map_err(|e| format!("cannot load {index_path}: {e}"))?;
-            println!("vertices:            {}", index.num_vertices());
-            println!("avg label size:      {:.2}", index.avg_label_size());
-            println!("index bytes:         {}", index.memory_bytes());
-            print_phase_stats(index.stats());
-        }
-        IndexFormat::WeightedDirected => {
-            let index = serialize::load_weighted_directed_index(open(index_path)?)
-                .map_err(|e| format!("cannot load {index_path}: {e}"))?;
-            println!("vertices:            {}", index.num_vertices());
-            println!("avg label size:      {:.2}", index.avg_label_size());
-            println!("index bytes:         {}", index.memory_bytes());
-            print_phase_stats(index.stats());
-        }
+            println!("avg label size:      {:.2}", $idx.avg_label_size());
+        }};
     }
+    match &index {
+        AnyIndex::Undirected(idx) => undirected_detail!(idx),
+        AnyIndex::UndirectedView(idx) => undirected_detail!(idx),
+        AnyIndex::Directed(idx) => directed_detail!(idx),
+        AnyIndex::DirectedView(idx) => directed_detail!(idx),
+        _ => println!("avg label size:      {:.2}", index.avg_label_size()),
+    }
+    println!("index bytes:         {}", index.memory_bytes());
+    print_phase_stats(index.stats());
     Ok(())
 }
 
 fn bench(index_path: &str, queries: usize, seed: u64) -> Result<(), String> {
-    // One arm per format: every index type exposes num_vertices() and
-    // distance(s, t) -> Option<u32 | u64>, which is all the timing loop
-    // needs.
-    macro_rules! bench_arm {
-        ($load:path) => {{
-            let index =
-                $load(open(index_path)?).map_err(|e| format!("cannot load {index_path}: {e}"))?;
-            let n = index.num_vertices();
-            if n == 0 {
-                return Err("index is empty".into());
-            }
-            let mut rng = Xoshiro256pp::seed_from_u64(seed);
-            let pairs: Vec<(u32, u32)> = (0..queries)
-                .map(|_| {
-                    (
-                        rng.next_below(n as u64) as u32,
-                        rng.next_below(n as u64) as u32,
-                    )
-                })
-                .collect();
-            let started = Instant::now();
-            let mut sink = 0u64;
-            let mut connected = 0usize;
-            for &(s, t) in &pairs {
-                if let Some(d) = index.distance(s, t) {
-                    sink = sink.wrapping_add(d as u64);
-                    connected += 1;
-                }
-            }
-            let total = started.elapsed().as_secs_f64();
-            println!(
-                "{} queries in {:.3} s ({:.2} µs/query, {:.1}% connected, checksum {sink})",
-                queries,
-                total,
-                total / queries.max(1) as f64 * 1e6,
-                100.0 * connected as f64 / queries.max(1) as f64,
-            );
-        }};
+    let index = open_any(index_path)?;
+    let n = index.num_vertices();
+    if n == 0 {
+        return Err("index is empty".into());
     }
-    match detect(index_path)? {
-        IndexFormat::Undirected => bench_arm!(serialize::load_index),
-        IndexFormat::Directed => bench_arm!(serialize::load_directed_index),
-        IndexFormat::Weighted => bench_arm!(serialize::load_weighted_index),
-        IndexFormat::WeightedDirected => bench_arm!(serialize::load_weighted_directed_index),
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let pairs: Vec<(u32, u32)> = (0..queries)
+        .map(|_| {
+            (
+                rng.next_below(n as u64) as u32,
+                rng.next_below(n as u64) as u32,
+            )
+        })
+        .collect();
+    let started = Instant::now();
+    let mut sink = 0u64;
+    let mut connected = 0usize;
+    for &(s, t) in &pairs {
+        if let Some(d) = index.distance(s, t) {
+            sink = sink.wrapping_add(d);
+            connected += 1;
+        }
+    }
+    let total = started.elapsed().as_secs_f64();
+    println!(
+        "{} queries in {:.3} s ({:.2} µs/query, {:.1}% connected, checksum {sink})",
+        queries,
+        total,
+        total / queries.max(1) as f64 * 1e6,
+        100.0 * connected as f64 / queries.max(1) as f64,
+    );
+    Ok(())
+}
+
+fn serve(index_path: &str, addr: &str, threads: usize) -> Result<(), String> {
+    let index = Arc::new(open_any(index_path)?);
+    eprintln!(
+        "index: {} format, v{}{}, {} vertices, {} bytes",
+        index.format().name(),
+        index.format_version(),
+        if index.is_zero_copy() {
+            " zero-copy"
+        } else {
+            ""
+        },
+        index.num_vertices(),
+        index.memory_bytes(),
+    );
+    let handle = pll_server::serve(
+        index,
+        &pll_server::ServerConfig {
+            addr: addr.to_string(),
+            threads,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    // The smoke script greps this exact line to learn the bound port.
+    println!("listening on {}", handle.local_addr());
+    eprintln!(
+        "{} worker thread(s); send the SHUTDOWN opcode (serve_load --shutdown) to stop",
+        handle.num_workers()
+    );
+    let summary = handle.join();
+    eprintln!(
+        "served {} queries in {} requests over {:.2} s ({:.0} qps, p50 {:.1} µs, p99 {:.1} µs, {} errors)",
+        summary.queries,
+        summary.requests,
+        summary.elapsed_seconds,
+        summary.qps,
+        summary.p50_us,
+        summary.p99_us,
+        summary.errors,
+    );
+    for (i, w) in summary.workers.iter().enumerate() {
+        eprintln!(
+            "  worker {i}: {} queries, {} requests, {} connections, busy {:.3} s, {} errors",
+            w.queries, w.requests, w.connections, w.busy_seconds, w.errors
+        );
     }
     Ok(())
 }

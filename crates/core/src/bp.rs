@@ -13,6 +13,7 @@
 //! distance oracle in `O(1)` per label pair.
 
 use crate::error::{PllError, Result};
+use crate::storage::{BpStorage, OwnedBp, ViewBp};
 use crate::types::{Dist, Rank, BP_WIDTH, INF8, INF_QUERY, MAX_DIST};
 use pll_graph::CsrGraph;
 
@@ -42,16 +43,35 @@ impl BpEntry {
 }
 
 /// Bit-parallel labels for all vertices: `t` entries per vertex, stored
-/// row-major (`entries[v * t + i]` is vertex `v`'s entry for BP root `i`).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct BitParallelLabels {
+/// row-major (entry `v * t + i` is vertex `v`'s entry for BP root `i`).
+///
+/// Generic over its [`BpStorage`] backend: the default is the heap-owned
+/// array-of-structs arena the builders fill in place;
+/// [`BitParallelLabelsView`] reads the v2 format's structure-of-arrays
+/// sections zero-copy. The query kernel is implemented once, on the
+/// generic type.
+#[derive(Clone, Debug)]
+pub struct BitParallelLabels<S = OwnedBp> {
     num_roots: usize,
     num_vertices: usize,
-    entries: Vec<BpEntry>,
-    /// Rank of each BP root; `u32::MAX` marks an exhausted slot (fewer
-    /// unused vertices than requested roots).
-    roots: Vec<Rank>,
+    store: S,
 }
+
+/// Zero-copy [`BitParallelLabels`] over a v2 index buffer.
+pub type BitParallelLabelsView = BitParallelLabels<ViewBp>;
+
+/// Backends compare equal iff they hold the same roots and entries.
+impl<S1: BpStorage, S2: BpStorage> PartialEq<BitParallelLabels<S2>> for BitParallelLabels<S1> {
+    fn eq(&self, other: &BitParallelLabels<S2>) -> bool {
+        self.num_roots == other.num_roots
+            && self.num_vertices == other.num_vertices
+            && self.store.roots() == other.store.roots()
+            && self.store.entry_count() == other.store.entry_count()
+            && (0..self.store.entry_count()).all(|i| self.store.entry(i) == other.store.entry(i))
+    }
+}
+
+impl<S: BpStorage> Eq for BitParallelLabels<S> {}
 
 impl BitParallelLabels {
     /// Creates empty labels for `n` vertices and `t` roots (all entries
@@ -60,8 +80,10 @@ impl BitParallelLabels {
         BitParallelLabels {
             num_roots: t,
             num_vertices: n,
-            entries: vec![BpEntry::UNREACHED; n * t],
-            roots: vec![u32::MAX; t],
+            store: OwnedBp {
+                entries: vec![BpEntry::UNREACHED; n * t],
+                roots: vec![u32::MAX; t],
+            },
         }
     }
 
@@ -70,31 +92,16 @@ impl BitParallelLabels {
         BitParallelLabels {
             num_roots: roots.len(),
             num_vertices,
-            entries,
-            roots,
+            store: OwnedBp { entries, roots },
         }
     }
 
-    /// Number of bit-parallel roots `t` (including exhausted slots).
-    pub fn num_roots(&self) -> usize {
-        self.num_roots
-    }
-
-    /// Ranks used as BP roots (exhausted slots are `u32::MAX`).
-    pub fn roots(&self) -> &[Rank] {
-        &self.roots
-    }
-
-    /// Entry of vertex `v` for root slot `i`.
-    #[inline]
-    pub fn entry(&self, v: Rank, i: usize) -> &BpEntry {
-        &self.entries[v as usize * self.num_roots + i]
-    }
-
-    /// All `t` entries of vertex `v`.
+    /// All `t` entries of vertex `v` (owned backend only: the views store
+    /// entries as structure-of-arrays and assemble them via
+    /// [`BitParallelLabels::entry`]).
     #[inline]
     pub fn entries_of(&self, v: Rank) -> &[BpEntry] {
-        &self.entries[v as usize * self.num_roots..(v as usize + 1) * self.num_roots]
+        &self.store.entries[v as usize * self.num_roots..(v as usize + 1) * self.num_roots]
     }
 
     /// Runs the bit-parallel BFS of Algorithm 3 from `root` with neighbour
@@ -114,9 +121,9 @@ impl BitParallelLabels {
     ) -> Result<()> {
         let t = self.num_roots;
         level_sync_bfs(g, root, sub, scratch)?;
-        self.roots[i] = root;
+        self.store.roots[i] = root;
         for &v in scratch.visited.iter() {
-            self.entries[v as usize * t + i] = BpEntry {
+            self.store.entries[v as usize * t + i] = BpEntry {
                 dist: scratch.dist[v as usize],
                 set_minus1: scratch.set_minus1[v as usize],
                 set_zero: scratch.set_zero[v as usize],
@@ -130,10 +137,42 @@ impl BitParallelLabels {
     /// `UNREACHED` entries.
     pub(crate) fn set_root_column(&mut self, i: usize, root: Rank, column: &[(Rank, BpEntry)]) {
         let t = self.num_roots;
-        self.roots[i] = root;
+        self.store.roots[i] = root;
         for &(v, e) in column {
-            self.entries[v as usize * t + i] = e;
+            self.store.entries[v as usize * t + i] = e;
         }
+    }
+
+    /// Raw views for serialisation.
+    pub(crate) fn as_raw(&self) -> (&[Rank], &[BpEntry]) {
+        (&self.store.roots, &self.store.entries)
+    }
+}
+
+impl<S: BpStorage> BitParallelLabels<S> {
+    /// Wraps a storage backend (used by the zero-copy v2 opener).
+    pub(crate) fn from_store(num_vertices: usize, num_roots: usize, store: S) -> Self {
+        BitParallelLabels {
+            num_roots,
+            num_vertices,
+            store,
+        }
+    }
+
+    /// Number of bit-parallel roots `t` (including exhausted slots).
+    pub fn num_roots(&self) -> usize {
+        self.num_roots
+    }
+
+    /// Ranks used as BP roots (exhausted slots are `u32::MAX`).
+    pub fn roots(&self) -> &[Rank] {
+        self.store.roots()
+    }
+
+    /// Entry of vertex `v` for root slot `i`.
+    #[inline]
+    pub fn entry(&self, v: Rank, i: usize) -> BpEntry {
+        self.store.entry(v as usize * self.num_roots + i)
     }
 
     /// Upper bound on `d(s, t)` via every BP root: for each root `r`,
@@ -144,9 +183,12 @@ impl BitParallelLabels {
     #[inline]
     pub fn query(&self, s: Rank, t: Rank) -> u32 {
         let mut best = INF_QUERY;
-        let es = self.entries_of(s);
-        let et = self.entries_of(t);
-        for (a, b) in es.iter().zip(et.iter()) {
+        let t_roots = self.num_roots;
+        let sb = s as usize * t_roots;
+        let tb = t as usize * t_roots;
+        for i in 0..t_roots {
+            let a = self.store.entry(sb + i);
+            let b = self.store.entry(tb + i);
             if a.dist == INF8 || b.dist == INF8 {
                 continue;
             }
@@ -165,9 +207,10 @@ impl BitParallelLabels {
         best
     }
 
-    /// Heap bytes used by the BP arena (24 bytes per entry + roots).
+    /// Bytes used by the BP arena (heap bytes for the owned backend,
+    /// section bytes for a view).
     pub fn memory_bytes(&self) -> usize {
-        self.entries.len() * std::mem::size_of::<BpEntry>() + self.roots.len() * 4
+        self.store.memory_bytes()
     }
 
     /// Average per-vertex BP label size measured in *normal-label
@@ -176,11 +219,6 @@ impl BitParallelLabels {
     /// separately, so we report the raw count `t`.
     pub fn entries_per_vertex(&self) -> usize {
         self.num_roots
-    }
-
-    /// Raw views for serialisation.
-    pub(crate) fn as_raw(&self) -> (&[Rank], &[BpEntry]) {
-        (&self.roots, &self.entries)
     }
 
     /// Number of vertices covered.

@@ -21,6 +21,7 @@ use crate::par::{
     commit_entries, resolve_threads, run_batched, BfsScratch, PrunedSearch, RootCommit,
 };
 use crate::stats::{ConstructionStats, RootStats};
+use crate::storage::{LabelStorage, OwnedLabels, SectionSlice, ViewLabels};
 use crate::types::{Dist, Rank, Vertex, INF8, INF_QUERY, MAX_DIST};
 use pll_graph::reorder::inverse_permutation;
 use pll_graph::{CsrDigraph, Xoshiro256pp};
@@ -503,19 +504,48 @@ fn relaxed_directed_bfs(
 }
 
 /// An exact distance index over a directed, unweighted graph.
+///
+/// Generic over the [`crate::storage::LabelStorage`] backend of its two
+/// label sides, like [`crate::PllIndex`]: the default owns its arenas,
+/// [`DirectedPllIndexView`] runs the same merge-join zero-copy over a v2
+/// index buffer.
 #[derive(Clone, Debug)]
-pub struct DirectedPllIndex {
-    order: Vec<Vertex>,
-    inv: Vec<Rank>,
-    labels_in: LabelSet,
-    labels_out: LabelSet,
+pub struct DirectedPllIndex<O = Vec<Vertex>, S = OwnedLabels<Dist>> {
+    order: O,
+    inv: O,
+    labels_in: LabelSet<S>,
+    labels_out: LabelSet<S>,
     stats: ConstructionStats,
 }
 
-impl DirectedPllIndex {
+/// Zero-copy [`DirectedPllIndex`] over a v2 index buffer.
+pub type DirectedPllIndexView = DirectedPllIndex<SectionSlice<u32>, ViewLabels<Dist>>;
+
+impl<O, S> DirectedPllIndex<O, S>
+where
+    O: AsRef<[u32]>,
+    S: LabelStorage<Dist = Dist>,
+{
+    /// Assembles an index from any backend (inputs pre-validated).
+    pub(crate) fn assemble(
+        order: O,
+        inv: O,
+        labels_in: LabelSet<S>,
+        labels_out: LabelSet<S>,
+        stats: ConstructionStats,
+    ) -> Self {
+        DirectedPllIndex {
+            order,
+            inv,
+            labels_in,
+            labels_out,
+            stats,
+        }
+    }
+
     /// Number of indexed vertices.
     pub fn num_vertices(&self) -> usize {
-        self.order.len()
+        self.order.as_ref().len()
     }
 
     /// Exact directed distance from `s` to `t`; `None` if `t` is not
@@ -536,8 +566,8 @@ impl DirectedPllIndex {
         if s == t {
             return Some(0);
         }
-        let rs = self.inv[s as usize];
-        let rt = self.inv[t as usize];
+        let rs = self.inv.as_ref()[s as usize];
+        let rt = self.inv.as_ref()[t as usize];
         let (sr, sd) = self.labels_out.label(rs);
         let (tr, td) = self.labels_in.label(rt);
         let best = merge_query(sr, sd, tr, td);
@@ -559,12 +589,12 @@ impl DirectedPllIndex {
     }
 
     /// OUT-label store (hubs reachable *from* each vertex).
-    pub fn labels_out(&self) -> &LabelSet {
+    pub fn labels_out(&self) -> &LabelSet<S> {
         &self.labels_out
     }
 
     /// IN-label store (hubs that reach each vertex).
-    pub fn labels_in(&self) -> &LabelSet {
+    pub fn labels_in(&self) -> &LabelSet<S> {
         &self.labels_in
     }
 
@@ -580,12 +610,17 @@ impl DirectedPllIndex {
 
     /// Total index bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.labels_in.memory_bytes() + self.labels_out.memory_bytes() + self.order.len() * 8
+        self.labels_in.memory_bytes()
+            + self.labels_out.memory_bytes()
+            + self.order.as_ref().len() * 8
     }
+}
 
-    /// Raw parts for serialisation: `(order, labels_in, labels_out)`.
-    pub(crate) fn as_raw(&self) -> (&[Vertex], &LabelSet, &LabelSet) {
-        (&self.order, &self.labels_in, &self.labels_out)
+impl DirectedPllIndex {
+    /// Raw parts for serialisation: `(order, inv, labels_in,
+    /// labels_out)`.
+    pub(crate) fn as_raw(&self) -> (&[Vertex], &[Rank], &LabelSet, &LabelSet) {
+        (&self.order, &self.inv, &self.labels_in, &self.labels_out)
     }
 
     /// Reassembles from raw parts (deserialisation; inputs pre-validated).

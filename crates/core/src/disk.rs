@@ -195,7 +195,21 @@ impl DiskIndex {
         self.file.read_exact(&mut buf)?;
         self.reads += 1;
 
+        // Corrupt offsets could describe a block smaller than its own
+        // fixed part or its declared label; every slice below is bounds-
+        // checked first so corruption surfaces as a typed error, never a
+        // panic.
         let t = self.num_bp_roots;
+        let fixed = t * BP_ENTRY_BYTES + 4;
+        if buf.len() < fixed {
+            return Err(PllError::Format {
+                message: format!(
+                    "disk block of rank {v} has {} bytes, need {fixed} for \
+                     the bit-parallel entries and label length",
+                    buf.len()
+                ),
+            });
+        }
         let mut bp = Vec::with_capacity(t);
         for i in 0..t {
             let base = i * BP_ENTRY_BYTES;
@@ -208,6 +222,19 @@ impl DiskIndex {
         let mut pos = t * BP_ENTRY_BYTES;
         let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
         pos += 4;
+        if len
+            .checked_mul(5)
+            .and_then(|label| pos.checked_add(label))
+            .is_none_or(|need| need > buf.len())
+        {
+            return Err(PllError::Format {
+                message: format!(
+                    "disk block of rank {v} declares {len} label entries \
+                     beyond its {} bytes",
+                    buf.len()
+                ),
+            });
+        }
         let ranks: Vec<Rank> = buf[pos..pos + len * 4]
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
@@ -333,6 +360,46 @@ mod tests {
         let path = tmp_path("garbage");
         std::fs::write(&path, b"definitely not an index").unwrap();
         assert!(DiskIndex::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_blocks_are_typed_errors_not_panics() {
+        use std::io::Write as _;
+        let g = gen::erdos_renyi_gnm(30, 70, 4).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(2).build(&g).unwrap();
+        let path = tmp_path("corrupt_block");
+        write_disk_index(&idx, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Rank 0's block starts right after the offset table; overwrite
+        // its label length with a fabricated huge count. The query must
+        // answer with PllError::Format, not slice out of bounds.
+        let header = 8 + 8 + 8 + 30 * 4 + 2 * 4 + 31 * 8;
+        let len_pos = header + 2 * BP_ENTRY_BYTES;
+        let mut corrupt = bytes.clone();
+        corrupt[len_pos..len_pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(&corrupt).unwrap();
+        drop(f);
+        let mut disk = DiskIndex::open(&path).unwrap();
+        assert!(matches!(
+            disk.distance(idx.vertex_at(0), 5),
+            Err(PllError::Format { .. })
+        ));
+
+        // Truncating the file mid-blocks turns reads into I/O errors.
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(&bytes[..bytes.len() - 40]).unwrap();
+        drop(f);
+        let mut disk = DiskIndex::open(&path).unwrap();
+        let mut saw_error = false;
+        for v in 0..30u32 {
+            if disk.distance(v, (v + 17) % 30).is_err() {
+                saw_error = true;
+            }
+        }
+        assert!(saw_error, "truncated blocks must surface as errors");
         std::fs::remove_file(&path).ok();
     }
 

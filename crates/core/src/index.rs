@@ -4,7 +4,10 @@ use crate::bp::BitParallelLabels;
 use crate::error::{PllError, Result};
 use crate::label::LabelSet;
 use crate::stats::{ConstructionStats, LabelSizeStats};
-use crate::types::{Rank, Vertex, INF_QUERY};
+use crate::storage::{
+    BpStorage, LabelStorage, OwnedBp, OwnedLabels, SectionSlice, ViewBp, ViewLabels,
+};
+use crate::types::{Dist, Rank, Vertex, INF_QUERY};
 
 /// An exact 2-hop distance index over an undirected, unweighted graph,
 /// built by [`crate::IndexBuilder`].
@@ -12,19 +15,29 @@ use crate::types::{Rank, Vertex, INF_QUERY};
 /// Queries run in `O(|L(s)| + |L(t)| + t)` time: a constant-time check per
 /// bit-parallel root followed by a merge-join over the two sorted labels
 /// (§3.3, §5.3).
+///
+/// Generic over its storage backends: with the defaults every array is a
+/// heap `Vec` (what the builders produce and the v1 loader materialises);
+/// [`PllIndexView`] runs the same query code over zero-copy sections of a
+/// v2 index buffer ([`crate::v2`]).
 #[derive(Clone, Debug)]
-pub struct PllIndex {
+pub struct PllIndex<O = Vec<Vertex>, L = OwnedLabels<Dist>, B = OwnedBp> {
     /// `order[rank] = original vertex`.
-    order: Vec<Vertex>,
+    order: O,
     /// `inv[original vertex] = rank`.
-    inv: Vec<Rank>,
+    inv: O,
     /// Normal labels, keyed by rank.
-    labels: LabelSet,
+    labels: LabelSet<L>,
     /// Bit-parallel labels, keyed by rank.
-    bp: BitParallelLabels,
+    bp: BitParallelLabels<B>,
     /// Construction statistics.
     stats: ConstructionStats,
 }
+
+/// Zero-copy [`PllIndex`] over one [`crate::storage::AlignedBytes`]
+/// buffer holding a v2 index file: opening it is a single read plus
+/// pointer casts, and queries run in place.
+pub type PllIndexView = PllIndex<SectionSlice<u32>, ViewLabels<Dist>, ViewBp>;
 
 impl PllIndex {
     pub(crate) fn from_parts(
@@ -42,10 +55,35 @@ impl PllIndex {
             stats,
         }
     }
+}
+
+impl<O, L, B> PllIndex<O, L, B>
+where
+    O: AsRef<[u32]>,
+    L: LabelStorage<Dist = Dist>,
+    B: BpStorage,
+{
+    /// Assembles an index from any pair of backends (used by the zero-copy
+    /// v2 opener; the inputs must already be validated).
+    pub(crate) fn assemble(
+        order: O,
+        inv: O,
+        labels: LabelSet<L>,
+        bp: BitParallelLabels<B>,
+        stats: ConstructionStats,
+    ) -> Self {
+        PllIndex {
+            order,
+            inv,
+            labels,
+            bp,
+            stats,
+        }
+    }
 
     /// Number of indexed vertices.
     pub fn num_vertices(&self) -> usize {
-        self.order.len()
+        self.order.as_ref().len()
     }
 
     /// Exact distance between original vertices `u` and `v`; `None` when
@@ -68,8 +106,8 @@ impl PllIndex {
         if u == v {
             return Some(0);
         }
-        let ru = self.inv[u as usize];
-        let rv = self.inv[v as usize];
+        let ru = self.inv.as_ref()[u as usize];
+        let rv = self.inv.as_ref()[v as usize];
         let bp_best = self.bp.query(ru, rv);
         let label_best = self.labels.query(ru, rv);
         let best = bp_best.min(label_best);
@@ -99,11 +137,11 @@ impl PllIndex {
         if u == v {
             return Some((0, Some(u)));
         }
-        let ru = self.inv[u as usize];
-        let rv = self.inv[v as usize];
+        let ru = self.inv.as_ref()[u as usize];
+        let rv = self.inv.as_ref()[v as usize];
         let bp_best = self.bp.query(ru, rv);
         match self.labels.query_with_hub(ru, rv) {
-            Some((d, hub)) if d <= bp_best => Some((d, Some(self.order[hub as usize]))),
+            Some((d, hub)) if d <= bp_best => Some((d, Some(self.order.as_ref()[hub as usize]))),
             Some((_, _)) => Some((bp_best, None)),
             None if bp_best != INF_QUERY => Some((bp_best, None)),
             None => None,
@@ -117,26 +155,26 @@ impl PllIndex {
 
     /// The vertex order used at construction: `order()[rank] = vertex`.
     pub fn order(&self) -> &[Vertex] {
-        &self.order
+        self.order.as_ref()
     }
 
     /// Rank of original vertex `v`.
     pub fn rank_of(&self, v: Vertex) -> Rank {
-        self.inv[v as usize]
+        self.inv.as_ref()[v as usize]
     }
 
     /// Original vertex at `rank`.
     pub fn vertex_at(&self, rank: Rank) -> Vertex {
-        self.order[rank as usize]
+        self.order.as_ref()[rank as usize]
     }
 
     /// The normal-label store (rank-keyed).
-    pub fn labels(&self) -> &LabelSet {
+    pub fn labels(&self) -> &LabelSet<L> {
         &self.labels
     }
 
     /// The bit-parallel label store (rank-keyed).
-    pub fn bit_parallel(&self) -> &BitParallelLabels {
+    pub fn bit_parallel(&self) -> &BitParallelLabels<B> {
         &self.bp
     }
 
@@ -169,10 +207,12 @@ impl PllIndex {
     pub fn memory_bytes(&self) -> usize {
         self.labels.memory_bytes()
             + self.bp.memory_bytes()
-            + self.order.len() * 4
-            + self.inv.len() * 4
+            + self.order.as_ref().len() * 4
+            + self.inv.as_ref().len() * 4
     }
+}
 
+impl PllIndex {
     /// Internal accessor for serialisation.
     pub(crate) fn parts(
         &self,

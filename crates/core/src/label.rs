@@ -12,6 +12,7 @@
 //!   (§6).
 
 use crate::error::{PllError, Result};
+use crate::storage::{LabelStorage, OwnedLabels, ViewLabels};
 use crate::types::{Dist, Rank, INF8, INF_QUERY, RANK_SENTINEL};
 
 /// Computes the sentinel-terminated arena offsets for per-vertex label
@@ -85,15 +86,37 @@ pub(crate) fn scatter_with_sentinel<T: Copy + Send + Sync>(
 }
 
 /// Immutable flat label store, keyed by *rank* (not original vertex id).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct LabelSet {
-    offsets: Vec<u32>,
-    ranks: Vec<Rank>,
-    dists: Vec<Dist>,
-    /// Parent (rank space) of this vertex in the hub's pruned BFS tree;
-    /// `RANK_SENTINEL` for the hub itself and for sentinel entries.
-    parents: Option<Vec<Rank>>,
+///
+/// Generic over its [`LabelStorage`] backend: the default `S` is the
+/// heap-owned arena the builders produce; [`LabelSetView`] borrows the
+/// arenas zero-copy from a v2 index buffer ([`crate::v2`]). Every query
+/// method is implemented once, on the generic type, so both backends run
+/// the identical merge-join.
+#[derive(Clone, Debug)]
+pub struct LabelSet<S = OwnedLabels<Dist>> {
+    store: S,
 }
+
+/// Zero-copy [`LabelSet`]: sentinel-terminated arenas viewed in place
+/// inside one [`crate::storage::AlignedBytes`] buffer.
+pub type LabelSetView = LabelSet<ViewLabels<Dist>>;
+
+/// Backends compare equal iff they hold the same arenas, so a zero-copy
+/// view can be checked against the owned index it was written from.
+impl<S1, S2> PartialEq<LabelSet<S2>> for LabelSet<S1>
+where
+    S1: LabelStorage<Dist = Dist>,
+    S2: LabelStorage<Dist = Dist>,
+{
+    fn eq(&self, other: &LabelSet<S2>) -> bool {
+        self.store.offsets() == other.store.offsets()
+            && self.store.ranks() == other.store.ranks()
+            && self.store.dists() == other.store.dists()
+            && self.store.parents() == other.store.parents()
+    }
+}
+
+impl<S: LabelStorage<Dist = Dist>> Eq for LabelSet<S> {}
 
 impl LabelSet {
     /// Flattens per-vertex label vectors into the arena, appending the
@@ -138,10 +161,12 @@ impl LabelSet {
             fp
         });
         Ok(LabelSet {
-            offsets,
-            ranks: flat_ranks,
-            dists: flat_dists,
-            parents: flat_parents,
+            store: OwnedLabels {
+                offsets,
+                ranks: flat_ranks,
+                dists: flat_dists,
+                parents: flat_parents,
+            },
         })
     }
 
@@ -153,45 +178,57 @@ impl LabelSet {
         parents: Option<Vec<Rank>>,
     ) -> LabelSet {
         LabelSet {
-            offsets,
-            ranks,
-            dists,
-            parents,
+            store: OwnedLabels {
+                offsets,
+                ranks,
+                dists,
+                parents,
+            },
         }
+    }
+}
+
+impl<S: LabelStorage<Dist = Dist>> LabelSet<S> {
+    /// Wraps a storage backend (used by the zero-copy v2 opener).
+    pub(crate) fn from_store(store: S) -> LabelSet<S> {
+        LabelSet { store }
     }
 
     /// Number of vertices covered.
     pub fn num_vertices(&self) -> usize {
-        self.offsets.len() - 1
+        self.store.offsets().len() - 1
     }
 
     /// Label of rank-space vertex `v`: parallel `(ranks, dists)` slices
     /// *including* the trailing sentinel.
     #[inline]
     pub fn label(&self, v: Rank) -> (&[Rank], &[Dist]) {
-        let s = self.offsets[v as usize] as usize;
-        let e = self.offsets[v as usize + 1] as usize;
-        (&self.ranks[s..e], &self.dists[s..e])
+        let offsets = self.store.offsets();
+        let s = offsets[v as usize] as usize;
+        let e = offsets[v as usize + 1] as usize;
+        (&self.store.ranks()[s..e], &self.store.dists()[s..e])
     }
 
     /// Number of label entries of `v`, excluding the sentinel.
     #[inline]
     pub fn label_len(&self, v: Rank) -> usize {
-        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize - 1
+        let offsets = self.store.offsets();
+        (offsets[v as usize + 1] - offsets[v as usize]) as usize - 1
     }
 
     /// Parent slice of `v` (including sentinel) if parents are stored.
     pub fn parents(&self, v: Rank) -> Option<&[Rank]> {
-        self.parents.as_ref().map(|p| {
-            let s = self.offsets[v as usize] as usize;
-            let e = self.offsets[v as usize + 1] as usize;
+        self.store.parents().map(|p| {
+            let offsets = self.store.offsets();
+            let s = offsets[v as usize] as usize;
+            let e = offsets[v as usize + 1] as usize;
             &p[s..e]
         })
     }
 
     /// Whether parent pointers are stored.
     pub fn has_parents(&self) -> bool {
-        self.parents.is_some()
+        self.store.parents().is_some()
     }
 
     /// The 2-hop query of §3.3 over rank-space vertices `u` and `v`:
@@ -245,16 +282,17 @@ impl LabelSet {
 
     /// Parent of `v` in the BFS tree of hub `w`, if stored and present.
     pub fn hub_parent(&self, v: Rank, w: Rank) -> Option<Rank> {
-        let parents = self.parents.as_ref()?;
-        let s = self.offsets[v as usize] as usize;
-        let e = self.offsets[v as usize + 1] as usize;
-        let body = &self.ranks[s..e - 1];
+        let parents = self.store.parents()?;
+        let offsets = self.store.offsets();
+        let s = offsets[v as usize] as usize;
+        let e = offsets[v as usize + 1] as usize;
+        let body = &self.store.ranks()[s..e - 1];
         body.binary_search(&w).ok().map(|i| parents[s + i])
     }
 
     /// Total number of label entries (excluding sentinels).
     pub fn total_entries(&self) -> usize {
-        self.ranks.len() - self.num_vertices()
+        self.store.ranks().len() - self.num_vertices()
     }
 
     /// Average label size per vertex (the paper's "LN" metric).
@@ -266,23 +304,21 @@ impl LabelSet {
         }
     }
 
-    /// Heap bytes used by the arena (the paper's "IS" contribution from
-    /// normal labels).
+    /// Bytes used by the arena (the paper's "IS" contribution from normal
+    /// labels) — heap bytes for the owned backend, mapped/section bytes
+    /// for a view.
     pub fn memory_bytes(&self) -> usize {
-        self.offsets.len() * 4
-            + self.ranks.len() * 4
-            + self.dists.len()
-            + self.parents.as_ref().map_or(0, |p| p.len() * 4)
+        self.store.memory_bytes()
     }
 
     /// Raw arena views for serialisation:
     /// `(offsets, ranks, dists, parents)`.
     pub(crate) fn as_raw(&self) -> RawLabelParts<'_> {
         (
-            &self.offsets,
-            &self.ranks,
-            &self.dists,
-            self.parents.as_deref(),
+            self.store.offsets(),
+            self.store.ranks(),
+            self.store.dists(),
+            self.store.parents(),
         )
     }
 }
@@ -290,6 +326,35 @@ impl LabelSet {
 /// Raw arena views `(offsets, ranks, dists, parents)` used by
 /// serialisation.
 pub(crate) type RawLabelParts<'a> = (&'a [u32], &'a [Rank], &'a [Dist], Option<&'a [Rank]>);
+
+/// Merge-join over two sentinel-terminated *weighted* labels (`u32`
+/// distances, summed in `u64`): `u64::MAX` when no common hub. Shared by
+/// the weighted and weighted-directed indices on both storage backends.
+#[inline]
+pub(crate) fn merge_query_weighted(ar: &[Rank], ad: &[u32], br: &[Rank], bd: &[u32]) -> u64 {
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut best = u64::MAX;
+    loop {
+        let (ru, rv) = (ar[i], br[j]);
+        if ru == rv {
+            if ru == RANK_SENTINEL {
+                break;
+            }
+            let d = ad[i] as u64 + bd[j] as u64;
+            if d < best {
+                best = d;
+            }
+            i += 1;
+            j += 1;
+        } else if ru < rv {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    best
+}
 
 /// Merge-join over two sentinel-terminated labels.
 #[inline]

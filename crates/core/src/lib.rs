@@ -35,7 +35,7 @@
 //! assert!(d.unwrap() <= 10);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // allowed only in `storage` for the zero-copy casts
 #![warn(missing_docs)]
 
 pub mod bp;
@@ -52,22 +52,28 @@ pub mod paths;
 pub mod reduction;
 pub mod serialize;
 pub mod stats;
+pub mod storage;
 pub mod types;
+pub mod v2;
 pub mod verify;
 pub mod weighted;
 pub mod weighted_directed;
 
 pub use build::{BuildObserver, IndexBuilder, PartialIndex};
 pub use compact::CompactIndex;
-pub use directed::{DirectedIndexBuilder, DirectedPllIndex};
+pub use directed::{DirectedIndexBuilder, DirectedPllIndex, DirectedPllIndexView};
 pub use error::{PllError, Result};
-pub use index::PllIndex;
-pub use label::LabelSet;
+pub use index::{PllIndex, PllIndexView};
+pub use label::{LabelSet, LabelSetView};
 pub use order::OrderingStrategy;
 pub use par::{run_batched, PrunedSearch, RootCommit};
 pub use reduction::{Peeling, ReducedPllIndex};
-pub use serialize::IndexFormat;
+pub use serialize::{FormatVersion, IndexFormat};
 pub use stats::{ConstructionStats, LabelSizeStats, RootStats};
+pub use storage::{AlignedBytes, BpStorage, LabelStorage, SectionSlice};
 pub use types::{Dist, Rank, Vertex, WDist};
-pub use weighted::{WeightedIndexBuilder, WeightedPllIndex};
-pub use weighted_directed::{WeightedDirectedIndexBuilder, WeightedDirectedPllIndex};
+pub use v2::AnyIndex;
+pub use weighted::{WeightedIndexBuilder, WeightedPllIndex, WeightedPllIndexView};
+pub use weighted_directed::{
+    WeightedDirectedIndexBuilder, WeightedDirectedPllIndex, WeightedDirectedPllIndexView,
+};

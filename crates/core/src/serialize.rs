@@ -1,4 +1,11 @@
-//! Versioned binary serialisation of [`PllIndex`].
+//! Versioned binary serialisation of [`PllIndex`] — the **v1** stream
+//! formats.
+//!
+//! Superseded as the write path by the zero-copy v2 format of
+//! [`crate::v2`] (`pll build` writes v2); the v1 readers here stay
+//! supported so existing index files keep loading, and
+//! [`detect_format`] sniffs both generations. The v1 writers remain for
+//! compatibility tests and for producing files older tooling can read.
 //!
 //! Layout (all little-endian):
 //!
@@ -229,6 +236,23 @@ pub fn load_index<R: Read>(mut reader: R) -> Result<PllIndex> {
                 message: format!("label of rank {v} not strictly sorted"),
             });
         }
+        // Hub ranks index the permutation arrays (`distance_with_hub`);
+        // the body is strictly ascending, so checking its maximum
+        // suffices.
+        if e - s >= 2 && ranks[e - 2] as usize >= n {
+            return Err(PllError::Format {
+                message: format!("label of rank {v} holds an out-of-range hub rank"),
+            });
+        }
+    }
+    if let Some(parents) = &parents {
+        for &x in parents {
+            if x != RANK_SENTINEL && x as usize >= n {
+                return Err(PllError::Format {
+                    message: format!("parent rank {x} out of range"),
+                });
+            }
+        }
     }
     // `inverse_permutation` panics on malformed permutations; validate.
     let mut seen = vec![false; n];
@@ -311,7 +335,8 @@ fn validate_sentinel_labels(offsets: &[u32], ranks: &[u32]) -> Result<()> {
             message: "non-monotone label offsets".into(),
         });
     }
-    for v in 0..offsets.len() - 1 {
+    let n = offsets.len() - 1;
+    for v in 0..n {
         let s = offsets[v] as usize;
         let e = offsets[v + 1] as usize;
         if s == e || ranks[e - 1] != RANK_SENTINEL {
@@ -324,6 +349,13 @@ fn validate_sentinel_labels(offsets: &[u32], ranks: &[u32]) -> Result<()> {
                 message: format!("label of rank {v} not strictly sorted"),
             });
         }
+        // Hub ranks live in [0, n); the strictly ascending body makes
+        // its last entry the maximum.
+        if e - s >= 2 && ranks[e - 2] as usize >= n {
+            return Err(PllError::Format {
+                message: format!("label of rank {v} holds an out-of-range hub rank"),
+            });
+        }
     }
     Ok(())
 }
@@ -333,7 +365,7 @@ pub fn save_weighted_index<W: Write>(
     index: &crate::weighted::WeightedPllIndex,
     writer: W,
 ) -> Result<()> {
-    let (order, offsets, ranks, dists) = index.as_raw();
+    let (order, _inv, offsets, ranks, dists) = index.as_raw();
     let mut payload = Vec::new();
     payload.extend_from_slice(&(order.len() as u64).to_le_bytes());
     for &v in order {
@@ -387,7 +419,7 @@ pub fn save_directed_index<W: Write>(
     index: &crate::directed::DirectedPllIndex,
     writer: W,
 ) -> Result<()> {
-    let (order, labels_in, labels_out) = index.as_raw();
+    let (order, _inv, labels_in, labels_out) = index.as_raw();
     let mut payload = Vec::new();
     payload.extend_from_slice(&(order.len() as u64).to_le_bytes());
     for &v in order {
@@ -457,7 +489,7 @@ pub fn save_weighted_directed_index<W: Write>(
     index: &crate::weighted_directed::WeightedDirectedPllIndex,
     writer: W,
 ) -> Result<()> {
-    let (order, side_in, side_out) = index.as_raw();
+    let (order, _inv, side_in, side_out) = index.as_raw();
     let mut payload = Vec::new();
     payload.extend_from_slice(&(order.len() as u64).to_le_bytes());
     for &v in order {
@@ -559,14 +591,36 @@ impl IndexFormat {
     }
 }
 
+/// Format generation of a serialised index file, from its magic prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FormatVersion {
+    /// The stream formats of this module (parsed into owned indices).
+    V1,
+    /// The section-aligned zero-copy format of [`crate::v2`].
+    V2,
+}
+
 /// Identifies which index family a serialised file holds from its 8-byte
-/// magic prefix, or [`PllError::Format`] for an unknown prefix.
+/// magic prefix (v1 or v2 generation), or [`PllError::Format`] for an
+/// unknown prefix.
 pub fn detect_format(magic: &[u8; 8]) -> Result<IndexFormat> {
+    detect_format_versioned(magic).map(|(format, _)| format)
+}
+
+/// Like [`detect_format`], also reporting the format generation.
+pub fn detect_format_versioned(magic: &[u8; 8]) -> Result<(IndexFormat, FormatVersion)> {
+    use crate::v2;
     match magic {
-        m if m == MAGIC => Ok(IndexFormat::Undirected),
-        m if m == DIRECTED_MAGIC => Ok(IndexFormat::Directed),
-        m if m == WEIGHTED_MAGIC => Ok(IndexFormat::Weighted),
-        m if m == WEIGHTED_DIRECTED_MAGIC => Ok(IndexFormat::WeightedDirected),
+        m if m == MAGIC => Ok((IndexFormat::Undirected, FormatVersion::V1)),
+        m if m == DIRECTED_MAGIC => Ok((IndexFormat::Directed, FormatVersion::V1)),
+        m if m == WEIGHTED_MAGIC => Ok((IndexFormat::Weighted, FormatVersion::V1)),
+        m if m == WEIGHTED_DIRECTED_MAGIC => Ok((IndexFormat::WeightedDirected, FormatVersion::V1)),
+        m if m == v2::V2_UNDIRECTED_MAGIC => Ok((IndexFormat::Undirected, FormatVersion::V2)),
+        m if m == v2::V2_DIRECTED_MAGIC => Ok((IndexFormat::Directed, FormatVersion::V2)),
+        m if m == v2::V2_WEIGHTED_MAGIC => Ok((IndexFormat::Weighted, FormatVersion::V2)),
+        m if m == v2::V2_WEIGHTED_DIRECTED_MAGIC => {
+            Ok((IndexFormat::WeightedDirected, FormatVersion::V2))
+        }
         _ => Err(PllError::Format {
             message: "bad magic bytes".into(),
         }),

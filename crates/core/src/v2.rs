@@ -1,0 +1,1127 @@
+//! The v2 on-disk index format: zero-copy, section-aligned, queryable in
+//! place.
+//!
+//! The v1 format (`crate::serialize`) is a stream the loader parses into
+//! owned `Vec`s — an O(index) copy before the first query. v2 instead
+//! lays every array out as its own little-endian section starting on a
+//! 64-byte boundary, so the section layout *is* the in-memory layout of
+//! the view backends in [`crate::storage`]: opening an index is one read
+//! (or an `mmap` with the `mmap` feature on Linux) plus pointer casts —
+//! no per-label work, no per-label allocation.
+//!
+//! ```text
+//! header   64 bytes
+//!   0   magic          8 bytes   PLLIDX02 | PLLDIDX2 | PLLWIDX2 | PLLWDID2
+//!   8   version        u32       2
+//!   12  flags          u32       bit 0: parents stored
+//!   16  n              u64       vertices
+//!   24  t              u64       bit-parallel roots (undirected only)
+//!   32  file_len       u64       total file bytes (truncation check)
+//!   40  section_count  u64
+//!   48  reserved       u64       0
+//!   56  checksum       u64       FNV-1a over bytes [0,56) ++ [64,file_len)
+//! stats    128 bytes at offset 64 (persisted ConstructionStats)
+//! table    section_count × 16 bytes at offset 192
+//!   id u32, elem_size u32, byte_offset u64 — elem_count is implied by the
+//!   header fields per id, and re-checked on open
+//! sections each at its 64-byte-aligned byte_offset, zero-padded between
+//! ```
+//!
+//! Unlike v1, the bit-parallel entries are stored structure-of-arrays
+//! (`dist` / `set_minus1` / `set_zero` sections) because `BpEntry` has
+//! padding bytes and therefore no defined byte layout to cast from.
+//!
+//! [`AnyIndex`] is the one-stop opener: it sniffs the magic and yields
+//! either an owned index (v1 files, parsed as before) or a zero-copy view
+//! (v2 files) for any of the four variants.
+
+use crate::bp::{BitParallelLabels, BpEntry};
+use crate::directed::{DirectedPllIndex, DirectedPllIndexView};
+use crate::error::{PllError, Result};
+use crate::index::{PllIndex, PllIndexView};
+use crate::label::LabelSet;
+use crate::serialize::{detect_format_versioned, FormatVersion, IndexFormat};
+use crate::stats::ConstructionStats;
+use crate::storage::{AlignedBytes, Pod, SectionSlice, ViewBp, ViewLabels, SECTION_ALIGN};
+use crate::types::{Dist, Rank, WDist, INF8, RANK_SENTINEL};
+use crate::weighted::{WeightedPllIndex, WeightedPllIndexView};
+use crate::weighted_directed::{WeightedDirectedPllIndex, WeightedDirectedPllIndexView};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+#[cfg(target_endian = "big")]
+compile_error!(
+    "the v2 zero-copy reader casts little-endian sections in place and \
+     requires a little-endian target"
+);
+
+/// v2 magic for the undirected unweighted index.
+pub const V2_UNDIRECTED_MAGIC: &[u8; 8] = b"PLLIDX02";
+/// v2 magic for the directed index.
+pub const V2_DIRECTED_MAGIC: &[u8; 8] = b"PLLDIDX2";
+/// v2 magic for the weighted index.
+pub const V2_WEIGHTED_MAGIC: &[u8; 8] = b"PLLWIDX2";
+/// v2 magic for the weighted directed index.
+pub const V2_WEIGHTED_DIRECTED_MAGIC: &[u8; 8] = b"PLLWDID2";
+
+const VERSION: u32 = 2;
+const FLAG_PARENTS: u32 = 1;
+const HEADER_LEN: usize = 64;
+const STATS_LEN: usize = 128;
+const TABLE_OFFSET: usize = HEADER_LEN + STATS_LEN;
+const TABLE_ENTRY_LEN: usize = 16;
+/// Highest section id + 1 (table slots the parser tracks).
+const MAX_SECTION_ID: usize = 16;
+
+// Section ids. The OUT side of a directed index reuses the plain label
+// ids; the IN side has its own.
+const SEC_ORDER: u32 = 1;
+const SEC_INV: u32 = 2;
+const SEC_OFFSETS: u32 = 3;
+const SEC_RANKS: u32 = 4;
+const SEC_DISTS8: u32 = 5;
+const SEC_DISTS32: u32 = 6;
+const SEC_PARENTS: u32 = 7;
+const SEC_BP_ROOTS: u32 = 8;
+const SEC_BP_DIST: u32 = 9;
+const SEC_BP_M1: u32 = 10;
+const SEC_BP_Z: u32 = 11;
+const SEC_OFFSETS_IN: u32 = 12;
+const SEC_RANKS_IN: u32 = 13;
+const SEC_DISTS8_IN: u32 = 14;
+const SEC_DISTS32_IN: u32 = 15;
+
+fn fnv1a_parts(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn format_err(message: impl Into<String>) -> PllError {
+    PllError::Format {
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// One section's payload, typed so the writer knows the element size.
+enum SecData<'a> {
+    U8(&'a [u8]),
+    U32(&'a [u32]),
+    U64(&'a [u64]),
+}
+
+impl SecData<'_> {
+    fn elem_size(&self) -> usize {
+        match self {
+            SecData::U8(_) => 1,
+            SecData::U32(_) => 4,
+            SecData::U64(_) => 8,
+        }
+    }
+    fn byte_len(&self) -> usize {
+        match self {
+            SecData::U8(d) => d.len(),
+            SecData::U32(d) => d.len() * 4,
+            SecData::U64(d) => d.len() * 8,
+        }
+    }
+    fn append_to(&self, out: &mut Vec<u8>) {
+        match self {
+            SecData::U8(d) => out.extend_from_slice(d),
+            SecData::U32(d) => {
+                for &v in *d {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            SecData::U64(d) => {
+                for &v in *d {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+fn align_up(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+fn stats_block(stats: &ConstructionStats) -> [u8; STATS_LEN] {
+    let mut out = [0u8; STATS_LEN];
+    let fields: [u64; 13] = [
+        stats.order_seconds.to_bits(),
+        stats.relabel_seconds.to_bits(),
+        stats.bp_seconds.to_bits(),
+        stats.pruned_seconds.to_bits(),
+        stats.flatten_seconds.to_bits(),
+        stats.bp_roots_used as u64,
+        stats.pruned_roots as u64,
+        stats.total_visited,
+        stats.total_labeled,
+        stats.total_pruned,
+        stats.threads as u64,
+        stats.parallel_batches as u64,
+        stats.repruned,
+    ];
+    for (i, f) in fields.iter().enumerate() {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&f.to_le_bytes());
+    }
+    out
+}
+
+fn parse_stats_block(block: &[u8]) -> ConstructionStats {
+    let u = |i: usize| u64::from_le_bytes(block[i * 8..(i + 1) * 8].try_into().unwrap());
+    ConstructionStats {
+        order_seconds: f64::from_bits(u(0)),
+        relabel_seconds: f64::from_bits(u(1)),
+        bp_seconds: f64::from_bits(u(2)),
+        pruned_seconds: f64::from_bits(u(3)),
+        flatten_seconds: f64::from_bits(u(4)),
+        bp_roots_used: u(5) as usize,
+        pruned_roots: u(6) as usize,
+        total_visited: u(7),
+        total_labeled: u(8),
+        total_pruned: u(9),
+        threads: u(10) as usize,
+        parallel_batches: u(11) as usize,
+        repruned: u(12),
+        per_root: None,
+    }
+}
+
+/// Writes one v2 container: header + stats + table + aligned sections.
+fn write_container<W: Write>(
+    mut writer: W,
+    magic: &[u8; 8],
+    flags: u32,
+    n: u64,
+    t: u64,
+    stats: &ConstructionStats,
+    sections: &[(u32, SecData<'_>)],
+) -> Result<()> {
+    // Lay out the sections: each starts on the next 64-byte boundary.
+    let table_end = TABLE_OFFSET + sections.len() * TABLE_ENTRY_LEN;
+    let mut offsets = Vec::with_capacity(sections.len());
+    let mut cursor = table_end;
+    for (_, data) in sections {
+        let off = align_up(cursor, SECTION_ALIGN);
+        offsets.push(off);
+        cursor = off + data.byte_len();
+    }
+    let file_len = cursor;
+
+    // Body = everything after the header: stats block, table, sections.
+    let mut body = Vec::with_capacity(file_len - HEADER_LEN);
+    body.extend_from_slice(&stats_block(stats));
+    for ((id, data), off) in sections.iter().zip(&offsets) {
+        body.extend_from_slice(&id.to_le_bytes());
+        body.extend_from_slice(&(data.elem_size() as u32).to_le_bytes());
+        body.extend_from_slice(&(*off as u64).to_le_bytes());
+    }
+    for ((_, data), off) in sections.iter().zip(&offsets) {
+        body.resize(off - HEADER_LEN, 0);
+        data.append_to(&mut body);
+    }
+    debug_assert_eq!(body.len(), file_len - HEADER_LEN);
+
+    let mut header = [0u8; HEADER_LEN];
+    header[0..8].copy_from_slice(magic);
+    header[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    header[12..16].copy_from_slice(&flags.to_le_bytes());
+    header[16..24].copy_from_slice(&n.to_le_bytes());
+    header[24..32].copy_from_slice(&t.to_le_bytes());
+    header[32..40].copy_from_slice(&(file_len as u64).to_le_bytes());
+    header[40..48].copy_from_slice(&(sections.len() as u64).to_le_bytes());
+    // bytes 48..56 reserved (zero)
+    let checksum = fnv1a_parts(&[&header[..56], &body]);
+    header[56..64].copy_from_slice(&checksum.to_le_bytes());
+
+    writer.write_all(&header)?;
+    writer.write_all(&body)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Splits an array-of-structs BP arena into the v2 structure-of-arrays
+/// sections.
+fn bp_soa(entries: &[BpEntry]) -> (Vec<u8>, Vec<u64>, Vec<u64>) {
+    let mut dist = Vec::with_capacity(entries.len());
+    let mut m1 = Vec::with_capacity(entries.len());
+    let mut z = Vec::with_capacity(entries.len());
+    for e in entries {
+        dist.push(e.dist);
+        m1.push(e.set_minus1);
+        z.push(e.set_zero);
+    }
+    (dist, m1, z)
+}
+
+/// Writes an undirected index in the v2 zero-copy format (`PLLIDX02`),
+/// including its construction statistics.
+pub fn save_v2_index<W: Write>(index: &PllIndex, writer: W) -> Result<()> {
+    let (order, inv, labels, bp, stats) = index.parts();
+    let (offsets, ranks, dists, parents) = labels.as_raw();
+    let (bp_roots, bp_entries) = bp.as_raw();
+    let (bp_dist, bp_m1, bp_z) = bp_soa(bp_entries);
+    let mut sections = vec![
+        (SEC_ORDER, SecData::U32(order)),
+        (SEC_INV, SecData::U32(inv)),
+        (SEC_OFFSETS, SecData::U32(offsets)),
+        (SEC_RANKS, SecData::U32(ranks)),
+        (SEC_DISTS8, SecData::U8(dists)),
+        (SEC_BP_ROOTS, SecData::U32(bp_roots)),
+        (SEC_BP_DIST, SecData::U8(&bp_dist)),
+        (SEC_BP_M1, SecData::U64(&bp_m1)),
+        (SEC_BP_Z, SecData::U64(&bp_z)),
+    ];
+    let mut flags = 0u32;
+    if let Some(parents) = parents {
+        flags |= FLAG_PARENTS;
+        sections.push((SEC_PARENTS, SecData::U32(parents)));
+    }
+    write_container(
+        writer,
+        V2_UNDIRECTED_MAGIC,
+        flags,
+        order.len() as u64,
+        bp.num_roots() as u64,
+        stats,
+        &sections,
+    )
+}
+
+/// Writes a directed index in the v2 zero-copy format (`PLLDIDX2`).
+pub fn save_v2_directed_index<W: Write>(index: &DirectedPllIndex, writer: W) -> Result<()> {
+    let (order, inv, labels_in, labels_out) = index.as_raw();
+    let (in_offsets, in_ranks, in_dists, _) = labels_in.as_raw();
+    let (out_offsets, out_ranks, out_dists, _) = labels_out.as_raw();
+    let sections = [
+        (SEC_ORDER, SecData::U32(order)),
+        (SEC_INV, SecData::U32(inv)),
+        (SEC_OFFSETS_IN, SecData::U32(in_offsets)),
+        (SEC_RANKS_IN, SecData::U32(in_ranks)),
+        (SEC_DISTS8_IN, SecData::U8(in_dists)),
+        (SEC_OFFSETS, SecData::U32(out_offsets)),
+        (SEC_RANKS, SecData::U32(out_ranks)),
+        (SEC_DISTS8, SecData::U8(out_dists)),
+    ];
+    write_container(
+        writer,
+        V2_DIRECTED_MAGIC,
+        0,
+        order.len() as u64,
+        0,
+        index.stats(),
+        &sections,
+    )
+}
+
+/// Writes a weighted index in the v2 zero-copy format (`PLLWIDX2`).
+pub fn save_v2_weighted_index<W: Write>(index: &WeightedPllIndex, writer: W) -> Result<()> {
+    let (order, inv, offsets, ranks, dists) = index.as_raw();
+    let sections = [
+        (SEC_ORDER, SecData::U32(order)),
+        (SEC_INV, SecData::U32(inv)),
+        (SEC_OFFSETS, SecData::U32(offsets)),
+        (SEC_RANKS, SecData::U32(ranks)),
+        (SEC_DISTS32, SecData::U32(dists)),
+    ];
+    write_container(
+        writer,
+        V2_WEIGHTED_MAGIC,
+        0,
+        order.len() as u64,
+        0,
+        index.stats(),
+        &sections,
+    )
+}
+
+/// Writes a weighted directed index in the v2 zero-copy format
+/// (`PLLWDID2`).
+pub fn save_v2_weighted_directed_index<W: Write>(
+    index: &WeightedDirectedPllIndex,
+    writer: W,
+) -> Result<()> {
+    let (order, inv, side_in, side_out) = index.as_raw();
+    let (in_offsets, in_ranks, in_dists) = side_in;
+    let (out_offsets, out_ranks, out_dists) = side_out;
+    let sections = [
+        (SEC_ORDER, SecData::U32(order)),
+        (SEC_INV, SecData::U32(inv)),
+        (SEC_OFFSETS_IN, SecData::U32(in_offsets)),
+        (SEC_RANKS_IN, SecData::U32(in_ranks)),
+        (SEC_DISTS32_IN, SecData::U32(in_dists)),
+        (SEC_OFFSETS, SecData::U32(out_offsets)),
+        (SEC_RANKS, SecData::U32(out_ranks)),
+        (SEC_DISTS32, SecData::U32(out_dists)),
+    ];
+    write_container(
+        writer,
+        V2_WEIGHTED_DIRECTED_MAGIC,
+        0,
+        order.len() as u64,
+        0,
+        index.stats(),
+        &sections,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct RawSection {
+    elem_size: u32,
+    offset: u64,
+}
+
+/// Parsed v2 container: header fields plus the section table, all
+/// validated against the buffer bounds. Every typed section handed out is
+/// a zero-copy [`SectionSlice`].
+struct Container {
+    buf: Arc<AlignedBytes>,
+    flags: u32,
+    n: usize,
+    t: usize,
+    stats: ConstructionStats,
+    sections: [Option<RawSection>; MAX_SECTION_ID],
+}
+
+impl Container {
+    fn parse(buf: Arc<AlignedBytes>) -> Result<(IndexFormat, Container)> {
+        let bytes = buf.as_bytes();
+        if bytes.len() < TABLE_OFFSET {
+            return Err(format_err(format!(
+                "v2 index truncated: {} bytes, need at least {TABLE_OFFSET}",
+                bytes.len()
+            )));
+        }
+        let magic: &[u8; 8] = bytes[0..8].try_into().expect("8 bytes");
+        let (format, version) = detect_format_versioned(magic)?;
+        if version != FormatVersion::V2 {
+            return Err(format_err("not a v2 index (v1 magic)"));
+        }
+        let u32_at = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        if u32_at(8) != VERSION {
+            return Err(format_err(format!(
+                "unsupported v2 header version {}",
+                u32_at(8)
+            )));
+        }
+        let flags = u32_at(12);
+        let n = usize::try_from(u64_at(16)).map_err(|_| format_err("vertex count overflows"))?;
+        let t = usize::try_from(u64_at(24)).map_err(|_| format_err("root count overflows"))?;
+        let file_len = u64_at(32);
+        if file_len != bytes.len() as u64 {
+            return Err(format_err(format!(
+                "file length mismatch: header says {file_len}, file has {} bytes (truncated?)",
+                bytes.len()
+            )));
+        }
+        let section_count =
+            usize::try_from(u64_at(40)).map_err(|_| format_err("section count overflows"))?;
+        let checksum = u64_at(56);
+        if fnv1a_parts(&[&bytes[..56], &bytes[HEADER_LEN..]]) != checksum {
+            return Err(format_err("checksum mismatch"));
+        }
+        let table_end = section_count
+            .checked_mul(TABLE_ENTRY_LEN)
+            .and_then(|len| len.checked_add(TABLE_OFFSET))
+            .ok_or_else(|| format_err("section table overflows"))?;
+        if table_end > bytes.len() {
+            return Err(format_err("section table exceeds file size"));
+        }
+        let mut sections = [None; MAX_SECTION_ID];
+        for i in 0..section_count {
+            let base = TABLE_OFFSET + i * TABLE_ENTRY_LEN;
+            let id = u32_at(base) as usize;
+            let raw = RawSection {
+                elem_size: u32_at(base + 4),
+                offset: u64_at(base + 8),
+            };
+            if id >= MAX_SECTION_ID {
+                continue; // unknown section: ignore for forward compat
+            }
+            if sections[id].is_some() {
+                return Err(format_err(format!("duplicate section id {id}")));
+            }
+            sections[id] = Some(raw);
+        }
+        let stats = parse_stats_block(&bytes[HEADER_LEN..TABLE_OFFSET]);
+        Ok((
+            format,
+            Container {
+                buf,
+                flags,
+                n,
+                t,
+                stats,
+                sections,
+            },
+        ))
+    }
+
+    /// Resolves section `id` as `count` elements of `T`, enforcing the
+    /// element size, the 64-byte section alignment and the buffer bounds.
+    fn section<T: Pod>(&self, id: u32, count: usize) -> Result<SectionSlice<T>> {
+        let raw = self.sections[id as usize]
+            .ok_or_else(|| format_err(format!("missing section id {id}")))?;
+        if raw.elem_size as usize != T::SIZE {
+            return Err(format_err(format!(
+                "section id {id} has element size {}, expected {}",
+                raw.elem_size,
+                T::SIZE
+            )));
+        }
+        let offset =
+            usize::try_from(raw.offset).map_err(|_| format_err("section offset overflows"))?;
+        if offset % SECTION_ALIGN != 0 {
+            return Err(format_err(format!(
+                "section id {id} at byte {offset} is not {SECTION_ALIGN}-byte aligned"
+            )));
+        }
+        SectionSlice::new(Arc::clone(&self.buf), offset, count)
+    }
+
+    /// The validated `(order, inv)` permutation sections.
+    fn permutations(&self) -> Result<(SectionSlice<u32>, SectionSlice<u32>)> {
+        let order = self.section::<u32>(SEC_ORDER, self.n)?;
+        let inv = self.section::<u32>(SEC_INV, self.n)?;
+        {
+            let (o, i) = (order.as_slice(), inv.as_slice());
+            let n = self.n as u32;
+            // inv[order[r]] == r for all r proves `order` injective (hence
+            // a permutation) and `inv` its inverse — no allocation needed.
+            for (rank, &v) in o.iter().enumerate() {
+                if v >= n || i[v as usize] != rank as u32 {
+                    return Err(format_err(
+                        "order/inv sections are not mutually inverse permutations",
+                    ));
+                }
+            }
+        }
+        Ok((order, inv))
+    }
+
+    /// Resolves one label side (`offsets` + `ranks` + `dists` + optional
+    /// `parents`) and validates its sentinel/sort structure.
+    fn label_side<D: Pod>(
+        &self,
+        ids: (u32, u32, u32),
+        parents_id: Option<u32>,
+    ) -> Result<ViewLabels<D>> {
+        let (offsets_id, ranks_id, dists_id) = ids;
+        let offsets = self.section::<u32>(offsets_id, self.n + 1)?;
+        let off = offsets.as_slice();
+        if off.first() != Some(&0) || off.windows(2).any(|w| w[0] > w[1]) {
+            return Err(format_err("non-monotone label offsets"));
+        }
+        let total = usize::try_from(*off.last().expect("n + 1 >= 1 entries"))
+            .map_err(|_| format_err("label arena length overflows"))?;
+        let ranks = self.section::<Rank>(ranks_id, total)?;
+        let dists = self.section::<D>(dists_id, total)?;
+        {
+            let r = ranks.as_slice();
+            for v in 0..self.n {
+                let s = off[v] as usize;
+                let e = off[v + 1] as usize;
+                if s == e || r[e - 1] != RANK_SENTINEL {
+                    return Err(format_err(format!(
+                        "label of rank {v} not sentinel-terminated"
+                    )));
+                }
+                if r[s..e].windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(format_err(format!("label of rank {v} not strictly sorted")));
+                }
+                // Hub ranks index the permutation arrays (e.g. in
+                // `distance_with_hub`), so out-of-range ranks must be a
+                // typed error here, not a panic later. The body is
+                // strictly ascending, so its last entry is its maximum.
+                if e - s >= 2 && r[e - 2] as usize >= self.n {
+                    return Err(format_err(format!(
+                        "label of rank {v} holds hub rank {} >= n = {}",
+                        r[e - 2],
+                        self.n
+                    )));
+                }
+            }
+        }
+        let parents = match parents_id {
+            Some(id) if self.flags & FLAG_PARENTS != 0 => Some(self.section::<Rank>(id, total)?),
+            _ => None,
+        };
+        if let Some(parents) = &parents {
+            for &x in parents.as_slice() {
+                if x != RANK_SENTINEL && x as usize >= self.n {
+                    return Err(format_err(format!("parent rank {x} >= n = {}", self.n)));
+                }
+            }
+        }
+        Ok(ViewLabels {
+            offsets,
+            ranks,
+            dists,
+            parents,
+        })
+    }
+
+    /// Resolves the bit-parallel structure-of-arrays sections.
+    fn bp(&self) -> Result<ViewBp> {
+        let entries = self
+            .n
+            .checked_mul(self.t)
+            .ok_or_else(|| format_err("bit-parallel entry count overflows"))?;
+        let view = ViewBp {
+            roots: self.section::<Rank>(SEC_BP_ROOTS, self.t)?,
+            dist: self.section::<u8>(SEC_BP_DIST, entries)?,
+            set_minus1: self.section::<u64>(SEC_BP_M1, entries)?,
+            set_zero: self.section::<u64>(SEC_BP_Z, entries)?,
+        };
+        for &root in view.roots.as_slice() {
+            if root != u32::MAX && root as usize >= self.n {
+                return Err(format_err("bit-parallel root out of range"));
+            }
+        }
+        Ok(view)
+    }
+}
+
+/// Opens a v2 index zero-copy from an in-memory buffer: pointer casts and
+/// validation scans only — no per-label parsing or allocation.
+pub fn open_v2_bytes(buf: Arc<AlignedBytes>) -> Result<AnyIndex> {
+    let (format, c) = Container::parse(buf)?;
+    match format {
+        IndexFormat::Undirected => {
+            let (order, inv) = c.permutations()?;
+            let labels: ViewLabels<Dist> =
+                c.label_side((SEC_OFFSETS, SEC_RANKS, SEC_DISTS8), Some(SEC_PARENTS))?;
+            // The unweighted sentinel distance is INF8 (v1 parity check).
+            {
+                let off = labels.offsets.as_slice();
+                let d = labels.dists.as_slice();
+                for v in 0..c.n {
+                    if d[off[v + 1] as usize - 1] != INF8 {
+                        return Err(format_err(format!(
+                            "label of rank {v} not sentinel-terminated"
+                        )));
+                    }
+                }
+            }
+            let bp = c.bp()?;
+            Ok(AnyIndex::UndirectedView(PllIndex::assemble(
+                order,
+                inv,
+                LabelSet::from_store(labels),
+                BitParallelLabels::from_store(c.n, c.t, bp),
+                c.stats.clone(),
+            )))
+        }
+        IndexFormat::Directed => {
+            let (order, inv) = c.permutations()?;
+            let side_in: ViewLabels<Dist> =
+                c.label_side((SEC_OFFSETS_IN, SEC_RANKS_IN, SEC_DISTS8_IN), None)?;
+            let side_out: ViewLabels<Dist> =
+                c.label_side((SEC_OFFSETS, SEC_RANKS, SEC_DISTS8), None)?;
+            Ok(AnyIndex::DirectedView(DirectedPllIndex::assemble(
+                order,
+                inv,
+                LabelSet::from_store(side_in),
+                LabelSet::from_store(side_out),
+                c.stats.clone(),
+            )))
+        }
+        IndexFormat::Weighted => {
+            let (order, inv) = c.permutations()?;
+            let labels: ViewLabels<WDist> =
+                c.label_side((SEC_OFFSETS, SEC_RANKS, SEC_DISTS32), None)?;
+            Ok(AnyIndex::WeightedView(WeightedPllIndex::assemble(
+                order,
+                inv,
+                labels,
+                c.stats.clone(),
+            )))
+        }
+        IndexFormat::WeightedDirected => {
+            let (order, inv) = c.permutations()?;
+            let side_in: ViewLabels<WDist> =
+                c.label_side((SEC_OFFSETS_IN, SEC_RANKS_IN, SEC_DISTS32_IN), None)?;
+            let side_out: ViewLabels<WDist> =
+                c.label_side((SEC_OFFSETS, SEC_RANKS, SEC_DISTS32), None)?;
+            Ok(AnyIndex::WeightedDirectedView(
+                WeightedDirectedPllIndex::assemble(order, inv, side_in, side_out, c.stats.clone()),
+            ))
+        }
+    }
+}
+
+/// Opens a v2 index file zero-copy: one buffer load (a single `read`, or
+/// an `mmap` with the `mmap` feature on Linux), then [`open_v2_bytes`].
+pub fn open_v2_path(path: &Path) -> Result<AnyIndex> {
+    open_v2_bytes(Arc::new(AlignedBytes::from_file(path)?))
+}
+
+// ---------------------------------------------------------------------------
+// AnyIndex
+// ---------------------------------------------------------------------------
+
+/// Any loaded index: one of the four variants, in either the owned (v1
+/// files, parsed) or the zero-copy view (v2 files) representation. The
+/// `pll` CLI and `pll-server` work exclusively through this type, so every
+/// subcommand and the query service accept every format.
+#[derive(Debug)]
+pub enum AnyIndex {
+    /// Owned undirected index (v1 file).
+    Undirected(PllIndex),
+    /// Zero-copy undirected index (v2 file).
+    UndirectedView(PllIndexView),
+    /// Owned directed index (v1 file).
+    Directed(DirectedPllIndex),
+    /// Zero-copy directed index (v2 file).
+    DirectedView(DirectedPllIndexView),
+    /// Owned weighted index (v1 file).
+    Weighted(WeightedPllIndex),
+    /// Zero-copy weighted index (v2 file).
+    WeightedView(WeightedPllIndexView),
+    /// Owned weighted directed index (v1 file).
+    WeightedDirected(WeightedDirectedPllIndex),
+    /// Zero-copy weighted directed index (v2 file).
+    WeightedDirectedView(WeightedDirectedPllIndexView),
+}
+
+/// Applies an expression to the concrete index inside an [`AnyIndex`].
+macro_rules! with_index {
+    ($self:expr, $idx:ident => $body:expr) => {
+        match $self {
+            AnyIndex::Undirected($idx) => $body,
+            AnyIndex::UndirectedView($idx) => $body,
+            AnyIndex::Directed($idx) => $body,
+            AnyIndex::DirectedView($idx) => $body,
+            AnyIndex::Weighted($idx) => $body,
+            AnyIndex::WeightedView($idx) => $body,
+            AnyIndex::WeightedDirected($idx) => $body,
+            AnyIndex::WeightedDirectedView($idx) => $body,
+        }
+    };
+}
+
+impl AnyIndex {
+    /// Opens an index file of any format generation and variant, sniffing
+    /// the magic bytes: v1 files parse into owned indices exactly as
+    /// before, v2 files open zero-copy.
+    pub fn open(path: &Path) -> Result<AnyIndex> {
+        use std::io::Read;
+        let mut file = std::fs::File::open(path)?;
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)
+            .map_err(|_| format_err("file too short to hold an index magic (8 bytes)"))?;
+        let (format, version) = detect_format_versioned(&magic)?;
+        match version {
+            FormatVersion::V2 => {
+                drop(file);
+                open_v2_path(path)
+            }
+            FormatVersion::V1 => {
+                let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+                Ok(match format {
+                    IndexFormat::Undirected => {
+                        AnyIndex::Undirected(crate::serialize::load_index(reader)?)
+                    }
+                    IndexFormat::Directed => {
+                        AnyIndex::Directed(crate::serialize::load_directed_index(reader)?)
+                    }
+                    IndexFormat::Weighted => {
+                        AnyIndex::Weighted(crate::serialize::load_weighted_index(reader)?)
+                    }
+                    IndexFormat::WeightedDirected => AnyIndex::WeightedDirected(
+                        crate::serialize::load_weighted_directed_index(reader)?,
+                    ),
+                })
+            }
+        }
+    }
+
+    /// Which index family this is.
+    pub fn format(&self) -> IndexFormat {
+        match self {
+            AnyIndex::Undirected(_) | AnyIndex::UndirectedView(_) => IndexFormat::Undirected,
+            AnyIndex::Directed(_) | AnyIndex::DirectedView(_) => IndexFormat::Directed,
+            AnyIndex::Weighted(_) | AnyIndex::WeightedView(_) => IndexFormat::Weighted,
+            AnyIndex::WeightedDirected(_) | AnyIndex::WeightedDirectedView(_) => {
+                IndexFormat::WeightedDirected
+            }
+        }
+    }
+
+    /// Format generation the index was loaded from (1 or 2).
+    pub fn format_version(&self) -> u8 {
+        if self.is_zero_copy() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Whether this index queries the file buffer in place (v2).
+    pub fn is_zero_copy(&self) -> bool {
+        matches!(
+            self,
+            AnyIndex::UndirectedView(_)
+                | AnyIndex::DirectedView(_)
+                | AnyIndex::WeightedView(_)
+                | AnyIndex::WeightedDirectedView(_)
+        )
+    }
+
+    /// Number of indexed vertices.
+    pub fn num_vertices(&self) -> usize {
+        with_index!(self, idx => idx.num_vertices())
+    }
+
+    /// Distance from `s` to `t` widened to `u64`; `None` when
+    /// unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an endpoint is out of range (use
+    /// [`AnyIndex::try_distance`] for the checked variant).
+    pub fn distance(&self, s: u32, t: u32) -> Option<u64> {
+        match self {
+            AnyIndex::Undirected(idx) => idx.distance(s, t).map(u64::from),
+            AnyIndex::UndirectedView(idx) => idx.distance(s, t).map(u64::from),
+            AnyIndex::Directed(idx) => idx.distance(s, t).map(u64::from),
+            AnyIndex::DirectedView(idx) => idx.distance(s, t).map(u64::from),
+            AnyIndex::Weighted(idx) => idx.distance(s, t),
+            AnyIndex::WeightedView(idx) => idx.distance(s, t),
+            AnyIndex::WeightedDirected(idx) => idx.distance(s, t),
+            AnyIndex::WeightedDirectedView(idx) => idx.distance(s, t),
+        }
+    }
+
+    /// Checked variant of [`AnyIndex::distance`].
+    pub fn try_distance(&self, s: u32, t: u32) -> Result<Option<u64>> {
+        match self {
+            AnyIndex::Undirected(idx) => Ok(idx.try_distance(s, t)?.map(u64::from)),
+            AnyIndex::UndirectedView(idx) => Ok(idx.try_distance(s, t)?.map(u64::from)),
+            AnyIndex::Directed(idx) => Ok(idx.try_distance(s, t)?.map(u64::from)),
+            AnyIndex::DirectedView(idx) => Ok(idx.try_distance(s, t)?.map(u64::from)),
+            AnyIndex::Weighted(idx) => idx.try_distance(s, t),
+            AnyIndex::WeightedView(idx) => idx.try_distance(s, t),
+            AnyIndex::WeightedDirected(idx) => idx.try_distance(s, t),
+            AnyIndex::WeightedDirectedView(idx) => idx.try_distance(s, t),
+        }
+    }
+
+    /// Construction statistics (persisted by v2 files; default for v1).
+    pub fn stats(&self) -> &ConstructionStats {
+        with_index!(self, idx => idx.stats())
+    }
+
+    /// Average label entries per vertex.
+    pub fn avg_label_size(&self) -> f64 {
+        with_index!(self, idx => idx.avg_label_size())
+    }
+
+    /// Total index bytes (owned heap bytes or mapped section bytes).
+    pub fn memory_bytes(&self) -> usize {
+        with_index!(self, idx => idx.memory_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexBuilder;
+    use crate::directed::DirectedIndexBuilder;
+    use crate::weighted::WeightedIndexBuilder;
+    use crate::weighted_directed::WeightedDirectedIndexBuilder;
+    use pll_graph::gen;
+
+    fn ba_graph(n: usize) -> pll_graph::CsrGraph {
+        gen::barabasi_albert(n, 3, 7).unwrap()
+    }
+
+    fn open_bytes(bytes: &[u8]) -> Result<AnyIndex> {
+        open_v2_bytes(Arc::new(AlignedBytes::from_bytes(bytes)))
+    }
+
+    #[test]
+    fn undirected_v2_roundtrip_queries_match() {
+        let g = ba_graph(150);
+        let idx = IndexBuilder::new().bit_parallel_roots(3).build(&g).unwrap();
+        let mut buf = Vec::new();
+        save_v2_index(&idx, &mut buf).unwrap();
+        let any = open_bytes(&buf).unwrap();
+        assert!(any.is_zero_copy());
+        assert_eq!(any.format(), IndexFormat::Undirected);
+        assert_eq!(any.format_version(), 2);
+        assert_eq!(any.num_vertices(), 150);
+        for s in (0..150u32).step_by(7) {
+            for t in (0..150u32).step_by(11) {
+                assert_eq!(
+                    any.distance(s, t),
+                    idx.distance(s, t).map(u64::from),
+                    "pair ({s}, {t})"
+                );
+            }
+        }
+        // Stats survive the round trip.
+        assert_eq!(any.stats().threads, idx.stats().threads);
+        assert!(any.stats().total_seconds() > 0.0);
+        assert_eq!(any.stats().total_labeled, idx.stats().total_labeled);
+    }
+
+    #[test]
+    fn undirected_v2_roundtrip_with_parents() {
+        let g = gen::grid(6, 6).unwrap();
+        let idx = IndexBuilder::new()
+            .bit_parallel_roots(0)
+            .store_parents(true)
+            .build(&g)
+            .unwrap();
+        let mut buf = Vec::new();
+        save_v2_index(&idx, &mut buf).unwrap();
+        match open_bytes(&buf).unwrap() {
+            AnyIndex::UndirectedView(view) => {
+                assert!(view.has_parents());
+                for v in 0..36u32 {
+                    assert_eq!(
+                        view.labels().parents(view.rank_of(v)),
+                        idx.labels().parents(idx.rank_of(v))
+                    );
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directed_v2_roundtrip_queries_match() {
+        let mut arcs: Vec<(u32, u32)> = (0..80u32)
+            .flat_map(|v| [(v, (v + 1) % 80), (v, (v * 13 + 5) % 80)])
+            .filter(|&(a, b)| a != b)
+            .collect();
+        arcs.sort_unstable();
+        arcs.dedup();
+        let g = pll_graph::CsrDigraph::from_edges(80, &arcs).unwrap();
+        let idx = DirectedIndexBuilder::new().build(&g).unwrap();
+        let mut buf = Vec::new();
+        save_v2_directed_index(&idx, &mut buf).unwrap();
+        let any = open_bytes(&buf).unwrap();
+        assert_eq!(any.format(), IndexFormat::Directed);
+        for s in 0..80u32 {
+            for t in (0..80u32).step_by(9) {
+                assert_eq!(any.distance(s, t), idx.distance(s, t).map(u64::from));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_v2_roundtrip_queries_match() {
+        use pll_graph::wgraph::WeightedGraph;
+        let base = gen::erdos_renyi_gnm(70, 180, 3).unwrap();
+        let mut rng = pll_graph::Xoshiro256pp::seed_from_u64(5);
+        let edges: Vec<(u32, u32, u32)> = base
+            .edges()
+            .map(|(u, v)| (u, v, rng.next_below(9) as u32 + 1))
+            .collect();
+        let g = WeightedGraph::from_edges(70, &edges).unwrap();
+        let idx = WeightedIndexBuilder::new().build(&g).unwrap();
+        let mut buf = Vec::new();
+        save_v2_weighted_index(&idx, &mut buf).unwrap();
+        let any = open_bytes(&buf).unwrap();
+        assert_eq!(any.format(), IndexFormat::Weighted);
+        for s in 0..70u32 {
+            for t in (0..70u32).step_by(7) {
+                assert_eq!(any.distance(s, t), idx.distance(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_directed_v2_roundtrip_queries_match() {
+        use pll_graph::wdigraph::WeightedDigraph;
+        let mut rng = pll_graph::Xoshiro256pp::seed_from_u64(11);
+        let mut arcs = std::collections::HashMap::new();
+        while arcs.len() < 160 {
+            let u = rng.next_below(45) as u32;
+            let v = rng.next_below(45) as u32;
+            if u != v {
+                arcs.entry((u, v))
+                    .or_insert_with(|| rng.next_below(9) as u32 + 1);
+            }
+        }
+        let mut list: Vec<(u32, u32, u32)> =
+            arcs.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+        list.sort_unstable();
+        let g = WeightedDigraph::from_edges(45, &list).unwrap();
+        let idx = WeightedDirectedIndexBuilder::new().build(&g).unwrap();
+        let mut buf = Vec::new();
+        save_v2_weighted_directed_index(&idx, &mut buf).unwrap();
+        let any = open_bytes(&buf).unwrap();
+        assert_eq!(any.format(), IndexFormat::WeightedDirected);
+        for s in 0..45u32 {
+            for t in (0..45u32).step_by(4) {
+                assert_eq!(any.distance(s, t), idx.distance(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let idx = IndexBuilder::new()
+            .build(&pll_graph::CsrGraph::empty(0))
+            .unwrap();
+        let mut buf = Vec::new();
+        save_v2_index(&idx, &mut buf).unwrap();
+        let any = open_bytes(&buf).unwrap();
+        assert_eq!(any.num_vertices(), 0);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let g = ba_graph(40);
+        let idx = IndexBuilder::new().bit_parallel_roots(2).build(&g).unwrap();
+        let mut buf = Vec::new();
+        save_v2_index(&idx, &mut buf).unwrap();
+        // Truncating at any byte boundary must yield Err, never a panic.
+        for cut in 0..buf.len() {
+            let err = open_bytes(&buf[..cut]);
+            assert!(err.is_err(), "truncation at {cut}/{} accepted", buf.len());
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let g = gen::path(12).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(1).build(&g).unwrap();
+        let mut buf = Vec::new();
+        save_v2_index(&idx, &mut buf).unwrap();
+        assert!(open_bytes(&buf).is_ok());
+        for pos in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[pos] ^= 0x5A;
+            assert!(
+                open_bytes(&corrupt).is_err(),
+                "flip at byte {pos}/{} accepted",
+                buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_section_table_is_rejected_structurally() {
+        // Rewrite a section offset to point out of bounds *and* fix up the
+        // checksum, so the structural bounds checks (not the checksum)
+        // must catch it.
+        let g = gen::path(10).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+        let mut buf = Vec::new();
+        save_v2_index(&idx, &mut buf).unwrap();
+        // First table entry's byte_offset field lives at TABLE_OFFSET + 8.
+        let pos = TABLE_OFFSET + 8;
+        buf[pos..pos + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let checksum = fnv1a_parts(&[&buf[..56], &buf[HEADER_LEN..]]);
+        buf[56..64].copy_from_slice(&checksum.to_le_bytes());
+        let err = open_bytes(&buf).unwrap_err();
+        assert!(matches!(err, PllError::Format { .. }), "got {err}");
+    }
+
+    #[test]
+    fn out_of_range_hub_rank_is_rejected_structurally() {
+        // Craft a label body holding a hub rank >= n with the checksum
+        // fixed up: the structural validation must reject it (otherwise
+        // `distance_with_hub` would index the permutation arrays out of
+        // bounds later).
+        let g = gen::path(4).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+        let mut buf = Vec::new();
+        save_v2_index(&idx, &mut buf).unwrap();
+        assert!(open_bytes(&buf).is_ok());
+        // Locate the ranks section (id SEC_RANKS) via the table and
+        // overwrite its first body entry with a huge rank, keeping the
+        // strictly-ascending/sentinel structure intact (n = 4, so any
+        // body value in [4, SENTINEL) is out of range).
+        let count = u64::from_le_bytes(buf[40..48].try_into().unwrap()) as usize;
+        let mut ranks_off = None;
+        for i in 0..count {
+            let base = TABLE_OFFSET + i * TABLE_ENTRY_LEN;
+            if u32::from_le_bytes(buf[base..base + 4].try_into().unwrap()) == SEC_RANKS {
+                ranks_off =
+                    Some(u64::from_le_bytes(buf[base + 8..base + 16].try_into().unwrap()) as usize);
+            }
+        }
+        let ranks_off = ranks_off.expect("ranks section present");
+        buf[ranks_off..ranks_off + 4].copy_from_slice(&(RANK_SENTINEL - 1).to_le_bytes());
+        let checksum = fnv1a_parts(&[&buf[..56], &buf[HEADER_LEN..]]);
+        buf[56..64].copy_from_slice(&checksum.to_le_bytes());
+        let err = open_bytes(&buf).unwrap_err();
+        match err {
+            PllError::Format { message } => {
+                assert!(message.contains("hub rank"), "got: {message}")
+            }
+            other => panic!("expected Format error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn wrong_variant_magic_is_rejected() {
+        let g = gen::path(6).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+        let mut buf = Vec::new();
+        save_v2_index(&idx, &mut buf).unwrap();
+        // Rewriting the magic to the weighted family (and fixing the
+        // checksum) must fail on missing sections, not panic.
+        buf[0..8].copy_from_slice(V2_WEIGHTED_MAGIC);
+        let checksum = fnv1a_parts(&[&buf[..56], &buf[HEADER_LEN..]]);
+        buf[56..64].copy_from_slice(&checksum.to_le_bytes());
+        assert!(open_bytes(&buf).is_err());
+        assert!(open_bytes(b"NOTANIDXatall").is_err());
+        assert!(open_bytes(b"").is_err());
+    }
+
+    #[test]
+    fn anyindex_open_handles_v1_and_v2_files() {
+        let g = ba_graph(60);
+        let idx = IndexBuilder::new().bit_parallel_roots(2).build(&g).unwrap();
+        let dir = std::env::temp_dir();
+        let v1_path = dir.join(format!("pll_v2test_v1_{}.idx", std::process::id()));
+        let v2_path = dir.join(format!("pll_v2test_v2_{}.idx", std::process::id()));
+        crate::serialize::save_index(&idx, std::fs::File::create(&v1_path).unwrap()).unwrap();
+        save_v2_index(&idx, std::fs::File::create(&v2_path).unwrap()).unwrap();
+        let v1 = AnyIndex::open(&v1_path).unwrap();
+        let v2 = AnyIndex::open(&v2_path).unwrap();
+        assert_eq!(v1.format_version(), 1);
+        assert_eq!(v2.format_version(), 2);
+        assert!(!v1.is_zero_copy());
+        assert!(v2.is_zero_copy());
+        // v1 files carry no stats; v2 files do.
+        assert_eq!(v1.stats().total_seconds(), 0.0);
+        assert!(v2.stats().total_seconds() > 0.0);
+        for s in (0..60u32).step_by(5) {
+            for t in (0..60u32).step_by(3) {
+                assert_eq!(v1.distance(s, t), v2.distance(s, t));
+                assert_eq!(v2.distance(s, t), idx.distance(s, t).map(u64::from));
+            }
+        }
+        assert!(matches!(
+            v2.try_distance(0, 60),
+            Err(PllError::VertexOutOfRange { .. })
+        ));
+        std::fs::remove_file(&v1_path).ok();
+        std::fs::remove_file(&v2_path).ok();
+        assert!(AnyIndex::open(&v2_path).is_err());
+    }
+}

@@ -21,6 +21,7 @@ use crate::par::{
     commit_entries, resolve_threads, run_batched, DijkstraScratch, PrunedSearch, RootCommit,
 };
 use crate::stats::{ConstructionStats, RootStats};
+use crate::storage::{LabelStorage, OwnedLabels, SectionSlice, ViewLabels};
 use crate::types::{Rank, Vertex, WDist, RANK_SENTINEL};
 use pll_graph::reorder::inverse_permutation;
 use pll_graph::wgraph::WeightedGraph;
@@ -168,9 +169,12 @@ impl WeightedIndexBuilder {
             return Ok(WeightedPllIndex {
                 order,
                 inv,
-                offsets,
-                ranks,
-                dists,
+                labels: OwnedLabels {
+                    offsets,
+                    ranks,
+                    dists,
+                    parents: None,
+                },
                 stats,
             });
         }
@@ -249,9 +253,12 @@ impl WeightedIndexBuilder {
         Ok(WeightedPllIndex {
             order,
             inv,
-            offsets,
-            ranks,
-            dists,
+            labels: OwnedLabels {
+                offsets,
+                ranks,
+                dists,
+                parents: None,
+            },
             stats,
         })
     }
@@ -443,27 +450,48 @@ fn relaxed_pruned_dijkstra(
 }
 
 /// An exact distance index over a positively-weighted undirected graph.
+///
+/// Generic over its [`LabelStorage`] backend (`u32` distances), like
+/// [`crate::PllIndex`]: the default owns its arenas,
+/// [`WeightedPllIndexView`] runs the same merge-join zero-copy over a v2
+/// index buffer.
 #[derive(Clone, Debug)]
-pub struct WeightedPllIndex {
-    order: Vec<Vertex>,
-    inv: Vec<Rank>,
-    offsets: Vec<u32>,
-    ranks: Vec<Rank>,
-    dists: Vec<WDist>,
+pub struct WeightedPllIndex<O = Vec<Vertex>, S = OwnedLabels<WDist>> {
+    order: O,
+    inv: O,
+    labels: S,
     stats: ConstructionStats,
 }
 
-impl WeightedPllIndex {
+/// Zero-copy [`WeightedPllIndex`] over a v2 index buffer.
+pub type WeightedPllIndexView = WeightedPllIndex<SectionSlice<u32>, ViewLabels<WDist>>;
+
+impl<O, S> WeightedPllIndex<O, S>
+where
+    O: AsRef<[u32]>,
+    S: LabelStorage<Dist = WDist>,
+{
+    /// Assembles an index from any backend (inputs pre-validated).
+    pub(crate) fn assemble(order: O, inv: O, labels: S, stats: ConstructionStats) -> Self {
+        WeightedPllIndex {
+            order,
+            inv,
+            labels,
+            stats,
+        }
+    }
+
     /// Number of indexed vertices.
     pub fn num_vertices(&self) -> usize {
-        self.order.len()
+        self.order.as_ref().len()
     }
 
     #[inline]
     fn label(&self, v: Rank) -> (&[Rank], &[WDist]) {
-        let s = self.offsets[v as usize] as usize;
-        let e = self.offsets[v as usize + 1] as usize;
-        (&self.ranks[s..e], &self.dists[s..e])
+        let offsets = self.labels.offsets();
+        let s = offsets[v as usize] as usize;
+        let e = offsets[v as usize + 1] as usize;
+        (&self.labels.ranks()[s..e], &self.labels.dists()[s..e])
     }
 
     /// Exact weighted distance between `u` and `v`; `None` when
@@ -484,29 +512,9 @@ impl WeightedPllIndex {
         if u == v {
             return Some(0);
         }
-        let (ar, ad) = self.label(self.inv[u as usize]);
-        let (br, bd) = self.label(self.inv[v as usize]);
-        let mut i = 0usize;
-        let mut j = 0usize;
-        let mut best = u64::MAX;
-        loop {
-            let (ru, rv) = (ar[i], br[j]);
-            if ru == rv {
-                if ru == RANK_SENTINEL {
-                    break;
-                }
-                let d = ad[i] as u64 + bd[j] as u64;
-                if d < best {
-                    best = d;
-                }
-                i += 1;
-                j += 1;
-            } else if ru < rv {
-                i += 1;
-            } else {
-                j += 1;
-            }
-        }
+        let (ar, ad) = self.label(self.inv.as_ref()[u as usize]);
+        let (br, bd) = self.label(self.inv.as_ref()[v as usize]);
+        let best = crate::label::merge_query_weighted(ar, ad, br, bd);
         (best != u64::MAX).then_some(best)
     }
 
@@ -529,7 +537,7 @@ impl WeightedPllIndex {
         if self.num_vertices() == 0 {
             0.0
         } else {
-            (self.ranks.len() - self.num_vertices()) as f64 / self.num_vertices() as f64
+            (self.labels.ranks().len() - self.num_vertices()) as f64 / self.num_vertices() as f64
         }
     }
 
@@ -540,12 +548,22 @@ impl WeightedPllIndex {
 
     /// Total index bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.offsets.len() * 4 + self.ranks.len() * 4 + self.dists.len() * 4 + self.order.len() * 8
+        self.labels.memory_bytes() + self.order.as_ref().len() * 8
     }
+}
 
-    /// Raw parts for serialisation: `(order, offsets, ranks, dists)`.
-    pub(crate) fn as_raw(&self) -> (&[Vertex], &[u32], &[Rank], &[WDist]) {
-        (&self.order, &self.offsets, &self.ranks, &self.dists)
+impl WeightedPllIndex {
+    /// Raw parts for serialisation:
+    /// `(order, inv, offsets, ranks, dists)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn as_raw(&self) -> (&[Vertex], &[Rank], &[u32], &[Rank], &[WDist]) {
+        (
+            &self.order,
+            &self.inv,
+            self.labels.offsets(),
+            self.labels.ranks(),
+            self.labels.dists(),
+        )
     }
 
     /// Reassembles from raw parts (deserialisation; inputs pre-validated).
@@ -559,9 +577,12 @@ impl WeightedPllIndex {
         WeightedPllIndex {
             order,
             inv,
-            offsets,
-            ranks,
-            dists,
+            labels: OwnedLabels {
+                offsets,
+                ranks,
+                dists,
+                parents: None,
+            },
             stats: ConstructionStats::default(),
         }
     }

@@ -20,7 +20,8 @@ use crate::par::{
     commit_entries, resolve_threads, run_batched, DijkstraScratch, PrunedSearch, RootCommit,
 };
 use crate::stats::{ConstructionStats, RootStats};
-use crate::types::{Rank, Vertex, WDist, RANK_SENTINEL};
+use crate::storage::{LabelStorage, OwnedLabels, SectionSlice, ViewLabels};
+use crate::types::{Rank, Vertex, WDist};
 use crate::weighted::check_label_overflow;
 use crate::weighted::flatten_weighted;
 use pll_graph::reorder::inverse_permutation;
@@ -169,12 +170,18 @@ impl WeightedDirectedIndexBuilder {
             return Ok(WeightedDirectedPllIndex {
                 order,
                 inv,
-                in_offsets,
-                in_ranks: in_flat_ranks,
-                in_dists: in_flat_dists,
-                out_offsets,
-                out_ranks: out_flat_ranks,
-                out_dists: out_flat_dists,
+                side_in: OwnedLabels {
+                    offsets: in_offsets,
+                    ranks: in_flat_ranks,
+                    dists: in_flat_dists,
+                    parents: None,
+                },
+                side_out: OwnedLabels {
+                    offsets: out_offsets,
+                    ranks: out_flat_ranks,
+                    dists: out_flat_dists,
+                    parents: None,
+                },
                 stats,
             });
         }
@@ -315,12 +322,18 @@ impl WeightedDirectedIndexBuilder {
         Ok(WeightedDirectedPllIndex {
             order,
             inv,
-            in_offsets,
-            in_ranks: in_flat_ranks,
-            in_dists: in_flat_dists,
-            out_offsets,
-            out_ranks: out_flat_ranks,
-            out_dists: out_flat_dists,
+            side_in: OwnedLabels {
+                offsets: in_offsets,
+                ranks: in_flat_ranks,
+                dists: in_flat_dists,
+                parents: None,
+            },
+            side_out: OwnedLabels {
+                offsets: out_offsets,
+                ranks: out_flat_ranks,
+                dists: out_flat_dists,
+                parents: None,
+            },
             stats,
         })
     }
@@ -528,23 +541,57 @@ fn relaxed_directed_dijkstra(
 }
 
 /// Exact distance index over a positively-weighted digraph.
+///
+/// Generic over the [`crate::storage::LabelStorage`] backend of its two
+/// label sides (`u32` distances): the default owns its arenas,
+/// [`WeightedDirectedPllIndexView`] runs the same merge-join zero-copy
+/// over a v2 index buffer.
 #[derive(Clone, Debug)]
-pub struct WeightedDirectedPllIndex {
-    order: Vec<Vertex>,
-    inv: Vec<Rank>,
-    in_offsets: Vec<u32>,
-    in_ranks: Vec<Rank>,
-    in_dists: Vec<WDist>,
-    out_offsets: Vec<u32>,
-    out_ranks: Vec<Rank>,
-    out_dists: Vec<WDist>,
+pub struct WeightedDirectedPllIndex<O = Vec<Vertex>, S = OwnedLabels<WDist>> {
+    order: O,
+    inv: O,
+    side_in: S,
+    side_out: S,
     stats: ConstructionStats,
 }
 
-impl WeightedDirectedPllIndex {
+/// Zero-copy [`WeightedDirectedPllIndex`] over a v2 index buffer.
+pub type WeightedDirectedPllIndexView =
+    WeightedDirectedPllIndex<SectionSlice<u32>, ViewLabels<WDist>>;
+
+impl<O, S> WeightedDirectedPllIndex<O, S>
+where
+    O: AsRef<[u32]>,
+    S: LabelStorage<Dist = WDist>,
+{
+    /// Assembles an index from any backend (inputs pre-validated).
+    pub(crate) fn assemble(
+        order: O,
+        inv: O,
+        side_in: S,
+        side_out: S,
+        stats: ConstructionStats,
+    ) -> Self {
+        WeightedDirectedPllIndex {
+            order,
+            inv,
+            side_in,
+            side_out,
+            stats,
+        }
+    }
+
     /// Number of indexed vertices.
     pub fn num_vertices(&self) -> usize {
-        self.order.len()
+        self.order.as_ref().len()
+    }
+
+    #[inline]
+    fn side_label(side: &S, v: usize) -> (&[Rank], &[WDist]) {
+        let offsets = side.offsets();
+        let s = offsets[v] as usize;
+        let e = offsets[v + 1] as usize;
+        (&side.ranks()[s..e], &side.dists()[s..e])
     }
 
     /// Exact weighted distance from `s` to `t`; `None` if unreachable.
@@ -564,37 +611,11 @@ impl WeightedDirectedPllIndex {
         if s == t {
             return Some(0);
         }
-        let rs = self.inv[s as usize] as usize;
-        let rt = self.inv[t as usize] as usize;
-        let (ar, ad) = (
-            &self.out_ranks[self.out_offsets[rs] as usize..self.out_offsets[rs + 1] as usize],
-            &self.out_dists[self.out_offsets[rs] as usize..self.out_offsets[rs + 1] as usize],
-        );
-        let (br, bd) = (
-            &self.in_ranks[self.in_offsets[rt] as usize..self.in_offsets[rt + 1] as usize],
-            &self.in_dists[self.in_offsets[rt] as usize..self.in_offsets[rt + 1] as usize],
-        );
-        let mut i = 0usize;
-        let mut j = 0usize;
-        let mut best = u64::MAX;
-        loop {
-            let (ru, rv) = (ar[i], br[j]);
-            if ru == rv {
-                if ru == RANK_SENTINEL {
-                    break;
-                }
-                let d = ad[i] as u64 + bd[j] as u64;
-                if d < best {
-                    best = d;
-                }
-                i += 1;
-                j += 1;
-            } else if ru < rv {
-                i += 1;
-            } else {
-                j += 1;
-            }
-        }
+        let rs = self.inv.as_ref()[s as usize] as usize;
+        let rt = self.inv.as_ref()[t as usize] as usize;
+        let (ar, ad) = Self::side_label(&self.side_out, rs);
+        let (br, bd) = Self::side_label(&self.side_in, rt);
+        let best = crate::label::merge_query_weighted(ar, ad, br, bd);
         (best != u64::MAX).then_some(best)
     }
 
@@ -617,7 +638,8 @@ impl WeightedDirectedPllIndex {
         if self.num_vertices() == 0 {
             return 0.0;
         }
-        ((self.in_ranks.len() + self.out_ranks.len()) as f64 - 2.0 * self.num_vertices() as f64)
+        ((self.side_in.ranks().len() + self.side_out.ranks().len()) as f64
+            - 2.0 * self.num_vertices() as f64)
             / self.num_vertices() as f64
     }
 
@@ -628,26 +650,35 @@ impl WeightedDirectedPllIndex {
 
     /// Total index bytes.
     pub fn memory_bytes(&self) -> usize {
-        (self.in_offsets.len() + self.out_offsets.len()) * 4
-            + (self.in_ranks.len() + self.out_ranks.len()) * 4
-            + (self.in_dists.len() + self.out_dists.len()) * 4
-            + self.order.len() * 8
+        self.side_in.memory_bytes() + self.side_out.memory_bytes() + self.order.as_ref().len() * 8
     }
+}
 
-    /// Raw parts for serialisation: `(order, IN side, OUT side)` where
-    /// each side is `(offsets, ranks, dists)`.
+impl WeightedDirectedPllIndex {
+    /// Raw parts for serialisation: `(order, inv, IN side, OUT side)`
+    /// where each side is `(offsets, ranks, dists)`.
     #[allow(clippy::type_complexity)]
     pub(crate) fn as_raw(
         &self,
     ) -> (
         &[Vertex],
+        &[Rank],
         (&[u32], &[Rank], &[WDist]),
         (&[u32], &[Rank], &[WDist]),
     ) {
         (
             &self.order,
-            (&self.in_offsets, &self.in_ranks, &self.in_dists),
-            (&self.out_offsets, &self.out_ranks, &self.out_dists),
+            &self.inv,
+            (
+                self.side_in.offsets(),
+                self.side_in.ranks(),
+                self.side_in.dists(),
+            ),
+            (
+                self.side_out.offsets(),
+                self.side_out.ranks(),
+                self.side_out.dists(),
+            ),
         )
     }
 
@@ -666,12 +697,18 @@ impl WeightedDirectedPllIndex {
         WeightedDirectedPllIndex {
             order,
             inv,
-            in_offsets,
-            in_ranks,
-            in_dists,
-            out_offsets,
-            out_ranks,
-            out_dists,
+            side_in: OwnedLabels {
+                offsets: in_offsets,
+                ranks: in_ranks,
+                dists: in_dists,
+                parents: None,
+            },
+            side_out: OwnedLabels {
+                offsets: out_offsets,
+                ranks: out_ranks,
+                dists: out_dists,
+                parents: None,
+            },
             stats: ConstructionStats::default(),
         }
     }

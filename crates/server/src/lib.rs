@@ -1,0 +1,537 @@
+//! A concurrent TCP query service over a shared, read-only pruned
+//! landmark labeling index — the serving half of the paper's story: once
+//! built, the index answers each query from two contiguous regions in
+//! microseconds, so one process can sustain heavy query traffic.
+//!
+//! Architecture (std-only, no async runtime):
+//!
+//! * the listener thread accepts connections and feeds them to a
+//!   fixed-size worker pool over an `mpsc` channel;
+//! * each worker owns one connection at a time and serves its stream of
+//!   length-prefixed requests ([`protocol`]) against the shared
+//!   [`AnyIndex`] — zero-copy v2 indices are queried in place, so workers
+//!   share one buffer with no per-query allocation beyond the response
+//!   frame;
+//! * per-worker [`metrics::WorkerMetrics`] (relaxed atomics) record
+//!   QPS and a log₂ service-latency histogram;
+//! * graceful shutdown: an [`protocol::OP_SHUTDOWN`] request (or
+//!   [`ServerHandle::shutdown`]) stops the accept loop, drains queued
+//!   connections, lets in-flight requests finish, and
+//!   [`ServerHandle::join`] returns a [`metrics::ServerSummary`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod protocol;
+
+use metrics::{summarize, ServerSummary, WorkerMetrics};
+use pll_core::AnyIndex;
+use protocol::{
+    format_code, write_frame, ProtocolError, MAX_BATCH, OP_BATCH, OP_INFO, OP_QUERY, OP_SHUTDOWN,
+    STATUS_BAD_REQUEST, STATUS_OK, STATUS_QUERY_ERROR, UNREACHABLE,
+};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a worker blocks on a quiet connection before re-checking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(200);
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:4717` (port 0 picks a free port;
+    /// read the bound address back from [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads (0 = one per CPU).
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:4717".into(),
+            threads: 0,
+        }
+    }
+}
+
+/// Errors starting or running the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Could not bind or accept.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "server I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// A running server: owns the listener and worker threads.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    listener_thread: std::thread::JoinHandle<()>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+    worker_metrics: Arc<Vec<WorkerMetrics>>,
+    started: Instant,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.worker_metrics.len()
+    }
+
+    /// Requests a graceful shutdown (same effect as a client sending
+    /// [`OP_SHUTDOWN`]).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the accept loop and every worker to finish (i.e. until
+    /// someone requests shutdown and in-flight connections drain), then
+    /// returns the aggregated metrics.
+    pub fn join(self) -> ServerSummary {
+        self.listener_thread.join().expect("listener thread");
+        for w in self.worker_threads {
+            w.join().expect("worker thread");
+        }
+        summarize(&self.worker_metrics, self.started.elapsed().as_secs_f64())
+    }
+}
+
+/// Starts the service: binds `config.addr`, spawns the worker pool and
+/// the accept loop, and returns immediately with a [`ServerHandle`].
+///
+/// The index is shared read-only across workers; for a v2 (zero-copy)
+/// index that means all workers answer from the same mapped buffer.
+pub fn serve(index: Arc<AnyIndex>, config: &ServerConfig) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        config.threads
+    };
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let worker_metrics: Arc<Vec<WorkerMetrics>> =
+        Arc::new((0..threads).map(|_| WorkerMetrics::default()).collect());
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut worker_threads = Vec::with_capacity(threads);
+    for worker_id in 0..threads {
+        let rx = Arc::clone(&rx);
+        let index = Arc::clone(&index);
+        let shutdown = Arc::clone(&shutdown);
+        let metrics = Arc::clone(&worker_metrics);
+        worker_threads.push(
+            std::thread::Builder::new()
+                .name(format!("pll-serve-{worker_id}"))
+                .spawn(move || {
+                    loop {
+                        // Block on the shared queue; a closed channel
+                        // (listener gone) ends the worker.
+                        let conn = {
+                            let guard = rx.lock().expect("connection queue poisoned");
+                            guard.recv()
+                        };
+                        match conn {
+                            Ok(stream) => {
+                                serve_connection(&index, stream, &metrics[worker_id], &shutdown);
+                                metrics[worker_id]
+                                    .connections
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn worker"),
+        );
+    }
+
+    let listener_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("pll-serve-accept".into())
+            .spawn(move || {
+                loop {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            // The accepted socket must be blocking even
+                            // though the listener polls.
+                            let _ = stream.set_nonblocking(false);
+                            let _ = stream.set_nodelay(true);
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
+                    }
+                }
+                // Dropping the sender ends every idle worker.
+                drop(tx);
+            })
+            .expect("spawn listener")
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        shutdown,
+        listener_thread,
+        worker_threads,
+        worker_metrics,
+        started: Instant::now(),
+    })
+}
+
+/// How long a peer may stall *inside* a frame before the connection is
+/// declared dead. Distinct from [`READ_POLL`]: between frames a timeout
+/// just means "idle, re-check shutdown", but once a frame has started a
+/// stall means a broken or malicious peer.
+const MID_FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Reads one frame, polling the shutdown flag while the connection is
+/// idle. Socket read timeouts are only ever allowed to fire *between*
+/// frames: a plain timeout-driven `read_frame` loop would discard
+/// partially-read bytes on a slow link and permanently desync the
+/// stream, so the idle wait covers exactly the first byte of the length
+/// prefix, and the rest of the frame is read under a single generous
+/// deadline.
+///
+/// Returns `Ok(None)` on clean EOF or shutdown, `Err` on a dead or
+/// misbehaving peer.
+fn read_frame_shutdown_aware(
+    reader: &mut std::io::BufReader<TcpStream>,
+    shutdown: &AtomicBool,
+) -> Result<Option<Vec<u8>>, ProtocolError> {
+    use std::io::Read;
+    // Phase 1: await the first byte of the length prefix (idle wait).
+    let mut first = [0u8; 1];
+    loop {
+        match reader.read_exact(&mut first) {
+            Ok(()) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    // Phase 2: the frame has started — read the rest under one deadline.
+    let _ = reader.get_ref().set_read_timeout(Some(MID_FRAME_TIMEOUT));
+    let result = (|| {
+        let mut rest = [0u8; 3];
+        reader.read_exact(&mut rest)?;
+        let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]);
+        if len > protocol::MAX_FRAME_LEN {
+            return Err(ProtocolError::Malformed(format!(
+                "frame of {len} bytes exceeds the {}-byte cap",
+                protocol::MAX_FRAME_LEN
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        reader.read_exact(&mut payload)?;
+        Ok(Some(payload))
+    })();
+    let _ = reader.get_ref().set_read_timeout(Some(READ_POLL));
+    result
+}
+
+/// Serves one connection until EOF, a transport error, or shutdown.
+fn serve_connection(
+    index: &AnyIndex,
+    stream: TcpStream,
+    metrics: &WorkerMetrics,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = std::io::BufWriter::new(stream);
+    loop {
+        let frame = match read_frame_shutdown_aware(&mut reader, shutdown) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break, // clean EOF or shutdown while idle
+            Err(_) => {
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        };
+        let started = Instant::now();
+        let (response, queries, stop) = handle_request(index, &frame, shutdown);
+        if response[0] != STATUS_OK {
+            metrics.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if write_frame(&mut writer, &response).is_err() {
+            break;
+        }
+        metrics.record_request(started.elapsed().as_nanos() as u64, queries);
+        if stop {
+            break;
+        }
+    }
+}
+
+fn error_response(status: u8, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + message.len());
+    out.push(status);
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Dispatches one request frame. Returns `(response payload, distance
+/// queries answered, close connection after responding)`.
+fn handle_request(index: &AnyIndex, frame: &[u8], shutdown: &AtomicBool) -> (Vec<u8>, u64, bool) {
+    let Some((&op, body)) = frame.split_first() else {
+        return (
+            error_response(STATUS_BAD_REQUEST, "empty request frame"),
+            0,
+            false,
+        );
+    };
+    match op {
+        OP_QUERY => {
+            if body.len() != 8 {
+                return (
+                    error_response(STATUS_BAD_REQUEST, "QUERY body must be 8 bytes"),
+                    0,
+                    false,
+                );
+            }
+            let s = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+            let t = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
+            match index.try_distance(s, t) {
+                Ok(d) => {
+                    let mut out = Vec::with_capacity(9);
+                    out.push(STATUS_OK);
+                    out.extend_from_slice(&d.unwrap_or(UNREACHABLE).to_le_bytes());
+                    (out, 1, false)
+                }
+                Err(e) => (error_response(STATUS_QUERY_ERROR, &e.to_string()), 0, false),
+            }
+        }
+        OP_BATCH => {
+            if body.len() < 4 {
+                return (
+                    error_response(STATUS_BAD_REQUEST, "BATCH body too short"),
+                    0,
+                    false,
+                );
+            }
+            let count = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")) as usize;
+            if count > MAX_BATCH || body.len() != 4 + count * 8 {
+                return (
+                    error_response(STATUS_BAD_REQUEST, "BATCH count disagrees with body"),
+                    0,
+                    false,
+                );
+            }
+            let mut out = Vec::with_capacity(5 + count * 8);
+            out.push(STATUS_OK);
+            out.extend_from_slice(&(count as u32).to_le_bytes());
+            for pair in body[4..].chunks_exact(8) {
+                let s = u32::from_le_bytes(pair[0..4].try_into().expect("4 bytes"));
+                let t = u32::from_le_bytes(pair[4..8].try_into().expect("4 bytes"));
+                match index.try_distance(s, t) {
+                    Ok(d) => out.extend_from_slice(&d.unwrap_or(UNREACHABLE).to_le_bytes()),
+                    Err(e) => {
+                        return (error_response(STATUS_QUERY_ERROR, &e.to_string()), 0, false)
+                    }
+                }
+            }
+            (out, count as u64, false)
+        }
+        OP_INFO => {
+            let mut out = Vec::with_capacity(11);
+            out.push(STATUS_OK);
+            out.extend_from_slice(&(index.num_vertices() as u64).to_le_bytes());
+            out.push(format_code(index.format()));
+            out.push(index.format_version());
+            (out, 0, false)
+        }
+        OP_SHUTDOWN => {
+            shutdown.store(true, Ordering::SeqCst);
+            (vec![STATUS_OK], 0, true)
+        }
+        other => (
+            error_response(STATUS_BAD_REQUEST, &format!("unknown opcode {other}")),
+            0,
+            false,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pll_core::IndexBuilder;
+    use pll_graph::gen;
+    use protocol::read_frame;
+
+    fn served_index() -> Arc<AnyIndex> {
+        // Round-trip through the v2 format so the server exercises the
+        // zero-copy path, exactly as `pll serve` does.
+        let g = gen::barabasi_albert(120, 3, 9).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(2).build(&g).unwrap();
+        let mut buf = Vec::new();
+        pll_core::v2::save_v2_index(&idx, &mut buf).unwrap();
+        let aligned = std::sync::Arc::new(pll_core::AlignedBytes::from_bytes(&buf));
+        Arc::new(pll_core::v2::open_v2_bytes(aligned).unwrap())
+    }
+
+    fn start(threads: usize) -> (ServerHandle, Arc<AnyIndex>) {
+        let index = served_index();
+        let handle = serve(
+            Arc::clone(&index),
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads,
+            },
+        )
+        .unwrap();
+        (handle, index)
+    }
+
+    #[test]
+    fn serves_singles_batches_info_and_shuts_down() {
+        let (handle, index) = start(2);
+        assert_eq!(handle.num_workers(), 2);
+        let addr = handle.local_addr().to_string();
+        let mut client = protocol::Client::connect(&addr).unwrap();
+
+        let info = client.info().unwrap();
+        assert_eq!(info.num_vertices, 120);
+        assert_eq!(info.format, 0);
+        assert_eq!(info.format_version, 2);
+
+        let pairs: Vec<(u32, u32)> = (0..40u32).map(|i| (i, (i * 7 + 3) % 120)).collect();
+        for &(s, t) in &pairs[..10] {
+            assert_eq!(
+                client.query(s, t).unwrap(),
+                index.distance(s, t),
+                "single ({s}, {t})"
+            );
+        }
+        let answers = client.batch(&pairs).unwrap();
+        for (&(s, t), got) in pairs.iter().zip(&answers) {
+            assert_eq!(*got, index.distance(s, t), "batch ({s}, {t})");
+        }
+
+        // Out-of-range queries answer an error status, not a hangup.
+        let err = client.query(0, 10_000).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::Server {
+                status: STATUS_QUERY_ERROR,
+                ..
+            }
+        ));
+        // The connection is still usable afterwards.
+        assert_eq!(client.query(0, 1).unwrap(), index.distance(0, 1));
+
+        client.shutdown_server().unwrap();
+        let summary = handle.join();
+        assert!(summary.queries >= 51);
+        assert!(summary.requests >= 13);
+        assert_eq!(summary.errors, 1);
+        assert!(summary.qps > 0.0);
+        assert!(summary.p99_us > 0.0);
+        assert_eq!(summary.workers.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_clients_get_consistent_answers() {
+        let (handle, index) = start(4);
+        let addr = handle.local_addr().to_string();
+        let mut joins = Vec::new();
+        for c in 0..4u32 {
+            let addr = addr.clone();
+            let index = Arc::clone(&index);
+            joins.push(std::thread::spawn(move || {
+                let mut client = protocol::Client::connect(&addr).unwrap();
+                let pairs: Vec<(u32, u32)> = (0..200u32)
+                    .map(|i| ((i + c * 31) % 120, (i * 17 + c) % 120))
+                    .collect();
+                let answers = client.batch(&pairs).unwrap();
+                for (&(s, t), got) in pairs.iter().zip(&answers) {
+                    assert_eq!(*got, index.distance(s, t), "client {c} pair ({s}, {t})");
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        handle.shutdown();
+        let summary = handle.join();
+        assert_eq!(summary.queries, 4 * 200);
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn malformed_frames_get_bad_request() {
+        let (handle, _index) = start(1);
+        let addr = handle.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Unknown opcode.
+        write_frame(&mut stream, &[0xEE]).unwrap();
+        let resp = read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(resp[0], STATUS_BAD_REQUEST);
+        // Short QUERY body.
+        write_frame(&mut stream, &[OP_QUERY, 1, 2]).unwrap();
+        let resp = read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(resp[0], STATUS_BAD_REQUEST);
+        // Empty frame.
+        write_frame(&mut stream, &[]).unwrap();
+        let resp = read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(resp[0], STATUS_BAD_REQUEST);
+        drop(stream);
+        handle.shutdown();
+        let summary = handle.join();
+        assert_eq!(summary.errors, 3);
+    }
+}

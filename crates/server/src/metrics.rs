@@ -1,0 +1,188 @@
+//! Per-worker service metrics: lock-free counters plus a log₂ latency
+//! histogram, aggregated into a summary at shutdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ latency buckets: bucket `i` covers service times in
+/// `[2^i, 2^(i+1))` nanoseconds, so 48 buckets span nanoseconds to days.
+const BUCKETS: usize = 48;
+
+/// Counters owned by one worker thread (written with relaxed atomics —
+/// each worker writes only its own, readers aggregate at shutdown).
+#[derive(Debug)]
+pub struct WorkerMetrics {
+    /// Individual distance queries answered (batch members count each).
+    pub queries: AtomicU64,
+    /// Request frames served (a batch is one request).
+    pub requests: AtomicU64,
+    /// Error responses sent.
+    pub errors: AtomicU64,
+    /// Connections fully served.
+    pub connections: AtomicU64,
+    /// Nanoseconds spent servicing requests.
+    pub busy_nanos: AtomicU64,
+    latency: [AtomicU64; BUCKETS],
+}
+
+impl Default for WorkerMetrics {
+    fn default() -> Self {
+        WorkerMetrics {
+            queries: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl WorkerMetrics {
+    /// Records one serviced request of `nanos` wall time covering
+    /// `queries` distance answers.
+    pub fn record_request(&self, nanos: u64, queries: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(queries, Ordering::Relaxed);
+        self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let bucket = (64 - nanos.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One worker's aggregated numbers in a [`ServerSummary`].
+#[derive(Clone, Debug)]
+pub struct WorkerSummary {
+    /// Distance queries answered by this worker.
+    pub queries: u64,
+    /// Request frames served by this worker.
+    pub requests: u64,
+    /// Error responses sent by this worker.
+    pub errors: u64,
+    /// Connections fully served by this worker.
+    pub connections: u64,
+    /// Seconds this worker spent servicing requests.
+    pub busy_seconds: f64,
+}
+
+/// Shutdown-time metrics of a whole server run.
+#[derive(Clone, Debug)]
+pub struct ServerSummary {
+    /// Wall-clock seconds between start and shutdown.
+    pub elapsed_seconds: f64,
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerSummary>,
+    /// Total distance queries answered.
+    pub queries: u64,
+    /// Total request frames served.
+    pub requests: u64,
+    /// Total error responses.
+    pub errors: u64,
+    /// Queries per wall-clock second.
+    pub qps: f64,
+    /// Median request service time (µs, log₂-bucket upper bound).
+    pub p50_us: f64,
+    /// 99th-percentile request service time (µs, log₂-bucket upper
+    /// bound).
+    pub p99_us: f64,
+}
+
+/// Aggregates worker metrics into a [`ServerSummary`].
+pub fn summarize(workers: &[WorkerMetrics], elapsed_seconds: f64) -> ServerSummary {
+    let mut merged = [0u64; BUCKETS];
+    let mut per_worker = Vec::with_capacity(workers.len());
+    let (mut queries, mut requests, mut errors) = (0u64, 0u64, 0u64);
+    for w in workers {
+        let q = w.queries.load(Ordering::Relaxed);
+        let r = w.requests.load(Ordering::Relaxed);
+        let e = w.errors.load(Ordering::Relaxed);
+        queries += q;
+        requests += r;
+        errors += e;
+        for (m, b) in merged.iter_mut().zip(&w.latency) {
+            *m += b.load(Ordering::Relaxed);
+        }
+        per_worker.push(WorkerSummary {
+            queries: q,
+            requests: r,
+            errors: e,
+            connections: w.connections.load(Ordering::Relaxed),
+            busy_seconds: w.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        });
+    }
+    ServerSummary {
+        elapsed_seconds,
+        workers: per_worker,
+        queries,
+        requests,
+        errors,
+        qps: if elapsed_seconds > 0.0 {
+            queries as f64 / elapsed_seconds
+        } else {
+            0.0
+        },
+        p50_us: percentile_us(&merged, requests, 0.50),
+        p99_us: percentile_us(&merged, requests, 0.99),
+    }
+}
+
+/// Percentile from the merged log₂ histogram, reported as the matched
+/// bucket's upper bound in microseconds (0 when nothing was recorded).
+fn percentile_us(buckets: &[u64; BUCKETS], total: u64, p: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let target = ((total as f64) * p).ceil() as u64;
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= target {
+            return 2f64.powi(i as i32 + 1) / 1_000.0;
+        }
+    }
+    2f64.powi(BUCKETS as i32) / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_summarize() {
+        let workers = vec![WorkerMetrics::default(), WorkerMetrics::default()];
+        // Worker 0: 99 fast requests (~1 µs), worker 1: one slow (~1 ms).
+        for _ in 0..99 {
+            workers[0].record_request(1_000, 2);
+        }
+        workers[1].record_request(1_000_000, 1);
+        workers[1].connections.fetch_add(1, Ordering::Relaxed);
+        let s = summarize(&workers, 2.0);
+        assert_eq!(s.requests, 100);
+        assert_eq!(s.queries, 199);
+        assert_eq!(s.errors, 0);
+        assert!((s.qps - 99.5).abs() < 1e-9);
+        // p50 lands in the ~1 µs bucket, p99 well below the 1 ms request,
+        // which only the p100-ish tail sees.
+        assert!(s.p50_us <= 3.0, "p50 {} µs", s.p50_us);
+        assert!(s.p99_us <= 3.0, "p99 {} µs", s.p99_us);
+        assert_eq!(s.workers[1].connections, 1);
+        assert!(s.workers[1].busy_seconds > 0.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = summarize(&[], 0.0);
+        assert_eq!(s.queries, 0);
+        assert_eq!(s.qps, 0.0);
+        assert_eq!(s.p50_us, 0.0);
+    }
+
+    #[test]
+    fn extreme_latencies_clamp_to_last_bucket() {
+        let w = WorkerMetrics::default();
+        w.record_request(u64::MAX, 1);
+        w.record_request(0, 1); // clamps to bucket 0 via max(1)
+        let s = summarize(std::slice::from_ref(&w), 1.0);
+        assert_eq!(s.requests, 2);
+        assert!(s.p99_us > 0.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! The `pll serve` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is a `u32` little-endian payload length followed by the
+//! payload. A request payload is one opcode byte plus its body; a
+//! response payload is one status byte plus its body:
+//!
+//! ```text
+//! request           body
+//!   0x01 QUERY      u32 s, u32 t
+//!   0x02 BATCH      u32 count, count × (u32 s, u32 t)
+//!   0x03 INFO       —
+//!   0x04 SHUTDOWN   —
+//!
+//! response (status 0x00 = OK)     body
+//!   QUERY                         u64 distance (u64::MAX = unreachable)
+//!   BATCH                         u32 count, count × u64
+//!   INFO                          u64 n, u8 format code, u8 format version
+//!   SHUTDOWN                      —
+//! response (status != 0)          UTF-8 error message
+//! ```
+//!
+//! Distances are widened to `u64` on the wire so one protocol covers the
+//! unweighted (`u32`) and weighted (`u64`) index families;
+//! [`UNREACHABLE`] marks a disconnected pair. Frames are capped at
+//! [`MAX_FRAME_LEN`] and batches at [`MAX_BATCH`] so a malicious length
+//! prefix cannot drive an allocation.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Single-pair distance query.
+pub const OP_QUERY: u8 = 0x01;
+/// Batched distance query.
+pub const OP_BATCH: u8 = 0x02;
+/// Index metadata (vertex count, family, format generation).
+pub const OP_INFO: u8 = 0x03;
+/// Ask the server to stop accepting connections and drain.
+pub const OP_SHUTDOWN: u8 = 0x04;
+
+/// Response status: success.
+pub const STATUS_OK: u8 = 0x00;
+/// Response status: malformed request frame.
+pub const STATUS_BAD_REQUEST: u8 = 0x01;
+/// Response status: the query itself failed (e.g. vertex out of range).
+pub const STATUS_QUERY_ERROR: u8 = 0x02;
+
+/// Wire marker for "unreachable" (`None` distances).
+pub const UNREACHABLE: u64 = u64::MAX;
+
+/// Upper bound on a frame payload (1 MiB headroom over [`MAX_BATCH`]).
+pub const MAX_FRAME_LEN: u32 = (8 * MAX_BATCH + 1024) as u32;
+/// Upper bound on pairs per batch request.
+pub const MAX_BATCH: usize = 1 << 16;
+
+/// Protocol-level failure on the client side.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The peer sent a malformed or oversized frame.
+    Malformed(String),
+    /// The server answered with an error status.
+    Server {
+        /// The response status byte.
+        status: u8,
+        /// The server's error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "I/O error: {e}"),
+            ProtocolError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            ProtocolError::Server { status, message } => {
+                write!(f, "server error (status {status}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN as usize);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on a clean EOF at a frame
+/// boundary.
+pub fn read_frame<R: Read>(mut r: R) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::Malformed(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Index metadata returned by [`OP_INFO`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexInfo {
+    /// Number of indexed vertices.
+    pub num_vertices: u64,
+    /// Index family code (see [`format_code`]).
+    pub format: u8,
+    /// On-disk format generation the index was loaded from (1 or 2).
+    pub format_version: u8,
+}
+
+/// Wire code of an index family.
+pub fn format_code(format: pll_core::IndexFormat) -> u8 {
+    match format {
+        pll_core::IndexFormat::Undirected => 0,
+        pll_core::IndexFormat::Directed => 1,
+        pll_core::IndexFormat::Weighted => 2,
+        pll_core::IndexFormat::WeightedDirected => 3,
+    }
+}
+
+/// A blocking client connection speaking the `pll serve` protocol. Used
+/// by the load generator, the smoke tests and anything else that wants
+/// programmatic access to a running server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: &str) -> Result<Client, ProtocolError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn roundtrip(&mut self, request: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+        write_frame(&mut self.stream, request)?;
+        let response = read_frame(&mut self.stream)?
+            .ok_or_else(|| ProtocolError::Malformed("connection closed mid-request".into()))?;
+        let (&status, body) = response
+            .split_first()
+            .ok_or_else(|| ProtocolError::Malformed("empty response frame".into()))?;
+        if status != STATUS_OK {
+            return Err(ProtocolError::Server {
+                status,
+                message: String::from_utf8_lossy(body).into_owned(),
+            });
+        }
+        Ok(body.to_vec())
+    }
+
+    /// Single-pair distance query; `None` when unreachable.
+    pub fn query(&mut self, s: u32, t: u32) -> Result<Option<u64>, ProtocolError> {
+        let mut req = Vec::with_capacity(9);
+        req.push(OP_QUERY);
+        req.extend_from_slice(&s.to_le_bytes());
+        req.extend_from_slice(&t.to_le_bytes());
+        let body = self.roundtrip(&req)?;
+        if body.len() != 8 {
+            return Err(ProtocolError::Malformed(format!(
+                "QUERY response body of {} bytes, expected 8",
+                body.len()
+            )));
+        }
+        let d = u64::from_le_bytes(body.try_into().expect("8 bytes"));
+        Ok((d != UNREACHABLE).then_some(d))
+    }
+
+    /// Batched distance query; one `Option<u64>` per input pair, in
+    /// order.
+    pub fn batch(&mut self, pairs: &[(u32, u32)]) -> Result<Vec<Option<u64>>, ProtocolError> {
+        if pairs.len() > MAX_BATCH {
+            return Err(ProtocolError::Malformed(format!(
+                "batch of {} pairs exceeds the {MAX_BATCH}-pair cap",
+                pairs.len()
+            )));
+        }
+        let mut req = Vec::with_capacity(5 + pairs.len() * 8);
+        req.push(OP_BATCH);
+        req.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+        for &(s, t) in pairs {
+            req.extend_from_slice(&s.to_le_bytes());
+            req.extend_from_slice(&t.to_le_bytes());
+        }
+        let body = self.roundtrip(&req)?;
+        if body.len() < 4 {
+            return Err(ProtocolError::Malformed("short BATCH response".into()));
+        }
+        let count = u32::from_le_bytes(body[..4].try_into().expect("4 bytes")) as usize;
+        if count != pairs.len() || body.len() != 4 + count * 8 {
+            return Err(ProtocolError::Malformed(format!(
+                "BATCH response of {} bytes for {count} answers",
+                body.len()
+            )));
+        }
+        Ok(body[4..]
+            .chunks_exact(8)
+            .map(|c| {
+                let d = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+                (d != UNREACHABLE).then_some(d)
+            })
+            .collect())
+    }
+
+    /// Fetches the served index's metadata.
+    pub fn info(&mut self) -> Result<IndexInfo, ProtocolError> {
+        let body = self.roundtrip(&[OP_INFO])?;
+        if body.len() != 10 {
+            return Err(ProtocolError::Malformed(format!(
+                "INFO response body of {} bytes, expected 10",
+                body.len()
+            )));
+        }
+        Ok(IndexInfo {
+            num_vertices: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
+            format: body[8],
+            format_version: body[9],
+        })
+    }
+
+    /// Requests a graceful server shutdown.
+    pub fn shutdown_server(&mut self) -> Result<(), ProtocolError> {
+        self.roundtrip(&[OP_SHUTDOWN]).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let got = read_frame(buf.as_slice()).unwrap().unwrap();
+        assert_eq!(got, b"hello");
+        // Clean EOF at a boundary reads as None.
+        assert!(read_frame(&b""[..]).unwrap().is_none());
+        // Truncated payload is an error, not a hang or a panic.
+        let truncated = &buf[..buf.len() - 2];
+        assert!(read_frame(truncated).is_err());
+        // Oversized length prefix is rejected before any allocation.
+        let huge = u32::MAX.to_le_bytes();
+        assert!(matches!(
+            read_frame(&huge[..]),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn format_codes_are_stable() {
+        assert_eq!(format_code(pll_core::IndexFormat::Undirected), 0);
+        assert_eq!(format_code(pll_core::IndexFormat::Directed), 1);
+        assert_eq!(format_code(pll_core::IndexFormat::Weighted), 2);
+        assert_eq!(format_code(pll_core::IndexFormat::WeightedDirected), 3);
+    }
+}

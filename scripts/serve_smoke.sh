@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving path, and the generator of
+# BENCH_serve.json (the serving-performance trajectory):
+#
+#   1. synthesise a ring+chord graph and a random query-pair list,
+#   2. `pll build` a v2 (zero-copy) index,
+#   3. start `pll serve` in the background on an ephemeral port,
+#   4. fire the serve_load generator over several connections
+#      (recording throughput/p50/p99 into the JSON report),
+#   5. byte-diff the online answers against the offline
+#      `pll query <idx> -` path on the same pairs,
+#   6. shut the server down via the SHUTDOWN opcode and require a clean
+#      exit.
+#
+# Usage:
+#   scripts/serve_smoke.sh [N] [PAIRS] [OUT] [THREADS]
+#     N        graph vertices                (default 2000)
+#     PAIRS    query pairs                   (default 2000)
+#     OUT      JSON report path              (default BENCH_serve.json)
+#     THREADS  build + serve worker threads  (default 2)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+N="${1:-2000}"
+PAIRS="${2:-2000}"
+OUT="${3:-BENCH_serve.json}"
+THREADS="${4:-2}"
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cargo build --release -p pll-cli
+cargo build --release -p pll-bench --bin serve_load
+PLL=./target/release/pll
+LOAD=./target/release/serve_load
+
+# Deterministic ring + chord graph (self-loops are dropped by the lenient
+# edge reader) and a deterministic pair list.
+awk -v n="$N" 'BEGIN {
+  for (i = 0; i < n; i++) { print i, (i + 1) % n; print i, (i * 7 + 3) % n }
+}' > "$WORK/edges.txt"
+awk -v n="$N" -v q="$PAIRS" 'BEGIN {
+  seed = 12345
+  for (i = 0; i < q; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648; s = seed % n
+    seed = (seed * 1103515245 + 12345) % 2147483648; t = seed % n
+    print s, t
+  }
+}' > "$WORK/pairs.txt"
+
+"$PLL" build "$WORK/edges.txt" "$WORK/smoke.idx" --threads "$THREADS" --bp-roots 4
+
+"$PLL" serve --index "$WORK/smoke.idx" --addr 127.0.0.1:0 --threads "$THREADS" \
+  > "$WORK/serve.out" 2> "$WORK/serve.err" &
+SERVER_PID=$!
+
+# Wait for the bound address to appear on the server's stdout.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(grep -m1 -oE 'listening on [0-9.:]+' "$WORK/serve.out" 2>/dev/null | awk '{print $3}' || true)"
+  [ -n "$ADDR" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server exited early:" >&2
+    cat "$WORK/serve.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "server never reported its address" >&2
+  cat "$WORK/serve.err" >&2
+  exit 1
+fi
+echo "server listening on $ADDR (pid $SERVER_PID)"
+
+"$LOAD" --addr "$ADDR" --pairs "$WORK/pairs.txt" --batch 32 --connections 4 \
+  --answers-out "$WORK/online.txt" --out "$OUT" --shutdown
+
+"$PLL" query "$WORK/smoke.idx" - < "$WORK/pairs.txt" > "$WORK/offline.txt"
+
+if ! diff -q "$WORK/online.txt" "$WORK/offline.txt" > /dev/null; then
+  echo "FAIL: online answers differ from the offline query path" >&2
+  diff "$WORK/online.txt" "$WORK/offline.txt" | head -20 >&2
+  exit 1
+fi
+echo "online answers byte-identical to offline pll query ($PAIRS pairs)"
+
+# The SHUTDOWN opcode must end the process cleanly.
+SERVER_EXIT=0
+wait "$SERVER_PID" || SERVER_EXIT=$?
+SERVER_PID=""
+if [ "$SERVER_EXIT" -ne 0 ]; then
+  echo "FAIL: server exited with status $SERVER_EXIT" >&2
+  cat "$WORK/serve.err" >&2
+  exit 1
+fi
+echo "server shut down cleanly; summary:"
+grep -E 'served|worker' "$WORK/serve.err" || true
+echo "report written to $OUT"

@@ -366,6 +366,37 @@ proptest! {
         }
     }
 
+    /// A v2 zero-copy view answers byte-identically to the owned index it
+    /// was serialised from, on arbitrary model graphs with arbitrary
+    /// bit-parallel root counts and parent storage.
+    #[test]
+    fn v2_view_matches_owned_index(g in arb_model_graph(), t in 0usize..6, parents in any::<bool>()) {
+        use pruned_landmark_labeling::pll::{v2, AlignedBytes, AnyIndex};
+        let mut builder = IndexBuilder::new();
+        if parents {
+            // Parent pointers are incompatible with bit-parallel roots.
+            builder = builder.bit_parallel_roots(0).store_parents(true);
+        } else {
+            builder = builder.bit_parallel_roots(t);
+        }
+        let idx = builder.build(&g).unwrap();
+        let mut bytes = Vec::new();
+        v2::save_v2_index(&idx, &mut bytes).unwrap();
+        let view = v2::open_v2_bytes(std::sync::Arc::new(AlignedBytes::from_bytes(&bytes)))
+            .expect("zero-copy open");
+        prop_assert!(matches!(view, AnyIndex::UndirectedView(_)));
+        let n = g.num_vertices() as u32;
+        for s in 0..n {
+            for u in (0..n).step_by(3) {
+                prop_assert_eq!(
+                    view.distance(s, u),
+                    idx.distance(s, u).map(u64::from),
+                    "pair ({}, {})", s, u
+                );
+            }
+        }
+    }
+
     /// Triangle inequality holds for all indexed distances.
     #[test]
     fn triangle_inequality(g in arb_model_graph()) {
