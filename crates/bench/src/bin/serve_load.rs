@@ -1,39 +1,68 @@
-//! Load generator for the `pll serve` query service: fans batched
-//! distance queries out over several client connections, measures
-//! client-side request latency and throughput, and records the results in
-//! `BENCH_serve.json` so successive PRs have a serving-performance
+//! Load generator for the `pll serve` query service: fans distance /
+//! path / connectivity queries out over several client connections —
+//! optionally interleaved with `UPDATE` batches from a concurrent
+//! updater connection (the *update-mix* workload) — measures
+//! client-side request latency and throughput, and records the results
+//! in `BENCH_serve.json` so successive PRs have a serving-performance
 //! trajectory.
 //!
 //! ```text
 //! serve_load --addr host:port
+//!            [--op distance|path|connected]  per-pair operation (default distance)
 //!            [--queries N]        random pairs (default 20000)
 //!            [--pairs FILE]       read `s t` pairs instead (one per line)
-//!            [--batch B]          pairs per request (default 64; 1 = single-query ops)
+//!            [--batch B]          pairs per request (default 64; 1 = single-query
+//!                                 ops; PATH/CONNECTED are always per-pair)
 //!            [--connections C]    concurrent client connections (default 4)
 //!            [--seed S]           pair-sampling seed (default 0)
-//!            [--answers-out FILE] write answers as `s<TAB>t<TAB>d` lines —
-//!                                 byte-identical to `pll query <idx> -`
+//!            [--updates FILE]     apply `u v` edge insertions concurrently with
+//!                                 the query load (update-mix workload)
+//!            [--update-batch U]   edges per UPDATE frame (default 16)
+//!            [--answers-out FILE] write answers as `pll query` would print them —
+//!                                 byte-identical to the offline path
 //!            [--out FILE]         JSON report (default: no report)
 //!            [--wait-secs W]      retry the first connect for W seconds (default 10)
 //!            [--shutdown]         send the SHUTDOWN opcode when done
 //! ```
 //!
-//! The smoke test drives the full loop: build an index, start `pll
-//! serve`, fire this binary with `--pairs`/`--answers-out`, byte-diff the
-//! online answers against `pll query <idx> -` on the same pairs, and shut
-//! the server down.
+//! The smoke tests drive the full loop: build an index, start `pll
+//! serve`, fire this binary with `--pairs`/`--answers-out`, byte-diff
+//! the online answers against `pll query <idx> [--path|--connected] -`
+//! on the same pairs, and shut the server down. With `--updates` the
+//! final `INFO` epoch is printed (`epoch E0 -> E1`) so hot-swaps are
+//! observable — and assertable — from the client side.
 
-use pll_server::protocol::Client;
+use pll_server::protocol::{answers, Client};
 use std::io::{BufRead, Write};
 use std::time::{Duration, Instant};
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Distance,
+    Path,
+    Connected,
+}
+
+impl Op {
+    fn name(self) -> &'static str {
+        match self {
+            Op::Distance => "distance",
+            Op::Path => "path",
+            Op::Connected => "connected",
+        }
+    }
+}
+
 struct Options {
     addr: String,
+    op: Op,
     queries: usize,
     pairs_file: Option<String>,
     batch: usize,
     connections: usize,
     seed: u64,
+    updates_file: Option<String>,
+    update_batch: usize,
     answers_out: Option<String>,
     out: Option<String>,
     wait_secs: u64,
@@ -43,11 +72,14 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         addr: String::new(),
+        op: Op::Distance,
         queries: 20_000,
         pairs_file: None,
         batch: 64,
         connections: 4,
         seed: 0,
+        updates_file: None,
+        update_batch: 16,
         answers_out: None,
         out: None,
         wait_secs: 10,
@@ -67,19 +99,33 @@ fn parse_args() -> Options {
         };
         match args[i].as_str() {
             "--addr" => opts.addr = value(&mut i),
+            "--op" => {
+                opts.op = match value(&mut i).as_str() {
+                    "distance" => Op::Distance,
+                    "path" => Op::Path,
+                    "connected" => Op::Connected,
+                    other => {
+                        eprintln!("unknown --op {other} (distance|path|connected)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--queries" => opts.queries = value(&mut i).parse().expect("--queries"),
             "--pairs" => opts.pairs_file = Some(value(&mut i)),
             "--batch" => opts.batch = value(&mut i).parse().expect("--batch"),
             "--connections" => opts.connections = value(&mut i).parse().expect("--connections"),
             "--seed" => opts.seed = value(&mut i).parse().expect("--seed"),
+            "--updates" => opts.updates_file = Some(value(&mut i)),
+            "--update-batch" => opts.update_batch = value(&mut i).parse().expect("--update-batch"),
             "--answers-out" => opts.answers_out = Some(value(&mut i)),
             "--out" => opts.out = Some(value(&mut i)),
             "--wait-secs" => opts.wait_secs = value(&mut i).parse().expect("--wait-secs"),
             "--shutdown" => opts.shutdown = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "serve_load --addr host:port [--queries N | --pairs FILE] [--batch B] \
-                     [--connections C] [--seed S] [--answers-out FILE] [--out FILE] \
+                    "serve_load --addr host:port [--op distance|path|connected] \
+                     [--queries N | --pairs FILE] [--batch B] [--connections C] [--seed S] \
+                     [--updates FILE] [--update-batch U] [--answers-out FILE] [--out FILE] \
                      [--wait-secs W] [--shutdown]"
                 );
                 std::process::exit(0);
@@ -95,8 +141,8 @@ fn parse_args() -> Options {
         eprintln!("--addr is required");
         std::process::exit(2);
     }
-    if opts.batch == 0 || opts.connections == 0 {
-        eprintln!("--batch and --connections must be positive");
+    if opts.batch == 0 || opts.connections == 0 || opts.update_batch == 0 {
+        eprintln!("--batch, --connections and --update-batch must be positive");
         std::process::exit(2);
     }
     opts
@@ -162,6 +208,75 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
+/// Answers one chunk of pairs on one connection, formatting each answer
+/// exactly as `pll query [--path|--connected]` prints it (so the smoke
+/// test byte-diffs online against offline).
+fn run_chunk(
+    client: &mut Client,
+    op: Op,
+    batch: usize,
+    chunk: &[(u32, u32)],
+) -> (Vec<u64>, Vec<String>, usize) {
+    let mut latencies_ns = Vec::new();
+    let mut lines = Vec::with_capacity(chunk.len());
+    let mut unreachable = 0usize;
+    let fail = |what: &str, e: pll_server::protocol::ProtocolError| -> ! {
+        eprintln!("{what} failed: {e}");
+        std::process::exit(1);
+    };
+    match op {
+        Op::Distance => {
+            for request in chunk.chunks(batch) {
+                let t0 = Instant::now();
+                let ds: Vec<Option<u64>> = if batch == 1 {
+                    let (s, t) = request[0];
+                    vec![client.query(s, t).unwrap_or_else(|e| fail("query", e))]
+                } else {
+                    client.batch(request).unwrap_or_else(|e| fail("batch", e))
+                };
+                latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                for (&(s, t), &d) in request.iter().zip(&ds) {
+                    unreachable += usize::from(d.is_none());
+                    lines.push(answers::distance_line(s, t, d));
+                }
+            }
+        }
+        Op::Path => {
+            for &(s, t) in chunk {
+                let t0 = Instant::now();
+                let p = client.path(s, t).unwrap_or_else(|e| fail("path", e));
+                latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                unreachable += usize::from(p.is_none());
+                lines.push(answers::path_line(s, t, p.as_deref()));
+            }
+        }
+        Op::Connected => {
+            for &(s, t) in chunk {
+                let t0 = Instant::now();
+                let c = client
+                    .connected(s, t)
+                    .unwrap_or_else(|e| fail("connected", e));
+                latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                unreachable += usize::from(!c);
+                lines.push(answers::connected_line(s, t, c));
+            }
+        }
+    }
+    (latencies_ns, lines, unreachable)
+}
+
+/// One query worker's results: request latencies, formatted answers,
+/// unreachable count.
+type ChunkResult = (Vec<u64>, Vec<String>, usize);
+
+/// Outcome of the concurrent updater connection.
+struct UpdateOutcome {
+    applied: u64,
+    skipped: u64,
+    batches: usize,
+    latencies_ns: Vec<u64>,
+}
+
 fn main() {
     let opts = parse_args();
 
@@ -172,13 +287,30 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!(
-        "server at {}: {} vertices, format code {}, file format v{}",
-        opts.addr, info.num_vertices, info.format, info.format_version
+        "server at {}: {} vertices, format code {}, file format v{}, epoch {}, updates {}",
+        opts.addr,
+        info.num_vertices,
+        info.format,
+        info.format_version,
+        info.epoch,
+        if info.dynamic { "enabled" } else { "disabled" },
     );
+    let epoch_start = info.epoch;
     // The server parks one worker per open connection, so an idle probe
     // held across the load phase would pin a worker (and deadlock a
-    // --threads 1 server outright). Drop it; --shutdown reconnects.
+    // --threads 1 server outright). Drop it; later phases reconnect.
     drop(probe);
+
+    let updates: Vec<(u32, u32)> = match &opts.updates_file {
+        Some(path) => {
+            if !info.dynamic {
+                eprintln!("--updates given but the server has UPDATE disabled (serve --graph)");
+                std::process::exit(1);
+            }
+            load_pairs(path)
+        }
+        None => Vec::new(),
+    };
 
     let pairs: Vec<(u32, u32)> = match &opts.pairs_file {
         Some(path) => load_pairs(path),
@@ -204,58 +336,71 @@ fn main() {
     let connections = opts.connections.min(pairs.len());
     let chunk_len = pairs.len().div_ceil(connections);
     let started = Instant::now();
-    let results: Vec<(Vec<u64>, Vec<Option<u64>>)> = std::thread::scope(|scope| {
-        let mut joins = Vec::new();
-        for chunk in pairs.chunks(chunk_len) {
-            let addr = &opts.addr;
-            let batch = opts.batch;
-            joins.push(scope.spawn(move || {
-                let mut client = Client::connect(addr).unwrap_or_else(|e| {
-                    eprintln!("worker connect failed: {e}");
-                    std::process::exit(1);
-                });
-                let mut latencies_ns = Vec::with_capacity(chunk.len() / batch + 1);
-                let mut answers = Vec::with_capacity(chunk.len());
-                for request in chunk.chunks(batch) {
-                    let t0 = Instant::now();
-                    if batch == 1 {
-                        let (s, t) = request[0];
-                        match client.query(s, t) {
-                            Ok(d) => answers.push(d),
-                            Err(e) => {
-                                eprintln!("query failed: {e}");
-                                std::process::exit(1);
-                            }
-                        }
-                    } else {
-                        match client.batch(request) {
-                            Ok(ds) => answers.extend(ds),
-                            Err(e) => {
-                                eprintln!("batch failed: {e}");
-                                std::process::exit(1);
-                            }
-                        }
+    let (results, update_outcome): (Vec<ChunkResult>, Option<UpdateOutcome>) =
+        std::thread::scope(|scope| {
+            // The updater runs concurrently with the query load — this
+            // is what makes --updates an update-*mix* workload: every
+            // applied batch flattens and hot-swaps the served index
+            // while the query connections keep streaming.
+            let updater = (!updates.is_empty()).then(|| {
+                let addr = &opts.addr;
+                let update_batch = opts.update_batch;
+                let updates = &updates;
+                let wait = Duration::from_secs(opts.wait_secs);
+                scope.spawn(move || {
+                    let mut client = connect_with_retry(addr, wait);
+                    let mut outcome = UpdateOutcome {
+                        applied: 0,
+                        skipped: 0,
+                        batches: 0,
+                        latencies_ns: Vec::new(),
+                    };
+                    for chunk in updates.chunks(update_batch) {
+                        let t0 = Instant::now();
+                        let ack = client.update(chunk).unwrap_or_else(|e| {
+                            eprintln!("update failed: {e}");
+                            std::process::exit(1);
+                        });
+                        outcome.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                        outcome.applied += u64::from(ack.applied);
+                        outcome.skipped += u64::from(ack.skipped);
+                        outcome.batches += 1;
                     }
-                    latencies_ns.push(t0.elapsed().as_nanos() as u64);
-                }
-                (latencies_ns, answers)
-            }));
-        }
-        joins
-            .into_iter()
-            .map(|j| j.join().expect("worker"))
-            .collect()
-    });
+                    outcome
+                })
+            });
+            let mut joins = Vec::new();
+            for chunk in pairs.chunks(chunk_len) {
+                let addr = &opts.addr;
+                let batch = opts.batch;
+                let op = opts.op;
+                joins.push(scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+                        eprintln!("worker connect failed: {e}");
+                        std::process::exit(1);
+                    });
+                    run_chunk(&mut client, op, batch, chunk)
+                }));
+            }
+            (
+                joins
+                    .into_iter()
+                    .map(|j| j.join().expect("worker"))
+                    .collect(),
+                updater.map(|j| j.join().expect("updater")),
+            )
+        });
     let elapsed = started.elapsed().as_secs_f64();
 
     let mut latencies: Vec<u64> = Vec::new();
-    let mut answers: Vec<Option<u64>> = Vec::with_capacity(pairs.len());
-    for (lat, ans) in results {
+    let mut answers: Vec<String> = Vec::with_capacity(pairs.len());
+    let mut unreachable = 0usize;
+    for (lat, ans, unr) in results {
         latencies.extend(lat);
         answers.extend(ans);
+        unreachable += unr;
     }
     latencies.sort_unstable();
-    let unreachable = answers.iter().filter(|a| a.is_none()).count();
     let qps = pairs.len() as f64 / elapsed.max(1e-12);
     let (p50, p90, p99, max) = (
         percentile(&latencies, 0.50) as f64 / 1_000.0,
@@ -264,10 +409,11 @@ fn main() {
         latencies.last().copied().unwrap_or(0) as f64 / 1_000.0,
     );
     eprintln!(
-        "{} queries ({} requests, batch {}) over {} connection(s) in {:.3} s: \
+        "{} {} queries ({} requests, batch {}) over {} connection(s) in {:.3} s: \
          {:.0} qps, request p50 {:.1} µs / p90 {:.1} µs / p99 {:.1} µs / max {:.1} µs, \
          {} unreachable",
         pairs.len(),
+        opts.op.name(),
         latencies.len(),
         opts.batch,
         connections,
@@ -280,16 +426,49 @@ fn main() {
         unreachable,
     );
 
+    // Re-read the epoch after the load so hot-swaps are observable (and
+    // grep-able by the smoke scripts) from the client side.
+    let epoch_end = {
+        let mut probe = connect_with_retry(&opts.addr, Duration::from_secs(opts.wait_secs));
+        probe.info().map(|i| i.epoch).unwrap_or(epoch_start)
+    };
+    eprintln!("epoch {epoch_start} -> {epoch_end}");
+    let update_json = match &update_outcome {
+        Some(u) => {
+            let mut lat = u.latencies_ns.clone();
+            lat.sort_unstable();
+            eprintln!(
+                "updates: {} applied, {} skipped in {} batches (batch p50 {:.1} µs, \
+                 max {:.1} µs)",
+                u.applied,
+                u.skipped,
+                u.batches,
+                percentile(&lat, 0.50) as f64 / 1_000.0,
+                lat.last().copied().unwrap_or(0) as f64 / 1_000.0,
+            );
+            format!(
+                ",\n  \"updates\": {{\n    \"edges_applied\": {},\n    \
+                 \"edges_skipped\": {},\n    \"batches\": {},\n    \
+                 \"batch_latency_us\": {{\n      \"p50\": {:.2},\n      \"p99\": {:.2},\n      \
+                 \"max\": {:.2}\n    }}\n  }}",
+                u.applied,
+                u.skipped,
+                u.batches,
+                percentile(&lat, 0.50) as f64 / 1_000.0,
+                percentile(&lat, 0.99) as f64 / 1_000.0,
+                lat.last().copied().unwrap_or(0) as f64 / 1_000.0,
+            )
+        }
+        None => String::new(),
+    };
+
     if let Some(path) = &opts.answers_out {
         let mut out = std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
             eprintln!("cannot create {path}: {e}");
             std::process::exit(1);
         }));
-        for (&(s, t), d) in pairs.iter().zip(&answers) {
-            match d {
-                Some(d) => writeln!(out, "{s}\t{t}\t{d}").expect("write answers"),
-                None => writeln!(out, "{s}\t{t}\tunreachable").expect("write answers"),
-            }
+        for line in &answers {
+            writeln!(out, "{line}").expect("write answers");
         }
         out.flush().expect("flush answers");
         eprintln!("answers written to {path}");
@@ -300,14 +479,21 @@ fn main() {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0);
+        let workload = if update_outcome.is_some() {
+            "update_mix".to_string()
+        } else {
+            opts.op.name().to_string()
+        };
         let json = format!(
-            "{{\n  \"timestamp_unix\": {timestamp},\n  \"addr\": \"{}\",\n  \
-             \"num_vertices\": {},\n  \"format_code\": {},\n  \"format_version\": {},\n  \
-             \"queries\": {},\n  \"requests\": {},\n  \"batch\": {},\n  \
-             \"connections\": {connections},\n  \"elapsed_seconds\": {elapsed:.6},\n  \
-             \"qps\": {qps:.1},\n  \"request_latency_us\": {{\n    \"p50\": {p50:.2},\n    \
-             \"p90\": {p90:.2},\n    \"p99\": {p99:.2},\n    \"max\": {max:.2}\n  }},\n  \
-             \"unreachable\": {unreachable}\n}}\n",
+            "{{\n  \"timestamp_unix\": {timestamp},\n  \"workload\": \"{workload}\",\n  \
+             \"addr\": \"{}\",\n  \"num_vertices\": {},\n  \"format_code\": {},\n  \
+             \"format_version\": {},\n  \"epoch_start\": {epoch_start},\n  \
+             \"epoch_end\": {epoch_end},\n  \"queries\": {},\n  \"requests\": {},\n  \
+             \"batch\": {},\n  \"connections\": {connections},\n  \
+             \"elapsed_seconds\": {elapsed:.6},\n  \"qps\": {qps:.1},\n  \
+             \"request_latency_us\": {{\n    \"p50\": {p50:.2},\n    \"p90\": {p90:.2},\n    \
+             \"p99\": {p99:.2},\n    \"max\": {max:.2}\n  }},\n  \
+             \"unreachable\": {unreachable}{update_json}\n}}\n",
             opts.addr,
             info.num_vertices,
             info.format,

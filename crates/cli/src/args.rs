@@ -9,19 +9,26 @@ usage:
             [--format undirected|directed|weighted|weighted-directed]
             [--order degree|random|closeness] [--bp-roots t] [--seed s]
             [--threads k]   (k=0: all CPUs; every format honors --threads)
-  pll query <index.idx> <s> <t> [<s> <t> ...]   (any format, v1 or v2)
-  pll query <index.idx> -                       (pairs from stdin, `s t` per line)
+            [--store-parents]  (undirected only; enables PATH queries,
+                                implies --bp-roots 0 and --threads 1)
+  pll query <index.idx> [--path|--connected] <s> <t> [<s> <t> ...]
+  pll query <index.idx> [--path|--connected] -   (pairs from stdin, `s t` per line)
   pll stats <index.idx>                         (any format, v1 or v2)
   pll bench <index.idx> [--queries q] [--seed s]  (any format, v1 or v2)
-  pll serve --index <index.idx> [--addr host:port] [--threads k]
-            (TCP query service; shut down with the SHUTDOWN opcode,
+  pll serve --index <index.idx> [--graph <edges.txt>] [--addr host:port]
+            [--threads k]
+            (TCP query service; --graph enables online UPDATE frames with
+             epoch hot-swap; shut down with the SHUTDOWN opcode,
              e.g. serve_load --shutdown)
+  pll update <index.idx> <graph.txt> <updates.txt> -o <out.idx> [--threads k]
+            (apply edge insertions incrementally — no rebuild — and write
+             the flattened v2 index; undirected indices only)
 
 build input per format: `u v` per line (undirected/directed, directed
 reads u -> v), `u v w` per line (weighted/weighted-directed);
 --bp-roots and --order closeness apply to --format undirected only.
 build writes the zero-copy v2 format; query/stats/bench/serve also read
-v1 files.";
+v1 files. query --path needs an index built with --store-parents.";
 
 /// Argument errors.
 #[derive(Debug)]
@@ -50,11 +57,16 @@ pub enum Parsed {
         /// Construction worker threads (1 = sequential, 0 = all CPUs);
         /// honored by every format.
         threads: usize,
+        /// Store parent pointers for path reconstruction (undirected
+        /// only; incompatible with bit-parallel roots and threads > 1).
+        store_parents: bool,
     },
     /// `pll query`.
     Query {
         /// Index path.
         index: String,
+        /// What to compute per pair.
+        mode: QueryMode,
         /// Where the query pairs come from.
         pairs: PairSource,
     },
@@ -76,11 +88,38 @@ pub enum Parsed {
     Serve {
         /// Index path.
         index: String,
+        /// Edge-list path of the graph the index was built from;
+        /// enables the UPDATE op (dynamic hot-swap serving).
+        graph: Option<String>,
         /// Listen address (`host:port`; port 0 picks a free port).
         addr: String,
         /// Worker threads (0 = one per CPU).
         threads: usize,
     },
+    /// `pll update`.
+    Update {
+        /// Index path (undirected, v1 or v2).
+        index: String,
+        /// Edge-list path of the graph the index was built from.
+        graph: String,
+        /// Edge-list path of the insertions to apply.
+        updates: String,
+        /// Output path for the flattened v2 index.
+        output: String,
+        /// Threads for the flatten scatter (0 = all CPUs).
+        threads: usize,
+    },
+}
+
+/// What `pll query` computes per pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Exact distance (the default).
+    Distance,
+    /// Shortest-path reconstruction (needs --store-parents at build).
+    Path,
+    /// Same-component / reachability check.
+    Connected,
 }
 
 /// Where `pll query` reads its pairs from.
@@ -125,6 +164,7 @@ impl Parsed {
                 let mut bp_roots: Option<usize> = None;
                 let mut seed = 0u64;
                 let mut threads = 1usize;
+                let mut store_parents = false;
                 let rest: Vec<&String> = it.collect();
                 let mut i = 0;
                 while i < rest.len() {
@@ -169,9 +209,32 @@ impl Parsed {
                                 .ok_or_else(|| usage("--threads needs a value"))?;
                             threads = parse_num(val, "--threads")?;
                         }
+                        "--store-parents" => store_parents = true,
                         other => return Err(usage(format!("unknown option {other:?}"))),
                     }
                     i += 1;
+                }
+                if store_parents {
+                    if format != IndexFormat::Undirected {
+                        return Err(usage(format!(
+                            "--store-parents applies to --format undirected only \
+                             (unsupported for the {} index)",
+                            format.name()
+                        )));
+                    }
+                    if bp_roots.is_some_and(|t| t > 0) {
+                        return Err(usage(
+                            "--store-parents requires --bp-roots 0: bit-parallel labels \
+                             carry no parent pointers (omit --bp-roots; it defaults to 0 \
+                             with --store-parents)",
+                        ));
+                    }
+                    if threads != 1 {
+                        return Err(usage(
+                            "--store-parents requires --threads 1: parent pointers depend \
+                             on BFS queue order",
+                        ));
+                    }
                 }
                 // Cross-flag validation (flags may precede or follow
                 // --format): bit-parallel labels exist only for the
@@ -198,9 +261,14 @@ impl Parsed {
                     output,
                     format,
                     order,
-                    bp_roots: bp_roots.unwrap_or(16),
+                    bp_roots: if store_parents {
+                        0
+                    } else {
+                        bp_roots.unwrap_or(16)
+                    },
                     seed,
                     threads,
+                    store_parents,
                 })
             }
             "query" => {
@@ -208,10 +276,19 @@ impl Parsed {
                     .next()
                     .ok_or_else(|| usage("query: missing <index.idx>"))?
                     .clone();
-                let rest: Vec<&String> = it.collect();
+                let mut mode = QueryMode::Distance;
+                let mut rest: Vec<&String> = Vec::new();
+                for tok in it {
+                    match tok.as_str() {
+                        "--path" => mode = QueryMode::Path,
+                        "--connected" => mode = QueryMode::Connected,
+                        _ => rest.push(tok),
+                    }
+                }
                 if rest.len() == 1 && rest[0] == "-" {
                     return Ok(Parsed::Query {
                         index,
+                        mode,
                         pairs: PairSource::Stdin,
                     });
                 }
@@ -229,7 +306,51 @@ impl Parsed {
                 }
                 Ok(Parsed::Query {
                     index,
+                    mode,
                     pairs: PairSource::Args(pairs),
+                })
+            }
+            "update" => {
+                let mut positional: Vec<String> = Vec::new();
+                let mut output: Option<String> = None;
+                let mut threads = 0usize;
+                let rest: Vec<&String> = it.collect();
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i].as_str() {
+                        "-o" | "--output" => {
+                            i += 1;
+                            let val = rest.get(i).ok_or_else(|| usage("-o needs a value"))?;
+                            output = Some(val.to_string());
+                        }
+                        "--threads" => {
+                            i += 1;
+                            let val = rest
+                                .get(i)
+                                .ok_or_else(|| usage("--threads needs a value"))?;
+                            threads = parse_num(val, "--threads")?;
+                        }
+                        flag if flag.starts_with("--") => {
+                            return Err(usage(format!("unknown option {flag:?}")))
+                        }
+                        _ => positional.push(rest[i].clone()),
+                    }
+                    i += 1;
+                }
+                let [index, graph, updates] = <[String; 3]>::try_from(positional).map_err(|p| {
+                    usage(format!(
+                        "update: need <index.idx> <graph.txt> <updates.txt> (got {} positional \
+                         arguments)",
+                        p.len()
+                    ))
+                })?;
+                let output = output.ok_or_else(|| usage("update: -o <out.idx> is required"))?;
+                Ok(Parsed::Update {
+                    index,
+                    graph,
+                    updates,
+                    output,
+                    threads,
                 })
             }
             "stats" => {
@@ -277,6 +398,7 @@ impl Parsed {
             }
             "serve" => {
                 let mut index: Option<String> = None;
+                let mut graph: Option<String> = None;
                 let mut addr = "127.0.0.1:4717".to_string();
                 let mut threads = 0usize;
                 let rest: Vec<&String> = it.collect();
@@ -287,6 +409,11 @@ impl Parsed {
                             i += 1;
                             let val = rest.get(i).ok_or_else(|| usage("--index needs a value"))?;
                             index = Some(val.to_string());
+                        }
+                        "--graph" => {
+                            i += 1;
+                            let val = rest.get(i).ok_or_else(|| usage("--graph needs a value"))?;
+                            graph = Some(val.to_string());
                         }
                         "--addr" => {
                             i += 1;
@@ -307,6 +434,7 @@ impl Parsed {
                 let index = index.ok_or_else(|| usage("serve: --index is required"))?;
                 Ok(Parsed::Serve {
                     index,
+                    graph,
                     addr,
                     threads,
                 })
@@ -336,6 +464,7 @@ mod tests {
                 bp_roots,
                 seed,
                 threads,
+                store_parents,
             } => {
                 assert_eq!(edges, "in.txt");
                 assert_eq!(output, "out.idx");
@@ -344,6 +473,7 @@ mod tests {
                 assert_eq!(bp_roots, 16);
                 assert_eq!(seed, 0);
                 assert_eq!(threads, 1);
+                assert!(!store_parents);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -462,12 +592,132 @@ mod tests {
     fn parse_query_pairs() {
         let p = Parsed::parse(&argv(&["query", "x.idx", "1", "2", "3", "4"])).unwrap();
         match p {
-            Parsed::Query { index, pairs } => {
+            Parsed::Query { index, mode, pairs } => {
                 assert_eq!(index, "x.idx");
+                assert_eq!(mode, QueryMode::Distance);
                 assert_eq!(pairs, PairSource::Args(vec![(1, 2), (3, 4)]));
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_query_modes() {
+        match Parsed::parse(&argv(&["query", "x.idx", "--path", "1", "2"])).unwrap() {
+            Parsed::Query { mode, pairs, .. } => {
+                assert_eq!(mode, QueryMode::Path);
+                assert_eq!(pairs, PairSource::Args(vec![(1, 2)]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Flag position is free; `-` still streams from stdin.
+        match Parsed::parse(&argv(&["query", "x.idx", "-", "--connected"])).unwrap() {
+            Parsed::Query { mode, pairs, .. } => {
+                assert_eq!(mode, QueryMode::Connected);
+                assert_eq!(pairs, PairSource::Stdin);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_build_store_parents() {
+        match Parsed::parse(&argv(&["build", "a", "b", "--store-parents"])).unwrap() {
+            Parsed::Build {
+                store_parents,
+                bp_roots,
+                ..
+            } => {
+                assert!(store_parents);
+                assert_eq!(bp_roots, 0, "--store-parents implies --bp-roots 0");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Explicit zero is fine; nonzero, variants and threads are not.
+        assert!(Parsed::parse(&argv(&[
+            "build",
+            "a",
+            "b",
+            "--store-parents",
+            "--bp-roots",
+            "0"
+        ]))
+        .is_ok());
+        assert!(Parsed::parse(&argv(&[
+            "build",
+            "a",
+            "b",
+            "--store-parents",
+            "--bp-roots",
+            "4"
+        ]))
+        .is_err());
+        assert!(Parsed::parse(&argv(&[
+            "build",
+            "a",
+            "b",
+            "--store-parents",
+            "--format",
+            "directed"
+        ]))
+        .is_err());
+        assert!(Parsed::parse(&argv(&[
+            "build",
+            "a",
+            "b",
+            "--store-parents",
+            "--threads",
+            "2"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parse_update() {
+        match Parsed::parse(&argv(&[
+            "update",
+            "x.idx",
+            "g.txt",
+            "new.txt",
+            "-o",
+            "y.idx",
+            "--threads",
+            "2",
+        ]))
+        .unwrap()
+        {
+            Parsed::Update {
+                index,
+                graph,
+                updates,
+                output,
+                threads,
+            } => {
+                assert_eq!(index, "x.idx");
+                assert_eq!(graph, "g.txt");
+                assert_eq!(updates, "new.txt");
+                assert_eq!(output, "y.idx");
+                assert_eq!(threads, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // -o is required, as are all three positional paths.
+        assert!(Parsed::parse(&argv(&["update", "x.idx", "g.txt", "new.txt"])).is_err());
+        assert!(Parsed::parse(&argv(&["update", "x.idx", "g.txt", "-o", "y.idx"])).is_err());
+        assert!(Parsed::parse(&argv(&[
+            "update",
+            "x.idx",
+            "g.txt",
+            "new.txt",
+            "extra.txt",
+            "-o",
+            "y.idx"
+        ]))
+        .is_err());
+        assert!(Parsed::parse(&argv(&[
+            "update", "x.idx", "g.txt", "new.txt", "-o", "y.idx", "--bogus"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -496,18 +746,27 @@ mod tests {
         match p {
             Parsed::Serve {
                 index,
+                graph,
                 addr,
                 threads,
             } => {
                 assert_eq!(index, "x.idx");
+                assert_eq!(graph, None);
                 assert_eq!(addr, "0.0.0.0:9999");
                 assert_eq!(threads, 8);
             }
             other => panic!("unexpected {other:?}"),
         }
-        // Defaults: addr + threads optional, --index required.
-        match Parsed::parse(&argv(&["serve", "--index", "y.idx"])).unwrap() {
-            Parsed::Serve { addr, threads, .. } => {
+        // Defaults: addr + threads optional, --index required; --graph
+        // enables dynamic updates.
+        match Parsed::parse(&argv(&["serve", "--index", "y.idx", "--graph", "g.txt"])).unwrap() {
+            Parsed::Serve {
+                graph,
+                addr,
+                threads,
+                ..
+            } => {
+                assert_eq!(graph.as_deref(), Some("g.txt"));
                 assert_eq!(addr, "127.0.0.1:4717");
                 assert_eq!(threads, 0);
             }

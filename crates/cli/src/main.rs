@@ -28,10 +28,11 @@
 //! QPS/latency summary.
 
 use pll_core::{
-    v2, AnyIndex, ConstructionStats, DirectedIndexBuilder, IndexBuilder, IndexFormat,
-    OrderingStrategy, WeightedDirectedIndexBuilder, WeightedIndexBuilder,
+    dynamic::DynamicIndex, v2, AnyIndex, ConstructionStats, DirectedIndexBuilder, IndexBuilder,
+    IndexFormat, OrderingStrategy, WeightedDirectedIndexBuilder, WeightedIndexBuilder,
 };
-use pll_graph::{edgelist, Xoshiro256pp};
+use pll_graph::{edgelist, CsrGraph, Xoshiro256pp};
+use pll_server::protocol::answers;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter};
 use std::process::ExitCode;
@@ -39,7 +40,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 mod args;
-use args::{ArgError, PairSource, Parsed};
+use args::{ArgError, PairSource, Parsed, QueryMode};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -67,8 +68,18 @@ fn run(argv: &[String]) -> Result<(), String> {
             bp_roots,
             seed,
             threads,
-        } => build(&edges, &output, format, order, bp_roots, seed, threads),
-        Parsed::Query { index, pairs } => query(&index, &pairs),
+            store_parents,
+        } => build(
+            &edges,
+            &output,
+            format,
+            order,
+            bp_roots,
+            seed,
+            threads,
+            store_parents,
+        ),
+        Parsed::Query { index, mode, pairs } => query(&index, mode, &pairs),
         Parsed::Stats { index } => stats(&index),
         Parsed::Bench {
             index,
@@ -77,9 +88,17 @@ fn run(argv: &[String]) -> Result<(), String> {
         } => bench(&index, queries, seed),
         Parsed::Serve {
             index,
+            graph,
             addr,
             threads,
-        } => serve(&index, &addr, threads),
+        } => serve(&index, graph.as_deref(), &addr, threads),
+        Parsed::Update {
+            index,
+            graph,
+            updates,
+            output,
+            threads,
+        } => update(&index, &graph, &updates, &output, threads),
     }
 }
 
@@ -87,6 +106,7 @@ fn open_any(path: &str) -> Result<AnyIndex, String> {
     AnyIndex::open(std::path::Path::new(path)).map_err(|e| format!("cannot load {path}: {e}"))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build(
     edges: &str,
     output: &str,
@@ -95,6 +115,7 @@ fn build(
     bp_roots: usize,
     seed: u64,
     threads: usize,
+    store_parents: bool,
 ) -> Result<(), String> {
     let file = File::open(edges).map_err(|e| format!("cannot open {edges}: {e}"))?;
     let reader = BufReader::new(file);
@@ -139,6 +160,7 @@ fn build(
             IndexBuilder::new()
                 .ordering(order)
                 .bit_parallel_roots(bp_roots)
+                .store_parents(store_parents)
                 .seed(seed)
                 .threads(threads),
             v2::save_v2_index,
@@ -205,19 +227,36 @@ fn print_phase_stats(stats: &ConstructionStats) {
 }
 
 fn print_answer(s: u32, t: u32, d: Option<u64>) {
-    match d {
-        Some(d) => println!("{s}\t{t}\t{d}"),
-        None => println!("{s}\t{t}\tunreachable"),
-    }
+    println!("{}", answers::distance_line(s, t, d));
 }
 
-fn query(index_path: &str, pairs: &PairSource) -> Result<(), String> {
+// The answer-line formats live in `pll_server::protocol::answers`,
+// shared with `serve_load --answers-out`, so the smoke tests'
+// online-vs-offline byte-diff contract holds by construction.
+fn answer_one(index: &AnyIndex, mode: QueryMode, s: u32, t: u32) -> Result<(), String> {
+    match mode {
+        QueryMode::Distance => {
+            let d = index.try_distance(s, t).map_err(|e| e.to_string())?;
+            print_answer(s, t, d);
+        }
+        QueryMode::Path => {
+            let p = index.shortest_path(s, t).map_err(|e| e.to_string())?;
+            println!("{}", answers::path_line(s, t, p.as_deref()));
+        }
+        QueryMode::Connected => {
+            let c = index.try_connected(s, t).map_err(|e| e.to_string())?;
+            println!("{}", answers::connected_line(s, t, c));
+        }
+    }
+    Ok(())
+}
+
+fn query(index_path: &str, mode: QueryMode, pairs: &PairSource) -> Result<(), String> {
     let index = open_any(index_path)?;
     match pairs {
         PairSource::Args(pairs) => {
             for &(s, t) in pairs {
-                let d = index.try_distance(s, t).map_err(|e| e.to_string())?;
-                print_answer(s, t, d);
+                answer_one(&index, mode, s, t)?;
             }
         }
         PairSource::Stdin => {
@@ -228,32 +267,35 @@ fn query(index_path: &str, pairs: &PairSource) -> Result<(), String> {
             let stdin = std::io::stdin();
             for (lineno, line) in stdin.lock().lines().enumerate() {
                 let line = line.map_err(|e| format!("stdin: {e}"))?;
-                let body = line.split('#').next().unwrap_or("").trim();
-                if body.is_empty() {
+                let Some((s, t)) = parse_pair_line(&line, lineno)? else {
                     continue;
-                }
-                let mut it = body.split_whitespace();
-                let (s, t) = match (it.next(), it.next(), it.next()) {
-                    (Some(s), Some(t), None) => (s, t),
-                    _ => {
-                        return Err(format!(
-                            "stdin line {}: expected `s t`, got {body:?}",
-                            lineno + 1
-                        ))
-                    }
                 };
-                let s: u32 = s
-                    .parse()
-                    .map_err(|e| format!("stdin line {}: bad vertex {s:?}: {e}", lineno + 1))?;
-                let t: u32 = t
-                    .parse()
-                    .map_err(|e| format!("stdin line {}: bad vertex {t:?}: {e}", lineno + 1))?;
-                let d = index.try_distance(s, t).map_err(|e| e.to_string())?;
-                print_answer(s, t, d);
+                answer_one(&index, mode, s, t)?;
             }
         }
     }
     Ok(())
+}
+
+/// Parses one `s t` line (whitespace separated, `#` comments); `None`
+/// for blank/comment lines.
+fn parse_pair_line(line: &str, lineno: usize) -> Result<Option<(u32, u32)>, String> {
+    let body = line.split('#').next().unwrap_or("").trim();
+    if body.is_empty() {
+        return Ok(None);
+    }
+    let mut it = body.split_whitespace();
+    let (s, t) = match (it.next(), it.next(), it.next()) {
+        (Some(s), Some(t), None) => (s, t),
+        _ => return Err(format!("line {}: expected `s t`, got {body:?}", lineno + 1)),
+    };
+    let s: u32 = s
+        .parse()
+        .map_err(|e| format!("line {}: bad vertex {s:?}: {e}", lineno + 1))?;
+    let t: u32 = t
+        .parse()
+        .map_err(|e| format!("line {}: bad vertex {t:?}: {e}", lineno + 1))?;
+    Ok(Some((s, t)))
 }
 
 fn stats(index_path: &str) -> Result<(), String> {
@@ -343,7 +385,12 @@ fn bench(index_path: &str, queries: usize, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
-fn serve(index_path: &str, addr: &str, threads: usize) -> Result<(), String> {
+fn serve(
+    index_path: &str,
+    graph_path: Option<&str>,
+    addr: &str,
+    threads: usize,
+) -> Result<(), String> {
     let index = Arc::new(open_any(index_path)?);
     eprintln!(
         "index: {} format, v{}{}, {} vertices, {} bytes",
@@ -357,8 +404,23 @@ fn serve(index_path: &str, addr: &str, threads: usize) -> Result<(), String> {
         index.num_vertices(),
         index.memory_bytes(),
     );
-    let handle = pll_server::serve(
+    let graph = match graph_path {
+        Some(path) => {
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let g = edgelist::read_text(BufReader::new(file))
+                .map_err(|e| format!("cannot parse {path}: {e}"))?;
+            eprintln!(
+                "graph: {} vertices, {} edges — dynamic updates enabled",
+                g.num_vertices(),
+                g.num_edges()
+            );
+            Some(g)
+        }
+        None => None,
+    };
+    let handle = pll_server::serve_dynamic(
         index,
+        graph.as_ref(),
         &pll_server::ServerConfig {
             addr: addr.to_string(),
             threads,
@@ -368,12 +430,18 @@ fn serve(index_path: &str, addr: &str, threads: usize) -> Result<(), String> {
     // The smoke script greps this exact line to learn the bound port.
     println!("listening on {}", handle.local_addr());
     eprintln!(
-        "{} worker thread(s); send the SHUTDOWN opcode (serve_load --shutdown) to stop",
-        handle.num_workers()
+        "{} worker thread(s), UPDATE {}; send the SHUTDOWN opcode (serve_load --shutdown) to stop",
+        handle.num_workers(),
+        if handle.is_dynamic() {
+            "enabled"
+        } else {
+            "disabled (start with --graph to enable)"
+        },
     );
     let summary = handle.join();
     eprintln!(
-        "served {} queries in {} requests over {:.2} s ({:.0} qps, p50 {:.1} µs, p99 {:.1} µs, {} errors)",
+        "served {} queries in {} requests over {:.2} s ({:.0} qps, p50 {:.1} µs, p99 {:.1} µs, \
+         {} errors, {} updates, final epoch {})",
         summary.queries,
         summary.requests,
         summary.elapsed_seconds,
@@ -381,12 +449,86 @@ fn serve(index_path: &str, addr: &str, threads: usize) -> Result<(), String> {
         summary.p50_us,
         summary.p99_us,
         summary.errors,
+        summary.updates,
+        summary.final_epoch,
     );
     for (i, w) in summary.workers.iter().enumerate() {
         eprintln!(
-            "  worker {i}: {} queries, {} requests, {} connections, busy {:.3} s, {} errors",
-            w.queries, w.requests, w.connections, w.busy_seconds, w.errors
+            "  worker {i}: {} queries, {} requests, {} connections, {} updates, busy {:.3} s, \
+             {} errors",
+            w.queries, w.requests, w.connections, w.updates, w.busy_seconds, w.errors
         );
     }
     Ok(())
+}
+
+/// `pll update`: apply edge insertions to an opened index through the
+/// dynamic overlay (resumed pruned BFSs — no rebuild) and persist the
+/// flattened result as a v2 index.
+fn update(
+    index_path: &str,
+    graph_path: &str,
+    updates_path: &str,
+    output: &str,
+    threads: usize,
+) -> Result<(), String> {
+    let index = open_any(index_path)?;
+    let file = File::open(graph_path).map_err(|e| format!("cannot open {graph_path}: {e}"))?;
+    let graph: CsrGraph = edgelist::read_text(BufReader::new(file))
+        .map_err(|e| format!("cannot parse {graph_path}: {e}"))?;
+    let updates = read_pair_file(updates_path)?;
+    eprintln!(
+        "index: {} vertices; graph: {} edges; applying {} insertions",
+        index.num_vertices(),
+        graph.num_edges(),
+        updates.len()
+    );
+    let mut dynamic =
+        DynamicIndex::new(Arc::new(index), &graph).map_err(|e| format!("cannot wrap: {e}"))?;
+    let stats = dynamic
+        .apply(&updates)
+        .map_err(|e| format!("update failed: {e}"))?;
+    eprintln!(
+        "applied {} edges ({} skipped) in {:.3} s: {} resumed roots, {} delta entries, \
+         {} bit-parallel columns repaired, {} vertices visited",
+        stats.edges_applied,
+        stats.edges_skipped,
+        stats.seconds,
+        stats.roots_resumed,
+        stats.entries_added,
+        stats.bp_columns_repaired,
+        stats.vertices_visited,
+    );
+    let started = Instant::now();
+    let flat = dynamic
+        .flatten(threads)
+        .map_err(|e| format!("flatten failed: {e}"))?;
+    eprintln!(
+        "flattened to {} label entries in {:.3} s",
+        flat.labels().total_entries(),
+        started.elapsed().as_secs_f64()
+    );
+    let out = File::create(output)
+        .map(BufWriter::new)
+        .map_err(|e| format!("cannot create {output}: {e}"))?;
+    v2::save_v2_index(&flat, out).map_err(|e| format!("cannot write {output}: {e}"))?;
+    eprintln!(
+        "wrote {output} (undirected format, v2, epoch {})",
+        dynamic.epoch()
+    );
+    Ok(())
+}
+
+/// Reads a whole `s t` pair file (used for update batches; query pairs
+/// stream instead).
+fn read_pair_file(path: &str) -> Result<Vec<(u32, u32)>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut pairs = Vec::new();
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("{path}: {e}"))?;
+        if let Some(pair) = parse_pair_line(&line, lineno).map_err(|e| format!("{path}: {e}"))? {
+            pairs.push(pair);
+        }
+    }
+    Ok(pairs)
 }

@@ -207,6 +207,19 @@ impl<S: BpStorage> BitParallelLabels<S> {
         best
     }
 
+    /// Whether some structure reaches both `s` and `t` — a sufficient
+    /// same-component certificate in `O(t)` with no distance math (any
+    /// root with two finite δ̃ entries connects the pair through
+    /// itself).
+    #[inline]
+    pub fn co_reachable(&self, s: Rank, t: Rank) -> bool {
+        let t_roots = self.num_roots;
+        let sb = s as usize * t_roots;
+        let tb = t as usize * t_roots;
+        (0..t_roots)
+            .any(|i| self.store.entry(sb + i).dist != INF8 && self.store.entry(tb + i).dist != INF8)
+    }
+
     /// Bytes used by the BP arena (heap bytes for the owned backend,
     /// section bytes for a view).
     pub fn memory_bytes(&self) -> usize {

@@ -1,0 +1,1170 @@
+//! Incremental (online) index maintenance for the undirected index —
+//! edge insertions without a full rebuild.
+//!
+//! The SIGMOD 2013 index is static: the labeling is computed once and
+//! never touched again. Real networks evolve, and rebuilding a large
+//! index for every new edge is exactly the cost labelling schemes are
+//! criticised for. This module implements the incremental-update idea of
+//! the follow-up line of work (Akiba, Iwata & Yoshida, *Dynamic and
+//! Historical Shortest-Path Distance Queries on Large Evolving Networks*,
+//! WWW 2014): an inserted edge can only *decrease* distances, old label
+//! entries therefore stay valid upper bounds, and exactness is restored
+//! by **resuming** pruned BFSs from the affected label roots only.
+//!
+//! [`DynamicIndex`] wraps any opened undirected index — owned (v1) or
+//! zero-copy (v2 view) via the [`crate::storage`] backends — with a
+//! mutable *delta overlay*:
+//!
+//! * a **delta adjacency** holding the inserted edges on top of the
+//!   (rank-relabelled) base graph;
+//! * per-vertex **delta labels**, sorted `(hub rank, distance)` vectors
+//!   merged into every query alongside the immutable base arenas.
+//!
+//! Applying an insertion `(a, b)`:
+//!
+//! 1. **bit-parallel repair** — a BP structure (§5) is a 65-source
+//!    distance oracle over its root and selected neighbours; the static
+//!    build pruned normal labels against it, so exactness of the whole
+//!    index *requires the oracle to stay exact*. Each structure whose
+//!    source distances to `a` and `b` differ by ≥ 2 (read off δ̃ and the
+//!    masks; the neighbour identities are recovered once at
+//!    construction: `δ̃ = 1` ∧ own `S⁻¹` bit) has its column recomputed
+//!    over the updated adjacency into an owned override — unaffected
+//!    structures keep the zero-copy base column;
+//! 2. collect the *affected roots*: every hub of the combined
+//!    (base + delta) labels of `a` and `b`, plus the roots and recorded
+//!    neighbours of the bit-parallel structures covering them;
+//! 3. for each affected root `r` in rank order, compare the combined
+//!    distances `Q(r, a)` and `Q(r, b)`: the edge matters for `r` only
+//!    if they differ by ≥ 2, and then a pruned BFS is *resumed* from the
+//!    far endpoint at `Q(r, near) + 1`;
+//! 4. the resumed BFS prunes against the **combined** base + delta
+//!    labels and the repaired bit-parallel certificates, so added delta
+//!    entries stay minimal, and appends `(r, d)` delta entries where the
+//!    query could not already answer.
+//!
+//! Queries then take the min over the (repaired) bit-parallel oracle
+//! and the merge-join over base + delta labels — exact at all times,
+//! which the test suite proves against from-scratch rebuilds (unit,
+//! integration and proptest cases).
+//!
+//! [`DynamicIndex::flatten`] merges base + delta back into an owned
+//! [`PllIndex`] (reusing the parallel arena scatter behind the label
+//! flatten), ready for [`crate::v2`] persistence and for
+//! the epoch-swapping server cell in `pll-server` — `pll update` on the
+//! CLI and the `UPDATE` frame over the wire both end here.
+//!
+//! Scope: undirected unweighted graphs, edge insertions, fixed vertex
+//! set. Deletions and vertex additions still require a rebuild (see
+//! ROADMAP); the directed/weighted variants need the same treatment per
+//! side/metric and are left for the trait seams mirroring
+//! [`crate::par::PrunedSearch`].
+
+use crate::bp::BpEntry;
+use crate::error::{PllError, Result};
+use crate::index::PllIndex;
+use crate::label::LabelSet;
+use crate::types::{Dist, Rank, Vertex, INF8, INF_QUERY, MAX_DIST, RANK_SENTINEL};
+use crate::v2::AnyIndex;
+use pll_graph::reorder::{apply_order, inverse_permutation};
+use pll_graph::CsrGraph;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counters for one [`DynamicIndex::apply`] batch (and, accumulated,
+/// for the whole lifetime via [`DynamicIndex::update_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct UpdateStats {
+    /// Edges actually inserted (new, non-loop, in range).
+    pub edges_applied: usize,
+    /// Edges skipped as self-loops or duplicates of existing edges.
+    pub edges_skipped: usize,
+    /// Resumed pruned BFSs run (affected roots with a ≥ 2 distance gap).
+    pub roots_resumed: usize,
+    /// Delta label entries added or improved.
+    pub entries_added: usize,
+    /// Bit-parallel columns recomputed because an insertion shortcut
+    /// their 65-source ball.
+    pub bp_columns_repaired: usize,
+    /// Vertices visited by resumed BFSs (pruned visits included).
+    pub vertices_visited: u64,
+    /// Wall-clock seconds spent applying.
+    pub seconds: f64,
+}
+
+impl UpdateStats {
+    fn absorb(&mut self, other: &UpdateStats) {
+        self.edges_applied += other.edges_applied;
+        self.edges_skipped += other.edges_skipped;
+        self.roots_resumed += other.roots_resumed;
+        self.entries_added += other.entries_added;
+        self.bp_columns_repaired += other.bp_columns_repaired;
+        self.vertices_visited += other.vertices_visited;
+        self.seconds += other.seconds;
+    }
+}
+
+/// Per-vertex delta label: sorted by hub rank, parallel distance vector.
+#[derive(Clone, Debug, Default)]
+struct DeltaLabel {
+    ranks: Vec<Rank>,
+    dists: Vec<Dist>,
+}
+
+impl DeltaLabel {
+    /// Inserts or improves `(hub, d)`; returns `true` if the entry was
+    /// new or strictly smaller than the stored one.
+    fn upsert(&mut self, hub: Rank, d: Dist) -> bool {
+        match self.ranks.binary_search(&hub) {
+            Ok(i) => {
+                if d < self.dists[i] {
+                    self.dists[i] = d;
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(i) => {
+                self.ranks.insert(i, hub);
+                self.dists.insert(i, d);
+                true
+            }
+        }
+    }
+}
+
+/// Dispatches `$body` over the two undirected [`AnyIndex`]
+/// representations (owned and zero-copy view); the constructor rejects
+/// every other family.
+macro_rules! with_undirected {
+    ($any:expr, $idx:ident => $body:expr) => {
+        match $any {
+            AnyIndex::Undirected($idx) => $body,
+            AnyIndex::UndirectedView($idx) => $body,
+            _ => unreachable!("DynamicIndex::new only accepts undirected indices"),
+        }
+    };
+}
+
+/// Merged view over a base label body and a delta label, yielding
+/// `(hub rank, dist)` strictly sorted by rank; a hub present in both
+/// sides yields the smaller distance (deltas only ever improve).
+struct MergedCursor<'a> {
+    base_ranks: &'a [Rank],
+    base_dists: &'a [Dist],
+    delta_ranks: &'a [Rank],
+    delta_dists: &'a [Dist],
+    i: usize,
+    j: usize,
+}
+
+impl MergedCursor<'_> {
+    #[inline]
+    fn next(&mut self) -> Option<(Rank, Dist)> {
+        let have_base = self.i < self.base_ranks.len();
+        let have_delta = self.j < self.delta_ranks.len();
+        match (have_base, have_delta) {
+            (false, false) => None,
+            (true, false) => {
+                let out = (self.base_ranks[self.i], self.base_dists[self.i]);
+                self.i += 1;
+                Some(out)
+            }
+            (false, true) => {
+                let out = (self.delta_ranks[self.j], self.delta_dists[self.j]);
+                self.j += 1;
+                Some(out)
+            }
+            (true, true) => {
+                let (rb, db) = (self.base_ranks[self.i], self.base_dists[self.i]);
+                let (rd, dd) = (self.delta_ranks[self.j], self.delta_dists[self.j]);
+                if rb < rd {
+                    self.i += 1;
+                    Some((rb, db))
+                } else if rd < rb {
+                    self.j += 1;
+                    Some((rd, dd))
+                } else {
+                    self.i += 1;
+                    self.j += 1;
+                    Some((rb, db.min(dd)))
+                }
+            }
+        }
+    }
+}
+
+/// Reusable per-batch scratch: lazily-reset tentative distances and the
+/// §4.5 temp array over the current root's combined label.
+struct UpdateScratch {
+    /// Tentative BFS distance, `INF_QUERY` = untouched.
+    tent: Vec<u32>,
+    /// `temp[w] =` combined label distance from the current root to hub
+    /// `w`, `INF8` = absent.
+    temp: Vec<Dist>,
+    /// BFS queue; doubles as the touched-vertex list for the lazy reset.
+    queue: Vec<Rank>,
+    /// The current root's bit-parallel entries, copied out once.
+    root_bp: Vec<BpEntry>,
+    /// Affected-root collection buffer.
+    roots: Vec<Rank>,
+}
+
+impl UpdateScratch {
+    fn new(n: usize) -> Self {
+        UpdateScratch {
+            tent: vec![INF_QUERY; n],
+            temp: vec![INF8; n],
+            queue: Vec::new(),
+            root_bp: Vec::new(),
+            roots: Vec::new(),
+        }
+    }
+}
+
+/// An undirected index plus a mutable delta overlay that absorbs edge
+/// insertions incrementally — see the module docs for the algorithm and
+/// the exactness argument.
+///
+/// ```
+/// use pll_core::{dynamic::DynamicIndex, IndexBuilder, AnyIndex};
+/// use pll_graph::CsrGraph;
+/// use std::sync::Arc;
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let base = IndexBuilder::new().bit_parallel_roots(1).build(&g).unwrap();
+/// let mut dyn_idx = DynamicIndex::new(Arc::new(AnyIndex::Undirected(base)), &g).unwrap();
+/// assert_eq!(dyn_idx.distance(0, 3), Some(3));
+/// dyn_idx.apply(&[(0, 3)]).unwrap();
+/// assert_eq!(dyn_idx.distance(0, 3), Some(1));
+/// assert_eq!(dyn_idx.distance(1, 3), Some(2));
+/// ```
+pub struct DynamicIndex {
+    /// The immutable base index (undirected family, owned or view).
+    base: Arc<AnyIndex>,
+    /// Rank-relabelled base adjacency (vertex `i` *is* rank `i`).
+    csr: CsrGraph,
+    /// Inserted edges on top of `csr`, rank space, both directions.
+    extra: Vec<Vec<Rank>>,
+    /// Delta labels, rank-keyed.
+    delta: Vec<DeltaLabel>,
+    /// Inserted edges in original vertex space (for re-persisting).
+    inserted: Vec<(Vertex, Vertex)>,
+    /// Recovered identity of BP selected neighbour `(structure, bit)`,
+    /// `RANK_SENTINEL` where the bit is unused.
+    bp_sel: Vec<Vec<Rank>>,
+    /// BP root ranks, copied out of the base (`u32::MAX` = exhausted).
+    bp_roots: Vec<Rank>,
+    /// Repaired bit-parallel columns: `Some` holds the full recomputed
+    /// column for a structure whose 65-source ball was shortcut by an
+    /// insertion; `None` keeps reading the (still exact) base column.
+    bp_override: Vec<Option<Vec<BpEntry>>>,
+    /// Applied-batch counter (0 = pristine base).
+    epoch: u64,
+    /// Lifetime-accumulated counters.
+    stats: UpdateStats,
+    scratch: UpdateScratch,
+}
+
+impl std::fmt::Debug for DynamicIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynamicIndex")
+            .field("num_vertices", &self.num_vertices())
+            .field("epoch", &self.epoch)
+            .field("inserted_edges", &self.inserted.len())
+            .field("delta_entries", &self.delta_entries())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DynamicIndex {
+    /// Wraps `base` (which must be an **undirected** index, owned or
+    /// zero-copy) together with the graph it was built from. The graph
+    /// is needed because resumed BFSs traverse real adjacency; it is
+    /// relabelled into rank space once, here.
+    ///
+    /// # Errors
+    ///
+    /// [`PllError::Unsupported`] if `base` is not an undirected index or
+    /// `graph` visibly disagrees with it (vertex-count mismatch, or a
+    /// sampled edge whose indexed distance is not 1).
+    pub fn new(base: Arc<AnyIndex>, graph: &CsrGraph) -> Result<DynamicIndex> {
+        if !matches!(
+            &*base,
+            AnyIndex::Undirected(_) | AnyIndex::UndirectedView(_)
+        ) {
+            return Err(PllError::Unsupported {
+                message: format!(
+                    "dynamic updates support the undirected index only (got {}); \
+                     directed/weighted variants need per-side resumed searches and \
+                     are future work",
+                    base.format().name()
+                ),
+            });
+        }
+        let n = base.num_vertices();
+        if graph.num_vertices() != n {
+            return Err(PllError::Unsupported {
+                message: format!(
+                    "graph has {} vertices but the index covers {n}; pass the graph \
+                     the index was built from",
+                    graph.num_vertices()
+                ),
+            });
+        }
+        // Spot-check that the graph matches the index: every edge is a
+        // distance-1 pair. A handful of samples catches passing the
+        // wrong file without costing a full verification.
+        for (u, v) in graph.edges().take(32) {
+            if base.distance(u, v) != Some(1) {
+                return Err(PllError::Unsupported {
+                    message: format!(
+                        "graph does not match the index: edge ({u}, {v}) is indexed at \
+                         distance {:?}, expected 1",
+                        base.distance(u, v)
+                    ),
+                });
+            }
+        }
+        let order = with_undirected!(&*base, idx => idx.order().to_vec());
+        let csr = apply_order(graph, &order)?;
+        // Recover the BP selected-neighbour identities: bit `k` of
+        // structure `i` belongs to the unique vertex `v` with
+        // `δ̃_i(v) = 1` and bit `k` set in its own S⁻¹ mask
+        // (d(v, v) = 0 = δ̃ − 1). The index stores only the masks, but
+        // the identities are needed to treat BP coverage as resumable
+        // virtual hubs.
+        let bp_sel = with_undirected!(&*base, idx => {
+            let bp = idx.bit_parallel();
+            let t = bp.num_roots();
+            let mut sel = vec![vec![RANK_SENTINEL; 64]; t];
+            for v in 0..n as Rank {
+                for (i, slots) in sel.iter_mut().enumerate() {
+                    let e = bp.entry(v, i);
+                    if e.dist == 1 && e.set_minus1 != 0 {
+                        let own = e.set_minus1.trailing_zeros() as usize;
+                        slots[own] = v;
+                    }
+                }
+            }
+            sel
+        });
+        let bp_roots = with_undirected!(&*base, idx => idx.bit_parallel().roots().to_vec());
+        let t = bp_roots.len();
+        Ok(DynamicIndex {
+            base,
+            csr,
+            extra: vec![Vec::new(); n],
+            delta: vec![DeltaLabel::default(); n],
+            inserted: Vec::new(),
+            bp_sel,
+            bp_roots,
+            bp_override: vec![None; t],
+            epoch: 0,
+            stats: UpdateStats::default(),
+            scratch: UpdateScratch::new(n),
+        })
+    }
+
+    /// Number of indexed vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// Applied-batch counter: 0 for a pristine base, incremented by
+    /// every [`DynamicIndex::apply`] call that inserted at least one
+    /// edge. The serving layer surfaces this as the index *epoch*.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The wrapped base index.
+    pub fn base(&self) -> &Arc<AnyIndex> {
+        &self.base
+    }
+
+    /// Edges inserted since construction (original vertex space).
+    pub fn inserted_edges(&self) -> &[(Vertex, Vertex)] {
+        &self.inserted
+    }
+
+    /// Total delta label entries currently in the overlay.
+    pub fn delta_entries(&self) -> usize {
+        self.delta.iter().map(|d| d.ranks.len()).sum()
+    }
+
+    /// Lifetime-accumulated update counters.
+    pub fn update_stats(&self) -> &UpdateStats {
+        &self.stats
+    }
+
+    /// Exact distance in the *updated* graph; `None` when disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range (see
+    /// [`DynamicIndex::try_distance`]).
+    pub fn distance(&self, u: Vertex, v: Vertex) -> Option<u32> {
+        let n = self.num_vertices();
+        assert!((u as usize) < n, "vertex {u} out of range");
+        assert!((v as usize) < n, "vertex {v} out of range");
+        if u == v {
+            return Some(0);
+        }
+        let (ru, rv) = with_undirected!(&*self.base, idx => (idx.rank_of(u), idx.rank_of(v)));
+        let best = self.combined_query_ranks(ru, rv);
+        (best != INF_QUERY).then_some(best)
+    }
+
+    /// Checked variant of [`DynamicIndex::distance`].
+    pub fn try_distance(&self, u: Vertex, v: Vertex) -> Result<Option<u32>> {
+        let n = self.num_vertices();
+        for x in [u, v] {
+            if x as usize >= n {
+                return Err(PllError::VertexOutOfRange {
+                    vertex: x,
+                    num_vertices: n,
+                });
+            }
+        }
+        Ok(self.distance(u, v))
+    }
+
+    /// Whether `u` and `v` are connected in the updated graph.
+    pub fn connected(&self, u: Vertex, v: Vertex) -> bool {
+        self.distance(u, v).is_some()
+    }
+
+    /// Applies a batch of edge insertions (original vertex space) and
+    /// returns this batch's counters. Self-loops and edges already
+    /// present are counted as skipped; the epoch is bumped iff at least
+    /// one edge was inserted.
+    ///
+    /// # Errors
+    ///
+    /// [`PllError::VertexOutOfRange`] if any endpoint exceeds the vertex
+    /// count (checked for the whole batch up front, before any edge is
+    /// applied), [`PllError::DiameterTooLarge`] if a new finite distance
+    /// exceeds the 8-bit representation (the overlay is left partially
+    /// updated; rebuild with the weighted index).
+    pub fn apply(&mut self, edges: &[(Vertex, Vertex)]) -> Result<UpdateStats> {
+        let n = self.num_vertices();
+        for &(u, v) in edges {
+            for x in [u, v] {
+                if x as usize >= n {
+                    return Err(PllError::VertexOutOfRange {
+                        vertex: x,
+                        num_vertices: n,
+                    });
+                }
+            }
+        }
+        let started = Instant::now();
+        let mut batch = UpdateStats::default();
+        for &(u, v) in edges {
+            if u == v {
+                batch.edges_skipped += 1;
+                continue;
+            }
+            let (ru, rv) = with_undirected!(&*self.base, idx => (idx.rank_of(u), idx.rank_of(v)));
+            if self.has_edge_rank(ru, rv) {
+                batch.edges_skipped += 1;
+                continue;
+            }
+            self.extra[ru as usize].push(rv);
+            self.extra[rv as usize].push(ru);
+            self.inserted.push((u, v));
+            self.process_insertion(ru, rv, &mut batch)?;
+            batch.edges_applied += 1;
+        }
+        batch.seconds = started.elapsed().as_secs_f64();
+        if batch.edges_applied > 0 {
+            self.epoch += 1;
+        }
+        self.stats.absorb(&batch);
+        Ok(batch)
+    }
+
+    /// Merges base + delta labels into a fresh owned [`PllIndex`]
+    /// answering exactly like this dynamic view — ready for
+    /// [`crate::v2::save_v2_index`] and for atomically swapping into a
+    /// serving cell. `threads` drives the parallel arena scatter of the
+    /// flatten, exactly as in construction (`0` = auto).
+    ///
+    /// Parent pointers, if the base stored them, are dropped: resumed
+    /// BFSs do not maintain them, and stale parents would reconstruct
+    /// wrong paths through inserted edges. Rebuild with
+    /// `store_parents(true)` when path reconstruction must survive
+    /// updates.
+    pub fn flatten(&self, threads: usize) -> Result<PllIndex> {
+        let n = self.num_vertices();
+        let mut ranks: Vec<Vec<Rank>> = Vec::with_capacity(n);
+        let mut dists: Vec<Vec<Dist>> = Vec::with_capacity(n);
+        for v in 0..n as Rank {
+            let mut cursor = self.merged_cursor(v);
+            let mut vr = Vec::new();
+            let mut vd = Vec::new();
+            while let Some((w, d)) = cursor.next() {
+                vr.push(w);
+                vd.push(d);
+            }
+            ranks.push(vr);
+            dists.push(vd);
+        }
+        let threads = crate::par::resolve_threads(threads);
+        let labels = LabelSet::from_vecs(&ranks, &dists, None, threads)?;
+        let t = self.bp_roots.len();
+        let entries: Vec<BpEntry> = (0..n as Rank)
+            .flat_map(|v| (0..t).map(move |i| self.eff_bp_entry(v, i)))
+            .collect();
+        let bp_owned = crate::bp::BitParallelLabels::from_raw(n, self.bp_roots.clone(), entries);
+        with_undirected!(&*self.base, idx => {
+            let order = idx.order().to_vec();
+            let inv = inverse_permutation(&order);
+            Ok(PllIndex::from_parts(order, inv, labels, bp_owned, idx.stats().clone()))
+        })
+    }
+
+    // -- internals ----------------------------------------------------
+
+    fn has_edge_rank(&self, a: Rank, b: Rank) -> bool {
+        self.csr.has_edge(a, b) || self.extra[a as usize].contains(&b)
+    }
+
+    /// Body (sentinel excluded) of the base label of rank `v`.
+    fn base_label_body(&self, v: Rank) -> (&[Rank], &[Dist]) {
+        with_undirected!(&*self.base, idx => {
+            let (r, d) = idx.labels().label(v);
+            (&r[..r.len() - 1], &d[..d.len() - 1])
+        })
+    }
+
+    fn merged_cursor(&self, v: Rank) -> MergedCursor<'_> {
+        let (br, bd) = self.base_label_body(v);
+        let dl = &self.delta[v as usize];
+        MergedCursor {
+            base_ranks: br,
+            base_dists: bd,
+            delta_ranks: &dl.ranks,
+            delta_dists: &dl.dists,
+            i: 0,
+            j: 0,
+        }
+    }
+
+    /// Entry of vertex `v` for structure `i`, reading the repaired
+    /// column when one exists and the base column otherwise.
+    #[inline]
+    fn eff_bp_entry(&self, v: Rank, i: usize) -> BpEntry {
+        match &self.bp_override[i] {
+            Some(column) => column[v as usize],
+            None => with_undirected!(&*self.base, idx => idx.bit_parallel().entry(v, i)),
+        }
+    }
+
+    /// The §5.3 bit-parallel query over the *effective* (repaired)
+    /// columns — exact whenever a shortest path meets a structure's
+    /// source set, because affected columns are recomputed on insert.
+    fn eff_bp_query(&self, u: Rank, v: Rank) -> u32 {
+        let mut best = INF_QUERY;
+        for i in 0..self.bp_roots.len() {
+            let a = self.eff_bp_entry(u, i);
+            let b = self.eff_bp_entry(v, i);
+            if a.dist == INF8 || b.dist == INF8 {
+                continue;
+            }
+            let mut td = a.dist as u32 + b.dist as u32;
+            if td.saturating_sub(2) < best {
+                if a.set_minus1 & b.set_minus1 != 0 {
+                    td -= 2;
+                } else if (a.set_minus1 & b.set_zero) | (a.set_zero & b.set_minus1) != 0 {
+                    td -= 1;
+                }
+                if td < best {
+                    best = td;
+                }
+            }
+        }
+        best
+    }
+
+    /// The exact updated distance between rank-space vertices: min over
+    /// the repaired bit-parallel oracle and the merge-join over combined
+    /// base + delta labels.
+    fn combined_query_ranks(&self, u: Rank, v: Rank) -> u32 {
+        if u == v {
+            return 0;
+        }
+        let mut best = self.eff_bp_query(u, v);
+        let mut cu = self.merged_cursor(u);
+        let mut cv = self.merged_cursor(v);
+        let mut au = cu.next();
+        let mut av = cv.next();
+        while let (Some((ru, du)), Some((rv, dv))) = (au, av) {
+            if ru == rv {
+                let d = du as u32 + dv as u32;
+                if d < best {
+                    best = d;
+                }
+                au = cu.next();
+                av = cv.next();
+            } else if ru < rv {
+                au = cu.next();
+            } else {
+                av = cv.next();
+            }
+        }
+        best
+    }
+
+    /// Collects the hubs "visible" from rank `x`: combined normal label
+    /// hubs plus the virtual bit-parallel hubs (structure roots with a
+    /// finite δ̃ and the selected neighbours recorded in `x`'s masks).
+    fn collect_hubs(&self, x: Rank, out: &mut Vec<Rank>) {
+        let (br, _) = self.base_label_body(x);
+        out.extend_from_slice(br);
+        out.extend_from_slice(&self.delta[x as usize].ranks);
+        for (i, sel) in self.bp_sel.iter().enumerate() {
+            let e = self.eff_bp_entry(x, i);
+            if e.dist == INF8 {
+                continue;
+            }
+            debug_assert_ne!(
+                self.bp_roots[i],
+                u32::MAX,
+                "reachable entry in exhausted slot"
+            );
+            out.push(self.bp_roots[i]);
+            let mut bits = e.set_minus1 | e.set_zero;
+            while bits != 0 {
+                let k = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                debug_assert_ne!(sel[k], RANK_SENTINEL, "mask bit without identity");
+                out.push(sel[k]);
+            }
+        }
+    }
+
+    /// Distance from source `k` of structure `i` (`None` = the root) to
+    /// a vertex with effective entry `e`: a selected neighbour sits one
+    /// step from the root, so its distance is δ̃ − 1, δ̃ or δ̃ + 1, and
+    /// the masks say which.
+    fn bp_source_dist(e: BpEntry, k: Option<usize>) -> u32 {
+        if e.dist == INF8 {
+            return INF_QUERY;
+        }
+        match k {
+            None => e.dist as u32,
+            Some(k) if e.set_minus1 >> k & 1 == 1 => e.dist as u32 - 1,
+            Some(k) if e.set_zero >> k & 1 == 1 => e.dist as u32,
+            Some(_) => e.dist as u32 + 1,
+        }
+    }
+
+    /// Repairs the bit-parallel oracle for an inserted rank-space edge
+    /// `(a, b)`: any structure with a source whose distances to the two
+    /// endpoints differ by ≥ 2 gains shorter paths through the edge, and
+    /// its whole column is recomputed over the updated adjacency
+    /// (Algorithm 3, rerun). Unaffected structures keep their (still
+    /// exact) base columns — for a local shortcut that is almost all of
+    /// them.
+    fn update_bp_columns(&mut self, a: Rank, b: Rank, batch: &mut UpdateStats) -> Result<()> {
+        for i in 0..self.bp_roots.len() {
+            if self.bp_roots[i] == u32::MAX {
+                continue; // exhausted slot, never ran
+            }
+            let ea = self.eff_bp_entry(a, i);
+            let eb = self.eff_bp_entry(b, i);
+            if ea.dist == INF8 && eb.dist == INF8 {
+                continue; // the edge is outside this structure's component
+            }
+            let sources = std::iter::once(None).chain(
+                self.bp_sel[i]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != RANK_SENTINEL)
+                    .map(|(k, _)| Some(k)),
+            );
+            let affected = sources.into_iter().any(|k| {
+                let da = Self::bp_source_dist(ea, k);
+                let db = Self::bp_source_dist(eb, k);
+                da.abs_diff(db) >= 2
+            });
+            if affected {
+                let column = self.recompute_column(i)?;
+                self.bp_override[i] = Some(column);
+                batch.bp_columns_repaired += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reruns the level-synchronous 65-source BFS of structure `i`
+    /// (same root, same selected neighbours and bit assignment) over
+    /// the updated adjacency, yielding the full exact column.
+    fn recompute_column(&self, i: usize) -> Result<Vec<BpEntry>> {
+        let n = self.num_vertices();
+        let root = self.bp_roots[i];
+        let unreached = BpEntry {
+            dist: INF8,
+            set_minus1: 0,
+            set_zero: 0,
+        };
+        let mut column = vec![unreached; n];
+        column[root as usize].dist = 0;
+        let mut current: Vec<Rank> = vec![root];
+        let mut next: Vec<Rank> = Vec::new();
+        for (k, &v) in self.bp_sel[i].iter().enumerate() {
+            if v == RANK_SENTINEL {
+                continue;
+            }
+            column[v as usize].dist = 1;
+            column[v as usize].set_minus1 = 1u64 << k;
+            next.push(v);
+        }
+        let mut sibling_edges: Vec<(Rank, Rank)> = Vec::new();
+        let mut child_edges: Vec<(Rank, Rank)> = Vec::new();
+        let mut level: u32 = 0;
+        while !current.is_empty() {
+            sibling_edges.clear();
+            child_edges.clear();
+            for &v in &current {
+                for &u in self
+                    .csr
+                    .neighbors(v)
+                    .iter()
+                    .chain(self.extra[v as usize].iter())
+                {
+                    let du = column[u as usize].dist;
+                    if du == INF8 {
+                        if level as u8 >= MAX_DIST {
+                            return Err(PllError::DiameterTooLarge { root_rank: root });
+                        }
+                        column[u as usize].dist = level as u8 + 1;
+                        next.push(u);
+                        child_edges.push((v, u));
+                    } else if du as u32 == level + 1 {
+                        child_edges.push((v, u));
+                    } else if du as u32 == level {
+                        sibling_edges.push((v, u));
+                    }
+                }
+            }
+            for &(v, u) in &sibling_edges {
+                column[u as usize].set_zero |= column[v as usize].set_minus1;
+            }
+            for &(v, u) in &child_edges {
+                column[u as usize].set_minus1 |= column[v as usize].set_minus1;
+                column[u as usize].set_zero |= column[v as usize].set_zero;
+            }
+            std::mem::swap(&mut current, &mut next);
+            next.clear();
+            level += 1;
+        }
+        Ok(column)
+    }
+
+    /// Handles one inserted rank-space edge `(a, b)` (already added to
+    /// the delta adjacency): repairs the bit-parallel oracle, then
+    /// resumes pruned BFSs from every affected root whose combined
+    /// distances to the endpoints differ by ≥ 2.
+    fn process_insertion(&mut self, a: Rank, b: Rank, batch: &mut UpdateStats) -> Result<()> {
+        self.update_bp_columns(a, b, batch)?;
+        let mut roots = std::mem::take(&mut self.scratch.roots);
+        roots.clear();
+        self.collect_hubs(a, &mut roots);
+        self.collect_hubs(b, &mut roots);
+        roots.sort_unstable();
+        roots.dedup();
+        for &r in &roots {
+            let da = self.combined_query_ranks(r, a);
+            let db = self.combined_query_ranks(r, b);
+            if da != INF_QUERY && da.saturating_add(1) < db {
+                self.resume(r, b, da + 1, batch)?;
+            } else if db != INF_QUERY && db.saturating_add(1) < da {
+                self.resume(r, a, db + 1, batch)?;
+            }
+        }
+        self.scratch.roots = roots;
+        Ok(())
+    }
+
+    /// Resumes the pruned BFS of root `r` from `start` at distance `d0`,
+    /// pruning every visit the combined index already answers and
+    /// appending `(r, d)` delta entries elsewhere (Algorithm 1, seeded
+    /// mid-tree).
+    fn resume(&mut self, r: Rank, start: Rank, d0: u32, batch: &mut UpdateStats) -> Result<()> {
+        batch.roots_resumed += 1;
+        // Temp array over the combined label of r (§4.5 "Querying"), and
+        // d(r, r) = 0 even when r's own label elides it (BP-covered
+        // roots never self-labelled).
+        let mut temp = std::mem::take(&mut self.scratch.temp);
+        {
+            let mut cursor = self.merged_cursor(r);
+            while let Some((w, d)) = cursor.next() {
+                temp[w as usize] = d;
+            }
+            temp[r as usize] = 0;
+        }
+        let mut root_bp = std::mem::take(&mut self.scratch.root_bp);
+        root_bp.clear();
+        root_bp.extend((0..self.bp_roots.len()).map(|i| self.eff_bp_entry(r, i)));
+
+        let mut tent = std::mem::take(&mut self.scratch.tent);
+        let mut queue = std::mem::take(&mut self.scratch.queue);
+        queue.clear();
+        queue.push(start);
+        tent[start as usize] = d0;
+        let mut head = 0usize;
+        let mut result = Ok(());
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            let d = tent[u as usize];
+            batch.vertices_visited += 1;
+            if self.pruned(&root_bp, u, d, &temp) {
+                continue;
+            }
+            if d > MAX_DIST as u32 {
+                result = Err(PllError::DiameterTooLarge { root_rank: r });
+                break;
+            }
+            if self.delta[u as usize].upsert(r, d as Dist) {
+                batch.entries_added += 1;
+            }
+            for w in self
+                .csr
+                .neighbors(u)
+                .iter()
+                .chain(self.extra[u as usize].iter())
+            {
+                if tent[*w as usize] == INF_QUERY {
+                    tent[*w as usize] = d + 1;
+                    queue.push(*w);
+                }
+            }
+        }
+        // Lazy reset of everything touched.
+        for &v in &queue {
+            tent[v as usize] = INF_QUERY;
+        }
+        {
+            let mut cursor = self.merged_cursor(r);
+            while let Some((w, _)) = cursor.next() {
+                temp[w as usize] = INF8;
+            }
+            temp[r as usize] = INF8;
+        }
+        self.scratch.tent = tent;
+        self.scratch.temp = temp;
+        self.scratch.queue = queue;
+        self.scratch.root_bp = root_bp;
+        result
+    }
+
+    /// The dynamic pruning test for a visit of `u` at distance `d` from
+    /// the current root: repaired bit-parallel certificates first, then
+    /// the combined base + delta labels of `u` against the temp array.
+    fn pruned(&self, root_bp: &[BpEntry], u: Rank, d: u32, temp: &[Dist]) -> bool {
+        let bp_hit = root_bp.iter().enumerate().any(|(i, a)| {
+            let b = self.eff_bp_entry(u, i);
+            if a.dist == INF8 || b.dist == INF8 {
+                return false;
+            }
+            let mut td = a.dist as u32 + b.dist as u32;
+            if td.saturating_sub(2) > d {
+                return false;
+            }
+            if a.set_minus1 & b.set_minus1 != 0 {
+                td -= 2;
+            } else if (a.set_minus1 & b.set_zero) | (a.set_zero & b.set_minus1) != 0 {
+                td -= 1;
+            }
+            td <= d
+        });
+        if bp_hit {
+            return true;
+        }
+        let (ur, ud) = self.base_label_body(u);
+        for (i, &w) in ur.iter().enumerate() {
+            let tw = temp[w as usize];
+            if tw != INF8 && tw as u32 + ud[i] as u32 <= d {
+                return true;
+            }
+        }
+        let dl = &self.delta[u as usize];
+        for (i, &w) in dl.ranks.iter().enumerate() {
+            let tw = temp[w as usize];
+            if tw != INF8 && tw as u32 + dl.dists[i] as u32 <= d {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexBuilder;
+    use crate::order::OrderingStrategy;
+    use pll_graph::gen;
+    use pll_graph::traversal::bfs::BfsEngine;
+
+    fn owned_any(g: &CsrGraph, bp_roots: usize) -> Arc<AnyIndex> {
+        let idx = IndexBuilder::new()
+            .bit_parallel_roots(bp_roots)
+            .build(g)
+            .unwrap();
+        Arc::new(AnyIndex::Undirected(idx))
+    }
+
+    fn view_any(g: &CsrGraph, bp_roots: usize) -> Arc<AnyIndex> {
+        let idx = IndexBuilder::new()
+            .bit_parallel_roots(bp_roots)
+            .build(g)
+            .unwrap();
+        let mut buf = Vec::new();
+        crate::v2::save_v2_index(&idx, &mut buf).unwrap();
+        let aligned = Arc::new(crate::storage::AlignedBytes::from_bytes(&buf));
+        Arc::new(crate::v2::open_v2_bytes(aligned).unwrap())
+    }
+
+    /// Checks the dynamic index against BFS ground truth on `full` after
+    /// applying `new_edges` on top of `base_graph`.
+    fn assert_exact(dyn_idx: &DynamicIndex, full: &CsrGraph) {
+        let n = full.num_vertices();
+        let mut engine = BfsEngine::new(n);
+        for s in 0..n as Vertex {
+            let d = engine.run(full, s).to_vec();
+            for t in 0..n as Vertex {
+                let expect = (d[t as usize] != u32::MAX).then_some(d[t as usize]);
+                assert_eq!(dyn_idx.distance(s, t), expect, "pair ({s}, {t})");
+            }
+        }
+    }
+
+    /// Splits `full`'s edges: the first `keep` stay in the base graph,
+    /// the rest are applied dynamically (in batches of `batch`). Checks
+    /// exactness after every batch, over both backends.
+    fn incremental_case(full: &CsrGraph, keep: usize, batch: usize, bp_roots: usize) {
+        let all: Vec<(Vertex, Vertex)> = full.edges().collect();
+        let base_graph = CsrGraph::from_edges(full.num_vertices(), &all[..keep]).unwrap();
+        for base in [
+            owned_any(&base_graph, bp_roots),
+            view_any(&base_graph, bp_roots),
+        ] {
+            let mut dyn_idx = DynamicIndex::new(base, &base_graph).unwrap();
+            let mut applied = all[..keep].to_vec();
+            for chunk in all[keep..].chunks(batch.max(1)) {
+                dyn_idx.apply(chunk).unwrap();
+                applied.extend_from_slice(chunk);
+                let current = CsrGraph::from_edges(full.num_vertices(), &applied).unwrap();
+                assert_exact(&dyn_idx, &current);
+            }
+            assert_eq!(dyn_idx.update_stats().edges_applied, all.len() - keep);
+        }
+    }
+
+    #[test]
+    fn single_insertions_on_structured_graphs() {
+        incremental_case(&gen::grid(5, 5).unwrap(), 30, 1, 0);
+        incremental_case(&gen::cycle(12).unwrap(), 11, 1, 2);
+        incremental_case(&gen::complete(7).unwrap(), 10, 1, 1);
+    }
+
+    #[test]
+    fn batched_insertions_on_random_graphs() {
+        incremental_case(&gen::erdos_renyi_gnm(60, 150, 7).unwrap(), 90, 8, 0);
+        incremental_case(&gen::barabasi_albert(70, 2, 3).unwrap(), 100, 5, 4);
+    }
+
+    #[test]
+    fn insertion_joins_components() {
+        // Two separate paths; the inserted edge bridges them.
+        let g = CsrGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]).unwrap();
+        for base in [owned_any(&g, 0), owned_any(&g, 2), view_any(&g, 2)] {
+            let mut dyn_idx = DynamicIndex::new(base, &g).unwrap();
+            assert_eq!(dyn_idx.distance(0, 7), None);
+            assert!(!dyn_idx.connected(0, 7));
+            dyn_idx.apply(&[(3, 4)]).unwrap();
+            assert_eq!(dyn_idx.distance(0, 7), Some(7));
+            assert!(dyn_idx.connected(0, 7));
+            let full =
+                CsrGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)])
+                    .unwrap();
+            assert_exact(&dyn_idx, &full);
+        }
+    }
+
+    #[test]
+    fn noop_insertions_add_no_delta() {
+        let g = gen::erdos_renyi_gnm(40, 120, 3).unwrap();
+        let existing: Vec<(Vertex, Vertex)> = g.edges().take(5).collect();
+        let mut dyn_idx = DynamicIndex::new(owned_any(&g, 2), &g).unwrap();
+        // Duplicates and self-loops are skipped without touching labels.
+        let mut batch = existing.clone();
+        batch.push((7, 7));
+        let stats = dyn_idx.apply(&batch).unwrap();
+        assert_eq!(stats.edges_applied, 0);
+        assert_eq!(stats.edges_skipped, existing.len() + 1);
+        assert_eq!(stats.entries_added, 0);
+        assert_eq!(dyn_idx.delta_entries(), 0);
+        assert_eq!(dyn_idx.epoch(), 0, "no-op batches do not bump the epoch");
+    }
+
+    #[test]
+    fn delta_prune_keeps_entries_minimal() {
+        // Path 0-1-2: closing the triangle with (0, 2) changes exactly
+        // one distance (d(0,2): 2 → 1). The overlay must stay tiny —
+        // combined pruning means no redundant entries, and in particular
+        // far fewer than a full per-root relabel would produce.
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut dyn_idx = DynamicIndex::new(owned_any(&g, 0), &g).unwrap();
+        let stats = dyn_idx.apply(&[(0, 2)]).unwrap();
+        assert_eq!(stats.edges_applied, 1);
+        assert_eq!(
+            dyn_idx.delta_entries(),
+            1,
+            "one changed distance needs exactly one delta entry"
+        );
+        assert_eq!(dyn_idx.distance(0, 2), Some(1));
+        assert_eq!(dyn_idx.epoch(), 1);
+    }
+
+    #[test]
+    fn epoch_counts_applied_batches() {
+        let g = gen::path(6).unwrap();
+        let mut dyn_idx = DynamicIndex::new(owned_any(&g, 0), &g).unwrap();
+        dyn_idx.apply(&[(0, 2)]).unwrap();
+        dyn_idx.apply(&[(0, 3), (1, 4)]).unwrap();
+        assert_eq!(dyn_idx.epoch(), 2);
+        assert_eq!(dyn_idx.update_stats().edges_applied, 3);
+        assert_eq!(dyn_idx.inserted_edges(), &[(0, 2), (0, 3), (1, 4)]);
+    }
+
+    #[test]
+    fn flatten_matches_dynamic_and_rebuild() {
+        let full = gen::erdos_renyi_gnm(50, 130, 11).unwrap();
+        let all: Vec<(Vertex, Vertex)> = full.edges().collect();
+        let base_graph = CsrGraph::from_edges(50, &all[..80]).unwrap();
+        let mut dyn_idx = DynamicIndex::new(view_any(&base_graph, 3), &base_graph).unwrap();
+        dyn_idx.apply(&all[80..]).unwrap();
+        let flat = dyn_idx.flatten(1).unwrap();
+        let rebuilt = IndexBuilder::new()
+            .bit_parallel_roots(3)
+            .build(&full)
+            .unwrap();
+        for s in 0..50u32 {
+            for t in 0..50u32 {
+                let d = dyn_idx.distance(s, t);
+                assert_eq!(flat.distance(s, t), d, "flatten pair ({s}, {t})");
+                assert_eq!(rebuilt.distance(s, t), d, "rebuild pair ({s}, {t})");
+            }
+        }
+        // The flattened index round-trips through v2 and still agrees.
+        let mut buf = Vec::new();
+        crate::v2::save_v2_index(&flat, &mut buf).unwrap();
+        let aligned = Arc::new(crate::storage::AlignedBytes::from_bytes(&buf));
+        let reopened = crate::v2::open_v2_bytes(aligned).unwrap();
+        for s in (0..50u32).step_by(3) {
+            for t in (0..50u32).step_by(7) {
+                assert_eq!(
+                    reopened.distance(s, t),
+                    dyn_idx.distance(s, t).map(u64::from)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_can_seed_a_new_dynamic_index() {
+        // Flatten → wrap again → keep inserting: the flattened index is
+        // a first-class base (its BP distances are stale upper bounds,
+        // which the pruning tolerates by design).
+        let full = gen::barabasi_albert(40, 2, 9).unwrap();
+        let all: Vec<(Vertex, Vertex)> = full.edges().collect();
+        let g0 = CsrGraph::from_edges(40, &all[..50]).unwrap();
+        let mut d0 = DynamicIndex::new(owned_any(&g0, 2), &g0).unwrap();
+        d0.apply(&all[50..60]).unwrap();
+        let flat = d0.flatten(1).unwrap();
+        let g1 = CsrGraph::from_edges(40, &all[..60]).unwrap();
+        let mut d1 = DynamicIndex::new(Arc::new(AnyIndex::Undirected(flat)), &g1).unwrap();
+        d1.apply(&all[60..]).unwrap();
+        assert_exact(&d1, &full);
+    }
+
+    #[test]
+    fn ordering_strategies_do_not_matter() {
+        let full = gen::erdos_renyi_gnm(45, 110, 5).unwrap();
+        let all: Vec<(Vertex, Vertex)> = full.edges().collect();
+        let base_graph = CsrGraph::from_edges(45, &all[..70]).unwrap();
+        for strat in [
+            OrderingStrategy::Degree,
+            OrderingStrategy::Random,
+            OrderingStrategy::Closeness { samples: 8 },
+        ] {
+            let idx = IndexBuilder::new()
+                .ordering(strat)
+                .bit_parallel_roots(2)
+                .build(&base_graph)
+                .unwrap();
+            let mut dyn_idx =
+                DynamicIndex::new(Arc::new(AnyIndex::Undirected(idx)), &base_graph).unwrap();
+            dyn_idx.apply(&all[70..]).unwrap();
+            assert_exact(&dyn_idx, &full);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_family_and_mismatched_graph() {
+        use pll_graph::wgraph::WeightedGraph;
+        let wg = WeightedGraph::from_edges(4, &[(0, 1, 2), (1, 2, 3)]).unwrap();
+        let widx = crate::weighted::WeightedIndexBuilder::new()
+            .build(&wg)
+            .unwrap();
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
+        let err = DynamicIndex::new(Arc::new(AnyIndex::Weighted(widx)), &g).unwrap_err();
+        assert!(matches!(err, PllError::Unsupported { .. }), "got {err}");
+
+        // Vertex-count mismatch.
+        let idx = owned_any(&g, 0);
+        let bigger = CsrGraph::from_edges(6, &[(0, 1), (1, 2)]).unwrap();
+        assert!(matches!(
+            DynamicIndex::new(Arc::clone(&idx), &bigger),
+            Err(PllError::Unsupported { .. })
+        ));
+        // Same n, visibly different edges: the spot check fires.
+        let other = CsrGraph::from_edges(4, &[(0, 3), (0, 2)]).unwrap();
+        assert!(matches!(
+            DynamicIndex::new(idx, &other),
+            Err(PllError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_rejects_out_of_range_before_mutating() {
+        let g = gen::path(5).unwrap();
+        let mut dyn_idx = DynamicIndex::new(owned_any(&g, 0), &g).unwrap();
+        let err = dyn_idx.apply(&[(0, 2), (1, 99)]).unwrap_err();
+        assert!(matches!(err, PllError::VertexOutOfRange { vertex: 99, .. }));
+        // The whole batch was rejected up front: nothing changed.
+        assert_eq!(dyn_idx.delta_entries(), 0);
+        assert_eq!(dyn_idx.distance(0, 2), Some(2));
+        assert_eq!(dyn_idx.epoch(), 0);
+    }
+
+    #[test]
+    fn bp_covered_pairs_get_fresh_coverage() {
+        // Saturate BP so phase 2 labels are almost empty: every pair is
+        // covered by bit-parallel certificates only. Inserting edges
+        // must still restore exactness via delta entries.
+        let full = gen::erdos_renyi_gnm(30, 80, 13).unwrap();
+        let all: Vec<(Vertex, Vertex)> = full.edges().collect();
+        let base_graph = CsrGraph::from_edges(30, &all[..50]).unwrap();
+        let base = owned_any(&base_graph, 64);
+        let mut dyn_idx = DynamicIndex::new(base, &base_graph).unwrap();
+        dyn_idx.apply(&all[50..]).unwrap();
+        assert_exact(&dyn_idx, &full);
+    }
+}

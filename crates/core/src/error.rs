@@ -44,6 +44,13 @@ pub enum PllError {
     },
     /// Path reconstruction requested on an index built without parents.
     ParentsNotStored,
+    /// The operation is not supported for this index family or input
+    /// (e.g. dynamic updates on a directed index, or a graph that does
+    /// not match the index it is paired with).
+    Unsupported {
+        /// Description of what is unsupported and why.
+        message: String,
+    },
     /// Construction aborted because the label budget configured with
     /// `IndexBuilder::abort_if_avg_label_exceeds` was exceeded (used by the
     /// Table 5 harness to report DNF for the Random ordering on graphs where
@@ -100,6 +107,7 @@ impl fmt::Display for PllError {
                 f,
                 "path reconstruction requires an index built with store_parents(true)"
             ),
+            PllError::Unsupported { message } => write!(f, "unsupported operation: {message}"),
             PllError::LabelBudgetExceeded { budget } => write!(
                 f,
                 "construction aborted: average label size exceeded the budget of {budget}"

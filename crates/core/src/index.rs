@@ -149,8 +149,20 @@ where
     }
 
     /// Whether `u` and `v` are in the same connected component.
+    ///
+    /// Equivalent to `distance(u, v).is_some()` but cheaper: the label
+    /// merge stops at the *first* shared hub (the intersection
+    /// sentinel ends it for disconnected pairs), and the bit-parallel
+    /// side only needs a finite-δ̃ pair, no distance math.
     pub fn connected(&self, u: Vertex, v: Vertex) -> bool {
-        self.distance(u, v).is_some()
+        assert!((u as usize) < self.num_vertices());
+        assert!((v as usize) < self.num_vertices());
+        if u == v {
+            return true;
+        }
+        let ru = self.inv.as_ref()[u as usize];
+        let rv = self.inv.as_ref()[v as usize];
+        self.bp.co_reachable(ru, rv) || self.labels.shares_hub(ru, rv)
     }
 
     /// The vertex order used at construction: `order()[rank] = vertex`.

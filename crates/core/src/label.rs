@@ -272,6 +272,30 @@ impl<S: LabelStorage<Dist = Dist>> LabelSet<S> {
         (best != INF_QUERY).then_some((best, hub))
     }
 
+    /// Whether the labels of `u` and `v` share at least one hub — the
+    /// same merge as [`LabelSet::query`] but returning at the *first*
+    /// common hub (or the shared sentinel), without summing distances.
+    /// Hub labelings put a common hub on every connected pair, so this
+    /// is the label half of a same-component test at a fraction of a
+    /// distance query's work.
+    #[inline]
+    pub fn shares_hub(&self, u: Rank, v: Rank) -> bool {
+        let (ur, _) = self.label(u);
+        let (vr, _) = self.label(v);
+        let mut i = 0usize;
+        let mut j = 0usize;
+        loop {
+            let (ru, rv) = (ur[i], vr[j]);
+            if ru == rv {
+                return ru != RANK_SENTINEL;
+            } else if ru < rv {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+
     /// Distance from `v` to hub `w` if `w` labels `v` (binary search over
     /// the sorted label).
     pub fn hub_distance(&self, v: Rank, w: Rank) -> Option<Dist> {
@@ -431,6 +455,20 @@ mod tests {
         assert_eq!(ls.query_with_hub(0, 1), Some((2, 1)));
         let empty = small_set();
         assert_eq!(empty.query_with_hub(0, 2), None);
+    }
+
+    #[test]
+    fn shares_hub_matches_query_reachability() {
+        let ls = small_set();
+        for u in 0..3 as Rank {
+            for v in 0..3 as Rank {
+                assert_eq!(
+                    ls.shares_hub(u, v),
+                    ls.query(u, v) != INF_QUERY,
+                    "pair ({u}, {v})"
+                );
+            }
+        }
     }
 
     #[test]

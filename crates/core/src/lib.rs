@@ -43,6 +43,7 @@ pub mod build;
 pub mod compact;
 pub mod directed;
 pub mod disk;
+pub mod dynamic;
 pub mod error;
 pub mod index;
 pub mod label;
@@ -62,6 +63,7 @@ pub mod weighted_directed;
 pub use build::{BuildObserver, IndexBuilder, PartialIndex};
 pub use compact::CompactIndex;
 pub use directed::{DirectedIndexBuilder, DirectedPllIndex, DirectedPllIndexView};
+pub use dynamic::{DynamicIndex, UpdateStats};
 pub use error::{PllError, Result};
 pub use index::{PllIndex, PllIndexView};
 pub use label::{LabelSet, LabelSetView};

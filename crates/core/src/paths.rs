@@ -8,16 +8,30 @@
 
 use crate::error::{PllError, Result};
 use crate::index::PllIndex;
-use crate::types::{Rank, Vertex, RANK_SENTINEL};
+use crate::storage::{BpStorage, LabelStorage};
+use crate::types::{Dist, Rank, Vertex, RANK_SENTINEL};
 
 /// Reconstructs one shortest path from `u` to `v` (inclusive), or `None`
 /// when disconnected.
+///
+/// Generic over the index's storage backends: the same climb runs on an
+/// owned index and on a zero-copy v2 view (which is how `pll serve`
+/// answers `PATH` frames in place).
 ///
 /// # Errors
 ///
 /// [`PllError::ParentsNotStored`] if the index lacks parent pointers, and
 /// [`PllError::VertexOutOfRange`] for bad endpoints.
-pub fn shortest_path(index: &PllIndex, u: Vertex, v: Vertex) -> Result<Option<Vec<Vertex>>> {
+pub fn shortest_path<O, L, B>(
+    index: &PllIndex<O, L, B>,
+    u: Vertex,
+    v: Vertex,
+) -> Result<Option<Vec<Vertex>>>
+where
+    O: AsRef<[u32]>,
+    L: LabelStorage<Dist = Dist>,
+    B: BpStorage,
+{
     let n = index.num_vertices();
     for x in [u, v] {
         if x as usize >= n {

@@ -824,6 +824,62 @@ impl AnyIndex {
         }
     }
 
+    /// Whether `t` is reachable from `s`: a same-component check for
+    /// the undirected families (early-exit label intersection /
+    /// bit-parallel co-reachability, no distance math), reachability
+    /// for the directed ones.
+    pub fn try_connected(&self, s: u32, t: u32) -> Result<bool> {
+        let n = self.num_vertices();
+        for x in [s, t] {
+            if x as usize >= n {
+                return Err(PllError::VertexOutOfRange {
+                    vertex: x,
+                    num_vertices: n,
+                });
+            }
+        }
+        match self {
+            AnyIndex::Undirected(idx) => Ok(idx.connected(s, t)),
+            AnyIndex::UndirectedView(idx) => Ok(idx.connected(s, t)),
+            other => Ok(other.distance(s, t).is_some()),
+        }
+    }
+
+    /// Whether this index can answer [`AnyIndex::shortest_path`]
+    /// requests (undirected family with parent pointers stored).
+    pub fn supports_paths(&self) -> bool {
+        match self {
+            AnyIndex::Undirected(idx) => idx.has_parents(),
+            AnyIndex::UndirectedView(idx) => idx.has_parents(),
+            _ => false,
+        }
+    }
+
+    /// Reconstructs one shortest path from `s` to `t` (inclusive), or
+    /// `None` when disconnected; works on both the owned and zero-copy
+    /// undirected representations.
+    ///
+    /// # Errors
+    ///
+    /// [`PllError::Unsupported`] for the directed/weighted families
+    /// (their builders do not store parent pointers),
+    /// [`PllError::ParentsNotStored`] when the undirected index was
+    /// built without them, [`PllError::VertexOutOfRange`] for bad
+    /// endpoints.
+    pub fn shortest_path(&self, s: u32, t: u32) -> Result<Option<Vec<u32>>> {
+        match self {
+            AnyIndex::Undirected(idx) => crate::paths::shortest_path(idx, s, t),
+            AnyIndex::UndirectedView(idx) => crate::paths::shortest_path(idx, s, t),
+            other => Err(PllError::Unsupported {
+                message: format!(
+                    "path reconstruction is implemented for the undirected index only \
+                     (this is a {} index)",
+                    other.format().name()
+                ),
+            }),
+        }
+    }
+
     /// Construction statistics (persisted by v2 files; default for v1).
     pub fn stats(&self) -> &ConstructionStats {
         with_index!(self, idx => idx.stats())
@@ -977,6 +1033,67 @@ mod tests {
                 assert_eq!(any.distance(s, t), idx.distance(s, t));
             }
         }
+    }
+
+    #[test]
+    fn connected_and_paths_over_anyindex() {
+        // Two components with parents stored: PATH and CONNECTED must
+        // work identically on the owned index and the zero-copy view.
+        let g =
+            pll_graph::CsrGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]).unwrap();
+        let idx = IndexBuilder::new()
+            .bit_parallel_roots(0)
+            .store_parents(true)
+            .build(&g)
+            .unwrap();
+        let mut buf = Vec::new();
+        save_v2_index(&idx, &mut buf).unwrap();
+        let view = open_bytes(&buf).unwrap();
+        let owned = AnyIndex::Undirected(idx);
+        for any in [&owned, &view] {
+            assert!(any.supports_paths());
+            assert!(any.try_connected(0, 3).unwrap());
+            assert!(!any.try_connected(0, 6).unwrap());
+            assert!(any.try_connected(2, 2).unwrap());
+            assert!(matches!(
+                any.try_connected(0, 99),
+                Err(PllError::VertexOutOfRange { .. })
+            ));
+            assert_eq!(
+                any.shortest_path(0, 3).unwrap(),
+                Some(vec![0, 1, 2, 3]),
+                "path 0..3"
+            );
+            assert_eq!(any.shortest_path(0, 6).unwrap(), None);
+            assert_eq!(any.shortest_path(5, 5).unwrap(), Some(vec![5]));
+            assert!(matches!(
+                any.shortest_path(0, 99),
+                Err(PllError::VertexOutOfRange { .. })
+            ));
+        }
+        // Without parents: PATH errors, CONNECTED still answers.
+        let bare =
+            AnyIndex::Undirected(IndexBuilder::new().bit_parallel_roots(2).build(&g).unwrap());
+        assert!(!bare.supports_paths());
+        assert!(matches!(
+            bare.shortest_path(0, 3),
+            Err(PllError::ParentsNotStored)
+        ));
+        assert!(bare.try_connected(1, 3).unwrap());
+        // Non-undirected families refuse PATH with a typed error.
+        use pll_graph::wgraph::WeightedGraph;
+        let wg = WeightedGraph::from_edges(3, &[(0, 1, 2), (1, 2, 3)]).unwrap();
+        let weighted = AnyIndex::Weighted(
+            crate::weighted::WeightedIndexBuilder::new()
+                .build(&wg)
+                .unwrap(),
+        );
+        assert!(!weighted.supports_paths());
+        assert!(matches!(
+            weighted.shortest_path(0, 2),
+            Err(PllError::Unsupported { .. })
+        ));
+        assert!(weighted.try_connected(0, 2).unwrap());
     }
 
     #[test]

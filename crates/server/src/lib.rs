@@ -1,6 +1,6 @@
-//! A concurrent TCP query service over a shared, read-only pruned
-//! landmark labeling index — the serving half of the paper's story: once
-//! built, the index answers each query from two contiguous regions in
+//! A concurrent TCP query service over a shared pruned landmark
+//! labeling index — the serving half of the paper's story: once built,
+//! the index answers each query from two contiguous regions in
 //! microseconds, so one process can sustain heavy query traffic.
 //!
 //! Architecture (std-only, no async runtime):
@@ -8,12 +8,20 @@
 //! * the listener thread accepts connections and feeds them to a
 //!   fixed-size worker pool over an `mpsc` channel;
 //! * each worker owns one connection at a time and serves its stream of
-//!   length-prefixed requests ([`protocol`]) against the shared
+//!   length-prefixed requests ([`protocol`]) against the served
 //!   [`AnyIndex`] — zero-copy v2 indices are queried in place, so workers
 //!   share one buffer with no per-query allocation beyond the response
 //!   frame;
+//! * the served index lives in an **epoch-tagged swap cell**
+//!   ([`SwapCell`], an `ArcSwap`-style `RwLock<Arc<_>>`): every request
+//!   pins one immutable snapshot, so an [`protocol::OP_UPDATE`] — which
+//!   applies edge insertions to a [`pll_core::DynamicIndex`] overlay,
+//!   flattens, and stores the new index — swaps **atomically**: requests
+//!   in flight finish on the epoch they started on, later requests see
+//!   the new epoch, and no connection is ever dropped. `INFO` reports
+//!   the epoch, making hot-swaps observable from the client side;
 //! * per-worker [`metrics::WorkerMetrics`] (relaxed atomics) record
-//!   QPS and a log₂ service-latency histogram;
+//!   QPS, applied updates and a log₂ service-latency histogram;
 //! * graceful shutdown: an [`protocol::OP_SHUTDOWN`] request (or
 //!   [`ServerHandle::shutdown`]) stops the accept loop, drains queued
 //!   connections, lets in-flight requests finish, and
@@ -26,15 +34,17 @@ pub mod metrics;
 pub mod protocol;
 
 use metrics::{summarize, ServerSummary, WorkerMetrics};
-use pll_core::AnyIndex;
+use pll_core::{AnyIndex, DynamicIndex};
+use pll_graph::CsrGraph;
 use protocol::{
-    format_code, write_frame, ProtocolError, MAX_BATCH, OP_BATCH, OP_INFO, OP_QUERY, OP_SHUTDOWN,
-    STATUS_BAD_REQUEST, STATUS_OK, STATUS_QUERY_ERROR, UNREACHABLE,
+    format_code, write_frame, ProtocolError, MAX_BATCH, OP_BATCH, OP_CONNECTED, OP_INFO, OP_PATH,
+    OP_QUERY, OP_SHUTDOWN, OP_UPDATE, STATUS_BAD_REQUEST, STATUS_OK, STATUS_QUERY_ERROR,
+    STATUS_UNSUPPORTED, UNREACHABLE,
 };
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// How long a worker blocks on a quiet connection before re-checking the
@@ -67,12 +77,16 @@ impl Default for ServerConfig {
 pub enum ServeError {
     /// Could not bind or accept.
     Io(std::io::Error),
+    /// Could not set up the dynamic-update state (wrong index family or
+    /// a graph that does not match the index).
+    Dynamic(pll_core::PllError),
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Io(e) => write!(f, "server I/O error: {e}"),
+            ServeError::Dynamic(e) => write!(f, "cannot enable dynamic updates: {e}"),
         }
     }
 }
@@ -85,6 +99,66 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
+/// One served index generation: the epoch tag plus the immutable index
+/// every request of that generation answers from.
+#[derive(Debug)]
+pub struct EpochIndex {
+    /// Generation counter: 0 at startup, +1 per applied `UPDATE` swap.
+    pub epoch: u64,
+    /// The index served at this epoch.
+    pub index: Arc<AnyIndex>,
+}
+
+/// An `ArcSwap`-style cell holding the currently served [`EpochIndex`].
+///
+/// Readers take a snapshot `Arc` (one brief read lock, then lock-free
+/// use); a swap replaces the `Arc` under a write lock that is held only
+/// for the pointer exchange. Requests already holding a snapshot keep
+/// answering on their epoch — nothing blocks, nothing drops.
+#[derive(Debug)]
+pub struct SwapCell {
+    inner: RwLock<Arc<EpochIndex>>,
+}
+
+impl SwapCell {
+    /// Wraps `index` as epoch 0.
+    pub fn new(index: Arc<AnyIndex>) -> SwapCell {
+        SwapCell {
+            inner: RwLock::new(Arc::new(EpochIndex { epoch: 0, index })),
+        }
+    }
+
+    /// Pins the current generation.
+    pub fn load(&self) -> Arc<EpochIndex> {
+        Arc::clone(&self.inner.read().expect("swap cell poisoned"))
+    }
+
+    /// Atomically publishes `index` as generation `epoch`.
+    pub fn store(&self, epoch: u64, index: Arc<AnyIndex>) {
+        *self.inner.write().expect("swap cell poisoned") = Arc::new(EpochIndex { epoch, index });
+    }
+}
+
+/// The dynamic-update overlay plus its health: a mid-batch failure
+/// (e.g. an 8-bit distance overflow halfway through `apply`) leaves the
+/// overlay partially updated, and flattening such state would publish a
+/// *wrong* index — so the first failure poisons the updater and every
+/// later `UPDATE` is refused while the already-published epochs keep
+/// serving untouched.
+struct UpdaterState {
+    dynamic: DynamicIndex,
+    poisoned: Option<String>,
+}
+
+/// State shared by every worker: the swap cell and, when the server was
+/// started with the graph, the dynamic-update overlay behind a mutex
+/// (updates serialise; queries never take it).
+struct ServeShared {
+    cell: SwapCell,
+    updater: Option<Mutex<UpdaterState>>,
+    flatten_threads: usize,
+}
+
 /// A running server: owns the listener and worker threads.
 pub struct ServerHandle {
     local_addr: SocketAddr,
@@ -92,6 +166,7 @@ pub struct ServerHandle {
     listener_thread: std::thread::JoinHandle<()>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
     worker_metrics: Arc<Vec<WorkerMetrics>>,
+    shared: Arc<ServeShared>,
     started: Instant,
 }
 
@@ -117,6 +192,17 @@ impl ServerHandle {
         self.shutdown.load(Ordering::SeqCst)
     }
 
+    /// The currently served index generation (epoch 0 until the first
+    /// applied `UPDATE`).
+    pub fn current_epoch(&self) -> u64 {
+        self.shared.cell.load().epoch
+    }
+
+    /// Whether this server accepts `UPDATE` frames.
+    pub fn is_dynamic(&self) -> bool {
+        self.shared.updater.is_some()
+    }
+
     /// Waits for the accept loop and every worker to finish (i.e. until
     /// someone requests shutdown and in-flight connections drain), then
     /// returns the aggregated metrics.
@@ -125,16 +211,64 @@ impl ServerHandle {
         for w in self.worker_threads {
             w.join().expect("worker thread");
         }
-        summarize(&self.worker_metrics, self.started.elapsed().as_secs_f64())
+        summarize(
+            &self.worker_metrics,
+            self.started.elapsed().as_secs_f64(),
+            self.shared.cell.load().epoch,
+        )
     }
 }
 
-/// Starts the service: binds `config.addr`, spawns the worker pool and
-/// the accept loop, and returns immediately with a [`ServerHandle`].
+/// Starts a read-only service: binds `config.addr`, spawns the worker
+/// pool and the accept loop, and returns immediately with a
+/// [`ServerHandle`]. `UPDATE` frames answer
+/// [`protocol::STATUS_UNSUPPORTED`]; use [`serve_dynamic`] with the
+/// graph to enable them.
 ///
 /// The index is shared read-only across workers; for a v2 (zero-copy)
 /// index that means all workers answer from the same mapped buffer.
 pub fn serve(index: Arc<AnyIndex>, config: &ServerConfig) -> Result<ServerHandle, ServeError> {
+    serve_dynamic(index, None, config)
+}
+
+/// Starts the service with dynamic updates enabled when `graph` is
+/// provided: `UPDATE` frames apply edge insertions to a
+/// [`DynamicIndex`] overlay, flatten, and hot-swap the served index to
+/// the next epoch while in-flight requests drain on the old one.
+///
+/// `graph` must be the (undirected) graph `index` was built from; the
+/// overlay constructor rejects mismatches and non-undirected families.
+/// Indices with parent pointers are rejected too: the post-update
+/// flatten drops parents, so the first applied `UPDATE` would silently
+/// turn `PATH` off mid-session — serve those read-only instead.
+pub fn serve_dynamic(
+    index: Arc<AnyIndex>,
+    graph: Option<&CsrGraph>,
+    config: &ServerConfig,
+) -> Result<ServerHandle, ServeError> {
+    let updater = match graph {
+        Some(g) => {
+            if index.supports_paths() {
+                return Err(ServeError::Dynamic(pll_core::PllError::Unsupported {
+                    message: "this index stores parent pointers, which dynamic updates \
+                              cannot maintain (the post-update flatten drops them, \
+                              disabling PATH mid-session); serve it without --graph, or \
+                              rebuild without --store-parents to serve dynamically"
+                        .into(),
+                }));
+            }
+            Some(Mutex::new(UpdaterState {
+                dynamic: DynamicIndex::new(Arc::clone(&index), g).map_err(ServeError::Dynamic)?,
+                poisoned: None,
+            }))
+        }
+        None => None,
+    };
+    let shared = Arc::new(ServeShared {
+        cell: SwapCell::new(index),
+        updater,
+        flatten_threads: config.threads,
+    });
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -154,7 +288,7 @@ pub fn serve(index: Arc<AnyIndex>, config: &ServerConfig) -> Result<ServerHandle
     let mut worker_threads = Vec::with_capacity(threads);
     for worker_id in 0..threads {
         let rx = Arc::clone(&rx);
-        let index = Arc::clone(&index);
+        let shared = Arc::clone(&shared);
         let shutdown = Arc::clone(&shutdown);
         let metrics = Arc::clone(&worker_metrics);
         worker_threads.push(
@@ -170,7 +304,7 @@ pub fn serve(index: Arc<AnyIndex>, config: &ServerConfig) -> Result<ServerHandle
                         };
                         match conn {
                             Ok(stream) => {
-                                serve_connection(&index, stream, &metrics[worker_id], &shutdown);
+                                serve_connection(&shared, stream, &metrics[worker_id], &shutdown);
                                 metrics[worker_id]
                                     .connections
                                     .fetch_add(1, Ordering::Relaxed);
@@ -220,6 +354,7 @@ pub fn serve(index: Arc<AnyIndex>, config: &ServerConfig) -> Result<ServerHandle
         listener_thread,
         worker_threads,
         worker_metrics,
+        shared,
         started: Instant::now(),
     })
 }
@@ -285,7 +420,7 @@ fn read_frame_shutdown_aware(
 
 /// Serves one connection until EOF, a transport error, or shutdown.
 fn serve_connection(
-    index: &AnyIndex,
+    shared: &ServeShared,
     stream: TcpStream,
     metrics: &WorkerMetrics,
     shutdown: &AtomicBool,
@@ -303,106 +438,231 @@ fn serve_connection(
             }
         };
         let started = Instant::now();
-        let (response, queries, stop) = handle_request(index, &frame, shutdown);
-        if response[0] != STATUS_OK {
+        let r = handle_request(shared, &frame, shutdown);
+        if r.payload[0] != STATUS_OK {
             metrics.errors.fetch_add(1, Ordering::Relaxed);
         }
-        if write_frame(&mut writer, &response).is_err() {
+        if r.updates > 0 {
+            metrics.updates.fetch_add(r.updates, Ordering::Relaxed);
+        }
+        if write_frame(&mut writer, &r.payload).is_err() {
             break;
         }
-        metrics.record_request(started.elapsed().as_nanos() as u64, queries);
-        if stop {
+        metrics.record_request(started.elapsed().as_nanos() as u64, r.queries);
+        if r.close {
             break;
         }
     }
 }
 
-fn error_response(status: u8, message: &str) -> Vec<u8> {
+fn error_response(status: u8, message: &str) -> Response {
     let mut out = Vec::with_capacity(1 + message.len());
     out.push(status);
     out.extend_from_slice(message.as_bytes());
-    out
+    Response {
+        payload: out,
+        queries: 0,
+        updates: 0,
+        close: false,
+    }
 }
 
-/// Dispatches one request frame. Returns `(response payload, distance
-/// queries answered, close connection after responding)`.
-fn handle_request(index: &AnyIndex, frame: &[u8], shutdown: &AtomicBool) -> (Vec<u8>, u64, bool) {
+/// One dispatched request's outcome.
+struct Response {
+    /// Response frame payload (status byte first).
+    payload: Vec<u8>,
+    /// Distance/path/connectivity queries answered (for QPS metrics).
+    queries: u64,
+    /// UPDATE batches applied.
+    updates: u64,
+    /// Close the connection after responding.
+    close: bool,
+}
+
+fn ok_response(payload: Vec<u8>, queries: u64) -> Response {
+    Response {
+        payload,
+        queries,
+        updates: 0,
+        close: false,
+    }
+}
+
+/// Maps a query-time error to its wire status.
+fn query_error(e: pll_core::PllError) -> Response {
+    use pll_core::PllError;
+    let status = match &e {
+        PllError::Unsupported { .. } | PllError::ParentsNotStored => STATUS_UNSUPPORTED,
+        _ => STATUS_QUERY_ERROR,
+    };
+    error_response(status, &e.to_string())
+}
+
+/// Dispatches one request frame against a pinned snapshot of the served
+/// index. Every op except `UPDATE` runs on the snapshot alone; `UPDATE`
+/// takes the updater mutex, applies + flattens, and publishes the next
+/// epoch to the swap cell.
+fn handle_request(shared: &ServeShared, frame: &[u8], shutdown: &AtomicBool) -> Response {
     let Some((&op, body)) = frame.split_first() else {
-        return (
-            error_response(STATUS_BAD_REQUEST, "empty request frame"),
-            0,
-            false,
-        );
+        return error_response(STATUS_BAD_REQUEST, "empty request frame");
+    };
+    let snapshot = shared.cell.load();
+    let index = &*snapshot.index;
+    let pair = |body: &[u8]| -> (u32, u32) {
+        (
+            u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")),
+            u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")),
+        )
     };
     match op {
         OP_QUERY => {
             if body.len() != 8 {
-                return (
-                    error_response(STATUS_BAD_REQUEST, "QUERY body must be 8 bytes"),
-                    0,
-                    false,
-                );
+                return error_response(STATUS_BAD_REQUEST, "QUERY body must be 8 bytes");
             }
-            let s = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
-            let t = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
+            let (s, t) = pair(body);
             match index.try_distance(s, t) {
                 Ok(d) => {
                     let mut out = Vec::with_capacity(9);
                     out.push(STATUS_OK);
                     out.extend_from_slice(&d.unwrap_or(UNREACHABLE).to_le_bytes());
-                    (out, 1, false)
+                    ok_response(out, 1)
                 }
-                Err(e) => (error_response(STATUS_QUERY_ERROR, &e.to_string()), 0, false),
+                Err(e) => query_error(e),
             }
         }
         OP_BATCH => {
             if body.len() < 4 {
-                return (
-                    error_response(STATUS_BAD_REQUEST, "BATCH body too short"),
-                    0,
-                    false,
-                );
+                return error_response(STATUS_BAD_REQUEST, "BATCH body too short");
             }
             let count = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")) as usize;
             if count > MAX_BATCH || body.len() != 4 + count * 8 {
-                return (
-                    error_response(STATUS_BAD_REQUEST, "BATCH count disagrees with body"),
-                    0,
-                    false,
-                );
+                return error_response(STATUS_BAD_REQUEST, "BATCH count disagrees with body");
             }
             let mut out = Vec::with_capacity(5 + count * 8);
             out.push(STATUS_OK);
             out.extend_from_slice(&(count as u32).to_le_bytes());
-            for pair in body[4..].chunks_exact(8) {
-                let s = u32::from_le_bytes(pair[0..4].try_into().expect("4 bytes"));
-                let t = u32::from_le_bytes(pair[4..8].try_into().expect("4 bytes"));
+            for chunk in body[4..].chunks_exact(8) {
+                let (s, t) = pair(chunk);
                 match index.try_distance(s, t) {
                     Ok(d) => out.extend_from_slice(&d.unwrap_or(UNREACHABLE).to_le_bytes()),
-                    Err(e) => {
-                        return (error_response(STATUS_QUERY_ERROR, &e.to_string()), 0, false)
-                    }
+                    Err(e) => return query_error(e),
                 }
             }
-            (out, count as u64, false)
+            ok_response(out, count as u64)
+        }
+        OP_PATH => {
+            if body.len() != 8 {
+                return error_response(STATUS_BAD_REQUEST, "PATH body must be 8 bytes");
+            }
+            let (s, t) = pair(body);
+            match index.shortest_path(s, t) {
+                Ok(path) => {
+                    let path = path.unwrap_or_default();
+                    let mut out = Vec::with_capacity(5 + path.len() * 4);
+                    out.push(STATUS_OK);
+                    out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+                    for v in path {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                    ok_response(out, 1)
+                }
+                Err(e) => query_error(e),
+            }
+        }
+        OP_CONNECTED => {
+            if body.len() != 8 {
+                return error_response(STATUS_BAD_REQUEST, "CONNECTED body must be 8 bytes");
+            }
+            let (s, t) = pair(body);
+            match index.try_connected(s, t) {
+                Ok(c) => ok_response(vec![STATUS_OK, c as u8], 1),
+                Err(e) => query_error(e),
+            }
+        }
+        OP_UPDATE => {
+            if body.len() < 4 {
+                return error_response(STATUS_BAD_REQUEST, "UPDATE body too short");
+            }
+            let count = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")) as usize;
+            if count > MAX_BATCH || body.len() != 4 + count * 8 {
+                return error_response(STATUS_BAD_REQUEST, "UPDATE count disagrees with body");
+            }
+            let Some(updater) = &shared.updater else {
+                return error_response(
+                    STATUS_UNSUPPORTED,
+                    "server was started without the graph (pll serve --graph) or over a \
+                     non-undirected index; UPDATE is disabled",
+                );
+            };
+            let edges: Vec<(u32, u32)> = body[4..].chunks_exact(8).map(pair).collect();
+            // Updates serialise on the mutex; queries keep flowing on
+            // the snapshot they pinned.
+            let mut state = updater.lock().expect("updater mutex poisoned");
+            if let Some(why) = &state.poisoned {
+                return error_response(
+                    STATUS_UNSUPPORTED,
+                    &format!(
+                        "updates disabled: an earlier UPDATE failed mid-batch and left \
+                         the overlay inconsistent ({why}); already-published epochs keep \
+                         serving — rebuild and restart to update again"
+                    ),
+                );
+            }
+            let stats = match state.dynamic.apply(&edges) {
+                Ok(stats) => stats,
+                Err(e) => {
+                    // A failed apply may have mutated part of the
+                    // overlay; never flatten/publish it again.
+                    state.poisoned = Some(e.to_string());
+                    return query_error(e);
+                }
+            };
+            if stats.edges_applied > 0 {
+                let flat = match state.dynamic.flatten(shared.flatten_threads) {
+                    Ok(flat) => flat,
+                    Err(e) => {
+                        state.poisoned = Some(e.to_string());
+                        return query_error(e);
+                    }
+                };
+                shared
+                    .cell
+                    .store(state.dynamic.epoch(), Arc::new(AnyIndex::Undirected(flat)));
+            }
+            let epoch = state.dynamic.epoch();
+            drop(state);
+            let mut out = Vec::with_capacity(17);
+            out.push(STATUS_OK);
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&(stats.edges_applied as u32).to_le_bytes());
+            out.extend_from_slice(&(stats.edges_skipped as u32).to_le_bytes());
+            Response {
+                payload: out,
+                queries: 0,
+                updates: u64::from(stats.edges_applied > 0),
+                close: false,
+            }
         }
         OP_INFO => {
-            let mut out = Vec::with_capacity(11);
+            let mut out = Vec::with_capacity(20);
             out.push(STATUS_OK);
             out.extend_from_slice(&(index.num_vertices() as u64).to_le_bytes());
             out.push(format_code(index.format()));
             out.push(index.format_version());
-            (out, 0, false)
+            out.extend_from_slice(&snapshot.epoch.to_le_bytes());
+            out.push(shared.updater.is_some() as u8);
+            ok_response(out, 0)
         }
         OP_SHUTDOWN => {
             shutdown.store(true, Ordering::SeqCst);
-            (vec![STATUS_OK], 0, true)
+            Response {
+                payload: vec![STATUS_OK],
+                queries: 0,
+                updates: 0,
+                close: true,
+            }
         }
-        other => (
-            error_response(STATUS_BAD_REQUEST, &format!("unknown opcode {other}")),
-            0,
-            false,
-        ),
+        other => error_response(STATUS_BAD_REQUEST, &format!("unknown opcode {other}")),
     }
 }
 
@@ -448,6 +708,8 @@ mod tests {
         assert_eq!(info.num_vertices, 120);
         assert_eq!(info.format, 0);
         assert_eq!(info.format_version, 2);
+        assert_eq!(info.epoch, 0);
+        assert!(!info.dynamic, "no graph given, updates disabled");
 
         let pairs: Vec<(u32, u32)> = (0..40u32).map(|i| (i, (i * 7 + 3) % 120)).collect();
         for &(s, t) in &pairs[..10] {
@@ -510,6 +772,185 @@ mod tests {
         let summary = handle.join();
         assert_eq!(summary.queries, 4 * 200);
         assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn path_connected_and_update_ops() {
+        // A parents index serves PATH; CONNECTED works everywhere; an
+        // UPDATE without --graph answers UNSUPPORTED.
+        let g = pll_graph::CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (4, 5)]).unwrap();
+        let idx = pll_core::IndexBuilder::new()
+            .bit_parallel_roots(0)
+            .store_parents(true)
+            .build(&g)
+            .unwrap();
+        let index = Arc::new(AnyIndex::Undirected(idx));
+        let handle = serve(
+            Arc::clone(&index),
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let mut client = protocol::Client::connect(&handle.local_addr().to_string()).unwrap();
+
+        assert_eq!(client.path(0, 3).unwrap(), Some(vec![0, 1, 2, 3]));
+        assert_eq!(client.path(2, 2).unwrap(), Some(vec![2]));
+        assert_eq!(client.path(0, 5).unwrap(), None, "disconnected pair");
+        assert!(client.connected(0, 3).unwrap());
+        assert!(!client.connected(0, 4).unwrap());
+        assert!(client.connected(5, 5).unwrap());
+        // Out-of-range endpoints: QUERY_ERROR, connection stays usable.
+        assert!(matches!(
+            client.connected(0, 99).unwrap_err(),
+            ProtocolError::Server {
+                status: STATUS_QUERY_ERROR,
+                ..
+            }
+        ));
+        // UPDATE on a static server: UNSUPPORTED, connection usable.
+        assert!(matches!(
+            client.update(&[(0, 3)]).unwrap_err(),
+            ProtocolError::Server {
+                status: STATUS_UNSUPPORTED,
+                ..
+            }
+        ));
+        assert_eq!(client.query(0, 3).unwrap(), Some(3));
+        client.shutdown_server().unwrap();
+        let summary = handle.join();
+        assert_eq!(summary.final_epoch, 0);
+        assert_eq!(summary.updates, 0);
+        assert_eq!(summary.errors, 2);
+    }
+
+    #[test]
+    fn parents_index_cannot_be_served_dynamically() {
+        // The post-update flatten drops parent pointers, which would
+        // silently turn PATH off mid-session — so --graph over a
+        // parents index must be refused at startup, not discovered by
+        // a failing client later.
+        let g = pll_graph::CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let idx = pll_core::IndexBuilder::new()
+            .bit_parallel_roots(0)
+            .store_parents(true)
+            .build(&g)
+            .unwrap();
+        let err = match serve_dynamic(
+            Arc::new(AnyIndex::Undirected(idx)),
+            Some(&g),
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 1,
+            },
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("parents + --graph must be refused"),
+        };
+        assert!(matches!(err, ServeError::Dynamic(_)), "got {err}");
+        assert!(err.to_string().contains("parent pointers"));
+    }
+
+    #[test]
+    fn update_hot_swaps_epochs_under_concurrent_queries() {
+        // Start a dynamic server over a ring missing its chords, hammer
+        // it with query threads while the main thread applies UPDATE
+        // batches, and require (a) zero transport/query errors — no
+        // connection is dropped by a swap — and (b) post-swap answers
+        // equal to a from-scratch rebuild on the updated graph.
+        let n = 60u32;
+        let ring: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let chords: Vec<(u32, u32)> = (0..n / 2).step_by(5).map(|i| (i, i + n / 2)).collect();
+        let g = pll_graph::CsrGraph::from_edges(n as usize, &ring).unwrap();
+        let idx = pll_core::IndexBuilder::new()
+            .bit_parallel_roots(2)
+            .build(&g)
+            .unwrap();
+        let index = Arc::new(AnyIndex::Undirected(idx));
+        let handle = serve_dynamic(
+            Arc::clone(&index),
+            Some(&g),
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 4,
+            },
+        )
+        .unwrap();
+        assert!(handle.is_dynamic());
+        assert_eq!(handle.current_epoch(), 0);
+        let addr = handle.local_addr().to_string();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut query_threads = Vec::new();
+        for c in 0..2u32 {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            query_threads.push(std::thread::spawn(move || {
+                let mut client = protocol::Client::connect(&addr).unwrap();
+                let mut served = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let pairs: Vec<(u32, u32)> = (0..32u32)
+                        .map(|i| ((i * 7 + c) % n, (i * 13 + 5) % n))
+                        .collect();
+                    // Distances may shrink mid-loop (that is the point);
+                    // the transport must never error.
+                    let answers = client.batch(&pairs).unwrap();
+                    assert!(answers.iter().all(|d| d.is_some()), "ring is connected");
+                    served += answers.len() as u64;
+                }
+                served
+            }));
+        }
+
+        let mut control = protocol::Client::connect(&addr).unwrap();
+        let info0 = control.info().unwrap();
+        assert!(info0.dynamic);
+        assert_eq!(info0.epoch, 0);
+        for (i, chunk) in chords.chunks(3).enumerate() {
+            let ack = control.update(chunk).unwrap();
+            assert_eq!(ack.applied as usize, chunk.len());
+            assert_eq!(ack.skipped, 0);
+            assert_eq!(ack.epoch, i as u64 + 1);
+        }
+        // Re-applying the same edges is a visible no-op.
+        let ack = control.update(&chords).unwrap();
+        assert_eq!(ack.applied, 0);
+        assert_eq!(ack.skipped as usize, chords.len());
+        let epochs = chords.chunks(3).count() as u64;
+        assert_eq!(ack.epoch, epochs);
+        let info1 = control.info().unwrap();
+        assert_eq!(info1.epoch, epochs, "INFO observes the hot-swap");
+        assert_eq!(handle.current_epoch(), epochs);
+
+        stop.store(true, Ordering::SeqCst);
+        for t in query_threads {
+            assert!(t.join().unwrap() > 0);
+        }
+
+        // Post-swap answers equal a from-scratch rebuild of the updated
+        // graph.
+        let mut full = ring.clone();
+        full.extend_from_slice(&chords);
+        let updated = pll_graph::CsrGraph::from_edges(n as usize, &full).unwrap();
+        let rebuilt = pll_core::IndexBuilder::new()
+            .bit_parallel_roots(2)
+            .build(&updated)
+            .unwrap();
+        for s in 0..n {
+            for t in (0..n).step_by(7) {
+                assert_eq!(
+                    control.query(s, t).unwrap(),
+                    rebuilt.distance(s, t).map(u64::from),
+                    "post-swap pair ({s}, {t})"
+                );
+            }
+        }
+        control.shutdown_server().unwrap();
+        let summary = handle.join();
+        assert_eq!(summary.errors, 0, "no dropped connections, no errors");
+        assert_eq!(summary.updates, epochs);
+        assert_eq!(summary.final_epoch, epochs);
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub struct WorkerMetrics {
     pub requests: AtomicU64,
     /// Error responses sent.
     pub errors: AtomicU64,
+    /// UPDATE batches applied (hot-swaps performed by this worker).
+    pub updates: AtomicU64,
     /// Connections fully served.
     pub connections: AtomicU64,
     /// Nanoseconds spent servicing requests.
@@ -30,6 +32,7 @@ impl Default for WorkerMetrics {
             queries: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -58,6 +61,8 @@ pub struct WorkerSummary {
     pub requests: u64,
     /// Error responses sent by this worker.
     pub errors: u64,
+    /// UPDATE batches applied by this worker.
+    pub updates: u64,
     /// Connections fully served by this worker.
     pub connections: u64,
     /// Seconds this worker spent servicing requests.
@@ -77,6 +82,10 @@ pub struct ServerSummary {
     pub requests: u64,
     /// Total error responses.
     pub errors: u64,
+    /// Total UPDATE batches applied.
+    pub updates: u64,
+    /// Served index epoch at shutdown (0 = never swapped).
+    pub final_epoch: u64,
     /// Queries per wall-clock second.
     pub qps: f64,
     /// Median request service time (µs, log₂-bucket upper bound).
@@ -86,18 +95,25 @@ pub struct ServerSummary {
     pub p99_us: f64,
 }
 
-/// Aggregates worker metrics into a [`ServerSummary`].
-pub fn summarize(workers: &[WorkerMetrics], elapsed_seconds: f64) -> ServerSummary {
+/// Aggregates worker metrics into a [`ServerSummary`];
+/// `final_epoch` is the swap cell's epoch at shutdown.
+pub fn summarize(
+    workers: &[WorkerMetrics],
+    elapsed_seconds: f64,
+    final_epoch: u64,
+) -> ServerSummary {
     let mut merged = [0u64; BUCKETS];
     let mut per_worker = Vec::with_capacity(workers.len());
-    let (mut queries, mut requests, mut errors) = (0u64, 0u64, 0u64);
+    let (mut queries, mut requests, mut errors, mut updates) = (0u64, 0u64, 0u64, 0u64);
     for w in workers {
         let q = w.queries.load(Ordering::Relaxed);
         let r = w.requests.load(Ordering::Relaxed);
         let e = w.errors.load(Ordering::Relaxed);
+        let u = w.updates.load(Ordering::Relaxed);
         queries += q;
         requests += r;
         errors += e;
+        updates += u;
         for (m, b) in merged.iter_mut().zip(&w.latency) {
             *m += b.load(Ordering::Relaxed);
         }
@@ -105,6 +121,7 @@ pub fn summarize(workers: &[WorkerMetrics], elapsed_seconds: f64) -> ServerSumma
             queries: q,
             requests: r,
             errors: e,
+            updates: u,
             connections: w.connections.load(Ordering::Relaxed),
             busy_seconds: w.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9,
         });
@@ -115,6 +132,8 @@ pub fn summarize(workers: &[WorkerMetrics], elapsed_seconds: f64) -> ServerSumma
         queries,
         requests,
         errors,
+        updates,
+        final_epoch,
         qps: if elapsed_seconds > 0.0 {
             queries as f64 / elapsed_seconds
         } else {
@@ -155,10 +174,12 @@ mod tests {
         }
         workers[1].record_request(1_000_000, 1);
         workers[1].connections.fetch_add(1, Ordering::Relaxed);
-        let s = summarize(&workers, 2.0);
+        let s = summarize(&workers, 2.0, 3);
         assert_eq!(s.requests, 100);
         assert_eq!(s.queries, 199);
         assert_eq!(s.errors, 0);
+        assert_eq!(s.updates, 0);
+        assert_eq!(s.final_epoch, 3);
         assert!((s.qps - 99.5).abs() < 1e-9);
         // p50 lands in the ~1 µs bucket, p99 well below the 1 ms request,
         // which only the p100-ish tail sees.
@@ -170,7 +191,7 @@ mod tests {
 
     #[test]
     fn empty_summary_is_zeroed() {
-        let s = summarize(&[], 0.0);
+        let s = summarize(&[], 0.0, 0);
         assert_eq!(s.queries, 0);
         assert_eq!(s.qps, 0.0);
         assert_eq!(s.p50_us, 0.0);
@@ -181,7 +202,7 @@ mod tests {
         let w = WorkerMetrics::default();
         w.record_request(u64::MAX, 1);
         w.record_request(0, 1); // clamps to bucket 0 via max(1)
-        let s = summarize(std::slice::from_ref(&w), 1.0);
+        let s = summarize(std::slice::from_ref(&w), 1.0, 0);
         assert_eq!(s.requests, 2);
         assert!(s.p99_us > 0.0);
     }

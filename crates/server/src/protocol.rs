@@ -10,12 +10,20 @@
 //!   0x02 BATCH      u32 count, count × (u32 s, u32 t)
 //!   0x03 INFO       —
 //!   0x04 SHUTDOWN   —
+//!   0x05 PATH       u32 s, u32 t
+//!   0x06 CONNECTED  u32 s, u32 t
+//!   0x07 UPDATE     u32 count, count × (u32 u, u32 v)
 //!
 //! response (status 0x00 = OK)     body
 //!   QUERY                         u64 distance (u64::MAX = unreachable)
 //!   BATCH                         u32 count, count × u64
-//!   INFO                          u64 n, u8 format code, u8 format version
+//!   INFO                          u64 n, u8 format code, u8 format version,
+//!                                 u64 epoch, u8 dynamic (1 = UPDATE enabled)
 //!   SHUTDOWN                      —
+//!   PATH                          u32 count, count × u32 vertex
+//!                                 (count 0 = unreachable; paths have ≥ 1 vertex)
+//!   CONNECTED                     u8 (1 = same component / reachable)
+//!   UPDATE                        u64 epoch, u32 applied, u32 skipped
 //! response (status != 0)          UTF-8 error message
 //! ```
 //!
@@ -24,6 +32,14 @@
 //! [`UNREACHABLE`] marks a disconnected pair. Frames are capped at
 //! [`MAX_FRAME_LEN`] and batches at [`MAX_BATCH`] so a malicious length
 //! prefix cannot drive an allocation.
+//!
+//! `UPDATE` inserts edges into the served graph: the server applies them
+//! to its dynamic overlay, flattens, and atomically swaps the served
+//! index to a new *epoch* — in-flight requests finish on the old epoch,
+//! subsequent ones see the new one, and `INFO` makes the swap observable
+//! from the client side. Servers started without a graph (or over a
+//! non-undirected index) answer `UPDATE` with
+//! [`STATUS_UNSUPPORTED`].
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -36,6 +52,12 @@ pub const OP_BATCH: u8 = 0x02;
 pub const OP_INFO: u8 = 0x03;
 /// Ask the server to stop accepting connections and drain.
 pub const OP_SHUTDOWN: u8 = 0x04;
+/// Shortest-*path* reconstruction (undirected indices with parents).
+pub const OP_PATH: u8 = 0x05;
+/// Same-component / reachability check.
+pub const OP_CONNECTED: u8 = 0x06;
+/// Insert edges into the served graph and hot-swap to a new epoch.
+pub const OP_UPDATE: u8 = 0x07;
 
 /// Response status: success.
 pub const STATUS_OK: u8 = 0x00;
@@ -43,6 +65,9 @@ pub const STATUS_OK: u8 = 0x00;
 pub const STATUS_BAD_REQUEST: u8 = 0x01;
 /// Response status: the query itself failed (e.g. vertex out of range).
 pub const STATUS_QUERY_ERROR: u8 = 0x02;
+/// Response status: the op is not supported by the served index (PATH
+/// without parents / non-undirected, UPDATE without `--graph`).
+pub const STATUS_UNSUPPORTED: u8 = 0x03;
 
 /// Wire marker for "unreachable" (`None` distances).
 pub const UNREACHABLE: u64 = u64::MAX;
@@ -116,6 +141,43 @@ pub fn read_frame<R: Read>(mut r: R) -> Result<Option<Vec<u8>>, ProtocolError> {
     Ok(Some(payload))
 }
 
+/// Canonical answer-line formats shared by `pll query` (the offline
+/// path) and `serve_load --answers-out` (the online path). The smoke
+/// tests byte-diff the two outputs, so both sides MUST print through
+/// these helpers — the contract is structural, not a comment.
+pub mod answers {
+    /// `s<TAB>t<TAB>d`, or `unreachable` for a disconnected pair.
+    pub fn distance_line(s: u32, t: u32, d: Option<u64>) -> String {
+        match d {
+            Some(d) => format!("{s}\t{t}\t{d}"),
+            None => format!("{s}\t{t}\tunreachable"),
+        }
+    }
+
+    /// `s<TAB>t<TAB>v0 v1 … vk`, or `unreachable`.
+    pub fn path_line(s: u32, t: u32, path: Option<&[u32]>) -> String {
+        match path {
+            Some(path) => {
+                let joined: Vec<String> = path.iter().map(|v| v.to_string()).collect();
+                format!("{s}\t{t}\t{}", joined.join(" "))
+            }
+            None => format!("{s}\t{t}\tunreachable"),
+        }
+    }
+
+    /// `s<TAB>t<TAB>connected|disconnected`.
+    pub fn connected_line(s: u32, t: u32, connected: bool) -> String {
+        format!(
+            "{s}\t{t}\t{}",
+            if connected {
+                "connected"
+            } else {
+                "disconnected"
+            }
+        )
+    }
+}
+
 /// Index metadata returned by [`OP_INFO`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IndexInfo {
@@ -125,6 +187,22 @@ pub struct IndexInfo {
     pub format: u8,
     /// On-disk format generation the index was loaded from (1 or 2).
     pub format_version: u8,
+    /// Served index generation: 0 at startup, bumped by every applied
+    /// `UPDATE` hot-swap.
+    pub epoch: u64,
+    /// Whether this server accepts `UPDATE` frames.
+    pub dynamic: bool,
+}
+
+/// Acknowledgement of an applied [`OP_UPDATE`] batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateAck {
+    /// Served epoch after the batch (unchanged if nothing was applied).
+    pub epoch: u64,
+    /// Edges actually inserted.
+    pub applied: u32,
+    /// Self-loops and already-present edges skipped.
+    pub skipped: u32,
 }
 
 /// Wire code of an index family.
@@ -224,9 +302,9 @@ impl Client {
     /// Fetches the served index's metadata.
     pub fn info(&mut self) -> Result<IndexInfo, ProtocolError> {
         let body = self.roundtrip(&[OP_INFO])?;
-        if body.len() != 10 {
+        if body.len() != 19 {
             return Err(ProtocolError::Malformed(format!(
-                "INFO response body of {} bytes, expected 10",
+                "INFO response body of {} bytes, expected 19",
                 body.len()
             )));
         }
@@ -234,6 +312,84 @@ impl Client {
             num_vertices: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
             format: body[8],
             format_version: body[9],
+            epoch: u64::from_le_bytes(body[10..18].try_into().expect("8 bytes")),
+            dynamic: body[18] != 0,
+        })
+    }
+
+    /// Reconstructs one shortest path; `None` when the pair is
+    /// disconnected. The server answers [`STATUS_UNSUPPORTED`] when the
+    /// served index stores no parent pointers.
+    pub fn path(&mut self, s: u32, t: u32) -> Result<Option<Vec<u32>>, ProtocolError> {
+        let mut req = Vec::with_capacity(9);
+        req.push(OP_PATH);
+        req.extend_from_slice(&s.to_le_bytes());
+        req.extend_from_slice(&t.to_le_bytes());
+        let body = self.roundtrip(&req)?;
+        if body.len() < 4 {
+            return Err(ProtocolError::Malformed("short PATH response".into()));
+        }
+        let count = u32::from_le_bytes(body[..4].try_into().expect("4 bytes")) as usize;
+        if body.len() != 4 + count * 4 {
+            return Err(ProtocolError::Malformed(format!(
+                "PATH response of {} bytes for {count} vertices",
+                body.len()
+            )));
+        }
+        if count == 0 {
+            return Ok(None); // reachable paths always have ≥ 1 vertex
+        }
+        Ok(Some(
+            body[4..]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect(),
+        ))
+    }
+
+    /// Same-component (undirected) / reachability (directed) check.
+    pub fn connected(&mut self, s: u32, t: u32) -> Result<bool, ProtocolError> {
+        let mut req = Vec::with_capacity(9);
+        req.push(OP_CONNECTED);
+        req.extend_from_slice(&s.to_le_bytes());
+        req.extend_from_slice(&t.to_le_bytes());
+        let body = self.roundtrip(&req)?;
+        if body.len() != 1 {
+            return Err(ProtocolError::Malformed(format!(
+                "CONNECTED response body of {} bytes, expected 1",
+                body.len()
+            )));
+        }
+        Ok(body[0] != 0)
+    }
+
+    /// Inserts edges into the served graph; on success the server has
+    /// already flattened and hot-swapped to the acknowledged epoch.
+    pub fn update(&mut self, edges: &[(u32, u32)]) -> Result<UpdateAck, ProtocolError> {
+        if edges.len() > MAX_BATCH {
+            return Err(ProtocolError::Malformed(format!(
+                "update of {} edges exceeds the {MAX_BATCH}-edge cap",
+                edges.len()
+            )));
+        }
+        let mut req = Vec::with_capacity(5 + edges.len() * 8);
+        req.push(OP_UPDATE);
+        req.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+        for &(u, v) in edges {
+            req.extend_from_slice(&u.to_le_bytes());
+            req.extend_from_slice(&v.to_le_bytes());
+        }
+        let body = self.roundtrip(&req)?;
+        if body.len() != 16 {
+            return Err(ProtocolError::Malformed(format!(
+                "UPDATE response body of {} bytes, expected 16",
+                body.len()
+            )));
+        }
+        Ok(UpdateAck {
+            epoch: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
+            applied: u32::from_le_bytes(body[8..12].try_into().expect("4 bytes")),
+            skipped: u32::from_le_bytes(body[12..16].try_into().expect("4 bytes")),
         })
     }
 

@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the serving path, and the generator of
-# BENCH_serve.json (the serving-performance trajectory):
+# BENCH_serve.json (the serving-performance trajectory). Three phases,
+# one workload row each:
 #
-#   1. synthesise a ring+chord graph and a random query-pair list,
-#   2. `pll build` a v2 (zero-copy) index,
-#   3. start `pll serve` in the background on an ephemeral port,
-#   4. fire the serve_load generator over several connections
-#      (recording throughput/p50/p99 into the JSON report),
-#   5. byte-diff the online answers against the offline
-#      `pll query <idx> -` path on the same pairs,
-#   6. shut the server down via the SHUTDOWN opcode and require a clean
-#      exit.
+#   1. distance — build a ring+chord graph and a v2 (zero-copy) index,
+#      start `pll serve --graph` on an ephemeral port, fire the
+#      serve_load generator over several connections, and byte-diff the
+#      online answers against the offline `pll query <idx> -` path;
+#   2. update-mix — replay a second chord wave as UPDATE frames
+#      *concurrently* with the query load (epoch hot-swap on every
+#      applied batch, asserted via the client-visible `epoch 0 -> N`
+#      line), then byte-diff the post-swap online answers against the
+#      offline `pll update`-flattened index;
+#   3. path — build a --store-parents index, serve it, and byte-diff
+#      online PATH reconstructions against `pll query --path -`
+#      (CONNECTED is byte-diffed in phase 1 alongside distance).
+#
+# Finally the SHUTDOWN opcode must end each server process cleanly, and
+# the three JSON rows are composed into OUT as {"workloads": [...]}.
 #
 # Usage:
 #   scripts/serve_smoke.sh [N] [PAIRS] [OUT] [THREADS]
@@ -43,10 +50,15 @@ PLL=./target/release/pll
 LOAD=./target/release/serve_load
 
 # Deterministic ring + chord graph (self-loops are dropped by the lenient
-# edge reader) and a deterministic pair list.
+# edge reader), a second chord wave applied online, and a deterministic
+# pair list.
 awk -v n="$N" 'BEGIN {
   for (i = 0; i < n; i++) { print i, (i + 1) % n; print i, (i * 7 + 3) % n }
 }' > "$WORK/edges.txt"
+awk -v n="$N" 'BEGIN {
+  for (i = 0; i < n; i += 5) { print i, (i * 13 + 11) % n }
+}' > "$WORK/new_edges.txt"
+cat "$WORK/edges.txt" "$WORK/new_edges.txt" > "$WORK/full_edges.txt"
 awk -v n="$N" -v q="$PAIRS" 'BEGIN {
   seed = 12345
   for (i = 0; i < q; i++) {
@@ -58,50 +70,118 @@ awk -v n="$N" -v q="$PAIRS" 'BEGIN {
 
 "$PLL" build "$WORK/edges.txt" "$WORK/smoke.idx" --threads "$THREADS" --bp-roots 4
 
-"$PLL" serve --index "$WORK/smoke.idx" --addr 127.0.0.1:0 --threads "$THREADS" \
-  > "$WORK/serve.out" 2> "$WORK/serve.err" &
-SERVER_PID=$!
-
-# Wait for the bound address to appear on the server's stdout.
-ADDR=""
-for _ in $(seq 1 100); do
-  ADDR="$(grep -m1 -oE 'listening on [0-9.:]+' "$WORK/serve.out" 2>/dev/null | awk '{print $3}' || true)"
-  [ -n "$ADDR" ] && break
-  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "server exited early:" >&2
+# Starts "$PLL serve $@" in the background, exporting ADDR + SERVER_PID.
+start_server() {
+  : > "$WORK/serve.out"
+  "$PLL" serve "$@" --addr 127.0.0.1:0 --threads "$THREADS" \
+    > "$WORK/serve.out" 2> "$WORK/serve.err" &
+  SERVER_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR="$(grep -m1 -oE 'listening on [0-9.:]+' "$WORK/serve.out" 2>/dev/null | awk '{print $3}' || true)"
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "server exited early:" >&2
+      cat "$WORK/serve.err" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$ADDR" ]; then
+    echo "server never reported its address" >&2
     cat "$WORK/serve.err" >&2
     exit 1
   fi
-  sleep 0.1
-done
-if [ -z "$ADDR" ]; then
-  echo "server never reported its address" >&2
-  cat "$WORK/serve.err" >&2
-  exit 1
-fi
-echo "server listening on $ADDR (pid $SERVER_PID)"
+  echo "server listening on $ADDR (pid $SERVER_PID)"
+}
+
+# Waits for the current server to exit cleanly after a SHUTDOWN opcode.
+await_clean_shutdown() {
+  local exit_code=0
+  wait "$SERVER_PID" || exit_code=$?
+  SERVER_PID=""
+  if [ "$exit_code" -ne 0 ]; then
+    echo "FAIL: server exited with status $exit_code" >&2
+    cat "$WORK/serve.err" >&2
+    exit 1
+  fi
+}
+
+# ---- phase 1: distance + connected on the dynamic server --------------
+start_server --index "$WORK/smoke.idx" --graph "$WORK/edges.txt"
 
 "$LOAD" --addr "$ADDR" --pairs "$WORK/pairs.txt" --batch 32 --connections 4 \
-  --answers-out "$WORK/online.txt" --out "$OUT" --shutdown
+  --answers-out "$WORK/online.txt" --out "$WORK/row_distance.json"
 
 "$PLL" query "$WORK/smoke.idx" - < "$WORK/pairs.txt" > "$WORK/offline.txt"
-
 if ! diff -q "$WORK/online.txt" "$WORK/offline.txt" > /dev/null; then
-  echo "FAIL: online answers differ from the offline query path" >&2
+  echo "FAIL: online distance answers differ from the offline query path" >&2
   diff "$WORK/online.txt" "$WORK/offline.txt" | head -20 >&2
   exit 1
 fi
-echo "online answers byte-identical to offline pll query ($PAIRS pairs)"
+echo "distance: online answers byte-identical to offline pll query ($PAIRS pairs)"
 
-# The SHUTDOWN opcode must end the process cleanly.
-SERVER_EXIT=0
-wait "$SERVER_PID" || SERVER_EXIT=$?
-SERVER_PID=""
-if [ "$SERVER_EXIT" -ne 0 ]; then
-  echo "FAIL: server exited with status $SERVER_EXIT" >&2
-  cat "$WORK/serve.err" >&2
+"$LOAD" --addr "$ADDR" --op connected --pairs "$WORK/pairs.txt" --connections 2 \
+  --answers-out "$WORK/online_conn.txt"
+"$PLL" query "$WORK/smoke.idx" --connected - < "$WORK/pairs.txt" > "$WORK/offline_conn.txt"
+if ! diff -q "$WORK/online_conn.txt" "$WORK/offline_conn.txt" > /dev/null; then
+  echo "FAIL: online CONNECTED answers differ from pll query --connected" >&2
+  diff "$WORK/online_conn.txt" "$WORK/offline_conn.txt" | head -20 >&2
   exit 1
 fi
-echo "server shut down cleanly; summary:"
-grep -E 'served|worker' "$WORK/serve.err" || true
-echo "report written to $OUT"
+echo "connected: online answers byte-identical to offline pll query --connected"
+
+# ---- phase 2: update-mix (concurrent UPDATE batches + hot-swap) -------
+"$LOAD" --addr "$ADDR" --pairs "$WORK/pairs.txt" --batch 32 --connections 4 \
+  --updates "$WORK/new_edges.txt" --update-batch 16 \
+  --out "$WORK/row_update.json" 2> "$WORK/update_mix.log"
+cat "$WORK/update_mix.log" >&2
+if ! grep -qE 'epoch 0 -> [1-9]' "$WORK/update_mix.log"; then
+  echo "FAIL: hot-swap epoch not observable from the client (expected 'epoch 0 -> k')" >&2
+  exit 1
+fi
+echo "update-mix: epoch advanced under concurrent query load"
+
+# Post-swap answers must match the offline `pll update` flatten of the
+# same insertions.
+"$LOAD" --addr "$ADDR" --pairs "$WORK/pairs.txt" --batch 32 --connections 2 \
+  --answers-out "$WORK/online_post.txt" --shutdown
+"$PLL" update "$WORK/smoke.idx" "$WORK/edges.txt" "$WORK/new_edges.txt" \
+  -o "$WORK/updated.idx" --threads "$THREADS"
+"$PLL" query "$WORK/updated.idx" - < "$WORK/pairs.txt" > "$WORK/offline_post.txt"
+if ! diff -q "$WORK/online_post.txt" "$WORK/offline_post.txt" > /dev/null; then
+  echo "FAIL: post-swap online answers differ from the offline pll update flatten" >&2
+  diff "$WORK/online_post.txt" "$WORK/offline_post.txt" | head -20 >&2
+  exit 1
+fi
+echo "update-mix: post-swap answers byte-identical to offline pll update"
+await_clean_shutdown
+
+# ---- phase 3: PATH on a parents index ---------------------------------
+"$PLL" build "$WORK/edges.txt" "$WORK/paths.idx" --store-parents
+start_server --index "$WORK/paths.idx"
+
+"$LOAD" --addr "$ADDR" --op path --pairs "$WORK/pairs.txt" --connections 2 \
+  --answers-out "$WORK/online_path.txt" --out "$WORK/row_path.json" --shutdown
+"$PLL" query "$WORK/paths.idx" --path - < "$WORK/pairs.txt" > "$WORK/offline_path.txt"
+if ! diff -q "$WORK/online_path.txt" "$WORK/offline_path.txt" > /dev/null; then
+  echo "FAIL: online PATH answers differ from pll query --path" >&2
+  diff "$WORK/online_path.txt" "$WORK/offline_path.txt" | head -20 >&2
+  exit 1
+fi
+echo "path: online reconstructions byte-identical to offline pll query --path"
+await_clean_shutdown
+
+# ---- compose the trajectory report ------------------------------------
+{
+  echo '{'
+  echo '"workloads": ['
+  cat "$WORK/row_distance.json"
+  echo ','
+  cat "$WORK/row_update.json"
+  echo ','
+  cat "$WORK/row_path.json"
+  echo ']'
+  echo '}'
+} > "$OUT"
+echo "all servers shut down cleanly; report written to $OUT"

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# CI correctness gate for the dynamic-update subsystem: the acceptance
+# criterion is that after any sequence of edge insertions the served
+# answers are exactly those of a from-scratch rebuild of the updated
+# graph, and that the hot-swap is atomic and observable.
+#
+#   1. synthesise a graph and split its edges into a base set and an
+#      insertion wave,
+#   2. `pll build` the base index, start `pll serve --graph base`,
+#   3. apply the insertion wave as UPDATE frames while a concurrent
+#      query load runs (serve_load --updates), asserting the epoch
+#      advanced (`epoch 0 -> k` from the client side),
+#   4. byte-diff the post-swap online answers against `pll query` over a
+#      from-scratch `pll build` of the FULL graph,
+#   5. byte-diff the offline `pll update` flatten against the same
+#      rebuild (CLI and server agree with each other and with the
+#      rebuild),
+#   6. SHUTDOWN must end the server cleanly.
+#
+# Usage:
+#   scripts/update_smoke.sh [N] [PAIRS] [THREADS]
+#     N        graph vertices                (default 1500)
+#     PAIRS    verification query pairs      (default 2000)
+#     THREADS  build + serve worker threads  (default 2)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+N="${1:-1500}"
+PAIRS="${2:-2000}"
+THREADS="${3:-2}"
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [ -n "$SERVER_PID" ] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cargo build --release -p pll-cli
+cargo build --release -p pll-bench --bin serve_load
+PLL=./target/release/pll
+LOAD=./target/release/serve_load
+
+# Base: a ring plus every third chord. Insertions: the remaining chords
+# (including some component-shaping long-range ones).
+awk -v n="$N" 'BEGIN {
+  for (i = 0; i < n; i++) {
+    print i, (i + 1) % n
+    if (i % 3 == 0) print i, (i * 7 + 3) % n
+  }
+}' > "$WORK/base.txt"
+awk -v n="$N" 'BEGIN {
+  for (i = 0; i < n; i++) {
+    if (i % 3 != 0) print i, (i * 7 + 3) % n
+    if (i % 11 == 0) print i, (i * 31 + 17) % n
+  }
+}' > "$WORK/new.txt"
+cat "$WORK/base.txt" "$WORK/new.txt" > "$WORK/full.txt"
+awk -v n="$N" -v q="$PAIRS" 'BEGIN {
+  seed = 424242
+  for (i = 0; i < q; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648; s = seed % n
+    seed = (seed * 1103515245 + 12345) % 2147483648; t = seed % n
+    print s, t
+  }
+}' > "$WORK/pairs.txt"
+
+"$PLL" build "$WORK/base.txt" "$WORK/base.idx" --threads "$THREADS" --bp-roots 4
+
+"$PLL" serve --index "$WORK/base.idx" --graph "$WORK/base.txt" \
+  --addr 127.0.0.1:0 --threads "$THREADS" \
+  > "$WORK/serve.out" 2> "$WORK/serve.err" &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(grep -m1 -oE 'listening on [0-9.:]+' "$WORK/serve.out" 2>/dev/null | awk '{print $3}' || true)"
+  [ -n "$ADDR" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server exited early:" >&2
+    cat "$WORK/serve.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never reported its address" >&2; exit 1; }
+echo "server listening on $ADDR (pid $SERVER_PID)"
+
+# Apply the insertion wave under concurrent query load; the epoch line
+# proves the hot-swap was client-visible.
+"$LOAD" --addr "$ADDR" --pairs "$WORK/pairs.txt" --batch 32 --connections 4 \
+  --updates "$WORK/new.txt" --update-batch 32 2> "$WORK/mix.log"
+cat "$WORK/mix.log" >&2
+grep -qE 'epoch 0 -> [1-9]' "$WORK/mix.log" || {
+  echo "FAIL: epoch did not advance under UPDATE load" >&2
+  exit 1
+}
+
+# Post-swap online answers vs a from-scratch rebuild of the full graph.
+"$LOAD" --addr "$ADDR" --pairs "$WORK/pairs.txt" --batch 32 --connections 2 \
+  --answers-out "$WORK/online.txt" --shutdown
+"$PLL" build "$WORK/full.txt" "$WORK/rebuilt.idx" --threads "$THREADS" --bp-roots 4
+"$PLL" query "$WORK/rebuilt.idx" - < "$WORK/pairs.txt" > "$WORK/offline_rebuild.txt"
+if ! diff -q "$WORK/online.txt" "$WORK/offline_rebuild.txt" > /dev/null; then
+  echo "FAIL: post-update online answers differ from the offline rebuild" >&2
+  diff "$WORK/online.txt" "$WORK/offline_rebuild.txt" | head -20 >&2
+  exit 1
+fi
+echo "online UPDATE answers byte-identical to the from-scratch rebuild ($PAIRS pairs)"
+
+# The offline incremental path must agree too.
+"$PLL" update "$WORK/base.idx" "$WORK/base.txt" "$WORK/new.txt" \
+  -o "$WORK/updated.idx" --threads "$THREADS"
+"$PLL" query "$WORK/updated.idx" - < "$WORK/pairs.txt" > "$WORK/offline_update.txt"
+if ! diff -q "$WORK/offline_update.txt" "$WORK/offline_rebuild.txt" > /dev/null; then
+  echo "FAIL: pll update answers differ from the offline rebuild" >&2
+  diff "$WORK/offline_update.txt" "$WORK/offline_rebuild.txt" | head -20 >&2
+  exit 1
+fi
+echo "pll update flatten byte-identical to the from-scratch rebuild"
+
+SERVER_EXIT=0
+wait "$SERVER_PID" || SERVER_EXIT=$?
+SERVER_PID=""
+if [ "$SERVER_EXIT" -ne 0 ]; then
+  echo "FAIL: server exited with status $SERVER_EXIT" >&2
+  cat "$WORK/serve.err" >&2
+  exit 1
+fi
+echo "server shut down cleanly; summary:"
+grep -E 'served|worker' "$WORK/serve.err" || true

@@ -398,6 +398,61 @@ proptest! {
     }
 
     /// Triangle inequality holds for all indexed distances.
+    /// Incremental updates: splitting a random model graph's edges into
+    /// a base and a random insertion sequence, the [`DynamicIndex`] must
+    /// answer byte-equal (as an answer stream) to a from-scratch rebuild
+    /// of the updated graph after every batch — over both the owned and
+    /// the zero-copy base representation.
+    #[test]
+    fn dynamic_updates_match_rebuild(
+        g in arb_model_graph(),
+        keep_permille in 300u32..950,
+        batch in 1usize..9,
+        t in 0usize..5,
+    ) {
+        use pruned_landmark_labeling::pll::{dynamic::DynamicIndex, v2, AlignedBytes, AnyIndex};
+        use std::sync::Arc;
+        let n = g.num_vertices();
+        let all: Vec<(u32, u32)> = g.edges().collect();
+        let keep = (all.len() as u64 * keep_permille as u64 / 1000) as usize;
+        let base_graph = CsrGraph::from_edges(n, &all[..keep]).unwrap();
+        let base_idx = IndexBuilder::new()
+            .bit_parallel_roots(t)
+            .build(&base_graph)
+            .unwrap();
+        let mut buf = Vec::new();
+        v2::save_v2_index(&base_idx, &mut buf).unwrap();
+        let view = v2::open_v2_bytes(Arc::new(AlignedBytes::from_bytes(&buf))).unwrap();
+        for base in [Arc::new(AnyIndex::Undirected(base_idx)), Arc::new(view)] {
+            let mut dyn_idx = DynamicIndex::new(base, &base_graph).unwrap();
+            let mut applied = all[..keep].to_vec();
+            for chunk in all[keep..].chunks(batch) {
+                dyn_idx.apply(chunk).unwrap();
+                applied.extend_from_slice(chunk);
+                let rebuilt = IndexBuilder::new()
+                    .bit_parallel_roots(t)
+                    .build(&CsrGraph::from_edges(n, &applied).unwrap())
+                    .unwrap();
+                for s in 0..n as u32 {
+                    for u in 0..n as u32 {
+                        prop_assert_eq!(
+                            dyn_idx.distance(s, u),
+                            rebuilt.distance(s, u),
+                            "pair ({}, {})", s, u
+                        );
+                    }
+                }
+            }
+            // The flattened owned index answers identically too.
+            let flat = dyn_idx.flatten(1).unwrap();
+            for s in (0..n as u32).step_by(3) {
+                for u in (0..n as u32).step_by(5) {
+                    prop_assert_eq!(flat.distance(s, u), dyn_idx.distance(s, u));
+                }
+            }
+        }
+    }
+
     #[test]
     fn triangle_inequality(g in arb_model_graph()) {
         let idx = IndexBuilder::new().bit_parallel_roots(2).build(&g).unwrap();
