@@ -22,6 +22,8 @@
 //!                                 byte-identical to the offline path
 //!            [--out FILE]         JSON report (default: no report)
 //!            [--wait-secs W]      retry the first connect for W seconds (default 10)
+//!            [--retry]            reconnect-and-retry shed (STATUS_BUSY) and failed
+//!                                 requests with capped jittered exponential backoff
 //!            [--shutdown]         send the SHUTDOWN opcode when done
 //! ```
 //!
@@ -32,7 +34,9 @@
 //! final `INFO` epoch is printed (`epoch E0 -> E1`) so hot-swaps are
 //! observable — and assertable — from the client side.
 
-use pll_server::protocol::{answers, Client};
+use pll_server::protocol::{
+    answers, Client, IndexInfo, ProtocolError, RetryClient, RetryPolicy, RetryStats, UpdateAck,
+};
 use std::io::{BufRead, Write};
 use std::time::{Duration, Instant};
 
@@ -67,6 +71,91 @@ struct Options {
     out: Option<String>,
     wait_secs: u64,
     shutdown: bool,
+    retry: bool,
+}
+
+/// A load connection: plain (any failure is fatal, the smoke-test
+/// default) or retrying (shed connections and transport errors reconnect
+/// with capped jittered exponential backoff — the correct client
+/// behaviour against an overloaded or restarting server).
+enum LoadClient {
+    Plain(Client),
+    Retry(Box<RetryClient>),
+}
+
+impl LoadClient {
+    fn connect(addr: &str, retry: bool, wait: Duration, seed: u64) -> LoadClient {
+        if retry {
+            // RetryClient connects lazily; its backoff also covers the
+            // server still starting up.
+            LoadClient::Retry(Box::new(RetryClient::new(
+                addr,
+                RetryPolicy {
+                    max_attempts: 16,
+                    seed,
+                    ..RetryPolicy::default()
+                },
+            )))
+        } else {
+            LoadClient::Plain(connect_with_retry(addr, wait))
+        }
+    }
+
+    fn stats(&self) -> RetryStats {
+        match self {
+            LoadClient::Plain(_) => RetryStats::default(),
+            LoadClient::Retry(c) => c.stats(),
+        }
+    }
+
+    fn query(&mut self, s: u32, t: u32) -> Result<Option<u64>, ProtocolError> {
+        match self {
+            LoadClient::Plain(c) => c.query(s, t),
+            LoadClient::Retry(c) => c.query(s, t),
+        }
+    }
+
+    fn batch(&mut self, pairs: &[(u32, u32)]) -> Result<Vec<Option<u64>>, ProtocolError> {
+        match self {
+            LoadClient::Plain(c) => c.batch(pairs),
+            LoadClient::Retry(c) => c.batch(pairs),
+        }
+    }
+
+    fn path(&mut self, s: u32, t: u32) -> Result<Option<Vec<u32>>, ProtocolError> {
+        match self {
+            LoadClient::Plain(c) => c.path(s, t),
+            LoadClient::Retry(c) => c.path(s, t),
+        }
+    }
+
+    fn connected(&mut self, s: u32, t: u32) -> Result<bool, ProtocolError> {
+        match self {
+            LoadClient::Plain(c) => c.connected(s, t),
+            LoadClient::Retry(c) => c.connected(s, t),
+        }
+    }
+
+    fn info(&mut self) -> Result<IndexInfo, ProtocolError> {
+        match self {
+            LoadClient::Plain(c) => c.info(),
+            LoadClient::Retry(c) => c.info(),
+        }
+    }
+
+    fn update(&mut self, edges: &[(u32, u32)]) -> Result<UpdateAck, ProtocolError> {
+        match self {
+            LoadClient::Plain(c) => c.update(edges),
+            LoadClient::Retry(c) => c.update(edges),
+        }
+    }
+
+    fn shutdown_server(&mut self) -> Result<(), ProtocolError> {
+        match self {
+            LoadClient::Plain(c) => c.shutdown_server(),
+            LoadClient::Retry(c) => c.shutdown_server(),
+        }
+    }
 }
 
 fn parse_args() -> Options {
@@ -84,6 +173,7 @@ fn parse_args() -> Options {
         out: None,
         wait_secs: 10,
         shutdown: false,
+        retry: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -121,12 +211,13 @@ fn parse_args() -> Options {
             "--out" => opts.out = Some(value(&mut i)),
             "--wait-secs" => opts.wait_secs = value(&mut i).parse().expect("--wait-secs"),
             "--shutdown" => opts.shutdown = true,
+            "--retry" => opts.retry = true,
             "--help" | "-h" => {
                 eprintln!(
                     "serve_load --addr host:port [--op distance|path|connected] \
                      [--queries N | --pairs FILE] [--batch B] [--connections C] [--seed S] \
                      [--updates FILE] [--update-batch U] [--answers-out FILE] [--out FILE] \
-                     [--wait-secs W] [--shutdown]"
+                     [--wait-secs W] [--retry] [--shutdown]"
                 );
                 std::process::exit(0);
             }
@@ -212,7 +303,7 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 /// exactly as `pll query [--path|--connected]` prints it (so the smoke
 /// test byte-diffs online against offline).
 fn run_chunk(
-    client: &mut Client,
+    client: &mut LoadClient,
     op: Op,
     batch: usize,
     chunk: &[(u32, u32)],
@@ -266,8 +357,8 @@ fn run_chunk(
 }
 
 /// One query worker's results: request latencies, formatted answers,
-/// unreachable count.
-type ChunkResult = (Vec<u64>, Vec<String>, usize);
+/// unreachable count, retry counters.
+type ChunkResult = (Vec<u64>, Vec<String>, usize, RetryStats);
 
 /// Outcome of the concurrent updater connection.
 struct UpdateOutcome {
@@ -275,13 +366,15 @@ struct UpdateOutcome {
     skipped: u64,
     batches: usize,
     latencies_ns: Vec<u64>,
+    retry: RetryStats,
 }
 
 fn main() {
     let opts = parse_args();
 
     // One probe connection: waits for the server, fetches metadata.
-    let mut probe = connect_with_retry(&opts.addr, Duration::from_secs(opts.wait_secs));
+    let wait = Duration::from_secs(opts.wait_secs);
+    let mut probe = LoadClient::connect(&opts.addr, opts.retry, wait, opts.seed ^ 0x70b3);
     let info = probe.info().unwrap_or_else(|e| {
         eprintln!("INFO failed: {e}");
         std::process::exit(1);
@@ -346,14 +439,16 @@ fn main() {
                 let addr = &opts.addr;
                 let update_batch = opts.update_batch;
                 let updates = &updates;
-                let wait = Duration::from_secs(opts.wait_secs);
+                let retry = opts.retry;
+                let seed = opts.seed;
                 scope.spawn(move || {
-                    let mut client = connect_with_retry(addr, wait);
+                    let mut client = LoadClient::connect(addr, retry, wait, seed ^ 0x0bad);
                     let mut outcome = UpdateOutcome {
                         applied: 0,
                         skipped: 0,
                         batches: 0,
                         latencies_ns: Vec::new(),
+                        retry: RetryStats::default(),
                     };
                     for chunk in updates.chunks(update_batch) {
                         let t0 = Instant::now();
@@ -366,20 +461,30 @@ fn main() {
                         outcome.skipped += u64::from(ack.skipped);
                         outcome.batches += 1;
                     }
+                    outcome.retry = client.stats();
                     outcome
                 })
             });
             let mut joins = Vec::new();
-            for chunk in pairs.chunks(chunk_len) {
+            for (worker, chunk) in pairs.chunks(chunk_len).enumerate() {
                 let addr = &opts.addr;
                 let batch = opts.batch;
                 let op = opts.op;
+                let retry = opts.retry;
+                // Distinct backoff seed per worker so concurrent retries
+                // desynchronise instead of thundering back in lockstep.
+                let seed = opts.seed ^ ((worker as u64 + 1) * 0x9e37_79b9);
                 joins.push(scope.spawn(move || {
-                    let mut client = Client::connect(addr).unwrap_or_else(|e| {
-                        eprintln!("worker connect failed: {e}");
-                        std::process::exit(1);
-                    });
-                    run_chunk(&mut client, op, batch, chunk)
+                    let mut client = if retry {
+                        LoadClient::connect(addr, true, wait, seed)
+                    } else {
+                        LoadClient::Plain(Client::connect(addr).unwrap_or_else(|e| {
+                            eprintln!("worker connect failed: {e}");
+                            std::process::exit(1);
+                        }))
+                    };
+                    let (lat, ans, unr) = run_chunk(&mut client, op, batch, chunk);
+                    (lat, ans, unr, client.stats())
                 }));
             }
             (
@@ -395,10 +500,19 @@ fn main() {
     let mut latencies: Vec<u64> = Vec::new();
     let mut answers: Vec<String> = Vec::with_capacity(pairs.len());
     let mut unreachable = 0usize;
-    for (lat, ans, unr) in results {
+    let mut retry = RetryStats::default();
+    for (lat, ans, unr, rs) in results {
         latencies.extend(lat);
         answers.extend(ans);
         unreachable += unr;
+        retry.retries += rs.retries;
+        retry.busy += rs.busy;
+        retry.io += rs.io;
+    }
+    if let Some(u) = &update_outcome {
+        retry.retries += u.retry.retries;
+        retry.busy += u.retry.busy;
+        retry.io += u.retry.io;
     }
     latencies.sort_unstable();
     let qps = pairs.len() as f64 / elapsed.max(1e-12);
@@ -425,11 +539,19 @@ fn main() {
         max,
         unreachable,
     );
+    if opts.retry {
+        // The crash smoke script greps this line to verify backoff
+        // convergence under overload.
+        eprintln!(
+            "retries: {} ({} busy, {} io)",
+            retry.retries, retry.busy, retry.io
+        );
+    }
 
     // Re-read the epoch after the load so hot-swaps are observable (and
     // grep-able by the smoke scripts) from the client side.
     let epoch_end = {
-        let mut probe = connect_with_retry(&opts.addr, Duration::from_secs(opts.wait_secs));
+        let mut probe = LoadClient::connect(&opts.addr, opts.retry, wait, opts.seed ^ 0xe90c);
         probe.info().map(|i| i.epoch).unwrap_or(epoch_start)
     };
     eprintln!("epoch {epoch_start} -> {epoch_end}");
@@ -460,6 +582,15 @@ fn main() {
             )
         }
         None => String::new(),
+    };
+    let retry_json = if opts.retry {
+        format!(
+            ",\n  \"retry\": {{\n    \"retries\": {},\n    \"busy\": {},\n    \
+             \"io\": {}\n  }}",
+            retry.retries, retry.busy, retry.io,
+        )
+    } else {
+        String::new()
     };
 
     if let Some(path) = &opts.answers_out {
@@ -493,7 +624,7 @@ fn main() {
              \"elapsed_seconds\": {elapsed:.6},\n  \"qps\": {qps:.1},\n  \
              \"request_latency_us\": {{\n    \"p50\": {p50:.2},\n    \"p90\": {p90:.2},\n    \
              \"p99\": {p99:.2},\n    \"max\": {max:.2}\n  }},\n  \
-             \"unreachable\": {unreachable}{update_json}\n}}\n",
+             \"unreachable\": {unreachable}{update_json}{retry_json}\n}}\n",
             opts.addr,
             info.num_vertices,
             info.format,
@@ -510,7 +641,7 @@ fn main() {
     }
 
     if opts.shutdown {
-        let mut control = connect_with_retry(&opts.addr, Duration::from_secs(opts.wait_secs));
+        let mut control = LoadClient::connect(&opts.addr, opts.retry, wait, opts.seed ^ 0xd1e);
         match control.shutdown_server() {
             Ok(()) => eprintln!("server shutdown requested"),
             Err(e) => {

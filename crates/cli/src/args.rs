@@ -16,13 +16,21 @@ usage:
   pll stats <index.idx>                         (any format, v1 or v2)
   pll bench <index.idx> [--queries q] [--seed s]  (any format, v1 or v2)
   pll serve --index <index.idx> [--graph <edges.txt>] [--addr host:port]
-            [--threads k]
+            [--threads k] [--max-pending n]
+            [--wal <journal.wal>] [--snapshot-every n]
             (TCP query service; --graph enables online UPDATE frames with
-             epoch hot-swap; shut down with the SHUTDOWN opcode,
-             e.g. serve_load --shutdown)
+             epoch hot-swap; --wal journals UPDATE batches for crash
+             recovery and --snapshot-every compacts the journal into the
+             index file every n batches; --max-pending bounds the queued
+             connections before arrivals are shed with STATUS_BUSY;
+             shut down with the SHUTDOWN opcode, e.g. serve_load --shutdown)
   pll update <index.idx> <graph.txt> <updates.txt> -o <out.idx> [--threads k]
             (apply edge insertions incrementally — no rebuild — and write
              the flattened v2 index; undirected indices only)
+  pll wal <journal.wal>
+            (dump a server write-ahead log: replayable `u v` edge lines on
+             stdout — usable as the <updates.txt> of pll update — and the
+             journal's header/record stats on stderr)
 
 build input per format: `u v` per line (undirected/directed, directed
 reads u -> v), `u v w` per line (weighted/weighted-directed);
@@ -95,6 +103,20 @@ pub enum Parsed {
         addr: String,
         /// Worker threads (0 = one per CPU).
         threads: usize,
+        /// Write-ahead log path; journals UPDATE batches for crash
+        /// recovery (requires --graph).
+        wal: Option<String>,
+        /// Snapshot-compact the WAL into the index file every this many
+        /// published batches (0 = never; requires --wal).
+        snapshot_every: u64,
+        /// Queued connections before new arrivals are shed with
+        /// STATUS_BUSY (0 = 4 × workers + 16).
+        max_pending: usize,
+    },
+    /// `pll wal`.
+    Wal {
+        /// Write-ahead log path to dump.
+        wal: String,
     },
     /// `pll update`.
     Update {
@@ -401,6 +423,9 @@ impl Parsed {
                 let mut graph: Option<String> = None;
                 let mut addr = "127.0.0.1:4717".to_string();
                 let mut threads = 0usize;
+                let mut wal: Option<String> = None;
+                let mut snapshot_every: Option<u64> = None;
+                let mut max_pending = 0usize;
                 let rest: Vec<&String> = it.collect();
                 let mut i = 0;
                 while i < rest.len() {
@@ -427,17 +452,61 @@ impl Parsed {
                                 .ok_or_else(|| usage("--threads needs a value"))?;
                             threads = parse_num(val, "--threads")?;
                         }
+                        "--wal" => {
+                            i += 1;
+                            let val = rest.get(i).ok_or_else(|| usage("--wal needs a value"))?;
+                            wal = Some(val.to_string());
+                        }
+                        "--snapshot-every" => {
+                            i += 1;
+                            let val = rest
+                                .get(i)
+                                .ok_or_else(|| usage("--snapshot-every needs a value"))?;
+                            snapshot_every = Some(parse_num(val, "--snapshot-every")?);
+                        }
+                        "--max-pending" => {
+                            i += 1;
+                            let val = rest
+                                .get(i)
+                                .ok_or_else(|| usage("--max-pending needs a value"))?;
+                            max_pending = parse_num(val, "--max-pending")?;
+                        }
                         other => return Err(usage(format!("unknown option {other:?}"))),
                     }
                     i += 1;
                 }
                 let index = index.ok_or_else(|| usage("serve: --index is required"))?;
+                if wal.is_some() && graph.is_none() {
+                    return Err(usage(
+                        "serve: --wal journals UPDATE batches, which need --graph \
+                         (a static server has nothing to journal)",
+                    ));
+                }
+                if snapshot_every.is_some() && wal.is_none() {
+                    return Err(usage(
+                        "serve: --snapshot-every compacts the write-ahead log; it \
+                         needs --wal",
+                    ));
+                }
                 Ok(Parsed::Serve {
                     index,
                     graph,
                     addr,
                     threads,
+                    wal,
+                    snapshot_every: snapshot_every.unwrap_or(0),
+                    max_pending,
                 })
+            }
+            "wal" => {
+                let wal = it
+                    .next()
+                    .ok_or_else(|| usage("wal: missing <journal.wal>"))?
+                    .clone();
+                if it.next().is_some() {
+                    return Err(usage("wal: unexpected extra arguments"));
+                }
+                Ok(Parsed::Wal { wal })
             }
             other => Err(usage(format!("unknown command {other:?}"))),
         }
@@ -749,11 +818,17 @@ mod tests {
                 graph,
                 addr,
                 threads,
+                wal,
+                snapshot_every,
+                max_pending,
             } => {
                 assert_eq!(index, "x.idx");
                 assert_eq!(graph, None);
                 assert_eq!(addr, "0.0.0.0:9999");
                 assert_eq!(threads, 8);
+                assert_eq!(wal, None);
+                assert_eq!(snapshot_every, 0);
+                assert_eq!(max_pending, 0);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -775,6 +850,60 @@ mod tests {
         assert!(Parsed::parse(&argv(&["serve"])).is_err());
         assert!(Parsed::parse(&argv(&["serve", "--index"])).is_err());
         assert!(Parsed::parse(&argv(&["serve", "--index", "x", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_wal_flags() {
+        match Parsed::parse(&argv(&[
+            "serve",
+            "--index",
+            "x.idx",
+            "--graph",
+            "g.txt",
+            "--wal",
+            "x.wal",
+            "--snapshot-every",
+            "64",
+            "--max-pending",
+            "4",
+        ]))
+        .unwrap()
+        {
+            Parsed::Serve {
+                wal,
+                snapshot_every,
+                max_pending,
+                ..
+            } => {
+                assert_eq!(wal.as_deref(), Some("x.wal"));
+                assert_eq!(snapshot_every, 64);
+                assert_eq!(max_pending, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // --wal needs --graph; --snapshot-every needs --wal.
+        assert!(Parsed::parse(&argv(&["serve", "--index", "x.idx", "--wal", "x.wal"])).is_err());
+        assert!(Parsed::parse(&argv(&[
+            "serve",
+            "--index",
+            "x.idx",
+            "--graph",
+            "g.txt",
+            "--snapshot-every",
+            "8"
+        ]))
+        .is_err());
+        assert!(Parsed::parse(&argv(&["serve", "--index", "x.idx", "--wal"])).is_err());
+    }
+
+    #[test]
+    fn parse_wal_dump() {
+        match Parsed::parse(&argv(&["wal", "x.wal"])).unwrap() {
+            Parsed::Wal { wal } => assert_eq!(wal, "x.wal"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Parsed::parse(&argv(&["wal"])).is_err());
+        assert!(Parsed::parse(&argv(&["wal", "x.wal", "extra"])).is_err());
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! pll stats <index.idx>
 //! pll bench <index.idx> [--queries q] [--seed s]
 //! pll serve --index <index.idx> [--addr host:port] [--threads k]
+//!           [--graph <edges.txt>] [--wal <journal.wal>] [--snapshot-every n]
+//!           [--max-pending n]
+//! pll update <index.idx> <graph.txt> <updates.txt> -o <out.idx>
+//! pll wal <journal.wal>
 //! ```
 //!
 //! `build` reads a SNAP-style edge list (whitespace separated, `#`
@@ -91,7 +95,18 @@ fn run(argv: &[String]) -> Result<(), String> {
             graph,
             addr,
             threads,
-        } => serve(&index, graph.as_deref(), &addr, threads),
+            wal,
+            snapshot_every,
+            max_pending,
+        } => serve(
+            &index,
+            graph.as_deref(),
+            &addr,
+            threads,
+            wal.as_deref(),
+            snapshot_every,
+            max_pending,
+        ),
         Parsed::Update {
             index,
             graph,
@@ -99,6 +114,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             output,
             threads,
         } => update(&index, &graph, &updates, &output, threads),
+        Parsed::Wal { wal } => wal_dump(&wal),
     }
 }
 
@@ -148,10 +164,11 @@ fn build(
                 if threads_used == 1 { "" } else { "s" },
             );
             eprintln!("{}", phase_breakdown(index.stats()));
-            let out = File::create(output)
-                .map(BufWriter::new)
-                .map_err(|e| format!("cannot create {output}: {e}"))?;
-            $save(&index, out).map_err(|e| format!("cannot write {output}: {e}"))?;
+            // Crash-atomic: the index lands via tmp-file + fsync + rename,
+            // so an interrupted write never leaves a truncated index (or
+            // clobbers a pre-existing one) at `output`.
+            pll_core::wal::atomic_write_with(std::path::Path::new(output), |w| $save(&index, w))
+                .map_err(|e| format!("cannot write {output}: {e}"))?;
         }};
     }
     match format {
@@ -390,6 +407,9 @@ fn serve(
     graph_path: Option<&str>,
     addr: &str,
     threads: usize,
+    wal_path: Option<&str>,
+    snapshot_every: u64,
+    max_pending: usize,
 ) -> Result<(), String> {
     let index = Arc::new(open_any(index_path)?);
     eprintln!(
@@ -418,15 +438,37 @@ fn serve(
         }
         None => None,
     };
+    let wal = wal_path.map(|path| pll_server::WalConfig {
+        wal_path: path.into(),
+        index_path: index_path.into(),
+        snapshot_every,
+    });
     let handle = pll_server::serve_dynamic(
         index,
         graph.as_ref(),
         &pll_server::ServerConfig {
             addr: addr.to_string(),
             threads,
+            max_pending,
+            wal,
+            ..pll_server::ServerConfig::default()
         },
     )
     .map_err(|e| e.to_string())?;
+    if let Some(r) = handle.recovery() {
+        // The crash smoke script greps this exact line to verify replay.
+        eprintln!(
+            "wal recovery: epoch {}, {} batches replayed ({} edges, {} uncommitted), \
+             {} rebase edges, {} torn bytes truncated, {:.3} s",
+            r.recovered_epoch,
+            r.replayed_batches,
+            r.replayed_edges,
+            r.uncommitted_batches,
+            r.rebase_edges,
+            r.truncated_bytes,
+            r.seconds,
+        );
+    }
     // The smoke script greps this exact line to learn the bound port.
     println!("listening on {}", handle.local_addr());
     eprintln!(
@@ -441,7 +483,7 @@ fn serve(
     let summary = handle.join();
     eprintln!(
         "served {} queries in {} requests over {:.2} s ({:.0} qps, p50 {:.1} µs, p99 {:.1} µs, \
-         {} errors, {} updates, final epoch {})",
+         {} errors, {} updates, final epoch {}, {} shed, {} panics)",
         summary.queries,
         summary.requests,
         summary.elapsed_seconds,
@@ -451,6 +493,8 @@ fn serve(
         summary.errors,
         summary.updates,
         summary.final_epoch,
+        summary.sheds,
+        summary.panics,
     );
     for (i, w) in summary.workers.iter().enumerate() {
         eprintln!(
@@ -508,13 +552,62 @@ fn update(
         flat.labels().total_entries(),
         started.elapsed().as_secs_f64()
     );
-    let out = File::create(output)
-        .map(BufWriter::new)
-        .map_err(|e| format!("cannot create {output}: {e}"))?;
-    v2::save_v2_index(&flat, out).map_err(|e| format!("cannot write {output}: {e}"))?;
+    // Crash-atomic, like `pll build`: a crash mid-write never replaces a
+    // pre-existing index at `output` with a truncated file.
+    pll_core::wal::atomic_write_with(std::path::Path::new(output), |w| {
+        v2::save_v2_index(&flat, w)
+    })
+    .map_err(|e| format!("cannot write {output}: {e}"))?;
     eprintln!(
         "wrote {output} (undirected format, v2, epoch {})",
         dynamic.epoch()
+    );
+    Ok(())
+}
+
+/// `pll wal`: dump a server write-ahead log. Stdout gets one `u v` line
+/// per journaled edge in replay order (rebase records first, then update
+/// batches) — exactly the `<updates.txt>` format of `pll update`, which
+/// is how the crash smoke test rebuilds the server's recovered state
+/// offline. Stderr gets the journal's header and record statistics.
+fn wal_dump(path: &str) -> Result<(), String> {
+    use pll_core::wal::{read_wal, WalRecord};
+    use std::io::Write;
+    let contents = read_wal(std::path::Path::new(path))
+        .map_err(|e| format!("cannot read {path}: {e}"))?
+        .ok_or_else(|| format!("cannot read {path}: no such file"))?;
+    eprintln!(
+        "header: fingerprint {:016x}, prev {:016x}, base epoch {}",
+        contents.header.fingerprint, contents.header.prev_fingerprint, contents.header.base_epoch
+    );
+    let (mut updates, mut commits, mut rebases, mut edges) = (0u64, 0u64, 0u64, 0u64);
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for record in &contents.records {
+        let es = match record {
+            WalRecord::Rebase { edges } => {
+                rebases += 1;
+                edges
+            }
+            WalRecord::Update { edges, .. } => {
+                updates += 1;
+                edges
+            }
+            WalRecord::Commit { .. } => {
+                commits += 1;
+                continue;
+            }
+        };
+        edges += es.len() as u64;
+        for (u, v) in es {
+            writeln!(out, "{u} {v}").map_err(|e| format!("stdout: {e}"))?;
+        }
+    }
+    out.flush().map_err(|e| format!("stdout: {e}"))?;
+    eprintln!(
+        "{updates} update records ({commits} committed), {rebases} rebase records, \
+         {edges} edges, {} torn bytes truncated",
+        contents.truncated_bytes
     );
     Ok(())
 }

@@ -29,60 +29,61 @@ use crate::error::{PllError, Result};
 use crate::index::PllIndex;
 use crate::types::{Rank, Vertex, INF8, INF_QUERY};
 use std::fs::File;
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"PLLDISK1";
 const BP_ENTRY_BYTES: usize = 1 + 8 + 8;
 
-/// Writes `index` in the disk-query format.
+/// Writes `index` in the disk-query format. The write is crash-atomic
+/// (temp file + fsync + rename via [`crate::wal::atomic_write_with`]): a
+/// crash mid-write never corrupts an existing file at `path`.
 pub fn write_disk_index(index: &PllIndex, path: &Path) -> Result<()> {
     let (order, _inv, labels, bp, _stats) = index.parts();
     let n = order.len();
     let t = bp.num_roots();
-    let mut w = BufWriter::new(File::create(path)?);
-
-    w.write_all(MAGIC)?;
-    w.write_all(&(n as u64).to_le_bytes())?;
-    w.write_all(&(t as u64).to_le_bytes())?;
-    for &v in order {
-        w.write_all(&v.to_le_bytes())?;
-    }
-    let (roots, _) = bp.as_raw();
-    for &r in roots {
-        w.write_all(&r.to_le_bytes())?;
-    }
-
-    // Compute block offsets: header + order + roots + offset table itself.
-    let header = 8 + 8 + 8 + n * 4 + t * 4 + (n + 1) * 8;
-    let mut offsets = Vec::with_capacity(n + 1);
-    let mut pos = header as u64;
-    for v in 0..n as Rank {
-        offsets.push(pos);
-        let len = labels.label_len(v);
-        pos += (t * BP_ENTRY_BYTES + 4 + len * 4 + len) as u64;
-    }
-    offsets.push(pos);
-    for &o in &offsets {
-        w.write_all(&o.to_le_bytes())?;
-    }
-
-    for v in 0..n as Rank {
-        for e in bp.entries_of(v) {
-            w.write_all(&[e.dist])?;
-            w.write_all(&e.set_minus1.to_le_bytes())?;
-            w.write_all(&e.set_zero.to_le_bytes())?;
+    crate::wal::atomic_write_with(path, |w| {
+        w.write_all(MAGIC)?;
+        w.write_all(&(n as u64).to_le_bytes())?;
+        w.write_all(&(t as u64).to_le_bytes())?;
+        for &v in order {
+            w.write_all(&v.to_le_bytes())?;
         }
-        let (ranks, dists) = labels.label(v);
-        let len = ranks.len() - 1; // strip sentinel on disk
-        w.write_all(&(len as u32).to_le_bytes())?;
-        for &r in &ranks[..len] {
+        let (roots, _) = bp.as_raw();
+        for &r in roots {
             w.write_all(&r.to_le_bytes())?;
         }
-        w.write_all(&dists[..len])?;
-    }
-    w.flush()?;
-    Ok(())
+
+        // Compute block offsets: header + order + roots + offset table itself.
+        let header = 8 + 8 + 8 + n * 4 + t * 4 + (n + 1) * 8;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut pos = header as u64;
+        for v in 0..n as Rank {
+            offsets.push(pos);
+            let len = labels.label_len(v);
+            pos += (t * BP_ENTRY_BYTES + 4 + len * 4 + len) as u64;
+        }
+        offsets.push(pos);
+        for &o in &offsets {
+            w.write_all(&o.to_le_bytes())?;
+        }
+
+        for v in 0..n as Rank {
+            for e in bp.entries_of(v) {
+                w.write_all(&[e.dist])?;
+                w.write_all(&e.set_minus1.to_le_bytes())?;
+                w.write_all(&e.set_zero.to_le_bytes())?;
+            }
+            let (ranks, dists) = labels.label(v);
+            let len = ranks.len() - 1; // strip sentinel on disk
+            w.write_all(&(len as u32).to_le_bytes())?;
+            for &r in &ranks[..len] {
+                w.write_all(&r.to_le_bytes())?;
+            }
+            w.write_all(&dists[..len])?;
+        }
+        Ok(())
+    })
 }
 
 /// A disk-resident index: answers each query with two block reads.

@@ -378,6 +378,15 @@ impl DynamicIndex {
         self.epoch
     }
 
+    /// Overrides the epoch counter. Used by WAL recovery in the serving
+    /// layer: a server restarting from a snapshot builds a fresh overlay
+    /// (whose counter restarts at zero), replays the journal, and then
+    /// needs the epoch sequence to continue from the pre-crash value so
+    /// clients observe the same numbering as an uncrashed server.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// The wrapped base index.
     pub fn base(&self) -> &Arc<AnyIndex> {
         &self.base

@@ -1,0 +1,233 @@
+//! Hand-rolled fault injection ("failpoints") for crash testing.
+//!
+//! The crash-recovery harness (`scripts/crash_smoke.sh`) needs to kill the
+//! server at precise points in the durability pipeline — after a WAL append,
+//! just before an epoch publishes, between a WAL reset and the snapshot
+//! rename. No external failpoint crate is available (the registry is
+//! unreachable from this build environment), so this is a small cfg-gated
+//! registry of named sites.
+//!
+//! Without the `failpoints` cargo feature, [`point`] compiles to an empty
+//! inline function — zero cost in production builds. With the feature, each
+//! site consults a process-wide registry populated from the
+//! `PLL_FAILPOINTS` environment variable (on first use) or programmatically
+//! via `cfg` in tests.
+//!
+//! # Specification grammar
+//!
+//! `PLL_FAILPOINTS="site=action[;site2=action2]"` (`,` also separates).
+//! An action is `[K*]kind` where the optional `K*` arms the site on its
+//! K-th hit (so earlier hits pass through), and `kind` is one of:
+//!
+//! * `off` — count hits, do nothing (lets tests assert a site was crossed);
+//! * `panic` — panic with a recognisable message;
+//! * `abort` — `std::process::abort()`: SIGABRT with no destructors or
+//!   atexit handlers, the closest in-process stand-in for `kill -9` at
+//!   exactly the injection site;
+//! * `exit(code)` — `std::process::exit(code)`.
+//!
+//! Example: `PLL_FAILPOINTS="wal.after_append=5*abort"` crashes the process
+//! the fifth time an UPDATE batch is journaled.
+
+/// Triggers the failpoint `name` if it is armed. Without the `failpoints`
+/// feature this is an empty inline no-op.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn point(_name: &str) {}
+
+/// Triggers the failpoint `name` if it is armed. Without the `failpoints`
+/// feature this is an empty inline no-op.
+#[cfg(feature = "failpoints")]
+pub fn point(name: &str) {
+    imp::point(name);
+}
+
+#[cfg(feature = "failpoints")]
+pub use imp::{cfg, clear, hits, remove};
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    enum Action {
+        Off,
+        Panic,
+        Abort,
+        Exit(i32),
+    }
+
+    struct Site {
+        action: Action,
+        /// Hits to pass through before the action fires (the `K*` prefix
+        /// arms the site on hit number K, i.e. after K-1 pass-throughs).
+        pass_through: u64,
+        hits: u64,
+    }
+
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+
+    fn registry() -> MutexGuard<'static, HashMap<String, Site>> {
+        REGISTRY
+            .get_or_init(|| {
+                let mut map = HashMap::new();
+                if let Ok(spec) = std::env::var("PLL_FAILPOINTS") {
+                    for part in spec.split([';', ',']) {
+                        let part = part.trim();
+                        if part.is_empty() {
+                            continue;
+                        }
+                        match part.split_once('=') {
+                            Some((name, action)) => match parse_action(action.trim()) {
+                                Ok(site) => {
+                                    map.insert(name.trim().to_string(), site);
+                                }
+                                Err(why) => {
+                                    eprintln!("PLL_FAILPOINTS: ignoring {part:?}: {why}");
+                                }
+                            },
+                            None => eprintln!("PLL_FAILPOINTS: ignoring {part:?}: missing '='"),
+                        }
+                    }
+                }
+                Mutex::new(map)
+            })
+            .lock()
+            // The lock is never held across a panic (actions fire after the
+            // guard drops), but recover anyway: the map stays consistent.
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn parse_action(spec: &str) -> Result<Site, String> {
+        let (pass_through, kind) = match spec.split_once('*') {
+            Some((k, rest)) => {
+                let k: u64 = k
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad hit count {k:?}"))?;
+                if k == 0 {
+                    return Err("hit count must be >= 1".into());
+                }
+                (k - 1, rest.trim())
+            }
+            None => (0, spec),
+        };
+        let action = if kind == "off" {
+            Action::Off
+        } else if kind == "panic" {
+            Action::Panic
+        } else if kind == "abort" {
+            Action::Abort
+        } else if kind == "exit" {
+            Action::Exit(1)
+        } else if let Some(code) = kind
+            .strip_prefix("exit(")
+            .and_then(|rest| rest.strip_suffix(')'))
+        {
+            Action::Exit(
+                code.trim()
+                    .parse()
+                    .map_err(|_| format!("bad exit code {code:?}"))?,
+            )
+        } else {
+            return Err(format!("unknown action {kind:?}"));
+        };
+        Ok(Site {
+            action,
+            pass_through,
+            hits: 0,
+        })
+    }
+
+    pub(super) fn point(name: &str) {
+        let action = {
+            let mut map = registry();
+            let Some(site) = map.get_mut(name) else {
+                return;
+            };
+            site.hits += 1;
+            if site.hits <= site.pass_through {
+                return;
+            }
+            site.action.clone()
+            // Guard drops here so the action never fires while holding the
+            // registry lock.
+        };
+        match action {
+            Action::Off => {}
+            Action::Panic => panic!("failpoint {name} triggered"),
+            Action::Abort => std::process::abort(),
+            Action::Exit(code) => std::process::exit(code),
+        }
+    }
+
+    /// Programmatically arms `name` with `action` (same grammar as the
+    /// `PLL_FAILPOINTS` environment variable), resetting its hit counter.
+    pub fn cfg(name: &str, action: &str) -> Result<(), String> {
+        let site = parse_action(action)?;
+        registry().insert(name.to_string(), site);
+        Ok(())
+    }
+
+    /// Disarms `name`.
+    pub fn remove(name: &str) {
+        registry().remove(name);
+    }
+
+    /// Disarms every site.
+    pub fn clear() {
+        registry().clear();
+    }
+
+    /// How many times `name` has been hit since it was armed (0 if it was
+    /// never armed; unarmed sites are not counted).
+    pub fn hits(name: &str) -> u64 {
+        registry().get(name).map_or(0, |site| site.hits)
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_are_noops() {
+        point("tests.never_armed");
+        assert_eq!(hits("tests.never_armed"), 0);
+    }
+
+    #[test]
+    fn off_counts_hits() {
+        cfg("tests.off_site", "off").unwrap();
+        point("tests.off_site");
+        point("tests.off_site");
+        assert_eq!(hits("tests.off_site"), 2);
+        remove("tests.off_site");
+        point("tests.off_site");
+        assert_eq!(hits("tests.off_site"), 0);
+    }
+
+    #[test]
+    fn nth_hit_panics() {
+        cfg("tests.third_hit", "3*panic").unwrap();
+        point("tests.third_hit");
+        point("tests.third_hit");
+        let caught = std::panic::catch_unwind(|| point("tests.third_hit"));
+        let message = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("failpoint tests.third_hit"));
+        // Once armed past its threshold, every later hit fires too.
+        assert!(std::panic::catch_unwind(|| point("tests.third_hit")).is_err());
+        remove("tests.third_hit");
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(cfg("tests.bad", "explode").is_err());
+        assert!(cfg("tests.bad", "0*panic").is_err());
+        assert!(cfg("tests.bad", "x*panic").is_err());
+        assert!(cfg("tests.bad", "exit(notanumber)").is_err());
+        assert!(cfg("tests.bad", "exit(7)").is_ok());
+        remove("tests.bad");
+    }
+}

@@ -45,6 +45,7 @@ pub mod directed;
 pub mod disk;
 pub mod dynamic;
 pub mod error;
+pub mod fail;
 pub mod index;
 pub mod label;
 pub mod order;
@@ -57,6 +58,7 @@ pub mod storage;
 pub mod types;
 pub mod v2;
 pub mod verify;
+pub mod wal;
 pub mod weighted;
 pub mod weighted_directed;
 

@@ -25,7 +25,18 @@
 //! * graceful shutdown: an [`protocol::OP_SHUTDOWN`] request (or
 //!   [`ServerHandle::shutdown`]) stops the accept loop, drains queued
 //!   connections, lets in-flight requests finish, and
-//!   [`ServerHandle::join`] returns a [`metrics::ServerSummary`].
+//!   [`ServerHandle::join`] returns a [`metrics::ServerSummary`];
+//! * durability ([`WalConfig`]): every `UPDATE` batch is journaled to an
+//!   fsync'd write-ahead log ([`pll_core::wal`]) *before* it applies and
+//!   marked committed after its epoch publishes; startup replays the log
+//!   so a `kill -9`'d server answers identically after restart, and
+//!   periodic snapshot-compaction atomically persists the flattened
+//!   index and resets the log;
+//! * overload protection: a bounded hand-off queue sheds excess
+//!   connections with [`protocol::STATUS_BUSY`] instead of stalling the
+//!   accept loop; per-connection write timeouts drop dead peers; worker
+//!   panics are caught and the swap cell / updater recover their locks,
+//!   so one bad connection cannot wedge the server.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,17 +45,20 @@ pub mod metrics;
 pub mod protocol;
 
 use metrics::{summarize, ServerSummary, WorkerMetrics};
-use pll_core::{AnyIndex, DynamicIndex};
+use pll_core::wal::{self, WalRecord, WalWriter};
+use pll_core::{fail, AnyIndex, DynamicIndex};
 use pll_graph::CsrGraph;
 use protocol::{
     format_code, write_frame, ProtocolError, MAX_BATCH, OP_BATCH, OP_CONNECTED, OP_INFO, OP_PATH,
-    OP_QUERY, OP_SHUTDOWN, OP_UPDATE, STATUS_BAD_REQUEST, STATUS_OK, STATUS_QUERY_ERROR,
-    STATUS_UNSUPPORTED, UNREACHABLE,
+    OP_QUERY, OP_SHUTDOWN, OP_UPDATE, STATUS_BAD_REQUEST, STATUS_BUSY, STATUS_OK,
+    STATUS_QUERY_ERROR, STATUS_UNSUPPORTED, UNREACHABLE,
 };
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 /// How long a worker blocks on a quiet connection before re-checking the
@@ -61,6 +75,26 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads (0 = one per CPU).
     pub threads: usize,
+    /// Accepted connections queued for a free worker before new arrivals
+    /// are shed with [`STATUS_BUSY`] (0 = `4 × workers + 16`). Bounding
+    /// the hand-off queue is the overload valve: without it a flood
+    /// queues unboundedly and every client stalls instead of a few being
+    /// told to back off.
+    pub max_pending: usize,
+    /// Per-connection socket write timeout: a peer that stops reading
+    /// (dead, or slow-loris-ing the response path) is disconnected
+    /// instead of pinning its worker forever.
+    pub write_timeout: Duration,
+    /// How long a peer may stall *inside* a started frame before the
+    /// connection is declared dead. Distinct from the idle read poll:
+    /// between frames a timeout just means "idle, re-check shutdown",
+    /// but once a frame has started a stall means a broken, dead or
+    /// slow-loris peer.
+    pub mid_frame_timeout: Duration,
+    /// Durability: journal `UPDATE` batches to a write-ahead log and
+    /// periodically snapshot-compact. Requires a dynamic server (a
+    /// graph passed to [`serve_dynamic`]).
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ServerConfig {
@@ -68,8 +102,52 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:4717".into(),
             threads: 0,
+            max_pending: 0,
+            write_timeout: Duration::from_secs(10),
+            mid_frame_timeout: MID_FRAME_TIMEOUT,
+            wal: None,
         }
     }
+}
+
+/// Durability configuration for a dynamic server.
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// The write-ahead log file (created if missing; replayed if found).
+    pub wal_path: PathBuf,
+    /// The served index file. Recovery fingerprints it to check the WAL
+    /// belongs to it, and snapshot-compaction atomically rewrites it.
+    pub index_path: PathBuf,
+    /// Snapshot-compact after this many published batches (0 = never):
+    /// the flattened index is written atomically and the WAL is reset to
+    /// a single `Rebase` record, bounding both recovery time and log
+    /// growth.
+    pub snapshot_every: u64,
+}
+
+/// What WAL recovery did at startup.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// Complete `Update` records replayed through the overlay.
+    pub replayed_batches: u64,
+    /// Edges those batches actually inserted on replay.
+    pub replayed_edges: u64,
+    /// Replayed records that had no commit marker (journaled, then the
+    /// crash hit before — or just after — the epoch published). Replay
+    /// applies them anyway: journaling happens before apply, so an
+    /// uncommitted record is at-least-once delivery of an acknowledged
+    /// request, and re-inserting an existing edge is skipped.
+    pub uncommitted_batches: u64,
+    /// Edges replayed from a snapshot `Rebase` record (0 unless the
+    /// crash landed between a WAL reset and its snapshot rename).
+    pub rebase_edges: u64,
+    /// Torn-tail bytes truncated from the log (a crash mid-append).
+    pub truncated_bytes: u64,
+    /// Served epoch after replay — identical to the pre-crash epoch,
+    /// because replay is deterministic.
+    pub recovered_epoch: u64,
+    /// Wall-clock seconds recovery took (replay + flatten).
+    pub seconds: f64,
 }
 
 /// Errors starting or running the server.
@@ -129,13 +207,28 @@ impl SwapCell {
     }
 
     /// Pins the current generation.
+    ///
+    /// Lock poisoning is deliberately ignored: the protected value is a
+    /// single `Arc` pointer, which is replaced atomically and is
+    /// therefore consistent no matter where a holder panicked — so one
+    /// panicking worker must not cascade into every later connection
+    /// dying on an `expect`.
     pub fn load(&self) -> Arc<EpochIndex> {
-        Arc::clone(&self.inner.read().expect("swap cell poisoned"))
+        let guard = self
+            .inner
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        Arc::clone(&guard)
     }
 
-    /// Atomically publishes `index` as generation `epoch`.
+    /// Atomically publishes `index` as generation `epoch`. Recovers from
+    /// a poisoned lock for the same reason as [`SwapCell::load`].
     pub fn store(&self, epoch: u64, index: Arc<AnyIndex>) {
-        *self.inner.write().expect("swap cell poisoned") = Arc::new(EpochIndex { epoch, index });
+        let mut guard = self
+            .inner
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *guard = Arc::new(EpochIndex { epoch, index });
     }
 }
 
@@ -148,6 +241,42 @@ impl SwapCell {
 struct UpdaterState {
     dynamic: DynamicIndex,
     poisoned: Option<String>,
+    wal: Option<WalState>,
+}
+
+/// Mutable durability state, living inside the updater mutex so WAL
+/// appends, applies and publishes stay ordered.
+struct WalState {
+    writer: WalWriter,
+    config: WalConfig,
+    /// Fingerprint of the index file generation currently on disk;
+    /// recorded as `prev_fingerprint` at the next snapshot so recovery
+    /// can identify a crash between WAL reset and snapshot rename.
+    fingerprint: u64,
+    /// Sequence number the next `Update` record will get (0-based,
+    /// counting `Update` records since the last WAL reset).
+    next_seq: u64,
+    /// Published batches since the last snapshot compaction.
+    batches_since_snapshot: u64,
+}
+
+/// Takes the updater lock, recovering from poison. The std poison flag
+/// is exactly the signal we want — a worker panicked while holding the
+/// lock, so the overlay may be half-mutated — but the response is to
+/// refuse *updates* while queries keep serving published epochs, not to
+/// panic every later connection.
+fn lock_updater(updater: &Mutex<UpdaterState>) -> MutexGuard<'_, UpdaterState> {
+    match updater.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            if guard.poisoned.is_none() {
+                guard.poisoned =
+                    Some("a worker panicked while applying an earlier UPDATE".to_string());
+            }
+            guard
+        }
+    }
 }
 
 /// State shared by every worker: the swap cell and, when the server was
@@ -157,6 +286,12 @@ struct ServeShared {
     cell: SwapCell,
     updater: Option<Mutex<UpdaterState>>,
     flatten_threads: usize,
+    write_timeout: Duration,
+    mid_frame_timeout: Duration,
+    /// Connections shed with `STATUS_BUSY` by the accept loop.
+    sheds: AtomicU64,
+    /// Worker panics caught by the connection-level `catch_unwind`.
+    panics: AtomicU64,
 }
 
 /// A running server: owns the listener and worker threads.
@@ -168,6 +303,7 @@ pub struct ServerHandle {
     worker_metrics: Arc<Vec<WorkerMetrics>>,
     shared: Arc<ServeShared>,
     started: Instant,
+    recovery: Option<RecoveryStats>,
 }
 
 impl ServerHandle {
@@ -203,18 +339,33 @@ impl ServerHandle {
         self.shared.updater.is_some()
     }
 
+    /// What WAL recovery replayed at startup (`None` when the server
+    /// started without a [`WalConfig`]).
+    pub fn recovery(&self) -> Option<&RecoveryStats> {
+        self.recovery.as_ref()
+    }
+
     /// Waits for the accept loop and every worker to finish (i.e. until
     /// someone requests shutdown and in-flight connections drain), then
-    /// returns the aggregated metrics.
+    /// returns the aggregated metrics. A worker that died panicking is
+    /// counted, not propagated — shutdown must summarise what happened,
+    /// not crash the supervisor.
     pub fn join(self) -> ServerSummary {
-        self.listener_thread.join().expect("listener thread");
+        let mut escaped_panics = 0u64;
+        if self.listener_thread.join().is_err() {
+            escaped_panics += 1;
+        }
         for w in self.worker_threads {
-            w.join().expect("worker thread");
+            if w.join().is_err() {
+                escaped_panics += 1;
+            }
         }
         summarize(
             &self.worker_metrics,
             self.started.elapsed().as_secs_f64(),
             self.shared.cell.load().epoch,
+            self.shared.sheds.load(Ordering::Relaxed),
+            self.shared.panics.load(Ordering::Relaxed) + escaped_panics,
         )
     }
 }
@@ -246,9 +397,19 @@ pub fn serve_dynamic(
     graph: Option<&CsrGraph>,
     config: &ServerConfig,
 ) -> Result<ServerHandle, ServeError> {
+    if config.wal.is_some() && graph.is_none() {
+        return Err(ServeError::Dynamic(pll_core::PllError::Unsupported {
+            message: "a WAL journals UPDATE batches, which only a dynamic server \
+                      accepts; pass the graph (serve_dynamic / pll serve --graph) \
+                      to enable durability"
+                .into(),
+        }));
+    }
+    let mut initial = index;
+    let mut recovery: Option<RecoveryStats> = None;
     let updater = match graph {
         Some(g) => {
-            if index.supports_paths() {
+            if initial.supports_paths() {
                 return Err(ServeError::Dynamic(pll_core::PllError::Unsupported {
                     message: "this index stores parent pointers, which dynamic updates \
                               cannot maintain (the post-update flatten drops them, \
@@ -257,17 +418,49 @@ pub fn serve_dynamic(
                         .into(),
                 }));
             }
+            let mut dynamic =
+                DynamicIndex::new(Arc::clone(&initial), g).map_err(ServeError::Dynamic)?;
+            let wal_state = match &config.wal {
+                Some(wal_config) => {
+                    let recovery_started = Instant::now();
+                    let (state, mut stats) =
+                        recover_wal(&mut dynamic, wal_config).map_err(ServeError::Dynamic)?;
+                    if dynamic.epoch() > 0 {
+                        // Something was replayed: serve the recovered
+                        // state, not the stale base index.
+                        let flat = dynamic
+                            .flatten(config.threads)
+                            .map_err(ServeError::Dynamic)?;
+                        initial = Arc::new(AnyIndex::Undirected(flat));
+                    }
+                    stats.recovered_epoch = dynamic.epoch();
+                    stats.seconds = recovery_started.elapsed().as_secs_f64();
+                    recovery = Some(stats);
+                    Some(state)
+                }
+                None => None,
+            };
             Some(Mutex::new(UpdaterState {
-                dynamic: DynamicIndex::new(Arc::clone(&index), g).map_err(ServeError::Dynamic)?,
+                dynamic,
                 poisoned: None,
+                wal: wal_state,
             }))
         }
         None => None,
     };
+    let recovered_epoch = recovery.as_ref().map_or(0, |r| r.recovered_epoch);
+    let cell = SwapCell::new(Arc::clone(&initial));
+    if recovered_epoch > 0 {
+        cell.store(recovered_epoch, initial);
+    }
     let shared = Arc::new(ServeShared {
-        cell: SwapCell::new(index),
+        cell,
         updater,
         flatten_threads: config.threads,
+        write_timeout: config.write_timeout,
+        mid_frame_timeout: config.mid_frame_timeout,
+        sheds: AtomicU64::new(0),
+        panics: AtomicU64::new(0),
     });
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
@@ -278,11 +471,19 @@ pub fn serve_dynamic(
     } else {
         config.threads
     };
+    let max_pending = if config.max_pending == 0 {
+        threads * 4 + 16
+    } else {
+        config.max_pending
+    };
     let shutdown = Arc::new(AtomicBool::new(false));
     let worker_metrics: Arc<Vec<WorkerMetrics>> =
         Arc::new((0..threads).map(|_| WorkerMetrics::default()).collect());
 
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    // Bounded hand-off: when every worker is busy and `max_pending`
+    // connections already wait, the accept loop sheds instead of
+    // queueing unboundedly.
+    let (tx, rx) = mpsc::sync_channel::<TcpStream>(max_pending);
     let rx = Arc::new(Mutex::new(rx));
 
     let mut worker_threads = Vec::with_capacity(threads);
@@ -297,14 +498,30 @@ pub fn serve_dynamic(
                 .spawn(move || {
                     loop {
                         // Block on the shared queue; a closed channel
-                        // (listener gone) ends the worker.
+                        // (listener gone) ends the worker. Recover the
+                        // lock from a sibling's panic: the receiver
+                        // itself is always in a consistent state.
                         let conn = {
-                            let guard = rx.lock().expect("connection queue poisoned");
+                            let guard = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
                             guard.recv()
                         };
                         match conn {
                             Ok(stream) => {
-                                serve_connection(&shared, stream, &metrics[worker_id], &shutdown);
+                                // One panicking connection must not take
+                                // the worker (and with it the whole
+                                // accept pipeline) down.
+                                let caught = catch_unwind(AssertUnwindSafe(|| {
+                                    serve_connection(
+                                        &shared,
+                                        stream,
+                                        &metrics[worker_id],
+                                        &shutdown,
+                                    );
+                                }));
+                                if caught.is_err() {
+                                    shared.panics.fetch_add(1, Ordering::Relaxed);
+                                    metrics[worker_id].errors.fetch_add(1, Ordering::Relaxed);
+                                }
                                 metrics[worker_id]
                                     .connections
                                     .fetch_add(1, Ordering::Relaxed);
@@ -319,6 +536,7 @@ pub fn serve_dynamic(
 
     let listener_thread = {
         let shutdown = Arc::clone(&shutdown);
+        let shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("pll-serve-accept".into())
             .spawn(move || {
@@ -332,8 +550,13 @@ pub fn serve_dynamic(
                             // though the listener polls.
                             let _ = stream.set_nonblocking(false);
                             let _ = stream.set_nodelay(true);
-                            if tx.send(stream).is_err() {
-                                break;
+                            match tx.try_send(stream) {
+                                Ok(()) => {}
+                                Err(mpsc::TrySendError::Full(stream)) => {
+                                    shed_busy(stream);
+                                    shared.sheds.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(mpsc::TrySendError::Disconnected(_)) => break,
                             }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -356,13 +579,174 @@ pub fn serve_dynamic(
         worker_metrics,
         shared,
         started: Instant::now(),
+        recovery,
     })
 }
 
-/// How long a peer may stall *inside* a frame before the connection is
-/// declared dead. Distinct from [`READ_POLL`]: between frames a timeout
-/// just means "idle, re-check shutdown", but once a frame has started a
-/// stall means a broken or malicious peer.
+/// How long the accept loop will spend telling a shed peer it is being
+/// shed; a dead peer must not block accepts.
+const SHED_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Tells a shed connection why it is being dropped: one `STATUS_BUSY`
+/// frame, then close. The client's pending request (if any) was never
+/// read, so reconnect-and-retry is always safe.
+fn shed_busy(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
+    let mut payload = Vec::with_capacity(64);
+    payload.push(STATUS_BUSY);
+    payload.extend_from_slice(b"server overloaded: connection shed, retry with backoff");
+    let _ = write_frame(&stream, &payload);
+    // Dropping the stream closes it.
+}
+
+/// Rebuilds the dynamic overlay from the write-ahead log and prepares
+/// the writer for new appends. See [`WalConfig`] and [`RecoveryStats`]
+/// for the semantics; the fingerprint check refuses a WAL journaled
+/// against a different index.
+fn recover_wal(
+    dynamic: &mut DynamicIndex,
+    config: &WalConfig,
+) -> Result<(WalState, RecoveryStats), pll_core::PllError> {
+    let disk_fingerprint = wal::fingerprint_file(&config.index_path)?;
+    let mut stats = RecoveryStats::default();
+    let contents = match wal::read_wal(&config.wal_path)? {
+        None => {
+            // No log yet: start a fresh one keyed to this index.
+            let header = wal::WalHeader {
+                fingerprint: disk_fingerprint,
+                prev_fingerprint: disk_fingerprint,
+                base_epoch: 0,
+            };
+            let writer = WalWriter::create(&config.wal_path, &header, &[])?;
+            return Ok((
+                WalState {
+                    writer,
+                    config: config.clone(),
+                    fingerprint: disk_fingerprint,
+                    next_seq: 0,
+                    batches_since_snapshot: 0,
+                },
+                stats,
+            ));
+        }
+        Some(contents) => contents,
+    };
+    let header = contents.header;
+    if disk_fingerprint != header.fingerprint && disk_fingerprint != header.prev_fingerprint {
+        return Err(pll_core::PllError::Format {
+            message: format!(
+                "WAL {} was journaled against a different base index (index fingerprint \
+                 {disk_fingerprint:016x}, WAL expects {:016x} or {:016x}); delete the WAL \
+                 to serve this index without its journal, or restore the matching index",
+                config.wal_path.display(),
+                header.fingerprint,
+                header.prev_fingerprint
+            ),
+        });
+    }
+    stats.truncated_bytes = contents.truncated_bytes;
+    let committed: std::collections::HashSet<u64> = contents
+        .records
+        .iter()
+        .filter_map(|rec| match rec {
+            WalRecord::Commit { seq } => Some(*seq),
+            _ => None,
+        })
+        .collect();
+    let mut seq = 0u64;
+    for record in &contents.records {
+        match record {
+            WalRecord::Rebase { edges } => {
+                // Against a landed snapshot these all prune as duplicates;
+                // against the previous index (crash between WAL reset and
+                // snapshot rename) they genuinely rebuild the missing
+                // state. Either way the epoch restarts at the snapshot's.
+                dynamic.apply(edges)?;
+                dynamic.set_epoch(header.base_epoch);
+                stats.rebase_edges += edges.len() as u64;
+            }
+            WalRecord::Update { edges, .. } => {
+                let applied = dynamic.apply(edges)?;
+                stats.replayed_batches += 1;
+                stats.replayed_edges += applied.edges_applied as u64;
+                if !committed.contains(&seq) {
+                    stats.uncommitted_batches += 1;
+                }
+                seq += 1;
+            }
+            WalRecord::Commit { .. } => {}
+        }
+    }
+    // A rebase-less WAL can still carry a base epoch (defensive; the
+    // snapshot path always writes a Rebase record first).
+    if dynamic.epoch() < header.base_epoch {
+        dynamic.set_epoch(header.base_epoch);
+    }
+    let writer = WalWriter::open_existing(&config.wal_path, contents.valid_len)?;
+    Ok((
+        WalState {
+            writer,
+            config: config.clone(),
+            fingerprint: disk_fingerprint,
+            next_seq: seq,
+            batches_since_snapshot: 0,
+        },
+        stats,
+    ))
+}
+
+/// Persists the flattened index atomically and resets the WAL.
+///
+/// Ordering is the load-bearing part: the WAL is reset *first* (new
+/// fingerprint, `Rebase` record carrying every edge inserted since the
+/// base graph), the snapshot index is renamed into place *second*. A
+/// crash before the reset recovers from the old WAL + old index; a
+/// crash between the two finds a new WAL next to the old index, which
+/// recovery accepts via `prev_fingerprint` — the `Rebase` record then
+/// rebuilds exactly the state the missing snapshot would have held.
+fn snapshot_compact(
+    wal_state: &mut WalState,
+    dynamic: &DynamicIndex,
+    flat: &AnyIndex,
+) -> Result<(), pll_core::PllError> {
+    let AnyIndex::Undirected(index) = flat else {
+        return Err(pll_core::PllError::Unsupported {
+            message: "snapshot compaction expects the undirected flatten".into(),
+        });
+    };
+    let mut bytes = Vec::new();
+    pll_core::v2::save_v2_index(index, &mut bytes)?;
+    let new_fingerprint = wal::fingerprint_bytes(&bytes);
+    let header = wal::WalHeader {
+        fingerprint: new_fingerprint,
+        prev_fingerprint: wal_state.fingerprint,
+        base_epoch: dynamic.epoch(),
+    };
+    let rebase = WalRecord::Rebase {
+        edges: dynamic.inserted_edges().to_vec(),
+    };
+    // If the reset itself fails the old WAL file is untouched (the new
+    // image goes through atomic_write), so bailing out is safe.
+    let writer = WalWriter::create(&wal_state.config.wal_path, &header, &[rebase])?;
+    // The on-disk WAL is now the new one: adopt the writer before
+    // attempting the index rename, or a rename failure would leave us
+    // appending to the unlinked old file.
+    wal_state.writer = writer;
+    wal_state.next_seq = 0;
+    fail::point("snapshot.before_rename");
+    wal::atomic_write(&wal_state.config.index_path, &bytes)?;
+    // Only now does the on-disk index carry the new fingerprint; until
+    // the rename lands, `fingerprint` must keep describing the old file
+    // so a further snapshot records the correct `prev_fingerprint`.
+    wal_state.fingerprint = new_fingerprint;
+    Ok(())
+}
+
+/// Default for [`ServerConfig::mid_frame_timeout`]: how long a peer may
+/// stall *inside* a frame before the connection is declared dead.
+/// Distinct from [`READ_POLL`]: between frames a timeout just means
+/// "idle, re-check shutdown", but once a frame has started a stall
+/// means a broken or malicious peer.
 const MID_FRAME_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Reads one frame, polling the shutdown flag while the connection is
@@ -378,6 +762,7 @@ const MID_FRAME_TIMEOUT: Duration = Duration::from_secs(10);
 fn read_frame_shutdown_aware(
     reader: &mut std::io::BufReader<TcpStream>,
     shutdown: &AtomicBool,
+    mid_frame_timeout: Duration,
 ) -> Result<Option<Vec<u8>>, ProtocolError> {
     use std::io::Read;
     // Phase 1: await the first byte of the length prefix (idle wait).
@@ -399,7 +784,7 @@ fn read_frame_shutdown_aware(
         }
     }
     // Phase 2: the frame has started — read the rest under one deadline.
-    let _ = reader.get_ref().set_read_timeout(Some(MID_FRAME_TIMEOUT));
+    let _ = reader.get_ref().set_read_timeout(Some(mid_frame_timeout));
     let result = (|| {
         let mut rest = [0u8; 3];
         reader.read_exact(&mut rest)?;
@@ -426,10 +811,18 @@ fn serve_connection(
     shutdown: &AtomicBool,
 ) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
-    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+    // A peer that stops draining its socket (dead, or deliberately slow)
+    // must not pin this worker forever in a blocking write.
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        metrics.errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let mut reader = std::io::BufReader::new(read_half);
     let mut writer = std::io::BufWriter::new(stream);
     loop {
-        let frame = match read_frame_shutdown_aware(&mut reader, shutdown) {
+        let frame = match read_frame_shutdown_aware(&mut reader, shutdown, shared.mid_frame_timeout)
+        {
             Ok(Some(frame)) => frame,
             Ok(None) => break, // clean EOF or shutdown while idle
             Err(_) => {
@@ -446,6 +839,8 @@ fn serve_connection(
             metrics.updates.fetch_add(r.updates, Ordering::Relaxed);
         }
         if write_frame(&mut writer, &r.payload).is_err() {
+            // Includes the write timeout: the peer is dead or jammed.
+            metrics.errors.fetch_add(1, Ordering::Relaxed);
             break;
         }
         metrics.record_request(started.elapsed().as_nanos() as u64, r.queries);
@@ -597,7 +992,7 @@ fn handle_request(shared: &ServeShared, frame: &[u8], shutdown: &AtomicBool) -> 
             let edges: Vec<(u32, u32)> = body[4..].chunks_exact(8).map(pair).collect();
             // Updates serialise on the mutex; queries keep flowing on
             // the snapshot they pinned.
-            let mut state = updater.lock().expect("updater mutex poisoned");
+            let mut state = lock_updater(updater);
             if let Some(why) = &state.poisoned {
                 return error_response(
                     STATUS_UNSUPPORTED,
@@ -608,28 +1003,75 @@ fn handle_request(shared: &ServeShared, frame: &[u8], shutdown: &AtomicBool) -> 
                     ),
                 );
             }
-            let stats = match state.dynamic.apply(&edges) {
+            // Split the guard so the WAL and the overlay can be borrowed
+            // independently below.
+            let UpdaterState {
+                dynamic,
+                poisoned,
+                wal: wal_state,
+            } = &mut *state;
+            // Journal before apply: a batch that cannot be made durable
+            // is refused outright, never half-applied.
+            if let Some(w) = wal_state.as_mut() {
+                let record = WalRecord::Update {
+                    epoch: dynamic.epoch(),
+                    edges: edges.clone(),
+                };
+                if let Err(e) = w.writer.append(&record) {
+                    return error_response(
+                        STATUS_QUERY_ERROR,
+                        &format!(
+                            "UPDATE refused: cannot journal the batch to the WAL ({e}); \
+                             nothing was applied"
+                        ),
+                    );
+                }
+                w.next_seq += 1;
+                fail::point("wal.after_append");
+            }
+            let stats = match dynamic.apply(&edges) {
                 Ok(stats) => stats,
                 Err(e) => {
                     // A failed apply may have mutated part of the
                     // overlay; never flatten/publish it again.
-                    state.poisoned = Some(e.to_string());
+                    *poisoned = Some(e.to_string());
                     return query_error(e);
                 }
             };
             if stats.edges_applied > 0 {
-                let flat = match state.dynamic.flatten(shared.flatten_threads) {
+                let flat = match dynamic.flatten(shared.flatten_threads) {
                     Ok(flat) => flat,
                     Err(e) => {
-                        state.poisoned = Some(e.to_string());
+                        *poisoned = Some(e.to_string());
                         return query_error(e);
                     }
                 };
-                shared
-                    .cell
-                    .store(state.dynamic.epoch(), Arc::new(AnyIndex::Undirected(flat)));
+                let flat = Arc::new(AnyIndex::Undirected(flat));
+                fail::point("serve.before_publish");
+                shared.cell.store(dynamic.epoch(), Arc::clone(&flat));
+                if let Some(w) = wal_state.as_mut() {
+                    // The commit marker is advisory (recovery replays
+                    // complete records either way), so an append failure
+                    // must not unpublish the epoch.
+                    let _ = w.writer.append(&WalRecord::Commit {
+                        seq: w.next_seq - 1,
+                    });
+                    fail::point("wal.after_commit");
+                    w.batches_since_snapshot += 1;
+                    if w.config.snapshot_every > 0
+                        && w.batches_since_snapshot >= w.config.snapshot_every
+                    {
+                        // A failed snapshot is retried at the next
+                        // published batch; journaling continues either
+                        // way, so durability is never lost — only
+                        // compaction is deferred.
+                        if snapshot_compact(w, dynamic, &flat).is_ok() {
+                            w.batches_since_snapshot = 0;
+                        }
+                    }
+                }
             }
-            let epoch = state.dynamic.epoch();
+            let epoch = dynamic.epoch();
             drop(state);
             let mut out = Vec::with_capacity(17);
             out.push(STATUS_OK);
@@ -691,6 +1133,7 @@ mod tests {
             &ServerConfig {
                 addr: "127.0.0.1:0".into(),
                 threads,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -790,6 +1233,7 @@ mod tests {
             &ServerConfig {
                 addr: "127.0.0.1:0".into(),
                 threads: 1,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -843,6 +1287,7 @@ mod tests {
             &ServerConfig {
                 addr: "127.0.0.1:0".into(),
                 threads: 1,
+                ..ServerConfig::default()
             },
         ) {
             Err(e) => e,
@@ -874,6 +1319,7 @@ mod tests {
             &ServerConfig {
                 addr: "127.0.0.1:0".into(),
                 threads: 4,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -974,5 +1420,354 @@ mod tests {
         handle.shutdown();
         let summary = handle.join();
         assert_eq!(summary.errors, 3);
+    }
+
+    /// Temp-file path unique to this process and call site.
+    fn temp_path(name: &str) -> PathBuf {
+        use std::sync::atomic::AtomicU32;
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("pll_server_test_{}_{n}_{name}", std::process::id()))
+    }
+
+    fn wal_server_config(wal: &std::path::Path, index: &std::path::Path) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            wal: Some(WalConfig {
+                wal_path: wal.to_path_buf(),
+                index_path: index.to_path_buf(),
+                snapshot_every: 0,
+            }),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Builds a ring index, persists it to `index_path` (recovery
+    /// fingerprints the real file), and returns the ring graph plus the
+    /// chord edges the tests insert.
+    fn ring_fixture(index_path: &std::path::Path) -> (pll_graph::CsrGraph, Vec<(u32, u32)>) {
+        let n = 40u32;
+        let ring: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let chords: Vec<(u32, u32)> = (0..n / 2).map(|i| (i, i + n / 2)).collect();
+        let g = pll_graph::CsrGraph::from_edges(n as usize, &ring).unwrap();
+        let idx = IndexBuilder::new().bit_parallel_roots(2).build(&g).unwrap();
+        let mut bytes = Vec::new();
+        pll_core::v2::save_v2_index(&idx, &mut bytes).unwrap();
+        wal::atomic_write(index_path, &bytes).unwrap();
+        (g, chords)
+    }
+
+    fn load_index(path: &std::path::Path) -> Arc<AnyIndex> {
+        let bytes = std::fs::read(path).unwrap();
+        let aligned = Arc::new(pll_core::AlignedBytes::from_bytes(&bytes));
+        Arc::new(pll_core::v2::open_v2_bytes(aligned).unwrap())
+    }
+
+    #[test]
+    fn swap_cell_recovers_from_poisoned_locks() {
+        let cell = Arc::new(SwapCell::new(served_index()));
+        // Poison the lock: a thread panics while holding the write guard.
+        let poisoner = Arc::clone(&cell);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.write().unwrap();
+            panic!("simulated worker panic during a swap");
+        })
+        .join();
+        assert!(cell.inner.is_poisoned());
+        // Load and store keep working: the protected Arc pointer is
+        // replaced atomically, so it is consistent no matter where the
+        // panicking holder died.
+        let before = cell.load();
+        assert_eq!(before.epoch, 0);
+        cell.store(7, Arc::clone(&before.index));
+        assert_eq!(cell.load().epoch, 7);
+    }
+
+    #[test]
+    fn overload_sheds_busy_and_retry_client_converges() {
+        let index = served_index();
+        let handle = serve(
+            Arc::clone(&index),
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 1,
+                max_pending: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.local_addr().to_string();
+
+        // Pin the single worker with a served connection...
+        let mut pinned = protocol::Client::connect(&addr).unwrap();
+        assert!(pinned.query(0, 1).is_ok());
+        // ...fill the one-slot hand-off queue...
+        let queued = protocol::Client::connect(&addr).unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        // ...so the next arrival is shed: the accept loop writes one
+        // unsolicited STATUS_BUSY frame and closes.
+        let shed = TcpStream::connect(handle.local_addr()).unwrap();
+        shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let frame = read_frame(&shed).unwrap().unwrap();
+        assert_eq!(frame[0], STATUS_BUSY, "shed connections are told why");
+        drop(shed);
+
+        // A retrying client that arrives during the overload converges
+        // once capacity frees up, with at least one backoff retry.
+        let retry_thread = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = protocol::RetryClient::new(
+                    &addr,
+                    protocol::RetryPolicy {
+                        max_attempts: 12,
+                        ..protocol::RetryPolicy::default()
+                    },
+                );
+                let d = client.query(0, 1).unwrap();
+                (d, client.stats())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(150));
+        drop(pinned);
+        drop(queued);
+        let (d, stats) = retry_thread.join().unwrap();
+        assert_eq!(d, index.distance(0, 1));
+        assert!(stats.retries >= 1, "stats {stats:?}");
+
+        let mut control = protocol::Client::connect(&addr).unwrap();
+        control.shutdown_server().unwrap();
+        let summary = handle.join();
+        assert!(summary.sheds >= 2, "sheds {}", summary.sheds);
+    }
+
+    #[test]
+    fn slow_loris_is_disconnected_mid_frame() {
+        use std::io::{Read, Write};
+        let index = served_index();
+        let handle = serve(
+            Arc::clone(&index),
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 1,
+                mid_frame_timeout: Duration::from_millis(200),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.local_addr();
+
+        // Open a frame (one byte of the length prefix), then stall.
+        let mut loris = TcpStream::connect(addr).unwrap();
+        loris.write_all(&[9]).unwrap();
+        // The server declares the peer dead after `mid_frame_timeout` and
+        // frees its (only) worker: a well-behaved client gets served.
+        std::thread::sleep(Duration::from_millis(400));
+        let mut client = protocol::Client::connect(&addr.to_string()).unwrap();
+        assert_eq!(client.query(0, 1).unwrap(), index.distance(0, 1));
+        // The stalled connection was closed server-side, never answered.
+        loris
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        match loris.read(&mut buf) {
+            Ok(0) | Err(_) => {} // clean close or reset
+            Ok(n) => panic!("server answered {n} bytes to a half-frame"),
+        }
+        client.shutdown_server().unwrap();
+        let summary = handle.join();
+        assert!(summary.errors >= 1, "the loris drop is counted");
+    }
+
+    #[test]
+    fn dead_peer_write_timeout_frees_the_worker() {
+        let index = served_index();
+        let handle = serve(
+            Arc::clone(&index),
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 1,
+                write_timeout: Duration::from_millis(200),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.local_addr();
+
+        // Pipeline large BATCH requests and never read a response: the
+        // kernel buffers fill, the server's writes block, and the write
+        // timeout must break the connection instead of pinning the worker
+        // forever.
+        let dead = TcpStream::connect(addr).unwrap();
+        dead.set_write_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        let count = 16_384u32;
+        let mut request = Vec::with_capacity(5 + count as usize * 8);
+        request.push(OP_BATCH);
+        request.extend_from_slice(&count.to_le_bytes());
+        for i in 0..count {
+            request.extend_from_slice(&(i % 120).to_le_bytes());
+            request.extend_from_slice(&((i * 7 + 3) % 120).to_le_bytes());
+        }
+        for _ in 0..256 {
+            // Our own write erroring means both directions are jammed —
+            // the server is certainly stuck in its (timed-out) write.
+            if write_frame(&dead, &request).is_err() {
+                break;
+            }
+        }
+        // This connect queues behind the jammed connection and is served
+        // as soon as the server's write timeout breaks it.
+        let mut client = protocol::Client::connect(&addr.to_string()).unwrap();
+        assert_eq!(client.query(2, 3).unwrap(), index.distance(2, 3));
+        drop(dead);
+        client.shutdown_server().unwrap();
+        let summary = handle.join();
+        assert!(summary.errors >= 1, "the dead peer is counted");
+    }
+
+    #[test]
+    fn wal_replay_restores_state_after_restart() {
+        let wal_path = temp_path("restart.wal");
+        let index_path = temp_path("restart.idx");
+        let (g, chords) = ring_fixture(&index_path);
+        let config = wal_server_config(&wal_path, &index_path);
+
+        // First life: apply three batches and record the answers. With
+        // `snapshot_every: 0` nothing is ever compacted, so the restart
+        // must reconstruct everything from the journal alone.
+        let handle = serve_dynamic(load_index(&index_path), Some(&g), &config).unwrap();
+        assert_eq!(handle.recovery().unwrap().replayed_batches, 0);
+        let mut client = protocol::Client::connect(&handle.local_addr().to_string()).unwrap();
+        for chunk in chords.chunks(7) {
+            client.update(chunk).unwrap();
+        }
+        let epochs = chords.chunks(7).count() as u64;
+        let pairs: Vec<(u32, u32)> = (0..40u32)
+            .flat_map(|s| [(s, (s * 3 + 1) % 40), (s, (s + 20) % 40)])
+            .collect();
+        let before = client.batch(&pairs).unwrap();
+        client.shutdown_server().unwrap();
+        handle.join();
+
+        // Second life over the same files: recovery replays every batch
+        // and resumes at the pre-shutdown epoch with identical answers.
+        let handle = serve_dynamic(load_index(&index_path), Some(&g), &config).unwrap();
+        let recovery = handle.recovery().unwrap().clone();
+        assert_eq!(recovery.replayed_batches, epochs);
+        assert!(recovery.replayed_edges > 0);
+        assert_eq!(
+            recovery.uncommitted_batches, 0,
+            "clean shutdown committed all"
+        );
+        assert_eq!(recovery.recovered_epoch, epochs);
+        assert_eq!(recovery.truncated_bytes, 0);
+        assert_eq!(handle.current_epoch(), epochs);
+        let mut client = protocol::Client::connect(&handle.local_addr().to_string()).unwrap();
+        assert_eq!(client.info().unwrap().epoch, epochs);
+        assert_eq!(
+            client.batch(&pairs).unwrap(),
+            before,
+            "answers survive the restart"
+        );
+        // Epoch numbering continues; it does not restart at 1.
+        let ack = client.update(&[(1, 30)]).unwrap();
+        assert_eq!(ack.epoch, epochs + 1);
+        client.shutdown_server().unwrap();
+        handle.join();
+        let _ = std::fs::remove_file(&wal_path);
+        let _ = std::fs::remove_file(&index_path);
+    }
+
+    #[test]
+    fn snapshot_compaction_truncates_the_wal_and_survives_restart() {
+        let wal_path = temp_path("snap.wal");
+        let index_path = temp_path("snap.idx");
+        let (g, chords) = ring_fixture(&index_path);
+        let original_fingerprint = wal::fingerprint_file(&index_path).unwrap();
+        let mut config = wal_server_config(&wal_path, &index_path);
+        config.wal.as_mut().unwrap().snapshot_every = 2;
+
+        let handle = serve_dynamic(load_index(&index_path), Some(&g), &config).unwrap();
+        let mut client = protocol::Client::connect(&handle.local_addr().to_string()).unwrap();
+        for chunk in chords.chunks(5) {
+            client.update(chunk).unwrap();
+        }
+        // 4 batches with snapshot_every = 2: the second snapshot lands on
+        // the final batch, so the WAL ends compacted.
+        let epochs = chords.chunks(5).count() as u64;
+        let pairs: Vec<(u32, u32)> = (0..40u32).map(|s| (s, (s * 7 + 3) % 40)).collect();
+        let before = client.batch(&pairs).unwrap();
+        client.shutdown_server().unwrap();
+        handle.join();
+
+        // The snapshot rewrote the index file and reset the WAL to a
+        // single Rebase record carrying every inserted edge.
+        assert_ne!(
+            wal::fingerprint_file(&index_path).unwrap(),
+            original_fingerprint,
+            "snapshot must replace the index file"
+        );
+        let contents = wal::read_wal(&wal_path).unwrap().unwrap();
+        assert_eq!(contents.header.base_epoch, epochs);
+        assert_eq!(contents.records.len(), 1, "compacted to the Rebase record");
+        assert!(
+            matches!(&contents.records[0], WalRecord::Rebase { edges } if edges.len() == chords.len())
+        );
+
+        // Restart: no batches to replay; the rebase edges all prune as
+        // duplicates against the snapshot; answers are identical and the
+        // epoch resumes where it left off.
+        let handle = serve_dynamic(load_index(&index_path), Some(&g), &config).unwrap();
+        let recovery = handle.recovery().unwrap().clone();
+        assert_eq!(recovery.replayed_batches, 0);
+        assert_eq!(recovery.rebase_edges, chords.len() as u64);
+        assert_eq!(recovery.recovered_epoch, epochs);
+        assert_eq!(handle.current_epoch(), epochs);
+        let mut client = protocol::Client::connect(&handle.local_addr().to_string()).unwrap();
+        assert_eq!(client.batch(&pairs).unwrap(), before);
+        client.shutdown_server().unwrap();
+        handle.join();
+        let _ = std::fs::remove_file(&wal_path);
+        let _ = std::fs::remove_file(&index_path);
+    }
+
+    #[test]
+    fn wal_without_graph_is_refused() {
+        let config = wal_server_config(&temp_path("nograph.wal"), &temp_path("nograph.idx"));
+        match serve(served_index(), &config) {
+            Err(err @ ServeError::Dynamic(_)) => {
+                assert!(err.to_string().contains("dynamic"), "{err}");
+            }
+            Err(other) => panic!("expected a Dynamic error, got {other}"),
+            Ok(_) => panic!("a WAL on a static server must be refused"),
+        }
+    }
+
+    #[test]
+    fn wal_for_a_different_index_is_refused() {
+        let wal_path = temp_path("mismatch.wal");
+        let index_path = temp_path("mismatch.idx");
+        let (g, chords) = ring_fixture(&index_path);
+        let config = wal_server_config(&wal_path, &index_path);
+        // First life journals a batch...
+        let handle = serve_dynamic(load_index(&index_path), Some(&g), &config).unwrap();
+        let mut client = protocol::Client::connect(&handle.local_addr().to_string()).unwrap();
+        client.update(&chords[..3]).unwrap();
+        client.shutdown_server().unwrap();
+        handle.join();
+        // ...then the index file is swapped out from under the WAL.
+        let other = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+        let mut bytes = Vec::new();
+        pll_core::v2::save_v2_index(&other, &mut bytes).unwrap();
+        wal::atomic_write(&index_path, &bytes).unwrap();
+        let err = match serve_dynamic(load_index(&index_path), Some(&g), &config) {
+            Err(e) => e,
+            Ok(_) => panic!("a WAL for a different index must be refused"),
+        };
+        assert!(err.to_string().contains("different base index"), "{err}");
+        let _ = std::fs::remove_file(&wal_path);
+        let _ = std::fs::remove_file(&index_path);
     }
 }

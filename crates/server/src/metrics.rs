@@ -86,6 +86,12 @@ pub struct ServerSummary {
     pub updates: u64,
     /// Served index epoch at shutdown (0 = never swapped).
     pub final_epoch: u64,
+    /// Connections shed with `STATUS_BUSY` because the bounded work
+    /// queue was full (overload protection, not an error).
+    pub sheds: u64,
+    /// Worker panics caught and survived (each also drops the panicking
+    /// connection).
+    pub panics: u64,
     /// Queries per wall-clock second.
     pub qps: f64,
     /// Median request service time (µs, log₂-bucket upper bound).
@@ -96,11 +102,14 @@ pub struct ServerSummary {
 }
 
 /// Aggregates worker metrics into a [`ServerSummary`];
-/// `final_epoch` is the swap cell's epoch at shutdown.
+/// `final_epoch` is the swap cell's epoch at shutdown, `sheds` the
+/// overload-shed connection count and `panics` the caught worker panics.
 pub fn summarize(
     workers: &[WorkerMetrics],
     elapsed_seconds: f64,
     final_epoch: u64,
+    sheds: u64,
+    panics: u64,
 ) -> ServerSummary {
     let mut merged = [0u64; BUCKETS];
     let mut per_worker = Vec::with_capacity(workers.len());
@@ -134,6 +143,8 @@ pub fn summarize(
         errors,
         updates,
         final_epoch,
+        sheds,
+        panics,
         qps: if elapsed_seconds > 0.0 {
             queries as f64 / elapsed_seconds
         } else {
@@ -174,8 +185,10 @@ mod tests {
         }
         workers[1].record_request(1_000_000, 1);
         workers[1].connections.fetch_add(1, Ordering::Relaxed);
-        let s = summarize(&workers, 2.0, 3);
+        let s = summarize(&workers, 2.0, 3, 4, 1);
         assert_eq!(s.requests, 100);
+        assert_eq!(s.sheds, 4);
+        assert_eq!(s.panics, 1);
         assert_eq!(s.queries, 199);
         assert_eq!(s.errors, 0);
         assert_eq!(s.updates, 0);
@@ -191,8 +204,9 @@ mod tests {
 
     #[test]
     fn empty_summary_is_zeroed() {
-        let s = summarize(&[], 0.0, 0);
+        let s = summarize(&[], 0.0, 0, 0, 0);
         assert_eq!(s.queries, 0);
+        assert_eq!(s.sheds, 0);
         assert_eq!(s.qps, 0.0);
         assert_eq!(s.p50_us, 0.0);
     }
@@ -202,7 +216,7 @@ mod tests {
         let w = WorkerMetrics::default();
         w.record_request(u64::MAX, 1);
         w.record_request(0, 1); // clamps to bucket 0 via max(1)
-        let s = summarize(std::slice::from_ref(&w), 1.0, 0);
+        let s = summarize(std::slice::from_ref(&w), 1.0, 0, 0, 0);
         assert_eq!(s.requests, 2);
         assert!(s.p99_us > 0.0);
     }

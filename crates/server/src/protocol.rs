@@ -25,6 +25,12 @@
 //!   CONNECTED                     u8 (1 = same component / reachable)
 //!   UPDATE                        u64 epoch, u32 applied, u32 skipped
 //! response (status != 0)          UTF-8 error message
+//!   0x01 BAD_REQUEST   malformed request frame
+//!   0x02 QUERY_ERROR   the operation itself failed
+//!   0x03 UNSUPPORTED   op not supported by the served index
+//!   0x04 BUSY          overloaded: connection shed before any request
+//!                      was read; reconnect with backoff (see
+//!                      [`RetryClient`])
 //! ```
 //!
 //! Distances are widened to `u64` on the wire so one protocol covers the
@@ -68,6 +74,11 @@ pub const STATUS_QUERY_ERROR: u8 = 0x02;
 /// Response status: the op is not supported by the served index (PATH
 /// without parents / non-undirected, UPDATE without `--graph`).
 pub const STATUS_UNSUPPORTED: u8 = 0x03;
+/// Response status: the server is overloaded and shed this connection
+/// before reading any request (bounded work queue full). The connection
+/// is closed after this frame; clients should reconnect with capped
+/// jittered backoff ([`RetryClient`] does).
+pub const STATUS_BUSY: u8 = 0x04;
 
 /// Wire marker for "unreachable" (`None` distances).
 pub const UNREACHABLE: u64 = u64::MAX;
@@ -399,6 +410,190 @@ impl Client {
     }
 }
 
+/// Backoff parameters for [`RetryClient`]: capped jittered exponential
+/// backoff, the standard answer to a shedding server (retrying instantly
+/// would re-flood it; synchronised retries would thundering-herd it).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Attempts before giving up (first try included).
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt; doubles per attempt.
+    pub base_delay: std::time::Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_delay: std::time::Duration,
+    /// Seed for the jitter PRNG (vary per connection so concurrent
+    /// clients desynchronise).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base_delay: std::time::Duration::from_millis(10),
+            max_delay: std::time::Duration::from_secs(2),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (1-based): exponential in
+    /// `attempt`, capped at `max_delay`, jittered uniformly into the upper
+    /// half of the window so concurrent clients spread out.
+    pub fn backoff(&self, attempt: u32, rng: &mut u64) -> std::time::Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(
+                1u32.checked_shl(attempt.saturating_sub(1))
+                    .unwrap_or(u32::MAX),
+            )
+            .min(self.max_delay);
+        // splitmix64 step: good-enough jitter without a rand dependency.
+        *rng = rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let nanos = exp.as_nanos() as u64;
+        let jittered = nanos / 2 + (z % (nanos / 2 + 1));
+        std::time::Duration::from_nanos(jittered)
+    }
+
+    /// Whether `error` is worth a reconnect-and-retry: `STATUS_BUSY` (the
+    /// server shed us by design) and transport errors (connect refused
+    /// mid-restart, connection reset by a shed or dying server). Other
+    /// server statuses are deterministic rejections — retrying cannot
+    /// change the answer.
+    pub fn is_retryable(error: &ProtocolError) -> bool {
+        match error {
+            ProtocolError::Io(_) => true,
+            ProtocolError::Server { status, .. } => *status == STATUS_BUSY,
+            // A closed-mid-request connection is how a shed or restarting
+            // server looks when the BUSY frame itself is lost.
+            ProtocolError::Malformed(m) => m.contains("connection closed mid-request"),
+        }
+    }
+}
+
+/// Counters accumulated by a [`RetryClient`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RetryStats {
+    /// Total retries performed (attempts beyond each operation's first).
+    pub retries: u64,
+    /// Retries caused specifically by a `STATUS_BUSY` shed.
+    pub busy: u64,
+    /// Retries caused by transport errors (connect/reset/closed).
+    pub io: u64,
+}
+
+/// A [`Client`] wrapper that reconnects and retries shed or failed
+/// operations with capped jittered exponential backoff. Safe for every
+/// protocol op: queries are read-only and `UPDATE` is idempotent (an
+/// already-inserted edge is skipped), so at-least-once delivery converges
+/// to the same state.
+pub struct RetryClient {
+    addr: String,
+    policy: RetryPolicy,
+    rng: u64,
+    client: Option<Client>,
+    stats: RetryStats,
+}
+
+impl RetryClient {
+    /// Creates a lazy retrying client for `addr`; no connection is made
+    /// until the first operation.
+    pub fn new(addr: &str, policy: RetryPolicy) -> RetryClient {
+        RetryClient {
+            addr: addr.to_string(),
+            policy,
+            rng: policy.seed,
+            client: None,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    fn run<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, ProtocolError>,
+    ) -> Result<T, ProtocolError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = match self.client.as_mut() {
+                Some(client) => op(client),
+                None => match Client::connect(&self.addr) {
+                    Ok(mut client) => {
+                        let result = op(&mut client);
+                        self.client = Some(client);
+                        result
+                    }
+                    Err(e) => Err(e),
+                },
+            };
+            match result {
+                Ok(value) => return Ok(value),
+                Err(e) if RetryPolicy::is_retryable(&e) && attempt < self.policy.max_attempts => {
+                    // The connection is in an unknown state (mid-frame,
+                    // shed, reset): always reconnect.
+                    self.client = None;
+                    self.stats.retries += 1;
+                    match &e {
+                        ProtocolError::Server { .. } => self.stats.busy += 1,
+                        _ => self.stats.io += 1,
+                    }
+                    std::thread::sleep(self.policy.backoff(attempt, &mut self.rng));
+                }
+                Err(e) => {
+                    self.client = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// [`Client::query`] with retry.
+    pub fn query(&mut self, s: u32, t: u32) -> Result<Option<u64>, ProtocolError> {
+        self.run(|c| c.query(s, t))
+    }
+
+    /// [`Client::batch`] with retry.
+    pub fn batch(&mut self, pairs: &[(u32, u32)]) -> Result<Vec<Option<u64>>, ProtocolError> {
+        self.run(|c| c.batch(pairs))
+    }
+
+    /// [`Client::info`] with retry.
+    pub fn info(&mut self) -> Result<IndexInfo, ProtocolError> {
+        self.run(|c| c.info())
+    }
+
+    /// [`Client::path`] with retry.
+    pub fn path(&mut self, s: u32, t: u32) -> Result<Option<Vec<u32>>, ProtocolError> {
+        self.run(|c| c.path(s, t))
+    }
+
+    /// [`Client::connected`] with retry.
+    pub fn connected(&mut self, s: u32, t: u32) -> Result<bool, ProtocolError> {
+        self.run(|c| c.connected(s, t))
+    }
+
+    /// [`Client::update`] with retry (idempotent: re-delivered edges are
+    /// skipped as already present).
+    pub fn update(&mut self, edges: &[(u32, u32)]) -> Result<UpdateAck, ProtocolError> {
+        self.run(|c| c.update(edges))
+    }
+
+    /// [`Client::shutdown_server`] with retry.
+    pub fn shutdown_server(&mut self) -> Result<(), ProtocolError> {
+        self.run(|c| c.shutdown_server())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +615,55 @@ mod tests {
             read_frame(&huge[..]),
             Err(ProtocolError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn backoff_is_capped_jittered_and_monotonic_in_expectation() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: std::time::Duration::from_millis(10),
+            max_delay: std::time::Duration::from_millis(500),
+            seed: 1,
+        };
+        let mut rng = policy.seed;
+        for attempt in 1..=12 {
+            let exp = policy
+                .base_delay
+                .saturating_mul(1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX))
+                .min(policy.max_delay);
+            let d = policy.backoff(attempt, &mut rng);
+            assert!(d <= exp, "attempt {attempt}: {d:?} above the cap {exp:?}");
+            assert!(
+                d >= exp / 2,
+                "attempt {attempt}: {d:?} below half the window {exp:?}"
+            );
+        }
+        // Different seeds must produce different jitter (desynchronise
+        // concurrent clients).
+        let mut a = 1u64;
+        let mut b = 2u64;
+        assert_ne!(policy.backoff(3, &mut a), policy.backoff(3, &mut b));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(RetryPolicy::is_retryable(&ProtocolError::Io(
+            std::io::Error::other("reset")
+        )));
+        assert!(RetryPolicy::is_retryable(&ProtocolError::Server {
+            status: STATUS_BUSY,
+            message: "busy".into(),
+        }));
+        assert!(RetryPolicy::is_retryable(&ProtocolError::Malformed(
+            "connection closed mid-request".into()
+        )));
+        assert!(!RetryPolicy::is_retryable(&ProtocolError::Server {
+            status: STATUS_BAD_REQUEST,
+            message: "bad".into(),
+        }));
+        assert!(!RetryPolicy::is_retryable(&ProtocolError::Malformed(
+            "short BATCH response".into()
+        )));
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Fault-injection tests, compiled only with `--features failpoints`.
+//!
+//! These live in their own integration-test binary (own process) because
+//! the failpoint registry is process-wide: arming `serve.before_publish`
+//! here must not be able to detonate under an unrelated unit test running
+//! concurrently in the library's test binary.
+
+#![cfg(feature = "failpoints")]
+
+use pll_core::{fail, AnyIndex, IndexBuilder};
+use pll_server::protocol::{Client, ProtocolError, RetryPolicy, STATUS_UNSUPPORTED};
+use pll_server::{serve_dynamic, ServerConfig};
+use std::sync::Arc;
+
+/// A panic injected right before the epoch publish must not take the
+/// server down: the panicking connection dies, the updater lock is
+/// poisoned, later UPDATEs are refused with a clear message, and queries
+/// keep serving the last published epoch.
+#[test]
+fn injected_panic_before_publish_poisons_updates_not_queries() {
+    let n = 30u32;
+    let ring: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    let g = pll_graph::CsrGraph::from_edges(n as usize, &ring).unwrap();
+    let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+    let index = Arc::new(AnyIndex::Undirected(idx));
+    let handle = serve_dynamic(
+        Arc::clone(&index),
+        Some(&g),
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr().to_string();
+
+    fail::cfg("serve.before_publish", "panic").unwrap();
+    let mut client = Client::connect(&addr).unwrap();
+    let err = client.update(&[(0, 15)]).unwrap_err();
+    fail::remove("serve.before_publish");
+    // The worker panicked before responding, so the client just sees the
+    // connection close — exactly what RetryClient treats as retryable.
+    assert!(RetryPolicy::is_retryable(&err), "{err:?}");
+    assert_eq!(fail::hits("serve.before_publish"), 0, "site disarmed");
+
+    // The server survives: queries are fine on the last published epoch,
+    // updates are refused as poisoned (the overlay may be half-applied).
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.query(0, 5).unwrap(), index.distance(0, 5));
+    match client.update(&[(0, 10)]) {
+        Err(ProtocolError::Server { status, message }) => {
+            assert_eq!(status, STATUS_UNSUPPORTED, "{message}");
+            assert!(message.contains("panicked"), "{message}");
+        }
+        other => panic!("poisoned updater must refuse UPDATE, got {other:?}"),
+    }
+    client.shutdown_server().unwrap();
+    let summary = handle.join();
+    assert!(summary.panics >= 1, "panics {}", summary.panics);
+    assert_eq!(summary.final_epoch, 0, "the injected batch never published");
+}
