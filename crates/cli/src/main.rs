@@ -468,6 +468,9 @@ fn serve(
             r.truncated_bytes,
             r.seconds,
         );
+        if let Some(err) = &r.replay_error {
+            eprintln!("warning: degraded recovery: {err}");
+        }
     }
     // The smoke script greps this exact line to learn the bound port.
     println!("listening on {}", handle.local_addr());

@@ -65,6 +65,28 @@ const PAYLOAD_PREFIX: usize = 13;
 /// Upper bound on a single record payload (1 GiB); larger lengths are
 /// treated as corruption rather than attempted allocations.
 const MAX_RECORD_PAYLOAD: u64 = 1 << 30;
+/// Largest number of edges a single record may carry without its payload
+/// exceeding `MAX_RECORD_PAYLOAD` (≈134M). Writers of unbounded edge
+/// sets (a snapshot's `Rebase` of every edge inserted across server
+/// lifetimes) must chunk at this bound; [`WalRecord`] encoding refuses
+/// larger records with a typed error rather than writing a length prefix
+/// the next [`read_wal`] would reject as corrupt (or, past `u32::MAX`
+/// payload bytes, silently truncating the length field).
+pub const MAX_RECORD_EDGES: usize = (MAX_RECORD_PAYLOAD as usize - PAYLOAD_PREFIX) / 8;
+
+/// Refuses an edge count whose record payload would exceed
+/// [`MAX_RECORD_PAYLOAD`], keeping every on-disk length prefix readable.
+fn check_record_edges(count: usize) -> Result<()> {
+    if count > MAX_RECORD_EDGES {
+        return Err(PllError::Format {
+            message: format!(
+                "WAL record with {count} edges exceeds the {MAX_RECORD_EDGES}-edge \
+                 record cap; split it into chunks"
+            ),
+        });
+    }
+    Ok(())
+}
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -234,13 +256,18 @@ impl WalRecord {
         payload
     }
 
-    fn encode(&self) -> Vec<u8> {
+    fn encode(&self) -> Result<Vec<u8>> {
+        let edge_count = match self {
+            WalRecord::Update { edges, .. } | WalRecord::Rebase { edges } => edges.len(),
+            WalRecord::Commit { .. } => 0,
+        };
+        check_record_edges(edge_count)?;
         let payload = self.encode_payload();
         let mut out = Vec::with_capacity(RECORD_OVERHEAD as usize + payload.len());
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
         out.extend_from_slice(&payload);
-        out
+        Ok(out)
     }
 
     fn decode_payload(payload: &[u8]) -> Result<WalRecord> {
@@ -396,7 +423,7 @@ impl WalWriter {
         let mut image = Vec::new();
         image.extend_from_slice(&header.to_bytes());
         for rec in initial {
-            image.extend_from_slice(&rec.encode());
+            image.extend_from_slice(&rec.encode()?);
         }
         atomic_write(path, &image)?;
         let file = OpenOptions::new().append(true).open(path)?;
@@ -418,9 +445,11 @@ impl WalWriter {
 
     /// Appends one record and fsyncs. The record is written with a single
     /// `write_all`, so a crash mid-append leaves at most a torn tail that
-    /// the next [`read_wal`] truncates.
+    /// the next [`read_wal`] truncates. A record over [`MAX_RECORD_EDGES`]
+    /// is refused with a typed error before any byte is written.
     pub fn append(&mut self, record: &WalRecord) -> Result<()> {
-        self.file.write_all(&record.encode())?;
+        let encoded = record.encode()?;
+        self.file.write_all(&encoded)?;
         self.file.sync_all()?;
         Ok(())
     }
@@ -499,14 +528,15 @@ mod tests {
             WalRecord::Commit { seq: 0 },
         ];
         for rec in &complete {
-            image.extend_from_slice(&rec.encode());
+            image.extend_from_slice(&rec.encode().unwrap());
         }
         let valid_len = image.len() as u64;
         let tail = WalRecord::Update {
             epoch: 2,
             edges: vec![(2, 3), (4, 5)],
         }
-        .encode();
+        .encode()
+        .unwrap();
         // Every strictly-partial prefix of the final append must be treated
         // as a torn tail: both records survive, the tail is reported.
         for cut in 0..tail.len() {
@@ -538,7 +568,8 @@ mod tests {
             epoch: 2,
             edges: vec![(1, 2)],
         }
-        .encode();
+        .encode()
+        .unwrap();
         {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
             f.write_all(&tail[..tail.len() / 2]).unwrap();
@@ -570,7 +601,7 @@ mod tests {
         // a torn tail (the documented ambiguity of length-prefixed logs).
         let mut len_field: Vec<bool> = Vec::new();
         for rec in &records {
-            let encoded = rec.encode();
+            let encoded = rec.encode().unwrap();
             for i in 0..encoded.len() {
                 len_field.push(i < 4);
             }
@@ -671,6 +702,30 @@ mod tests {
             );
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn oversized_records_are_refused_with_a_typed_error() {
+        // The cap sits exactly where a record's payload would cross
+        // MAX_RECORD_PAYLOAD and the next read_wal would reject the log
+        // as corrupt.
+        assert!(check_record_edges(MAX_RECORD_EDGES).is_ok());
+        assert!(matches!(
+            check_record_edges(MAX_RECORD_EDGES + 1),
+            Err(PllError::Format { .. })
+        ));
+        assert!(
+            (PAYLOAD_PREFIX + MAX_RECORD_EDGES * 8) as u64 <= MAX_RECORD_PAYLOAD,
+            "a maximal record must still be readable"
+        );
+        assert!(
+            (PAYLOAD_PREFIX + (MAX_RECORD_EDGES + 1) * 8) as u64 > MAX_RECORD_PAYLOAD,
+            "the cap must not be needlessly conservative"
+        );
+        // Ordinary records still encode.
+        for rec in sample_records() {
+            assert!(rec.encode().is_ok());
+        }
     }
 
     #[test]

@@ -26,12 +26,16 @@
 //!   [`ServerHandle::shutdown`]) stops the accept loop, drains queued
 //!   connections, lets in-flight requests finish, and
 //!   [`ServerHandle::join`] returns a [`metrics::ServerSummary`];
-//! * durability ([`WalConfig`]): every `UPDATE` batch is journaled to an
-//!   fsync'd write-ahead log ([`pll_core::wal`]) *before* it applies and
-//!   marked committed after its epoch publishes; startup replays the log
-//!   so a `kill -9`'d server answers identically after restart, and
-//!   periodic snapshot-compaction atomically persists the flattened
-//!   index and resets the log;
+//! * durability ([`WalConfig`]): every `UPDATE` batch is validated and
+//!   then journaled to an fsync'd write-ahead log ([`pll_core::wal`])
+//!   *before* it applies — validation first, so only batches guaranteed
+//!   to replay are made durable — and marked committed after its epoch
+//!   publishes; startup replays the log so a `kill -9`'d server answers
+//!   identically after restart, a record that still fails to replay (a
+//!   foreign or hand-edited WAL) degrades the server to read-only
+//!   serving instead of refusing to start, and periodic
+//!   snapshot-compaction atomically persists the flattened index and
+//!   resets the log;
 //! * overload protection: a bounded hand-off queue sheds excess
 //!   connections with [`protocol::STATUS_BUSY`] instead of stalling the
 //!   accept loop; per-connection write timeouts drop dead peers; worker
@@ -148,6 +152,12 @@ pub struct RecoveryStats {
     pub recovered_epoch: u64,
     /// Wall-clock seconds recovery took (replay + flatten).
     pub seconds: f64,
+    /// Set when replay stopped early because a record failed to apply
+    /// (a WAL written by a different build, or hand-edited). The server
+    /// still starts and answers queries from the state recovered before
+    /// the failing record; the updater is poisoned, so further `UPDATE`s
+    /// are refused until the WAL is repaired or removed.
+    pub replay_error: Option<String>,
 }
 
 /// Errors starting or running the server.
@@ -423,8 +433,8 @@ pub fn serve_dynamic(
             let wal_state = match &config.wal {
                 Some(wal_config) => {
                     let recovery_started = Instant::now();
-                    let (state, mut stats) =
-                        recover_wal(&mut dynamic, wal_config).map_err(ServeError::Dynamic)?;
+                    let (state, mut stats) = recover_wal(&mut dynamic, &initial, g, wal_config)
+                        .map_err(ServeError::Dynamic)?;
                     if dynamic.epoch() > 0 {
                         // Something was replayed: serve the recovered
                         // state, not the stale base index.
@@ -440,9 +450,13 @@ pub fn serve_dynamic(
                 }
                 None => None,
             };
+            // A replay that stopped early leaves the server answering
+            // queries from the recovered prefix, but the journal no
+            // longer matches the overlay — refuse further updates.
+            let poisoned = recovery.as_ref().and_then(|r| r.replay_error.clone());
             Some(Mutex::new(UpdaterState {
                 dynamic,
-                poisoned: None,
+                poisoned,
                 wal: wal_state,
             }))
         }
@@ -583,28 +597,87 @@ pub fn serve_dynamic(
     })
 }
 
-/// How long the accept loop will spend telling a shed peer it is being
-/// shed; a dead peer must not block accepts.
-const SHED_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
-
 /// Tells a shed connection why it is being dropped: one `STATUS_BUSY`
 /// frame, then close. The client's pending request (if any) was never
 /// read, so reconnect-and-retry is always safe.
+///
+/// The write is best-effort and strictly non-blocking — this runs on the
+/// accept-loop thread, and even a short blocking write per shed peer
+/// would let a flood of never-reading clients stall accepts, partially
+/// re-creating the listener stall the bounded queue exists to prevent. A
+/// freshly accepted socket's send buffer is empty, so the single write
+/// attempt delivers the whole frame in practice; a peer it cannot reach
+/// learns from the close instead.
 fn shed_busy(stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
-    let mut payload = Vec::with_capacity(64);
-    payload.push(STATUS_BUSY);
-    payload.extend_from_slice(b"server overloaded: connection shed, retry with backoff");
-    let _ = write_frame(&stream, &payload);
+    use std::io::Write;
+    if stream.set_nonblocking(true).is_err() {
+        return; // dropping the stream closes it either way
+    }
+    let msg: &[u8] = b"server overloaded: connection shed, retry with backoff";
+    let mut frame = Vec::with_capacity(4 + 1 + msg.len());
+    frame.extend_from_slice(&((1 + msg.len()) as u32).to_le_bytes());
+    frame.push(STATUS_BUSY);
+    frame.extend_from_slice(msg);
+    let _ = (&stream).write(&frame);
     // Dropping the stream closes it.
+}
+
+/// Replays `records` through the overlay, accumulating `stats`. Returns
+/// the next `Update` sequence number, or the index of the first record
+/// whose apply failed together with its error — the overlay may then be
+/// partially mutated, which [`recover_wal`] repairs by rebuilding from
+/// the base and replaying only the known-good prefix.
+fn replay_records(
+    dynamic: &mut DynamicIndex,
+    records: &[WalRecord],
+    header: &wal::WalHeader,
+    committed: &std::collections::HashSet<u64>,
+    stats: &mut RecoveryStats,
+) -> Result<u64, (usize, pll_core::PllError)> {
+    let mut seq = 0u64;
+    for (at, record) in records.iter().enumerate() {
+        match record {
+            WalRecord::Rebase { edges } => {
+                // Against a landed snapshot these all prune as duplicates;
+                // against the previous index (crash between WAL reset and
+                // snapshot rename) they genuinely rebuild the missing
+                // state. Either way the epoch restarts at the snapshot's.
+                dynamic.apply(edges).map_err(|e| (at, e))?;
+                dynamic.set_epoch(header.base_epoch);
+                stats.rebase_edges += edges.len() as u64;
+            }
+            WalRecord::Update { edges, .. } => {
+                let applied = dynamic.apply(edges).map_err(|e| (at, e))?;
+                stats.replayed_batches += 1;
+                stats.replayed_edges += applied.edges_applied as u64;
+                if !committed.contains(&seq) {
+                    stats.uncommitted_batches += 1;
+                }
+                seq += 1;
+            }
+            WalRecord::Commit { .. } => {}
+        }
+    }
+    Ok(seq)
 }
 
 /// Rebuilds the dynamic overlay from the write-ahead log and prepares
 /// the writer for new appends. See [`WalConfig`] and [`RecoveryStats`]
 /// for the semantics; the fingerprint check refuses a WAL journaled
 /// against a different index.
+///
+/// A record that fails to apply does **not** refuse startup — that would
+/// turn one bad record into a permanently unbootable server, the
+/// opposite of what a recovery path is for. Replay stops at the failing
+/// record, the overlay is rebuilt from `base` + the known-good prefix
+/// (the failed apply may have half-mutated it), and the error is
+/// surfaced via [`RecoveryStats::replay_error`] so the caller poisons
+/// the updater: queries serve the recovered state, `UPDATE`s are
+/// refused.
 fn recover_wal(
     dynamic: &mut DynamicIndex,
+    base: &Arc<AnyIndex>,
+    graph: &CsrGraph,
     config: &WalConfig,
 ) -> Result<(WalState, RecoveryStats), pll_core::PllError> {
     let disk_fingerprint = wal::fingerprint_file(&config.index_path)?;
@@ -653,30 +726,38 @@ fn recover_wal(
             _ => None,
         })
         .collect();
-    let mut seq = 0u64;
-    for record in &contents.records {
-        match record {
-            WalRecord::Rebase { edges } => {
-                // Against a landed snapshot these all prune as duplicates;
-                // against the previous index (crash between WAL reset and
-                // snapshot rename) they genuinely rebuild the missing
-                // state. Either way the epoch restarts at the snapshot's.
-                dynamic.apply(edges)?;
-                dynamic.set_epoch(header.base_epoch);
-                stats.rebase_edges += edges.len() as u64;
-            }
-            WalRecord::Update { edges, .. } => {
-                let applied = dynamic.apply(edges)?;
-                stats.replayed_batches += 1;
-                stats.replayed_edges += applied.edges_applied as u64;
-                if !committed.contains(&seq) {
-                    stats.uncommitted_batches += 1;
-                }
-                seq += 1;
-            }
-            WalRecord::Commit { .. } => {}
+    let seq = match replay_records(dynamic, &contents.records, &header, &committed, &mut stats) {
+        Ok(seq) => seq,
+        Err((at, e)) => {
+            // Degrade, don't refuse startup. The failed apply may have
+            // half-mutated the overlay (a mid-batch error), so rebuild
+            // from the base and replay only the records before the bad
+            // one — those applied once already, so a failure here is
+            // real and fatal.
+            *dynamic = DynamicIndex::new(Arc::clone(base), graph)?;
+            let mut clean = RecoveryStats {
+                truncated_bytes: contents.truncated_bytes,
+                ..RecoveryStats::default()
+            };
+            let seq = replay_records(
+                dynamic,
+                &contents.records[..at],
+                &header,
+                &committed,
+                &mut clean,
+            )
+            .map_err(|(_, prefix_err)| prefix_err)?;
+            clean.replay_error = Some(format!(
+                "WAL record {at} of {} failed to replay ({e}); serving the state \
+                 recovered before it with updates disabled — repair or remove {} \
+                 to update again",
+                contents.records.len(),
+                config.wal_path.display(),
+            ));
+            stats = clean;
+            seq
         }
-    }
+    };
     // A rebase-less WAL can still carry a base epoch (defensive; the
     // snapshot path always writes a Rebase record first).
     if dynamic.epoch() < header.base_epoch {
@@ -722,12 +803,20 @@ fn snapshot_compact(
         prev_fingerprint: wal_state.fingerprint,
         base_epoch: dynamic.epoch(),
     };
-    let rebase = WalRecord::Rebase {
-        edges: dynamic.inserted_edges().to_vec(),
-    };
+    // The rebase set — every edge inserted since the base graph — grows
+    // without bound across server lifetimes, so it is chunked at the WAL
+    // record cap rather than encoded as one record whose length prefix
+    // would eventually overflow.
+    let rebase: Vec<WalRecord> = dynamic
+        .inserted_edges()
+        .chunks(wal::MAX_RECORD_EDGES)
+        .map(|chunk| WalRecord::Rebase {
+            edges: chunk.to_vec(),
+        })
+        .collect();
     // If the reset itself fails the old WAL file is untouched (the new
     // image goes through atomic_write), so bailing out is safe.
-    let writer = WalWriter::create(&wal_state.config.wal_path, &header, &[rebase])?;
+    let writer = WalWriter::create(&wal_state.config.wal_path, &header, &rebase)?;
     // The on-disk WAL is now the new one: adopt the writer before
     // attempting the index rename, or a rename failure would leave us
     // appending to the unlinked old file.
@@ -996,11 +1085,7 @@ fn handle_request(shared: &ServeShared, frame: &[u8], shutdown: &AtomicBool) -> 
             if let Some(why) = &state.poisoned {
                 return error_response(
                     STATUS_UNSUPPORTED,
-                    &format!(
-                        "updates disabled: an earlier UPDATE failed mid-batch and left \
-                         the overlay inconsistent ({why}); already-published epochs keep \
-                         serving — rebuild and restart to update again"
-                    ),
+                    &format!("updates disabled: {why}; already-published epochs keep serving"),
                 );
             }
             // Split the guard so the WAL and the overlay can be borrowed
@@ -1010,6 +1095,24 @@ fn handle_request(shared: &ServeShared, frame: &[u8], shutdown: &AtomicBool) -> 
                 poisoned,
                 wal: wal_state,
             } = &mut *state;
+            // Validate apply's deterministic preconditions *before*
+            // journaling: a journaled record must be guaranteed to
+            // replay, or one malformed-but-protocol-valid request would
+            // durably land in the WAL, fail the same way at every
+            // recovery, and leave the server degraded after each restart.
+            let n = dynamic.num_vertices();
+            if let Some(&(u, v)) = edges
+                .iter()
+                .find(|&&(u, v)| u as usize >= n || v as usize >= n)
+            {
+                return error_response(
+                    STATUS_BAD_REQUEST,
+                    &format!(
+                        "UPDATE rejected: edge ({u}, {v}) references a vertex outside \
+                         the served graph ({n} vertices); nothing was journaled or applied"
+                    ),
+                );
+            }
             // Journal before apply: a batch that cannot be made durable
             // is refused outright, never half-applied.
             if let Some(w) = wal_state.as_mut() {
@@ -1034,7 +1137,10 @@ fn handle_request(shared: &ServeShared, frame: &[u8], shutdown: &AtomicBool) -> 
                 Err(e) => {
                     // A failed apply may have mutated part of the
                     // overlay; never flatten/publish it again.
-                    *poisoned = Some(e.to_string());
+                    *poisoned = Some(format!(
+                        "an earlier UPDATE failed mid-batch and left the overlay \
+                         inconsistent ({e}); rebuild and restart to update again"
+                    ));
                     return query_error(e);
                 }
             };
@@ -1042,7 +1148,10 @@ fn handle_request(shared: &ServeShared, frame: &[u8], shutdown: &AtomicBool) -> 
                 let flat = match dynamic.flatten(shared.flatten_threads) {
                     Ok(flat) => flat,
                     Err(e) => {
-                        *poisoned = Some(e.to_string());
+                        *poisoned = Some(format!(
+                            "an earlier UPDATE failed to flatten ({e}); rebuild and \
+                             restart to update again"
+                        ));
                         return query_error(e);
                     }
                 };
@@ -1727,6 +1836,187 @@ mod tests {
         assert_eq!(handle.current_epoch(), epochs);
         let mut client = protocol::Client::connect(&handle.local_addr().to_string()).unwrap();
         assert_eq!(client.batch(&pairs).unwrap(), before);
+        client.shutdown_server().unwrap();
+        handle.join();
+        let _ = std::fs::remove_file(&wal_path);
+        let _ = std::fs::remove_file(&index_path);
+    }
+
+    #[test]
+    fn out_of_range_update_is_rejected_before_journaling() {
+        let wal_path = temp_path("validate.wal");
+        let index_path = temp_path("validate.idx");
+        let (g, chords) = ring_fixture(&index_path);
+        let config = wal_server_config(&wal_path, &index_path);
+        let handle = serve_dynamic(load_index(&index_path), Some(&g), &config).unwrap();
+        let mut client = protocol::Client::connect(&handle.local_addr().to_string()).unwrap();
+
+        // An edge past the vertex count must be refused as a bad request
+        // *before* the batch reaches the WAL: a journaled record that
+        // cannot replay would fail recovery at every later restart.
+        let err = client.update(&[(0, 1000)]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProtocolError::Server {
+                    status: STATUS_BAD_REQUEST,
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+        // The rejection is clean: the updater is not poisoned, so a valid
+        // batch still applies…
+        let ack = client.update(&chords[..5]).unwrap();
+        assert_eq!(ack.applied, 5);
+        assert_eq!(ack.epoch, 1);
+        client.shutdown_server().unwrap();
+        handle.join();
+
+        // …and the rejected batch left no trace in the journal.
+        let contents = wal::read_wal(&wal_path).unwrap().unwrap();
+        let updates = contents
+            .records
+            .iter()
+            .filter(|r| matches!(r, WalRecord::Update { .. }))
+            .count();
+        assert_eq!(updates, 1, "only the valid batch was journaled");
+
+        // A restart replays cleanly — no degraded recovery.
+        let handle = serve_dynamic(load_index(&index_path), Some(&g), &config).unwrap();
+        let recovery = handle.recovery().unwrap().clone();
+        assert!(recovery.replay_error.is_none());
+        assert_eq!(recovery.replayed_batches, 1);
+        assert_eq!(recovery.recovered_epoch, 1);
+        handle.shutdown();
+        handle.join();
+        let _ = std::fs::remove_file(&wal_path);
+        let _ = std::fs::remove_file(&index_path);
+    }
+
+    #[test]
+    fn unreplayable_wal_record_degrades_instead_of_refusing_startup() {
+        let wal_path = temp_path("degrade.wal");
+        let index_path = temp_path("degrade.idx");
+        let (g, chords) = ring_fixture(&index_path);
+        let config = wal_server_config(&wal_path, &index_path);
+
+        // First life: one good batch, then a clean shutdown.
+        let handle = serve_dynamic(load_index(&index_path), Some(&g), &config).unwrap();
+        let mut client = protocol::Client::connect(&handle.local_addr().to_string()).unwrap();
+        client.update(&chords[..7]).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..40u32).map(|s| (s, (s + 20) % 40)).collect();
+        let before = client.batch(&pairs).unwrap();
+        client.shutdown_server().unwrap();
+        handle.join();
+
+        // Corrupt the journal semantically (as a WAL from a different
+        // build would): a structurally valid record that cannot apply,
+        // followed by a record that could.
+        let contents = wal::read_wal(&wal_path).unwrap().unwrap();
+        let good_records = contents.records.len();
+        let mut writer = WalWriter::open_existing(&wal_path, contents.valid_len).unwrap();
+        writer
+            .append(&WalRecord::Update {
+                epoch: 99,
+                edges: vec![(0, 40)], // vertex 40 out of range for n = 40
+            })
+            .unwrap();
+        writer
+            .append(&WalRecord::Update {
+                epoch: 100,
+                edges: vec![(0, 2)],
+            })
+            .unwrap();
+        drop(writer);
+
+        // Second life: the server must start anyway, serve the state
+        // recovered before the bad record, and refuse further updates.
+        let handle = serve_dynamic(load_index(&index_path), Some(&g), &config).unwrap();
+        let recovery = handle.recovery().unwrap().clone();
+        let err = recovery
+            .replay_error
+            .expect("replay must report the bad record");
+        assert!(err.contains(&format!("WAL record {good_records}")), "{err}");
+        assert_eq!(
+            recovery.replayed_batches, 1,
+            "replay stops at the bad record; the record after it is not applied"
+        );
+        assert_eq!(recovery.recovered_epoch, 1);
+        assert_eq!(handle.current_epoch(), 1);
+        let mut client = protocol::Client::connect(&handle.local_addr().to_string()).unwrap();
+        assert_eq!(
+            client.batch(&pairs).unwrap(),
+            before,
+            "queries answer from the recovered prefix"
+        );
+        assert!(matches!(
+            client.update(&[(1, 21)]).unwrap_err(),
+            ProtocolError::Server {
+                status: STATUS_UNSUPPORTED,
+                ..
+            }
+        ));
+        client.shutdown_server().unwrap();
+        handle.join();
+        let _ = std::fs::remove_file(&wal_path);
+        let _ = std::fs::remove_file(&index_path);
+    }
+
+    #[test]
+    fn recovery_applies_chunked_rebase_records() {
+        // snapshot_compact chunks an oversized rebase set into several
+        // Rebase records; recovery must treat a multi-record rebase
+        // exactly like a single one.
+        let wal_path = temp_path("chunked.wal");
+        let index_path = temp_path("chunked.idx");
+        let (g, chords) = ring_fixture(&index_path);
+        let fingerprint = wal::fingerprint_file(&index_path).unwrap();
+        let header = wal::WalHeader {
+            fingerprint,
+            prev_fingerprint: fingerprint,
+            base_epoch: 5,
+        };
+        let (first, second) = chords.split_at(chords.len() / 2);
+        let records = vec![
+            WalRecord::Rebase {
+                edges: first.to_vec(),
+            },
+            WalRecord::Rebase {
+                edges: second.to_vec(),
+            },
+        ];
+        drop(WalWriter::create(&wal_path, &header, &records).unwrap());
+
+        let config = wal_server_config(&wal_path, &index_path);
+        let handle = serve_dynamic(load_index(&index_path), Some(&g), &config).unwrap();
+        let recovery = handle.recovery().unwrap().clone();
+        assert!(recovery.replay_error.is_none());
+        assert_eq!(recovery.rebase_edges, chords.len() as u64);
+        assert_eq!(
+            recovery.recovered_epoch, 5,
+            "epoch restarts at the snapshot's"
+        );
+
+        // Answers equal a from-scratch build over ring + all chords.
+        let n = 40u32;
+        let mut full: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        full.extend_from_slice(&chords);
+        let updated = pll_graph::CsrGraph::from_edges(n as usize, &full).unwrap();
+        let rebuilt = IndexBuilder::new()
+            .bit_parallel_roots(2)
+            .build(&updated)
+            .unwrap();
+        let mut client = protocol::Client::connect(&handle.local_addr().to_string()).unwrap();
+        for s in (0..n).step_by(3) {
+            for t in (0..n).step_by(7) {
+                assert_eq!(
+                    client.query(s, t).unwrap(),
+                    rebuilt.distance(s, t).map(u64::from),
+                    "pair ({s}, {t})"
+                );
+            }
+        }
         client.shutdown_server().unwrap();
         handle.join();
         let _ = std::fs::remove_file(&wal_path);
