@@ -1,0 +1,176 @@
+//! Criterion micro-benchmark: the merge-join query kernels in isolation
+//! (scalar vs branchless vs unrolled, and the Dist8 escape-sidecar
+//! variants), plus the end-to-end `distance` path under each runtime
+//! kernel selection. The committed trajectory lives in
+//! `BENCH_query.json` (see `scripts/bench_query.sh`); this bench is for
+//! interactive kernel work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pll_core::kernel::{
+    merge_query_branchless, merge_query_scalar, merge_query_unrolled,
+    merge_query_weighted_branchless, merge_query_weighted_dist8_branchless,
+    merge_query_weighted_dist8_scalar, merge_query_weighted_scalar, merge_query_weighted_unrolled,
+};
+use pll_core::{set_kernel, IndexBuilder, KernelKind};
+use pll_graph::Xoshiro256pp;
+
+const RANK_SENTINEL: u32 = u32::MAX;
+
+/// One synthetic sentinel-terminated label: `len` sorted distinct ranks
+/// drawn from a space 4× the length (so two labels share ~1/4 of their
+/// hubs, like real PLL labels share landmarks).
+fn make_label(len: usize, rng: &mut Xoshiro256pp) -> (Vec<u32>, Vec<u8>) {
+    let mut ranks: Vec<u32> = Vec::with_capacity(len + 1);
+    let mut r = 0u32;
+    for _ in 0..len {
+        r += 1 + rng.next_below(7) as u32;
+        ranks.push(r);
+    }
+    ranks.push(RANK_SENTINEL);
+    let mut dists: Vec<u8> = (0..len).map(|_| 1 + rng.next_below(20) as u8).collect();
+    dists.push(u8::MAX);
+    (ranks, dists)
+}
+
+type LabelPair = ((Vec<u32>, Vec<u8>), (Vec<u32>, Vec<u8>));
+type UnweightedKernel = fn(&[u32], &[u8], &[u32], &[u8]) -> u32;
+type WeightedKernel = fn(&[u32], &[u32], &[u32], &[u32]) -> u64;
+
+fn label_pairs(count: usize, len: usize, seed: u64) -> Vec<LabelPair> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (make_label(len, &mut rng), make_label(len, &mut rng)))
+        .collect()
+}
+
+fn bench_unweighted_kernels(c: &mut Criterion) {
+    let pairs = label_pairs(64, 64, 11);
+    let mut group = c.benchmark_group("kernel_unweighted");
+    let kernels: [(&str, UnweightedKernel); 3] = [
+        ("scalar", merge_query_scalar),
+        ("branchless", merge_query_branchless),
+        ("unrolled", merge_query_unrolled),
+    ];
+    for (name, kernel) in kernels {
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let ((ur, ud), (vr, vd)) = &pairs[i % pairs.len()];
+                i += 1;
+                std::hint::black_box(kernel(ur, ud, vr, vd))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighted_kernels(c: &mut Criterion) {
+    let pairs = label_pairs(64, 64, 13);
+    // Widen the u8 fixture dists to the weighted u32 arena.
+    let widen = |(r, d): &(Vec<u32>, Vec<u8>)| -> (Vec<u32>, Vec<u32>) {
+        let mut wd: Vec<u32> = d.iter().map(|&x| x as u32 * 37).collect();
+        *wd.last_mut().unwrap() = u32::MAX;
+        (r.clone(), wd)
+    };
+    let pairs: Vec<_> = pairs.iter().map(|(a, b)| (widen(a), widen(b))).collect();
+    let mut group = c.benchmark_group("kernel_weighted");
+    let kernels: [(&str, WeightedKernel); 3] = [
+        ("scalar", merge_query_weighted_scalar),
+        ("branchless", merge_query_weighted_branchless),
+        ("unrolled", merge_query_weighted_unrolled),
+    ];
+    for (name, kernel) in kernels {
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let ((ar, ad), (br, bd)) = &pairs[i % pairs.len()];
+                i += 1;
+                std::hint::black_box(kernel(ar, ad, br, bd))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dist8_kernels(c: &mut Criterion) {
+    // Two labels over one shared arena, a few entries escaped, so the
+    // cold sidecar path is exercised but rare — as on real graphs.
+    let pairs = label_pairs(64, 64, 17);
+    let mut arena: Vec<u8> = Vec::new();
+    let mut flat: Vec<(Vec<u32>, u32, Vec<u32>, u32)> = Vec::new();
+    let mut esc_pos: Vec<u32> = Vec::new();
+    let mut esc_val: Vec<u32> = Vec::new();
+    for (k, ((ar, ad), (br, bd))) in pairs.iter().enumerate() {
+        let mut push = |d: &[u8]| -> u32 {
+            let base = arena.len() as u32;
+            arena.extend_from_slice(d);
+            // Escape one mid-label entry per 4th label.
+            if k % 4 == 0 && d.len() > 2 {
+                let p = base + (d.len() / 2) as u32;
+                arena[p as usize] = u8::MAX;
+                esc_pos.push(p);
+                esc_val.push(300 + k as u32);
+            }
+            base
+        };
+        let a_base = push(ad);
+        let b_base = push(bd);
+        flat.push((ar.clone(), a_base, br.clone(), b_base));
+    }
+    let mut group = c.benchmark_group("kernel_dist8");
+    type Dist8Fn = fn(&[u32], &[u8], u32, &[u32], &[u8], u32, &[u32], &[u32]) -> u64;
+    let kernels: [(&str, Dist8Fn); 2] = [
+        ("scalar", merge_query_weighted_dist8_scalar),
+        ("branchless", merge_query_weighted_dist8_branchless),
+    ];
+    for (name, kernel) in kernels {
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let (ar, a_base, br, b_base) = &flat[i % flat.len()];
+                let ad = &arena[*a_base as usize..*a_base as usize + ar.len()];
+                let bd = &arena[*b_base as usize..*b_base as usize + br.len()];
+                i += 1;
+                std::hint::black_box(kernel(ar, ad, *a_base, br, bd, *b_base, &esc_pos, &esc_val))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_distance(c: &mut Criterion) {
+    let spec = pll_datasets::by_name("Epinions").unwrap();
+    let g = spec.generate(32).expect("dataset");
+    let n = g.num_vertices();
+    let pairs = pll_bench::random_pairs(n, 1024, 7);
+    let index = IndexBuilder::new()
+        .bit_parallel_roots(16)
+        .build(&g)
+        .expect("pll");
+    let mut group = c.benchmark_group("index_distance");
+    for kind in [
+        KernelKind::Scalar,
+        KernelKind::Branchless,
+        KernelKind::Unrolled,
+    ] {
+        set_kernel(kind);
+        group.bench_function(kind.name(), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let (s, t) = pairs[i % pairs.len()];
+                i += 1;
+                std::hint::black_box(index.distance(s, t))
+            })
+        });
+    }
+    set_kernel(KernelKind::Branchless);
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_unweighted_kernels, bench_weighted_kernels, bench_dist8_kernels,
+              bench_index_distance
+}
+criterion_main!(benches);

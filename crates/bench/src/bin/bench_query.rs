@@ -1,0 +1,219 @@
+//! Query-throughput harness: measures ns/query for the weighted index
+//! across storage backends × merge kernels × distance-arena widths, and
+//! emits one JSON record per combination so successive PRs have a query
+//! perf trajectory (see `scripts/bench_query.sh`), the complement of the
+//! construction trajectory in `BENCH_construction.json`.
+//!
+//! ```text
+//! bench_query [--n N] [--pairs P] [--iters I] [--out FILE]
+//! ```
+//!
+//! Dimensions:
+//! * backend — `owned` (in-memory index), `zero-copy` (v2 file loaded
+//!   with one `read` and queried in place) and, when built with the
+//!   `mmap` feature, `mmap` (the same v2 file mapped instead of read);
+//! * kernel — `scalar`, `branchless`, `unrolled` (the runtime-selected
+//!   merge kernels, `PLL_KERNEL`);
+//! * dist — `u32` (plain weighted arena) vs `u8` (the Dist8 narrowed
+//!   arena + escape sidecar).
+//!
+//! Output: a JSON array of `{backend, dist, kernel, n, m, queries,
+//! ns_per_query, labels_per_vertex, escapes}`. Every combination answers
+//! the same pair sample, and a checksum over all answers is asserted
+//! identical across the whole matrix — a run that measured kernels that
+//! disagree refuses to write the file.
+
+use pll_bench::{derive_weighted, random_pairs, time};
+use pll_core::v2::{open_v2_bytes, save_v2_weighted_index_with};
+use pll_core::{set_kernel, AnyIndex, KernelKind, WeightedDist8Index, WeightedIndexBuilder};
+use std::io::Write;
+use std::sync::Arc;
+
+struct Options {
+    n: usize,
+    pairs: usize,
+    iters: usize,
+    out: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        n: 50_000,
+        pairs: 1024,
+        iters: 200_000,
+        out: "BENCH_query.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value after {}", args[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--n" => opts.n = value(&mut i).parse().expect("--n"),
+            "--pairs" => opts.pairs = value(&mut i).parse().expect("--pairs"),
+            "--iters" => opts.iters = value(&mut i).parse().expect("--iters"),
+            "--out" => opts.out = value(&mut i),
+            "--help" | "-h" => {
+                eprintln!("bench_query [--n N] [--pairs P] [--iters I] [--out FILE]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Measures one (index, kernel) cell: `iters` queries cycling through
+/// the pair sample. Returns (ns/query, answer checksum).
+fn measure(
+    distance: &dyn Fn(u32, u32) -> Option<u64>,
+    pairs: &[(u32, u32)],
+    iters: usize,
+) -> (f64, u64) {
+    // Warm-up pass: touch every label once so the first measured
+    // iteration is not a cold-cache outlier.
+    let mut checksum = 0u64;
+    for &(s, t) in pairs {
+        checksum = checksum.wrapping_add(distance(s, t).unwrap_or(u64::MAX));
+    }
+    let (sum, seconds) = time(|| {
+        let mut sum = 0u64;
+        for i in 0..iters {
+            let (s, t) = pairs[i % pairs.len()];
+            sum = sum.wrapping_add(std::hint::black_box(distance(s, t)).unwrap_or(u64::MAX));
+        }
+        sum
+    });
+    std::hint::black_box(sum);
+    (seconds * 1e9 / iters as f64, checksum)
+}
+
+fn main() {
+    let opts = parse_args();
+    let g = pll_graph::gen::barabasi_albert(opts.n, 5, 42).expect("graph");
+    // Weights up to 256 push a minority of label distances past 255, so
+    // the Dist8 cells exercise the escape sidecar, not just the narrow
+    // fast path — while staying under the profitability bound.
+    let wg = derive_weighted(&g, 7, 256);
+    let pairs = random_pairs(opts.n, opts.pairs, 7);
+
+    eprintln!("building weighted index on BA n={} ...", opts.n);
+    let owned_u32 = WeightedIndexBuilder::new().build(&wg).expect("build");
+    let labels_per_vertex = owned_u32.avg_label_size();
+    let m = wg.num_edges();
+    let owned_u8 =
+        WeightedDist8Index::from_weighted(&owned_u32).expect("few escapes: Dist8 profitable");
+    let escapes = owned_u8.escape_count();
+    eprintln!(
+        "{labels_per_vertex:.1} labels/vertex, {escapes} escaped entries in the Dist8 sidecar"
+    );
+
+    // The two v2 files: narrowed (FLAG_DIST8) and forced-u32.
+    let dir = std::env::temp_dir().join(format!("pll-bench-query-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut files: Vec<(&str, std::path::PathBuf)> = Vec::new();
+    for (dist, narrow) in [("u32", false), ("u8", true)] {
+        let path = dir.join(format!("index-{dist}.pll2"));
+        let f = std::fs::File::create(&path).expect("create index file");
+        save_v2_weighted_index_with(&owned_u32, std::io::BufWriter::new(f), narrow)
+            .expect("save v2");
+        files.push((dist, path));
+    }
+
+    let mut loaded: Vec<AnyIndex> = Vec::new();
+    for (dist, path) in &files {
+        // "zero-copy": one read into an aligned heap buffer, queried in
+        // place (what a registry-less `AlignedBytes::from_file` does
+        // without the mmap feature).
+        let bytes = std::fs::read(path).expect("read index file");
+        let any =
+            open_v2_bytes(Arc::new(pll_core::AlignedBytes::from_bytes(&bytes))).expect("open v2");
+        match (*dist, &any) {
+            ("u8", AnyIndex::WeightedDist8View(_)) | ("u32", AnyIndex::WeightedView(_)) => {}
+            _ => panic!("{dist} file opened to an unexpected variant"),
+        }
+        loaded.push(any);
+    }
+    #[cfg(feature = "mmap")]
+    for (_dist, path) in &files {
+        loaded.push(AnyIndex::open(path).expect("mmap open"));
+    }
+
+    // backend × dist → a distance closure over an index kept alive above.
+    type DistanceFn<'a> = Box<dyn Fn(u32, u32) -> Option<u64> + 'a>;
+    let mut cells: Vec<(&str, &str, DistanceFn<'_>)> = Vec::new();
+    cells.push(("owned", "u32", {
+        let idx = &owned_u32;
+        Box::new(move |s, t| idx.distance(s, t))
+    }));
+    cells.push(("owned", "u8", {
+        let idx = &owned_u8;
+        Box::new(move |s, t| idx.distance(s, t))
+    }));
+    let dists = ["u32", "u8"];
+    for (k, any) in loaded.iter().enumerate() {
+        let backend = if k < 2 { "zero-copy" } else { "mmap" };
+        cells.push((
+            backend,
+            dists[k % 2],
+            Box::new(move |s, t| any.distance(s, t)),
+        ));
+    }
+
+    let kernels = [
+        KernelKind::Scalar,
+        KernelKind::Branchless,
+        KernelKind::Unrolled,
+    ];
+    let mut records: Vec<String> = Vec::new();
+    let mut reference: Option<u64> = None;
+    for (backend, dist, distance) in &cells {
+        for kind in kernels {
+            set_kernel(kind);
+            let (ns_per_query, checksum) = measure(distance.as_ref(), &pairs, opts.iters);
+            // Every cell must answer the whole sample identically —
+            // the equivalence suite in miniature, run on every bench.
+            match reference {
+                None => reference = Some(checksum),
+                Some(r) => assert_eq!(
+                    r,
+                    checksum,
+                    "{backend}/{dist}/{} disagrees with the reference answers",
+                    kind.name()
+                ),
+            }
+            eprintln!(
+                "{backend:>9}/{dist}/{:<10} {ns_per_query:8.1} ns/query",
+                kind.name()
+            );
+            records.push(format!(
+                "  {{\"backend\": \"{backend}\", \"dist\": \"{dist}\", \"kernel\": \"{}\", \
+                 \"n\": {}, \"m\": {m}, \"queries\": {}, \"ns_per_query\": {ns_per_query:.2}, \
+                 \"labels_per_vertex\": {labels_per_vertex:.4}, \"escapes\": {escapes}}}",
+                kind.name(),
+                opts.n,
+                opts.iters,
+            ));
+        }
+    }
+    set_kernel(KernelKind::Branchless);
+
+    let json = format!("[\n{}\n]\n", records.join(",\n"));
+    let mut f = std::fs::File::create(&opts.out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output file");
+    drop(cells);
+    drop(loaded);
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!("wrote {}", opts.out);
+}

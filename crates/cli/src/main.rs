@@ -230,16 +230,29 @@ fn phase_breakdown(stats: &ConstructionStats) -> String {
 
 /// `pll stats` variant of the phase line. v2 indices persist their
 /// construction statistics, so loaded indices report the real phase
-/// timings; v1 files never stored them.
-fn print_phase_stats(stats: &ConstructionStats) {
+/// timings; v1 files never stored them, so the fallback tells the user
+/// exactly how to get the numbers.
+fn phase_stats_lines(stats: &ConstructionStats) -> Vec<String> {
     if stats.total_seconds() > 0.0 {
-        println!("construction {}", phase_breakdown(stats));
-        println!(
-            "built with:          {} thread(s), {} batches, {} repruned",
-            stats.threads, stats.parallel_batches, stats.repruned
-        );
+        vec![
+            format!("construction {}", phase_breakdown(stats)),
+            format!(
+                "built with:          {} thread(s), {} batches, {} repruned",
+                stats.threads, stats.parallel_batches, stats.repruned
+            ),
+        ]
     } else {
-        println!("construction phases: not recorded (v1 file; rebuild to persist them)");
+        vec![
+            "construction phases: not recorded (v1 file; rebuild with `pll build` \
+             to write a v2 index that persists timings)"
+                .to_string(),
+        ]
+    }
+}
+
+fn print_phase_stats(stats: &ConstructionStats) {
+    for line in phase_stats_lines(stats) {
+        println!("{line}");
     }
 }
 
@@ -627,4 +640,37 @@ fn read_pair_file(path: &str) -> Result<Vec<(u32, u32)>, String> {
         }
     }
     Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_stats_report_recorded_timings() {
+        let stats = ConstructionStats {
+            order_seconds: 0.5,
+            relabel_seconds: 0.25,
+            pruned_seconds: 1.0,
+            flatten_seconds: 0.125,
+            threads: 4,
+            parallel_batches: 7,
+            repruned: 3,
+            ..Default::default()
+        };
+        let lines = phase_stats_lines(&stats);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("order 0.500 s"), "{}", lines[0]);
+        assert!(lines[1].contains("4 thread(s), 7 batches, 3 repruned"));
+    }
+
+    #[test]
+    fn phase_stats_on_v1_point_at_the_v2_rebuild() {
+        // A v1 load reports default (all-zero) stats; the fallback line
+        // must name the command that persists timings.
+        let lines = phase_stats_lines(&ConstructionStats::default());
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("not recorded"), "{}", lines[0]);
+        assert!(lines[0].contains("`pll build`"), "{}", lines[0]);
+    }
 }

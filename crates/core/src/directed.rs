@@ -574,6 +574,23 @@ where
         (best != INF_QUERY).then_some(best)
     }
 
+    /// Hints the CPU to pull the OUT label of `s` and the IN label of
+    /// `t` toward cache ahead of a [`DirectedPllIndex::distance`] call
+    /// for the same pair. Advisory: out-of-range vertices are ignored.
+    pub fn prefetch_query(&self, s: Vertex, t: Vertex) {
+        let n = self.num_vertices();
+        if (s as usize) < n {
+            let (r, d) = self.labels_out.label(self.inv.as_ref()[s as usize]);
+            crate::kernel::prefetch_read(r);
+            crate::kernel::prefetch_read(d);
+        }
+        if (t as usize) < n {
+            let (r, d) = self.labels_in.label(self.inv.as_ref()[t as usize]);
+            crate::kernel::prefetch_read(r);
+            crate::kernel::prefetch_read(d);
+        }
+    }
+
     /// Checked variant of [`DirectedPllIndex::distance`].
     pub fn try_distance(&self, s: Vertex, t: Vertex) -> Result<Option<u32>> {
         let n = self.num_vertices();

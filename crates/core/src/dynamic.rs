@@ -605,6 +605,17 @@ impl DynamicIndex {
             return 0;
         }
         let mut best = self.eff_bp_query(u, v);
+        // Fast path: neither endpoint carries a delta label, so the
+        // combined labels are exactly the sentinel-terminated base labels
+        // and the shared (branchless) kernel applies directly.
+        if self.delta[u as usize].ranks.is_empty() && self.delta[v as usize].ranks.is_empty() {
+            let d = with_undirected!(&*self.base, idx => {
+                let (ur, ud) = idx.labels().label(u);
+                let (vr, vd) = idx.labels().label(v);
+                crate::kernel::merge_query(ur, ud, vr, vd)
+            });
+            return best.min(d);
+        }
         let mut cu = self.merged_cursor(u);
         let mut cv = self.merged_cursor(v);
         let mut au = cu.next();

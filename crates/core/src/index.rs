@@ -114,6 +114,21 @@ where
         (best != INF_QUERY).then_some(best)
     }
 
+    /// Hints the CPU to pull both endpoints' label slices toward cache
+    /// ahead of a [`PllIndex::distance`] call for the same pair (e.g.
+    /// the *next* pair of a batch). Advisory: out-of-range vertices are
+    /// ignored, nothing is computed.
+    pub fn prefetch_query(&self, u: Vertex, v: Vertex) {
+        let n = self.num_vertices();
+        for x in [u, v] {
+            if (x as usize) < n {
+                let (r, d) = self.labels.label(self.inv.as_ref()[x as usize]);
+                crate::kernel::prefetch_read(r);
+                crate::kernel::prefetch_read(d);
+            }
+        }
+    }
+
     /// Checked variant of [`PllIndex::distance`].
     pub fn try_distance(&self, u: Vertex, v: Vertex) -> Result<Option<u32>> {
         let n = self.num_vertices();

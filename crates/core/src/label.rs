@@ -235,6 +235,27 @@ impl<S: LabelStorage<Dist = Dist>> LabelSet<S> {
     /// `min { d(w,u) + d(w,v) }` over hubs `w` common to both labels, or
     /// [`INF_QUERY`] if the labels share no hub. `O(|L(u)| + |L(v)|)`
     /// merge-join; the sentinel guarantees termination.
+    ///
+    /// Note `query` works in *rank* space; translate original vertex
+    /// ids through the index first. With bit-parallel roots the plain
+    /// labels are pruned against the BP oracle and may overestimate on
+    /// their own — ask the index, not the label set, for final
+    /// distances.
+    ///
+    /// ```
+    /// use pll_core::types::INF_QUERY;
+    /// use pll_core::IndexBuilder;
+    /// use pll_graph::CsrGraph;
+    ///
+    /// // A path 0–1–2–3 plus the isolated vertex 4; no BP roots, so
+    /// // the plain labels answer everything by themselves.
+    /// let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+    /// let index = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+    ///
+    /// let labels = index.labels();
+    /// assert_eq!(labels.query(index.rank_of(0), index.rank_of(3)), 3);
+    /// assert_eq!(labels.query(index.rank_of(0), index.rank_of(4)), INF_QUERY);
+    /// ```
     #[inline]
     pub fn query(&self, u: Rank, v: Rank) -> u32 {
         let (ur, ud) = self.label(u);
@@ -351,63 +372,10 @@ impl<S: LabelStorage<Dist = Dist>> LabelSet<S> {
 /// serialisation.
 pub(crate) type RawLabelParts<'a> = (&'a [u32], &'a [Rank], &'a [Dist], Option<&'a [Rank]>);
 
-/// Merge-join over two sentinel-terminated *weighted* labels (`u32`
-/// distances, summed in `u64`): `u64::MAX` when no common hub. Shared by
-/// the weighted and weighted-directed indices on both storage backends.
-#[inline]
-pub(crate) fn merge_query_weighted(ar: &[Rank], ad: &[u32], br: &[Rank], bd: &[u32]) -> u64 {
-    let mut i = 0usize;
-    let mut j = 0usize;
-    let mut best = u64::MAX;
-    loop {
-        let (ru, rv) = (ar[i], br[j]);
-        if ru == rv {
-            if ru == RANK_SENTINEL {
-                break;
-            }
-            let d = ad[i] as u64 + bd[j] as u64;
-            if d < best {
-                best = d;
-            }
-            i += 1;
-            j += 1;
-        } else if ru < rv {
-            i += 1;
-        } else {
-            j += 1;
-        }
-    }
-    best
-}
-
-/// Merge-join over two sentinel-terminated labels.
-#[inline]
-pub(crate) fn merge_query(ur: &[Rank], ud: &[Dist], vr: &[Rank], vd: &[Dist]) -> u32 {
-    debug_assert_eq!(*ur.last().unwrap(), RANK_SENTINEL);
-    debug_assert_eq!(*vr.last().unwrap(), RANK_SENTINEL);
-    let mut i = 0usize;
-    let mut j = 0usize;
-    let mut best = INF_QUERY;
-    loop {
-        let (ru, rv) = (ur[i], vr[j]);
-        if ru == rv {
-            if ru == RANK_SENTINEL {
-                break;
-            }
-            let d = ud[i] as u32 + vd[j] as u32;
-            if d < best {
-                best = d;
-            }
-            i += 1;
-            j += 1;
-        } else if ru < rv {
-            i += 1;
-        } else {
-            j += 1;
-        }
-    }
-    best
-}
+// The merge-join kernels moved to `crate::kernel` (runtime-selectable
+// scalar/branchless variants); these re-exports keep the historical
+// call sites unchanged.
+pub(crate) use crate::kernel::{merge_query, merge_query_weighted};
 
 #[cfg(test)]
 mod tests {

@@ -36,7 +36,7 @@
 //! ```
 
 #![deny(unsafe_code)] // allowed only in `storage` for the zero-copy casts
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bp;
 pub mod build;
@@ -47,6 +47,7 @@ pub mod dynamic;
 pub mod error;
 pub mod fail;
 pub mod index;
+pub mod kernel;
 pub mod label;
 pub mod order;
 pub mod par;
@@ -61,6 +62,7 @@ pub mod verify;
 pub mod wal;
 pub mod weighted;
 pub mod weighted_directed;
+pub mod weighted_dist8;
 
 pub use build::{BuildObserver, IndexBuilder, PartialIndex};
 pub use compact::CompactIndex;
@@ -68,6 +70,7 @@ pub use directed::{DirectedIndexBuilder, DirectedPllIndex, DirectedPllIndexView}
 pub use dynamic::{DynamicIndex, UpdateStats};
 pub use error::{PllError, Result};
 pub use index::{PllIndex, PllIndexView};
+pub use kernel::{active_kernel, set_kernel, KernelKind};
 pub use label::{LabelSet, LabelSetView};
 pub use order::OrderingStrategy;
 pub use par::{run_batched, PrunedSearch, RootCommit};
@@ -81,3 +84,4 @@ pub use weighted::{WeightedIndexBuilder, WeightedPllIndex, WeightedPllIndexView}
 pub use weighted_directed::{
     WeightedDirectedIndexBuilder, WeightedDirectedPllIndex, WeightedDirectedPllIndexView,
 };
+pub use weighted_dist8::{WeightedDist8Index, WeightedDist8IndexView};

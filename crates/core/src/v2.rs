@@ -39,6 +39,7 @@ use crate::bp::{BitParallelLabels, BpEntry};
 use crate::directed::{DirectedPllIndex, DirectedPllIndexView};
 use crate::error::{PllError, Result};
 use crate::index::{PllIndex, PllIndexView};
+use crate::kernel::DIST8_ESCAPE;
 use crate::label::LabelSet;
 use crate::serialize::{detect_format_versioned, FormatVersion, IndexFormat};
 use crate::stats::ConstructionStats;
@@ -46,6 +47,7 @@ use crate::storage::{AlignedBytes, Pod, SectionSlice, ViewBp, ViewLabels, SECTIO
 use crate::types::{Dist, Rank, WDist, INF8, RANK_SENTINEL};
 use crate::weighted::{WeightedPllIndex, WeightedPllIndexView};
 use crate::weighted_directed::{WeightedDirectedPllIndex, WeightedDirectedPllIndexView};
+use crate::weighted_dist8::{WeightedDist8Index, WeightedDist8IndexView};
 use std::io::Write;
 use std::path::Path;
 use std::sync::Arc;
@@ -67,12 +69,16 @@ pub const V2_WEIGHTED_DIRECTED_MAGIC: &[u8; 8] = b"PLLWDID2";
 
 const VERSION: u32 = 2;
 const FLAG_PARENTS: u32 = 1;
+/// The weighted index's distance arena is narrowed to `u8` + escape
+/// sidecar (`SEC_DISTS8` + `SEC_ESC_POS`/`SEC_ESC_VAL` replace
+/// `SEC_DISTS32`); see `weighted_dist8`.
+const FLAG_DIST8: u32 = 2;
 const HEADER_LEN: usize = 64;
 const STATS_LEN: usize = 128;
 const TABLE_OFFSET: usize = HEADER_LEN + STATS_LEN;
 const TABLE_ENTRY_LEN: usize = 16;
 /// Highest section id + 1 (table slots the parser tracks).
-const MAX_SECTION_ID: usize = 16;
+const MAX_SECTION_ID: usize = 18;
 
 // Section ids. The OUT side of a directed index reuses the plain label
 // ids; the IN side has its own.
@@ -91,6 +97,8 @@ const SEC_OFFSETS_IN: u32 = 12;
 const SEC_RANKS_IN: u32 = 13;
 const SEC_DISTS8_IN: u32 = 14;
 const SEC_DISTS32_IN: u32 = 15;
+const SEC_ESC_POS: u32 = 16;
+const SEC_ESC_VAL: u32 = 17;
 
 fn fnv1a_parts(parts: &[&[u8]]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -327,8 +335,52 @@ pub fn save_v2_directed_index<W: Write>(index: &DirectedPllIndex, writer: W) -> 
 }
 
 /// Writes a weighted index in the v2 zero-copy format (`PLLWIDX2`).
+///
+/// The distance arena is narrowed to the Dist8 representation (`u8`
+/// arena + escape sidecar, `FLAG_DIST8`) whenever
+/// [`crate::weighted_dist8::encode_dist8`] judges it profitable; arenas
+/// dominated by ≥ 255 distances keep the plain `u32` section. Either
+/// way the file reopens to bit-identical answers.
 pub fn save_v2_weighted_index<W: Write>(index: &WeightedPllIndex, writer: W) -> Result<()> {
+    save_v2_weighted_index_with(index, writer, true)
+}
+
+/// [`save_v2_weighted_index`] with the Dist8 narrowing switchable:
+/// `narrow = false` always writes the plain `u32` distance section,
+/// which trades file size for skipping the escape-sidecar lookup at
+/// query time (and is what the query microbench uses to measure both
+/// arena widths on the same index).
+pub fn save_v2_weighted_index_with<W: Write>(
+    index: &WeightedPllIndex,
+    writer: W,
+    narrow: bool,
+) -> Result<()> {
     let (order, inv, offsets, ranks, dists) = index.as_raw();
+    if let Some(enc) = narrow
+        .then(|| crate::weighted_dist8::encode_dist8(offsets, dists))
+        .flatten()
+    {
+        let sections = [
+            (SEC_ORDER, SecData::U32(order)),
+            (SEC_INV, SecData::U32(inv)),
+            (SEC_OFFSETS, SecData::U32(offsets)),
+            (SEC_RANKS, SecData::U32(ranks)),
+            (SEC_DISTS8, SecData::U8(&enc.dists8)),
+            (SEC_ESC_POS, SecData::U32(&enc.esc_pos)),
+            (SEC_ESC_VAL, SecData::U32(&enc.esc_val)),
+        ];
+        // The `t` header field (bit-parallel root count elsewhere) holds
+        // the sidecar length — section table entries carry no counts.
+        return write_container(
+            writer,
+            V2_WEIGHTED_MAGIC,
+            FLAG_DIST8,
+            order.len() as u64,
+            enc.esc_pos.len() as u64,
+            index.stats(),
+            &sections,
+        );
+    }
     let sections = [
         (SEC_ORDER, SecData::U32(order)),
         (SEC_INV, SecData::U32(inv)),
@@ -578,6 +630,60 @@ impl Container {
         })
     }
 
+    /// Resolves and validates the Dist8 escape sidecar against its `u8`
+    /// label arena. The sidecar length comes from the header's `t`
+    /// field; structurally every escape position must be strictly
+    /// ascending, in bounds, hold the escape byte, not be a sentinel
+    /// slot, and carry a value that genuinely needs escaping — so a
+    /// crafted file cannot make the query kernel mis-resolve.
+    fn dist8_sidecar(
+        &self,
+        labels: &ViewLabels<u8>,
+    ) -> Result<(SectionSlice<u32>, SectionSlice<u32>)> {
+        let esc_pos = self.section::<u32>(SEC_ESC_POS, self.t)?;
+        let esc_val = self.section::<u32>(SEC_ESC_VAL, self.t)?;
+        let off = labels.offsets.as_slice();
+        let d = labels.dists.as_slice();
+        for v in 0..self.n {
+            if d[off[v + 1] as usize - 1] != DIST8_ESCAPE {
+                return Err(format_err(format!(
+                    "Dist8 label of rank {v} lacks the sentinel escape byte"
+                )));
+            }
+        }
+        let (pos, val) = (esc_pos.as_slice(), esc_val.as_slice());
+        for (k, &p) in pos.iter().enumerate() {
+            if k > 0 && pos[k - 1] >= p {
+                return Err(format_err("Dist8 escape positions not strictly ascending"));
+            }
+            if p as usize >= d.len() {
+                return Err(format_err(format!(
+                    "Dist8 escape position {p} beyond the {}-entry arena",
+                    d.len()
+                )));
+            }
+            if d[p as usize] != DIST8_ESCAPE {
+                return Err(format_err(format!(
+                    "Dist8 escape position {p} does not hold the escape byte"
+                )));
+            }
+            // Offsets are strictly increasing, so `p` is a sentinel slot
+            // iff `p + 1` is a label end offset.
+            if off[1..].binary_search(&(p + 1)).is_ok() {
+                return Err(format_err(format!(
+                    "Dist8 escape position {p} is a sentinel slot"
+                )));
+            }
+            if val[k] < DIST8_ESCAPE as u32 {
+                return Err(format_err(format!(
+                    "Dist8 escape value {} fits the arena byte",
+                    val[k]
+                )));
+            }
+        }
+        Ok((esc_pos, esc_val))
+    }
+
     /// Resolves the bit-parallel structure-of-arrays sections.
     fn bp(&self) -> Result<ViewBp> {
         let entries = self
@@ -645,6 +751,19 @@ pub fn open_v2_bytes(buf: Arc<AlignedBytes>) -> Result<AnyIndex> {
         }
         IndexFormat::Weighted => {
             let (order, inv) = c.permutations()?;
+            if c.flags & FLAG_DIST8 != 0 {
+                let labels: ViewLabels<u8> =
+                    c.label_side((SEC_OFFSETS, SEC_RANKS, SEC_DISTS8), None)?;
+                let (esc_pos, esc_val) = c.dist8_sidecar(&labels)?;
+                return Ok(AnyIndex::WeightedDist8View(WeightedDist8Index::assemble(
+                    order,
+                    inv,
+                    labels,
+                    esc_pos,
+                    esc_val,
+                    c.stats.clone(),
+                )));
+            }
             let labels: ViewLabels<WDist> =
                 c.label_side((SEC_OFFSETS, SEC_RANKS, SEC_DISTS32), None)?;
             Ok(AnyIndex::WeightedView(WeightedPllIndex::assemble(
@@ -695,6 +814,9 @@ pub enum AnyIndex {
     Weighted(WeightedPllIndex),
     /// Zero-copy weighted index (v2 file).
     WeightedView(WeightedPllIndexView),
+    /// Zero-copy weighted index with the Dist8 narrowed distance arena
+    /// (v2 file written with `FLAG_DIST8`).
+    WeightedDist8View(WeightedDist8IndexView),
     /// Owned weighted directed index (v1 file).
     WeightedDirected(WeightedDirectedPllIndex),
     /// Zero-copy weighted directed index (v2 file).
@@ -711,6 +833,7 @@ macro_rules! with_index {
             AnyIndex::DirectedView($idx) => $body,
             AnyIndex::Weighted($idx) => $body,
             AnyIndex::WeightedView($idx) => $body,
+            AnyIndex::WeightedDist8View($idx) => $body,
             AnyIndex::WeightedDirected($idx) => $body,
             AnyIndex::WeightedDirectedView($idx) => $body,
         }
@@ -758,7 +881,9 @@ impl AnyIndex {
         match self {
             AnyIndex::Undirected(_) | AnyIndex::UndirectedView(_) => IndexFormat::Undirected,
             AnyIndex::Directed(_) | AnyIndex::DirectedView(_) => IndexFormat::Directed,
-            AnyIndex::Weighted(_) | AnyIndex::WeightedView(_) => IndexFormat::Weighted,
+            AnyIndex::Weighted(_) | AnyIndex::WeightedView(_) | AnyIndex::WeightedDist8View(_) => {
+                IndexFormat::Weighted
+            }
             AnyIndex::WeightedDirected(_) | AnyIndex::WeightedDirectedView(_) => {
                 IndexFormat::WeightedDirected
             }
@@ -781,6 +906,7 @@ impl AnyIndex {
             AnyIndex::UndirectedView(_)
                 | AnyIndex::DirectedView(_)
                 | AnyIndex::WeightedView(_)
+                | AnyIndex::WeightedDist8View(_)
                 | AnyIndex::WeightedDirectedView(_)
         )
     }
@@ -788,6 +914,15 @@ impl AnyIndex {
     /// Number of indexed vertices.
     pub fn num_vertices(&self) -> usize {
         with_index!(self, idx => idx.num_vertices())
+    }
+
+    /// Hints the CPU to pull both endpoints' label slices toward cache
+    /// ahead of an [`AnyIndex::distance`] call for the same pair —
+    /// useful to overlap the next pair's memory latency with the
+    /// current pair's merge in a batch. Advisory: out-of-range vertices
+    /// are ignored, nothing is computed.
+    pub fn prefetch_query(&self, s: u32, t: u32) {
+        with_index!(self, idx => idx.prefetch_query(s, t))
     }
 
     /// Distance from `s` to `t` widened to `u64`; `None` when
@@ -805,6 +940,7 @@ impl AnyIndex {
             AnyIndex::DirectedView(idx) => idx.distance(s, t).map(u64::from),
             AnyIndex::Weighted(idx) => idx.distance(s, t),
             AnyIndex::WeightedView(idx) => idx.distance(s, t),
+            AnyIndex::WeightedDist8View(idx) => idx.distance(s, t),
             AnyIndex::WeightedDirected(idx) => idx.distance(s, t),
             AnyIndex::WeightedDirectedView(idx) => idx.distance(s, t),
         }
@@ -819,6 +955,7 @@ impl AnyIndex {
             AnyIndex::DirectedView(idx) => Ok(idx.try_distance(s, t)?.map(u64::from)),
             AnyIndex::Weighted(idx) => idx.try_distance(s, t),
             AnyIndex::WeightedView(idx) => idx.try_distance(s, t),
+            AnyIndex::WeightedDist8View(idx) => idx.try_distance(s, t),
             AnyIndex::WeightedDirected(idx) => idx.try_distance(s, t),
             AnyIndex::WeightedDirectedView(idx) => idx.try_distance(s, t),
         }
@@ -1001,6 +1138,53 @@ mod tests {
         assert_eq!(any.format(), IndexFormat::Weighted);
         for s in 0..70u32 {
             for t in (0..70u32).step_by(7) {
+                assert_eq!(any.distance(s, t), idx.distance(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_v2_dist8_roundtrip_with_escapes() {
+        use pll_graph::wgraph::WeightedGraph;
+        // Weight-9 ring: eccentricities ~540, so the label arena holds
+        // entries on both sides of the 255 escape threshold.
+        let n = 120usize;
+        let mut edges: Vec<(u32, u32, u32)> =
+            (0..n as u32).map(|v| (v, (v + 1) % n as u32, 9)).collect();
+        edges.push((0, (n / 2) as u32, 400));
+        let g = WeightedGraph::from_edges(n, &edges).unwrap();
+        let idx = WeightedIndexBuilder::new().build(&g).unwrap();
+        let mut buf = Vec::new();
+        save_v2_weighted_index(&idx, &mut buf).unwrap();
+        let any = open_bytes(&buf).unwrap();
+        let AnyIndex::WeightedDist8View(view) = &any else {
+            panic!("small-weight arena must take the Dist8 path");
+        };
+        assert!(view.escape_count() > 0, "expected escaped entries");
+        for s in (0..n as u32).step_by(7) {
+            for t in (0..n as u32).step_by(11) {
+                assert_eq!(any.distance(s, t), idx.distance(s, t), "pair ({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_v2_unprofitable_arena_falls_back_to_u32() {
+        use pll_graph::wgraph::WeightedGraph;
+        // Every edge weight ≥ 255 → every finite label distance escapes,
+        // so the writer must keep the plain u32 sections.
+        let edges: Vec<(u32, u32, u32)> = (0..19u32).map(|v| (v, v + 1, 1_000)).collect();
+        let g = WeightedGraph::from_edges(20, &edges).unwrap();
+        let idx = WeightedIndexBuilder::new().build(&g).unwrap();
+        let mut buf = Vec::new();
+        save_v2_weighted_index(&idx, &mut buf).unwrap();
+        let any = open_bytes(&buf).unwrap();
+        assert!(
+            matches!(any, AnyIndex::WeightedView(_)),
+            "all-escaping arena must fall back to the u32 sections"
+        );
+        for s in 0..20u32 {
+            for t in 0..20u32 {
                 assert_eq!(any.distance(s, t), idx.distance(s, t));
             }
         }

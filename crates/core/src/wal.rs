@@ -130,6 +130,21 @@ pub fn fingerprint_file(path: &Path) -> Result<u64> {
 /// Implementation: write to a sibling `.tmp.<pid>` file, `sync_all`, rename
 /// over the target, then fsync the parent directory so the rename itself is
 /// durable.
+///
+/// ```
+/// use pll_core::wal::atomic_write;
+///
+/// let dir = std::env::temp_dir().join(format!("pll-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let target = dir.join("index.pll2");
+///
+/// atomic_write(&target, b"generation 1").unwrap();
+/// // Replacement is all-or-nothing: readers of `target` only ever see
+/// // one complete generation, never a partial write.
+/// atomic_write(&target, b"generation 2").unwrap();
+/// assert_eq!(std::fs::read(&target).unwrap(), b"generation 2");
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
     atomic_write_with(path, |w| w.write_all(bytes).map_err(PllError::from))
 }

@@ -518,6 +518,20 @@ where
         (best != u64::MAX).then_some(best)
     }
 
+    /// Hints the CPU to pull both endpoints' label slices toward cache
+    /// ahead of a [`WeightedPllIndex::distance`] call for the same
+    /// pair. Advisory: out-of-range vertices are ignored.
+    pub fn prefetch_query(&self, u: Vertex, v: Vertex) {
+        let n = self.num_vertices();
+        for x in [u, v] {
+            if (x as usize) < n {
+                let (r, d) = self.label(self.inv.as_ref()[x as usize]);
+                crate::kernel::prefetch_read(r);
+                crate::kernel::prefetch_read(d);
+            }
+        }
+    }
+
     /// Checked variant of [`WeightedPllIndex::distance`].
     pub fn try_distance(&self, u: Vertex, v: Vertex) -> Result<Option<u64>> {
         let n = self.num_vertices();

@@ -619,6 +619,24 @@ where
         (best != u64::MAX).then_some(best)
     }
 
+    /// Hints the CPU to pull the OUT label of `s` and the IN label of
+    /// `t` toward cache ahead of a
+    /// [`WeightedDirectedPllIndex::distance`] call for the same pair.
+    /// Advisory: out-of-range vertices are ignored.
+    pub fn prefetch_query(&self, s: Vertex, t: Vertex) {
+        let n = self.num_vertices();
+        if (s as usize) < n {
+            let (r, d) = Self::side_label(&self.side_out, self.inv.as_ref()[s as usize] as usize);
+            crate::kernel::prefetch_read(r);
+            crate::kernel::prefetch_read(d);
+        }
+        if (t as usize) < n {
+            let (r, d) = Self::side_label(&self.side_in, self.inv.as_ref()[t as usize] as usize);
+            crate::kernel::prefetch_read(r);
+            crate::kernel::prefetch_read(d);
+        }
+    }
+
     /// Checked variant of [`WeightedDirectedPllIndex::distance`].
     pub fn try_distance(&self, s: Vertex, t: Vertex) -> Result<Option<u64>> {
         let n = self.num_vertices();

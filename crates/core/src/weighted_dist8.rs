@@ -1,0 +1,295 @@
+//! Narrow-distance (`Dist8`) representation of the weighted index: the
+//! paper's 8-bit trick applied to the `u32` distance arena.
+//!
+//! Weighted labels store one `u32` distance per entry, but on graphs
+//! with small edge weights almost every label distance fits a byte. The
+//! Dist8 representation stores the distance arena as `u8` with a sorted
+//! *escape sidecar* for the rare entries ≥ 255: an escaped entry holds
+//! [`DIST8_ESCAPE`] in the arena and its true `u32` value in the
+//! sidecar, keyed by its global arena position. Sentinel slots also hold
+//! [`DIST8_ESCAPE`] but have no sidecar entry — the merge terminates on
+//! the rank sentinel before ever reading them as distances. This cuts
+//! bytes-per-probe from 8 (`rank + u32 dist`) to 5, which is what
+//! decides query throughput once labels outgrow the cache.
+//!
+//! [`encode_dist8`] converts a `u32` arena, refusing (returning `None`)
+//! when escapes are so common the sidecar would cost more than the
+//! narrowing saves; the v2 writer then falls back to the plain `u32`
+//! sections, losslessly. Queries answer through
+//! [`kernel::merge_query_weighted_dist8`], whose answers are proven
+//! identical to the `u32` scalar kernel by the equivalence suite.
+
+use crate::error::{PllError, Result};
+use crate::kernel::{self, DIST8_ESCAPE};
+use crate::stats::ConstructionStats;
+use crate::storage::{LabelStorage, OwnedLabels, SectionSlice, ViewLabels};
+use crate::types::{Vertex, WDist};
+use crate::weighted::WeightedPllIndex;
+
+/// A `u32` distance arena narrowed to `u8` + escape sidecar.
+#[derive(Debug)]
+pub struct Dist8Encoding {
+    /// The narrowed arena, parallel to the rank arena (sentinels and
+    /// escaped entries hold [`DIST8_ESCAPE`]).
+    pub dists8: Vec<u8>,
+    /// Global arena positions of escaped entries, strictly ascending.
+    pub esc_pos: Vec<u32>,
+    /// True `u32` distances of the escaped entries, parallel to
+    /// `esc_pos` (every value ≥ 255).
+    pub esc_val: Vec<u32>,
+}
+
+/// Narrows a weighted label arena to the Dist8 representation, or `None`
+/// when it would not pay: a `u8` arena saves 3 bytes per entry over
+/// `u32`, each escape costs 8 sidecar bytes, so the encoding is kept
+/// only while `escapes * 8 <= entries * 3`.
+pub fn encode_dist8(offsets: &[u32], dists: &[WDist]) -> Option<Dist8Encoding> {
+    let n = offsets.len().checked_sub(1)?;
+    let mut enc = Dist8Encoding {
+        dists8: vec![0u8; dists.len()],
+        esc_pos: Vec::new(),
+        esc_val: Vec::new(),
+    };
+    for v in 0..n {
+        let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
+        for (p, &d) in (s..e - 1).zip(&dists[s..e - 1]) {
+            if d < DIST8_ESCAPE as u32 {
+                enc.dists8[p] = d as u8;
+            } else {
+                enc.dists8[p] = DIST8_ESCAPE;
+                enc.esc_pos.push(p as u32);
+                enc.esc_val.push(d);
+            }
+        }
+        enc.dists8[e - 1] = DIST8_ESCAPE; // sentinel slot, no sidecar entry
+    }
+    (enc.esc_pos.len() * 8 <= dists.len() * 3).then_some(enc)
+}
+
+/// Weighted PLL index with the Dist8 distance arena, generic over the
+/// storage backend like its `u32` counterpart [`WeightedPllIndex`]:
+/// owned vectors for in-memory conversion and tests, [`SectionSlice`]
+/// views for zero-copy v2 files ([`WeightedDist8IndexView`]).
+#[derive(Debug)]
+pub struct WeightedDist8Index<O = Vec<Vertex>, S = OwnedLabels<u8>, E = Vec<u32>>
+where
+    O: AsRef<[u32]>,
+    S: LabelStorage<Dist = u8>,
+    E: AsRef<[u32]>,
+{
+    order: O,
+    inv: O,
+    labels: S,
+    esc_pos: E,
+    esc_val: E,
+    stats: ConstructionStats,
+}
+
+/// Zero-copy [`WeightedDist8Index`] over a v2 index buffer.
+pub type WeightedDist8IndexView =
+    WeightedDist8Index<SectionSlice<u32>, ViewLabels<u8>, SectionSlice<u32>>;
+
+impl<O, S, E> WeightedDist8Index<O, S, E>
+where
+    O: AsRef<[u32]>,
+    S: LabelStorage<Dist = u8>,
+    E: AsRef<[u32]>,
+{
+    /// Assembles an index from any backend (inputs pre-validated).
+    pub(crate) fn assemble(
+        order: O,
+        inv: O,
+        labels: S,
+        esc_pos: E,
+        esc_val: E,
+        stats: ConstructionStats,
+    ) -> Self {
+        WeightedDist8Index {
+            order,
+            inv,
+            labels,
+            esc_pos,
+            esc_val,
+            stats,
+        }
+    }
+
+    /// Number of indexed vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.order.as_ref().len()
+    }
+
+    /// Number of escaped (≥ 255) distance entries in the sidecar.
+    pub fn escape_count(&self) -> usize {
+        self.esc_pos.as_ref().len()
+    }
+
+    /// Exact weighted distance between `u` and `v`; `None` if they are
+    /// disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn distance(&self, u: Vertex, v: Vertex) -> Option<u64> {
+        assert!(
+            (u as usize) < self.num_vertices(),
+            "vertex {u} out of range"
+        );
+        assert!(
+            (v as usize) < self.num_vertices(),
+            "vertex {v} out of range"
+        );
+        if u == v {
+            return Some(0);
+        }
+        let ru = self.inv.as_ref()[u as usize] as usize;
+        let rv = self.inv.as_ref()[v as usize] as usize;
+        let offsets = self.labels.offsets();
+        let (ranks, dists) = (self.labels.ranks(), self.labels.dists());
+        let (us, ue) = (offsets[ru] as usize, offsets[ru + 1] as usize);
+        let (vs, ve) = (offsets[rv] as usize, offsets[rv + 1] as usize);
+        let best = kernel::merge_query_weighted_dist8(
+            &ranks[us..ue],
+            &dists[us..ue],
+            us as u32,
+            &ranks[vs..ve],
+            &dists[vs..ve],
+            vs as u32,
+            self.esc_pos.as_ref(),
+            self.esc_val.as_ref(),
+        );
+        (best != u64::MAX).then_some(best)
+    }
+
+    /// Hints the CPU to pull both endpoints' label slices toward cache
+    /// ahead of a [`WeightedDist8Index::distance`] call for the same
+    /// pair. Advisory: out-of-range vertices are ignored.
+    pub fn prefetch_query(&self, u: Vertex, v: Vertex) {
+        let n = self.num_vertices();
+        let offsets = self.labels.offsets();
+        for x in [u, v] {
+            if (x as usize) < n {
+                let r = self.inv.as_ref()[x as usize] as usize;
+                let (s, e) = (offsets[r] as usize, offsets[r + 1] as usize);
+                crate::kernel::prefetch_read(&self.labels.ranks()[s..e]);
+                crate::kernel::prefetch_read(&self.labels.dists()[s..e]);
+            }
+        }
+    }
+
+    /// Checked variant of [`WeightedDist8Index::distance`].
+    pub fn try_distance(&self, u: Vertex, v: Vertex) -> Result<Option<u64>> {
+        let n = self.num_vertices();
+        for x in [u, v] {
+            if x as usize >= n {
+                return Err(PllError::VertexOutOfRange {
+                    vertex: x,
+                    num_vertices: n,
+                });
+            }
+        }
+        Ok(self.distance(u, v))
+    }
+
+    /// Average label entries per vertex (sentinels excluded).
+    pub fn avg_label_size(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            return 0.0;
+        }
+        (self.labels.ranks().len() - self.num_vertices()) as f64 / self.num_vertices() as f64
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &ConstructionStats {
+        &self.stats
+    }
+
+    /// Total index bytes: label arena + sidecar + permutations.
+    pub fn memory_bytes(&self) -> usize {
+        self.labels.memory_bytes()
+            + (self.esc_pos.as_ref().len() + self.esc_val.as_ref().len()) * 4
+            + self.order.as_ref().len() * 8
+    }
+}
+
+impl WeightedDist8Index {
+    /// Narrows an owned `u32` weighted index to the Dist8
+    /// representation, or `None` when escapes make it unprofitable (see
+    /// [`encode_dist8`]).
+    pub fn from_weighted(index: &WeightedPllIndex) -> Option<WeightedDist8Index> {
+        let (order, inv, offsets, ranks, dists) = index.as_raw();
+        let enc = encode_dist8(offsets, dists)?;
+        let store = OwnedLabels {
+            offsets: offsets.to_vec(),
+            ranks: ranks.to_vec(),
+            dists: enc.dists8,
+            parents: None,
+        };
+        Some(WeightedDist8Index::assemble(
+            order.to_vec(),
+            inv.to_vec(),
+            store,
+            enc.esc_pos,
+            enc.esc_val,
+            index.stats().clone(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighted::WeightedIndexBuilder;
+    use pll_graph::wgraph::WeightedGraph;
+
+    fn ring_with_heavy_chord(n: usize, heavy: u32) -> WeightedGraph {
+        let mut edges: Vec<(u32, u32, u32)> =
+            (0..n as u32).map(|v| (v, (v + 1) % n as u32, 9)).collect();
+        edges.push((0, (n / 2) as u32, heavy));
+        WeightedGraph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn dist8_conversion_preserves_every_distance() {
+        let g = ring_with_heavy_chord(120, 400);
+        let idx = WeightedIndexBuilder::new().build(&g).unwrap();
+        let d8 = WeightedDist8Index::from_weighted(&idx).expect("small weights: profitable");
+        for u in (0..120).step_by(7) {
+            for v in (0..120).step_by(11) {
+                assert_eq!(d8.distance(u, v), idx.distance(u, v), "pair ({u}, {v})");
+            }
+        }
+        // A ring of weight-9 edges with n=120 has eccentricities ~540;
+        // the ≥255 tail must be present and escaped, not truncated.
+        assert!(d8.escape_count() > 0, "expected some escaped entries");
+    }
+
+    #[test]
+    fn unprofitable_arenas_refuse_to_narrow() {
+        // Every real entry ≥ 255 → one 8-byte sidecar entry per 1-byte
+        // arena slot: worse than u32, so encode_dist8 must refuse.
+        let offsets = vec![0u32, 3];
+        let dists = vec![1000, 2000, WDist::MAX];
+        assert!(encode_dist8(&offsets, &dists).is_none());
+        // All-small arenas always narrow.
+        let dists = vec![1, 2, WDist::MAX];
+        let enc = encode_dist8(&offsets, &dists).unwrap();
+        assert_eq!(enc.dists8, vec![1, 2, DIST8_ESCAPE]);
+        assert!(enc.esc_pos.is_empty());
+    }
+
+    #[test]
+    fn sentinel_slots_never_enter_the_sidecar() {
+        let g = ring_with_heavy_chord(40, 300);
+        let idx = WeightedIndexBuilder::new().build(&g).unwrap();
+        let d8 = WeightedDist8Index::from_weighted(&idx).unwrap();
+        let offsets = d8.labels.offsets();
+        for v in 0..d8.num_vertices() {
+            let sentinel_pos = offsets[v + 1] - 1;
+            assert!(
+                d8.esc_pos.binary_search(&sentinel_pos).is_err(),
+                "sentinel of rank {v} leaked into the sidecar"
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-worker hot-pair answer cache.
+//!
+//! Repeated queries for the same few vertex pairs (hot landmarks,
+//! polling clients) re-run the label merge every time even though the
+//! served index is immutable between epochs. Each worker thread owns a
+//! small direct-mapped [`AnswerCache`] keyed by `(s, t)` and tagged
+//! with the epoch the answer was computed under: a hit must match the
+//! *current* snapshot's epoch, so a hot-swap (`UPDATE` publishing epoch
+//! `e+1`) implicitly invalidates every cached answer without any
+//! cross-thread coordination. The cache is worker-local and never
+//! shared — no locks, no false sharing, bounded memory
+//! ([`ANSWER_CACHE_SLOTS`] × 24 bytes per worker).
+//!
+//! Only `QUERY`/`BATCH` distance answers are cached (the wire `u64`,
+//! `u64::MAX` = unreachable); errors and `PATH`/`CONNECTED` responses
+//! are not. Correctness does not depend on hit rate: a stale-epoch or
+//! colliding entry is simply a miss and the query recomputes.
+
+/// Slots per worker cache. Power of two so the slot index is a mask.
+pub const ANSWER_CACHE_SLOTS: usize = 1024;
+
+#[derive(Clone, Copy)]
+struct Entry {
+    s: u32,
+    t: u32,
+    /// Epoch the answer was computed under; `u64::MAX` marks an empty
+    /// slot (epochs count up from 0 and can never reach it).
+    epoch: u64,
+    /// Wire-encoded distance (`u64::MAX` = unreachable).
+    dist: u64,
+}
+
+const EMPTY: Entry = Entry {
+    s: 0,
+    t: 0,
+    epoch: u64::MAX,
+    dist: 0,
+};
+
+/// Direct-mapped, epoch-tagged `(s, t) → distance` cache (see the
+/// module docs for the invalidation model).
+pub struct AnswerCache {
+    slots: Box<[Entry; ANSWER_CACHE_SLOTS]>,
+}
+
+impl Default for AnswerCache {
+    fn default() -> Self {
+        AnswerCache {
+            slots: Box::new([EMPTY; ANSWER_CACHE_SLOTS]),
+        }
+    }
+}
+
+/// splitmix64 finalizer — full-avalanche mix so nearby vertex ids do
+/// not collide into neighbouring slots.
+fn mix(s: u32, t: u32) -> u64 {
+    let mut z = ((s as u64) << 32 | t as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl AnswerCache {
+    fn slot(s: u32, t: u32) -> usize {
+        (mix(s, t) as usize) & (ANSWER_CACHE_SLOTS - 1)
+    }
+
+    /// The cached wire distance for `(s, t)` computed under `epoch`, or
+    /// `None` on a miss (empty slot, different pair, or older epoch).
+    pub fn get(&self, epoch: u64, s: u32, t: u32) -> Option<u64> {
+        let e = &self.slots[Self::slot(s, t)];
+        (e.epoch == epoch && e.s == s && e.t == t).then_some(e.dist)
+    }
+
+    /// Records `(s, t) → dist` as computed under `epoch`, evicting
+    /// whatever occupied the slot.
+    pub fn put(&mut self, epoch: u64, s: u32, t: u32, dist: u64) {
+        self.slots[Self::slot(s, t)] = Entry { s, t, epoch, dist };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_requires_matching_pair_and_epoch() {
+        let mut c = AnswerCache::default();
+        assert_eq!(c.get(0, 3, 7), None);
+        c.put(0, 3, 7, 42);
+        assert_eq!(c.get(0, 3, 7), Some(42));
+        // Asymmetric key: (t, s) is a different pair.
+        assert_eq!(c.get(0, 7, 3), None);
+        // A published epoch invalidates without any explicit flush.
+        assert_eq!(c.get(1, 3, 7), None);
+        c.put(1, 3, 7, 41);
+        assert_eq!(c.get(1, 3, 7), Some(41));
+    }
+
+    #[test]
+    fn unreachable_and_zero_are_cacheable_values() {
+        let mut c = AnswerCache::default();
+        c.put(5, 1, 2, u64::MAX);
+        c.put(5, 2, 2, 0);
+        assert_eq!(c.get(5, 1, 2), Some(u64::MAX));
+        assert_eq!(c.get(5, 2, 2), Some(0));
+    }
+
+    #[test]
+    fn colliding_pairs_evict_rather_than_corrupt() {
+        let mut c = AnswerCache::default();
+        // Find two pairs sharing a slot.
+        let a = (0u32, 1u32);
+        let mut collider = None;
+        'outer: for s in 0..256u32 {
+            for t in 0..256u32 {
+                if (s, t) != a && AnswerCache::slot(s, t) == AnswerCache::slot(a.0, a.1) {
+                    collider = Some((s, t));
+                    break 'outer;
+                }
+            }
+        }
+        let (b, bt) = collider.expect("65536 pairs over 1024 slots must collide");
+        c.put(0, a.0, a.1, 10);
+        c.put(0, b, bt, 20);
+        assert_eq!(c.get(0, b, bt), Some(20));
+        assert_eq!(c.get(0, a.0, a.1), None, "evicted, not corrupted");
+    }
+}

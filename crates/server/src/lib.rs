@@ -45,9 +45,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod metrics;
 pub mod protocol;
 
+use cache::AnswerCache;
 use metrics::{summarize, ServerSummary, WorkerMetrics};
 use pll_core::wal::{self, WalRecord, WalWriter};
 use pll_core::{fail, AnyIndex, DynamicIndex};
@@ -510,6 +512,10 @@ pub fn serve_dynamic(
             std::thread::Builder::new()
                 .name(format!("pll-serve-{worker_id}"))
                 .spawn(move || {
+                    // Worker-local hot-pair answer cache; epoch tags
+                    // invalidate it across UPDATE hot-swaps, so it can
+                    // safely outlive individual connections.
+                    let mut cache = AnswerCache::default();
                     loop {
                         // Block on the shared queue; a closed channel
                         // (listener gone) ends the worker. Recover the
@@ -530,6 +536,7 @@ pub fn serve_dynamic(
                                         stream,
                                         &metrics[worker_id],
                                         &shutdown,
+                                        &mut cache,
                                     );
                                 }));
                                 if caught.is_err() {
@@ -898,6 +905,7 @@ fn serve_connection(
     stream: TcpStream,
     metrics: &WorkerMetrics,
     shutdown: &AtomicBool,
+    cache: &mut AnswerCache,
 ) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     // A peer that stops draining its socket (dead, or deliberately slow)
@@ -920,7 +928,7 @@ fn serve_connection(
             }
         };
         let started = Instant::now();
-        let r = handle_request(shared, &frame, shutdown);
+        let r = handle_request(shared, &frame, shutdown, cache);
         if r.payload[0] != STATUS_OK {
             metrics.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -986,7 +994,12 @@ fn query_error(e: pll_core::PllError) -> Response {
 /// index. Every op except `UPDATE` runs on the snapshot alone; `UPDATE`
 /// takes the updater mutex, applies + flattens, and publishes the next
 /// epoch to the swap cell.
-fn handle_request(shared: &ServeShared, frame: &[u8], shutdown: &AtomicBool) -> Response {
+fn handle_request(
+    shared: &ServeShared,
+    frame: &[u8],
+    shutdown: &AtomicBool,
+    cache: &mut AnswerCache,
+) -> Response {
     let Some((&op, body)) = frame.split_first() else {
         return error_response(STATUS_BAD_REQUEST, "empty request frame");
     };
@@ -1004,15 +1017,21 @@ fn handle_request(shared: &ServeShared, frame: &[u8], shutdown: &AtomicBool) -> 
                 return error_response(STATUS_BAD_REQUEST, "QUERY body must be 8 bytes");
             }
             let (s, t) = pair(body);
-            match index.try_distance(s, t) {
-                Ok(d) => {
-                    let mut out = Vec::with_capacity(9);
-                    out.push(STATUS_OK);
-                    out.extend_from_slice(&d.unwrap_or(UNREACHABLE).to_le_bytes());
-                    ok_response(out, 1)
-                }
-                Err(e) => query_error(e),
-            }
+            let wire = match cache.get(snapshot.epoch, s, t) {
+                Some(hit) => hit,
+                None => match index.try_distance(s, t) {
+                    Ok(d) => {
+                        let wire = d.unwrap_or(UNREACHABLE);
+                        cache.put(snapshot.epoch, s, t, wire);
+                        wire
+                    }
+                    Err(e) => return query_error(e),
+                },
+            };
+            let mut out = Vec::with_capacity(9);
+            out.push(STATUS_OK);
+            out.extend_from_slice(&wire.to_le_bytes());
+            ok_response(out, 1)
         }
         OP_BATCH => {
             if body.len() < 4 {
@@ -1025,12 +1044,27 @@ fn handle_request(shared: &ServeShared, frame: &[u8], shutdown: &AtomicBool) -> 
             let mut out = Vec::with_capacity(5 + count * 8);
             out.push(STATUS_OK);
             out.extend_from_slice(&(count as u32).to_le_bytes());
-            for chunk in body[4..].chunks_exact(8) {
-                let (s, t) = pair(chunk);
-                match index.try_distance(s, t) {
-                    Ok(d) => out.extend_from_slice(&d.unwrap_or(UNREACHABLE).to_le_bytes()),
-                    Err(e) => return query_error(e),
+            let pairs = &body[4..];
+            for i in 0..count {
+                let (s, t) = pair(&pairs[i * 8..i * 8 + 8]);
+                // Overlap the next pair's label-fetch latency with this
+                // pair's merge; the hint costs nothing if it misses.
+                if i + 1 < count {
+                    let (ns, nt) = pair(&pairs[(i + 1) * 8..(i + 1) * 8 + 8]);
+                    index.prefetch_query(ns, nt);
                 }
+                let wire = match cache.get(snapshot.epoch, s, t) {
+                    Some(hit) => hit,
+                    None => match index.try_distance(s, t) {
+                        Ok(d) => {
+                            let wire = d.unwrap_or(UNREACHABLE);
+                            cache.put(snapshot.epoch, s, t, wire);
+                            wire
+                        }
+                        Err(e) => return query_error(e),
+                    },
+                };
+                out.extend_from_slice(&wire.to_le_bytes());
             }
             ok_response(out, count as u64)
         }

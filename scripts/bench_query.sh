@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Query-throughput benchmark: measures ns/query for the weighted index
+# across storage backends (owned / zero-copy / mmap when available) ×
+# merge kernels (scalar / branchless / unrolled) × distance-arena widths
+# (u32 / Dist8 u8), and writes BENCH_query.json at the repository root —
+# the query-side complement of scripts/bench_construction.sh. Every cell
+# answers the same pair sample and the harness asserts all answers
+# identical before writing the file.
+#
+# Usage:
+#   scripts/bench_query.sh [N] [ITERS] [OUT] [FEATURES]
+#     N        vertex count for the BA base graph (default 50000)
+#     ITERS    measured queries per matrix cell (default 200000)
+#     OUT      output JSON path (default BENCH_query.json)
+#     FEATURES extra cargo features, e.g. "mmap" to add the mmap backend
+#              rows (Linux only; default none)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+N="${1:-50000}"
+ITERS="${2:-200000}"
+OUT="${3:-BENCH_query.json}"
+FEATURES="${4:-}"
+
+FEATURE_ARGS=()
+if [ -n "$FEATURES" ]; then
+  FEATURE_ARGS=(--features "$FEATURES")
+fi
+
+cargo build --release -p pll-bench --bin bench_query "${FEATURE_ARGS[@]}"
+./target/release/bench_query --n "$N" --iters "$ITERS" --out "$OUT"
+echo "benchmark written to $OUT"

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Dead-link check for the markdown docs: every relative link target in
+# README.md, docs/*.md and the other top-level markdown files must exist
+# in the repository. External (scheme://) and intra-page (#anchor) links
+# are skipped; `path#anchor` links are checked for the path part.
+#
+# Usage: scripts/check_doc_links.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+failures=0
+files=$(ls ./*.md docs/*.md 2>/dev/null)
+
+for file in $files; do
+  dir=$(dirname "$file")
+  # Inline markdown links: capture the (...) target of [...](...).
+  targets=$(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/^\[[^]]*\](//; s/)$//' || true)
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      *://*|mailto:*) continue ;;   # external
+      '#'*) continue ;;             # same-page anchor
+    esac
+    path="${target%%#*}"            # strip a trailing anchor
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "dead link in $file: $target" >&2
+      failures=$((failures + 1))
+    fi
+  done <<< "$targets"
+done
+
+if [ "$failures" -gt 0 ]; then
+  echo "$failures dead link(s)" >&2
+  exit 1
+fi
+echo "all relative markdown links resolve"
