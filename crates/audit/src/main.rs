@@ -1,0 +1,87 @@
+//! CLI driver for the workspace invariant audit.
+//!
+//! ```text
+//! pll-audit [--root DIR] [--deny] [--json FILE]
+//! ```
+//!
+//! Prints rustc-style diagnostics for every finding; `--json` also writes
+//! the machine-readable report. `--deny` exits nonzero when any finding
+//! survives, which is how CI consumes it.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    deny: bool,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut json = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("--root needs a directory argument")?);
+            }
+            "--deny" => deny = true,
+            "--json" => {
+                json = Some(PathBuf::from(
+                    it.next().ok_or("--json needs a file argument")?,
+                ));
+            }
+            "--help" | "-h" => {
+                return Err("usage: pll-audit [--root DIR] [--deny] [--json FILE]".into());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(Args { root, deny, json })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match pll_audit::scan_tree(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pll-audit: cannot scan {}: {e}", args.root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &report.findings {
+        eprintln!("{f}\n");
+    }
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("pll-audit: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for w in &report.waivers {
+        eprintln!(
+            "note[waived]: {} at {}:{} — {}",
+            w.rule, w.path, w.line, w.reason
+        );
+    }
+    eprintln!(
+        "pll-audit: {} file(s) scanned, {} finding(s), {} waiver(s) in use",
+        report.files_scanned,
+        report.findings.len(),
+        report.waivers.len()
+    );
+    if args.deny && !report.is_clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -18,6 +18,9 @@
 //! derived deterministically from the same BA/R-MAT bases (seeded arc
 //! orientation and weights), so their trajectories are comparable across
 //! PRs too.
+//!
+//! All failures exit nonzero through a typed [`Fatal`] error instead of
+//! panicking (panic-hygiene audit).
 
 use pll_bench::{derive_digraph, derive_weighted, derive_weighted_digraph, reference_graphs, time};
 use pll_core::{
@@ -26,6 +29,29 @@ use pll_core::{
 };
 use pll_graph::CsrGraph;
 use std::io::Write;
+use std::process::ExitCode;
+
+/// A fatal harness failure: message plus exit code (2 = usage).
+struct Fatal {
+    message: String,
+    code: u8,
+}
+
+impl Fatal {
+    fn new(message: impl Into<String>) -> Fatal {
+        Fatal {
+            message: message.into(),
+            code: 1,
+        }
+    }
+
+    fn usage(message: impl Into<String>) -> Fatal {
+        Fatal {
+            message: message.into(),
+            code: 2,
+        }
+    }
+}
 
 struct Options {
     n: usize,
@@ -35,7 +61,13 @@ struct Options {
     variants: Vec<String>,
 }
 
-fn parse_args() -> Options {
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, Fatal> {
+    value
+        .parse()
+        .map_err(|_| Fatal::usage(format!("{flag} expects a number, got {value:?}")))
+}
+
+fn parse_args() -> Result<Options, Fatal> {
     let mut opts = Options {
         n: 100_000,
         threads: vec![1, 2, 4, 8],
@@ -46,27 +78,24 @@ fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
-        let value = |i: &mut usize| -> String {
+        let value = |i: &mut usize| -> Result<String, Fatal> {
             *i += 1;
             args.get(*i)
-                .unwrap_or_else(|| {
-                    eprintln!("missing value after {}", args[*i - 1]);
-                    std::process::exit(2);
-                })
-                .clone()
+                .cloned()
+                .ok_or_else(|| Fatal::usage(format!("missing value after {}", args[*i - 1])))
         };
         match args[i].as_str() {
-            "--n" => opts.n = value(&mut i).parse().expect("--n"),
+            "--n" => opts.n = parse_num("--n", &value(&mut i)?)?,
             "--threads" => {
-                opts.threads = value(&mut i)
+                opts.threads = value(&mut i)?
                     .split(',')
-                    .map(|s| s.trim().parse().expect("--threads"))
-                    .collect();
+                    .map(|s| parse_num("--threads", s.trim()))
+                    .collect::<Result<_, _>>()?;
             }
-            "--out" => opts.out = value(&mut i),
-            "--bp-roots" => opts.bp_roots = value(&mut i).parse().expect("--bp-roots"),
+            "--out" => opts.out = value(&mut i)?,
+            "--bp-roots" => opts.bp_roots = parse_num("--bp-roots", &value(&mut i)?)?,
             "--variants" => {
-                opts.variants = value(&mut i)
+                opts.variants = value(&mut i)?
                     .split(',')
                     .map(|s| s.trim().to_string())
                     .collect();
@@ -78,14 +107,11 @@ fn parse_args() -> Options {
                 );
                 std::process::exit(0);
             }
-            other => {
-                eprintln!("unknown option {other}");
-                std::process::exit(2);
-            }
+            other => return Err(Fatal::usage(format!("unknown option {other}"))),
         }
         i += 1;
     }
-    opts
+    Ok(opts)
 }
 
 /// A variant graph derived once per (variant, base graph) pair, so the
@@ -120,16 +146,16 @@ impl VariantGraph<'_> {
     }
 }
 
-fn prepare(variant: &str, g: &CsrGraph) -> VariantGraph<'static> {
+fn prepare(variant: &str, g: &CsrGraph) -> Result<VariantGraph<'static>, Fatal> {
     match variant {
-        "directed" => VariantGraph::Directed(derive_digraph(g, 7)),
-        "weighted" => VariantGraph::Weighted(derive_weighted(g, 7, 16)),
-        "weighted-directed" => VariantGraph::WeightedDirected(derive_weighted_digraph(g, 7, 16)),
-        "undirected" => unreachable!("undirected borrows the base graph"),
-        other => {
-            eprintln!("unknown variant {other}");
-            std::process::exit(2);
-        }
+        "directed" => Ok(VariantGraph::Directed(derive_digraph(g, 7))),
+        "weighted" => Ok(VariantGraph::Weighted(derive_weighted(g, 7, 16))),
+        "weighted-directed" => Ok(VariantGraph::WeightedDirected(derive_weighted_digraph(
+            g, 7, 16,
+        ))),
+        // "undirected" never reaches prepare(): the caller borrows the
+        // base graph directly.
+        other => Err(Fatal::usage(format!("unknown variant {other}"))),
     }
 }
 
@@ -139,35 +165,50 @@ fn build_once(
     vg: &VariantGraph<'_>,
     threads: usize,
     bp_roots: usize,
-) -> (f64, f64, ConstructionStats) {
+) -> Result<(f64, f64, ConstructionStats), Fatal> {
+    let fail = |e: pll_core::PllError| Fatal::new(format!("construction failed: {e}"));
     match vg {
         VariantGraph::Undirected(g) => {
             let builder = IndexBuilder::new()
                 .bit_parallel_roots(bp_roots)
                 .threads(threads);
-            let (index, seconds) = time(|| builder.build(g).expect("construction"));
-            (seconds, index.avg_label_size(), index.stats().clone())
+            let (index, seconds) = time(|| builder.build(g));
+            let index = index.map_err(fail)?;
+            Ok((seconds, index.avg_label_size(), index.stats().clone()))
         }
         VariantGraph::Directed(dg) => {
             let builder = DirectedIndexBuilder::new().threads(threads);
-            let (index, seconds) = time(|| builder.build(dg).expect("construction"));
-            (seconds, index.avg_label_size(), index.stats().clone())
+            let (index, seconds) = time(|| builder.build(dg));
+            let index = index.map_err(fail)?;
+            Ok((seconds, index.avg_label_size(), index.stats().clone()))
         }
         VariantGraph::Weighted(wg) => {
             let builder = WeightedIndexBuilder::new().threads(threads);
-            let (index, seconds) = time(|| builder.build(wg).expect("construction"));
-            (seconds, index.avg_label_size(), index.stats().clone())
+            let (index, seconds) = time(|| builder.build(wg));
+            let index = index.map_err(fail)?;
+            Ok((seconds, index.avg_label_size(), index.stats().clone()))
         }
         VariantGraph::WeightedDirected(wd) => {
             let builder = WeightedDirectedIndexBuilder::new().threads(threads);
-            let (index, seconds) = time(|| builder.build(wd).expect("construction"));
-            (seconds, index.avg_label_size(), index.stats().clone())
+            let (index, seconds) = time(|| builder.build(wd));
+            let index = index.map_err(fail)?;
+            Ok((seconds, index.avg_label_size(), index.stats().clone()))
         }
     }
 }
 
-fn main() {
-    let opts = parse_args();
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(f) => {
+            eprintln!("{}", f.message);
+            ExitCode::from(f.code)
+        }
+    }
+}
+
+fn run() -> Result<(), Fatal> {
+    let opts = parse_args()?;
 
     // The shared reference graphs (BA + R-MAT; see
     // `pll_bench::reference_graphs`). The variant graphs are derived from
@@ -199,11 +240,11 @@ fn main() {
             let vg = if variant == "undirected" {
                 VariantGraph::Undirected(g)
             } else {
-                prepare(variant, g)
+                prepare(variant, g)?
             };
             let mut runs: Vec<(usize, f64, f64, ConstructionStats)> = Vec::new();
             for &threads in &opts.threads {
-                let (seconds, labels_per_vertex, stats) = build_once(&vg, threads, opts.bp_roots);
+                let (seconds, labels_per_vertex, stats) = build_once(&vg, threads, opts.bp_roots)?;
                 eprintln!(
                     "{variant}/{name}: n={} m={} threads={threads} {seconds:.3}s \
                      (order {:.3}s, relabel {:.3}s, search {:.3}s, flatten {:.3}s; \
@@ -243,7 +284,10 @@ fn main() {
     }
 
     let json = format!("[\n{}\n]\n", records.join(",\n"));
-    let mut f = std::fs::File::create(&opts.out).expect("create output file");
-    f.write_all(json.as_bytes()).expect("write output file");
+    let mut f = std::fs::File::create(&opts.out)
+        .map_err(|e| Fatal::new(format!("cannot create {}: {e}", opts.out)))?;
+    f.write_all(json.as_bytes())
+        .map_err(|e| Fatal::new(format!("cannot write {}: {e}", opts.out)))?;
     eprintln!("wrote {}", opts.out);
+    Ok(())
 }

@@ -22,12 +22,38 @@
 //! the same pair sample, and a checksum over all answers is asserted
 //! identical across the whole matrix — a run that measured kernels that
 //! disagree refuses to write the file.
+//!
+//! All failures exit nonzero through a typed [`Fatal`] error instead of
+//! panicking (panic-hygiene audit).
 
 use pll_bench::{derive_weighted, random_pairs, time};
 use pll_core::v2::{open_v2_bytes, save_v2_weighted_index_with};
 use pll_core::{set_kernel, AnyIndex, KernelKind, WeightedDist8Index, WeightedIndexBuilder};
 use std::io::Write;
+use std::process::ExitCode;
 use std::sync::Arc;
+
+/// A fatal harness failure: message plus exit code (2 = usage).
+struct Fatal {
+    message: String,
+    code: u8,
+}
+
+impl Fatal {
+    fn new(message: impl Into<String>) -> Fatal {
+        Fatal {
+            message: message.into(),
+            code: 1,
+        }
+    }
+
+    fn usage(message: impl Into<String>) -> Fatal {
+        Fatal {
+            message: message.into(),
+            code: 2,
+        }
+    }
+}
 
 struct Options {
     n: usize,
@@ -36,7 +62,13 @@ struct Options {
     out: String,
 }
 
-fn parse_args() -> Options {
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, Fatal> {
+    value
+        .parse()
+        .map_err(|_| Fatal::usage(format!("{flag} expects a number, got {value:?}")))
+}
+
+fn parse_args() -> Result<Options, Fatal> {
     let mut opts = Options {
         n: 50_000,
         pairs: 1024,
@@ -46,32 +78,26 @@ fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
-        let value = |i: &mut usize| -> String {
+        let value = |i: &mut usize| -> Result<String, Fatal> {
             *i += 1;
             args.get(*i)
-                .unwrap_or_else(|| {
-                    eprintln!("missing value after {}", args[*i - 1]);
-                    std::process::exit(2);
-                })
-                .clone()
+                .cloned()
+                .ok_or_else(|| Fatal::usage(format!("missing value after {}", args[*i - 1])))
         };
         match args[i].as_str() {
-            "--n" => opts.n = value(&mut i).parse().expect("--n"),
-            "--pairs" => opts.pairs = value(&mut i).parse().expect("--pairs"),
-            "--iters" => opts.iters = value(&mut i).parse().expect("--iters"),
-            "--out" => opts.out = value(&mut i),
+            "--n" => opts.n = parse_num("--n", &value(&mut i)?)?,
+            "--pairs" => opts.pairs = parse_num("--pairs", &value(&mut i)?)?,
+            "--iters" => opts.iters = parse_num("--iters", &value(&mut i)?)?,
+            "--out" => opts.out = value(&mut i)?,
             "--help" | "-h" => {
                 eprintln!("bench_query [--n N] [--pairs P] [--iters I] [--out FILE]");
                 std::process::exit(0);
             }
-            other => {
-                eprintln!("unknown option {other}");
-                std::process::exit(2);
-            }
+            other => return Err(Fatal::usage(format!("unknown option {other}"))),
         }
         i += 1;
     }
-    opts
+    Ok(opts)
 }
 
 /// Measures one (index, kernel) cell: `iters` queries cycling through
@@ -99,9 +125,20 @@ fn measure(
     (seconds * 1e9 / iters as f64, checksum)
 }
 
-fn main() {
-    let opts = parse_args();
-    let g = pll_graph::gen::barabasi_albert(opts.n, 5, 42).expect("graph");
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(f) => {
+            eprintln!("{}", f.message);
+            ExitCode::from(f.code)
+        }
+    }
+}
+
+fn run() -> Result<(), Fatal> {
+    let opts = parse_args()?;
+    let g = pll_graph::gen::barabasi_albert(opts.n, 5, 42)
+        .map_err(|e| Fatal::new(format!("cannot generate the benchmark graph: {e}")))?;
     // Weights up to 256 push a minority of label distances past 255, so
     // the Dist8 cells exercise the escape sidecar, not just the narrow
     // fast path — while staying under the profitability bound.
@@ -109,11 +146,14 @@ fn main() {
     let pairs = random_pairs(opts.n, opts.pairs, 7);
 
     eprintln!("building weighted index on BA n={} ...", opts.n);
-    let owned_u32 = WeightedIndexBuilder::new().build(&wg).expect("build");
+    let owned_u32 = WeightedIndexBuilder::new()
+        .build(&wg)
+        .map_err(|e| Fatal::new(format!("index construction failed: {e}")))?;
     let labels_per_vertex = owned_u32.avg_label_size();
     let m = wg.num_edges();
-    let owned_u8 =
-        WeightedDist8Index::from_weighted(&owned_u32).expect("few escapes: Dist8 profitable");
+    let owned_u8 = WeightedDist8Index::from_weighted(&owned_u32).ok_or_else(|| {
+        Fatal::new("Dist8 narrowing unprofitable on the benchmark index (too many escapes)")
+    })?;
     let escapes = owned_u8.escape_count();
     eprintln!(
         "{labels_per_vertex:.1} labels/vertex, {escapes} escaped entries in the Dist8 sidecar"
@@ -121,13 +161,15 @@ fn main() {
 
     // The two v2 files: narrowed (FLAG_DIST8) and forced-u32.
     let dir = std::env::temp_dir().join(format!("pll-bench-query-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| Fatal::new(format!("cannot create {}: {e}", dir.display())))?;
     let mut files: Vec<(&str, std::path::PathBuf)> = Vec::new();
     for (dist, narrow) in [("u32", false), ("u8", true)] {
         let path = dir.join(format!("index-{dist}.pll2"));
-        let f = std::fs::File::create(&path).expect("create index file");
+        let f = std::fs::File::create(&path)
+            .map_err(|e| Fatal::new(format!("cannot create {}: {e}", path.display())))?;
         save_v2_weighted_index_with(&owned_u32, std::io::BufWriter::new(f), narrow)
-            .expect("save v2");
+            .map_err(|e| Fatal::new(format!("cannot save {}: {e}", path.display())))?;
         files.push((dist, path));
     }
 
@@ -136,18 +178,26 @@ fn main() {
         // "zero-copy": one read into an aligned heap buffer, queried in
         // place (what a registry-less `AlignedBytes::from_file` does
         // without the mmap feature).
-        let bytes = std::fs::read(path).expect("read index file");
-        let any =
-            open_v2_bytes(Arc::new(pll_core::AlignedBytes::from_bytes(&bytes))).expect("open v2");
+        let bytes = std::fs::read(path)
+            .map_err(|e| Fatal::new(format!("cannot read {}: {e}", path.display())))?;
+        let any = open_v2_bytes(Arc::new(pll_core::AlignedBytes::from_bytes(&bytes)))
+            .map_err(|e| Fatal::new(format!("cannot open {}: {e}", path.display())))?;
         match (*dist, &any) {
             ("u8", AnyIndex::WeightedDist8View(_)) | ("u32", AnyIndex::WeightedView(_)) => {}
-            _ => panic!("{dist} file opened to an unexpected variant"),
+            _ => {
+                return Err(Fatal::new(format!(
+                    "{dist} file opened to an unexpected variant"
+                )))
+            }
         }
         loaded.push(any);
     }
     #[cfg(feature = "mmap")]
     for (_dist, path) in &files {
-        loaded.push(AnyIndex::open(path).expect("mmap open"));
+        loaded.push(
+            AnyIndex::open(path)
+                .map_err(|e| Fatal::new(format!("cannot mmap {}: {e}", path.display())))?,
+        );
     }
 
     // backend × dist → a distance closure over an index kept alive above.
@@ -186,12 +236,17 @@ fn main() {
             // the equivalence suite in miniature, run on every bench.
             match reference {
                 None => reference = Some(checksum),
-                Some(r) => assert_eq!(
-                    r,
-                    checksum,
-                    "{backend}/{dist}/{} disagrees with the reference answers",
-                    kind.name()
-                ),
+                Some(r) => {
+                    if r != checksum {
+                        return Err(Fatal::new(format!(
+                            "{backend}/{dist}/{} disagrees with the reference answers \
+                             (checksum {checksum:#x}, expected {r:#x}); refusing to \
+                             write {}",
+                            kind.name(),
+                            opts.out
+                        )));
+                    }
+                }
             }
             eprintln!(
                 "{backend:>9}/{dist}/{:<10} {ns_per_query:8.1} ns/query",
@@ -210,10 +265,13 @@ fn main() {
     set_kernel(KernelKind::Branchless);
 
     let json = format!("[\n{}\n]\n", records.join(",\n"));
-    let mut f = std::fs::File::create(&opts.out).expect("create output file");
-    f.write_all(json.as_bytes()).expect("write output file");
+    let mut f = std::fs::File::create(&opts.out)
+        .map_err(|e| Fatal::new(format!("cannot create {}: {e}", opts.out)))?;
+    f.write_all(json.as_bytes())
+        .map_err(|e| Fatal::new(format!("cannot write {}: {e}", opts.out)))?;
     drop(cells);
     drop(loaded);
     let _ = std::fs::remove_dir_all(&dir);
     eprintln!("wrote {}", opts.out);
+    Ok(())
 }

@@ -33,12 +33,41 @@
 //! on the same pairs, and shut the server down. With `--updates` the
 //! final `INFO` epoch is printed (`epoch E0 -> E1`) so hot-swaps are
 //! observable — and assertable — from the client side.
+//!
+//! Every failure path returns a typed [`Fatal`] error (message + exit
+//! code) instead of panicking: a smoke run that hits a dead server or a
+//! bad pairs file reports *what* failed with a nonzero exit, not a
+//! panic backtrace (the panic-hygiene audit enforces this).
 
 use pll_server::protocol::{
     answers, Client, IndexInfo, ProtocolError, RetryClient, RetryPolicy, RetryStats, UpdateAck,
 };
 use std::io::{BufRead, Write};
+use std::process::ExitCode;
 use std::time::{Duration, Instant};
+
+/// A fatal run failure: the message printed to stderr and the process
+/// exit code (2 for usage errors, 1 for everything else).
+struct Fatal {
+    message: String,
+    code: u8,
+}
+
+impl Fatal {
+    fn new(message: impl Into<String>) -> Fatal {
+        Fatal {
+            message: message.into(),
+            code: 1,
+        }
+    }
+
+    fn usage(message: impl Into<String>) -> Fatal {
+        Fatal {
+            message: message.into(),
+            code: 2,
+        }
+    }
+}
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Op {
@@ -84,20 +113,20 @@ enum LoadClient {
 }
 
 impl LoadClient {
-    fn connect(addr: &str, retry: bool, wait: Duration, seed: u64) -> LoadClient {
+    fn connect(addr: &str, retry: bool, wait: Duration, seed: u64) -> Result<LoadClient, Fatal> {
         if retry {
             // RetryClient connects lazily; its backoff also covers the
             // server still starting up.
-            LoadClient::Retry(Box::new(RetryClient::new(
+            Ok(LoadClient::Retry(Box::new(RetryClient::new(
                 addr,
                 RetryPolicy {
                     max_attempts: 16,
                     seed,
                     ..RetryPolicy::default()
                 },
-            )))
+            ))))
         } else {
-            LoadClient::Plain(connect_with_retry(addr, wait))
+            Ok(LoadClient::Plain(connect_with_retry(addr, wait)?))
         }
     }
 
@@ -158,7 +187,14 @@ impl LoadClient {
     }
 }
 
-fn parse_args() -> Options {
+/// `value.parse()` with the flag name in the error instead of a panic.
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, Fatal> {
+    value
+        .parse()
+        .map_err(|_| Fatal::usage(format!("{flag} expects a number, got {value:?}")))
+}
+
+fn parse_args() -> Result<Options, Fatal> {
     let mut opts = Options {
         addr: String::new(),
         op: Op::Distance,
@@ -178,38 +214,36 @@ fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
-        let value = |i: &mut usize| -> String {
+        let value = |i: &mut usize| -> Result<String, Fatal> {
             *i += 1;
             args.get(*i)
-                .unwrap_or_else(|| {
-                    eprintln!("missing value after {}", args[*i - 1]);
-                    std::process::exit(2);
-                })
-                .clone()
+                .cloned()
+                .ok_or_else(|| Fatal::usage(format!("missing value after {}", args[*i - 1])))
         };
         match args[i].as_str() {
-            "--addr" => opts.addr = value(&mut i),
+            "--addr" => opts.addr = value(&mut i)?,
             "--op" => {
-                opts.op = match value(&mut i).as_str() {
+                opts.op = match value(&mut i)?.as_str() {
                     "distance" => Op::Distance,
                     "path" => Op::Path,
                     "connected" => Op::Connected,
                     other => {
-                        eprintln!("unknown --op {other} (distance|path|connected)");
-                        std::process::exit(2);
+                        return Err(Fatal::usage(format!(
+                            "unknown --op {other} (distance|path|connected)"
+                        )))
                     }
                 }
             }
-            "--queries" => opts.queries = value(&mut i).parse().expect("--queries"),
-            "--pairs" => opts.pairs_file = Some(value(&mut i)),
-            "--batch" => opts.batch = value(&mut i).parse().expect("--batch"),
-            "--connections" => opts.connections = value(&mut i).parse().expect("--connections"),
-            "--seed" => opts.seed = value(&mut i).parse().expect("--seed"),
-            "--updates" => opts.updates_file = Some(value(&mut i)),
-            "--update-batch" => opts.update_batch = value(&mut i).parse().expect("--update-batch"),
-            "--answers-out" => opts.answers_out = Some(value(&mut i)),
-            "--out" => opts.out = Some(value(&mut i)),
-            "--wait-secs" => opts.wait_secs = value(&mut i).parse().expect("--wait-secs"),
+            "--queries" => opts.queries = parse_num("--queries", &value(&mut i)?)?,
+            "--pairs" => opts.pairs_file = Some(value(&mut i)?),
+            "--batch" => opts.batch = parse_num("--batch", &value(&mut i)?)?,
+            "--connections" => opts.connections = parse_num("--connections", &value(&mut i)?)?,
+            "--seed" => opts.seed = parse_num("--seed", &value(&mut i)?)?,
+            "--updates" => opts.updates_file = Some(value(&mut i)?),
+            "--update-batch" => opts.update_batch = parse_num("--update-batch", &value(&mut i)?)?,
+            "--answers-out" => opts.answers_out = Some(value(&mut i)?),
+            "--out" => opts.out = Some(value(&mut i)?),
+            "--wait-secs" => opts.wait_secs = parse_num("--wait-secs", &value(&mut i)?)?,
             "--shutdown" => opts.shutdown = true,
             "--retry" => opts.retry = true,
             "--help" | "-h" => {
@@ -221,34 +255,32 @@ fn parse_args() -> Options {
                 );
                 std::process::exit(0);
             }
-            other => {
-                eprintln!("unknown option {other}");
-                std::process::exit(2);
-            }
+            other => return Err(Fatal::usage(format!("unknown option {other}"))),
         }
         i += 1;
     }
     if opts.addr.is_empty() {
-        eprintln!("--addr is required");
-        std::process::exit(2);
+        return Err(Fatal::usage("--addr is required"));
     }
     if opts.batch == 0 || opts.connections == 0 || opts.update_batch == 0 {
-        eprintln!("--batch, --connections and --update-batch must be positive");
-        std::process::exit(2);
+        return Err(Fatal::usage(
+            "--batch, --connections and --update-batch must be positive",
+        ));
     }
-    opts
+    Ok(opts)
 }
 
 /// Retries the first connection while the server is still starting.
-fn connect_with_retry(addr: &str, wait: Duration) -> Client {
+fn connect_with_retry(addr: &str, wait: Duration) -> Result<Client, Fatal> {
     let deadline = Instant::now() + wait;
     loop {
         match Client::connect(addr) {
-            Ok(c) => return c,
+            Ok(c) => return Ok(c),
             Err(e) => {
                 if Instant::now() >= deadline {
-                    eprintln!("cannot connect to {addr} after {wait:?}: {e}");
-                    std::process::exit(1);
+                    return Err(Fatal::new(format!(
+                        "cannot connect to {addr} after {wait:?}: {e}"
+                    )));
                 }
                 std::thread::sleep(Duration::from_millis(100));
             }
@@ -256,37 +288,31 @@ fn connect_with_retry(addr: &str, wait: Duration) -> Client {
     }
 }
 
-fn load_pairs(path: &str) -> Vec<(u32, u32)> {
-    let file = std::fs::File::open(path).unwrap_or_else(|e| {
-        eprintln!("cannot open {path}: {e}");
-        std::process::exit(1);
-    });
+fn load_pairs(path: &str) -> Result<Vec<(u32, u32)>, Fatal> {
+    let file =
+        std::fs::File::open(path).map_err(|e| Fatal::new(format!("cannot open {path}: {e}")))?;
     let mut pairs = Vec::new();
     for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
-        let line = line.expect("read pairs file");
+        let line = line.map_err(|e| Fatal::new(format!("cannot read {path}: {e}")))?;
         let body = line.split('#').next().unwrap_or("").trim();
         if body.is_empty() {
             continue;
         }
         let mut it = body.split_whitespace();
         match (it.next(), it.next(), it.next()) {
-            (Some(s), Some(t), None) => pairs.push((
-                s.parse().unwrap_or_else(|_| {
-                    eprintln!("{path}:{}: bad vertex {s:?}", lineno + 1);
-                    std::process::exit(1);
-                }),
-                t.parse().unwrap_or_else(|_| {
-                    eprintln!("{path}:{}: bad vertex {t:?}", lineno + 1);
-                    std::process::exit(1);
-                }),
-            )),
-            _ => {
-                eprintln!("{path}:{}: expected `s t`", lineno + 1);
-                std::process::exit(1);
+            (Some(s), Some(t), None) => {
+                let s = s
+                    .parse()
+                    .map_err(|_| Fatal::new(format!("{path}:{}: bad vertex {s:?}", lineno + 1)))?;
+                let t = t
+                    .parse()
+                    .map_err(|_| Fatal::new(format!("{path}:{}: bad vertex {t:?}", lineno + 1)))?;
+                pairs.push((s, t));
             }
+            _ => return Err(Fatal::new(format!("{path}:{}: expected `s t`", lineno + 1))),
         }
     }
-    pairs
+    Ok(pairs)
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -307,23 +333,20 @@ fn run_chunk(
     op: Op,
     batch: usize,
     chunk: &[(u32, u32)],
-) -> (Vec<u64>, Vec<String>, usize) {
+) -> Result<(Vec<u64>, Vec<String>, usize), Fatal> {
     let mut latencies_ns = Vec::new();
     let mut lines = Vec::with_capacity(chunk.len());
     let mut unreachable = 0usize;
-    let fail = |what: &str, e: pll_server::protocol::ProtocolError| -> ! {
-        eprintln!("{what} failed: {e}");
-        std::process::exit(1);
-    };
+    let fail = |what: &str, e: ProtocolError| Fatal::new(format!("{what} failed: {e}"));
     match op {
         Op::Distance => {
             for request in chunk.chunks(batch) {
                 let t0 = Instant::now();
                 let ds: Vec<Option<u64>> = if batch == 1 {
                     let (s, t) = request[0];
-                    vec![client.query(s, t).unwrap_or_else(|e| fail("query", e))]
+                    vec![client.query(s, t).map_err(|e| fail("query", e))?]
                 } else {
-                    client.batch(request).unwrap_or_else(|e| fail("batch", e))
+                    client.batch(request).map_err(|e| fail("batch", e))?
                 };
                 latencies_ns.push(t0.elapsed().as_nanos() as u64);
                 for (&(s, t), &d) in request.iter().zip(&ds) {
@@ -335,7 +358,7 @@ fn run_chunk(
         Op::Path => {
             for &(s, t) in chunk {
                 let t0 = Instant::now();
-                let p = client.path(s, t).unwrap_or_else(|e| fail("path", e));
+                let p = client.path(s, t).map_err(|e| fail("path", e))?;
                 latencies_ns.push(t0.elapsed().as_nanos() as u64);
                 unreachable += usize::from(p.is_none());
                 lines.push(answers::path_line(s, t, p.as_deref()));
@@ -344,16 +367,14 @@ fn run_chunk(
         Op::Connected => {
             for &(s, t) in chunk {
                 let t0 = Instant::now();
-                let c = client
-                    .connected(s, t)
-                    .unwrap_or_else(|e| fail("connected", e));
+                let c = client.connected(s, t).map_err(|e| fail("connected", e))?;
                 latencies_ns.push(t0.elapsed().as_nanos() as u64);
                 unreachable += usize::from(!c);
                 lines.push(answers::connected_line(s, t, c));
             }
         }
     }
-    (latencies_ns, lines, unreachable)
+    Ok((latencies_ns, lines, unreachable))
 }
 
 /// One query worker's results: request latencies, formatted answers,
@@ -369,16 +390,25 @@ struct UpdateOutcome {
     retry: RetryStats,
 }
 
-fn main() {
-    let opts = parse_args();
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(f) => {
+            eprintln!("{}", f.message);
+            ExitCode::from(f.code)
+        }
+    }
+}
+
+fn run() -> Result<(), Fatal> {
+    let opts = parse_args()?;
 
     // One probe connection: waits for the server, fetches metadata.
     let wait = Duration::from_secs(opts.wait_secs);
-    let mut probe = LoadClient::connect(&opts.addr, opts.retry, wait, opts.seed ^ 0x70b3);
-    let info = probe.info().unwrap_or_else(|e| {
-        eprintln!("INFO failed: {e}");
-        std::process::exit(1);
-    });
+    let mut probe = LoadClient::connect(&opts.addr, opts.retry, wait, opts.seed ^ 0x70b3)?;
+    let info = probe
+        .info()
+        .map_err(|e| Fatal::new(format!("INFO failed: {e}")))?;
     eprintln!(
         "server at {}: {} vertices, format code {}, file format v{}, epoch {}, updates {}",
         opts.addr,
@@ -397,21 +427,21 @@ fn main() {
     let updates: Vec<(u32, u32)> = match &opts.updates_file {
         Some(path) => {
             if !info.dynamic {
-                eprintln!("--updates given but the server has UPDATE disabled (serve --graph)");
-                std::process::exit(1);
+                return Err(Fatal::new(
+                    "--updates given but the server has UPDATE disabled (serve --graph)",
+                ));
             }
-            load_pairs(path)
+            load_pairs(path)?
         }
         None => Vec::new(),
     };
 
     let pairs: Vec<(u32, u32)> = match &opts.pairs_file {
-        Some(path) => load_pairs(path),
+        Some(path) => load_pairs(path)?,
         None => {
             let n = info.num_vertices;
             if n == 0 {
-                eprintln!("served index is empty; nothing to query");
-                std::process::exit(1);
+                return Err(Fatal::new("served index is empty; nothing to query"));
             }
             let mut rng = pll_graph::Xoshiro256pp::seed_from_u64(opts.seed);
             (0..opts.queries)
@@ -420,8 +450,7 @@ fn main() {
         }
     };
     if pairs.is_empty() {
-        eprintln!("no pairs to send");
-        std::process::exit(1);
+        return Err(Fatal::new("no pairs to send"));
     }
 
     // Contiguous chunk per connection so answers reassemble in pair
@@ -430,7 +459,7 @@ fn main() {
     let chunk_len = pairs.len().div_ceil(connections);
     let started = Instant::now();
     let (results, update_outcome): (Vec<ChunkResult>, Option<UpdateOutcome>) =
-        std::thread::scope(|scope| {
+        std::thread::scope(|scope| -> Result<_, Fatal> {
             // The updater runs concurrently with the query load — this
             // is what makes --updates an update-*mix* workload: every
             // applied batch flattens and hot-swaps the served index
@@ -441,8 +470,8 @@ fn main() {
                 let updates = &updates;
                 let retry = opts.retry;
                 let seed = opts.seed;
-                scope.spawn(move || {
-                    let mut client = LoadClient::connect(addr, retry, wait, seed ^ 0x0bad);
+                scope.spawn(move || -> Result<UpdateOutcome, Fatal> {
+                    let mut client = LoadClient::connect(addr, retry, wait, seed ^ 0x0bad)?;
                     let mut outcome = UpdateOutcome {
                         applied: 0,
                         skipped: 0,
@@ -452,17 +481,16 @@ fn main() {
                     };
                     for chunk in updates.chunks(update_batch) {
                         let t0 = Instant::now();
-                        let ack = client.update(chunk).unwrap_or_else(|e| {
-                            eprintln!("update failed: {e}");
-                            std::process::exit(1);
-                        });
+                        let ack = client
+                            .update(chunk)
+                            .map_err(|e| Fatal::new(format!("update failed: {e}")))?;
                         outcome.latencies_ns.push(t0.elapsed().as_nanos() as u64);
                         outcome.applied += u64::from(ack.applied);
                         outcome.skipped += u64::from(ack.skipped);
                         outcome.batches += 1;
                     }
                     outcome.retry = client.stats();
-                    outcome
+                    Ok(outcome)
                 })
             });
             let mut joins = Vec::new();
@@ -474,27 +502,32 @@ fn main() {
                 // Distinct backoff seed per worker so concurrent retries
                 // desynchronise instead of thundering back in lockstep.
                 let seed = opts.seed ^ ((worker as u64 + 1) * 0x9e37_79b9);
-                joins.push(scope.spawn(move || {
+                joins.push(scope.spawn(move || -> Result<ChunkResult, Fatal> {
                     let mut client = if retry {
-                        LoadClient::connect(addr, true, wait, seed)
+                        LoadClient::connect(addr, true, wait, seed)?
                     } else {
-                        LoadClient::Plain(Client::connect(addr).unwrap_or_else(|e| {
-                            eprintln!("worker connect failed: {e}");
-                            std::process::exit(1);
-                        }))
+                        LoadClient::Plain(
+                            Client::connect(addr)
+                                .map_err(|e| Fatal::new(format!("worker connect failed: {e}")))?,
+                        )
                     };
-                    let (lat, ans, unr) = run_chunk(&mut client, op, batch, chunk);
-                    (lat, ans, unr, client.stats())
+                    let (lat, ans, unr) = run_chunk(&mut client, op, batch, chunk)?;
+                    Ok((lat, ans, unr, client.stats()))
                 }));
             }
-            (
-                joins
-                    .into_iter()
-                    .map(|j| j.join().expect("worker"))
-                    .collect(),
-                updater.map(|j| j.join().expect("updater")),
-            )
-        });
+            let mut results = Vec::with_capacity(joins.len());
+            for j in joins {
+                results.push(
+                    j.join()
+                        .map_err(|_| Fatal::new("query worker panicked"))??,
+                );
+            }
+            let update_outcome = match updater {
+                Some(j) => Some(j.join().map_err(|_| Fatal::new("updater panicked"))??),
+                None => None,
+            };
+            Ok((results, update_outcome))
+        })?;
     let elapsed = started.elapsed().as_secs_f64();
 
     let mut latencies: Vec<u64> = Vec::new();
@@ -551,7 +584,7 @@ fn main() {
     // Re-read the epoch after the load so hot-swaps are observable (and
     // grep-able by the smoke scripts) from the client side.
     let epoch_end = {
-        let mut probe = LoadClient::connect(&opts.addr, opts.retry, wait, opts.seed ^ 0xe90c);
+        let mut probe = LoadClient::connect(&opts.addr, opts.retry, wait, opts.seed ^ 0xe90c)?;
         probe.info().map(|i| i.epoch).unwrap_or(epoch_start)
     };
     eprintln!("epoch {epoch_start} -> {epoch_end}");
@@ -594,14 +627,14 @@ fn main() {
     };
 
     if let Some(path) = &opts.answers_out {
-        let mut out = std::io::BufWriter::new(std::fs::File::create(path).unwrap_or_else(|e| {
-            eprintln!("cannot create {path}: {e}");
-            std::process::exit(1);
-        }));
+        let file = std::fs::File::create(path)
+            .map_err(|e| Fatal::new(format!("cannot create {path}: {e}")))?;
+        let mut out = std::io::BufWriter::new(file);
         for line in &answers {
-            writeln!(out, "{line}").expect("write answers");
+            writeln!(out, "{line}").map_err(|e| Fatal::new(format!("cannot write {path}: {e}")))?;
         }
-        out.flush().expect("flush answers");
+        out.flush()
+            .map_err(|e| Fatal::new(format!("cannot write {path}: {e}")))?;
         eprintln!("answers written to {path}");
     }
 
@@ -633,21 +666,16 @@ fn main() {
             latencies.len(),
             opts.batch,
         );
-        std::fs::write(path, json).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
+        std::fs::write(path, json).map_err(|e| Fatal::new(format!("cannot write {path}: {e}")))?;
         eprintln!("report written to {path}");
     }
 
     if opts.shutdown {
-        let mut control = LoadClient::connect(&opts.addr, opts.retry, wait, opts.seed ^ 0xd1e);
-        match control.shutdown_server() {
-            Ok(()) => eprintln!("server shutdown requested"),
-            Err(e) => {
-                eprintln!("shutdown failed: {e}");
-                std::process::exit(1);
-            }
-        }
+        let mut control = LoadClient::connect(&opts.addr, opts.retry, wait, opts.seed ^ 0xd1e)?;
+        control
+            .shutdown_server()
+            .map_err(|e| Fatal::new(format!("shutdown failed: {e}")))?;
+        eprintln!("server shutdown requested");
     }
+    Ok(())
 }

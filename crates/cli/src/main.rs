@@ -31,6 +31,10 @@
 //! (e.g. `serve_load --shutdown`), then prints the per-worker
 //! QPS/latency summary.
 
+// The CLI is pure orchestration — all unsafe lives behind pll-core's
+// audited storage/kernel modules (`pll-audit` rule unsafe-confinement).
+#![forbid(unsafe_code)]
+
 use pll_core::{
     dynamic::DynamicIndex, v2, AnyIndex, ConstructionStats, DirectedIndexBuilder, IndexBuilder,
     IndexFormat, OrderingStrategy, WeightedDirectedIndexBuilder, WeightedIndexBuilder,

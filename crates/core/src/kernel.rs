@@ -98,6 +98,10 @@ fn decode(raw: u8) -> KernelKind {
 /// degrades to the default rather than a crash).
 #[inline]
 pub fn active_kernel() -> KernelKind {
+    // ORDERING: Relaxed — a one-byte kernel selector with no data
+    // published through it; racing first-readers may both consult the
+    // env var but store the same value, and any interleaving is a
+    // valid kernel choice.
     let raw = ACTIVE_KERNEL.load(Ordering::Relaxed);
     if raw != KERNEL_UNSET {
         return decode(raw);
@@ -106,6 +110,8 @@ pub fn active_kernel() -> KernelKind {
         .ok()
         .and_then(|name| KernelKind::from_name(&name))
         .unwrap_or(KernelKind::Branchless);
+    // ORDERING: Relaxed — see the load above; idempotent publication
+    // of a plain byte.
     ACTIVE_KERNEL.store(kind as u8, Ordering::Relaxed);
     kind
 }
@@ -113,6 +119,8 @@ pub fn active_kernel() -> KernelKind {
 /// Selects the process-wide query kernel (tests and benches; servers use
 /// `PLL_KERNEL`).
 pub fn set_kernel(kind: KernelKind) {
+    // ORDERING: Relaxed — same selector-byte discipline as
+    // `active_kernel`.
     ACTIVE_KERNEL.store(kind as u8, Ordering::Relaxed);
 }
 

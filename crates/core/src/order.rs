@@ -310,6 +310,8 @@ fn closeness_totals(g: &CsrGraph, sources: &[Vertex], threads: usize) -> Vec<u64
                     let mut engine = BfsEngine::new(n);
                     let mut local = vec![0u64; n];
                     loop {
+                        // ORDERING: Relaxed — work-stealing cursor; the
+                        // scope join orders the per-thread accumulators.
                         let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= sources.len() {
                             break;

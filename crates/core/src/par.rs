@@ -265,6 +265,9 @@ pub fn run_batched<S: PrunedSearch>(
                     scope.spawn(move || {
                         let mut out = Vec::new();
                         loop {
+                            // ORDERING: Relaxed — work-stealing cursor;
+                            // fetch_add is already atomic, and the scope
+                            // join below orders the results.
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= batch.len() {
                                 break;
@@ -601,6 +604,8 @@ pub(crate) fn build_parallel(
                         let mut scratch = BpScratch::new(n);
                         let mut out = Vec::new();
                         loop {
+                            // ORDERING: Relaxed — work-stealing cursor,
+                            // as above; scope join orders the results.
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= specs.len() {
                                 break;

@@ -91,7 +91,7 @@ impl AlignedBytes {
     /// Copies `bytes` into a fresh aligned buffer (one allocation).
     pub fn from_bytes(bytes: &[u8]) -> AlignedBytes {
         let mut words = vec![0u64; bytes.len().div_ceil(8)];
-        // Safety: u64 -> u8 view of the same allocation; the byte length
+        // SAFETY: u64 -> u8 view of the same allocation; the byte length
         // never exceeds the word capacity.
         let dst =
             unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), bytes.len()) };
@@ -121,7 +121,7 @@ impl AlignedBytes {
             }
         }
         let mut words = vec![0u64; len.div_ceil(8)];
-        // Safety: as in `from_bytes`.
+        // SAFETY: as in `from_bytes`.
         let dst = unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), len) };
         std::io::Read::read_exact(&mut file, dst)?;
         Ok(AlignedBytes {
@@ -147,7 +147,7 @@ impl AlignedBytes {
     pub fn as_bytes(&self) -> &[u8] {
         match &self.inner {
             Inner::Heap { words, len } => {
-                // Safety: u64 -> u8 view of the same allocation, len is
+                // SAFETY: u64 -> u8 view of the same allocation, len is
                 // within the allocation by construction.
                 unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), *len) }
             }
@@ -195,7 +195,7 @@ mod mmap_linux {
         len: usize,
     }
 
-    // Safety: the mapping is immutable (PROT_READ, MAP_PRIVATE) for its
+    // SAFETY: the mapping is immutable (PROT_READ, MAP_PRIVATE) for its
     // whole lifetime, so shared references from any thread are sound.
     unsafe impl Send for Mapping {}
     unsafe impl Sync for Mapping {}
@@ -203,7 +203,7 @@ mod mmap_linux {
     impl Mapping {
         pub fn map(file: &std::fs::File, len: usize) -> Result<Mapping> {
             debug_assert!(len > 0, "mmap of an empty file is invalid");
-            // Safety: fd is valid for the duration of the call; a failed
+            // SAFETY: fd is valid for the duration of the call; a failed
             // map returns MAP_FAILED which we check before use.
             let ptr = unsafe {
                 mmap(
@@ -229,14 +229,14 @@ mod mmap_linux {
         }
 
         pub fn as_bytes(&self) -> &[u8] {
-            // Safety: ptr/len describe a live PROT_READ mapping.
+            // SAFETY: ptr/len describe a live PROT_READ mapping.
             unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
         }
     }
 
     impl Drop for Mapping {
         fn drop(&mut self) {
-            // Safety: unmapping the exact region returned by mmap.
+            // SAFETY: unmapping the exact region returned by mmap.
             unsafe {
                 munmap(self.ptr.cast_mut().cast(), self.len);
             }
@@ -317,7 +317,7 @@ impl<T: Pod> SectionSlice<T> {
     /// The section as a typed slice — a pointer cast, zero work.
     #[inline]
     pub fn as_slice(&self) -> &[T] {
-        // Safety: `new` checked that [byte_offset, byte_offset + len * SIZE)
+        // SAFETY: `new` checked that [byte_offset, byte_offset + len * SIZE)
         // is in bounds and `T`-aligned; `T: Pod` guarantees every bit
         // pattern is a valid `T`; the Arc keeps the buffer alive for the
         // returned borrow's lifetime (tied to &self).

@@ -332,11 +332,17 @@ impl ServerHandle {
     /// Requests a graceful shutdown (same effect as a client sending
     /// [`OP_SHUTDOWN`]).
     pub fn shutdown(&self) {
+        // ORDERING: SeqCst — the shutdown flag is a cross-thread control
+        // edge (listener + every worker poll it); sequential consistency
+        // keeps it totally ordered against the epoch swaps and makes the
+        // "no frame after shutdown observed" reasoning trivial. It is
+        // stored once per server lifetime, so strength costs nothing.
         self.shutdown.store(true, Ordering::SeqCst);
     }
 
     /// Whether shutdown has been requested.
     pub fn is_shutting_down(&self) -> bool {
+        // ORDERING: SeqCst — pairs with the store in `shutdown()` above.
         self.shutdown.load(Ordering::SeqCst)
     }
 
@@ -376,6 +382,9 @@ impl ServerHandle {
             &self.worker_metrics,
             self.started.elapsed().as_secs_f64(),
             self.shared.cell.load().epoch,
+            // ORDERING: Relaxed — sheds/panics are plain counters; the
+            // thread joins above are the happens-before edge that makes
+            // every worker's final increment visible here.
             self.shared.sheds.load(Ordering::Relaxed),
             self.shared.panics.load(Ordering::Relaxed) + escaped_panics,
         )
@@ -540,9 +549,16 @@ pub fn serve_dynamic(
                                     );
                                 }));
                                 if caught.is_err() {
+                                    // ORDERING: Relaxed — monotonic
+                                    // counters, read either by this same
+                                    // worker or after join() in
+                                    // summarize(); no data is published
+                                    // through them.
                                     shared.panics.fetch_add(1, Ordering::Relaxed);
                                     metrics[worker_id].errors.fetch_add(1, Ordering::Relaxed);
                                 }
+                                // ORDERING: Relaxed — same counter
+                                // discipline as above.
                                 metrics[worker_id]
                                     .connections
                                     .fetch_add(1, Ordering::Relaxed);
@@ -550,8 +566,7 @@ pub fn serve_dynamic(
                             Err(_) => break,
                         }
                     }
-                })
-                .expect("spawn worker"),
+                })?,
         );
     }
 
@@ -562,6 +577,9 @@ pub fn serve_dynamic(
             .name("pll-serve-accept".into())
             .spawn(move || {
                 loop {
+                    // ORDERING: SeqCst — pairs with ServerHandle::shutdown
+                    // and the OP_SHUTDOWN handler; the accept loop must
+                    // observe the flag on its next poll tick.
                     if shutdown.load(Ordering::SeqCst) {
                         break;
                     }
@@ -575,6 +593,9 @@ pub fn serve_dynamic(
                                 Ok(()) => {}
                                 Err(mpsc::TrySendError::Full(stream)) => {
                                     shed_busy(stream);
+                                    // ORDERING: Relaxed — monotonic shed
+                                    // counter; join() in summarize() is
+                                    // the synchronizing read.
                                     shared.sheds.fetch_add(1, Ordering::Relaxed);
                                 }
                                 Err(mpsc::TrySendError::Disconnected(_)) => break,
@@ -588,8 +609,7 @@ pub fn serve_dynamic(
                 }
                 // Dropping the sender ends every idle worker.
                 drop(tx);
-            })
-            .expect("spawn listener")
+            })?
     };
 
     Ok(ServerHandle {
@@ -871,6 +891,8 @@ fn read_frame_shutdown_aware(
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
+                // ORDERING: SeqCst — pairs with ServerHandle::shutdown's
+                // store; the idle read loop must observe shutdown promptly.
                 if shutdown.load(Ordering::SeqCst) {
                     return Ok(None);
                 }
@@ -912,6 +934,10 @@ fn serve_connection(
     // must not pin this worker forever in a blocking write.
     let _ = stream.set_write_timeout(Some(shared.write_timeout));
     let Ok(read_half) = stream.try_clone() else {
+        // ORDERING: Relaxed — per-worker monotonic counters throughout
+        // this connection loop; summarize() reads them after join(), and
+        // the thread join is the synchronizing edge. (Covers every
+        // errors/updates fetch_add below.)
         metrics.errors.fetch_add(1, Ordering::Relaxed);
         return;
     };
@@ -923,12 +949,14 @@ fn serve_connection(
             Ok(Some(frame)) => frame,
             Ok(None) => break, // clean EOF or shutdown while idle
             Err(_) => {
+                // ORDERING: Relaxed — counter (see above).
                 metrics.errors.fetch_add(1, Ordering::Relaxed);
                 break;
             }
         };
         let started = Instant::now();
         let r = handle_request(shared, &frame, shutdown, cache);
+        // ORDERING: Relaxed — counters (see above).
         if r.payload[0] != STATUS_OK {
             metrics.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -937,6 +965,7 @@ fn serve_connection(
         }
         if write_frame(&mut writer, &r.payload).is_err() {
             // Includes the write timeout: the peer is dead or jammed.
+            // ORDERING: Relaxed — counter (see above).
             metrics.errors.fetch_add(1, Ordering::Relaxed);
             break;
         }
@@ -1005,10 +1034,13 @@ fn handle_request(
     };
     let snapshot = shared.cell.load();
     let index = &*snapshot.index;
+    // Every caller has already validated the body length, so plain
+    // indexing (bounds-checked, but never out of bounds here) replaces
+    // the `try_into().expect(…)` idiom the panic-hygiene audit forbids.
     let pair = |body: &[u8]| -> (u32, u32) {
         (
-            u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")),
-            u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")),
+            u32::from_le_bytes([body[0], body[1], body[2], body[3]]),
+            u32::from_le_bytes([body[4], body[5], body[6], body[7]]),
         )
     };
     match op {
@@ -1037,7 +1069,7 @@ fn handle_request(
             if body.len() < 4 {
                 return error_response(STATUS_BAD_REQUEST, "BATCH body too short");
             }
-            let count = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")) as usize;
+            let count = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
             if count > MAX_BATCH || body.len() != 4 + count * 8 {
                 return error_response(STATUS_BAD_REQUEST, "BATCH count disagrees with body");
             }
@@ -1101,7 +1133,7 @@ fn handle_request(
             if body.len() < 4 {
                 return error_response(STATUS_BAD_REQUEST, "UPDATE body too short");
             }
-            let count = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes")) as usize;
+            let count = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
             if count > MAX_BATCH || body.len() != 4 + count * 8 {
                 return error_response(STATUS_BAD_REQUEST, "UPDATE count disagrees with body");
             }
@@ -1239,6 +1271,9 @@ fn handle_request(
             ok_response(out, 0)
         }
         OP_SHUTDOWN => {
+            // ORDERING: SeqCst — same control edge as
+            // ServerHandle::shutdown; every worker and the accept loop
+            // must agree the flag flipped before the OK frame lands.
             shutdown.store(true, Ordering::SeqCst);
             Response {
                 payload: vec![STATUS_OK],

@@ -44,6 +44,10 @@ impl WorkerMetrics {
     /// Records one serviced request of `nanos` wall time covering
     /// `queries` distance answers.
     pub fn record_request(&self, nanos: u64, queries: u64) {
+        // ORDERING: Relaxed — each worker increments only its own
+        // counters on the hot path; nothing is published through them,
+        // and summarize() only reads after joining the worker threads
+        // (the join is the happens-before edge).
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.queries.fetch_add(queries, Ordering::Relaxed);
         self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
@@ -114,6 +118,9 @@ pub fn summarize(
     let mut merged = [0u64; BUCKETS];
     let mut per_worker = Vec::with_capacity(workers.len());
     let (mut queries, mut requests, mut errors, mut updates) = (0u64, 0u64, 0u64, 0u64);
+    // ORDERING: Relaxed throughout this loop — the caller joins every
+    // worker thread before summarizing, so each final increment is
+    // already visible; these loads need no ordering of their own.
     for w in workers {
         let q = w.queries.load(Ordering::Relaxed);
         let r = w.requests.load(Ordering::Relaxed);
@@ -124,6 +131,7 @@ pub fn summarize(
         errors += e;
         updates += u;
         for (m, b) in merged.iter_mut().zip(&w.latency) {
+            // ORDERING: Relaxed — same join-synchronized read as above.
             *m += b.load(Ordering::Relaxed);
         }
         per_worker.push(WorkerSummary {
@@ -131,6 +139,7 @@ pub fn summarize(
             requests: r,
             errors: e,
             updates: u,
+            // ORDERING: Relaxed — same join-synchronized read as above.
             connections: w.connections.load(Ordering::Relaxed),
             busy_seconds: w.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9,
         });

@@ -233,6 +233,20 @@ pub struct Client {
     stream: TcpStream,
 }
 
+/// Little-endian u32 at `off`. Callers validate the body length first;
+/// indexing keeps response parsing free of `try_into().expect(…)`, which
+/// the panic-hygiene audit bans from frame-handling paths.
+fn read_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]])
+}
+
+/// Little-endian u64 at `off` (same contract as [`read_u32`]).
+fn read_u64(b: &[u8], off: usize) -> u64 {
+    let lo = read_u32(b, off) as u64;
+    let hi = read_u32(b, off + 4) as u64;
+    lo | (hi << 32)
+}
+
 impl Client {
     /// Connects to a running server.
     pub fn connect(addr: &str) -> Result<Client, ProtocolError> {
@@ -270,7 +284,7 @@ impl Client {
                 body.len()
             )));
         }
-        let d = u64::from_le_bytes(body.try_into().expect("8 bytes"));
+        let d = read_u64(&body, 0);
         Ok((d != UNREACHABLE).then_some(d))
     }
 
@@ -294,7 +308,7 @@ impl Client {
         if body.len() < 4 {
             return Err(ProtocolError::Malformed("short BATCH response".into()));
         }
-        let count = u32::from_le_bytes(body[..4].try_into().expect("4 bytes")) as usize;
+        let count = read_u32(&body, 0) as usize;
         if count != pairs.len() || body.len() != 4 + count * 8 {
             return Err(ProtocolError::Malformed(format!(
                 "BATCH response of {} bytes for {count} answers",
@@ -304,7 +318,7 @@ impl Client {
         Ok(body[4..]
             .chunks_exact(8)
             .map(|c| {
-                let d = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+                let d = read_u64(c, 0);
                 (d != UNREACHABLE).then_some(d)
             })
             .collect())
@@ -320,10 +334,10 @@ impl Client {
             )));
         }
         Ok(IndexInfo {
-            num_vertices: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
+            num_vertices: read_u64(&body, 0),
             format: body[8],
             format_version: body[9],
-            epoch: u64::from_le_bytes(body[10..18].try_into().expect("8 bytes")),
+            epoch: read_u64(&body, 10),
             dynamic: body[18] != 0,
         })
     }
@@ -340,7 +354,7 @@ impl Client {
         if body.len() < 4 {
             return Err(ProtocolError::Malformed("short PATH response".into()));
         }
-        let count = u32::from_le_bytes(body[..4].try_into().expect("4 bytes")) as usize;
+        let count = read_u32(&body, 0) as usize;
         if body.len() != 4 + count * 4 {
             return Err(ProtocolError::Malformed(format!(
                 "PATH response of {} bytes for {count} vertices",
@@ -351,10 +365,7 @@ impl Client {
             return Ok(None); // reachable paths always have ≥ 1 vertex
         }
         Ok(Some(
-            body[4..]
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-                .collect(),
+            body[4..].chunks_exact(4).map(|c| read_u32(c, 0)).collect(),
         ))
     }
 
@@ -398,9 +409,9 @@ impl Client {
             )));
         }
         Ok(UpdateAck {
-            epoch: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
-            applied: u32::from_le_bytes(body[8..12].try_into().expect("4 bytes")),
-            skipped: u32::from_le_bytes(body[12..16].try_into().expect("4 bytes")),
+            epoch: read_u64(&body, 0),
+            applied: read_u32(&body, 8),
+            skipped: read_u32(&body, 12),
         })
     }
 

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Sanitizer lane: run the concurrency-heavy tests — the SwapCell
+# hot-swap hammer, the worker pool under concurrent clients, and the WAL
+# writer/replay suite — under AddressSanitizer or ThreadSanitizer.
+#
+#   scripts/sanitizer_lane.sh asan     # heap errors, use-after-free
+#   scripts/sanitizer_lane.sh tsan     # data races
+#
+# ASan instruments our code only and works against the prebuilt std.
+# TSan MUST also instrument std (`-Zbuild-std`): std's futex-based
+# Mutex/RwLock are otherwise uninstrumented and every lock acquisition
+# reports as a false-positive race. build-std needs the rust-src
+# component; when it is missing, the tsan lane fails fast with the
+# install hint instead of drowning CI in bogus reports.
+#
+# Requires: nightly toolchain; rust-src for tsan
+#           (rustup component add --toolchain nightly rust-src).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SAN="${1:-}"
+case "$SAN" in
+    asan) FLAG=address ;;
+    tsan) FLAG=thread ;;
+    *) echo "usage: scripts/sanitizer_lane.sh <asan|tsan>" >&2; exit 2 ;;
+esac
+
+HOST_TARGET="$(rustc +nightly -vV | sed -n 's/^host: //p')"
+BUILD_STD=()
+if [ "$SAN" = tsan ]; then
+    SRC_DIR="$(rustc +nightly --print sysroot)/lib/rustlib/src/rust/library"
+    if [ ! -d "$SRC_DIR" ]; then
+        echo "sanitizer_lane: tsan needs an instrumented std (-Zbuild-std)" >&2
+        echo "  rustup component add --toolchain nightly rust-src" >&2
+        exit 2
+    fi
+    BUILD_STD=(-Zbuild-std)
+fi
+
+export RUSTFLAGS="-Zsanitizer=${FLAG} ${RUSTFLAGS:-}"
+# Suppress the known allocator-odometer noise: the counting allocator in
+# tests/zero_copy_alloc.rs is exercised separately, not under sanitizers.
+run() {
+    echo "== ${SAN}: $* =="
+    cargo +nightly test "${BUILD_STD[@]}" --target "$HOST_TARGET" "$@"
+}
+
+# SwapCell + worker pool: every in-crate server test, including the
+# concurrent-clients and update-hot-swap hammers.
+run -p pll-server --lib
+# WAL: writer, atomic_write, recovery replay.
+run -p pll-core --lib wal::tests
+# Cross-crate crash/recovery and dynamic-update integration tests.
+run -p pruned-landmark-labeling --test crash_recovery
+run -p pruned-landmark-labeling --test dynamic_updates
+
+echo "${SAN} lane passed"

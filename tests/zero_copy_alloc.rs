@@ -17,21 +17,31 @@ static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
 struct CountingAllocator;
 
-// The counter must never allocate itself; it only taps System.
+// SAFETY: every method forwards verbatim to `System` with the caller's
+// own layout/pointer arguments, so `System`'s contract is upheld exactly
+// when the caller's is; the only extra work is an atomic counter bump,
+// which never allocates (a re-entrant allocation here would deadlock the
+// allocator).
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY (each method below): same forwarding argument as the impl.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller guarantees `layout` is valid; forwarded as-is.
         unsafe { System.alloc(layout) }
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from this allocator, which is `System` plus
+        // a counter, so it satisfies `System::dealloc`'s contract.
         unsafe { System.dealloc(ptr, layout) }
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same forwarding argument as `dealloc`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same forwarding argument as `alloc`.
         unsafe { System.alloc_zeroed(layout) }
     }
 }
