@@ -381,12 +381,19 @@ fn run_chunk(
 /// unreachable count, retry counters.
 type ChunkResult = (Vec<u64>, Vec<String>, usize, RetryStats);
 
-/// Outcome of the concurrent updater connection.
+/// Outcome of the concurrent updater connection. Besides the end-to-end
+/// batch latency, the server's own per-batch phase split (from the
+/// UPDATE ack) is kept: time applying the delta, time flattening on the
+/// request path (always 0 under overlay-direct serving — the flatten is
+/// amortized in the background), and time publishing the epoch.
 struct UpdateOutcome {
     applied: u64,
     skipped: u64,
     batches: usize,
     latencies_ns: Vec<u64>,
+    apply_us: Vec<u64>,
+    flatten_us: Vec<u64>,
+    publish_us: Vec<u64>,
     retry: RetryStats,
 }
 
@@ -462,8 +469,9 @@ fn run() -> Result<(), Fatal> {
         std::thread::scope(|scope| -> Result<_, Fatal> {
             // The updater runs concurrently with the query load — this
             // is what makes --updates an update-*mix* workload: every
-            // applied batch flattens and hot-swaps the served index
-            // while the query connections keep streaming.
+            // applied batch publishes a new overlay epoch (the flatten
+            // is amortized in the background) while the query
+            // connections keep streaming.
             let updater = (!updates.is_empty()).then(|| {
                 let addr = &opts.addr;
                 let update_batch = opts.update_batch;
@@ -477,6 +485,9 @@ fn run() -> Result<(), Fatal> {
                         skipped: 0,
                         batches: 0,
                         latencies_ns: Vec::new(),
+                        apply_us: Vec::new(),
+                        flatten_us: Vec::new(),
+                        publish_us: Vec::new(),
                         retry: RetryStats::default(),
                     };
                     for chunk in updates.chunks(update_batch) {
@@ -487,6 +498,9 @@ fn run() -> Result<(), Fatal> {
                         outcome.latencies_ns.push(t0.elapsed().as_nanos() as u64);
                         outcome.applied += u64::from(ack.applied);
                         outcome.skipped += u64::from(ack.skipped);
+                        outcome.apply_us.push(u64::from(ack.apply_us));
+                        outcome.flatten_us.push(u64::from(ack.flatten_us));
+                        outcome.publish_us.push(u64::from(ack.publish_us));
                         outcome.batches += 1;
                     }
                     outcome.retry = client.stats();
@@ -592,26 +606,56 @@ fn run() -> Result<(), Fatal> {
         Some(u) => {
             let mut lat = u.latencies_ns.clone();
             lat.sort_unstable();
+            // Server-side phase split per batch (µs, from the ack).
+            let phase = |v: &[u64], name: &str| -> String {
+                let mut s = v.to_vec();
+                s.sort_unstable();
+                format!(
+                    "\"{name}\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}}",
+                    percentile(&s, 0.50),
+                    percentile(&s, 0.99),
+                    s.last().copied().unwrap_or(0),
+                )
+            };
             eprintln!(
                 "updates: {} applied, {} skipped in {} batches (batch p50 {:.1} µs, \
-                 max {:.1} µs)",
+                 max {:.1} µs; server p50 apply {} µs, flatten {} µs, publish {} µs)",
                 u.applied,
                 u.skipped,
                 u.batches,
                 percentile(&lat, 0.50) as f64 / 1_000.0,
                 lat.last().copied().unwrap_or(0) as f64 / 1_000.0,
+                {
+                    let mut s = u.apply_us.clone();
+                    s.sort_unstable();
+                    percentile(&s, 0.50)
+                },
+                {
+                    let mut s = u.flatten_us.clone();
+                    s.sort_unstable();
+                    percentile(&s, 0.50)
+                },
+                {
+                    let mut s = u.publish_us.clone();
+                    s.sort_unstable();
+                    percentile(&s, 0.50)
+                },
             );
             format!(
                 ",\n  \"updates\": {{\n    \"edges_applied\": {},\n    \
                  \"edges_skipped\": {},\n    \"batches\": {},\n    \
                  \"batch_latency_us\": {{\n      \"p50\": {:.2},\n      \"p99\": {:.2},\n      \
-                 \"max\": {:.2}\n    }}\n  }}",
+                 \"max\": {:.2}\n    }},\n    \"server_phase_us\": {{\n      {},\n      {},\n      \
+                 {}\n    }}\n  }}",
                 u.applied,
                 u.skipped,
                 u.batches,
                 percentile(&lat, 0.50) as f64 / 1_000.0,
                 percentile(&lat, 0.99) as f64 / 1_000.0,
                 lat.last().copied().unwrap_or(0) as f64 / 1_000.0,
+                phase(&u.apply_us, "apply"),
+                phase(&u.flatten_us, "flatten"),
+                phase(&u.publish_us, "publish"),
             )
         }
         None => String::new(),

@@ -14,16 +14,25 @@ usage:
   pll query <index.idx> [--path|--connected] <s> <t> [<s> <t> ...]
   pll query <index.idx> [--path|--connected] -   (pairs from stdin, `s t` per line)
   pll stats <index.idx>                         (any format, v1 or v2)
+  pll stats --addr host:port                    (INFO from a running server:
+             vertices, epoch, overlay delta entries, flatten generation)
   pll bench <index.idx> [--queries q] [--seed s]  (any format, v1 or v2)
   pll serve --index <index.idx> [--graph <edges.txt>] [--addr host:port]
             [--threads k] [--max-pending n]
             [--wal <journal.wal>] [--snapshot-every n]
+            [--flatten-threshold n|never]
             (TCP query service; --graph enables online UPDATE frames with
-             epoch hot-swap; --wal journals UPDATE batches for crash
+             overlay-direct epoch publishing; a background flattener folds
+             the delta overlay into a fresh flat base once it exceeds
+             --flatten-threshold entries (`never` serves the overlay
+             indefinitely; default: a quarter of the index's label
+             entries, floored at 1024); --wal journals UPDATE batches
+             for crash
              recovery and --snapshot-every compacts the journal into the
-             index file every n batches; --max-pending bounds the queued
-             connections before arrivals are shed with STATUS_BUSY;
-             shut down with the SHUTDOWN opcode, e.g. serve_load --shutdown)
+             index file every n batches, riding the same background swap;
+             --max-pending bounds the queued connections before arrivals
+             are shed with STATUS_BUSY; shut down with the SHUTDOWN
+             opcode, e.g. serve_load --shutdown)
   pll update <index.idx> <graph.txt> <updates.txt> -o <out.idx> [--threads k]
             (apply edge insertions incrementally — no rebuild — and write
              the flattened v2 index; undirected indices only)
@@ -80,8 +89,8 @@ pub enum Parsed {
     },
     /// `pll stats`.
     Stats {
-        /// Index path.
-        index: String,
+        /// What to inspect: a local file or a running server.
+        target: StatsTarget,
     },
     /// `pll bench`.
     Bench {
@@ -112,6 +121,10 @@ pub enum Parsed {
         /// Queued connections before new arrivals are shed with
         /// STATUS_BUSY (0 = 4 × workers + 16).
         max_pending: usize,
+        /// Background-flatten the overlay once it holds this many delta
+        /// entries (`never` = u64::MAX keeps serving the overlay);
+        /// `None` uses the server default.
+        flatten_threshold: Option<u64>,
     },
     /// `pll wal`.
     Wal {
@@ -142,6 +155,15 @@ pub enum QueryMode {
     Path,
     /// Same-component / reachability check.
     Connected,
+}
+
+/// What `pll stats` inspects.
+#[derive(Debug, PartialEq, Eq)]
+pub enum StatsTarget {
+    /// A local index file.
+    File(String),
+    /// A running server, queried with the INFO opcode (`--addr`).
+    Server(String),
 }
 
 /// Where `pll query` reads its pairs from.
@@ -376,14 +398,23 @@ impl Parsed {
                 })
             }
             "stats" => {
-                let index = it
+                let first = it
                     .next()
-                    .ok_or_else(|| usage("stats: missing <index.idx>"))?
+                    .ok_or_else(|| usage("stats: missing <index.idx> (or --addr host:port)"))?
                     .clone();
+                let target = if first == "--addr" {
+                    let addr = it
+                        .next()
+                        .ok_or_else(|| usage("stats: --addr needs a host:port value"))?
+                        .clone();
+                    StatsTarget::Server(addr)
+                } else {
+                    StatsTarget::File(first)
+                };
                 if it.next().is_some() {
                     return Err(usage("stats: unexpected extra arguments"));
                 }
-                Ok(Parsed::Stats { index })
+                Ok(Parsed::Stats { target })
             }
             "bench" => {
                 let index = it
@@ -426,6 +457,7 @@ impl Parsed {
                 let mut wal: Option<String> = None;
                 let mut snapshot_every: Option<u64> = None;
                 let mut max_pending = 0usize;
+                let mut flatten_threshold: Option<u64> = None;
                 let rest: Vec<&String> = it.collect();
                 let mut i = 0;
                 while i < rest.len() {
@@ -471,6 +503,17 @@ impl Parsed {
                                 .ok_or_else(|| usage("--max-pending needs a value"))?;
                             max_pending = parse_num(val, "--max-pending")?;
                         }
+                        "--flatten-threshold" => {
+                            i += 1;
+                            let val = rest
+                                .get(i)
+                                .ok_or_else(|| usage("--flatten-threshold needs a value"))?;
+                            flatten_threshold = Some(if val.as_str() == "never" {
+                                u64::MAX
+                            } else {
+                                parse_num(val, "--flatten-threshold")?
+                            });
+                        }
                         other => return Err(usage(format!("unknown option {other:?}"))),
                     }
                     i += 1;
@@ -488,6 +531,12 @@ impl Parsed {
                          needs --wal",
                     ));
                 }
+                if flatten_threshold.is_some() && graph.is_none() {
+                    return Err(usage(
+                        "serve: --flatten-threshold tunes the background flattener, \
+                         which needs --graph (a static server never flattens)",
+                    ));
+                }
                 Ok(Parsed::Serve {
                     index,
                     graph,
@@ -496,6 +545,7 @@ impl Parsed {
                     wal,
                     snapshot_every: snapshot_every.unwrap_or(0),
                     max_pending,
+                    flatten_threshold,
                 })
             }
             "wal" => {
@@ -821,6 +871,7 @@ mod tests {
                 wal,
                 snapshot_every,
                 max_pending,
+                flatten_threshold,
             } => {
                 assert_eq!(index, "x.idx");
                 assert_eq!(graph, None);
@@ -829,6 +880,7 @@ mod tests {
                 assert_eq!(wal, None);
                 assert_eq!(snapshot_every, 0);
                 assert_eq!(max_pending, 0);
+                assert_eq!(flatten_threshold, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -921,11 +973,51 @@ mod tests {
     }
 
     #[test]
+    fn parse_serve_flatten_threshold() {
+        let base = ["serve", "--index", "x.idx", "--graph", "g.txt"];
+        let with = |v: &str| {
+            let mut a = base.to_vec();
+            a.extend(["--flatten-threshold", v]);
+            Parsed::parse(&argv(&a))
+        };
+        match with("8").unwrap() {
+            Parsed::Serve {
+                flatten_threshold, ..
+            } => assert_eq!(flatten_threshold, Some(8)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match with("never").unwrap() {
+            Parsed::Serve {
+                flatten_threshold, ..
+            } => assert_eq!(flatten_threshold, Some(u64::MAX)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(with("sometimes").is_err());
+        // The flattener only exists on a dynamic server.
+        assert!(Parsed::parse(&argv(&[
+            "serve",
+            "--index",
+            "x.idx",
+            "--flatten-threshold",
+            "8"
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn parse_stats_and_bench() {
-        assert!(matches!(
-            Parsed::parse(&argv(&["stats", "x.idx"])).unwrap(),
-            Parsed::Stats { .. }
-        ));
+        match Parsed::parse(&argv(&["stats", "x.idx"])).unwrap() {
+            Parsed::Stats { target } => assert_eq!(target, StatsTarget::File("x.idx".into())),
+            other => panic!("unexpected {other:?}"),
+        }
+        match Parsed::parse(&argv(&["stats", "--addr", "127.0.0.1:4717"])).unwrap() {
+            Parsed::Stats { target } => {
+                assert_eq!(target, StatsTarget::Server("127.0.0.1:4717".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Parsed::parse(&argv(&["stats", "--addr"])).is_err());
+        assert!(Parsed::parse(&argv(&["stats", "--addr", "a:1", "extra"])).is_err());
         match Parsed::parse(&argv(&["bench", "x.idx", "--queries", "5"])).unwrap() {
             Parsed::Bench { queries, .. } => assert_eq!(queries, 5),
             other => panic!("unexpected {other:?}"),

@@ -48,7 +48,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 mod args;
-use args::{ArgError, PairSource, Parsed, QueryMode};
+use args::{ArgError, PairSource, Parsed, QueryMode, StatsTarget};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -88,7 +88,10 @@ fn run(argv: &[String]) -> Result<(), String> {
             store_parents,
         ),
         Parsed::Query { index, mode, pairs } => query(&index, mode, &pairs),
-        Parsed::Stats { index } => stats(&index),
+        Parsed::Stats { target } => match target {
+            StatsTarget::File(index) => stats(&index),
+            StatsTarget::Server(addr) => stats_remote(&addr),
+        },
         Parsed::Bench {
             index,
             queries,
@@ -102,6 +105,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             wal,
             snapshot_every,
             max_pending,
+            flatten_threshold,
         } => serve(
             &index,
             graph.as_deref(),
@@ -110,6 +114,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             wal.as_deref(),
             snapshot_every,
             max_pending,
+            flatten_threshold,
         ),
         Parsed::Update {
             index,
@@ -384,6 +389,35 @@ fn stats(index_path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `pll stats --addr`: one INFO round-trip against a running server —
+/// the live view (epoch, overlay delta entries, flatten generation) that
+/// a file inspection cannot give.
+fn stats_remote(addr: &str) -> Result<(), String> {
+    let mut client = pll_server::protocol::Client::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let info = client.info().map_err(|e| format!("INFO {addr}: {e}"))?;
+    // Inverse of protocol::format_code (the wire carries the code).
+    let format = match info.format {
+        0 => "undirected",
+        1 => "directed",
+        2 => "weighted",
+        3 => "weighted-directed",
+        _ => "unknown",
+    };
+    println!("server:              {addr}");
+    println!("format:              {format}");
+    println!("file format:         v{}", info.format_version);
+    println!("vertices:            {}", info.num_vertices);
+    println!("epoch:               {}", info.epoch);
+    println!(
+        "dynamic updates:     {}",
+        if info.dynamic { "enabled" } else { "disabled" }
+    );
+    println!("overlay entries:     {}", info.overlay_entries);
+    println!("flatten generation:  {}", info.flattens);
+    Ok(())
+}
+
 fn bench(index_path: &str, queries: usize, seed: u64) -> Result<(), String> {
     let index = open_any(index_path)?;
     let n = index.num_vertices();
@@ -419,6 +453,7 @@ fn bench(index_path: &str, queries: usize, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve(
     index_path: &str,
     graph_path: Option<&str>,
@@ -427,6 +462,7 @@ fn serve(
     wal_path: Option<&str>,
     snapshot_every: u64,
     max_pending: usize,
+    flatten_threshold: Option<u64>,
 ) -> Result<(), String> {
     let index = Arc::new(open_any(index_path)?);
     eprintln!(
@@ -460,6 +496,7 @@ fn serve(
         index_path: index_path.into(),
         snapshot_every,
     });
+    let defaults = pll_server::ServerConfig::default();
     let handle = pll_server::serve_dynamic(
         index,
         graph.as_ref(),
@@ -468,7 +505,8 @@ fn serve(
             threads,
             max_pending,
             wal,
-            ..pll_server::ServerConfig::default()
+            flatten_threshold: flatten_threshold.or(defaults.flatten_threshold),
+            ..defaults
         },
     )
     .map_err(|e| e.to_string())?;
@@ -501,9 +539,10 @@ fn serve(
         },
     );
     let summary = handle.join();
+    let cache_total = summary.cache_hits + summary.cache_misses;
     eprintln!(
         "served {} queries in {} requests over {:.2} s ({:.0} qps, p50 {:.1} µs, p99 {:.1} µs, \
-         {} errors, {} updates, final epoch {}, {} shed, {} panics)",
+         {} errors, {} updates, final epoch {}, cache hit rate {:.1}%, {} shed, {} panics)",
         summary.queries,
         summary.requests,
         summary.elapsed_seconds,
@@ -513,14 +552,26 @@ fn serve(
         summary.errors,
         summary.updates,
         summary.final_epoch,
+        if cache_total > 0 {
+            100.0 * summary.cache_hits as f64 / cache_total as f64
+        } else {
+            0.0
+        },
         summary.sheds,
         summary.panics,
     );
     for (i, w) in summary.workers.iter().enumerate() {
         eprintln!(
-            "  worker {i}: {} queries, {} requests, {} connections, {} updates, busy {:.3} s, \
-             {} errors",
-            w.queries, w.requests, w.connections, w.updates, w.busy_seconds, w.errors
+            "  worker {i}: {} queries, {} requests, {} connections, {} updates, \
+             {} cache hits / {} misses, busy {:.3} s, {} errors",
+            w.queries,
+            w.requests,
+            w.connections,
+            w.updates,
+            w.cache_hits,
+            w.cache_misses,
+            w.busy_seconds,
+            w.errors
         );
     }
     Ok(())

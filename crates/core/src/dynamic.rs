@@ -25,12 +25,19 @@
 //! 1. **bit-parallel repair** — a BP structure (§5) is a 65-source
 //!    distance oracle over its root and selected neighbours; the static
 //!    build pruned normal labels against it, so exactness of the whole
-//!    index *requires the oracle to stay exact*. Each structure whose
-//!    source distances to `a` and `b` differ by ≥ 2 (read off δ̃ and the
-//!    masks; the neighbour identities are recovered once at
-//!    construction: `δ̃ = 1` ∧ own `S⁻¹` bit) has its column recomputed
-//!    over the updated adjacency into an owned override — unaffected
-//!    structures keep the zero-copy base column;
+//!    index *requires the oracle to stay exact*. Every structure whose
+//!    component contains the edge is repaired **incrementally**: a
+//!    decrease-only BFS from the far endpoint finds the vertices whose
+//!    δ̃ changed, then a level-ordered sweep re-evaluates the §5
+//!    recurrences over exactly the region whose inputs changed,
+//!    rewriting only the `S⁻¹`/`S⁰` words whose fixpoint value moved.
+//!    The stored columns therefore stay **word-identical** to rerunning
+//!    the whole 65-source BFS (unit- and property-tested), while a
+//!    local shortcut costs O(changed region) instead of O(n + m). Past
+//!    a frontier cap the repair falls back to the full recompute.
+//!    Changed words land in a copy-on-write override column
+//!    (`Arc`-shared with snapshots); untouched structures keep reading
+//!    the zero-copy base column;
 //! 2. collect the *affected roots*: every hub of the combined
 //!    (base + delta) labels of `a` and `b`, plus the roots and recorded
 //!    neighbours of the bit-parallel structures covering them;
@@ -54,6 +61,16 @@
 //! the epoch-swapping server cell in `pll-server` — `pll update` on the
 //! CLI and the `UPDATE` frame over the wire both end here.
 //!
+//! For overlay-direct serving, [`DynamicIndex::snapshot`] freezes the
+//! current overlay into an immutable [`OverlaySnapshot`] answering
+//! through the same combined query path (cheap: the base and the
+//! repaired BP columns are shared by `Arc`, only the small delta labels
+//! are copied), and [`DynamicIndex::rebase`] swaps a freshly flattened
+//! base underneath the live overlay, replaying only the edges that
+//! flatten had not yet absorbed. The background flatten pipeline in
+//! `pll-server` is `snapshot → flatten off-path → rebase → publish`,
+//! which keeps UPDATE latency proportional to the delta, not the index.
+//!
 //! Scope: undirected unweighted graphs, edge insertions, fixed vertex
 //! set. Deletions and vertex additions still require a rebuild (see
 //! ROADMAP); the directed/weighted variants need the same treatment per
@@ -70,6 +87,34 @@ use pll_graph::reorder::{apply_order, inverse_permutation};
 use pll_graph::CsrGraph;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Folds one bit-parallel structure's `(u, v)` entry pair into the
+/// running best upper bound — the §5.3 δ̃ − 2 / δ̃ − 1 / δ̃ case
+/// analysis, shared by the query and trigger paths.
+#[inline]
+fn bp_pair_min(a: &BpEntry, b: &BpEntry, best: u32) -> u32 {
+    if a.dist == INF8 || b.dist == INF8 {
+        return best;
+    }
+    let mut td = a.dist as u32 + b.dist as u32;
+    if td.saturating_sub(2) < best {
+        if a.set_minus1 & b.set_minus1 != 0 {
+            td -= 2;
+        } else if (a.set_minus1 & b.set_zero) | (a.set_zero & b.set_minus1) != 0 {
+            td -= 1;
+        }
+        if td < best {
+            return td;
+        }
+    }
+    best
+}
+
+/// Width of the dense top-rank distance rows ([`DynamicIndex::dtop`]):
+/// one byte per vertex per top rank. Resumed roots are label hubs, and
+/// labels are dominated by the most important ranks, so a small power
+/// of two covers almost every resume while costing `n * 256` bytes.
+const DTOP_RANKS: usize = 256;
 
 /// Counters for one [`DynamicIndex::apply`] batch (and, accumulated,
 /// for the whole lifetime via [`DynamicIndex::update_stats`]).
@@ -194,6 +239,268 @@ impl MergedCursor<'_> {
     }
 }
 
+/// Borrowed view of everything needed to answer queries over
+/// base ⊕ delta, shared by the live [`DynamicIndex`] and the frozen
+/// [`OverlaySnapshot`] so both answer through exactly the same code.
+#[derive(Clone, Copy)]
+struct OverlayView<'a> {
+    base: &'a AnyIndex,
+    delta: &'a [DeltaLabel],
+    bp_roots: &'a [Rank],
+    bp_override: &'a [Option<Arc<Vec<BpEntry>>>],
+}
+
+impl<'a> OverlayView<'a> {
+    /// Body (sentinel excluded) of the base label of rank `v`.
+    fn base_label_body(&self, v: Rank) -> (&'a [Rank], &'a [Dist]) {
+        with_undirected!(self.base, idx => {
+            let (r, d) = idx.labels().label(v);
+            (&r[..r.len() - 1], &d[..d.len() - 1])
+        })
+    }
+
+    fn merged_cursor(&self, v: Rank) -> MergedCursor<'a> {
+        let (br, bd) = self.base_label_body(v);
+        let dl = &self.delta[v as usize];
+        MergedCursor {
+            base_ranks: br,
+            base_dists: bd,
+            delta_ranks: &dl.ranks,
+            delta_dists: &dl.dists,
+            i: 0,
+            j: 0,
+        }
+    }
+
+    /// Entry of vertex `v` for structure `i`, reading the repaired
+    /// column when one exists and the base column otherwise.
+    #[inline]
+    fn eff_bp_entry(&self, v: Rank, i: usize) -> BpEntry {
+        match &self.bp_override[i] {
+            Some(column) => column[v as usize],
+            None => with_undirected!(self.base, idx => idx.bit_parallel().entry(v, i)),
+        }
+    }
+
+    /// The §5.3 bit-parallel query over the *effective* (repaired)
+    /// columns — exact whenever a shortest path meets a structure's
+    /// source set, because affected columns are repaired on insert.
+    fn eff_bp_query(&self, u: Rank, v: Rank) -> u32 {
+        let mut best = INF_QUERY;
+        for i in 0..self.bp_roots.len() {
+            let a = self.eff_bp_entry(u, i);
+            let b = self.eff_bp_entry(v, i);
+            best = bp_pair_min(&a, &b, best);
+        }
+        best
+    }
+
+    /// The exact updated distance between rank-space vertices: min over
+    /// the repaired bit-parallel oracle and the merge-join over combined
+    /// base + delta labels.
+    fn combined_query_ranks(&self, u: Rank, v: Rank) -> u32 {
+        if u == v {
+            return 0;
+        }
+        let mut best = self.eff_bp_query(u, v);
+        // Fast path: neither endpoint carries a delta label, so the
+        // combined labels are exactly the sentinel-terminated base labels
+        // and the shared (branchless) kernel applies directly.
+        if self.delta[u as usize].ranks.is_empty() && self.delta[v as usize].ranks.is_empty() {
+            let d = with_undirected!(self.base, idx => {
+                let (ur, ud) = idx.labels().label(u);
+                let (vr, vd) = idx.labels().label(v);
+                crate::kernel::merge_query(ur, ud, vr, vd)
+            });
+            return best.min(d);
+        }
+        let mut cu = self.merged_cursor(u);
+        let mut cv = self.merged_cursor(v);
+        let mut au = cu.next();
+        let mut av = cv.next();
+        while let (Some((ru, du)), Some((rv, dv))) = (au, av) {
+            if ru == rv {
+                let d = du as u32 + dv as u32;
+                if d < best {
+                    best = d;
+                }
+                au = cu.next();
+                av = cv.next();
+            } else if ru < rv {
+                au = cu.next();
+            } else {
+                av = cv.next();
+            }
+        }
+        best
+    }
+
+    /// Exact distance in the updated graph (vertex space); `None` when
+    /// disconnected. Panics on out-of-range endpoints.
+    fn distance(&self, u: Vertex, v: Vertex) -> Option<u32> {
+        let n = self.base.num_vertices();
+        assert!((u as usize) < n, "vertex {u} out of range");
+        assert!((v as usize) < n, "vertex {v} out of range");
+        if u == v {
+            return Some(0);
+        }
+        let (ru, rv) = with_undirected!(self.base, idx => (idx.rank_of(u), idx.rank_of(v)));
+        let best = self.combined_query_ranks(ru, rv);
+        (best != INF_QUERY).then_some(best)
+    }
+
+    /// Checked variant of [`OverlayView::distance`].
+    fn try_distance(&self, u: Vertex, v: Vertex) -> Result<Option<u32>> {
+        let n = self.base.num_vertices();
+        for x in [u, v] {
+            if x as usize >= n {
+                return Err(PllError::VertexOutOfRange {
+                    vertex: x,
+                    num_vertices: n,
+                });
+            }
+        }
+        Ok(self.distance(u, v))
+    }
+
+    /// Merges base + delta into a fresh owned [`PllIndex`] — see
+    /// [`DynamicIndex::flatten`] for the contract.
+    fn flatten(&self, threads: usize) -> Result<PllIndex> {
+        let n = self.base.num_vertices();
+        let mut ranks: Vec<Vec<Rank>> = Vec::with_capacity(n);
+        let mut dists: Vec<Vec<Dist>> = Vec::with_capacity(n);
+        for v in 0..n as Rank {
+            let mut cursor = self.merged_cursor(v);
+            let mut vr = Vec::new();
+            let mut vd = Vec::new();
+            while let Some((w, d)) = cursor.next() {
+                vr.push(w);
+                vd.push(d);
+            }
+            ranks.push(vr);
+            dists.push(vd);
+        }
+        let threads = crate::par::resolve_threads(threads);
+        let labels = LabelSet::from_vecs(&ranks, &dists, None, threads)?;
+        let t = self.bp_roots.len();
+        let entries: Vec<BpEntry> = (0..n as Rank)
+            .flat_map(|v| (0..t).map(move |i| self.eff_bp_entry(v, i)))
+            .collect();
+        let bp_owned = crate::bp::BitParallelLabels::from_raw(n, self.bp_roots.to_vec(), entries);
+        with_undirected!(self.base, idx => {
+            let order = idx.order().to_vec();
+            let inv = inverse_permutation(&order);
+            Ok(PllIndex::from_parts(order, inv, labels, bp_owned, idx.stats().clone()))
+        })
+    }
+}
+
+/// An immutable, query-only freeze of a [`DynamicIndex`] overlay: the
+/// base index and the repaired bit-parallel columns are shared by
+/// `Arc`, only the (small) delta labels are copied, so taking one costs
+/// O(n + delta entries) — no flatten. Built by
+/// [`DynamicIndex::snapshot`]; this is what `pll-server` publishes
+/// behind its epoch cell under overlay-direct serving.
+#[derive(Debug)]
+pub struct OverlaySnapshot {
+    base: Arc<AnyIndex>,
+    delta: Vec<DeltaLabel>,
+    bp_roots: Vec<Rank>,
+    bp_override: Vec<Option<Arc<Vec<BpEntry>>>>,
+    delta_entries: usize,
+}
+
+impl OverlaySnapshot {
+    #[inline]
+    fn view(&self) -> OverlayView<'_> {
+        OverlayView {
+            base: &self.base,
+            delta: &self.delta,
+            bp_roots: &self.bp_roots,
+            bp_override: &self.bp_override,
+        }
+    }
+
+    /// Number of indexed vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// The shared base index underneath the overlay.
+    pub fn base(&self) -> &Arc<AnyIndex> {
+        &self.base
+    }
+
+    /// Delta label entries frozen into this snapshot (the overlay size
+    /// the server reports and thresholds flattens on).
+    pub fn delta_entries(&self) -> usize {
+        self.delta_entries
+    }
+
+    /// Exact distance in the updated graph; `None` when disconnected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range (see
+    /// [`OverlaySnapshot::try_distance`]).
+    pub fn distance(&self, u: Vertex, v: Vertex) -> Option<u32> {
+        self.view().distance(u, v)
+    }
+
+    /// Checked variant of [`OverlaySnapshot::distance`].
+    pub fn try_distance(&self, u: Vertex, v: Vertex) -> Result<Option<u32>> {
+        self.view().try_distance(u, v)
+    }
+
+    /// Whether `u` and `v` are connected in the updated graph.
+    pub fn connected(&self, u: Vertex, v: Vertex) -> bool {
+        self.distance(u, v).is_some()
+    }
+
+    /// Merges base + delta into a fresh owned [`PllIndex`] answering
+    /// exactly like this snapshot (same contract as
+    /// [`DynamicIndex::flatten`]) — the background flattener runs this
+    /// off the request path.
+    pub fn flatten(&self, threads: usize) -> Result<PllIndex> {
+        self.view().flatten(threads)
+    }
+}
+
+/// Recovers the bit-parallel selected-neighbour identities and root
+/// ranks from an undirected base index. Bit `k` of structure `i`
+/// belongs to the unique vertex `v` with `δ̃_i(v) = 1` and bit `k` set
+/// in its own `S⁻¹` mask (`d(v, v) = 0 = δ̃ − 1`); a non-selected
+/// distance-1 vertex inherits only the root's empty `S⁻¹`, so the
+/// recovery is exact — also on a flattened (repaired) base, where the
+/// same fixpoint holds over the updated adjacency.
+fn recover_bp_sources(base: &AnyIndex) -> (Vec<Vec<Rank>>, Vec<Rank>) {
+    let n = base.num_vertices();
+    let bp_sel = with_undirected!(base, idx => {
+        let bp = idx.bit_parallel();
+        let t = bp.num_roots();
+        let mut sel = vec![vec![RANK_SENTINEL; 64]; t];
+        for v in 0..n as Rank {
+            for (i, slots) in sel.iter_mut().enumerate() {
+                let e = bp.entry(v, i);
+                if e.dist == 1 && e.set_minus1 != 0 {
+                    let own = e.set_minus1.trailing_zeros() as usize;
+                    slots[own] = v;
+                }
+            }
+        }
+        sel
+    });
+    let bp_roots = with_undirected!(base, idx => idx.bit_parallel().roots().to_vec());
+    (bp_sel, bp_roots)
+}
+
+/// Removes the first occurrence of `x` from `v`, preserving order.
+fn remove_first(v: &mut Vec<Rank>, x: Rank) {
+    if let Some(p) = v.iter().position(|&y| y == x) {
+        v.remove(p);
+    }
+}
+
 /// Reusable per-batch scratch: lazily-reset tentative distances and the
 /// §4.5 temp array over the current root's combined label.
 struct UpdateScratch {
@@ -208,6 +515,17 @@ struct UpdateScratch {
     root_bp: Vec<BpEntry>,
     /// Affected-root collection buffer.
     roots: Vec<Rank>,
+    /// Ranks whose delta label or bit-parallel words changed this batch.
+    touched_ranks: Vec<Rank>,
+    /// Pre-edge BFS distances from the inserted edge's two endpoints
+    /// (the batched affected-root trigger), `INF_QUERY` = untouched.
+    trig_a: Vec<u32>,
+    trig_b: Vec<u32>,
+    /// Their BFS queues; double as touched lists for the lazy reset.
+    trig_qa: Vec<Rank>,
+    trig_qb: Vec<Rank>,
+    /// Incremental bit-parallel column repair scratch.
+    repair: RepairScratch,
 }
 
 impl UpdateScratch {
@@ -218,8 +536,48 @@ impl UpdateScratch {
             queue: Vec::new(),
             root_bp: Vec::new(),
             roots: Vec::new(),
+            touched_ranks: Vec::new(),
+            trig_a: vec![INF_QUERY; n],
+            trig_b: vec![INF_QUERY; n],
+            trig_qa: Vec::new(),
+            trig_qb: Vec::new(),
+            repair: RepairScratch::default(),
         }
     }
+}
+
+/// Outcome of one incremental column repair attempt.
+enum RepairOutcome {
+    /// Repair completed; the scratch overlay holds the (possibly empty)
+    /// set of changed entries.
+    Done,
+    /// The affected region exceeded the frontier cap; the caller falls
+    /// back to the full column recompute.
+    FrontierExceeded,
+}
+
+/// Scratch for the incremental bit-parallel column repair: a sparse
+/// overlay over one structure's column plus level-bucketed worklists.
+/// Everything is reset lazily, so one repair costs O(touched region).
+#[derive(Default)]
+struct RepairScratch {
+    /// `pos[v]` = overlay slot of rank `v`, `u32::MAX` = untouched.
+    pos: Vec<u32>,
+    /// Pre-repair entries, parallel to `touched`.
+    old: Vec<BpEntry>,
+    /// Post-repair entries, parallel to `touched`.
+    new: Vec<BpEntry>,
+    /// Ranks holding an overlay slot, in slot order.
+    touched: Vec<Rank>,
+    /// `dirty_mark[v] == gen` ⇔ `v` is already queued for mask repair.
+    dirty_mark: Vec<u32>,
+    /// Generation counter behind `dirty_mark`'s lazy clearing.
+    gen: u32,
+    /// Mask-repair worklists, bucketed by (new) BFS level.
+    buckets: Vec<Vec<Rank>>,
+    /// FIFO queue of the distance phase; doubles as the list of
+    /// distance-changed ranks when seeding the mask phase.
+    queue: Vec<Rank>,
 }
 
 /// An undirected index plus a mutable delta overlay that absorbs edge
@@ -255,10 +613,24 @@ pub struct DynamicIndex {
     bp_sel: Vec<Vec<Rank>>,
     /// BP root ranks, copied out of the base (`u32::MAX` = exhausted).
     bp_roots: Vec<Rank>,
-    /// Repaired bit-parallel columns: `Some` holds the full recomputed
-    /// column for a structure whose 65-source ball was shortcut by an
-    /// insertion; `None` keeps reading the (still exact) base column.
-    bp_override: Vec<Option<Vec<BpEntry>>>,
+    /// Repaired bit-parallel columns: `Some` holds the copy-on-write
+    /// column of a structure with at least one incrementally repaired
+    /// word; `None` keeps reading the (still exact) base column. The
+    /// `Arc` lets [`DynamicIndex::snapshot`] share repaired columns
+    /// without copying them.
+    bp_override: Vec<Option<Arc<Vec<BpEntry>>>>,
+    /// Dense per-vertex distances to the `ktop` most important ranks:
+    /// `dtop[v * ktop + w]` is the combined (base + delta) label entry
+    /// of `v` for hub `w`, `INF8` where `v` carries no entry for `w`.
+    /// Resumed roots are overwhelmingly top-ranked hubs, so the prune
+    /// test covers them with one branchless strided row scan instead of
+    /// walking `v`'s label (see [`DynamicIndex::pruned`]).
+    dtop: Vec<Dist>,
+    /// Row stride of `dtop`: `DTOP_RANKS.min(n)`.
+    ktop: usize,
+    /// Vertices (original space) whose labels or bit-parallel words
+    /// changed in the last applied batch — the cache-invalidation set.
+    touched: Vec<Vertex>,
     /// Applied-batch counter (0 = pristine base).
     epoch: u64,
     /// Lifetime-accumulated counters.
@@ -328,30 +700,12 @@ impl DynamicIndex {
         }
         let order = with_undirected!(&*base, idx => idx.order().to_vec());
         let csr = apply_order(graph, &order)?;
-        // Recover the BP selected-neighbour identities: bit `k` of
-        // structure `i` belongs to the unique vertex `v` with
-        // `δ̃_i(v) = 1` and bit `k` set in its own S⁻¹ mask
-        // (d(v, v) = 0 = δ̃ − 1). The index stores only the masks, but
-        // the identities are needed to treat BP coverage as resumable
-        // virtual hubs.
-        let bp_sel = with_undirected!(&*base, idx => {
-            let bp = idx.bit_parallel();
-            let t = bp.num_roots();
-            let mut sel = vec![vec![RANK_SENTINEL; 64]; t];
-            for v in 0..n as Rank {
-                for (i, slots) in sel.iter_mut().enumerate() {
-                    let e = bp.entry(v, i);
-                    if e.dist == 1 && e.set_minus1 != 0 {
-                        let own = e.set_minus1.trailing_zeros() as usize;
-                        slots[own] = v;
-                    }
-                }
-            }
-            sel
-        });
-        let bp_roots = with_undirected!(&*base, idx => idx.bit_parallel().roots().to_vec());
+        // Recover the BP selected-neighbour identities — the index
+        // stores only the masks, but the identities are needed to treat
+        // BP coverage as resumable virtual hubs and to repair columns.
+        let (bp_sel, bp_roots) = recover_bp_sources(&base);
         let t = bp_roots.len();
-        Ok(DynamicIndex {
+        let mut this = DynamicIndex {
             base,
             csr,
             extra: vec![Vec::new(); n],
@@ -360,10 +714,50 @@ impl DynamicIndex {
             bp_sel,
             bp_roots,
             bp_override: vec![None; t],
+            dtop: Vec::new(),
+            ktop: 0,
+            touched: Vec::new(),
             epoch: 0,
             stats: UpdateStats::default(),
             scratch: UpdateScratch::new(n),
-        })
+        };
+        this.rebuild_dtop();
+        Ok(this)
+    }
+
+    /// (Re)derives the dense top-rank distance rows from the base
+    /// labels. Callers must have an **empty** delta (fresh wrap or just
+    /// after a rebase cleared it); delta entries added later are
+    /// mirrored in by [`DynamicIndex::resume`].
+    fn rebuild_dtop(&mut self) {
+        let n = self.num_vertices();
+        self.ktop = DTOP_RANKS.min(n);
+        let mut dtop = std::mem::take(&mut self.dtop);
+        dtop.clear();
+        dtop.resize(n * self.ktop, INF8);
+        for v in 0..n as Rank {
+            let (ur, ud) = self.base_label_body(v);
+            let row = v as usize * self.ktop;
+            for (&w, &dw) in ur.iter().zip(ud.iter()) {
+                if (w as usize) >= self.ktop {
+                    break;
+                }
+                dtop[row + w as usize] = dw;
+            }
+        }
+        self.dtop = dtop;
+    }
+
+    /// Borrowed query view over the current overlay state (shared code
+    /// path with [`OverlaySnapshot`]).
+    #[inline]
+    fn view(&self) -> OverlayView<'_> {
+        OverlayView {
+            base: &self.base,
+            delta: &self.delta,
+            bp_roots: &self.bp_roots,
+            bp_override: &self.bp_override,
+        }
     }
 
     /// Number of indexed vertices.
@@ -414,29 +808,12 @@ impl DynamicIndex {
     /// Panics if an endpoint is out of range (see
     /// [`DynamicIndex::try_distance`]).
     pub fn distance(&self, u: Vertex, v: Vertex) -> Option<u32> {
-        let n = self.num_vertices();
-        assert!((u as usize) < n, "vertex {u} out of range");
-        assert!((v as usize) < n, "vertex {v} out of range");
-        if u == v {
-            return Some(0);
-        }
-        let (ru, rv) = with_undirected!(&*self.base, idx => (idx.rank_of(u), idx.rank_of(v)));
-        let best = self.combined_query_ranks(ru, rv);
-        (best != INF_QUERY).then_some(best)
+        self.view().distance(u, v)
     }
 
     /// Checked variant of [`DynamicIndex::distance`].
     pub fn try_distance(&self, u: Vertex, v: Vertex) -> Result<Option<u32>> {
-        let n = self.num_vertices();
-        for x in [u, v] {
-            if x as usize >= n {
-                return Err(PllError::VertexOutOfRange {
-                    vertex: x,
-                    num_vertices: n,
-                });
-            }
-        }
-        Ok(self.distance(u, v))
+        self.view().try_distance(u, v)
     }
 
     /// Whether `u` and `v` are connected in the updated graph.
@@ -470,6 +847,8 @@ impl DynamicIndex {
         }
         let started = Instant::now();
         let mut batch = UpdateStats::default();
+        self.touched.clear();
+        self.scratch.touched_ranks.clear();
         for &(u, v) in edges {
             if u == v {
                 batch.edges_skipped += 1;
@@ -483,6 +862,8 @@ impl DynamicIndex {
             self.extra[ru as usize].push(rv);
             self.extra[rv as usize].push(ru);
             self.inserted.push((u, v));
+            self.touched.push(u);
+            self.touched.push(v);
             self.process_insertion(ru, rv, &mut batch)?;
             batch.edges_applied += 1;
         }
@@ -490,8 +871,161 @@ impl DynamicIndex {
         if batch.edges_applied > 0 {
             self.epoch += 1;
         }
+        // Surface the rank-space touches (delta upserts, repaired BP
+        // words) in vertex space for the serving layer's cache
+        // generations; the endpoints above are included conservatively.
+        let mut ranks = std::mem::take(&mut self.scratch.touched_ranks);
+        with_undirected!(&*self.base, idx => {
+            let order = idx.order();
+            self.touched.extend(ranks.iter().map(|&r| order[r as usize]));
+        });
+        ranks.clear();
+        self.scratch.touched_ranks = ranks;
+        self.touched.sort_unstable();
+        self.touched.dedup();
         self.stats.absorb(&batch);
         Ok(batch)
+    }
+
+    /// Vertices whose labels or bit-parallel words changed in the last
+    /// [`DynamicIndex::apply`] batch (original vertex space, sorted and
+    /// deduplicated; inserted-edge endpoints always included). A query
+    /// answer is a function of the two endpoints' label sets and BP
+    /// rows only, so any pair whose distance changed has at least one
+    /// endpoint in this set — a sound per-batch cache-invalidation set,
+    /// which the serving layer turns into per-vertex generations.
+    pub fn touched_vertices(&self) -> &[Vertex] {
+        &self.touched
+    }
+
+    /// Whether the overlay currently differs from the base: delta label
+    /// entries or repaired bit-parallel columns exist. `false` right
+    /// after construction or a fully-caught-up [`DynamicIndex::rebase`];
+    /// the flatten pipeline uses this to skip no-op flattens.
+    pub fn overlay_dirty(&self) -> bool {
+        self.delta.iter().any(|d| !d.ranks.is_empty())
+            || self.bp_override.iter().any(Option::is_some)
+    }
+
+    /// Verification hook for tests and audits: whether every effective
+    /// bit-parallel column (base plus copy-on-write overrides) is
+    /// **word-identical** to a from-scratch 65-source BFS over the
+    /// current adjacency — the correctness invariant of the incremental
+    /// repair. O(t·(n+m)); not for hot paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PllError::DiameterTooLarge`] from the reference
+    /// recompute (the incremental repair would have hit it first).
+    pub fn bp_columns_word_identical(&self) -> Result<bool> {
+        let n = self.num_vertices();
+        for i in 0..self.bp_roots.len() {
+            if self.bp_roots[i] == RANK_SENTINEL {
+                continue;
+            }
+            let full = self.recompute_column(i)?;
+            for v in 0..n as Rank {
+                if self.eff_bp_entry(v, i) != full[v as usize] {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Freezes the current overlay into an immutable query-only
+    /// [`OverlaySnapshot`]: O(n + delta entries), sharing the base and
+    /// the repaired bit-parallel columns by `Arc` — cheap enough to run
+    /// on every UPDATE batch.
+    pub fn snapshot(&self) -> OverlaySnapshot {
+        OverlaySnapshot {
+            base: Arc::clone(&self.base),
+            delta: self.delta.clone(),
+            bp_roots: self.bp_roots.clone(),
+            bp_override: self.bp_override.clone(),
+            delta_entries: self.delta_entries(),
+        }
+    }
+
+    /// Swaps a freshly flattened base underneath the live overlay. The
+    /// first `absorbed` inserted edges are assumed baked into `new_base`
+    /// (they are when it came from flattening a snapshot taken at that
+    /// point); the remainder is replayed against the new base, so
+    /// answers are unchanged at every vertex pair. Epoch and lifetime
+    /// stats are preserved — a rebase is a representation change, not
+    /// an update, and it never touches [`DynamicIndex::touched_vertices`]
+    /// semantics (the set refers to the last `apply` batch).
+    ///
+    /// # Errors
+    ///
+    /// [`PllError::Unsupported`] if `new_base` is not an undirected
+    /// index with the same vertex count and rank order as the current
+    /// base. Replay errors (e.g. [`PllError::DiameterTooLarge`]) cannot
+    /// occur when the replayed edges were already applied to this
+    /// overlay, but propagate if they do; the overlay is then invalid.
+    pub fn rebase(&mut self, new_base: Arc<AnyIndex>, absorbed: usize) -> Result<()> {
+        if !matches!(
+            &*new_base,
+            AnyIndex::Undirected(_) | AnyIndex::UndirectedView(_)
+        ) {
+            return Err(PllError::Unsupported {
+                message: format!(
+                    "rebase requires an undirected index (got {})",
+                    new_base.format().name()
+                ),
+            });
+        }
+        if new_base.num_vertices() != self.num_vertices() {
+            return Err(PllError::Unsupported {
+                message: format!(
+                    "rebase vertex-count mismatch: overlay covers {}, new base {}",
+                    self.num_vertices(),
+                    new_base.num_vertices()
+                ),
+            });
+        }
+        let same_order = with_undirected!(&*self.base, old => {
+            with_undirected!(&*new_base, fresh => old.order() == fresh.order())
+        });
+        if !same_order {
+            return Err(PllError::Unsupported {
+                message: "rebase requires the same vertex order as the current base \
+                          (flatten preserves it; an independently rebuilt index may not)"
+                    .to_string(),
+            });
+        }
+        let absorbed = absorbed.min(self.inserted.len());
+        let replay: Vec<(Vertex, Vertex)> = self.inserted.split_off(absorbed);
+        // The delta adjacency must describe exactly the edge set the new
+        // base was flattened over before anything is replayed — a
+        // not-yet-replayed edge left in `extra` would pollute the BP
+        // mask fixpoint the incremental repair relies on. The absorbed
+        // edges stay: `csr` is still the original base graph.
+        for &(u, v) in &replay {
+            let (ru, rv) = with_undirected!(&*new_base, idx => (idx.rank_of(u), idx.rank_of(v)));
+            remove_first(&mut self.extra[ru as usize], rv);
+            remove_first(&mut self.extra[rv as usize], ru);
+        }
+        for d in &mut self.delta {
+            d.ranks.clear();
+            d.dists.clear();
+        }
+        let (bp_sel, bp_roots) = recover_bp_sources(&new_base);
+        self.bp_sel = bp_sel;
+        self.bp_override = vec![None; bp_roots.len()];
+        self.bp_roots = bp_roots;
+        self.base = new_base;
+        self.rebuild_dtop();
+        let mut batch = UpdateStats::default();
+        for &(u, v) in &replay {
+            let (ru, rv) = with_undirected!(&*self.base, idx => (idx.rank_of(u), idx.rank_of(v)));
+            self.extra[ru as usize].push(rv);
+            self.extra[rv as usize].push(ru);
+            self.inserted.push((u, v));
+            self.process_insertion(ru, rv, &mut batch)?;
+        }
+        self.scratch.touched_ranks.clear();
+        Ok(())
     }
 
     /// Merges base + delta labels into a fresh owned [`PllIndex`]
@@ -506,32 +1040,7 @@ impl DynamicIndex {
     /// `store_parents(true)` when path reconstruction must survive
     /// updates.
     pub fn flatten(&self, threads: usize) -> Result<PllIndex> {
-        let n = self.num_vertices();
-        let mut ranks: Vec<Vec<Rank>> = Vec::with_capacity(n);
-        let mut dists: Vec<Vec<Dist>> = Vec::with_capacity(n);
-        for v in 0..n as Rank {
-            let mut cursor = self.merged_cursor(v);
-            let mut vr = Vec::new();
-            let mut vd = Vec::new();
-            while let Some((w, d)) = cursor.next() {
-                vr.push(w);
-                vd.push(d);
-            }
-            ranks.push(vr);
-            dists.push(vd);
-        }
-        let threads = crate::par::resolve_threads(threads);
-        let labels = LabelSet::from_vecs(&ranks, &dists, None, threads)?;
-        let t = self.bp_roots.len();
-        let entries: Vec<BpEntry> = (0..n as Rank)
-            .flat_map(|v| (0..t).map(move |i| self.eff_bp_entry(v, i)))
-            .collect();
-        let bp_owned = crate::bp::BitParallelLabels::from_raw(n, self.bp_roots.clone(), entries);
-        with_undirected!(&*self.base, idx => {
-            let order = idx.order().to_vec();
-            let inv = inverse_permutation(&order);
-            Ok(PllIndex::from_parts(order, inv, labels, bp_owned, idx.stats().clone()))
-        })
+        self.view().flatten(threads)
     }
 
     // -- internals ----------------------------------------------------
@@ -548,19 +1057,6 @@ impl DynamicIndex {
         })
     }
 
-    fn merged_cursor(&self, v: Rank) -> MergedCursor<'_> {
-        let (br, bd) = self.base_label_body(v);
-        let dl = &self.delta[v as usize];
-        MergedCursor {
-            base_ranks: br,
-            base_dists: bd,
-            delta_ranks: &dl.ranks,
-            delta_dists: &dl.dists,
-            i: 0,
-            j: 0,
-        }
-    }
-
     /// Entry of vertex `v` for structure `i`, reading the repaired
     /// column when one exists and the base column otherwise.
     #[inline]
@@ -571,70 +1067,23 @@ impl DynamicIndex {
         }
     }
 
-    /// The §5.3 bit-parallel query over the *effective* (repaired)
-    /// columns — exact whenever a shortest path meets a structure's
-    /// source set, because affected columns are recomputed on insert.
-    fn eff_bp_query(&self, u: Rank, v: Rank) -> u32 {
-        let mut best = INF_QUERY;
-        for i in 0..self.bp_roots.len() {
-            let a = self.eff_bp_entry(u, i);
-            let b = self.eff_bp_entry(v, i);
-            if a.dist == INF8 || b.dist == INF8 {
-                continue;
-            }
-            let mut td = a.dist as u32 + b.dist as u32;
-            if td.saturating_sub(2) < best {
-                if a.set_minus1 & b.set_minus1 != 0 {
-                    td -= 2;
-                } else if (a.set_minus1 & b.set_zero) | (a.set_zero & b.set_minus1) != 0 {
-                    td -= 1;
-                }
-                if td < best {
-                    best = td;
-                }
-            }
+    /// `eff_bp_entry` against pre-resolved override columns: the hot
+    /// insertion paths clone the `Arc` handles once per edge (so the
+    /// borrow is independent of `self`) and read raw slices instead of
+    /// re-resolving `bp_override` on every visit.
+    #[inline]
+    fn bp_entry_from(&self, cols: &[Option<&[BpEntry]>], v: Rank, i: usize) -> BpEntry {
+        match cols[i] {
+            Some(c) => c[v as usize],
+            None => with_undirected!(&*self.base, idx => idx.bit_parallel().entry(v, i)),
         }
-        best
     }
 
     /// The exact updated distance between rank-space vertices: min over
     /// the repaired bit-parallel oracle and the merge-join over combined
     /// base + delta labels.
     fn combined_query_ranks(&self, u: Rank, v: Rank) -> u32 {
-        if u == v {
-            return 0;
-        }
-        let mut best = self.eff_bp_query(u, v);
-        // Fast path: neither endpoint carries a delta label, so the
-        // combined labels are exactly the sentinel-terminated base labels
-        // and the shared (branchless) kernel applies directly.
-        if self.delta[u as usize].ranks.is_empty() && self.delta[v as usize].ranks.is_empty() {
-            let d = with_undirected!(&*self.base, idx => {
-                let (ur, ud) = idx.labels().label(u);
-                let (vr, vd) = idx.labels().label(v);
-                crate::kernel::merge_query(ur, ud, vr, vd)
-            });
-            return best.min(d);
-        }
-        let mut cu = self.merged_cursor(u);
-        let mut cv = self.merged_cursor(v);
-        let mut au = cu.next();
-        let mut av = cv.next();
-        while let (Some((ru, du)), Some((rv, dv))) = (au, av) {
-            if ru == rv {
-                let d = du as u32 + dv as u32;
-                if d < best {
-                    best = d;
-                }
-                au = cu.next();
-                av = cv.next();
-            } else if ru < rv {
-                au = cu.next();
-            } else {
-                av = cv.next();
-            }
-        }
-        best
+        self.view().combined_query_ranks(u, v)
     }
 
     /// Collects the hubs "visible" from rank `x`: combined normal label
@@ -665,29 +1114,18 @@ impl DynamicIndex {
         }
     }
 
-    /// Distance from source `k` of structure `i` (`None` = the root) to
-    /// a vertex with effective entry `e`: a selected neighbour sits one
-    /// step from the root, so its distance is δ̃ − 1, δ̃ or δ̃ + 1, and
-    /// the masks say which.
-    fn bp_source_dist(e: BpEntry, k: Option<usize>) -> u32 {
-        if e.dist == INF8 {
-            return INF_QUERY;
-        }
-        match k {
-            None => e.dist as u32,
-            Some(k) if e.set_minus1 >> k & 1 == 1 => e.dist as u32 - 1,
-            Some(k) if e.set_zero >> k & 1 == 1 => e.dist as u32,
-            Some(_) => e.dist as u32 + 1,
-        }
-    }
-
     /// Repairs the bit-parallel oracle for an inserted rank-space edge
-    /// `(a, b)`: any structure with a source whose distances to the two
-    /// endpoints differ by ≥ 2 gains shorter paths through the edge, and
-    /// its whole column is recomputed over the updated adjacency
-    /// (Algorithm 3, rerun). Unaffected structures keep their (still
-    /// exact) base columns — for a local shortcut that is almost all of
-    /// them.
+    /// `(a, b)`. Every structure whose component contains the edge is
+    /// repaired *incrementally* ([`DynamicIndex::repair_column_core`]):
+    /// the repair keeps each stored column **word-identical to a full
+    /// recompute over the current adjacency** — even a gap-1 edge
+    /// changes sibling/parent mask words, so every in-component
+    /// structure is visited, and the repair itself detects the (common)
+    /// no-change case in O(degree). Structures whose affected region
+    /// exceeds the frontier cap fall back to the full level-synchronous
+    /// recompute. Only columns with at least one changed word
+    /// materialize a copy-on-write override; `bp_columns_repaired`
+    /// counts exactly those.
     fn update_bp_columns(&mut self, a: Rank, b: Rank, batch: &mut UpdateStats) -> Result<()> {
         for i in 0..self.bp_roots.len() {
             if self.bp_roots[i] == u32::MAX {
@@ -698,25 +1136,340 @@ impl DynamicIndex {
             if ea.dist == INF8 && eb.dist == INF8 {
                 continue; // the edge is outside this structure's component
             }
-            let sources = std::iter::once(None).chain(
-                self.bp_sel[i]
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &v)| v != RANK_SENTINEL)
-                    .map(|(k, _)| Some(k)),
-            );
-            let affected = sources.into_iter().any(|k| {
-                let da = Self::bp_source_dist(ea, k);
-                let db = Self::bp_source_dist(eb, k);
-                da.abs_diff(db) >= 2
-            });
-            if affected {
-                let column = self.recompute_column(i)?;
-                self.bp_override[i] = Some(column);
-                batch.bp_columns_repaired += 1;
+            let n = self.num_vertices();
+            let mut s = std::mem::take(&mut self.scratch.repair);
+            if s.pos.len() < n {
+                s.pos.resize(n, u32::MAX);
+                s.dirty_mark.resize(n, 0);
             }
+            if s.buckets.len() < MAX_DIST as usize + 2 {
+                s.buckets.resize_with(MAX_DIST as usize + 2, Vec::new);
+            }
+            s.old.clear();
+            s.new.clear();
+            s.touched.clear();
+            s.queue.clear();
+            s.gen = s.gen.wrapping_add(1);
+            if s.gen == 0 {
+                s.dirty_mark.fill(0);
+                s.gen = 1;
+            }
+            let outcome = self.repair_column_core(i, a, b, &mut s);
+            // Lazy reset (the overlay lists in `s` stay intact).
+            for &v in &s.touched {
+                s.pos[v as usize] = u32::MAX;
+            }
+            for bucket in s.buckets.iter_mut() {
+                bucket.clear();
+            }
+            let outcome = match outcome {
+                Ok(o) => o,
+                Err(e) => {
+                    self.scratch.repair = s;
+                    return Err(e);
+                }
+            };
+            match outcome {
+                RepairOutcome::Done => {
+                    let any_changed = (0..s.touched.len()).any(|p| s.new[p] != s.old[p]);
+                    if any_changed {
+                        self.ensure_override(i);
+                        if let Some(arc) = self.bp_override[i].as_mut() {
+                            let column = Arc::make_mut(arc);
+                            for (p, &v) in s.touched.iter().enumerate() {
+                                if s.new[p] != s.old[p] {
+                                    column[v as usize] = s.new[p];
+                                    self.scratch.touched_ranks.push(v);
+                                }
+                            }
+                        }
+                        batch.bp_columns_repaired += 1;
+                    }
+                }
+                RepairOutcome::FrontierExceeded => {
+                    let column = match self.recompute_column(i) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            self.scratch.repair = s;
+                            return Err(e);
+                        }
+                    };
+                    let mut changed = false;
+                    for v in 0..n as Rank {
+                        if self.eff_bp_entry(v, i) != column[v as usize] {
+                            changed = true;
+                            self.scratch.touched_ranks.push(v);
+                        }
+                    }
+                    if changed {
+                        self.bp_override[i] = Some(Arc::new(column));
+                        batch.bp_columns_repaired += 1;
+                    }
+                }
+            }
+            self.scratch.repair = s;
         }
         Ok(())
+    }
+
+    /// Materializes an owned override column for structure `i` by
+    /// copying the base column; no-op when an override already exists.
+    fn ensure_override(&mut self, i: usize) {
+        if self.bp_override[i].is_some() {
+            return;
+        }
+        let n = self.num_vertices();
+        let column: Vec<BpEntry> = with_undirected!(&*self.base, idx => {
+            let bp = idx.bit_parallel();
+            (0..n as Rank).map(|v| bp.entry(v, i)).collect()
+        });
+        self.bp_override[i] = Some(Arc::new(column));
+    }
+
+    /// Effective entry of `v` in structure `i`, reading the in-progress
+    /// repair overlay first.
+    #[inline]
+    fn repaired_entry(&self, s: &RepairScratch, i: usize, v: Rank) -> BpEntry {
+        match s.pos[v as usize] {
+            u32::MAX => self.eff_bp_entry(v, i),
+            p => s.new[p as usize],
+        }
+    }
+
+    /// Ensures `v` has a repair-overlay slot (capturing its pre-repair
+    /// entry for the change diff) and returns the slot index.
+    fn repair_slot(&self, s: &mut RepairScratch, i: usize, v: Rank) -> usize {
+        match s.pos[v as usize] {
+            u32::MAX => {
+                let e = self.eff_bp_entry(v, i);
+                let p = s.touched.len();
+                s.pos[v as usize] = p as u32;
+                s.touched.push(v);
+                s.old.push(e);
+                s.new.push(e);
+                p
+            }
+            p => p as usize,
+        }
+    }
+
+    /// Queues `v` for the mask sweep at its (new) level; no-op for
+    /// unreachable vertices (no masks) and already-queued ones.
+    fn queue_dirty(&self, s: &mut RepairScratch, i: usize, v: Rank, max_level: &mut u32) {
+        if s.dirty_mark[v as usize] == s.gen {
+            return;
+        }
+        let e = self.repaired_entry(s, i, v);
+        if e.dist == INF8 {
+            return;
+        }
+        s.dirty_mark[v as usize] = s.gen;
+        let level = e.dist as u32;
+        s.buckets[level as usize].push(v);
+        if level > *max_level {
+            *max_level = level;
+        }
+    }
+
+    /// The incremental column repair. The stored column is the unique
+    /// fixpoint of the §5 recurrences over the current adjacency with
+    /// the root pinned at 0 and each selected neighbour `k` pinned at 1
+    /// with seed bit `1 << k`:
+    ///
+    /// * `S⁻¹(v) = seed(v) | OR { S⁻¹(u) : u ∈ N(v), d(u) = d(v) − 1 }`
+    /// * `S⁰(v) = OR { S⁻¹(u) : u ∈ N(v), d(u) = d(v) }
+    ///            | OR { S⁰(u) : u ∈ N(v), d(u) = d(v) − 1 }`
+    ///
+    /// which is exactly what [`DynamicIndex::recompute_column`] (and
+    /// construction's level-synchronous BFS) computes — hence
+    /// word-identity.
+    ///
+    /// **Phase 1 (distances)**: a decrease-only FIFO BFS seeded across
+    /// the new edge. Old distances were exact over the old adjacency, so
+    /// for any old edge `|d(u) − d(v)| ≤ 1`; improvements therefore only
+    /// propagate through improved vertices and the BFS settles each
+    /// affected vertex at its final new distance on first touch.
+    ///
+    /// **Phase 2 (masks)**: the dirty set — distance-changed vertices,
+    /// their reachable neighbours, and the edge endpoints — is swept in
+    /// level order. Per level, pass 1 re-evaluates `S⁻¹` (its level-−1
+    /// inputs are final) and re-queues same-level neighbours on change
+    /// (they read it for their `S⁰`); pass 2 re-evaluates `S⁰`
+    /// (same-level `S⁻¹` is now final) and re-queues the children on
+    /// any change (they read both words). Inductively every vertex whose
+    /// fixpoint value differs from the stored word is queued before its
+    /// level is processed, and untouched vertices keep their (equal)
+    /// words — so the sweep rewrites exactly the changed words.
+    fn repair_column_core(
+        &self,
+        i: usize,
+        a: Rank,
+        b: Rank,
+        s: &mut RepairScratch,
+    ) -> Result<RepairOutcome> {
+        let n = self.num_vertices();
+        let root = self.bp_roots[i];
+        let cap = (n / 4).max(64);
+        // Phase 1: decrease-only BFS across the inserted edge.
+        let ea = self.eff_bp_entry(a, i);
+        let eb = self.eff_bp_entry(b, i);
+        let da = if ea.dist == INF8 {
+            INF_QUERY
+        } else {
+            ea.dist as u32
+        };
+        let db = if eb.dist == INF8 {
+            INF_QUERY
+        } else {
+            eb.dist as u32
+        };
+        let (far, dn) = if da <= db { (b, da) } else { (a, db) };
+        if dn.saturating_add(1) < da.max(db) {
+            if dn + 1 > MAX_DIST as u32 {
+                return Err(PllError::DiameterTooLarge { root_rank: root });
+            }
+            let p = self.repair_slot(s, i, far);
+            s.new[p].dist = (dn + 1) as u8;
+            s.queue.push(far);
+            let mut head = 0usize;
+            while head < s.queue.len() {
+                let v = s.queue[head];
+                head += 1;
+                let dv = s.new[s.pos[v as usize] as usize].dist as u32;
+                for &u in self
+                    .csr
+                    .neighbors(v)
+                    .iter()
+                    .chain(self.extra[v as usize].iter())
+                {
+                    let eu = self.repaired_entry(s, i, u);
+                    let du = if eu.dist == INF8 {
+                        INF_QUERY
+                    } else {
+                        eu.dist as u32
+                    };
+                    if dv + 1 < du {
+                        if dv + 1 > MAX_DIST as u32 {
+                            return Err(PllError::DiameterTooLarge { root_rank: root });
+                        }
+                        let p = self.repair_slot(s, i, u);
+                        s.new[p].dist = (dv + 1) as u8;
+                        s.queue.push(u);
+                        if s.queue.len() > cap {
+                            return Ok(RepairOutcome::FrontierExceeded);
+                        }
+                    }
+                }
+            }
+        }
+        // Phase 2: seed the dirty set, then sweep in level order.
+        let mut max_level = 0u32;
+        for qi in 0..s.queue.len() {
+            let v = s.queue[qi];
+            self.queue_dirty(s, i, v, &mut max_level);
+            for &u in self
+                .csr
+                .neighbors(v)
+                .iter()
+                .chain(self.extra[v as usize].iter())
+            {
+                self.queue_dirty(s, i, u, &mut max_level);
+            }
+        }
+        self.queue_dirty(s, i, a, &mut max_level);
+        self.queue_dirty(s, i, b, &mut max_level);
+        let mut processed = 0usize;
+        let mut level = 0u32;
+        while level <= max_level {
+            // Pass 1: S⁻¹ words (level-−1 inputs are final).
+            let mut idx = 0usize;
+            while idx < s.buckets[level as usize].len() {
+                let v = s.buckets[level as usize][idx];
+                idx += 1;
+                processed += 1;
+                if processed > cap {
+                    return Ok(RepairOutcome::FrontierExceeded);
+                }
+                let mut m1 = 0u64;
+                if level == 1 {
+                    if let Some(k) = self.bp_sel[i].iter().position(|&x| x == v) {
+                        m1 |= 1u64 << k;
+                    }
+                }
+                if level > 0 {
+                    for &u in self
+                        .csr
+                        .neighbors(v)
+                        .iter()
+                        .chain(self.extra[v as usize].iter())
+                    {
+                        let eu = self.repaired_entry(s, i, u);
+                        if eu.dist != INF8 && eu.dist as u32 + 1 == level {
+                            m1 |= eu.set_minus1;
+                        }
+                    }
+                }
+                let p = self.repair_slot(s, i, v);
+                let moved = s.new[p].dist != s.old[p].dist;
+                let m1_changed = m1 != s.old[p].set_minus1;
+                s.new[p].set_minus1 = m1;
+                if moved || m1_changed {
+                    // Same-level neighbours read this S⁻¹ for their S⁰.
+                    for &u in self
+                        .csr
+                        .neighbors(v)
+                        .iter()
+                        .chain(self.extra[v as usize].iter())
+                    {
+                        let eu = self.repaired_entry(s, i, u);
+                        if eu.dist != INF8 && eu.dist as u32 == level {
+                            self.queue_dirty(s, i, u, &mut max_level);
+                        }
+                    }
+                }
+            }
+            // Pass 2: S⁰ words (same-level S⁻¹ is now final).
+            let mut idx = 0usize;
+            while idx < s.buckets[level as usize].len() {
+                let v = s.buckets[level as usize][idx];
+                idx += 1;
+                let mut z = 0u64;
+                for &u in self
+                    .csr
+                    .neighbors(v)
+                    .iter()
+                    .chain(self.extra[v as usize].iter())
+                {
+                    let eu = self.repaired_entry(s, i, u);
+                    if eu.dist == INF8 {
+                        continue;
+                    }
+                    if eu.dist as u32 == level {
+                        z |= eu.set_minus1;
+                    } else if eu.dist as u32 + 1 == level {
+                        z |= eu.set_zero;
+                    }
+                }
+                let p = s.pos[v as usize] as usize;
+                s.new[p].set_zero = z;
+                if s.new[p] != s.old[p] {
+                    // Children read both words of this vertex.
+                    for &u in self
+                        .csr
+                        .neighbors(v)
+                        .iter()
+                        .chain(self.extra[v as usize].iter())
+                    {
+                        let eu = self.repaired_entry(s, i, u);
+                        if eu.dist != INF8 && eu.dist as u32 == level + 1 {
+                            self.queue_dirty(s, i, u, &mut max_level);
+                        }
+                    }
+                }
+            }
+            level += 1;
+        }
+        Ok(RepairOutcome::Done)
     }
 
     /// Reruns the level-synchronous 65-source BFS of structure `i`
@@ -786,49 +1539,189 @@ impl DynamicIndex {
 
     /// Handles one inserted rank-space edge `(a, b)` (already added to
     /// the delta adjacency): repairs the bit-parallel oracle, then
-    /// resumes pruned BFSs from every affected root whose combined
+    /// resumes pruned BFSs from every affected root whose pre-edge
     /// distances to the endpoints differ by ≥ 2.
+    ///
+    /// The trigger needs `d(r, a)` and `d(r, b)` in the pre-edge graph
+    /// for every candidate root. Two ways to get those exact values:
+    /// one combined-label query per root and endpoint
+    /// (O(roots · avg-label)), or two plain BFSs from the endpoints
+    /// over the combined adjacency minus the new edge (O(n + m) total,
+    /// independent of the root count). Both are exact on the same
+    /// metric, so the choice is purely a cost model: small graphs with
+    /// fat labels (where the root set rivals the vertex count) take the
+    /// BFS pair; large sparse graphs with compact labels keep the
+    /// per-root queries.
     fn process_insertion(&mut self, a: Rank, b: Rank, batch: &mut UpdateStats) -> Result<()> {
         self.update_bp_columns(a, b, batch)?;
+        // Pin the (just-repaired) bit-parallel columns for the whole
+        // edge: cloning the `Arc` handles detaches the borrow from
+        // `self`, and the raw slices spare every trigger fetch and
+        // prune-test visit a re-resolution of `bp_override`.
+        let bp_over = self.bp_override.clone();
+        let bp_cols: Vec<Option<&[BpEntry]>> = bp_over
+            .iter()
+            .map(|o| o.as_deref().map(Vec::as_slice))
+            .collect();
         let mut roots = std::mem::take(&mut self.scratch.roots);
         roots.clear();
         self.collect_hubs(a, &mut roots);
         self.collect_hubs(b, &mut roots);
         roots.sort_unstable();
         roots.dedup();
+        let n = self.num_vertices() as u64;
+        let m = self.csr.num_edges() as u64 + 2 * self.inserted.len() as u64;
+        // roots.len() ≈ |L(a)| + |L(b)| ≈ twice the average label, so
+        // roots² / 2 estimates the per-root-query cost while 2(n + m)
+        // is the exact BFS-pair cost.
+        let bfs_cheaper = 2 * (n + m) < (roots.len() as u64).pow(2) / 2;
+        if bfs_cheaper {
+            let mut da_arr = std::mem::take(&mut self.scratch.trig_a);
+            let mut db_arr = std::mem::take(&mut self.scratch.trig_b);
+            let mut qa = std::mem::take(&mut self.scratch.trig_qa);
+            let mut qb = std::mem::take(&mut self.scratch.trig_qb);
+            self.pre_edge_distances(a, a, b, &mut da_arr, &mut qa);
+            self.pre_edge_distances(b, a, b, &mut db_arr, &mut qb);
+            let t = self.bp_roots.len();
+            let a_bp: Vec<BpEntry> = (0..t).map(|i| self.bp_entry_from(&bp_cols, a, i)).collect();
+            let b_bp: Vec<BpEntry> = (0..t).map(|i| self.bp_entry_from(&bp_cols, b, i)).collect();
+            let mut result = Ok(());
+            for &r in &roots {
+                // Min with the (already repaired, so post-edge) BP
+                // oracle, exactly like the combined query below does:
+                // a root whose shortened pairs the oracle certifies
+                // needs no label repair at all. The endpoints' entries
+                // are hoisted above; only the root's vary per iteration.
+                let mut qa_bp = INF_QUERY;
+                let mut qb_bp = INF_QUERY;
+                for i in 0..t {
+                    let re = self.bp_entry_from(&bp_cols, r, i);
+                    qa_bp = bp_pair_min(&re, &a_bp[i], qa_bp);
+                    qb_bp = bp_pair_min(&re, &b_bp[i], qb_bp);
+                }
+                let da = da_arr[r as usize].min(qa_bp);
+                let db = db_arr[r as usize].min(qb_bp);
+                if da != INF_QUERY && da.saturating_add(1) < db {
+                    result = self.resume(r, b, da + 1, batch, &bp_cols);
+                } else if db != INF_QUERY && db.saturating_add(1) < da {
+                    result = self.resume(r, a, db + 1, batch, &bp_cols);
+                }
+                if result.is_err() {
+                    break;
+                }
+            }
+            // Lazy reset so the next insertion starts clean.
+            for &v in &qa {
+                da_arr[v as usize] = INF_QUERY;
+            }
+            for &v in &qb {
+                db_arr[v as usize] = INF_QUERY;
+            }
+            self.scratch.trig_a = da_arr;
+            self.scratch.trig_b = db_arr;
+            self.scratch.trig_qa = qa;
+            self.scratch.trig_qb = qb;
+            self.scratch.roots = roots;
+            return result;
+        }
         for &r in &roots {
             let da = self.combined_query_ranks(r, a);
             let db = self.combined_query_ranks(r, b);
             if da != INF_QUERY && da.saturating_add(1) < db {
-                self.resume(r, b, da + 1, batch)?;
+                self.resume(r, b, da + 1, batch, &bp_cols)?;
             } else if db != INF_QUERY && db.saturating_add(1) < da {
-                self.resume(r, a, db + 1, batch)?;
+                self.resume(r, a, db + 1, batch, &bp_cols)?;
             }
         }
         self.scratch.roots = roots;
         Ok(())
     }
 
+    /// Fills `dist` with exact BFS distances from `from` over the
+    /// combined adjacency **minus** the just-inserted edge `(a, b)` —
+    /// the pre-edge metric the affected-root trigger compares, equal by
+    /// construction to a combined-label query against the not-yet-
+    /// repaired labels. `queue` doubles as the touched list for the
+    /// caller's lazy reset.
+    fn pre_edge_distances(
+        &self,
+        from: Rank,
+        a: Rank,
+        b: Rank,
+        dist: &mut [u32],
+        queue: &mut Vec<Rank>,
+    ) {
+        queue.clear();
+        dist[from as usize] = 0;
+        queue.push(from);
+        let mut head = 0usize;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            let du = dist[u as usize];
+            for &w in self
+                .csr
+                .neighbors(u)
+                .iter()
+                .chain(self.extra[u as usize].iter())
+            {
+                if (u == a && w == b) || (u == b && w == a) {
+                    continue;
+                }
+                if dist[w as usize] == INF_QUERY {
+                    dist[w as usize] = du + 1;
+                    queue.push(w);
+                }
+            }
+        }
+    }
+
     /// Resumes the pruned BFS of root `r` from `start` at distance `d0`,
     /// pruning every visit the combined index already answers and
     /// appending `(r, d)` delta entries elsewhere (Algorithm 1, seeded
     /// mid-tree).
-    fn resume(&mut self, r: Rank, start: Rank, d0: u32, batch: &mut UpdateStats) -> Result<()> {
+    fn resume(
+        &mut self,
+        r: Rank,
+        start: Rank,
+        d0: u32,
+        batch: &mut UpdateStats,
+        bp_cols: &[Option<&[BpEntry]>],
+    ) -> Result<()> {
         batch.roots_resumed += 1;
         // Temp array over the combined label of r (§4.5 "Querying"), and
         // d(r, r) = 0 even when r's own label elides it (BP-covered
-        // roots never self-labelled).
+        // roots never self-labelled). The top-rank head is exactly `r`'s
+        // dense row (base and delta pre-merged, equal ranks already at
+        // their min), so populating it is one short copy; only hubs past
+        // `ktop` need a sparse walk, starting at a binary-searched
+        // offset because labels are rank-sorted.
         let mut temp = std::mem::take(&mut self.scratch.temp);
+        let ktop = self.ktop;
+        // Highest-ranked hub present in `temp`: label scans in the prune
+        // test can stop at the first hub past it (labels are rank-sorted
+        // ascending, and a hub absent from `temp` can never certify).
+        let mut temp_max = r;
         {
-            let mut cursor = self.merged_cursor(r);
-            while let Some((w, d)) = cursor.next() {
-                temp[w as usize] = d;
+            temp[..ktop].copy_from_slice(&self.dtop[r as usize * ktop..(r as usize + 1) * ktop]);
+            let (br, bd) = self.base_label_body(r);
+            let start = br.partition_point(|&w| (w as usize) < ktop);
+            for (&w, &dw) in br[start..].iter().zip(bd[start..].iter()) {
+                temp[w as usize] = temp[w as usize].min(dw);
+                temp_max = temp_max.max(w);
+            }
+            let dl = &self.delta[r as usize];
+            let start = dl.ranks.partition_point(|&w| (w as usize) < ktop);
+            for (&w, &dw) in dl.ranks[start..].iter().zip(dl.dists[start..].iter()) {
+                temp[w as usize] = temp[w as usize].min(dw);
+                temp_max = temp_max.max(w);
             }
             temp[r as usize] = 0;
         }
+
         let mut root_bp = std::mem::take(&mut self.scratch.root_bp);
         root_bp.clear();
-        root_bp.extend((0..self.bp_roots.len()).map(|i| self.eff_bp_entry(r, i)));
+        root_bp.extend((0..self.bp_roots.len()).map(|i| self.bp_entry_from(bp_cols, r, i)));
 
         let mut tent = std::mem::take(&mut self.scratch.tent);
         let mut queue = std::mem::take(&mut self.scratch.queue);
@@ -842,7 +1735,7 @@ impl DynamicIndex {
             head += 1;
             let d = tent[u as usize];
             batch.vertices_visited += 1;
-            if self.pruned(&root_bp, u, d, &temp) {
+            if self.pruned(&root_bp, bp_cols, u, d, &temp, temp_max) {
                 continue;
             }
             if d > MAX_DIST as u32 {
@@ -850,7 +1743,13 @@ impl DynamicIndex {
                 break;
             }
             if self.delta[u as usize].upsert(r, d as Dist) {
+                if (r as usize) < self.ktop {
+                    // Mirror the (inserted or improved) entry into the
+                    // dense row the prune test reads.
+                    self.dtop[u as usize * self.ktop + r as usize] = d as Dist;
+                }
                 batch.entries_added += 1;
+                self.scratch.touched_ranks.push(u);
             }
             for w in self
                 .csr
@@ -864,13 +1763,23 @@ impl DynamicIndex {
                 }
             }
         }
-        // Lazy reset of everything touched.
+        // Lazy reset of everything touched: one fill for the dense head,
+        // then the sparse tail hubs. The walk re-reads the *current*
+        // labels — a superset of what setup saw if the BFS just grew
+        // `delta[r]` — which at worst re-clears an already-clear slot.
         for &v in &queue {
             tent[v as usize] = INF_QUERY;
         }
-        {
-            let mut cursor = self.merged_cursor(r);
-            while let Some((w, _)) = cursor.next() {
+        temp[..ktop].fill(INF8);
+        if (temp_max as usize) >= ktop {
+            let (br, _) = self.base_label_body(r);
+            let start = br.partition_point(|&w| (w as usize) < ktop);
+            for &w in &br[start..] {
+                temp[w as usize] = INF8;
+            }
+            let dl = &self.delta[r as usize];
+            let start = dl.ranks.partition_point(|&w| (w as usize) < ktop);
+            for &w in &dl.ranks[start..] {
                 temp[w as usize] = INF8;
             }
             temp[r as usize] = INF8;
@@ -883,12 +1792,73 @@ impl DynamicIndex {
     }
 
     /// The dynamic pruning test for a visit of `u` at distance `d` from
-    /// the current root: repaired bit-parallel certificates first, then
-    /// the combined base + delta labels of `u` against the temp array.
-    fn pruned(&self, root_bp: &[BpEntry], u: Rank, d: u32, temp: &[Dist]) -> bool {
-        let bp_hit = root_bp.iter().enumerate().any(|(i, a)| {
-            let b = self.eff_bp_entry(u, i);
-            if a.dist == INF8 || b.dist == INF8 {
+    /// the current root: the branchless dense-row label test first (the
+    /// cheapest check and the one that fires most often), then the
+    /// repaired bit-parallel certificates, then the sparse label
+    /// suffix. The three certificates are OR'd, so the order is purely
+    /// a cost choice.
+    fn pruned(
+        &self,
+        root_bp: &[BpEntry],
+        bp_cols: &[Option<&[BpEntry]>],
+        u: Rank,
+        d: u32,
+        temp: &[Dist],
+        temp_max: Rank,
+    ) -> bool {
+        if d >= INF8 as u32 {
+            // Distances this large are about to fail the MAX_DIST check
+            // anyway; take the plain label walk, whose unsaturated sums
+            // keep the exact legacy semantics at the overflow boundary.
+            // `temp_max` only tracks hubs past the dense head, so widen
+            // the stop bound to cover the head too (a larger bound only
+            // scans further — unset `temp` entries never certify).
+            if self.bp_certified(root_bp, bp_cols, u, d) {
+                return true;
+            }
+            let stop = temp_max.max(self.ktop.saturating_sub(1) as Rank);
+            return self.pruned_scan(u, d, temp, stop, 0);
+        }
+        // Top ranks: one branchless strided row — min over the dense
+        // `d(r, w) + d(w, u)` relaxations, `INF8` saturating so missing
+        // entries never certify. This is the whole test for the common
+        // case (`temp_max < ktop`, i.e. every hub of the merged L(r) is
+        // a top rank). `best` stays INF8 = 255 when nothing certifies,
+        // which can't pass `<= d` here (`d < 255`).
+        let row = &self.dtop[u as usize * self.ktop..(u as usize + 1) * self.ktop];
+        let mut best = INF8;
+        for (&tw, &dw) in temp[..self.ktop].iter().zip(row.iter()) {
+            best = best.min(tw.saturating_add(dw));
+        }
+        if best as u32 <= d {
+            return true;
+        }
+        if self.bp_certified(root_bp, bp_cols, u, d) {
+            return true;
+        }
+        if (temp_max as usize) >= self.ktop && self.pruned_scan(u, d, temp, temp_max, self.ktop) {
+            return true;
+        }
+        false
+    }
+
+    /// Whether any repaired bit-parallel structure certifies
+    /// `d(r, u) <= d` — the §5.3 case analysis against the root entries
+    /// hoisted in `root_bp` and the per-edge resolved columns.
+    #[inline]
+    fn bp_certified(
+        &self,
+        root_bp: &[BpEntry],
+        bp_cols: &[Option<&[BpEntry]>],
+        u: Rank,
+        d: u32,
+    ) -> bool {
+        root_bp.iter().enumerate().any(|(i, a)| {
+            if a.dist == INF8 {
+                return false;
+            }
+            let b = self.bp_entry_from(bp_cols, u, i);
+            if b.dist == INF8 {
                 return false;
             }
             let mut td = a.dist as u32 + b.dist as u32;
@@ -901,21 +1871,34 @@ impl DynamicIndex {
                 td -= 1;
             }
             td <= d
-        });
-        if bp_hit {
-            return true;
-        }
+        })
+    }
+
+    /// The label-walk half of the prune test, restricted to hubs with
+    /// rank in `[min_rank, temp_max]` — the tail [`DynamicIndex::dtop`]
+    /// does not cover. Labels are rank-sorted, so the walk starts at a
+    /// binary-searched offset and stops at the first hub past
+    /// `temp_max` (absent from `temp`, it could never certify).
+    fn pruned_scan(&self, u: Rank, d: u32, temp: &[Dist], temp_max: Rank, min_rank: usize) -> bool {
         let (ur, ud) = self.base_label_body(u);
-        for (i, &w) in ur.iter().enumerate() {
+        let start = ur.partition_point(|&w| (w as usize) < min_rank);
+        for (&w, &dw) in ur[start..].iter().zip(ud[start..].iter()) {
+            if w > temp_max {
+                break;
+            }
             let tw = temp[w as usize];
-            if tw != INF8 && tw as u32 + ud[i] as u32 <= d {
+            if tw != INF8 && tw as u32 + dw as u32 <= d {
                 return true;
             }
         }
         let dl = &self.delta[u as usize];
-        for (i, &w) in dl.ranks.iter().enumerate() {
+        let start = dl.ranks.partition_point(|&w| (w as usize) < min_rank);
+        for (&w, &dw) in dl.ranks[start..].iter().zip(dl.dists[start..].iter()) {
+            if w > temp_max {
+                break;
+            }
             let tw = temp[w as usize];
-            if tw != INF8 && tw as u32 + dl.dists[i] as u32 <= d {
+            if tw != INF8 && tw as u32 + dw as u32 <= d {
                 return true;
             }
         }
@@ -1172,6 +2155,180 @@ mod tests {
         assert_eq!(dyn_idx.delta_entries(), 0);
         assert_eq!(dyn_idx.distance(0, 2), Some(2));
         assert_eq!(dyn_idx.epoch(), 0);
+    }
+
+    /// Asserts every structure's effective (incrementally repaired)
+    /// column is word-identical to a from-scratch recompute over the
+    /// current adjacency — the tentpole invariant of the repair.
+    fn assert_columns_word_identical(d: &DynamicIndex) {
+        let n = d.num_vertices();
+        for i in 0..d.bp_roots.len() {
+            if d.bp_roots[i] == u32::MAX {
+                continue;
+            }
+            let full = d.recompute_column(i).unwrap();
+            for v in 0..n as Rank {
+                assert_eq!(
+                    d.eff_bp_entry(v, i),
+                    full[v as usize],
+                    "structure {i}, rank {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repaired_columns_are_word_identical_to_recompute() {
+        for (full, keep, bp) in [
+            (gen::erdos_renyi_gnm(60, 150, 7).unwrap(), 90, 4),
+            (gen::barabasi_albert(70, 2, 3).unwrap(), 100, 8),
+            (gen::grid(6, 6).unwrap(), 40, 2),
+        ] {
+            let all: Vec<(Vertex, Vertex)> = full.edges().collect();
+            let base_graph = CsrGraph::from_edges(full.num_vertices(), &all[..keep]).unwrap();
+            let mut d = DynamicIndex::new(owned_any(&base_graph, bp), &base_graph).unwrap();
+            for e in &all[keep..] {
+                d.apply(std::slice::from_ref(e)).unwrap();
+                assert_columns_word_identical(&d);
+            }
+        }
+    }
+
+    #[test]
+    fn component_joins_repair_bp_words_exactly() {
+        let g = CsrGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]).unwrap();
+        let mut d = DynamicIndex::new(owned_any(&g, 3), &g).unwrap();
+        d.apply(&[(3, 4)]).unwrap();
+        assert_columns_word_identical(&d);
+    }
+
+    #[test]
+    fn frontier_cap_falls_back_to_full_recompute() {
+        // Closing a 150-vertex path into a cycle halves most distances:
+        // the affected region blows past the cap (max(64, n/4)), forcing
+        // the fallback, which must stay exact and word-identical.
+        let full_edges: Vec<(Vertex, Vertex)> =
+            (0..149).map(|i| (i, i + 1)).chain([(0, 149)]).collect();
+        let g = CsrGraph::from_edges(150, &full_edges[..149]).unwrap();
+        let mut d = DynamicIndex::new(owned_any(&g, 2), &g).unwrap();
+        d.apply(&[(0, 149)]).unwrap();
+        assert_columns_word_identical(&d);
+        let full = CsrGraph::from_edges(150, &full_edges).unwrap();
+        assert_exact(&d, &full);
+    }
+
+    #[test]
+    fn snapshots_freeze_answers_while_the_live_overlay_moves_on() {
+        let full = gen::erdos_renyi_gnm(40, 110, 9).unwrap();
+        let all: Vec<(Vertex, Vertex)> = full.edges().collect();
+        let g0 = CsrGraph::from_edges(40, &all[..70]).unwrap();
+        let mut d = DynamicIndex::new(view_any(&g0, 2), &g0).unwrap();
+        d.apply(&all[70..90]).unwrap();
+        let snap = d.snapshot();
+        d.apply(&all[90..]).unwrap();
+        // The snapshot answers the state at freeze time…
+        let mid = CsrGraph::from_edges(40, &all[..90]).unwrap();
+        let mut engine = BfsEngine::new(40);
+        for s in 0..40u32 {
+            let dist = engine.run(&mid, s).to_vec();
+            for t in 0..40u32 {
+                let expect = (dist[t as usize] != u32::MAX).then_some(dist[t as usize]);
+                assert_eq!(snap.distance(s, t), expect, "snapshot pair ({s}, {t})");
+                assert_eq!(snap.try_distance(s, t).unwrap(), expect);
+            }
+        }
+        // …the live overlay answers the full graph, and flattening the
+        // snapshot reproduces the snapshot's answers bit-for-bit.
+        assert_exact(&d, &full);
+        let flat = snap.flatten(1).unwrap();
+        for s in 0..40u32 {
+            for t in 0..40u32 {
+                assert_eq!(flat.distance(s, t), snap.distance(s, t));
+            }
+        }
+        assert!(snap.try_distance(0, 99).is_err());
+    }
+
+    #[test]
+    fn rebase_swaps_the_base_without_changing_answers() {
+        let full = gen::erdos_renyi_gnm(50, 140, 17).unwrap();
+        let all: Vec<(Vertex, Vertex)> = full.edges().collect();
+        let g0 = CsrGraph::from_edges(50, &all[..80]).unwrap();
+        let mut d = DynamicIndex::new(owned_any(&g0, 3), &g0).unwrap();
+        d.apply(&all[80..110]).unwrap();
+        // Snapshot mid-stream, as the background flattener would…
+        let snap = d.snapshot();
+        let absorbed = d.inserted_edges().len();
+        // …while more updates land before the flatten finishes.
+        d.apply(&all[110..130]).unwrap();
+        let epoch = d.epoch();
+        let flat = snap.flatten(1).unwrap();
+        d.rebase(Arc::new(AnyIndex::Undirected(flat)), absorbed)
+            .unwrap();
+        assert_eq!(d.epoch(), epoch, "rebase must not move the epoch");
+        assert_eq!(d.inserted_edges().len(), all[80..130].len());
+        assert_columns_word_identical(&d);
+        let g130 = CsrGraph::from_edges(50, &all[..130]).unwrap();
+        assert_exact(&d, &g130);
+        // Updates keep applying on the new base.
+        d.apply(&all[130..]).unwrap();
+        assert_exact(&d, &full);
+        assert_columns_word_identical(&d);
+        // A fully caught-up rebase leaves a pristine overlay.
+        let flat_all = d.flatten(1).unwrap();
+        let absorbed = d.inserted_edges().len();
+        d.rebase(Arc::new(AnyIndex::Undirected(flat_all)), absorbed)
+            .unwrap();
+        assert!(!d.overlay_dirty());
+        assert_eq!(d.delta_entries(), 0);
+        assert_exact(&d, &full);
+    }
+
+    #[test]
+    fn rebase_rejects_mismatched_bases() {
+        let g = gen::path(6).unwrap();
+        let mut d = DynamicIndex::new(owned_any(&g, 0), &g).unwrap();
+        let bigger = gen::path(8).unwrap();
+        let other = owned_any(&bigger, 0);
+        assert!(matches!(
+            d.rebase(Arc::clone(&other), 0),
+            Err(PllError::Unsupported { .. })
+        ));
+        use pll_graph::wgraph::WeightedGraph;
+        let wg = WeightedGraph::from_edges(6, &[(0, 1, 2)]).unwrap();
+        let widx = crate::weighted::WeightedIndexBuilder::new()
+            .build(&wg)
+            .unwrap();
+        assert!(matches!(
+            d.rebase(Arc::new(AnyIndex::Weighted(widx)), 0),
+            Err(PllError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn touched_vertices_cover_every_changed_pair() {
+        let full = gen::erdos_renyi_gnm(45, 120, 21).unwrap();
+        let all: Vec<(Vertex, Vertex)> = full.edges().collect();
+        let g0 = CsrGraph::from_edges(45, &all[..80]).unwrap();
+        let mut d = DynamicIndex::new(owned_any(&g0, 2), &g0).unwrap();
+        for chunk in all[80..].chunks(4) {
+            let before: Vec<Vec<Option<u32>>> = (0..45)
+                .map(|s| (0..45).map(|t| d.distance(s, t)).collect())
+                .collect();
+            d.apply(chunk).unwrap();
+            let touched: std::collections::HashSet<Vertex> =
+                d.touched_vertices().iter().copied().collect();
+            for s in 0..45u32 {
+                for t in 0..45u32 {
+                    if d.distance(s, t) != before[s as usize][t as usize] {
+                        assert!(
+                            touched.contains(&s) || touched.contains(&t),
+                            "changed pair ({s}, {t}) has no touched endpoint"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

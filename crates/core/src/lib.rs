@@ -67,7 +67,7 @@ pub mod weighted_dist8;
 pub use build::{BuildObserver, IndexBuilder, PartialIndex};
 pub use compact::CompactIndex;
 pub use directed::{DirectedIndexBuilder, DirectedPllIndex, DirectedPllIndexView};
-pub use dynamic::{DynamicIndex, UpdateStats};
+pub use dynamic::{DynamicIndex, OverlaySnapshot, UpdateStats};
 pub use error::{PllError, Result};
 pub use index::{PllIndex, PllIndexView};
 pub use kernel::{active_kernel, set_kernel, KernelKind};

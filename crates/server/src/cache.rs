@@ -1,20 +1,37 @@
-//! Per-worker hot-pair answer cache.
+//! Per-worker hot-pair answer cache with per-vertex generations.
 //!
 //! Repeated queries for the same few vertex pairs (hot landmarks,
-//! polling clients) re-run the label merge every time even though the
-//! served index is immutable between epochs. Each worker thread owns a
-//! small direct-mapped [`AnswerCache`] keyed by `(s, t)` and tagged
-//! with the epoch the answer was computed under: a hit must match the
-//! *current* snapshot's epoch, so a hot-swap (`UPDATE` publishing epoch
-//! `e+1`) implicitly invalidates every cached answer without any
-//! cross-thread coordination. The cache is worker-local and never
-//! shared — no locks, no false sharing, bounded memory
-//! ([`ANSWER_CACHE_SLOTS`] × 24 bytes per worker).
+//! polling clients) re-run the label merge every time even though most
+//! of the index never changes. Each worker thread owns a small
+//! direct-mapped [`AnswerCache`] keyed by `(s, t)` and tagged with the
+//! epoch the answer was computed under. Validity is decided against the
+//! shared per-vertex **generation table**: the updater records, for
+//! every vertex whose labels or bit-parallel words an UPDATE batch
+//! touched, the epoch that batch published (before the swap-cell
+//! store, so the cell's lock publishes the generations along with the
+//! index). A cached entry is live iff neither endpoint has been touched
+//! since it was computed:
+//!
+//! ```text
+//! hit(s, t)  ⇔  gen[s] ≤ entry.epoch  ∧  gen[t] ≤ entry.epoch
+//! ```
+//!
+//! This is sound because a distance answer is a function of the two
+//! endpoints' label sets and bit-parallel rows only — if a pair's
+//! distance changed, one endpoint was touched (see
+//! `DynamicIndex::touched_vertices`), its generation moved past every
+//! older entry's epoch, and the entry misses. Under overlay-direct
+//! serving the epoch bumps on *every* batch, so the old exact-epoch
+//! test would pin the hit rate at 0% under update load; endpoint
+//! generations invalidate only what actually changed. A static server
+//! passes an empty generation table and entries simply never expire.
 //!
 //! Only `QUERY`/`BATCH` distance answers are cached (the wire `u64`,
 //! `u64::MAX` = unreachable); errors and `PATH`/`CONNECTED` responses
-//! are not. Correctness does not depend on hit rate: a stale-epoch or
-//! colliding entry is simply a miss and the query recomputes.
+//! are not. Correctness does not depend on hit rate: a colliding or
+//! expired entry is simply a miss and the query recomputes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Slots per worker cache. Power of two so the slot index is a mask.
 pub const ANSWER_CACHE_SLOTS: usize = 1024;
@@ -37,7 +54,7 @@ const EMPTY: Entry = Entry {
     dist: 0,
 };
 
-/// Direct-mapped, epoch-tagged `(s, t) → distance` cache (see the
+/// Direct-mapped, generation-checked `(s, t) → distance` cache (see the
 /// module docs for the invalidation model).
 pub struct AnswerCache {
     slots: Box<[Entry; ANSWER_CACHE_SLOTS]>,
@@ -60,21 +77,40 @@ fn mix(s: u32, t: u32) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Last-touched epoch of vertex `v`, 0 when the table is absent
+/// (static serving: nothing is ever touched).
+fn generation(gens: &[AtomicU64], v: u32) -> u64 {
+    gens.get(v as usize)
+        // ORDERING: Acquire — pairs with the updater's Release stores;
+        // the real happens-before edge is the swap cell's RwLock
+        // (generations are written before the publish, read after the
+        // snapshot load), this load just keeps the per-cell reads from
+        // being torn or reordered past it.
+        .map_or(0, |g| g.load(Ordering::Acquire))
+}
+
 impl AnswerCache {
     fn slot(s: u32, t: u32) -> usize {
         (mix(s, t) as usize) & (ANSWER_CACHE_SLOTS - 1)
     }
 
-    /// The cached wire distance for `(s, t)` computed under `epoch`, or
-    /// `None` on a miss (empty slot, different pair, or older epoch).
-    pub fn get(&self, epoch: u64, s: u32, t: u32) -> Option<u64> {
+    /// The cached wire distance for `(s, t)`, or `None` on a miss
+    /// (empty slot, different pair, or an endpoint touched after the
+    /// entry was computed).
+    pub fn get(&self, gens: &[AtomicU64], s: u32, t: u32) -> Option<u64> {
         let e = &self.slots[Self::slot(s, t)];
-        (e.epoch == epoch && e.s == s && e.t == t).then_some(e.dist)
+        (e.epoch != u64::MAX
+            && e.s == s
+            && e.t == t
+            && generation(gens, s) <= e.epoch
+            && generation(gens, t) <= e.epoch)
+            .then_some(e.dist)
     }
 
-    /// Records `(s, t) → dist` as computed under `epoch`, evicting
-    /// whatever occupied the slot.
+    /// Records `(s, t) → dist` as computed under `epoch` (the snapshot
+    /// epoch the answer came from), evicting whatever occupied the slot.
     pub fn put(&mut self, epoch: u64, s: u32, t: u32, dist: u64) {
+        debug_assert_ne!(epoch, u64::MAX, "u64::MAX marks empty slots");
         self.slots[Self::slot(s, t)] = Entry { s, t, epoch, dist };
     }
 }
@@ -83,31 +119,52 @@ impl AnswerCache {
 mod tests {
     use super::*;
 
-    #[test]
-    fn hit_requires_matching_pair_and_epoch() {
-        let mut c = AnswerCache::default();
-        assert_eq!(c.get(0, 3, 7), None);
-        c.put(0, 3, 7, 42);
-        assert_eq!(c.get(0, 3, 7), Some(42));
-        // Asymmetric key: (t, s) is a different pair.
-        assert_eq!(c.get(0, 7, 3), None);
-        // A published epoch invalidates without any explicit flush.
-        assert_eq!(c.get(1, 3, 7), None);
-        c.put(1, 3, 7, 41);
-        assert_eq!(c.get(1, 3, 7), Some(41));
+    fn gens(n: usize) -> Vec<AtomicU64> {
+        (0..n).map(|_| AtomicU64::new(0)).collect()
     }
 
     #[test]
-    fn unreachable_and_zero_are_cacheable_values() {
+    fn hit_requires_matching_pair() {
+        let g = gens(16);
         let mut c = AnswerCache::default();
-        c.put(5, 1, 2, u64::MAX);
-        c.put(5, 2, 2, 0);
-        assert_eq!(c.get(5, 1, 2), Some(u64::MAX));
-        assert_eq!(c.get(5, 2, 2), Some(0));
+        assert_eq!(c.get(&g, 3, 7), None);
+        c.put(0, 3, 7, 42);
+        assert_eq!(c.get(&g, 3, 7), Some(42));
+        // Asymmetric key: (t, s) is a different pair.
+        assert_eq!(c.get(&g, 7, 3), None);
+    }
+
+    #[test]
+    fn entries_survive_epochs_until_an_endpoint_is_touched() {
+        let g = gens(16);
+        let mut c = AnswerCache::default();
+        c.put(0, 3, 7, 42);
+        c.put(0, 4, 8, 9);
+        // Epochs advance; untouched pairs stay hot.
+        g[1].store(5, Ordering::Release);
+        assert_eq!(c.get(&g, 3, 7), Some(42));
+        assert_eq!(c.get(&g, 4, 8), Some(9));
+        // Touching either endpoint kills exactly that pair's entry.
+        g[7].store(6, Ordering::Release);
+        assert_eq!(c.get(&g, 3, 7), None);
+        assert_eq!(c.get(&g, 4, 8), Some(9));
+        // A fresh answer computed at/after the touch is valid again.
+        c.put(6, 3, 7, 41);
+        assert_eq!(c.get(&g, 3, 7), Some(41));
+    }
+
+    #[test]
+    fn static_serving_uses_an_empty_generation_table() {
+        let mut c = AnswerCache::default();
+        c.put(0, 1, 2, u64::MAX);
+        c.put(0, 2, 2, 0);
+        assert_eq!(c.get(&[], 1, 2), Some(u64::MAX), "unreachable is cacheable");
+        assert_eq!(c.get(&[], 2, 2), Some(0), "zero is cacheable");
     }
 
     #[test]
     fn colliding_pairs_evict_rather_than_corrupt() {
+        let g = gens(256);
         let mut c = AnswerCache::default();
         // Find two pairs sharing a slot.
         let a = (0u32, 1u32);
@@ -123,7 +180,7 @@ mod tests {
         let (b, bt) = collider.expect("65536 pairs over 1024 slots must collide");
         c.put(0, a.0, a.1, 10);
         c.put(0, b, bt, 20);
-        assert_eq!(c.get(0, b, bt), Some(20));
-        assert_eq!(c.get(0, a.0, a.1), None, "evicted, not corrupted");
+        assert_eq!(c.get(&g, b, bt), Some(20));
+        assert_eq!(c.get(&g, a.0, a.1), None, "evicted, not corrupted");
     }
 }

@@ -14,12 +14,27 @@
 //!   frame;
 //! * the served index lives in an **epoch-tagged swap cell**
 //!   ([`SwapCell`], an `ArcSwap`-style `RwLock<Arc<_>>`): every request
-//!   pins one immutable snapshot, so an [`protocol::OP_UPDATE`] — which
-//!   applies edge insertions to a [`pll_core::DynamicIndex`] overlay,
-//!   flattens, and stores the new index — swaps **atomically**: requests
-//!   in flight finish on the epoch they started on, later requests see
-//!   the new epoch, and no connection is ever dropped. `INFO` reports
-//!   the epoch, making hot-swaps observable from the client side;
+//!   pins one immutable snapshot — either a flat base index or a frozen
+//!   **delta-overlay snapshot** ([`Served`]) — so an
+//!   [`protocol::OP_UPDATE`] swaps **atomically**: requests in flight
+//!   finish on the epoch they started on, later requests see the new
+//!   epoch, and no connection is ever dropped. `INFO` reports the
+//!   epoch, making hot-swaps observable from the client side;
+//! * `UPDATE` is **overlay-direct**: a batch applies the resumed-BFS
+//!   delta to the [`pll_core::DynamicIndex`], publishes a frozen
+//!   [`pll_core::OverlaySnapshot`] (queries answer via the base⊕delta
+//!   merge-join), and acks — no flatten on the request path, so batch
+//!   latency is proportional to the delta, not the index. A dedicated
+//!   **flattener thread**, fed by a bounded nudge channel, folds the
+//!   overlay into a fresh flat base off-path once it crosses
+//!   [`ServerConfig::flatten_threshold`] delta entries (or a WAL
+//!   snapshot falls due), rebases the live overlay onto it, and swaps
+//!   the result in — `UPDATE` and `QUERY` workers never stall on a
+//!   flatten;
+//! * per-worker answer caches are invalidated by **per-vertex
+//!   generations** ([`cache`]): an `UPDATE` only expires cached pairs
+//!   whose endpoints its delta touched, so the hit rate survives
+//!   epoch-per-batch serving;
 //! * per-worker [`metrics::WorkerMetrics`] (relaxed atomics) record
 //!   QPS, applied updates and a log₂ service-latency histogram;
 //! * graceful shutdown: an [`protocol::OP_SHUTDOWN`] request (or
@@ -52,7 +67,7 @@ pub mod protocol;
 use cache::AnswerCache;
 use metrics::{summarize, ServerSummary, WorkerMetrics};
 use pll_core::wal::{self, WalRecord, WalWriter};
-use pll_core::{fail, AnyIndex, DynamicIndex};
+use pll_core::{fail, AnyIndex, DynamicIndex, OverlaySnapshot};
 use pll_graph::CsrGraph;
 use protocol::{
     format_code, write_frame, ProtocolError, MAX_BATCH, OP_BATCH, OP_CONNECTED, OP_INFO, OP_PATH,
@@ -101,6 +116,17 @@ pub struct ServerConfig {
     /// periodically snapshot-compact. Requires a dynamic server (a
     /// graph passed to [`serve_dynamic`]).
     pub wal: Option<WalConfig>,
+    /// Background-flatten trigger: once the served overlay holds at
+    /// least this many delta label entries, the flattener thread folds
+    /// it into a fresh flat base off the request path. `1` flattens
+    /// after every batch (0 is treated as 1); `u64::MAX` ("never")
+    /// serves the overlay indefinitely. `None` picks an adaptive
+    /// default — a quarter of the base index's label entries, floored
+    /// at 1024 — so a flatten pass (whose cost is proportional to the
+    /// base) only runs once the overlay has grown enough to amortize
+    /// it, instead of contending with every batch for CPU. Only
+    /// meaningful on a dynamic server.
+    pub flatten_threshold: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +138,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             mid_frame_timeout: MID_FRAME_TIMEOUT,
             wal: None,
+            flatten_threshold: None,
         }
     }
 }
@@ -189,14 +216,90 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
-/// One served index generation: the epoch tag plus the immutable index
-/// every request of that generation answers from.
+/// What a generation serves: a flat base index, or a frozen delta
+/// overlay (base ⊕ delta answered by the merge-join kernel).
+///
+/// Overlay-direct serving is what keeps `UPDATE` latency proportional
+/// to the delta: a batch publishes an [`OverlaySnapshot`] immediately
+/// and the expensive flatten happens in the background, after which the
+/// flattener swaps a `Flat` generation back in. Both variants answer
+/// identically — the flatten is proven answer-preserving — so a request
+/// never observes which side of the pipeline it landed on.
+#[derive(Clone, Debug)]
+pub enum Served {
+    /// A flat index: every label lives in one contiguous store.
+    Flat(Arc<AnyIndex>),
+    /// A frozen overlay: base labels merged with a delta at query time.
+    Overlay(Arc<OverlaySnapshot>),
+}
+
+impl Served {
+    /// The underlying flat base (for an overlay: the base it extends).
+    pub fn base(&self) -> &Arc<AnyIndex> {
+        match self {
+            Served::Flat(index) => index,
+            Served::Overlay(snap) => snap.base(),
+        }
+    }
+
+    /// Number of indexed vertices.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            Served::Flat(index) => index.num_vertices(),
+            Served::Overlay(snap) => snap.num_vertices(),
+        }
+    }
+
+    /// Delta label entries answered from the overlay (0 when flat).
+    pub fn overlay_entries(&self) -> u64 {
+        match self {
+            Served::Flat(_) => 0,
+            Served::Overlay(snap) => snap.delta_entries() as u64,
+        }
+    }
+
+    /// Exact distance on the wire scale (`None` = disconnected).
+    pub fn try_distance(&self, s: u32, t: u32) -> Result<Option<u64>, pll_core::PllError> {
+        match self {
+            Served::Flat(index) => index.try_distance(s, t),
+            Served::Overlay(snap) => Ok(snap.try_distance(s, t)?.map(u64::from)),
+        }
+    }
+
+    /// Same-component check with range validation.
+    pub fn try_connected(&self, s: u32, t: u32) -> Result<bool, pll_core::PllError> {
+        match self {
+            Served::Flat(index) => index.try_connected(s, t),
+            Served::Overlay(snap) => Ok(snap.try_distance(s, t)?.is_some()),
+        }
+    }
+
+    /// Shortest-path reconstruction. Overlay generations never store
+    /// parent pointers (dynamic serving rejects parents indices at
+    /// startup), so they answer the same error a parentless flat index
+    /// does.
+    pub fn shortest_path(&self, s: u32, t: u32) -> Result<Option<Vec<u32>>, pll_core::PllError> {
+        match self {
+            Served::Flat(index) => index.shortest_path(s, t),
+            Served::Overlay(_) => Err(pll_core::PllError::ParentsNotStored),
+        }
+    }
+
+    /// Warms the caches for an upcoming query; overlays prefetch their
+    /// base labels (the delta is small and hot by construction).
+    pub fn prefetch_query(&self, s: u32, t: u32) {
+        self.base().prefetch_query(s, t);
+    }
+}
+
+/// One served index generation: the epoch tag plus the immutable
+/// snapshot every request of that generation answers from.
 #[derive(Debug)]
 pub struct EpochIndex {
     /// Generation counter: 0 at startup, +1 per applied `UPDATE` swap.
     pub epoch: u64,
-    /// The index served at this epoch.
-    pub index: Arc<AnyIndex>,
+    /// What this epoch serves (flat base or frozen overlay).
+    pub served: Served,
 }
 
 /// An `ArcSwap`-style cell holding the currently served [`EpochIndex`].
@@ -211,10 +314,13 @@ pub struct SwapCell {
 }
 
 impl SwapCell {
-    /// Wraps `index` as epoch 0.
+    /// Wraps `index` as a flat epoch 0.
     pub fn new(index: Arc<AnyIndex>) -> SwapCell {
         SwapCell {
-            inner: RwLock::new(Arc::new(EpochIndex { epoch: 0, index })),
+            inner: RwLock::new(Arc::new(EpochIndex {
+                epoch: 0,
+                served: Served::Flat(index),
+            })),
         }
     }
 
@@ -233,14 +339,14 @@ impl SwapCell {
         Arc::clone(&guard)
     }
 
-    /// Atomically publishes `index` as generation `epoch`. Recovers from
-    /// a poisoned lock for the same reason as [`SwapCell::load`].
-    pub fn store(&self, epoch: u64, index: Arc<AnyIndex>) {
+    /// Atomically publishes `served` as generation `epoch`. Recovers
+    /// from a poisoned lock for the same reason as [`SwapCell::load`].
+    pub fn store(&self, epoch: u64, served: Served) {
         let mut guard = self
             .inner
             .write()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        *guard = Arc::new(EpochIndex { epoch, index });
+        *guard = Arc::new(EpochIndex { epoch, served });
     }
 }
 
@@ -297,7 +403,22 @@ fn lock_updater(updater: &Mutex<UpdaterState>) -> MutexGuard<'_, UpdaterState> {
 struct ServeShared {
     cell: SwapCell,
     updater: Option<Mutex<UpdaterState>>,
+    /// Per-vertex answer-cache generations: `gens[v]` is the epoch of
+    /// the last `UPDATE` whose delta touched `v` (labels or BP words).
+    /// Written under the updater mutex *before* the epoch publishes, so
+    /// the swap cell's lock carries the happens-before edge to readers;
+    /// empty on a static server (nothing is ever touched). See [`cache`]
+    /// for the validity rule.
+    gens: Vec<AtomicU64>,
     flatten_threads: usize,
+    /// Delta entries that trigger a background flatten (≥ 1;
+    /// `u64::MAX` = never).
+    flatten_threshold: u64,
+    /// Nudges the flattener thread; capacity 1, so a pending token
+    /// coalesces with new ones (`None` on a static server).
+    flatten_tx: Option<mpsc::SyncSender<()>>,
+    /// Completed background flatten generations (reported by `INFO`).
+    flattens: AtomicU64,
     write_timeout: Duration,
     mid_frame_timeout: Duration,
     /// Connections shed with `STATUS_BUSY` by the accept loop.
@@ -306,12 +427,17 @@ struct ServeShared {
     panics: AtomicU64,
 }
 
-/// A running server: owns the listener and worker threads.
+/// A running server: owns the listener, worker and flattener threads.
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     listener_thread: std::thread::JoinHandle<()>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
+    /// Background flatten pipeline (dynamic servers only). Stopped by
+    /// [`ServerHandle::join`] *after* the workers drain, so its final
+    /// pass observes the last applied batch.
+    flattener_thread: Option<std::thread::JoinHandle<()>>,
+    flatten_stop: Arc<AtomicBool>,
     worker_metrics: Arc<Vec<WorkerMetrics>>,
     shared: Arc<ServeShared>,
     started: Instant,
@@ -375,6 +501,17 @@ impl ServerHandle {
         }
         for w in self.worker_threads {
             if w.join().is_err() {
+                escaped_panics += 1;
+            }
+        }
+        // The workers have drained: stop the flattener, whose final
+        // pass then sees the last applied batch (and compacts the WAL
+        // if a snapshot is outstanding).
+        // ORDERING: SeqCst — cross-thread shutdown control edge, same
+        // discipline as the main shutdown flag.
+        self.flatten_stop.store(true, Ordering::SeqCst);
+        if let Some(f) = self.flattener_thread {
+            if f.join().is_err() {
                 escaped_panics += 1;
             }
         }
@@ -448,11 +585,17 @@ pub fn serve_dynamic(
                         .map_err(ServeError::Dynamic)?;
                     if dynamic.epoch() > 0 {
                         // Something was replayed: serve the recovered
-                        // state, not the stale base index.
+                        // state, not the stale base index — and rebase
+                        // the overlay onto the recovered flatten so the
+                        // server starts with an empty delta.
                         let flat = dynamic
                             .flatten(config.threads)
                             .map_err(ServeError::Dynamic)?;
                         initial = Arc::new(AnyIndex::Undirected(flat));
+                        let absorbed = dynamic.inserted_edges().len();
+                        dynamic
+                            .rebase(Arc::clone(&initial), absorbed)
+                            .map_err(ServeError::Dynamic)?;
                     }
                     stats.recovered_epoch = dynamic.epoch();
                     stats.seconds = recovery_started.elapsed().as_secs_f64();
@@ -474,14 +617,42 @@ pub fn serve_dynamic(
         None => None,
     };
     let recovered_epoch = recovery.as_ref().map_or(0, |r| r.recovered_epoch);
+    // Resolve the adaptive flatten default against the base actually
+    // being served: a pass re-flattens the whole base, so the overlay
+    // should earn it by growing to a fixed fraction of the base's label
+    // mass first. The 1024 floor keeps tiny indices from flattening on
+    // every inserted edge.
+    let flatten_threshold = config.flatten_threshold.unwrap_or_else(|| {
+        let total = (initial.avg_label_size() * initial.num_vertices() as f64) as u64;
+        (total / 4).max(1024)
+    });
     let cell = SwapCell::new(Arc::clone(&initial));
     if recovered_epoch > 0 {
-        cell.store(recovered_epoch, initial);
+        cell.store(recovered_epoch, Served::Flat(initial));
     }
+    // Cache generations are only meaningful when updates can touch
+    // vertices; a static server's empty table reads as generation 0
+    // everywhere, so entries never expire.
+    let gens: Vec<AtomicU64> = if updater.is_some() {
+        let n = cell.load().served.num_vertices();
+        (0..n).map(|_| AtomicU64::new(0)).collect()
+    } else {
+        Vec::new()
+    };
+    let (flatten_tx, flatten_rx) = if updater.is_some() {
+        let (tx, rx) = mpsc::sync_channel::<()>(1);
+        (Some(tx), Some(rx))
+    } else {
+        (None, None)
+    };
     let shared = Arc::new(ServeShared {
         cell,
         updater,
+        gens,
         flatten_threads: config.threads,
+        flatten_threshold: flatten_threshold.max(1),
+        flatten_tx,
+        flattens: AtomicU64::new(0),
         write_timeout: config.write_timeout,
         mid_frame_timeout: config.mid_frame_timeout,
         sheds: AtomicU64::new(0),
@@ -612,16 +783,158 @@ pub fn serve_dynamic(
             })?
     };
 
+    // The background flatten pipeline: one dedicated thread dozes on
+    // the nudge channel and folds the served overlay into a fresh flat
+    // base whenever a pass's trigger check fires. The timeout re-check
+    // makes the pipeline self-healing — a missed or coalesced token
+    // only delays a flatten by one poll tick, never loses it.
+    let flatten_stop = Arc::new(AtomicBool::new(false));
+    let flattener_thread = match flatten_rx {
+        Some(rx) => {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&flatten_stop);
+            Some(
+                std::thread::Builder::new()
+                    .name("pll-serve-flatten".into())
+                    .spawn(move || loop {
+                        // ORDERING: SeqCst — cross-thread shutdown
+                        // control edge; set by join() after the workers
+                        // drain, so a final pass here sees every batch.
+                        let draining = stop.load(Ordering::SeqCst);
+                        flatten_pass(&shared, draining);
+                        if draining {
+                            break;
+                        }
+                        let _ = rx.recv_timeout(FLATTEN_POLL);
+                    })?,
+            )
+        }
+        None => None,
+    };
+
     Ok(ServerHandle {
         local_addr,
         shutdown,
         listener_thread,
         worker_threads,
+        flattener_thread,
+        flatten_stop,
         worker_metrics,
         shared,
         started: Instant::now(),
         recovery,
     })
+}
+
+/// How long the flattener dozes between trigger re-checks when no nudge
+/// token arrives (a token only wakes it early).
+const FLATTEN_POLL: Duration = Duration::from_millis(100);
+
+/// Poisons the updater from the flattener side: a failed background
+/// flatten or rebase must not let a later pass publish from a state
+/// whose invariants it cannot trust. Queries keep serving published
+/// epochs; `UPDATE`s are refused with the reason.
+fn poison_updater(updater: &Mutex<UpdaterState>, why: String) {
+    let mut state = lock_updater(updater);
+    if state.poisoned.is_none() {
+        state.poisoned = Some(why);
+    }
+}
+
+/// One background flatten generation, structured so the updater lock is
+/// never held across the expensive part:
+///
+/// 1. under the lock: check the trigger (overlay ≥ threshold, or a WAL
+///    snapshot due — on the draining pass, any un-snapshotted batch)
+///    and freeze an [`OverlaySnapshot`];
+/// 2. off the lock: flatten the snapshot with the parallel scatter
+///    while `UPDATE` and `QUERY` traffic proceeds;
+/// 3. under the lock again: rebase the live overlay onto the new base
+///    (keeping any batches that landed mid-flatten as the new, smaller
+///    delta), publish — flat if the overlay caught up, a fresh overlay
+///    snapshot otherwise — and ride the WAL snapshot-compaction on the
+///    same swap.
+///
+/// `flatten.before_swap` fires between (2) and (3), `flatten.after_swap`
+/// after the lock is released: the two failpoint sites bracket exactly
+/// the window in which the swap and the WAL reset commute with a crash.
+fn flatten_pass(shared: &ServeShared, draining: bool) {
+    let Some(updater) = &shared.updater else {
+        return;
+    };
+    let (snap, absorbed, wal_due) = {
+        let state = lock_updater(updater);
+        if state.poisoned.is_some() {
+            return;
+        }
+        let wal_due = state.wal.as_ref().is_some_and(|w| {
+            w.config.snapshot_every > 0
+                && (w.batches_since_snapshot >= w.config.snapshot_every
+                    || (draining && w.batches_since_snapshot > 0))
+        });
+        let over = state.dynamic.delta_entries() as u64;
+        let threshold_hit = state.dynamic.overlay_dirty() && over >= shared.flatten_threshold;
+        if !threshold_hit && !wal_due {
+            return;
+        }
+        (
+            state.dynamic.snapshot(),
+            state.dynamic.inserted_edges().len(),
+            wal_due,
+        )
+    };
+    let flat = match snap.flatten(shared.flatten_threads) {
+        Ok(flat) => flat,
+        Err(e) => {
+            poison_updater(
+                updater,
+                format!("the background flatten failed ({e}); rebuild and restart to update again"),
+            );
+            return;
+        }
+    };
+    let flat_any = Arc::new(AnyIndex::Undirected(flat));
+    fail::point("flatten.before_swap");
+    {
+        let mut state = lock_updater(updater);
+        if state.poisoned.is_some() {
+            return;
+        }
+        let UpdaterState {
+            dynamic,
+            poisoned,
+            wal,
+        } = &mut *state;
+        if let Err(e) = dynamic.rebase(Arc::clone(&flat_any), absorbed) {
+            *poisoned = Some(format!(
+                "the background rebase failed ({e}); rebuild and restart to update again"
+            ));
+            return;
+        }
+        // Publish at the *current* epoch: batches that landed while we
+        // flattened already bumped it and stay served from the rebased
+        // (now smaller) overlay; otherwise the flat base took over.
+        let served = if dynamic.overlay_dirty() {
+            Served::Overlay(Arc::new(dynamic.snapshot()))
+        } else {
+            Served::Flat(Arc::clone(&flat_any))
+        };
+        shared.cell.store(dynamic.epoch(), served);
+        // ORDERING: Relaxed — monotonic counter read by INFO; the swap
+        // cell's lock above is what orders it against the new base.
+        shared.flattens.fetch_add(1, Ordering::Relaxed);
+        if wal_due {
+            if let Some(w) = wal.as_mut() {
+                // A failed snapshot is retried at the next pass;
+                // journaling continues either way, so durability is
+                // never lost — only compaction is deferred.
+                if snapshot_compact(w, dynamic, &flat_any).is_ok() {
+                    w.batches_since_snapshot = 0;
+                }
+            }
+        }
+    }
+    fail::point("flatten.after_swap");
 }
 
 /// Tells a shed connection why it is being dropped: one `STATUS_BUSY`
@@ -963,6 +1276,18 @@ fn serve_connection(
         if r.updates > 0 {
             metrics.updates.fetch_add(r.updates, Ordering::Relaxed);
         }
+        if r.cache_hits > 0 {
+            // ORDERING: Relaxed — counter (see above).
+            metrics
+                .cache_hits
+                .fetch_add(r.cache_hits, Ordering::Relaxed);
+        }
+        if r.cache_misses > 0 {
+            // ORDERING: Relaxed — counter (see above).
+            metrics
+                .cache_misses
+                .fetch_add(r.cache_misses, Ordering::Relaxed);
+        }
         if write_frame(&mut writer, &r.payload).is_err() {
             // Includes the write timeout: the peer is dead or jammed.
             // ORDERING: Relaxed — counter (see above).
@@ -984,6 +1309,8 @@ fn error_response(status: u8, message: &str) -> Response {
         payload: out,
         queries: 0,
         updates: 0,
+        cache_hits: 0,
+        cache_misses: 0,
         close: false,
     }
 }
@@ -996,6 +1323,10 @@ struct Response {
     queries: u64,
     /// UPDATE batches applied.
     updates: u64,
+    /// Distance answers served from the worker's answer cache.
+    cache_hits: u64,
+    /// Distance answers that ran the label merge.
+    cache_misses: u64,
     /// Close the connection after responding.
     close: bool,
 }
@@ -1005,6 +1336,8 @@ fn ok_response(payload: Vec<u8>, queries: u64) -> Response {
         payload,
         queries,
         updates: 0,
+        cache_hits: 0,
+        cache_misses: 0,
         close: false,
     }
 }
@@ -1021,8 +1354,9 @@ fn query_error(e: pll_core::PllError) -> Response {
 
 /// Dispatches one request frame against a pinned snapshot of the served
 /// index. Every op except `UPDATE` runs on the snapshot alone; `UPDATE`
-/// takes the updater mutex, applies + flattens, and publishes the next
-/// epoch to the swap cell.
+/// takes the updater mutex, applies the delta, and publishes the next
+/// epoch's overlay to the swap cell (the flatten happens off-path in
+/// the flattener thread).
 fn handle_request(
     shared: &ServeShared,
     frame: &[u8],
@@ -1033,7 +1367,7 @@ fn handle_request(
         return error_response(STATUS_BAD_REQUEST, "empty request frame");
     };
     let snapshot = shared.cell.load();
-    let index = &*snapshot.index;
+    let served = &snapshot.served;
     // Every caller has already validated the body length, so plain
     // indexing (bounds-checked, but never out of bounds here) replaces
     // the `try_into().expect(…)` idiom the panic-hygiene audit forbids.
@@ -1049,12 +1383,17 @@ fn handle_request(
                 return error_response(STATUS_BAD_REQUEST, "QUERY body must be 8 bytes");
             }
             let (s, t) = pair(body);
-            let wire = match cache.get(snapshot.epoch, s, t) {
-                Some(hit) => hit,
-                None => match index.try_distance(s, t) {
+            let (mut hits, mut misses) = (0u64, 0u64);
+            let wire = match cache.get(&shared.gens, s, t) {
+                Some(hit) => {
+                    hits = 1;
+                    hit
+                }
+                None => match served.try_distance(s, t) {
                     Ok(d) => {
                         let wire = d.unwrap_or(UNREACHABLE);
                         cache.put(snapshot.epoch, s, t, wire);
+                        misses = 1;
                         wire
                     }
                     Err(e) => return query_error(e),
@@ -1063,7 +1402,14 @@ fn handle_request(
             let mut out = Vec::with_capacity(9);
             out.push(STATUS_OK);
             out.extend_from_slice(&wire.to_le_bytes());
-            ok_response(out, 1)
+            Response {
+                payload: out,
+                queries: 1,
+                updates: 0,
+                cache_hits: hits,
+                cache_misses: misses,
+                close: false,
+            }
         }
         OP_BATCH => {
             if body.len() < 4 {
@@ -1077,20 +1423,25 @@ fn handle_request(
             out.push(STATUS_OK);
             out.extend_from_slice(&(count as u32).to_le_bytes());
             let pairs = &body[4..];
+            let (mut hits, mut misses) = (0u64, 0u64);
             for i in 0..count {
                 let (s, t) = pair(&pairs[i * 8..i * 8 + 8]);
                 // Overlap the next pair's label-fetch latency with this
                 // pair's merge; the hint costs nothing if it misses.
                 if i + 1 < count {
                     let (ns, nt) = pair(&pairs[(i + 1) * 8..(i + 1) * 8 + 8]);
-                    index.prefetch_query(ns, nt);
+                    served.prefetch_query(ns, nt);
                 }
-                let wire = match cache.get(snapshot.epoch, s, t) {
-                    Some(hit) => hit,
-                    None => match index.try_distance(s, t) {
+                let wire = match cache.get(&shared.gens, s, t) {
+                    Some(hit) => {
+                        hits += 1;
+                        hit
+                    }
+                    None => match served.try_distance(s, t) {
                         Ok(d) => {
                             let wire = d.unwrap_or(UNREACHABLE);
                             cache.put(snapshot.epoch, s, t, wire);
+                            misses += 1;
                             wire
                         }
                         Err(e) => return query_error(e),
@@ -1098,14 +1449,21 @@ fn handle_request(
                 };
                 out.extend_from_slice(&wire.to_le_bytes());
             }
-            ok_response(out, count as u64)
+            Response {
+                payload: out,
+                queries: count as u64,
+                updates: 0,
+                cache_hits: hits,
+                cache_misses: misses,
+                close: false,
+            }
         }
         OP_PATH => {
             if body.len() != 8 {
                 return error_response(STATUS_BAD_REQUEST, "PATH body must be 8 bytes");
             }
             let (s, t) = pair(body);
-            match index.shortest_path(s, t) {
+            match served.shortest_path(s, t) {
                 Ok(path) => {
                     let path = path.unwrap_or_default();
                     let mut out = Vec::with_capacity(5 + path.len() * 4);
@@ -1124,7 +1482,7 @@ fn handle_request(
                 return error_response(STATUS_BAD_REQUEST, "CONNECTED body must be 8 bytes");
             }
             let (s, t) = pair(body);
-            match index.try_connected(s, t) {
+            match served.try_connected(s, t) {
                 Ok(c) => ok_response(vec![STATUS_OK, c as u8], 1),
                 Err(e) => query_error(e),
             }
@@ -1198,11 +1556,12 @@ fn handle_request(
                 w.next_seq += 1;
                 fail::point("wal.after_append");
             }
+            let apply_started = Instant::now();
             let stats = match dynamic.apply(&edges) {
                 Ok(stats) => stats,
                 Err(e) => {
                     // A failed apply may have mutated part of the
-                    // overlay; never flatten/publish it again.
+                    // overlay; never snapshot/publish it again.
                     *poisoned = Some(format!(
                         "an earlier UPDATE failed mid-batch and left the overlay \
                          inconsistent ({e}); rebuild and restart to update again"
@@ -1210,20 +1569,28 @@ fn handle_request(
                     return query_error(e);
                 }
             };
+            let apply_us = apply_started.elapsed().as_micros() as u32;
+            let mut publish_us = 0u32;
             if stats.edges_applied > 0 {
-                let flat = match dynamic.flatten(shared.flatten_threads) {
-                    Ok(flat) => flat,
-                    Err(e) => {
-                        *poisoned = Some(format!(
-                            "an earlier UPDATE failed to flatten ({e}); rebuild and \
-                             restart to update again"
-                        ));
-                        return query_error(e);
+                let publish_started = Instant::now();
+                let epoch = dynamic.epoch();
+                // Expire cached answers whose endpoints this batch
+                // touched — and only those — *before* the publish: the
+                // swap cell's lock then carries the generation writes to
+                // every reader that can see the new epoch.
+                for &v in dynamic.touched_vertices() {
+                    if let Some(g) = shared.gens.get(v as usize) {
+                        // ORDERING: Release — pairs with the cache's
+                        // Acquire loads; see the gens field docs for the
+                        // real happens-before edge (the cell's RwLock).
+                        g.store(epoch, Ordering::Release);
                     }
-                };
-                let flat = Arc::new(AnyIndex::Undirected(flat));
+                }
+                // Overlay-direct: publish a frozen snapshot of the
+                // overlay instead of flattening on the request path.
+                let snap = Arc::new(dynamic.snapshot());
                 fail::point("serve.before_publish");
-                shared.cell.store(dynamic.epoch(), Arc::clone(&flat));
+                shared.cell.store(epoch, Served::Overlay(snap));
                 if let Some(w) = wal_state.as_mut() {
                     // The commit marker is advisory (recovery replays
                     // complete records either way), so an append failure
@@ -1233,41 +1600,56 @@ fn handle_request(
                     });
                     fail::point("wal.after_commit");
                     w.batches_since_snapshot += 1;
-                    if w.config.snapshot_every > 0
+                }
+                publish_us = publish_started.elapsed().as_micros() as u32;
+                // Nudge the flattener when the overlay crossed the
+                // threshold or a WAL snapshot fell due. try_send on the
+                // capacity-1 channel: a pending token already covers us.
+                let wal_due = wal_state.as_ref().is_some_and(|w| {
+                    w.config.snapshot_every > 0
                         && w.batches_since_snapshot >= w.config.snapshot_every
-                    {
-                        // A failed snapshot is retried at the next
-                        // published batch; journaling continues either
-                        // way, so durability is never lost — only
-                        // compaction is deferred.
-                        if snapshot_compact(w, dynamic, &flat).is_ok() {
-                            w.batches_since_snapshot = 0;
-                        }
+                });
+                if wal_due || dynamic.delta_entries() as u64 >= shared.flatten_threshold {
+                    if let Some(tx) = &shared.flatten_tx {
+                        let _ = tx.try_send(());
                     }
                 }
             }
             let epoch = dynamic.epoch();
             drop(state);
-            let mut out = Vec::with_capacity(17);
+            let mut out = Vec::with_capacity(29);
             out.push(STATUS_OK);
             out.extend_from_slice(&epoch.to_le_bytes());
             out.extend_from_slice(&(stats.edges_applied as u32).to_le_bytes());
             out.extend_from_slice(&(stats.edges_skipped as u32).to_le_bytes());
+            out.extend_from_slice(&apply_us.to_le_bytes());
+            // flatten_us: always 0 under overlay-direct serving — the
+            // flatten is amortized in the background. The field stays on
+            // the wire so the load report's split is explicit about it.
+            out.extend_from_slice(&0u32.to_le_bytes());
+            out.extend_from_slice(&publish_us.to_le_bytes());
             Response {
                 payload: out,
                 queries: 0,
                 updates: u64::from(stats.edges_applied > 0),
+                cache_hits: 0,
+                cache_misses: 0,
                 close: false,
             }
         }
         OP_INFO => {
-            let mut out = Vec::with_capacity(20);
+            let base = served.base();
+            let mut out = Vec::with_capacity(36);
             out.push(STATUS_OK);
-            out.extend_from_slice(&(index.num_vertices() as u64).to_le_bytes());
-            out.push(format_code(index.format()));
-            out.push(index.format_version());
+            out.extend_from_slice(&(served.num_vertices() as u64).to_le_bytes());
+            out.push(format_code(base.format()));
+            out.push(base.format_version());
             out.extend_from_slice(&snapshot.epoch.to_le_bytes());
             out.push(shared.updater.is_some() as u8);
+            out.extend_from_slice(&served.overlay_entries().to_le_bytes());
+            // ORDERING: Relaxed — monotonic flatten-generation counter;
+            // an INFO reader only needs an eventually-exact value.
+            out.extend_from_slice(&shared.flattens.load(Ordering::Relaxed).to_le_bytes());
             ok_response(out, 0)
         }
         OP_SHUTDOWN => {
@@ -1279,6 +1661,8 @@ fn handle_request(
                 payload: vec![STATUS_OK],
                 queries: 0,
                 updates: 0,
+                cache_hits: 0,
+                cache_misses: 0,
                 close: true,
             }
         }
@@ -1578,6 +1962,119 @@ mod tests {
     }
 
     #[test]
+    fn background_flatten_hammer_matches_offline_replay() {
+        // Overlay-direct serving with flatten_threshold 1: every batch
+        // arms the background flattener. Three waves of insertions, each
+        // ending with a drain back to a flat base (INFO overlay_entries
+        // == 0, flatten generation advanced), race against hammer query
+        // threads; after every wave the full answer stream is byte-diffed
+        // against an offline DynamicIndex replay of the same edges. The
+        // hammer threads cross at least three swap generations.
+        let n = 48u32;
+        let ring: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let chords: Vec<(u32, u32)> = (0..n / 2).map(|i| (i, i + n / 2)).collect();
+        let g = pll_graph::CsrGraph::from_edges(n as usize, &ring).unwrap();
+        let idx = pll_core::IndexBuilder::new()
+            .bit_parallel_roots(2)
+            .build(&g)
+            .unwrap();
+        let index = Arc::new(AnyIndex::Undirected(idx));
+        let handle = serve_dynamic(
+            Arc::clone(&index),
+            Some(&g),
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 4,
+                flatten_threshold: Some(1),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.local_addr().to_string();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut hammers = Vec::new();
+        for c in 0..2u32 {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            hammers.push(std::thread::spawn(move || {
+                let mut client = protocol::Client::connect(&addr).unwrap();
+                let mut served = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let pairs: Vec<(u32, u32)> = (0..24u32)
+                        .map(|i| ((i * 5 + c) % n, (i * 11 + 3) % n))
+                        .collect();
+                    // Racing the publishes and base swaps below; the
+                    // transport must never error and the ring stays
+                    // connected throughout.
+                    let answers = client.batch(&pairs).unwrap();
+                    assert!(answers.iter().all(|d| d.is_some()));
+                    served += answers.len() as u64;
+                }
+                served
+            }));
+        }
+
+        // The offline replay shadows the served index wave by wave.
+        let mut offline = DynamicIndex::new(Arc::clone(&index), &g).unwrap();
+        let mut control = protocol::Client::connect(&addr).unwrap();
+        let waves: Vec<&[(u32, u32)]> = chords.chunks(chords.len().div_ceil(3)).collect();
+        assert!(waves.len() >= 3, "need three flatten generations");
+        let mut flattens_seen = 0u64;
+        for wave in waves {
+            for batch in wave.chunks(2) {
+                let ack = control.update(batch).unwrap();
+                assert_eq!(ack.applied as usize, batch.len());
+                assert_eq!(ack.flatten_us, 0, "no flatten on the request path");
+            }
+            offline.apply(wave).unwrap();
+            // Wait for the flattener to fold the overlay into a fresh
+            // flat base — one swap generation completes.
+            let deadline = Instant::now() + Duration::from_secs(30);
+            let info = loop {
+                let info = control.info().unwrap();
+                if info.overlay_entries == 0 && info.flattens > flattens_seen {
+                    break info;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "flattener never caught up: {info:?}"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            };
+            flattens_seen = info.flattens;
+            // Byte-diff the full answer stream against the replay.
+            for s in 0..n {
+                for t in 0..n {
+                    assert_eq!(
+                        protocol::answers::distance_line(s, t, control.query(s, t).unwrap()),
+                        protocol::answers::distance_line(
+                            s,
+                            t,
+                            offline.distance(s, t).map(u64::from)
+                        ),
+                        "wave answers diverge at ({s}, {t})"
+                    );
+                }
+            }
+        }
+        assert!(flattens_seen >= 3, "flattens {flattens_seen}");
+
+        stop.store(true, Ordering::SeqCst);
+        for h in hammers {
+            assert!(h.join().unwrap() > 0);
+        }
+        control.shutdown_server().unwrap();
+        let summary = handle.join();
+        assert_eq!(summary.errors, 0, "no dropped connections, no errors");
+        assert_eq!(summary.panics, 0);
+        assert!(
+            summary.cache_hits + summary.cache_misses > 0,
+            "the hammer exercised the answer cache"
+        );
+    }
+
+    #[test]
     fn malformed_frames_get_bad_request() {
         let (handle, _index) = start(1);
         let addr = handle.local_addr();
@@ -1658,7 +2155,7 @@ mod tests {
         // panicking holder died.
         let before = cell.load();
         assert_eq!(before.epoch, 0);
-        cell.store(7, Arc::clone(&before.index));
+        cell.store(7, before.served.clone());
         assert_eq!(cell.load().epoch, 7);
     }
 

@@ -21,6 +21,10 @@ pub struct WorkerMetrics {
     pub updates: AtomicU64,
     /// Connections fully served.
     pub connections: AtomicU64,
+    /// Distance answers served from the per-worker answer cache.
+    pub cache_hits: AtomicU64,
+    /// Distance answers that missed the cache and ran the label merge.
+    pub cache_misses: AtomicU64,
     /// Nanoseconds spent servicing requests.
     pub busy_nanos: AtomicU64,
     latency: [AtomicU64; BUCKETS],
@@ -34,6 +38,8 @@ impl Default for WorkerMetrics {
             errors: AtomicU64::new(0),
             updates: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -69,6 +75,10 @@ pub struct WorkerSummary {
     pub updates: u64,
     /// Connections fully served by this worker.
     pub connections: u64,
+    /// Answer-cache hits on this worker.
+    pub cache_hits: u64,
+    /// Answer-cache misses on this worker.
+    pub cache_misses: u64,
     /// Seconds this worker spent servicing requests.
     pub busy_seconds: f64,
 }
@@ -90,6 +100,12 @@ pub struct ServerSummary {
     pub updates: u64,
     /// Served index epoch at shutdown (0 = never swapped).
     pub final_epoch: u64,
+    /// Total answer-cache hits across workers.
+    pub cache_hits: u64,
+    /// Total answer-cache misses across workers (hit rate =
+    /// `hits / (hits + misses)`; generation keying keeps untouched pairs
+    /// hot across epochs, see the `cache` module).
+    pub cache_misses: u64,
     /// Connections shed with `STATUS_BUSY` because the bounded work
     /// queue was full (overload protection, not an error).
     pub sheds: u64,
@@ -118,6 +134,7 @@ pub fn summarize(
     let mut merged = [0u64; BUCKETS];
     let mut per_worker = Vec::with_capacity(workers.len());
     let (mut queries, mut requests, mut errors, mut updates) = (0u64, 0u64, 0u64, 0u64);
+    let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
     // ORDERING: Relaxed throughout this loop — the caller joins every
     // worker thread before summarizing, so each final increment is
     // already visible; these loads need no ordering of their own.
@@ -126,10 +143,14 @@ pub fn summarize(
         let r = w.requests.load(Ordering::Relaxed);
         let e = w.errors.load(Ordering::Relaxed);
         let u = w.updates.load(Ordering::Relaxed);
+        let h = w.cache_hits.load(Ordering::Relaxed);
+        let m = w.cache_misses.load(Ordering::Relaxed);
         queries += q;
         requests += r;
         errors += e;
         updates += u;
+        cache_hits += h;
+        cache_misses += m;
         for (m, b) in merged.iter_mut().zip(&w.latency) {
             // ORDERING: Relaxed — same join-synchronized read as above.
             *m += b.load(Ordering::Relaxed);
@@ -141,6 +162,8 @@ pub fn summarize(
             updates: u,
             // ORDERING: Relaxed — same join-synchronized read as above.
             connections: w.connections.load(Ordering::Relaxed),
+            cache_hits: h,
+            cache_misses: m,
             busy_seconds: w.busy_nanos.load(Ordering::Relaxed) as f64 / 1e9,
         });
     }
@@ -152,6 +175,8 @@ pub fn summarize(
         errors,
         updates,
         final_epoch,
+        cache_hits,
+        cache_misses,
         sheds,
         panics,
         qps: if elapsed_seconds > 0.0 {
@@ -194,8 +219,14 @@ mod tests {
         }
         workers[1].record_request(1_000_000, 1);
         workers[1].connections.fetch_add(1, Ordering::Relaxed);
+        workers[0].cache_hits.fetch_add(7, Ordering::Relaxed);
+        workers[1].cache_misses.fetch_add(3, Ordering::Relaxed);
         let s = summarize(&workers, 2.0, 3, 4, 1);
         assert_eq!(s.requests, 100);
+        assert_eq!(s.cache_hits, 7);
+        assert_eq!(s.cache_misses, 3);
+        assert_eq!(s.workers[0].cache_hits, 7);
+        assert_eq!(s.workers[1].cache_misses, 3);
         assert_eq!(s.sheds, 4);
         assert_eq!(s.panics, 1);
         assert_eq!(s.queries, 199);

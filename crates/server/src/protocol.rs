@@ -18,12 +18,17 @@
 //!   QUERY                         u64 distance (u64::MAX = unreachable)
 //!   BATCH                         u32 count, count × u64
 //!   INFO                          u64 n, u8 format code, u8 format version,
-//!                                 u64 epoch, u8 dynamic (1 = UPDATE enabled)
+//!                                 u64 epoch, u8 dynamic (1 = UPDATE enabled),
+//!                                 u64 overlay_entries (delta label entries
+//!                                 currently served from the overlay),
+//!                                 u64 flattens (background flatten
+//!                                 generations completed)
 //!   SHUTDOWN                      —
 //!   PATH                          u32 count, count × u32 vertex
 //!                                 (count 0 = unreachable; paths have ≥ 1 vertex)
 //!   CONNECTED                     u8 (1 = same component / reachable)
-//!   UPDATE                        u64 epoch, u32 applied, u32 skipped
+//!   UPDATE                        u64 epoch, u32 applied, u32 skipped,
+//!                                 u32 apply_us, u32 flatten_us, u32 publish_us
 //! response (status != 0)          UTF-8 error message
 //!   0x01 BAD_REQUEST   malformed request frame
 //!   0x02 QUERY_ERROR   the operation itself failed
@@ -40,12 +45,17 @@
 //! prefix cannot drive an allocation.
 //!
 //! `UPDATE` inserts edges into the served graph: the server applies them
-//! to its dynamic overlay, flattens, and atomically swaps the served
-//! index to a new *epoch* — in-flight requests finish on the old epoch,
-//! subsequent ones see the new one, and `INFO` makes the swap observable
-//! from the client side. Servers started without a graph (or over a
-//! non-undirected index) answer `UPDATE` with
-//! [`STATUS_UNSUPPORTED`].
+//! to its dynamic overlay and atomically swaps the served index to a new
+//! *epoch* — in-flight requests finish on the old epoch, subsequent ones
+//! see the new one, and `INFO` makes the swap observable from the client
+//! side. The overlay is served directly (queries run the base⊕delta
+//! merge); a background thread flattens it into a fresh base off the
+//! request path once it crosses the server's `--flatten-threshold`, which
+//! `INFO`'s `overlay_entries`/`flattens` fields make observable. The ack
+//! carries a per-phase timing split (`apply_us`/`flatten_us`/`publish_us`;
+//! `flatten_us` is 0 under overlay-direct serving because the flatten is
+//! amortized off-path). Servers started without a graph (or over a
+//! non-undirected index) answer `UPDATE` with [`STATUS_UNSUPPORTED`].
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -203,6 +213,11 @@ pub struct IndexInfo {
     pub epoch: u64,
     /// Whether this server accepts `UPDATE` frames.
     pub dynamic: bool,
+    /// Delta label entries the served snapshot answers from the overlay
+    /// (0 when a flat base is being served, always 0 on a static server).
+    pub overlay_entries: u64,
+    /// Background flatten generations completed since startup.
+    pub flattens: u64,
 }
 
 /// Acknowledgement of an applied [`OP_UPDATE`] batch.
@@ -214,6 +229,14 @@ pub struct UpdateAck {
     pub applied: u32,
     /// Self-loops and already-present edges skipped.
     pub skipped: u32,
+    /// Microseconds spent applying the resumed-BFS delta.
+    pub apply_us: u32,
+    /// Microseconds spent flattening on the request path (0 under
+    /// overlay-direct serving — the flatten is amortized off-path).
+    pub flatten_us: u32,
+    /// Microseconds spent snapshotting the overlay and publishing the
+    /// new epoch (includes journaling the commit marker).
+    pub publish_us: u32,
 }
 
 /// Wire code of an index family.
@@ -327,9 +350,9 @@ impl Client {
     /// Fetches the served index's metadata.
     pub fn info(&mut self) -> Result<IndexInfo, ProtocolError> {
         let body = self.roundtrip(&[OP_INFO])?;
-        if body.len() != 19 {
+        if body.len() != 35 {
             return Err(ProtocolError::Malformed(format!(
-                "INFO response body of {} bytes, expected 19",
+                "INFO response body of {} bytes, expected 35",
                 body.len()
             )));
         }
@@ -339,6 +362,8 @@ impl Client {
             format_version: body[9],
             epoch: read_u64(&body, 10),
             dynamic: body[18] != 0,
+            overlay_entries: read_u64(&body, 19),
+            flattens: read_u64(&body, 27),
         })
     }
 
@@ -386,7 +411,8 @@ impl Client {
     }
 
     /// Inserts edges into the served graph; on success the server has
-    /// already flattened and hot-swapped to the acknowledged epoch.
+    /// already hot-swapped to the acknowledged epoch (serving the delta
+    /// overlay directly; the flatten happens in the background).
     pub fn update(&mut self, edges: &[(u32, u32)]) -> Result<UpdateAck, ProtocolError> {
         if edges.len() > MAX_BATCH {
             return Err(ProtocolError::Malformed(format!(
@@ -402,9 +428,9 @@ impl Client {
             req.extend_from_slice(&v.to_le_bytes());
         }
         let body = self.roundtrip(&req)?;
-        if body.len() != 16 {
+        if body.len() != 28 {
             return Err(ProtocolError::Malformed(format!(
-                "UPDATE response body of {} bytes, expected 16",
+                "UPDATE response body of {} bytes, expected 28",
                 body.len()
             )));
         }
@@ -412,6 +438,9 @@ impl Client {
             epoch: read_u64(&body, 0),
             applied: read_u32(&body, 8),
             skipped: read_u32(&body, 12),
+            apply_us: read_u32(&body, 16),
+            flatten_us: read_u32(&body, 20),
+            publish_us: read_u32(&body, 24),
         })
     }
 

@@ -9,8 +9,46 @@
 
 use pll_core::{fail, AnyIndex, IndexBuilder};
 use pll_server::protocol::{Client, ProtocolError, RetryPolicy, STATUS_UNSUPPORTED};
-use pll_server::{serve_dynamic, ServerConfig};
-use std::sync::Arc;
+use pll_server::{serve_dynamic, ServerConfig, ServerHandle};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Serializes the tests in this binary: the failpoint registry is
+/// process-wide, so a site armed by one test must not detonate inside a
+/// concurrently running sibling's server.
+static FP_LOCK: Mutex<()> = Mutex::new(());
+
+/// A ring graph plus a dynamic server over it with the given flatten
+/// threshold (0 = the default).
+fn ring_server(
+    n: u32,
+    flatten_threshold: u64,
+) -> (pll_graph::CsrGraph, Arc<AnyIndex>, ServerHandle) {
+    let ring: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    let g = pll_graph::CsrGraph::from_edges(n as usize, &ring).unwrap();
+    let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+    let index = Arc::new(AnyIndex::Undirected(idx));
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        ..ServerConfig::default()
+    };
+    if flatten_threshold > 0 {
+        config.flatten_threshold = Some(flatten_threshold);
+    }
+    let handle = serve_dynamic(Arc::clone(&index), Some(&g), &config).unwrap();
+    (g, index, handle)
+}
+
+/// Polls until the armed `site` has fired at least once (the flattener
+/// runs in the background, so reaching a flatten site is asynchronous).
+fn wait_for_hit(site: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while fail::hits(site) == 0 {
+        assert!(Instant::now() < deadline, "{site} never triggered");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
 
 /// A panic injected right before the epoch publish must not take the
 /// server down: the panicking connection dies, the updater lock is
@@ -18,21 +56,8 @@ use std::sync::Arc;
 /// keep serving the last published epoch.
 #[test]
 fn injected_panic_before_publish_poisons_updates_not_queries() {
-    let n = 30u32;
-    let ring: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
-    let g = pll_graph::CsrGraph::from_edges(n as usize, &ring).unwrap();
-    let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
-    let index = Arc::new(AnyIndex::Undirected(idx));
-    let handle = serve_dynamic(
-        Arc::clone(&index),
-        Some(&g),
-        &ServerConfig {
-            addr: "127.0.0.1:0".into(),
-            threads: 2,
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+    let _serial = FP_LOCK.lock().unwrap();
+    let (_g, index, handle) = ring_server(30, 0);
     let addr = handle.local_addr().to_string();
 
     fail::cfg("serve.before_publish", "panic").unwrap();
@@ -59,4 +84,70 @@ fn injected_panic_before_publish_poisons_updates_not_queries() {
     let summary = handle.join();
     assert!(summary.panics >= 1, "panics {}", summary.panics);
     assert_eq!(summary.final_epoch, 0, "the injected batch never published");
+}
+
+/// A panic injected in the background flattener *before* the swap must
+/// not take the server down: the flattener thread dies outside the
+/// updater lock, so the swap simply never happens — the overlay keeps
+/// serving, queries and further UPDATEs keep working, and `join()`
+/// reports the escaped panic.
+#[test]
+fn injected_panic_before_flatten_swap_keeps_serving_the_overlay() {
+    let _serial = FP_LOCK.lock().unwrap();
+    // flatten_threshold 1: the first applied batch arms the flattener.
+    let (_g, _index, handle) = ring_server(30, 1);
+    let addr = handle.local_addr().to_string();
+
+    fail::cfg("flatten.before_swap", "panic").unwrap();
+    let mut client = Client::connect(&addr).unwrap();
+    let ack = client.update(&[(0, 15)]).unwrap();
+    assert_eq!(ack.applied, 1);
+    assert_eq!(ack.flatten_us, 0, "no flatten on the request path");
+    wait_for_hit("flatten.before_swap");
+    fail::remove("flatten.before_swap");
+
+    // The swap never happened: the overlay is still what answers.
+    let info = client.info().unwrap();
+    assert_eq!(info.flattens, 0, "the swap never completed");
+    assert!(info.overlay_entries > 0, "still serving the overlay");
+    assert_eq!(client.query(0, 15).unwrap(), Some(1), "the insert is live");
+    // The updater is NOT poisoned — the panic hit outside the lock.
+    let ack = client.update(&[(0, 10)]).unwrap();
+    assert_eq!(ack.applied, 1);
+    assert_eq!(client.query(0, 10).unwrap(), Some(1));
+    client.shutdown_server().unwrap();
+    let summary = handle.join();
+    assert!(summary.panics >= 1, "panics {}", summary.panics);
+    assert_eq!(summary.final_epoch, 2, "both batches published");
+}
+
+/// A panic injected *after* the swap: the flat base and the WAL state
+/// are already published, so the served answers are exactly the
+/// flattened ones and only the flattener thread is lost.
+#[test]
+fn injected_panic_after_flatten_swap_keeps_the_published_base() {
+    let _serial = FP_LOCK.lock().unwrap();
+    let (_g, _index, handle) = ring_server(30, 1);
+    let addr = handle.local_addr().to_string();
+
+    fail::cfg("flatten.after_swap", "panic").unwrap();
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.update(&[(0, 15)]).unwrap().applied, 1);
+    wait_for_hit("flatten.after_swap");
+    fail::remove("flatten.after_swap");
+
+    // The swap completed before the panic: a flat base serves.
+    let info = client.info().unwrap();
+    assert_eq!(info.flattens, 1, "one flatten generation completed");
+    assert_eq!(info.overlay_entries, 0, "the overlay was absorbed");
+    assert_eq!(client.query(0, 15).unwrap(), Some(1), "the insert is live");
+    // Updates keep publishing overlay-direct; only the background
+    // flattener is gone, so the overlay now just grows.
+    assert_eq!(client.update(&[(0, 10)]).unwrap().applied, 1);
+    assert_eq!(client.query(0, 10).unwrap(), Some(1));
+    assert!(client.info().unwrap().overlay_entries > 0);
+    client.shutdown_server().unwrap();
+    let summary = handle.join();
+    assert!(summary.panics >= 1, "panics {}", summary.panics);
+    assert_eq!(summary.final_epoch, 2);
 }

@@ -90,15 +90,17 @@ start_server() { # args: index wal extra-env-spec (empty = no failpoints)
   local index="$1" wal="$2" spec="$3"
   : > "$WORK/serve.out"
   : > "$WORK/serve.err"
+  # --flatten-threshold 1: every applied batch kicks the background
+  # flattener, so the flatten.* sites are reached within a batch or two.
   if [ -n "$spec" ]; then
     PLL_FAILPOINTS="$spec" "$PLL" serve --index "$index" --graph "$WORK/base.txt" \
       --addr 127.0.0.1:0 --threads "$THREADS" \
-      --wal "$wal" --snapshot-every 4 \
+      --wal "$wal" --snapshot-every 4 --flatten-threshold 1 \
       > "$WORK/serve.out" 2> "$WORK/serve.err" &
   else
     "$PLL" serve --index "$index" --graph "$WORK/base.txt" \
       --addr 127.0.0.1:0 --threads "$THREADS" \
-      --wal "$wal" --snapshot-every 4 \
+      --wal "$wal" --snapshot-every 4 --flatten-threshold 1 \
       > "$WORK/serve.out" 2> "$WORK/serve.err" &
   fi
   SERVER_PID=$!
@@ -116,7 +118,7 @@ start_server() { # args: index wal extra-env-spec (empty = no failpoints)
   [ -n "$ADDR" ] || { echo "server never reported its address" >&2; exit 1; }
 }
 
-SITES="wal.after_append=3*abort serve.before_publish=3*abort wal.after_commit=2*abort snapshot.before_rename=1*abort"
+SITES="wal.after_append=3*abort serve.before_publish=3*abort wal.after_commit=2*abort snapshot.before_rename=1*abort flatten.before_swap=2*abort flatten.after_swap=2*abort"
 SITE_ROWS=""
 for SPEC in $SITES; do
   SITE="${SPEC%%=*}"

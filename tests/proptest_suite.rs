@@ -453,6 +453,40 @@ proptest! {
         }
     }
 
+    /// Incremental bit-parallel repair: after every insertion batch, the
+    /// effective BP columns (base plus copy-on-write overrides) must be
+    /// **word-identical** to a from-scratch 65-source BFS over the
+    /// updated adjacency — not just answer-equal. This is the invariant
+    /// that makes overlay-direct serving and the background flatten
+    /// byte-reproducible.
+    #[test]
+    fn incremental_bp_repair_is_word_identical(
+        g in arb_model_graph(),
+        keep_permille in 300u32..950,
+        batch in 1usize..9,
+        t in 1usize..6,
+    ) {
+        use pruned_landmark_labeling::pll::{dynamic::DynamicIndex, AnyIndex};
+        use std::sync::Arc;
+        let n = g.num_vertices();
+        let all: Vec<(u32, u32)> = g.edges().collect();
+        let keep = (all.len() as u64 * keep_permille as u64 / 1000) as usize;
+        let base_graph = CsrGraph::from_edges(n, &all[..keep]).unwrap();
+        let base_idx = IndexBuilder::new()
+            .bit_parallel_roots(t)
+            .build(&base_graph)
+            .unwrap();
+        let mut dyn_idx =
+            DynamicIndex::new(Arc::new(AnyIndex::Undirected(base_idx)), &base_graph).unwrap();
+        for chunk in all[keep..].chunks(batch) {
+            dyn_idx.apply(chunk).unwrap();
+            prop_assert!(
+                dyn_idx.bp_columns_word_identical().unwrap(),
+                "a repaired BP column diverged from the full recompute"
+            );
+        }
+    }
+
     #[test]
     fn triangle_inequality(g in arb_model_graph()) {
         let idx = IndexBuilder::new().bit_parallel_roots(2).build(&g).unwrap();
