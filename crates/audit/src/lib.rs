@@ -47,6 +47,7 @@ pub const RULES: &[&str] = &[
     "atomic-ordering",
     "lock-hygiene",
     "panic-hygiene",
+    "metrics-hygiene",
 ];
 
 /// Pseudo-rules emitted by the waiver machinery itself (never waivable).
@@ -89,6 +90,15 @@ pub const PANIC_HYGIENE_SCOPE: &[&str] = &[
     "crates/bench/src/bin/bench_query.rs",
     "crates/bench/src/bin/bench_construction.rs",
 ];
+
+/// The audited home for serve-side scalar counters. A bare `AtomicU64`
+/// anywhere else in the server crate is state the STATS/Prometheus
+/// exposition cannot see — it belongs in a registered metric instead.
+pub const METRICS_HOME: &str = "crates/server/src/metrics.rs";
+
+/// The crate whose non-test code must keep its scalar counters in
+/// [`METRICS_HOME`].
+pub const METRICS_SCOPE: &str = "crates/server/src/";
 
 /// How many non-matching lines above a site an annotation comment
 /// (`// SAFETY:`, `// ORDERING:`) may sit. Lines that themselves carry
@@ -786,6 +796,80 @@ fn rule_panic_hygiene(path: &str, lines: &[Line], findings: &mut Vec<Finding>) {
     }
 }
 
+/// Method names that register a metric with a `pll_obs::Registry`; each
+/// takes `(name, help, ...)`.
+const METRIC_REGISTRATIONS: &[&str] = &[
+    ".counter(",
+    ".gauge(",
+    ".counter_fn(",
+    ".gauge_fn(",
+    ".histogram_fn(",
+];
+
+fn rule_metrics_hygiene(path: &str, lines: &[Line], findings: &mut Vec<Finding>) {
+    // (a) Stray scalar counters: a bare `AtomicU64` in the server crate
+    // outside the metrics module is a counter the exposition cannot
+    // see. Collections of atomics (`&[AtomicU64]`, `Vec<AtomicU64>` —
+    // the per-vertex generation table) are shared state, not metrics,
+    // and imports are just names.
+    if path.starts_with(METRICS_SCOPE) && path != METRICS_HOME {
+        for (i, line) in lines.iter().enumerate() {
+            if line.in_test || line.code.trim_start().starts_with("use ") {
+                continue;
+            }
+            for at in word_positions(&line.code, "AtomicU64") {
+                let before = &line.code[..at];
+                if before.ends_with('[') || before.ends_with("Vec<") {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: "metrics-hygiene".into(),
+                    path: path.to_string(),
+                    line: i + 1,
+                    col: at + 1,
+                    message: format!(
+                        "bare `AtomicU64` outside {METRICS_HOME}; serve-side counters \
+                         belong in `metrics::WorkerMetrics`/`metrics::ServeCounters` \
+                         (and a registry registration) so STATS and /metrics can see \
+                         them"
+                    ),
+                    waivable: true,
+                });
+            }
+        }
+    }
+    // (b) Undocumented metrics: every registry registration carries a
+    // help string; an empty one ships a nameplate with no explanation
+    // to every scrape consumer. The lexer blanks string interiors but
+    // keeps the quotes, so an empty literal is exactly `""`.
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in METRIC_REGISTRATIONS {
+            let Some(at) = line.code.find(pat) else {
+                continue;
+            };
+            let window = &lines[i..lines.len().min(i + ANNOTATION_WINDOW)];
+            if window.iter().any(|l| l.code.contains("\"\"")) {
+                findings.push(Finding {
+                    rule: "metrics-hygiene".into(),
+                    path: path.to_string(),
+                    line: i + 1,
+                    col: at + 1,
+                    message: format!(
+                        "metric registered via `{}` with an empty help string; every \
+                         metric must document what it measures (the help travels over \
+                         STATS and /metrics)",
+                        pat.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                    waivable: true,
+                });
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
@@ -801,6 +885,7 @@ pub fn scan_source(path: &str, content: &str) -> Report {
     rule_atomic_ordering(path, &lines, &mut raw);
     rule_lock_hygiene(path, &lines, &mut raw);
     rule_panic_hygiene(path, &lines, &mut raw);
+    rule_metrics_hygiene(path, &lines, &mut raw);
 
     let mut findings: Vec<Finding> = Vec::new();
     for f in raw {

@@ -241,6 +241,59 @@ fn panics_in_test_modules_and_bench_lib_pass() {
 }
 
 // ---------------------------------------------------------------------
+// metrics-hygiene
+// ---------------------------------------------------------------------
+
+#[test]
+fn bare_atomic_counter_outside_metrics_module_fires() {
+    let src = "struct S {\n    hits: AtomicU64,\n}\n";
+    let r = scan_source("crates/server/src/lib.rs", src);
+    assert_eq!(rules(&r), ["metrics-hygiene"]);
+    assert!(r.findings[0].message.contains("metrics"));
+}
+
+#[test]
+fn atomic_counters_in_the_metrics_module_pass() {
+    let src = "pub struct WorkerMetrics {\n    pub queries: AtomicU64,\n}\n";
+    let r = scan_source("crates/server/src/metrics.rs", src);
+    assert!(r.is_clean(), "unexpected findings: {:?}", r.findings);
+}
+
+#[test]
+fn atomic_collections_imports_and_tests_pass() {
+    // The per-vertex generation table is shared state, not a metric.
+    let src = "use std::sync::atomic::AtomicU64;\n\
+               struct S {\n    gens: Vec<AtomicU64>,\n}\n\
+               fn g(gens: &[AtomicU64]) -> usize {\n    gens.len()\n}\n";
+    assert!(scan_source("crates/server/src/lib.rs", src).is_clean());
+    let test_src = "#[cfg(test)]\nmod tests {\n    static C: AtomicU64 = AtomicU64::new(0);\n}\n";
+    assert!(scan_source("crates/server/src/lib.rs", test_src).is_clean());
+    // Other crates are out of scope for the stray-counter check.
+    let src = "struct S {\n    hits: AtomicU64,\n}\n";
+    assert!(scan_source("crates/core/src/par.rs", src).is_clean());
+}
+
+#[test]
+fn metric_registration_with_empty_help_fires() {
+    // Any crate: an undocumented metric is a finding wherever the
+    // registry is used, including multi-line rustfmt-split calls.
+    let src = "fn r(reg: &Registry) {\n    let c = reg.counter(\"pll_x_total\", \"\");\n}\n";
+    let r = scan_source("crates/server/src/metrics.rs", src);
+    assert_eq!(rules(&r), ["metrics-hygiene"]);
+    assert!(r.findings[0].message.contains("help"));
+    let split = "fn r(reg: &Registry) {\n    reg.gauge_fn(\n        \"pll_depth\",\n        \"\",\n    );\n}\n";
+    let r = scan_source("crates/obs/src/lib.rs", split);
+    assert_eq!(rules(&r), ["metrics-hygiene"]);
+}
+
+#[test]
+fn metric_registration_with_help_passes() {
+    let src = "fn r(reg: &Registry) {\n    let c = reg.counter(\"pll_x_total\", \"Things counted.\");\n}\n";
+    let r = scan_source("crates/server/src/metrics.rs", src);
+    assert!(r.is_clean(), "unexpected findings: {:?}", r.findings);
+}
+
+// ---------------------------------------------------------------------
 // waiver grammar
 // ---------------------------------------------------------------------
 

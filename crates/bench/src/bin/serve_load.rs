@@ -172,6 +172,14 @@ impl LoadClient {
         }
     }
 
+    /// One STATS round-trip: the server's live metric registry.
+    fn metrics_snapshot(&mut self) -> Result<pll_obs::Snapshot, ProtocolError> {
+        match self {
+            LoadClient::Plain(c) => c.stats(),
+            LoadClient::Retry(c) => c.metrics_snapshot(),
+        }
+    }
+
     fn update(&mut self, edges: &[(u32, u32)]) -> Result<UpdateAck, ProtocolError> {
         match self {
             LoadClient::Plain(c) => c.update(edges),
@@ -596,12 +604,34 @@ fn run() -> Result<(), Fatal> {
     }
 
     // Re-read the epoch after the load so hot-swaps are observable (and
-    // grep-able by the smoke scripts) from the client side.
-    let epoch_end = {
+    // grep-able by the smoke scripts) from the client side, and scrape
+    // the server's live metric registry on the same connection.
+    let (epoch_end, server_snapshot) = {
         let mut probe = LoadClient::connect(&opts.addr, opts.retry, wait, opts.seed ^ 0xe90c)?;
-        probe.info().map(|i| i.epoch).unwrap_or(epoch_start)
+        let epoch = probe.info().map(|i| i.epoch).unwrap_or(epoch_start);
+        let snapshot = probe
+            .metrics_snapshot()
+            .map_err(|e| Fatal::new(format!("STATS failed: {e}")))?;
+        (epoch, snapshot)
     };
     eprintln!("epoch {epoch_start} -> {epoch_end}");
+    {
+        let v = |name: &str| server_snapshot.value(name).unwrap_or(0);
+        // The metrics smoke script greps this line and diffs the served
+        // counts against the generator's own totals.
+        eprintln!(
+            "server metrics: {} queries, {} requests, {} cache hits / {} misses / {} evictions, \
+             {} sheds, {} flatten passes, {} slow requests",
+            v("pll_queries_total"),
+            v("pll_requests_total"),
+            v("pll_cache_hits_total"),
+            v("pll_cache_misses_total"),
+            v("pll_cache_evictions_total"),
+            v("pll_sheds_total"),
+            v("pll_flatten_passes_total"),
+            v("pll_slow_requests_total"),
+        );
+    }
     let update_json = match &update_outcome {
         Some(u) => {
             let mut lat = u.latencies_ns.clone();
@@ -669,6 +699,27 @@ fn run() -> Result<(), Fatal> {
     } else {
         String::new()
     };
+    let metrics_json = {
+        let v = |name: &str| server_snapshot.value(name).unwrap_or(0);
+        format!(
+            ",\n  \"server_metrics\": {{\n    \"queries_total\": {},\n    \
+             \"requests_total\": {},\n    \"cache_hits_total\": {},\n    \
+             \"cache_misses_total\": {},\n    \"cache_evictions_total\": {},\n    \
+             \"sheds_total\": {},\n    \"flatten_passes_total\": {},\n    \
+             \"slow_requests_total\": {},\n    \"wal_appends_total\": {},\n    \
+             \"epoch\": {}\n  }}",
+            v("pll_queries_total"),
+            v("pll_requests_total"),
+            v("pll_cache_hits_total"),
+            v("pll_cache_misses_total"),
+            v("pll_cache_evictions_total"),
+            v("pll_sheds_total"),
+            v("pll_flatten_passes_total"),
+            v("pll_slow_requests_total"),
+            v("pll_wal_appends_total"),
+            v("pll_epoch"),
+        )
+    };
 
     if let Some(path) = &opts.answers_out {
         let file = std::fs::File::create(path)
@@ -701,7 +752,7 @@ fn run() -> Result<(), Fatal> {
              \"elapsed_seconds\": {elapsed:.6},\n  \"qps\": {qps:.1},\n  \
              \"request_latency_us\": {{\n    \"p50\": {p50:.2},\n    \"p90\": {p90:.2},\n    \
              \"p99\": {p99:.2},\n    \"max\": {max:.2}\n  }},\n  \
-             \"unreachable\": {unreachable}{update_json}{retry_json}\n}}\n",
+             \"unreachable\": {unreachable}{update_json}{retry_json}{metrics_json}\n}}\n",
             opts.addr,
             info.num_vertices,
             info.format,

@@ -14,13 +14,15 @@ usage:
   pll query <index.idx> [--path|--connected] <s> <t> [<s> <t> ...]
   pll query <index.idx> [--path|--connected] -   (pairs from stdin, `s t` per line)
   pll stats <index.idx>                         (any format, v1 or v2)
-  pll stats --addr host:port                    (INFO from a running server:
-             vertices, epoch, overlay delta entries, flatten generation)
+  pll stats --addr host:port                    (INFO + STATS from a running
+             server: vertices, epoch, uptime, overlay delta entries,
+             flatten generation/threshold, and the live metric registry)
   pll bench <index.idx> [--queries q] [--seed s]  (any format, v1 or v2)
   pll serve --index <index.idx> [--graph <edges.txt>] [--addr host:port]
             [--threads k] [--max-pending n]
             [--wal <journal.wal>] [--snapshot-every n]
             [--flatten-threshold n|never]
+            [--metrics-addr host:port] [--trace-log <events.jsonl>]
             (TCP query service; --graph enables online UPDATE frames with
              overlay-direct epoch publishing; a background flattener folds
              the delta overlay into a fresh flat base once it exceeds
@@ -31,8 +33,11 @@ usage:
              recovery and --snapshot-every compacts the journal into the
              index file every n batches, riding the same background swap;
              --max-pending bounds the queued connections before arrivals
-             are shed with STATUS_BUSY; shut down with the SHUTDOWN
-             opcode, e.g. serve_load --shutdown)
+             are shed with STATUS_BUSY; --metrics-addr serves Prometheus
+             text on GET /metrics from a sidecar HTTP listener;
+             --trace-log appends flight-recorder events as JSON lines;
+             shut down with the SHUTDOWN opcode, e.g. serve_load
+             --shutdown)
   pll update <index.idx> <graph.txt> <updates.txt> -o <out.idx> [--threads k]
             (apply edge insertions incrementally — no rebuild — and write
              the flattened v2 index; undirected indices only)
@@ -125,6 +130,12 @@ pub enum Parsed {
         /// entries (`never` = u64::MAX keeps serving the overlay);
         /// `None` uses the server default.
         flatten_threshold: Option<u64>,
+        /// Sidecar HTTP listener serving Prometheus text on
+        /// GET /metrics (`host:port`; port 0 picks a free port).
+        metrics_addr: Option<String>,
+        /// Append flight-recorder events to this JSONL file as they
+        /// are recorded.
+        trace_log: Option<String>,
     },
     /// `pll wal`.
     Wal {
@@ -458,6 +469,8 @@ impl Parsed {
                 let mut snapshot_every: Option<u64> = None;
                 let mut max_pending = 0usize;
                 let mut flatten_threshold: Option<u64> = None;
+                let mut metrics_addr: Option<String> = None;
+                let mut trace_log: Option<String> = None;
                 let rest: Vec<&String> = it.collect();
                 let mut i = 0;
                 while i < rest.len() {
@@ -514,6 +527,20 @@ impl Parsed {
                                 parse_num(val, "--flatten-threshold")?
                             });
                         }
+                        "--metrics-addr" => {
+                            i += 1;
+                            let val = rest
+                                .get(i)
+                                .ok_or_else(|| usage("--metrics-addr needs a value"))?;
+                            metrics_addr = Some(val.to_string());
+                        }
+                        "--trace-log" => {
+                            i += 1;
+                            let val = rest
+                                .get(i)
+                                .ok_or_else(|| usage("--trace-log needs a value"))?;
+                            trace_log = Some(val.to_string());
+                        }
                         other => return Err(usage(format!("unknown option {other:?}"))),
                     }
                     i += 1;
@@ -546,6 +573,8 @@ impl Parsed {
                     snapshot_every: snapshot_every.unwrap_or(0),
                     max_pending,
                     flatten_threshold,
+                    metrics_addr,
+                    trace_log,
                 })
             }
             "wal" => {
@@ -872,6 +901,8 @@ mod tests {
                 snapshot_every,
                 max_pending,
                 flatten_threshold,
+                metrics_addr,
+                trace_log,
             } => {
                 assert_eq!(index, "x.idx");
                 assert_eq!(graph, None);
@@ -881,6 +912,8 @@ mod tests {
                 assert_eq!(snapshot_every, 0);
                 assert_eq!(max_pending, 0);
                 assert_eq!(flatten_threshold, None);
+                assert_eq!(metrics_addr, None);
+                assert_eq!(trace_log, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1002,6 +1035,33 @@ mod tests {
             "8"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parse_serve_observability_flags() {
+        match Parsed::parse(&argv(&[
+            "serve",
+            "--index",
+            "x.idx",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--trace-log",
+            "events.jsonl",
+        ]))
+        .unwrap()
+        {
+            Parsed::Serve {
+                metrics_addr,
+                trace_log,
+                ..
+            } => {
+                assert_eq!(metrics_addr.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(trace_log.as_deref(), Some("events.jsonl"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Parsed::parse(&argv(&["serve", "--index", "x.idx", "--metrics-addr"])).is_err());
+        assert!(Parsed::parse(&argv(&["serve", "--index", "x.idx", "--trace-log"])).is_err());
     }
 
     #[test]

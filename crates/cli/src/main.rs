@@ -106,6 +106,8 @@ fn run(argv: &[String]) -> Result<(), String> {
             snapshot_every,
             max_pending,
             flatten_threshold,
+            metrics_addr,
+            trace_log,
         } => serve(
             &index,
             graph.as_deref(),
@@ -115,6 +117,8 @@ fn run(argv: &[String]) -> Result<(), String> {
             snapshot_every,
             max_pending,
             flatten_threshold,
+            metrics_addr.as_deref(),
+            trace_log.as_deref(),
         ),
         Parsed::Update {
             index,
@@ -389,9 +393,10 @@ fn stats(index_path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// `pll stats --addr`: one INFO round-trip against a running server —
-/// the live view (epoch, overlay delta entries, flatten generation) that
-/// a file inspection cannot give.
+/// `pll stats --addr`: an INFO + STATS round-trip against a running
+/// server — the live view (epoch, uptime, overlay delta entries,
+/// flatten generation, metric registry) that a file inspection cannot
+/// give.
 fn stats_remote(addr: &str) -> Result<(), String> {
     let mut client = pll_server::protocol::Client::connect(addr)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
@@ -408,6 +413,7 @@ fn stats_remote(addr: &str) -> Result<(), String> {
     println!("format:              {format}");
     println!("file format:         v{}", info.format_version);
     println!("vertices:            {}", info.num_vertices);
+    println!("uptime:              {} s", info.uptime_seconds);
     println!("epoch:               {}", info.epoch);
     println!(
         "dynamic updates:     {}",
@@ -415,6 +421,30 @@ fn stats_remote(addr: &str) -> Result<(), String> {
     );
     println!("overlay entries:     {}", info.overlay_entries);
     println!("flatten generation:  {}", info.flattens);
+    match info.flatten_threshold {
+        0 => println!("flatten threshold:   n/a (static server)"),
+        u64::MAX => println!("flatten threshold:   never"),
+        t => println!("flatten threshold:   {t}"),
+    }
+    let snapshot = client.stats().map_err(|e| format!("STATS {addr}: {e}"))?;
+    println!();
+    println!("live metrics ({}):", snapshot.samples.len());
+    for sample in &snapshot.samples {
+        match &sample.value {
+            pll_obs::SampleValue::Counter(v) | pll_obs::SampleValue::Gauge(v) => {
+                println!("  {:<40} {v}", sample.name);
+            }
+            pll_obs::SampleValue::Histogram(h) => {
+                println!(
+                    "  {:<40} count {} p50 {:.1} µs p99 {:.1} µs",
+                    sample.name,
+                    h.count,
+                    h.percentile_nanos(0.50) as f64 / 1_000.0,
+                    h.percentile_nanos(0.99) as f64 / 1_000.0,
+                );
+            }
+        }
+    }
     Ok(())
 }
 
@@ -463,6 +493,8 @@ fn serve(
     snapshot_every: u64,
     max_pending: usize,
     flatten_threshold: Option<u64>,
+    metrics_addr: Option<&str>,
+    trace_log: Option<&str>,
 ) -> Result<(), String> {
     let index = Arc::new(open_any(index_path)?);
     eprintln!(
@@ -506,6 +538,8 @@ fn serve(
             max_pending,
             wal,
             flatten_threshold: flatten_threshold.or(defaults.flatten_threshold),
+            metrics_addr: metrics_addr.map(str::to_string),
+            trace_log: trace_log.map(std::path::PathBuf::from),
             ..defaults
         },
     )
@@ -529,6 +563,10 @@ fn serve(
     }
     // The smoke script greps this exact line to learn the bound port.
     println!("listening on {}", handle.local_addr());
+    if let Some(m) = handle.metrics_addr() {
+        // The metrics smoke script greps this exact line for the port.
+        println!("metrics on http://{m}/metrics");
+    }
     eprintln!(
         "{} worker thread(s), UPDATE {}; send the SHUTDOWN opcode (serve_load --shutdown) to stop",
         handle.num_workers(),

@@ -43,7 +43,7 @@ pub fn point(name: &str) {
 }
 
 #[cfg(feature = "failpoints")]
-pub use imp::{cfg, clear, hits, remove};
+pub use imp::{armed, cfg, clear, hits, remove};
 
 #[cfg(feature = "failpoints")]
 mod imp {
@@ -184,6 +184,14 @@ mod imp {
     /// never armed; unarmed sites are not counted).
     pub fn hits(name: &str) -> u64 {
         registry().get(name).map_or(0, |site| site.hits)
+    }
+
+    /// Whether `name` is currently armed (configured in the registry).
+    /// The server's flight recorder uses this to log an armed site's
+    /// crossing *before* triggering it — an `abort` action leaves no
+    /// other trace of which site fired.
+    pub fn armed(name: &str) -> bool {
+        registry().contains_key(name)
     }
 }
 

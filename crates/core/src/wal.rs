@@ -462,12 +462,31 @@ impl WalWriter {
     /// `write_all`, so a crash mid-append leaves at most a torn tail that
     /// the next [`read_wal`] truncates. A record over [`MAX_RECORD_EDGES`]
     /// is refused with a typed error before any byte is written.
-    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+    ///
+    /// Returns a receipt with the appended byte count and the fsync wall
+    /// time, so callers can account WAL throughput and sync latency
+    /// (`pll-server` feeds these into its metrics registry); callers
+    /// that only need durability can ignore it.
+    pub fn append(&mut self, record: &WalRecord) -> Result<AppendReceipt> {
         let encoded = record.encode()?;
         self.file.write_all(&encoded)?;
+        let sync_started = std::time::Instant::now();
         self.file.sync_all()?;
-        Ok(())
+        Ok(AppendReceipt {
+            bytes: encoded.len() as u64,
+            fsync_nanos: sync_started.elapsed().as_nanos() as u64,
+        })
     }
+}
+
+/// Accounting for one [`WalWriter::append`]: how many bytes landed in
+/// the journal and how long the fsync took.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AppendReceipt {
+    /// Encoded record size appended to the WAL.
+    pub bytes: u64,
+    /// Wall-clock nanoseconds the `fsync` (`File::sync_all`) took.
+    pub fsync_nanos: u64,
 }
 
 #[cfg(test)]

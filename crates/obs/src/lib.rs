@@ -1,0 +1,1240 @@
+//! `pll-obs` — the serving stack's observability substrate: a metric
+//! registry with live exposition and a lock-free flight recorder.
+//!
+//! Everything here is dependency-free and hand-rolled (no registry is
+//! reachable from this build environment), in the same spirit as
+//! `pll_core::fail` and the `shims/` stand-ins:
+//!
+//! * [`Registry`] — named counters, gauges and histograms that
+//!   components register into. Handles are `Arc`-backed relaxed
+//!   atomics (one `fetch_add` per event on the hot path); components
+//!   that already keep their own sharded counters register *collector
+//!   closures* instead, which are only invoked at scrape time.
+//! * [`latency`] — the log-linear latency histogram generalized out of
+//!   `pll-server`'s `metrics` module: 4 sub-buckets per power of two
+//!   across 48 powers (192 buckets), so a percentile read from a bucket
+//!   upper bound overstates the true value by at most ~25% instead of
+//!   the 2× a pure log₂ histogram allows.
+//! * [`Snapshot`] — a point-in-time read of every registered metric,
+//!   with a versioned length-prefixed wire encoding (the `STATS`
+//!   protocol op) and a Prometheus text-format rendering
+//!   ([`render_prometheus`]) served by the hand-rolled HTTP/1.0
+//!   exporter ([`spawn_http_exporter`]).
+//! * [`FlightRecorder`] — a fixed-size lock-free ring of recent
+//!   structured events (epoch publishes, sheds, degraded recovery,
+//!   slow requests, failpoint hits) dumped as JSONL to stderr on
+//!   panic, degraded recovery and shutdown, and optionally teed to a
+//!   trace log as it records.
+//!
+//! Scrape-time contract: collector closures must be wait-free reads
+//! (relaxed atomic loads, epoch-cell reads) — never take a lock a
+//! request or updater path can hold, or a scrape could deadlock the
+//! server.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
+use std::time::Instant;
+
+/// Log-linear latency-histogram geometry shared by every histogram in
+/// the workspace (the generalization of `pll-server`'s former log₂
+/// histogram).
+pub mod latency {
+    /// Powers of two spanned: bucket group `p` covers `[2^p, 2^(p+1))`
+    /// nanoseconds, so 48 groups span nanoseconds to ~3 days.
+    pub const POWERS: usize = 48;
+    /// Log-linear sub-buckets per power of two.
+    pub const SUBDIV: usize = 4;
+    /// Total bucket count.
+    pub const BUCKETS: usize = POWERS * SUBDIV;
+
+    /// Bucket index for a `nanos` observation: group `p = ⌊log₂ v⌋`,
+    /// sub-bucket `⌊(v − 2^p) / 2^(p−2)⌋`, clamped into the last bucket
+    /// above the spanned range. Monotone in `nanos`.
+    pub fn bucket_index(nanos: u64) -> usize {
+        let v = nanos.max(1);
+        let p = 63 - v.leading_zeros() as usize;
+        let off = v - (1u64 << p);
+        let sub = if p >= 2 {
+            (off >> (p - 2)) as usize
+        } else {
+            // Groups 0 and 1 are narrower than 4 integers; spread what
+            // exists monotonically (some low sub-buckets stay empty).
+            ((off << 2) >> p) as usize
+        };
+        (p * SUBDIV + sub).min(BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound (nanoseconds) of bucket `i`:
+    /// `2^p + (s+1)·2^(p−2)` for group `p`, sub-bucket `s`.
+    pub fn upper_bound_nanos(i: usize) -> u64 {
+        let p = (i / SUBDIV).min(POWERS - 1);
+        let s = (i % SUBDIV) as u64;
+        (1u64 << p) + (((s + 1) << p) >> 2)
+    }
+
+    /// The `p`-th percentile (`0.0 < p <= 1.0`) of a merged bucket
+    /// array with `total` observations, reported as the matched
+    /// bucket's inclusive upper bound in nanoseconds (0 when nothing
+    /// was recorded).
+    pub fn percentile_nanos(buckets: &[u64], total: u64, p: f64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * p).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &count) in buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return upper_bound_nanos(i);
+            }
+        }
+        upper_bound_nanos(BUCKETS - 1)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn index_is_monotone_and_in_range() {
+            let mut probes: Vec<u64> = Vec::new();
+            for shift in 0..64u32 {
+                for nudge in [0u64, 1, 2, 3] {
+                    probes.push((1u64 << shift).saturating_add(nudge << shift.saturating_sub(2)));
+                }
+            }
+            probes.sort_unstable();
+            probes.dedup();
+            let mut prev = 0usize;
+            for v in probes {
+                let i = bucket_index(v);
+                assert!(i < BUCKETS, "v {v}: index {i}");
+                assert!(i >= prev, "v {v}: index {i} went backwards from {prev}");
+                prev = i;
+            }
+            assert_eq!(bucket_index(0), 0);
+            assert_eq!(bucket_index(1), 0);
+            assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        }
+
+        #[test]
+        fn upper_bound_covers_its_bucket() {
+            // Every value maps to a bucket whose upper bound is >= the
+            // value and within 25% of it (the log-linear guarantee),
+            // for values inside the spanned range.
+            for shift in 3..47u32 {
+                for step in 0..8u64 {
+                    let v = (1u64 << shift) + step * (1u64 << (shift - 3));
+                    let ub = upper_bound_nanos(bucket_index(v));
+                    assert!(ub >= v, "v {v}: ub {ub} below the value");
+                    assert!(
+                        (ub as f64) <= (v as f64) * 1.25 + 1.0,
+                        "v {v}: ub {ub} overstates by more than 25%"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn percentile_hits_the_right_bucket() {
+            let mut buckets = vec![0u64; BUCKETS];
+            // 99 observations of ~1µs, one of ~1ms.
+            buckets[bucket_index(1_000)] = 99;
+            buckets[bucket_index(1_000_000)] = 1;
+            let p50 = percentile_nanos(&buckets, 100, 0.50);
+            let p99 = percentile_nanos(&buckets, 100, 0.99);
+            assert!((1_000..=1_250).contains(&p50), "p50 {p50}");
+            assert!((1_000..=1_250).contains(&p99), "p99 {p99}");
+            let p100 = percentile_nanos(&buckets, 100, 1.0);
+            assert!((1_000_000..=1_250_000).contains(&p100), "p100 {p100}");
+            assert_eq!(percentile_nanos(&buckets, 0, 0.5), 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metric handles.
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter handle; cloning shares the cell.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — a plain statistics counter: nothing is
+        // published through it and scrapes tolerate any interleaving.
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — scrape-time read of a statistics counter.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle (a value that can go up and down).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        // ORDERING: Relaxed — a statistics gauge; see `Counter::add`.
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — scrape-time read of a statistics gauge.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time read of one histogram: observation count, summed
+/// value (nanoseconds for latency histograms) and per-bucket counts in
+/// [`latency`] geometry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts ([`latency::BUCKETS`] entries for
+    /// latency histograms).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The `p`-th percentile in nanoseconds (see
+    /// [`latency::percentile_nanos`]).
+    pub fn percentile_nanos(&self, p: f64) -> u64 {
+        latency::percentile_nanos(&self.buckets, self.count, p)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+enum Source {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    GaugeFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    HistogramFn(Box<dyn Fn() -> HistogramSnapshot + Send + Sync>),
+}
+
+struct Metric {
+    name: String,
+    help: String,
+    source: Source,
+}
+
+/// A set of named metrics scraped together. One registry per server
+/// instance (tests run many servers per process, so a process-global
+/// registry would cross-contaminate their counts).
+///
+/// Registration takes the metric name *and a mandatory non-empty help
+/// string* — the `metrics-hygiene` audit rule enforces the same at the
+/// call-site level. Names must be unique and Prometheus-compatible
+/// (`[a-z0-9_]`, by convention prefixed `pll_`).
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(&self, name: &str, help: &str, source: Source) {
+        assert!(
+            !name.is_empty()
+                && name
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'),
+            "metric name {name:?} must be non-empty [a-z0-9_]"
+        );
+        assert!(
+            !help.is_empty(),
+            "metric {name} registered without a help string"
+        );
+        let mut metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        assert!(
+            metrics.iter().all(|m| m.name != name),
+            "metric {name} registered twice"
+        );
+        metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            source,
+        });
+    }
+
+    /// Registers an owned counter and returns its handle.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let cell = Arc::new(AtomicU64::new(0));
+        self.register(name, help, Source::Counter(cell.clone()));
+        Counter(cell)
+    }
+
+    /// Registers an owned gauge and returns its handle.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let cell = Arc::new(AtomicU64::new(0));
+        self.register(name, help, Source::Gauge(cell.clone()));
+        Gauge(cell)
+    }
+
+    /// Registers a counter whose value is computed at scrape time
+    /// (e.g. a sum over per-worker shards). `f` must be a wait-free
+    /// read and must be monotone for the counter contract to hold.
+    pub fn counter_fn(&self, name: &str, help: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.register(name, help, Source::CounterFn(Box::new(f)));
+    }
+
+    /// Registers a gauge computed at scrape time.
+    pub fn gauge_fn(&self, name: &str, help: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.register(name, help, Source::GaugeFn(Box::new(f)));
+    }
+
+    /// Registers a histogram whose snapshot is computed at scrape time
+    /// (e.g. merging per-worker bucket shards). Latency histograms are
+    /// nanosecond-valued in [`latency`] geometry.
+    pub fn histogram_fn(
+        &self,
+        name: &str,
+        help: &str,
+        f: impl Fn() -> HistogramSnapshot + Send + Sync + 'static,
+    ) {
+        self.register(name, help, Source::HistogramFn(Box::new(f)));
+    }
+
+    /// Reads every registered metric. Values are read one metric at a
+    /// time (no stop-the-world), so a snapshot is per-metric atomic
+    /// and cross-metric monotone, not a consistent cut.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        Snapshot {
+            samples: metrics
+                .iter()
+                .map(|m| Sample {
+                    name: m.name.clone(),
+                    help: m.help.clone(),
+                    value: match &m.source {
+                        // ORDERING: Relaxed — scrape-time reads of
+                        // statistics cells; see `Counter::add`.
+                        Source::Counter(c) => SampleValue::Counter(c.load(Ordering::Relaxed)),
+                        Source::Gauge(c) => SampleValue::Gauge(c.load(Ordering::Relaxed)),
+                        Source::CounterFn(f) => SampleValue::Counter(f()),
+                        Source::GaugeFn(f) => SampleValue::Gauge(f()),
+                        Source::HistogramFn(f) => SampleValue::Histogram(f()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One scraped metric value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SampleValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Point-in-time gauge.
+    Gauge(u64),
+    /// Bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One scraped metric: name, help and value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// Registered metric name.
+    pub name: String,
+    /// Registered help string (empty on snapshots decoded from the
+    /// wire of a peer that predates help transport — never empty for
+    /// locally produced snapshots).
+    pub help: String,
+    /// The value at scrape time.
+    pub value: SampleValue,
+}
+
+/// A point-in-time read of a whole [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Every registered metric, in registration order.
+    pub samples: Vec<Sample>,
+}
+
+/// Wire version of the `STATS` snapshot encoding.
+pub const SNAPSHOT_WIRE_VERSION: u16 = 1;
+
+const KIND_COUNTER: u8 = 0;
+const KIND_GAUGE: u8 = 1;
+const KIND_HISTOGRAM: u8 = 2;
+
+impl Snapshot {
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&SampleValue> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| &s.value)
+    }
+
+    /// Convenience: the value of a counter or gauge named `name`.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            SampleValue::Counter(v) | SampleValue::Gauge(v) => Some(*v),
+            SampleValue::Histogram(_) => None,
+        }
+    }
+
+    /// Appends the versioned wire encoding (the `STATS` response body)
+    /// to `out`:
+    ///
+    /// ```text
+    /// u16 version, u32 sample count, then per sample:
+    ///   u16 name len, name bytes, u16 help len, help bytes,
+    ///   u8 kind (0 counter, 1 gauge, 2 histogram),
+    ///   counter/gauge: u64 value
+    ///   histogram:     u64 count, u64 sum, u16 buckets, buckets × u64
+    /// ```
+    ///
+    /// All integers little-endian, matching the serve protocol.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&SNAPSHOT_WIRE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.samples.len() as u32).to_le_bytes());
+        for s in &self.samples {
+            out.extend_from_slice(&(s.name.len() as u16).to_le_bytes());
+            out.extend_from_slice(s.name.as_bytes());
+            out.extend_from_slice(&(s.help.len().min(u16::MAX as usize) as u16).to_le_bytes());
+            out.extend_from_slice(&s.help.as_bytes()[..s.help.len().min(u16::MAX as usize)]);
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    out.push(KIND_COUNTER);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                SampleValue::Gauge(v) => {
+                    out.push(KIND_GAUGE);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                SampleValue::Histogram(h) => {
+                    out.push(KIND_HISTOGRAM);
+                    out.extend_from_slice(&h.count.to_le_bytes());
+                    out.extend_from_slice(&h.sum.to_le_bytes());
+                    out.extend_from_slice(&(h.buckets.len() as u16).to_le_bytes());
+                    for b in &h.buckets {
+                        out.extend_from_slice(&b.to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decodes a wire snapshot produced by [`Snapshot::encode_into`].
+    pub fn decode(body: &[u8]) -> Result<Snapshot, String> {
+        let mut r = Cursor { b: body, at: 0 };
+        let version = r.u16()?;
+        if version != SNAPSHOT_WIRE_VERSION {
+            return Err(format!(
+                "unsupported STATS snapshot version {version} (expected {SNAPSHOT_WIRE_VERSION})"
+            ));
+        }
+        let count = r.u32()? as usize;
+        // A sample is at least name len + help len + kind + one u64.
+        if count > body.len() / 13 + 1 {
+            return Err(format!("implausible sample count {count}"));
+        }
+        let mut samples = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = r.str16()?;
+            let help = r.str16()?;
+            let value = match r.u8()? {
+                KIND_COUNTER => SampleValue::Counter(r.u64()?),
+                KIND_GAUGE => SampleValue::Gauge(r.u64()?),
+                KIND_HISTOGRAM => {
+                    let count = r.u64()?;
+                    let sum = r.u64()?;
+                    let n = r.u16()? as usize;
+                    let mut buckets = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        buckets.push(r.u64()?);
+                    }
+                    SampleValue::Histogram(HistogramSnapshot {
+                        count,
+                        sum,
+                        buckets,
+                    })
+                }
+                k => return Err(format!("unknown sample kind {k}")),
+            };
+            samples.push(Sample { name, help, value });
+        }
+        if r.at != body.len() {
+            return Err(format!(
+                "{} trailing bytes after snapshot",
+                body.len() - r.at
+            ));
+        }
+        Ok(Snapshot { samples })
+    }
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        if self.at + n > self.b.len() {
+            return Err(format!(
+                "truncated snapshot: need {n} bytes at offset {}",
+                self.at
+            ));
+        }
+        let s = &self.b[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, String> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        let s = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(s);
+        Ok(u64::from_le_bytes(buf))
+    }
+    fn str16(&mut self) -> Result<String, String> {
+        let n = self.u16()? as usize;
+        let s = self.take(n)?;
+        String::from_utf8(s.to_vec()).map_err(|_| "non-UTF-8 string in snapshot".to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+// ---------------------------------------------------------------------------
+
+/// Renders a snapshot in Prometheus text exposition format (version
+/// 0.0.4). Histograms are nanosecond-valued internally and exposed in
+/// seconds (`le` bounds and `_sum` divided by 1e9), per Prometheus
+/// base-unit conventions.
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for s in &snapshot.samples {
+        let kind = match s.value {
+            SampleValue::Counter(_) => "counter",
+            SampleValue::Gauge(_) => "gauge",
+            SampleValue::Histogram(_) => "histogram",
+        };
+        if !s.help.is_empty() {
+            out.push_str(&format!("# HELP {} {}\n", s.name, s.help));
+        }
+        out.push_str(&format!("# TYPE {} {kind}\n", s.name));
+        match &s.value {
+            SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                out.push_str(&format!("{} {v}\n", s.name));
+            }
+            SampleValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    if c == 0 {
+                        continue; // elide empty buckets: 192 lines → a handful
+                    }
+                    cumulative += c;
+                    let le = latency::upper_bound_nanos(i) as f64 / 1e9;
+                    out.push_str(&format!("{}_bucket{{le=\"{le}\"}} {cumulative}\n", s.name));
+                }
+                out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", s.name, h.count));
+                out.push_str(&format!("{}_sum {}\n", s.name, h.sum as f64 / 1e9));
+                out.push_str(&format!("{}_count {}\n", s.name, h.count));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// HTTP/1.0 /metrics exporter.
+// ---------------------------------------------------------------------------
+
+/// Spawns the metrics sidecar: a hand-rolled HTTP/1.0 listener on
+/// `addr` answering `GET /metrics` with the Prometheus rendering of
+/// `registry`. Returns the bound address (so `addr` may end in `:0`)
+/// and the serving thread's handle. The thread exits soon after `stop`
+/// becomes true (it polls between accepts).
+pub fn spawn_http_exporter(
+    addr: &str,
+    registry: Arc<Registry>,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let handle = std::thread::Builder::new()
+        .name("pll-metrics-http".into())
+        .spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Serve inline: scrapers are few and the render is
+                    // cheap; a slow peer is bounded by the timeouts.
+                    let _ = answer_http(stream, &registry);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // ORDERING: Acquire — pairs with the Release store
+                    // in the server's shutdown path so the exporter
+                    // observes the final counter values before exiting.
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        })?;
+    Ok((local, handle))
+}
+
+/// Reads one HTTP request head and answers it. Only `GET /metrics` is
+/// served; everything else is a 404/400. HTTP/1.0 semantics: one
+/// request per connection, `Connection: close`.
+fn answer_http(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let timeout = Some(std::time::Duration::from_secs(2));
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    // Read until the blank line ending the request head, capped so a
+    // hostile peer cannot balloon memory.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method != "GET" {
+        ("400 Bad Request", "only GET is supported\n".to_string())
+    } else if path == "/metrics" || path.starts_with("/metrics?") {
+        ("200 OK", render_prometheus(&registry.snapshot()))
+    } else {
+        ("404 Not Found", "try /metrics\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+// ---------------------------------------------------------------------------
+
+/// Structured event kinds the flight recorder understands. Each kind
+/// fixes the meaning of the event's two payload words (`a`, `b`) —
+/// see [`FlightEvent::to_json`] for the rendered field names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A new served index generation was swapped in: `a` = the new
+    /// generation number, `b` = overlay delta entries it serves.
+    EpochPublish,
+    /// A connection was shed with `STATUS_BUSY`: `a` = total sheds so
+    /// far, `b` = the bounded-queue limit that was hit.
+    ConnectionShed,
+    /// Startup WAL replay failed and the server degraded to the base
+    /// snapshot: `a` = records replayed before the failure, `b` =
+    /// validated WAL byte length.
+    DegradedRecovery,
+    /// A request exceeded the slow-request threshold: `a` =
+    /// service time in microseconds, `b` = distance answers in it.
+    SlowRequest,
+    /// An armed failpoint site was crossed: `a`/`b` pack the site name
+    /// (see [`pack_site`]).
+    FailpointHit,
+}
+
+impl EventKind {
+    fn code(self) -> u64 {
+        match self {
+            EventKind::EpochPublish => 1,
+            EventKind::ConnectionShed => 2,
+            EventKind::DegradedRecovery => 3,
+            EventKind::SlowRequest => 4,
+            EventKind::FailpointHit => 5,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<EventKind> {
+        Some(match code {
+            1 => EventKind::EpochPublish,
+            2 => EventKind::ConnectionShed,
+            3 => EventKind::DegradedRecovery,
+            4 => EventKind::SlowRequest,
+            5 => EventKind::FailpointHit,
+            _ => return None,
+        })
+    }
+
+    /// Stable JSON name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::EpochPublish => "epoch_publish",
+            EventKind::ConnectionShed => "connection_shed",
+            EventKind::DegradedRecovery => "degraded_recovery",
+            EventKind::SlowRequest => "slow_request",
+            EventKind::FailpointHit => "failpoint_hit",
+        }
+    }
+
+    fn field_names(self) -> (&'static str, &'static str) {
+        match self {
+            EventKind::EpochPublish => ("generation", "delta_entries"),
+            EventKind::ConnectionShed => ("sheds_total", "max_pending"),
+            EventKind::DegradedRecovery => ("records_replayed", "valid_bytes"),
+            EventKind::SlowRequest => ("micros", "queries"),
+            EventKind::FailpointHit => ("site", ""),
+        }
+    }
+}
+
+/// Packs (up to) the first 16 bytes of a site name into two words for
+/// a [`EventKind::FailpointHit`] event.
+pub fn pack_site(name: &str) -> (u64, u64) {
+    let mut bytes = [0u8; 16];
+    let n = name.len().min(16);
+    bytes[..n].copy_from_slice(&name.as_bytes()[..n]);
+    let mut a = [0u8; 8];
+    let mut b = [0u8; 8];
+    a.copy_from_slice(&bytes[..8]);
+    b.copy_from_slice(&bytes[8..]);
+    (u64::from_le_bytes(a), u64::from_le_bytes(b))
+}
+
+/// Inverse of [`pack_site`] (truncated names come back truncated).
+pub fn unpack_site(a: u64, b: u64) -> String {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&a.to_le_bytes());
+    bytes[8..].copy_from_slice(&b.to_le_bytes());
+    let end = bytes.iter().position(|&c| c == 0).unwrap_or(16);
+    String::from_utf8_lossy(&bytes[..end]).into_owned()
+}
+
+/// One decoded flight-recorder event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global sequence number (0-based, monotone across the run).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub ts_micros: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (meaning fixed by `kind`).
+    pub a: u64,
+    /// Second payload word (meaning fixed by `kind`).
+    pub b: u64,
+}
+
+impl FlightEvent {
+    /// One-line JSON rendering with kind-specific field names — the
+    /// schema documented in `docs/OBSERVABILITY.md`.
+    pub fn to_json(&self) -> String {
+        let (fa, fb) = self.kind.field_names();
+        if self.kind == EventKind::FailpointHit {
+            return format!(
+                "{{\"seq\":{},\"ts_us\":{},\"event\":\"{}\",\"{fa}\":\"{}\"}}",
+                self.seq,
+                self.ts_micros,
+                self.kind.name(),
+                unpack_site(self.a, self.b)
+            );
+        }
+        format!(
+            "{{\"seq\":{},\"ts_us\":{},\"event\":\"{}\",\"{fa}\":{},\"{fb}\":{}}}",
+            self.seq,
+            self.ts_micros,
+            self.kind.name(),
+            self.a,
+            self.b
+        )
+    }
+}
+
+struct Slot {
+    /// Commit word: 0 = never written, `2·ticket + 2` = committed.
+    /// A torn read (concurrent rewrite of the same slot) fails the
+    /// commit check and the slot is skipped — diagnostics may drop an
+    /// event under wrap pressure, never corrupt one into UB.
+    seq: AtomicU64,
+    kind: AtomicU64,
+    ts_micros: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// A fixed-size lock-free ring of recent structured events. Recording
+/// is a ticket `fetch_add` plus a handful of relaxed stores; reading
+/// (a dump) is best-effort and skips slots that are mid-rewrite.
+pub struct FlightRecorder {
+    slots: Vec<Slot>,
+    next: AtomicU64,
+    start: Instant,
+    tee_enabled: AtomicBool,
+    tee: Mutex<Option<Box<dyn std::io::Write + Send>>>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding the last `capacity` events
+    /// (rounded up to a power of two, minimum 8).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(8).next_power_of_two();
+        FlightRecorder {
+            slots: (0..cap)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    kind: AtomicU64::new(0),
+                    ts_micros: AtomicU64::new(0),
+                    a: AtomicU64::new(0),
+                    b: AtomicU64::new(0),
+                })
+                .collect(),
+            next: AtomicU64::new(0),
+            start: Instant::now(),
+            tee_enabled: AtomicBool::new(false),
+            tee: Mutex::new(None),
+        }
+    }
+
+    /// Number of events recorded since startup (not capped by ring
+    /// capacity).
+    pub fn recorded(&self) -> u64 {
+        // ORDERING: Relaxed — statistics read of the ticket counter.
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Records one event.
+    pub fn record(&self, kind: EventKind, a: u64, b: u64) {
+        // ORDERING: Relaxed — the ticket only allocates a distinct
+        // slot; slot visibility is carried by the Release commit below.
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let slot = &self.slots[(ticket % cap) as usize];
+        let ts = self.start.elapsed().as_micros() as u64;
+        // Claim the slot by CAS from its previous commit word. Failure
+        // means a lapping writer owns the slot mid-rewrite: drop this
+        // event's ring storage (the ticket still counts) instead of
+        // tearing the owner's fields.
+        let previous_commit = if ticket >= cap {
+            (ticket - cap) * 2 + 2
+        } else {
+            0
+        };
+        let claimed = slot
+            .seq
+            .compare_exchange(
+                previous_commit,
+                ticket * 2 + 1,
+                // ORDERING: Relaxed CAS (success and failure) — the
+                // claim only needs atomicity; the Release fence below
+                // orders it before the field stores so a reader's
+                // recheck can detect an in-progress rewrite.
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok();
+        if claimed {
+            // ORDERING: Release fence — orders the odd claim word
+            // before the field stores; with the Acquire fence in
+            // `events`, a reader whose recheck still sees the old
+            // commit word cannot have read these in-flight fields.
+            std::sync::atomic::fence(Ordering::Release);
+            // ORDERING: Relaxed field stores — single-writer between
+            // claim and commit; the Release commit below makes them
+            // visible to readers that observe it.
+            slot.kind.store(kind.code(), Ordering::Relaxed);
+            slot.ts_micros.store(ts, Ordering::Relaxed);
+            slot.a.store(a, Ordering::Relaxed);
+            slot.b.store(b, Ordering::Relaxed);
+            slot.seq.store(ticket * 2 + 2, Ordering::Release);
+        }
+        // ORDERING: Relaxed — cheap hot-path gate; the tee lock below
+        // provides the actual synchronization when enabled.
+        if self.tee_enabled.load(Ordering::Relaxed) {
+            let event = FlightEvent {
+                seq: ticket,
+                ts_micros: ts,
+                kind,
+                a,
+                b,
+            };
+            let mut tee = self.tee.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(w) = tee.as_mut() {
+                let _ = writeln!(w, "{}", event.to_json());
+                let _ = w.flush();
+            }
+        }
+    }
+
+    /// Streams every subsequent event as a JSONL line to `w` (the
+    /// `--trace-log` tee) in addition to keeping it in the ring.
+    pub fn set_tee(&self, w: Box<dyn std::io::Write + Send>) {
+        *self.tee.lock().unwrap_or_else(PoisonError::into_inner) = Some(w);
+        // ORDERING: Relaxed — the gate is advisory; a record racing
+        // this store merely misses the first tee line.
+        self.tee_enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Opens `path` for appending (created if missing) and tees every
+    /// subsequent event to it as JSONL — the `--trace-log` backend.
+    /// Appending rather than truncating keeps a restarted process from
+    /// erasing the trace that led up to its predecessor's death.
+    pub fn tee_to_path(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        self.set_tee(Box::new(file));
+        Ok(())
+    }
+
+    /// Best-effort read of the ring, oldest first. Slots being
+    /// rewritten concurrently are skipped.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        // ORDERING: Acquire — pairs with the Release commit in
+        // `record` so committed fields are visible.
+        let next = self.next.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let first = next.saturating_sub(cap);
+        let mut out = Vec::new();
+        for ticket in first..next {
+            let slot = &self.slots[(ticket % cap) as usize];
+            // ORDERING: Acquire — see above; the fields below are only
+            // trusted when the commit word matches this ticket.
+            if slot.seq.load(Ordering::Acquire) != ticket * 2 + 2 {
+                continue;
+            }
+            // ORDERING: Relaxed — covered by the Acquire commit check
+            // before and the fenced recheck after.
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let ts_micros = slot.ts_micros.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            // ORDERING: Acquire fence — orders the field loads above
+            // before the recheck, pairing with the writer's Release
+            // fence: a lapping rewrite that could have torn the fields
+            // leaves its odd claim word visible to the recheck.
+            std::sync::atomic::fence(Ordering::Acquire);
+            // ORDERING: Relaxed recheck — the fence provides ordering.
+            if slot.seq.load(Ordering::Relaxed) != ticket * 2 + 2 {
+                continue;
+            }
+            if let Some(kind) = EventKind::from_code(kind) {
+                out.push(FlightEvent {
+                    seq: ticket,
+                    ts_micros,
+                    kind,
+                    a,
+                    b,
+                });
+            }
+        }
+        out
+    }
+
+    /// Dumps the ring as JSONL to stderr with a framing header —
+    /// called on panic, degraded recovery and shutdown.
+    pub fn dump_stderr(&self, reason: &str) {
+        let events = self.events();
+        eprintln!(
+            "flight recorder ({reason}): {} of {} recorded event(s)",
+            events.len(),
+            self.recorded()
+        );
+        for e in events {
+            eprintln!("  {}", e.to_json());
+        }
+    }
+}
+
+static PANIC_RECORDERS: OnceLock<Mutex<Vec<Weak<FlightRecorder>>>> = OnceLock::new();
+
+/// Registers `recorder` for dumping on panic. The hook is installed
+/// once per process and chains the previous hook; recorders are held
+/// weakly so a finished server's ring does not outlive it.
+pub fn dump_on_panic(recorder: &Arc<FlightRecorder>) {
+    let recorders = PANIC_RECORDERS.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(list) = PANIC_RECORDERS.get() {
+                let list = list.lock().unwrap_or_else(PoisonError::into_inner);
+                for weak in list.iter() {
+                    if let Some(r) = weak.upgrade() {
+                        r.dump_stderr("panic");
+                    }
+                }
+            }
+            previous(info);
+        }));
+        Mutex::new(Vec::new())
+    });
+    let mut list = recorders.lock().unwrap_or_else(PoisonError::into_inner);
+    list.retain(|w| w.strong_count() > 0);
+    list.push(Arc::downgrade(recorder));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_snapshot_reads_all_kinds() {
+        let reg = Registry::new();
+        let c = reg.counter("pll_test_total", "a test counter");
+        let g = reg.gauge("pll_test_gauge", "a test gauge");
+        reg.counter_fn("pll_test_fn_total", "a collector counter", || 7);
+        reg.histogram_fn("pll_test_seconds", "a test histogram", || {
+            HistogramSnapshot {
+                count: 2,
+                sum: 1_001_000,
+                buckets: {
+                    let mut b = vec![0u64; latency::BUCKETS];
+                    b[latency::bucket_index(1_000)] = 1;
+                    b[latency::bucket_index(1_000_000)] = 1;
+                    b
+                },
+            }
+        });
+        c.add(3);
+        c.inc();
+        g.set(42);
+        let snap = reg.snapshot();
+        assert_eq!(snap.value("pll_test_total"), Some(4));
+        assert_eq!(snap.value("pll_test_gauge"), Some(42));
+        assert_eq!(snap.value("pll_test_fn_total"), Some(7));
+        match snap.get("pll_test_seconds") {
+            Some(SampleValue::Histogram(h)) => {
+                assert_eq!(h.count, 2);
+                assert!(h.percentile_nanos(0.5) >= 1_000);
+            }
+            other => panic!("unexpected sample {other:?}"),
+        }
+        assert_eq!(snap.value("pll_missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_are_rejected() {
+        let reg = Registry::new();
+        let _a = reg.counter("pll_dup_total", "first");
+        let _b = reg.counter("pll_dup_total", "second");
+    }
+
+    #[test]
+    #[should_panic(expected = "help string")]
+    fn empty_help_is_rejected() {
+        let reg = Registry::new();
+        let _c = reg.counter("pll_undocumented_total", "");
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_every_sample() {
+        let reg = Registry::new();
+        reg.counter("pll_a_total", "counter a").add(11);
+        reg.gauge("pll_b", "gauge b").set(22);
+        reg.histogram_fn("pll_c_seconds", "histogram c", || HistogramSnapshot {
+            count: 5,
+            sum: 900,
+            buckets: vec![0, 3, 0, 2],
+        });
+        let snap = reg.snapshot();
+        let mut wire = Vec::new();
+        snap.encode_into(&mut wire);
+        let decoded = Snapshot::decode(&wire).expect("decode");
+        assert_eq!(decoded, snap);
+        // Truncations fail cleanly at every prefix length.
+        for cut in 0..wire.len() {
+            assert!(Snapshot::decode(&wire[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(Snapshot::decode(&[9, 9]).is_err(), "bad version");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let reg = Registry::new();
+        reg.counter("pll_q_total", "queries").add(5);
+        reg.gauge("pll_up", "uptime").set(9);
+        reg.histogram_fn("pll_lat_seconds", "latency", || HistogramSnapshot {
+            count: 3,
+            sum: 3_000,
+            buckets: {
+                let mut b = vec![0u64; latency::BUCKETS];
+                b[latency::bucket_index(1_000)] = 3;
+                b
+            },
+        });
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE pll_q_total counter\npll_q_total 5\n"));
+        assert!(text.contains("# TYPE pll_up gauge\npll_up 9\n"));
+        assert!(text.contains("# HELP pll_q_total queries\n"));
+        assert!(text.contains("pll_lat_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("pll_lat_seconds_count 3\n"));
+        // Cumulative bucket counts: the only populated bucket carries
+        // all three observations.
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("pll_lat_seconds_bucket{le=\"0.00000") && l.ends_with(" 3")));
+    }
+
+    #[test]
+    fn http_exporter_serves_metrics_and_404s() {
+        let reg = Arc::new(Registry::new());
+        reg.counter("pll_http_total", "scraped over http").add(13);
+        let stop = Arc::new(AtomicBool::new(false));
+        let (addr, handle) =
+            spawn_http_exporter("127.0.0.1:0", reg.clone(), stop.clone()).expect("bind");
+        let fetch = |path: &str| {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            write!(s, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").expect("send");
+            let mut out = String::new();
+            s.read_to_string(&mut out).expect("read");
+            out
+        };
+        let ok = fetch("/metrics");
+        assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("pll_http_total 13\n"), "{ok}");
+        assert!(ok.contains("Content-Type: text/plain; version=0.0.4"));
+        let missing = fetch("/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+        // ORDERING: Release — pairs with the exporter's Acquire poll.
+        stop.store(true, Ordering::Release);
+        handle.join().expect("exporter thread exits");
+    }
+
+    #[test]
+    fn flight_recorder_keeps_recent_events_in_order() {
+        let rec = FlightRecorder::new(8);
+        for i in 0..20u64 {
+            rec.record(EventKind::SlowRequest, i, i * 2);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 8, "ring keeps exactly its capacity");
+        assert_eq!(rec.recorded(), 20);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<u64>>());
+        assert!(events.iter().all(|e| e.b == e.a * 2));
+    }
+
+    #[test]
+    fn flight_events_render_schema_stable_json() {
+        let rec = FlightRecorder::new(8);
+        rec.record(EventKind::EpochPublish, 3, 120);
+        let (a, b) = pack_site("wal.after_append");
+        rec.record(EventKind::FailpointHit, a, b);
+        let events = rec.events();
+        assert!(events[0].to_json().contains("\"event\":\"epoch_publish\""));
+        assert!(events[0].to_json().contains("\"generation\":3"));
+        assert!(events[0].to_json().contains("\"delta_entries\":120"));
+        assert!(events[1]
+            .to_json()
+            .contains("\"site\":\"wal.after_append\""));
+    }
+
+    #[test]
+    fn site_packing_roundtrips_and_truncates() {
+        for name in ["a", "wal.after_append", "flatten.before_swap"] {
+            let (a, b) = pack_site(name);
+            let back = unpack_site(a, b);
+            assert_eq!(back, &name[..name.len().min(16)]);
+        }
+    }
+
+    #[test]
+    fn tee_streams_jsonl() {
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf::default();
+        let rec = FlightRecorder::new(8);
+        rec.set_tee(Box::new(buf.clone()));
+        rec.record(EventKind::ConnectionShed, 1, 64);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"event\":\"connection_shed\""), "{text}");
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn concurrent_records_and_dumps_stay_well_formed() {
+        let rec = Arc::new(FlightRecorder::new(16));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let rec = rec.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    // ORDERING: Relaxed — test-only stop flag.
+                    while !stop.load(Ordering::Relaxed) {
+                        rec.record(EventKind::SlowRequest, w * 1_000_000 + i, i);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            for e in rec.events() {
+                // Any surfaced event must be internally consistent.
+                assert_eq!(e.kind, EventKind::SlowRequest);
+                assert_eq!(e.a % 1_000_000, e.b, "torn event {e:?}");
+            }
+        }
+        // ORDERING: Relaxed — test-only stop flag.
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+}

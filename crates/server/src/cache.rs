@@ -109,9 +109,20 @@ impl AnswerCache {
 
     /// Records `(s, t) → dist` as computed under `epoch` (the snapshot
     /// epoch the answer came from), evicting whatever occupied the slot.
-    pub fn put(&mut self, epoch: u64, s: u32, t: u32, dist: u64) {
+    /// Returns `true` when a *live* entry for a different pair was
+    /// evicted (a direct-mapped collision — the signal behind the
+    /// `pll_cache_evictions_total` metric); overwriting an empty slot,
+    /// the same pair, or an already-expired entry is not an eviction.
+    pub fn put(&mut self, gens: &[AtomicU64], epoch: u64, s: u32, t: u32, dist: u64) -> bool {
         debug_assert_ne!(epoch, u64::MAX, "u64::MAX marks empty slots");
-        self.slots[Self::slot(s, t)] = Entry { s, t, epoch, dist };
+        let slot = Self::slot(s, t);
+        let old = self.slots[slot];
+        let evicted = old.epoch != u64::MAX
+            && (old.s, old.t) != (s, t)
+            && generation(gens, old.s) <= old.epoch
+            && generation(gens, old.t) <= old.epoch;
+        self.slots[slot] = Entry { s, t, epoch, dist };
+        evicted
     }
 }
 
@@ -128,7 +139,7 @@ mod tests {
         let g = gens(16);
         let mut c = AnswerCache::default();
         assert_eq!(c.get(&g, 3, 7), None);
-        c.put(0, 3, 7, 42);
+        c.put(&g, 0, 3, 7, 42);
         assert_eq!(c.get(&g, 3, 7), Some(42));
         // Asymmetric key: (t, s) is a different pair.
         assert_eq!(c.get(&g, 7, 3), None);
@@ -138,8 +149,8 @@ mod tests {
     fn entries_survive_epochs_until_an_endpoint_is_touched() {
         let g = gens(16);
         let mut c = AnswerCache::default();
-        c.put(0, 3, 7, 42);
-        c.put(0, 4, 8, 9);
+        c.put(&g, 0, 3, 7, 42);
+        c.put(&g, 0, 4, 8, 9);
         // Epochs advance; untouched pairs stay hot.
         g[1].store(5, Ordering::Release);
         assert_eq!(c.get(&g, 3, 7), Some(42));
@@ -149,15 +160,15 @@ mod tests {
         assert_eq!(c.get(&g, 3, 7), None);
         assert_eq!(c.get(&g, 4, 8), Some(9));
         // A fresh answer computed at/after the touch is valid again.
-        c.put(6, 3, 7, 41);
+        c.put(&g, 6, 3, 7, 41);
         assert_eq!(c.get(&g, 3, 7), Some(41));
     }
 
     #[test]
     fn static_serving_uses_an_empty_generation_table() {
         let mut c = AnswerCache::default();
-        c.put(0, 1, 2, u64::MAX);
-        c.put(0, 2, 2, 0);
+        c.put(&[], 0, 1, 2, u64::MAX);
+        c.put(&[], 0, 2, 2, 0);
         assert_eq!(c.get(&[], 1, 2), Some(u64::MAX), "unreachable is cacheable");
         assert_eq!(c.get(&[], 2, 2), Some(0), "zero is cacheable");
     }
@@ -178,8 +189,8 @@ mod tests {
             }
         }
         let (b, bt) = collider.expect("65536 pairs over 1024 slots must collide");
-        c.put(0, a.0, a.1, 10);
-        c.put(0, b, bt, 20);
+        assert!(!c.put(&g, 0, a.0, a.1, 10), "empty slot is not an eviction");
+        assert!(c.put(&g, 0, b, bt, 20), "live collider is an eviction");
         assert_eq!(c.get(&g, b, bt), Some(20));
         assert_eq!(c.get(&g, a.0, a.1), None, "evicted, not corrupted");
     }

@@ -65,13 +65,14 @@ pub mod metrics;
 pub mod protocol;
 
 use cache::AnswerCache;
-use metrics::{summarize, ServerSummary, WorkerMetrics};
+use metrics::{summarize, ServeCounters, ServerSummary, WorkerMetrics};
 use pll_core::wal::{self, WalRecord, WalWriter};
 use pll_core::{fail, AnyIndex, DynamicIndex, OverlaySnapshot};
 use pll_graph::CsrGraph;
+use pll_obs::{EventKind, FlightRecorder, Registry};
 use protocol::{
     format_code, write_frame, ProtocolError, MAX_BATCH, OP_BATCH, OP_CONNECTED, OP_INFO, OP_PATH,
-    OP_QUERY, OP_SHUTDOWN, OP_UPDATE, STATUS_BAD_REQUEST, STATUS_BUSY, STATUS_OK,
+    OP_QUERY, OP_SHUTDOWN, OP_STATS, OP_UPDATE, STATUS_BAD_REQUEST, STATUS_BUSY, STATUS_OK,
     STATUS_QUERY_ERROR, STATUS_UNSUPPORTED, UNREACHABLE,
 };
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -127,6 +128,18 @@ pub struct ServerConfig {
     /// it, instead of contending with every batch for CPU. Only
     /// meaningful on a dynamic server.
     pub flatten_threshold: Option<u64>,
+    /// Observability sidecar: when set, a `pll-obs` HTTP exporter binds
+    /// this address and answers `GET /metrics` with the Prometheus
+    /// rendering of the server's registry (port 0 picks a free port;
+    /// read it back from [`ServerHandle::metrics_addr`]). The wire
+    /// `STATS` op serves the same registry without the sidecar.
+    pub metrics_addr: Option<String>,
+    /// When set, every flight-recorder event is also appended to this
+    /// file as one JSON line (the `pll serve --trace-log` tee).
+    pub trace_log: Option<PathBuf>,
+    /// Requests slower than this are counted
+    /// (`pll_slow_requests_total`) and logged to the flight recorder.
+    pub slow_request_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -139,6 +152,9 @@ impl Default for ServerConfig {
             mid_frame_timeout: MID_FRAME_TIMEOUT,
             wal: None,
             flatten_threshold: None,
+            metrics_addr: None,
+            trace_log: None,
+            slow_request_threshold: Duration::from_millis(100),
         }
     }
 }
@@ -417,14 +433,36 @@ struct ServeShared {
     /// Nudges the flattener thread; capacity 1, so a pending token
     /// coalesces with new ones (`None` on a static server).
     flatten_tx: Option<mpsc::SyncSender<()>>,
-    /// Completed background flatten generations (reported by `INFO`).
-    flattens: AtomicU64,
     write_timeout: Duration,
     mid_frame_timeout: Duration,
-    /// Connections shed with `STATUS_BUSY` by the accept loop.
-    sheds: AtomicU64,
-    /// Worker panics caught by the connection-level `catch_unwind`.
-    panics: AtomicU64,
+    /// Serve-level counters (flatten pipeline, sheds, panics, WAL,
+    /// apply path) — the audited home for these atomics lives in
+    /// [`metrics`]; every hot-path bump goes through `metrics::add`.
+    counters: Arc<ServeCounters>,
+    /// Live metric registry behind the `STATS` op and `/metrics`.
+    registry: Arc<Registry>,
+    /// Ring of recent structured events, dumped on panic, degraded
+    /// recovery and shutdown.
+    recorder: Arc<FlightRecorder>,
+    /// Server start time (INFO's `uptime_seconds`, the uptime gauge).
+    started: Instant,
+    /// [`ServerConfig::slow_request_threshold`] in nanoseconds.
+    slow_request_nanos: u64,
+}
+
+/// Records a [`EventKind::FailpointHit`] flight event when `site` is
+/// armed, *before* the site fires — an `abort`/`exit` action never
+/// returns, so this is the only trace of which injection site killed
+/// the process. Free in production: without the `failpoints` feature
+/// the whole check compiles away alongside [`fail::point`] itself.
+fn note_failpoint(shared: &ServeShared, site: &str) {
+    #[cfg(feature = "failpoints")]
+    if fail::armed(site) {
+        let (a, b) = pll_obs::pack_site(site);
+        shared.recorder.record(EventKind::FailpointHit, a, b);
+    }
+    #[cfg(not(feature = "failpoints"))]
+    let _ = (shared, site);
 }
 
 /// A running server: owns the listener, worker and flattener threads.
@@ -442,6 +480,9 @@ pub struct ServerHandle {
     shared: Arc<ServeShared>,
     started: Instant,
     recovery: Option<RecoveryStats>,
+    /// The `/metrics` HTTP sidecar: bound address, its stop flag and
+    /// the serving thread (`None` without `--metrics-addr`).
+    metrics_exporter: Option<(SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>)>,
 }
 
 impl ServerHandle {
@@ -489,6 +530,25 @@ impl ServerHandle {
         self.recovery.as_ref()
     }
 
+    /// The address the `/metrics` HTTP sidecar bound (resolves port 0;
+    /// `None` when the server started without
+    /// [`ServerConfig::metrics_addr`]).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_exporter.as_ref().map(|(addr, _, _)| *addr)
+    }
+
+    /// The live metric registry — the same one the wire `STATS` op and
+    /// the `/metrics` sidecar scrape.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// The flight recorder (recent structured events, see
+    /// [`pll_obs::FlightRecorder`]).
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.recorder)
+    }
+
     /// Waits for the accept loop and every worker to finish (i.e. until
     /// someone requests shutdown and in-flight connections drain), then
     /// returns the aggregated metrics. A worker that died panicking is
@@ -515,15 +575,24 @@ impl ServerHandle {
                 escaped_panics += 1;
             }
         }
+        if let Some((_, stop, thread)) = self.metrics_exporter {
+            // ORDERING: Release — pairs with the exporter's Acquire
+            // poll, so its final scrape (if any) observes every counter
+            // written before this point.
+            stop.store(true, Ordering::Release);
+            let _ = thread.join();
+        }
+        if self.shared.recorder.recorded() > 0 {
+            self.shared.recorder.dump_stderr("shutdown");
+        }
         summarize(
             &self.worker_metrics,
             self.started.elapsed().as_secs_f64(),
             self.shared.cell.load().epoch,
-            // ORDERING: Relaxed — sheds/panics are plain counters; the
-            // thread joins above are the happens-before edge that makes
-            // every worker's final increment visible here.
-            self.shared.sheds.load(Ordering::Relaxed),
-            self.shared.panics.load(Ordering::Relaxed) + escaped_panics,
+            // The thread joins above are the happens-before edge that
+            // makes every worker's final increment visible here.
+            metrics::get(&self.shared.counters.sheds),
+            metrics::get(&self.shared.counters.panics) + escaped_panics,
         )
     }
 }
@@ -565,6 +634,12 @@ pub fn serve_dynamic(
     }
     let mut initial = index;
     let mut recovery: Option<RecoveryStats> = None;
+    let counters = Arc::new(ServeCounters::default());
+    let recorder = Arc::new(FlightRecorder::new(256));
+    if let Some(path) = &config.trace_log {
+        recorder.tee_to_path(path)?;
+    }
+    pll_obs::dump_on_panic(&recorder);
     let updater = match graph {
         Some(g) => {
             if initial.supports_paths() {
@@ -599,6 +674,21 @@ pub fn serve_dynamic(
                     }
                     stats.recovered_epoch = dynamic.epoch();
                     stats.seconds = recovery_started.elapsed().as_secs_f64();
+                    metrics::add(
+                        &counters.wal_recovered_records,
+                        stats.replayed_batches + u64::from(stats.rebase_edges > 0),
+                    );
+                    if stats.replay_error.is_some() {
+                        metrics::add(&counters.wal_recovery_degraded, 1);
+                        let wal_bytes =
+                            std::fs::metadata(&wal_config.wal_path).map_or(0, |m| m.len());
+                        recorder.record(
+                            EventKind::DegradedRecovery,
+                            stats.replayed_batches,
+                            wal_bytes,
+                        );
+                        recorder.dump_stderr("degraded recovery");
+                    }
                     recovery = Some(stats);
                     Some(state)
                 }
@@ -634,8 +724,7 @@ pub fn serve_dynamic(
     // vertices; a static server's empty table reads as generation 0
     // everywhere, so entries never expire.
     let gens: Vec<AtomicU64> = if updater.is_some() {
-        let n = cell.load().served.num_vertices();
-        (0..n).map(|_| AtomicU64::new(0)).collect()
+        metrics::generation_counters(cell.load().served.num_vertices())
     } else {
         Vec::new()
     };
@@ -645,6 +734,15 @@ pub fn serve_dynamic(
     } else {
         (None, None)
     };
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        config.threads
+    };
+    let worker_metrics: Arc<Vec<WorkerMetrics>> =
+        Arc::new((0..threads).map(|_| WorkerMetrics::default()).collect());
+    let registry = Arc::new(Registry::new());
+    metrics::register_server_metrics(&registry, &worker_metrics, &counters);
     let shared = Arc::new(ServeShared {
         cell,
         updater,
@@ -652,29 +750,25 @@ pub fn serve_dynamic(
         flatten_threads: config.threads,
         flatten_threshold: flatten_threshold.max(1),
         flatten_tx,
-        flattens: AtomicU64::new(0),
         write_timeout: config.write_timeout,
         mid_frame_timeout: config.mid_frame_timeout,
-        sheds: AtomicU64::new(0),
-        panics: AtomicU64::new(0),
+        counters,
+        registry: Arc::clone(&registry),
+        recorder,
+        started: Instant::now(),
+        slow_request_nanos: config.slow_request_threshold.as_nanos() as u64,
     });
+    register_shared_gauges(&registry, &shared);
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    } else {
-        config.threads
-    };
     let max_pending = if config.max_pending == 0 {
         threads * 4 + 16
     } else {
         config.max_pending
     };
     let shutdown = Arc::new(AtomicBool::new(false));
-    let worker_metrics: Arc<Vec<WorkerMetrics>> =
-        Arc::new((0..threads).map(|_| WorkerMetrics::default()).collect());
 
     // Bounded hand-off: when every worker is busy and `max_pending`
     // connections already wait, the accept loop sheds instead of
@@ -720,19 +814,10 @@ pub fn serve_dynamic(
                                     );
                                 }));
                                 if caught.is_err() {
-                                    // ORDERING: Relaxed — monotonic
-                                    // counters, read either by this same
-                                    // worker or after join() in
-                                    // summarize(); no data is published
-                                    // through them.
-                                    shared.panics.fetch_add(1, Ordering::Relaxed);
-                                    metrics[worker_id].errors.fetch_add(1, Ordering::Relaxed);
+                                    metrics::add(&shared.counters.panics, 1);
+                                    metrics::add(&metrics[worker_id].errors, 1);
                                 }
-                                // ORDERING: Relaxed — same counter
-                                // discipline as above.
-                                metrics[worker_id]
-                                    .connections
-                                    .fetch_add(1, Ordering::Relaxed);
+                                metrics::add(&metrics[worker_id].connections, 1);
                             }
                             Err(_) => break,
                         }
@@ -764,10 +849,12 @@ pub fn serve_dynamic(
                                 Ok(()) => {}
                                 Err(mpsc::TrySendError::Full(stream)) => {
                                     shed_busy(stream);
-                                    // ORDERING: Relaxed — monotonic shed
-                                    // counter; join() in summarize() is
-                                    // the synchronizing read.
-                                    shared.sheds.fetch_add(1, Ordering::Relaxed);
+                                    metrics::add(&shared.counters.sheds, 1);
+                                    shared.recorder.record(
+                                        EventKind::ConnectionShed,
+                                        metrics::get(&shared.counters.sheds),
+                                        max_pending as u64,
+                                    );
                                 }
                                 Err(mpsc::TrySendError::Disconnected(_)) => break,
                             }
@@ -812,6 +899,15 @@ pub fn serve_dynamic(
         None => None,
     };
 
+    let metrics_exporter = match &config.metrics_addr {
+        Some(addr) => {
+            let stop = Arc::new(AtomicBool::new(false));
+            let (bound, thread) =
+                pll_obs::spawn_http_exporter(addr, Arc::clone(&registry), Arc::clone(&stop))?;
+            Some((bound, stop, thread))
+        }
+        None => None,
+    };
     Ok(ServerHandle {
         local_addr,
         shutdown,
@@ -823,7 +919,53 @@ pub fn serve_dynamic(
         shared,
         started: Instant::now(),
         recovery,
+        metrics_exporter,
     })
+}
+
+/// Registers the point-in-time gauges that read live server state at
+/// scrape time: the served epoch, overlay size, uptime, the flatten
+/// trigger and the flight-recorder event count. Held through a `Weak`
+/// so the registry (kept alive by a scraper) cannot keep a finished
+/// server's index alive; a gauge whose server is gone reads 0. Each
+/// collector is a wait-free read or one brief swap-cell read lock —
+/// never the updater mutex — per the `pll-obs` collector contract.
+fn register_shared_gauges(registry: &Registry, shared: &Arc<ServeShared>) {
+    let weak = |f: fn(&ServeShared) -> u64| {
+        let w = Arc::downgrade(shared);
+        move || w.upgrade().map_or(0, |s| f(&s))
+    };
+    registry.gauge_fn(
+        "pll_epoch",
+        "Served index generation (0 until the first applied UPDATE)",
+        weak(|s| s.cell.load().epoch),
+    );
+    registry.gauge_fn(
+        "pll_overlay_delta_entries",
+        "Delta label entries the served snapshot answers from the overlay (0 when flat)",
+        weak(|s| s.cell.load().served.overlay_entries()),
+    );
+    registry.gauge_fn(
+        "pll_uptime_seconds",
+        "Whole seconds since the server started",
+        weak(|s| s.started.elapsed().as_secs()),
+    );
+    registry.gauge_fn(
+        "pll_flatten_threshold",
+        "Overlay size that arms the background flattener (0 on a static server)",
+        weak(|s| {
+            if s.updater.is_some() {
+                s.flatten_threshold
+            } else {
+                0
+            }
+        }),
+    );
+    registry.counter_fn(
+        "pll_flight_events_total",
+        "Flight-recorder events recorded since startup (ring keeps the most recent)",
+        weak(|s| s.recorder.recorded()),
+    );
 }
 
 /// How long the flattener dozes between trigger re-checks when no nudge
@@ -883,6 +1025,7 @@ fn flatten_pass(shared: &ServeShared, draining: bool) {
             wal_due,
         )
     };
+    let flatten_started = Instant::now();
     let flat = match snap.flatten(shared.flatten_threads) {
         Ok(flat) => flat,
         Err(e) => {
@@ -893,9 +1036,15 @@ fn flatten_pass(shared: &ServeShared, draining: bool) {
             return;
         }
     };
+    metrics::add(
+        &shared.counters.flatten_nanos,
+        flatten_started.elapsed().as_nanos() as u64,
+    );
     let flat_any = Arc::new(AnyIndex::Undirected(flat));
+    note_failpoint(shared, "flatten.before_swap");
     fail::point("flatten.before_swap");
     {
+        let swap_started = Instant::now();
         let mut state = lock_updater(updater);
         if state.poisoned.is_some() {
             return;
@@ -919,10 +1068,12 @@ fn flatten_pass(shared: &ServeShared, draining: bool) {
         } else {
             Served::Flat(Arc::clone(&flat_any))
         };
+        let delta_entries = dynamic.delta_entries() as u64;
         shared.cell.store(dynamic.epoch(), served);
-        // ORDERING: Relaxed — monotonic counter read by INFO; the swap
-        // cell's lock above is what orders it against the new base.
-        shared.flattens.fetch_add(1, Ordering::Relaxed);
+        metrics::add(&shared.counters.flattens, 1);
+        shared
+            .recorder
+            .record(EventKind::EpochPublish, dynamic.epoch(), delta_entries);
         if wal_due {
             if let Some(w) = wal.as_mut() {
                 // A failed snapshot is retried at the next pass;
@@ -933,7 +1084,12 @@ fn flatten_pass(shared: &ServeShared, draining: bool) {
                 }
             }
         }
+        metrics::add(
+            &shared.counters.swap_nanos,
+            swap_started.elapsed().as_nanos() as u64,
+        );
     }
+    note_failpoint(shared, "flatten.after_swap");
     fail::point("flatten.after_swap");
 }
 
@@ -1288,13 +1444,23 @@ fn serve_connection(
                 .cache_misses
                 .fetch_add(r.cache_misses, Ordering::Relaxed);
         }
+        if r.cache_evictions > 0 {
+            metrics::add(&metrics.cache_evictions, r.cache_evictions);
+        }
         if write_frame(&mut writer, &r.payload).is_err() {
             // Includes the write timeout: the peer is dead or jammed.
             // ORDERING: Relaxed — counter (see above).
             metrics.errors.fetch_add(1, Ordering::Relaxed);
             break;
         }
-        metrics.record_request(started.elapsed().as_nanos() as u64, r.queries);
+        let nanos = started.elapsed().as_nanos() as u64;
+        metrics.record_request(nanos, r.queries);
+        if nanos >= shared.slow_request_nanos {
+            metrics::add(&shared.counters.slow_requests, 1);
+            shared
+                .recorder
+                .record(EventKind::SlowRequest, nanos / 1_000, r.queries);
+        }
         if r.close {
             break;
         }
@@ -1311,6 +1477,7 @@ fn error_response(status: u8, message: &str) -> Response {
         updates: 0,
         cache_hits: 0,
         cache_misses: 0,
+        cache_evictions: 0,
         close: false,
     }
 }
@@ -1327,6 +1494,8 @@ struct Response {
     cache_hits: u64,
     /// Distance answers that ran the label merge.
     cache_misses: u64,
+    /// Live cache entries evicted by colliding pairs.
+    cache_evictions: u64,
     /// Close the connection after responding.
     close: bool,
 }
@@ -1338,6 +1507,7 @@ fn ok_response(payload: Vec<u8>, queries: u64) -> Response {
         updates: 0,
         cache_hits: 0,
         cache_misses: 0,
+        cache_evictions: 0,
         close: false,
     }
 }
@@ -1383,7 +1553,7 @@ fn handle_request(
                 return error_response(STATUS_BAD_REQUEST, "QUERY body must be 8 bytes");
             }
             let (s, t) = pair(body);
-            let (mut hits, mut misses) = (0u64, 0u64);
+            let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
             let wire = match cache.get(&shared.gens, s, t) {
                 Some(hit) => {
                     hits = 1;
@@ -1392,7 +1562,7 @@ fn handle_request(
                 None => match served.try_distance(s, t) {
                     Ok(d) => {
                         let wire = d.unwrap_or(UNREACHABLE);
-                        cache.put(snapshot.epoch, s, t, wire);
+                        evictions = u64::from(cache.put(&shared.gens, snapshot.epoch, s, t, wire));
                         misses = 1;
                         wire
                     }
@@ -1408,6 +1578,7 @@ fn handle_request(
                 updates: 0,
                 cache_hits: hits,
                 cache_misses: misses,
+                cache_evictions: evictions,
                 close: false,
             }
         }
@@ -1423,7 +1594,7 @@ fn handle_request(
             out.push(STATUS_OK);
             out.extend_from_slice(&(count as u32).to_le_bytes());
             let pairs = &body[4..];
-            let (mut hits, mut misses) = (0u64, 0u64);
+            let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
             for i in 0..count {
                 let (s, t) = pair(&pairs[i * 8..i * 8 + 8]);
                 // Overlap the next pair's label-fetch latency with this
@@ -1440,7 +1611,8 @@ fn handle_request(
                     None => match served.try_distance(s, t) {
                         Ok(d) => {
                             let wire = d.unwrap_or(UNREACHABLE);
-                            cache.put(snapshot.epoch, s, t, wire);
+                            evictions +=
+                                u64::from(cache.put(&shared.gens, snapshot.epoch, s, t, wire));
                             misses += 1;
                             wire
                         }
@@ -1455,6 +1627,7 @@ fn handle_request(
                 updates: 0,
                 cache_hits: hits,
                 cache_misses: misses,
+                cache_evictions: evictions,
                 close: false,
             }
         }
@@ -1544,16 +1717,29 @@ fn handle_request(
                     epoch: dynamic.epoch(),
                     edges: edges.clone(),
                 };
-                if let Err(e) = w.writer.append(&record) {
-                    return error_response(
-                        STATUS_QUERY_ERROR,
-                        &format!(
-                            "UPDATE refused: cannot journal the batch to the WAL ({e}); \
-                             nothing was applied"
-                        ),
-                    );
+                let journal_started = Instant::now();
+                match w.writer.append(&record) {
+                    Ok(receipt) => {
+                        metrics::add(&shared.counters.wal_appends, 1);
+                        metrics::add(&shared.counters.wal_bytes, receipt.bytes);
+                        metrics::add(&shared.counters.wal_fsync_nanos, receipt.fsync_nanos);
+                    }
+                    Err(e) => {
+                        return error_response(
+                            STATUS_QUERY_ERROR,
+                            &format!(
+                                "UPDATE refused: cannot journal the batch to the WAL ({e}); \
+                                 nothing was applied"
+                            ),
+                        );
+                    }
                 }
+                metrics::add(
+                    &shared.counters.journal_nanos,
+                    journal_started.elapsed().as_nanos() as u64,
+                );
                 w.next_seq += 1;
+                note_failpoint(shared, "wal.after_append");
                 fail::point("wal.after_append");
             }
             let apply_started = Instant::now();
@@ -1569,7 +1755,24 @@ fn handle_request(
                     return query_error(e);
                 }
             };
-            let apply_us = apply_started.elapsed().as_micros() as u32;
+            let apply_elapsed = apply_started.elapsed();
+            let apply_us = apply_elapsed.as_micros() as u32;
+            metrics::add(
+                &shared.counters.apply_nanos,
+                apply_elapsed.as_nanos() as u64,
+            );
+            metrics::add(&shared.counters.edges_applied, stats.edges_applied as u64);
+            metrics::add(&shared.counters.edges_skipped, stats.edges_skipped as u64);
+            metrics::add(&shared.counters.roots_resumed, stats.roots_resumed as u64);
+            metrics::add(&shared.counters.vertices_visited, stats.vertices_visited);
+            metrics::add(
+                &shared.counters.delta_entries_added,
+                stats.entries_added as u64,
+            );
+            metrics::add(
+                &shared.counters.bp_repairs,
+                stats.bp_columns_repaired as u64,
+            );
             let mut publish_us = 0u32;
             if stats.edges_applied > 0 {
                 let publish_started = Instant::now();
@@ -1589,19 +1792,35 @@ fn handle_request(
                 // Overlay-direct: publish a frozen snapshot of the
                 // overlay instead of flattening on the request path.
                 let snap = Arc::new(dynamic.snapshot());
+                note_failpoint(shared, "serve.before_publish");
                 fail::point("serve.before_publish");
                 shared.cell.store(epoch, Served::Overlay(snap));
+                shared.recorder.record(
+                    EventKind::EpochPublish,
+                    epoch,
+                    dynamic.delta_entries() as u64,
+                );
                 if let Some(w) = wal_state.as_mut() {
                     // The commit marker is advisory (recovery replays
                     // complete records either way), so an append failure
                     // must not unpublish the epoch.
-                    let _ = w.writer.append(&WalRecord::Commit {
+                    if let Ok(receipt) = w.writer.append(&WalRecord::Commit {
                         seq: w.next_seq - 1,
-                    });
+                    }) {
+                        metrics::add(&shared.counters.wal_appends, 1);
+                        metrics::add(&shared.counters.wal_bytes, receipt.bytes);
+                        metrics::add(&shared.counters.wal_fsync_nanos, receipt.fsync_nanos);
+                    }
+                    note_failpoint(shared, "wal.after_commit");
                     fail::point("wal.after_commit");
                     w.batches_since_snapshot += 1;
                 }
-                publish_us = publish_started.elapsed().as_micros() as u32;
+                let publish_elapsed = publish_started.elapsed();
+                publish_us = publish_elapsed.as_micros() as u32;
+                metrics::add(
+                    &shared.counters.publish_nanos,
+                    publish_elapsed.as_nanos() as u64,
+                );
                 // Nudge the flattener when the overlay crossed the
                 // threshold or a WAL snapshot fell due. try_send on the
                 // capacity-1 channel: a pending token already covers us.
@@ -1634,12 +1853,13 @@ fn handle_request(
                 updates: u64::from(stats.edges_applied > 0),
                 cache_hits: 0,
                 cache_misses: 0,
+                cache_evictions: 0,
                 close: false,
             }
         }
         OP_INFO => {
             let base = served.base();
-            let mut out = Vec::with_capacity(36);
+            let mut out = Vec::with_capacity(52);
             out.push(STATUS_OK);
             out.extend_from_slice(&(served.num_vertices() as u64).to_le_bytes());
             out.push(format_code(base.format()));
@@ -1647,9 +1867,24 @@ fn handle_request(
             out.extend_from_slice(&snapshot.epoch.to_le_bytes());
             out.push(shared.updater.is_some() as u8);
             out.extend_from_slice(&served.overlay_entries().to_le_bytes());
-            // ORDERING: Relaxed — monotonic flatten-generation counter;
-            // an INFO reader only needs an eventually-exact value.
-            out.extend_from_slice(&shared.flattens.load(Ordering::Relaxed).to_le_bytes());
+            out.extend_from_slice(&metrics::get(&shared.counters.flattens).to_le_bytes());
+            out.extend_from_slice(&shared.started.elapsed().as_secs().to_le_bytes());
+            // Flatten threshold is meaningful only on a dynamic server;
+            // 0 tells clients "static, never flattens".
+            let threshold = if shared.updater.is_some() {
+                shared.flatten_threshold
+            } else {
+                0
+            };
+            out.extend_from_slice(&threshold.to_le_bytes());
+            ok_response(out, 0)
+        }
+        OP_STATS => {
+            if !body.is_empty() {
+                return error_response(STATUS_BAD_REQUEST, "STATS takes no body");
+            }
+            let mut out = vec![STATUS_OK];
+            shared.registry.snapshot().encode_into(&mut out);
             ok_response(out, 0)
         }
         OP_SHUTDOWN => {
@@ -1663,6 +1898,7 @@ fn handle_request(
                 updates: 0,
                 cache_hits: 0,
                 cache_misses: 0,
+                cache_evictions: 0,
                 close: true,
             }
         }

@@ -13,6 +13,7 @@
 //!   0x05 PATH       u32 s, u32 t
 //!   0x06 CONNECTED  u32 s, u32 t
 //!   0x07 UPDATE     u32 count, count × (u32 u, u32 v)
+//!   0x08 STATS      —
 //!
 //! response (status 0x00 = OK)     body
 //!   QUERY                         u64 distance (u64::MAX = unreachable)
@@ -22,7 +23,13 @@
 //!                                 u64 overlay_entries (delta label entries
 //!                                 currently served from the overlay),
 //!                                 u64 flattens (background flatten
-//!                                 generations completed)
+//!                                 generations completed),
+//!                                 u64 uptime_seconds,
+//!                                 u64 flatten_threshold (0 = static server)
+//!   STATS                         versioned pll-obs metrics snapshot (see
+//!                                 `pll_obs::Snapshot::decode`): u16 wire
+//!                                 version, u32 sample count, then per
+//!                                 sample name, help, kind and value
 //!   SHUTDOWN                      —
 //!   PATH                          u32 count, count × u32 vertex
 //!                                 (count 0 = unreachable; paths have ≥ 1 vertex)
@@ -74,6 +81,8 @@ pub const OP_PATH: u8 = 0x05;
 pub const OP_CONNECTED: u8 = 0x06;
 /// Insert edges into the served graph and hot-swap to a new epoch.
 pub const OP_UPDATE: u8 = 0x07;
+/// Live metrics snapshot (versioned `pll-obs` wire encoding).
+pub const OP_STATS: u8 = 0x08;
 
 /// Response status: success.
 pub const STATUS_OK: u8 = 0x00;
@@ -218,6 +227,11 @@ pub struct IndexInfo {
     pub overlay_entries: u64,
     /// Background flatten generations completed since startup.
     pub flattens: u64,
+    /// Whole seconds the server has been up.
+    pub uptime_seconds: u64,
+    /// Overlay size (delta label entries) at which the background
+    /// flattener kicks in; 0 on a static server.
+    pub flatten_threshold: u64,
 }
 
 /// Acknowledgement of an applied [`OP_UPDATE`] batch.
@@ -350,9 +364,9 @@ impl Client {
     /// Fetches the served index's metadata.
     pub fn info(&mut self) -> Result<IndexInfo, ProtocolError> {
         let body = self.roundtrip(&[OP_INFO])?;
-        if body.len() != 35 {
+        if body.len() != 51 {
             return Err(ProtocolError::Malformed(format!(
-                "INFO response body of {} bytes, expected 35",
+                "INFO response body of {} bytes, expected 51",
                 body.len()
             )));
         }
@@ -364,7 +378,18 @@ impl Client {
             dynamic: body[18] != 0,
             overlay_entries: read_u64(&body, 19),
             flattens: read_u64(&body, 27),
+            uptime_seconds: read_u64(&body, 35),
+            flatten_threshold: read_u64(&body, 43),
         })
+    }
+
+    /// Fetches a live metrics snapshot (the observability substrate's
+    /// versioned wire encoding; every registered counter, gauge and
+    /// histogram at one scrape instant).
+    pub fn stats(&mut self) -> Result<pll_obs::Snapshot, ProtocolError> {
+        let body = self.roundtrip(&[OP_STATS])?;
+        pll_obs::Snapshot::decode(&body)
+            .map_err(|why| ProtocolError::Malformed(format!("STATS response: {why}")))
     }
 
     /// Reconstructs one shortest path; `None` when the pair is
@@ -610,6 +635,11 @@ impl RetryClient {
     /// [`Client::info`] with retry.
     pub fn info(&mut self) -> Result<IndexInfo, ProtocolError> {
         self.run(|c| c.info())
+    }
+
+    /// [`Client::stats`] (metrics snapshot) with retry.
+    pub fn metrics_snapshot(&mut self) -> Result<pll_obs::Snapshot, ProtocolError> {
+        self.run(|c| c.stats())
     }
 
     /// [`Client::path`] with retry.

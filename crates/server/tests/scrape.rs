@@ -1,0 +1,219 @@
+//! Scrape-consistency tests for the observability substrate: the STATS
+//! opcode and the Prometheus HTTP sidecar must agree with each other
+//! and with what the load actually did.
+//!
+//! The exactness trick: a worker bumps its counters after writing each
+//! response frame and before reading the next frame off the same
+//! connection, so a STATS scrape issued on the *same* connection as the
+//! load observes every prior request exactly. HTTP scrapes never touch
+//! the wire counters at all.
+
+use pll_core::{AnyIndex, IndexBuilder};
+use pll_obs::SampleValue;
+use pll_server::protocol::Client;
+use pll_server::{serve_dynamic, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A ring graph plus a dynamic server over it with the metrics sidecar
+/// listening on an ephemeral port.
+fn ring_server(n: u32, flatten_threshold: Option<u64>) -> (Arc<AnyIndex>, ServerHandle) {
+    let ring: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    let g = pll_graph::CsrGraph::from_edges(n as usize, &ring).unwrap();
+    let idx = IndexBuilder::new().bit_parallel_roots(0).build(&g).unwrap();
+    let index = Arc::new(AnyIndex::Undirected(idx));
+    // 4 workers: the hammer test holds three connections open at once
+    // (querier, updater, scraper) and each parks a worker.
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        flatten_threshold,
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServerConfig::default()
+    };
+    let handle = serve_dynamic(Arc::clone(&index), Some(&g), &config).unwrap();
+    (index, handle)
+}
+
+/// One `GET /metrics` round-trip against the sidecar; returns the body.
+fn fetch_metrics(addr: SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: pll\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.0 200"),
+        "unexpected response: {response}"
+    );
+    let (_, body) = response.split_once("\r\n\r\n").unwrap();
+    body.to_string()
+}
+
+/// The value of a counter/gauge sample line in a Prometheus text body.
+fn prom_value(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(name)?.strip_prefix(' '))
+        .unwrap_or_else(|| panic!("{name} not found in /metrics body:\n{body}"))
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+/// Every counter in `snapshot` is the exact count of what one
+/// connection's load did, and the HTTP sidecar reports the same values.
+#[test]
+fn stats_and_http_scrapes_are_exact_and_consistent() {
+    let (index, handle) = ring_server(30, None);
+    let addr = handle.local_addr().to_string();
+    let metrics_addr = handle.metrics_addr().expect("sidecar configured");
+
+    // All load and the first scrape ride ONE connection, so the scrape
+    // observes exactly what came before it on that connection.
+    let mut client = Client::connect(&addr).unwrap();
+    const QUERIES: u64 = 40;
+    for i in 0..QUERIES as u32 {
+        // Pairs repeat with period 10 → the second half hits the cache.
+        let (s, t) = (i % 10, (i % 10 + 15) % 30);
+        assert_eq!(client.query(s, t).unwrap(), index.distance(s, t));
+    }
+    let ack = client.update(&[(0, 15)]).unwrap();
+    assert_eq!(ack.applied, 1);
+
+    let snap = client.stats().unwrap();
+    let v = |name: &str| {
+        snap.value(name)
+            .unwrap_or_else(|| panic!("{name} missing from STATS snapshot"))
+    };
+    assert_eq!(v("pll_queries_total"), QUERIES, "exact query count");
+    assert_eq!(v("pll_updates_total"), 1, "exact update count");
+    assert_eq!(
+        v("pll_cache_hits_total") + v("pll_cache_misses_total"),
+        QUERIES,
+        "every distance query either hit or missed the cache"
+    );
+    assert!(v("pll_cache_hits_total") > 0, "repeated pairs must hit");
+    assert_eq!(v("pll_epoch"), 1, "the UPDATE published epoch 1");
+    assert_eq!(v("pll_apply_edges_applied_total"), 1);
+    assert!(v("pll_uptime_seconds") < 3600, "uptime gauge is sane");
+    match snap.get("pll_request_duration_seconds").unwrap() {
+        SampleValue::Histogram(h) => {
+            // QUERIES query requests + 1 update request, each recorded
+            // before the next frame was read; the in-flight STATS
+            // request is not yet recorded at snapshot time.
+            assert_eq!(h.count, QUERIES + 1, "exact request histogram count");
+            assert!(h.sum > 0, "observed nonzero time");
+        }
+        other => panic!("expected a histogram, got {other:?}"),
+    }
+    // Help strings survive the wire (satellite: no undocumented metric).
+    for sample in &snap.samples {
+        assert!(!sample.help.is_empty(), "{} has no help text", sample.name);
+    }
+
+    // The HTTP sidecar reads the same registry: wire-affecting counters
+    // agree exactly (an HTTP scrape does not touch them).
+    let body = fetch_metrics(metrics_addr);
+    assert_eq!(prom_value(&body, "pll_queries_total"), QUERIES);
+    assert_eq!(prom_value(&body, "pll_updates_total"), 1);
+    assert_eq!(prom_value(&body, "pll_epoch"), 1);
+    assert_eq!(
+        prom_value(&body, "pll_cache_hits_total"),
+        v("pll_cache_hits_total")
+    );
+    assert!(
+        body.contains("# TYPE pll_queries_total counter"),
+        "typed exposition:\n{body}"
+    );
+
+    // Second scrape: every counter is monotone.
+    let snap2 = client.stats().unwrap();
+    for sample in &snap.samples {
+        if let SampleValue::Counter(before) = sample.value {
+            match snap2.get(&sample.name) {
+                Some(SampleValue::Counter(after)) => {
+                    assert!(
+                        *after >= before,
+                        "{} went backwards: {before} -> {after}",
+                        sample.name
+                    );
+                }
+                other => panic!("{} changed shape: {other:?}", sample.name),
+            }
+        }
+    }
+
+    client.shutdown_server().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.queries, QUERIES);
+}
+
+/// Scrapes stay coherent while the served index is hot-swapping under
+/// concurrent query + update load: counters never go backwards, the
+/// epoch gauge never regresses, and both exposition paths keep working.
+#[test]
+fn concurrent_scrapes_survive_hot_swaps() {
+    // flatten_threshold 1: every batch arms the background flattener, so
+    // scrapes race real epoch swaps.
+    let (_index, handle) = ring_server(64, Some(1));
+    let addr = handle.local_addr().to_string();
+    let metrics_addr = handle.metrics_addr().expect("sidecar configured");
+
+    std::thread::scope(|scope| {
+        let addr_q = addr.clone();
+        let querier = scope.spawn(move || {
+            let mut client = Client::connect(&addr_q).unwrap();
+            for round in 0..600u32 {
+                let (s, t) = (round % 64, (round * 7 + 3) % 64);
+                client.query(s, t).unwrap();
+            }
+        });
+        let addr_u = addr.clone();
+        let updater = scope.spawn(move || {
+            let mut client = Client::connect(&addr_u).unwrap();
+            for i in 0..30u32 {
+                client.update(&[(i % 64, (i + 31) % 64)]).unwrap();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+
+        // Hammer both scrape paths until the load finishes.
+        let mut scraper = Client::connect(&addr).unwrap();
+        let (mut last_queries, mut last_epoch) = (0u64, 0u64);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !(querier.is_finished() && updater.is_finished()) {
+            assert!(Instant::now() < deadline, "load never finished");
+            let snap = scraper.stats().unwrap();
+            let queries = snap.value("pll_queries_total").unwrap();
+            let epoch = snap.value("pll_epoch").unwrap();
+            assert!(queries >= last_queries, "{queries} < {last_queries}");
+            assert!(
+                epoch >= last_epoch,
+                "epoch regressed: {epoch} < {last_epoch}"
+            );
+            (last_queries, last_epoch) = (queries, epoch);
+            // The HTTP path reads the same registry later in time, so
+            // it can never be behind the STATS value just observed.
+            let body = fetch_metrics(metrics_addr);
+            assert!(prom_value(&body, "pll_queries_total") >= last_queries);
+        }
+        querier.join().unwrap();
+        updater.join().unwrap();
+    });
+
+    // Final exactness after the load quiesced.
+    let mut client = Client::connect(&addr).unwrap();
+    let snap = client.stats().unwrap();
+    assert_eq!(snap.value("pll_queries_total"), Some(600));
+    assert_eq!(snap.value("pll_updates_total"), Some(30));
+    assert!(snap.value("pll_flatten_passes_total").unwrap() >= 1);
+    client.shutdown_server().unwrap();
+    let summary = handle.join();
+    assert_eq!(summary.updates, 30);
+}

@@ -19,12 +19,21 @@
 # Finally the SHUTDOWN opcode must end each server process cleanly, and
 # the three JSON rows are composed into OUT as {"workloads": [...]}.
 #
+# Phase 1 also exercises the observability substrate: the server runs
+# with a Prometheus sidecar (--metrics-addr), and the script scrapes
+# GET /metrics between loads, diffing the scraped pll_queries_total
+# against both the exact expected count and serve_load's own STATS
+# report, and failing on any non-monotonic counter (see
+# docs/OBSERVABILITY.md). The final scrape body is saved to METRICS_OUT
+# as a CI artifact.
+#
 # Usage:
-#   scripts/serve_smoke.sh [N] [PAIRS] [OUT] [THREADS]
-#     N        graph vertices                (default 2000)
-#     PAIRS    query pairs                   (default 2000)
-#     OUT      JSON report path              (default BENCH_serve.json)
-#     THREADS  build + serve worker threads  (default 2)
+#   scripts/serve_smoke.sh [N] [PAIRS] [OUT] [THREADS] [METRICS_OUT]
+#     N           graph vertices                (default 2000)
+#     PAIRS       query pairs                   (default 2000)
+#     OUT         JSON report path              (default BENCH_serve.json)
+#     THREADS     build + serve worker threads  (default 2)
+#     METRICS_OUT saved /metrics scrape body    (default metrics_scrape.txt)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,6 +42,7 @@ N="${1:-2000}"
 PAIRS="${2:-2000}"
 OUT="${3:-BENCH_serve.json}"
 THREADS="${4:-2}"
+METRICS_OUT="${5:-metrics_scrape.txt}"
 
 WORK="$(mktemp -d)"
 SERVER_PID=""
@@ -70,7 +80,8 @@ awk -v n="$N" -v q="$PAIRS" 'BEGIN {
 
 "$PLL" build "$WORK/edges.txt" "$WORK/smoke.idx" --threads "$THREADS" --bp-roots 4
 
-# Starts "$PLL serve $@" in the background, exporting ADDR + SERVER_PID.
+# Starts "$PLL serve $@" in the background, exporting ADDR + SERVER_PID
+# (and METRICS_ADDR when the server was given --metrics-addr).
 start_server() {
   : > "$WORK/serve.out"
   "$PLL" serve "$@" --addr 127.0.0.1:0 --threads "$THREADS" \
@@ -92,7 +103,27 @@ start_server() {
     cat "$WORK/serve.err" >&2
     exit 1
   fi
+  METRICS_ADDR="$(grep -m1 -oE 'metrics on http://[0-9.:]+/metrics' "$WORK/serve.out" 2>/dev/null \
+    | sed 's|metrics on http://||; s|/metrics||' || true)"
   echo "server listening on $ADDR (pid $SERVER_PID)"
+}
+
+# One GET /metrics scrape of the sidecar, body written to $1. Prefers
+# curl; falls back to bash's /dev/tcp so the smoke runs on bare images.
+scrape_metrics() {
+  if command -v curl > /dev/null 2>&1; then
+    curl -sf "http://$METRICS_ADDR/metrics" -o "$1"
+  else
+    exec 3<> "/dev/tcp/${METRICS_ADDR%:*}/${METRICS_ADDR##*:}"
+    printf 'GET /metrics HTTP/1.0\r\nHost: pll\r\n\r\n' >&3
+    sed '1,/^\r$/d' <&3 > "$1"
+    exec 3<&- 3>&-
+  fi
+}
+
+# The value of counter/gauge NAME in scrape body $1.
+prom_value() {
+  awk -v name="$2" '$1 == name { print $2; exit }' "$1"
 }
 
 # Waits for the current server to exit cleanly after a SHUTDOWN opcode.
@@ -108,10 +139,26 @@ await_clean_shutdown() {
 }
 
 # ---- phase 1: distance + connected on the dynamic server --------------
-start_server --index "$WORK/smoke.idx" --graph "$WORK/edges.txt"
+start_server --index "$WORK/smoke.idx" --graph "$WORK/edges.txt" \
+  --metrics-addr 127.0.0.1:0
+# The sidecar line is printed just after the listening line; re-poll in
+# case start_server's grep won the race between the two.
+for _ in $(seq 1 50); do
+  [ -n "$METRICS_ADDR" ] && break
+  sleep 0.1
+  METRICS_ADDR="$(grep -m1 -oE 'metrics on http://[0-9.:]+/metrics' "$WORK/serve.out" 2>/dev/null \
+    | sed 's|metrics on http://||; s|/metrics||' || true)"
+done
+if [ -z "$METRICS_ADDR" ]; then
+  echo "FAIL: server never reported its metrics sidecar address" >&2
+  exit 1
+fi
+echo "metrics sidecar on $METRICS_ADDR"
 
 "$LOAD" --addr "$ADDR" --pairs "$WORK/pairs.txt" --batch 32 --connections 4 \
-  --answers-out "$WORK/online.txt" --out "$WORK/row_distance.json"
+  --answers-out "$WORK/online.txt" --out "$WORK/row_distance.json" \
+  2> "$WORK/distance.log"
+cat "$WORK/distance.log" >&2
 
 "$PLL" query "$WORK/smoke.idx" - < "$WORK/pairs.txt" > "$WORK/offline.txt"
 if ! diff -q "$WORK/online.txt" "$WORK/offline.txt" > /dev/null; then
@@ -120,6 +167,24 @@ if ! diff -q "$WORK/online.txt" "$WORK/offline.txt" > /dev/null; then
   exit 1
 fi
 echo "distance: online answers byte-identical to offline pll query ($PAIRS pairs)"
+
+# ---- scrape 1: the sidecar agrees exactly with the load ---------------
+# The distance load has fully quiesced (all its connections closed), so
+# the registry's query counter must equal PAIRS exactly — and must agree
+# with the server_metrics object serve_load embedded from its own STATS
+# scrape of the same registry.
+scrape_metrics "$WORK/scrape1.txt"
+SCRAPED="$(prom_value "$WORK/scrape1.txt" pll_queries_total)"
+if [ "$SCRAPED" != "$PAIRS" ]; then
+  echo "FAIL: /metrics pll_queries_total=$SCRAPED, expected exactly $PAIRS" >&2
+  exit 1
+fi
+REPORTED="$(grep -oE '"queries_total": [0-9]+' "$WORK/row_distance.json" | awk '{print $2}')"
+if [ "$SCRAPED" != "$REPORTED" ]; then
+  echo "FAIL: /metrics pll_queries_total=$SCRAPED but serve_load's STATS scrape saw $REPORTED" >&2
+  exit 1
+fi
+echo "metrics: /metrics pll_queries_total == $PAIRS, agrees with STATS"
 
 "$LOAD" --addr "$ADDR" --op connected --pairs "$WORK/pairs.txt" --connections 2 \
   --answers-out "$WORK/online_conn.txt"
@@ -130,6 +195,29 @@ if ! diff -q "$WORK/online_conn.txt" "$WORK/offline_conn.txt" > /dev/null; then
   exit 1
 fi
 echo "connected: online answers byte-identical to offline pll query --connected"
+
+# ---- scrape 2: counters are monotone across scrapes -------------------
+# CONNECTED answers count as queries too, so the second scrape must read
+# exactly 2·PAIRS — and no counter may ever go backwards between scrapes.
+scrape_metrics "$WORK/scrape2.txt"
+SCRAPED2="$(prom_value "$WORK/scrape2.txt" pll_queries_total)"
+if [ "$SCRAPED2" != "$((2 * PAIRS))" ]; then
+  echo "FAIL: /metrics pll_queries_total=$SCRAPED2 after CONNECTED load, expected $((2 * PAIRS))" >&2
+  exit 1
+fi
+NONMONO="$(awk '
+  FNR == NR { if ($1 ~ /_total$/ && $1 !~ /^#/) before[$1] = $2; next }
+  ($1 in before) && ($2 + 0 < before[$1] + 0) {
+    printf "%s: %s -> %s\n", $1, before[$1], $2
+  }
+' "$WORK/scrape1.txt" "$WORK/scrape2.txt")"
+if [ -n "$NONMONO" ]; then
+  echo "FAIL: counter(s) went backwards between scrapes:" >&2
+  echo "$NONMONO" >&2
+  exit 1
+fi
+cp "$WORK/scrape2.txt" "$METRICS_OUT"
+echo "metrics: all counters monotone across scrapes; body saved to $METRICS_OUT"
 
 # ---- phase 2: update-mix (concurrent UPDATE batches + hot-swap) -------
 "$LOAD" --addr "$ADDR" --pairs "$WORK/pairs.txt" --batch 32 --connections 4 \
